@@ -1,0 +1,302 @@
+(* tsj — command-line interface to the tree similarity join library.
+
+   Subcommands:
+     ted        exact tree edit distance between two bracket trees
+     join       similarity self-join over a file of bracket trees
+     gen        generate a synthetic dataset to a file
+     partition  show the delta-partitioning of a tree
+     bench      run the paper-figure experiments *)
+
+open Cmdliner
+
+module Bracket = Tsj_tree.Bracket
+module Types = Tsj_join.Types
+
+type format = Bracket_fmt | Sexp_fmt | Xml_fmt
+
+let format_arg =
+  Cmdliner.Arg.(
+    value
+    & opt (enum [ ("bracket", Bracket_fmt); ("sexp", Sexp_fmt); ("xml", Xml_fmt) ]) Bracket_fmt
+    & info [ "format" ]
+        ~doc:"Input format: bracket ({a{b}}), sexp (Penn Treebank) or xml.")
+
+let load_trees ?(format = Bracket_fmt) path =
+  let result =
+    match format with
+    | Bracket_fmt -> Bracket.load_file path
+    | Sexp_fmt -> Tsj_tree.Sexp_format.load_file ~drop_words:true path
+    | Xml_fmt ->
+      (match In_channel.with_open_bin path In_channel.input_all with
+      | exception Sys_error msg -> Error msg
+      | contents ->
+        Result.map
+          (List.map (Tsj_xml.Xml.to_tree ~keep_text:true ~keep_attrs:false))
+          (Tsj_xml.Xml_parser.parse_fragments contents))
+  in
+  match result with
+  | Ok trees -> Array.of_list trees
+  | Error msg ->
+    Printf.eprintf "tsj: cannot load %s: %s\n" path msg;
+    exit 2
+
+let parse_tree_arg s =
+  (* Accept either a literal bracket tree or @file containing one. *)
+  let text =
+    if String.length s > 0 && s.[0] = '@' then
+      In_channel.with_open_text (String.sub s 1 (String.length s - 1)) In_channel.input_all
+    else s
+  in
+  match Bracket.of_string text with
+  | Ok t -> t
+  | Error msg ->
+    Printf.eprintf "tsj: bad tree %S: %s\n" s msg;
+    exit 2
+
+(* --- ted --- *)
+
+let ted_cmd =
+  let t1 =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"TREE1"
+           ~doc:"First tree in bracket notation (or @file).")
+  in
+  let t2 =
+    Arg.(required & pos 1 (some string) None & info [] ~docv:"TREE2"
+           ~doc:"Second tree in bracket notation (or @file).")
+  in
+  let algorithm =
+    Arg.(value & opt (enum [ ("hybrid", Tsj_ted.Ted.Hybrid); ("left", Tsj_ted.Ted.Zs_left);
+                             ("right", Tsj_ted.Ted.Zs_right); ("naive", Tsj_ted.Ted.Naive) ])
+           Tsj_ted.Ted.Hybrid
+         & info [ "algorithm"; "a" ] ~doc:"TED algorithm: hybrid, left, right or naive.")
+  in
+  let run t1 t2 algorithm =
+    let a = parse_tree_arg t1 and b = parse_tree_arg t2 in
+    Printf.printf "%d\n" (Tsj_ted.Ted.distance ~algorithm a b)
+  in
+  Cmd.v
+    (Cmd.info "ted" ~doc:"Exact tree edit distance between two trees")
+    Term.(const run $ t1 $ t2 $ algorithm)
+
+(* --- join --- *)
+
+let method_conv =
+  let parse s =
+    match Tsj_harness.Methods.of_name s with
+    | Some m -> Ok m
+    | None -> Error (`Msg (Printf.sprintf "unknown method %S" s))
+  in
+  Arg.conv (parse, fun fmt m -> Format.pp_print_string fmt (Tsj_harness.Methods.name m))
+
+let join_cmd =
+  let file =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE"
+           ~doc:"File of bracket trees (one per line; # comments allowed).")
+  in
+  let tau =
+    Arg.(value & opt int 1 & info [ "tau"; "t" ] ~doc:"TED threshold.")
+  in
+  let method_ =
+    Arg.(value & opt method_conv Tsj_harness.Methods.Prt
+         & info [ "method"; "m" ] ~doc:"Join method: NL, STR, SET, PRT, PRT-random, PRT-paper.")
+  in
+  let show_pairs =
+    Arg.(value & flag & info [ "pairs"; "p" ] ~doc:"Print the joined tree pairs.")
+  in
+  let metric =
+    Arg.(value
+         & opt (enum [ ("ted", Tsj_join.Sweep.Ted); ("constrained", Tsj_join.Sweep.Constrained) ])
+             Tsj_join.Sweep.Ted
+         & info [ "metric" ] ~doc:"Distance metric: ted or constrained.")
+  in
+  let run file tau method_ show_pairs format metric =
+    if tau < 0 then begin
+      Printf.eprintf "tsj: tau must be non-negative\n";
+      exit 2
+    end;
+    let trees = load_trees ~format file in
+    let out =
+      match (metric, method_) with
+      | Tsj_join.Sweep.Ted, m -> Tsj_harness.Methods.run m ~trees ~tau
+      | metric, Tsj_harness.Methods.Nl -> Tsj_join.Nested_loop.join ~metric ~trees ~tau ()
+      | metric, Tsj_harness.Methods.Str -> Tsj_baselines.Str_join.join ~metric ~trees ~tau ()
+      | metric, Tsj_harness.Methods.Set -> Tsj_baselines.Set_join.join ~metric ~trees ~tau ()
+      | metric, _ -> Tsj_core.Partsj.join ~metric ~trees ~tau ()
+    in
+    Format.printf "%a@." Types.pp_stats out.Types.stats;
+    if show_pairs then
+      List.iter
+        (fun p ->
+          Printf.printf "%d\t%d\t%d\t%s\t%s\n" p.Types.i p.Types.j p.Types.distance
+            (Bracket.to_string trees.(p.Types.i))
+            (Bracket.to_string trees.(p.Types.j)))
+        out.Types.pairs
+  in
+  Cmd.v
+    (Cmd.info "join" ~doc:"Similarity self-join over a tree collection")
+    Term.(const run $ file $ tau $ method_ $ show_pairs $ format_arg $ metric)
+
+(* --- gen --- *)
+
+let gen_cmd =
+  let output =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"OUTPUT"
+           ~doc:"Output file (bracket notation, one tree per line).")
+  in
+  let profile =
+    Arg.(value & opt string "synthetic"
+         & info [ "profile" ] ~doc:"Dataset profile: swissprot, treebank, sentiment or synthetic.")
+  in
+  let n = Arg.(value & opt int 1000 & info [ "count"; "n" ] ~doc:"Number of trees.") in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Random seed.") in
+  let fanout = Arg.(value & opt (some int) None & info [ "fanout"; "f" ] ~doc:"Override max fanout.") in
+  let depth = Arg.(value & opt (some int) None & info [ "depth"; "d" ] ~doc:"Override max depth.") in
+  let labels = Arg.(value & opt (some int) None & info [ "labels"; "l" ] ~doc:"Override label count.") in
+  let size = Arg.(value & opt (some int) None & info [ "size"; "s" ] ~doc:"Override average tree size.") in
+  let run output profile n seed fanout depth labels size =
+    match Tsj_datagen.Profiles.find profile with
+    | None ->
+      Printf.eprintf "tsj: unknown profile %S\n" profile;
+      exit 2
+    | Some p ->
+      let params = p.Tsj_datagen.Profiles.params in
+      let params =
+        {
+          params with
+          Tsj_datagen.Generator.max_fanout =
+            Option.value fanout ~default:params.Tsj_datagen.Generator.max_fanout;
+          max_depth = Option.value depth ~default:params.Tsj_datagen.Generator.max_depth;
+          n_labels = Option.value labels ~default:params.Tsj_datagen.Generator.n_labels;
+          avg_size = Option.value size ~default:params.Tsj_datagen.Generator.avg_size;
+        }
+      in
+      let p = Tsj_datagen.Profiles.with_params p params in
+      let trees = Tsj_datagen.Profiles.instantiate p ~seed ~n in
+      Bracket.save_file output (Array.to_list trees);
+      Printf.printf "wrote %s: %s\n" output (Tsj_datagen.Profiles.describe trees)
+  in
+  Cmd.v
+    (Cmd.info "gen" ~doc:"Generate a synthetic tree dataset")
+    Term.(const run $ output $ profile $ n $ seed $ fanout $ depth $ labels $ size)
+
+(* --- partition --- *)
+
+let partition_cmd =
+  let tree =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"TREE"
+           ~doc:"Tree in bracket notation (or @file).")
+  in
+  let tau = Arg.(value & opt int 1 & info [ "tau"; "t" ] ~doc:"TED threshold (delta = 2*tau+1).") in
+  let dot = Arg.(value & flag & info [ "dot" ] ~doc:"Emit Graphviz DOT instead of text.") in
+  let run tree tau dot =
+    let t = parse_tree_arg tree in
+    let delta = (2 * tau) + 1 in
+    let b = Tsj_tree.Binary_tree.of_tree t in
+    if b.Tsj_tree.Binary_tree.size < delta then begin
+      Printf.printf
+        "tree has %d nodes < delta = %d: too small to partition (kept whole by the join)\n"
+        b.Tsj_tree.Binary_tree.size delta;
+      exit 0
+    end;
+    let p = Tsj_core.Partition.partition b ~delta in
+    if dot then begin
+      print_string
+        (Tsj_tree.Dot.of_partition b ~assignment:p.Tsj_core.Partition.assignment);
+      exit 0
+    end;
+    Printf.printf "delta = %d, gamma (max-min component size) = %d\n" delta
+      p.Tsj_core.Partition.gamma;
+    let subs = Tsj_core.Subgraph.of_partition ~tree_id:0 p in
+    Array.iter
+      (fun s ->
+        let l, ll, lr = Tsj_core.Subgraph.label_key s in
+        Printf.printf
+          "subgraph k=%d: root node %d (general postorder %d), %d nodes, twig key (%s,%s,%s)\n"
+          s.Tsj_core.Subgraph.rank s.Tsj_core.Subgraph.root s.Tsj_core.Subgraph.root_gpost
+          s.Tsj_core.Subgraph.n_nodes (Tsj_tree.Label.name l) (Tsj_tree.Label.name ll)
+          (Tsj_tree.Label.name lr))
+      subs;
+    Printf.printf "bridging edges: %s\n"
+      (String.concat ", "
+         (List.map
+            (fun (a, c) -> Printf.sprintf "%d->%d" a c)
+            (Tsj_core.Partition.bridging_edges p)))
+  in
+  Cmd.v
+    (Cmd.info "partition" ~doc:"Show the delta-partitioning PartSJ would index for a tree")
+    Term.(const run $ tree $ tau $ dot)
+
+(* --- search --- *)
+
+let search_cmd =
+  let file =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE"
+           ~doc:"Indexed collection: file of bracket trees.")
+  in
+  let query =
+    Arg.(required & pos 1 (some string) None & info [] ~docv:"QUERY"
+           ~doc:"Query tree in bracket notation (or @file).")
+  in
+  let tau = Arg.(value & opt int 2 & info [ "tau"; "t" ] ~doc:"TED threshold.") in
+  let top =
+    Arg.(value & opt (some int) None
+         & info [ "top"; "k" ] ~doc:"Return only the k nearest trees.")
+  in
+  let run file query tau top format =
+    if tau < 0 then begin
+      Printf.eprintf "tsj: tau must be non-negative\n";
+      exit 2
+    end;
+    let trees = load_trees ~format file in
+    let q = parse_tree_arg query in
+    let idx = Tsj_core.Search.build ~tau trees in
+    let hits =
+      match top with
+      | Some k -> Tsj_core.Search.nearest ~k idx q
+      | None -> Tsj_core.Search.query idx q
+    in
+    List.iter
+      (fun (i, d) -> Printf.printf "%d\t%d\t%s\n" i d (Bracket.to_string trees.(i)))
+      hits
+  in
+  Cmd.v
+    (Cmd.info "search" ~doc:"Similarity search / top-k over an indexed collection")
+    Term.(const run $ file $ query $ tau $ top $ format_arg)
+
+(* --- bench --- *)
+
+let bench_cmd =
+  let scale = Arg.(value & opt float 1.0 & info [ "scale" ] ~doc:"Dataset size multiplier.") in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Random seed.") in
+  let what =
+    Arg.(value & pos_all string [ "all" ] & info [] ~docv:"EXPERIMENT"
+           ~doc:"fig10, fig12, fig14, ablation, parallel, streaming or all.")
+  in
+  let run scale seed what =
+    let config =
+      { Tsj_harness.Experiments.default_config with
+        Tsj_harness.Experiments.scale; seed }
+    in
+    List.iter
+      (fun name ->
+        match name with
+        | "fig10" | "fig11" -> Tsj_harness.Experiments.fig10_11 config
+        | "fig12" | "fig13" -> Tsj_harness.Experiments.fig12_13 config
+        | "fig14" | "tab1" -> Tsj_harness.Experiments.fig14 config
+        | "ablation" -> Tsj_harness.Experiments.ablation config
+        | "parallel" -> Tsj_harness.Experiments.parallel config
+        | "streaming" -> Tsj_harness.Experiments.streaming config
+        | "all" -> Tsj_harness.Experiments.run_all config
+        | other ->
+          Printf.eprintf "tsj: unknown experiment %S\n" other;
+          exit 2)
+      what
+  in
+  Cmd.v
+    (Cmd.info "bench" ~doc:"Re-run the paper's evaluation experiments")
+    Term.(const run $ scale $ seed $ what)
+
+let () =
+  let doc = "similarity joins over tree-structured data (PartSJ, VLDB 2015)" in
+  let info = Cmd.info "tsj" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval (Cmd.group info [ ted_cmd; join_cmd; gen_cmd; partition_cmd; search_cmd; bench_cmd ]))

@@ -1,0 +1,1 @@
+examples/parse_trees.ml: Array List Printf Tsj_harness Tsj_join Tsj_tree Tsj_util

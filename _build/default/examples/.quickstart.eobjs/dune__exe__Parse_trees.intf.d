@@ -1,0 +1,1 @@
+examples/parse_trees.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Format List Printf String Tsj_core Tsj_join Tsj_ted Tsj_tree

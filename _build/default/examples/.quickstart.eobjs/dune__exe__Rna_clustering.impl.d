@@ -1,0 +1,1 @@
+examples/rna_clustering.ml: Array Format Hashtbl List Option Printf Tsj_core Tsj_join Tsj_tree Tsj_util

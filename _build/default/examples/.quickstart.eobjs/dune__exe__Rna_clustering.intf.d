@@ -1,0 +1,1 @@
+examples/rna_clustering.mli:

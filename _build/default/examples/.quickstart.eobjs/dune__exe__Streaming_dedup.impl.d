@@ -1,0 +1,1 @@
+examples/streaming_dedup.ml: Array List Printf Tsj_core Tsj_tree Tsj_util Unix

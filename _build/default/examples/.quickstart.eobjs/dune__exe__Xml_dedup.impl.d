@@ -1,0 +1,1 @@
+examples/xml_dedup.ml: Array Format List Option Printf String Tsj_core Tsj_join Tsj_util Tsj_xml

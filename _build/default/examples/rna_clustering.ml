@@ -1,0 +1,146 @@
+(* Clustering RNA secondary structures — the biology scenario from the
+   paper's introduction: secondary structures are modeled as rooted
+   ordered labeled trees (stems, hairpin loops, bulges, internal loops,
+   multiloops), and biologists look for pairs of structures that are
+   similar across sources.
+
+   The example generates a population of structures from a handful of
+   "families" (each family = mutated variants of an ancestral structure),
+   joins the population against itself with PartSJ, and then clusters the
+   similarity graph with union-find — recovering the families.
+
+   Run with:  dune exec examples/rna_clustering.exe *)
+
+module Prng = Tsj_util.Prng
+module Tree = Tsj_tree.Tree
+module Label = Tsj_tree.Label
+module Edit_op = Tsj_tree.Edit_op
+module Types = Tsj_join.Types
+
+(* Secondary-structure element labels. *)
+let stem = Label.intern "stem"
+let hairpin = Label.intern "hairpin"
+let bulge = Label.intern "bulge"
+let internal_loop = Label.intern "iloop"
+let multiloop = Label.intern "multi"
+let exterior = Label.intern "ext"
+
+let labels = [| stem; hairpin; bulge; internal_loop; multiloop |]
+
+(* A random ancestral structure: an exterior element holding a few stems;
+   a stem elongates through bulges/internal loops and ends in a hairpin
+   or branches through a multiloop. *)
+let rec grow_stem rng depth =
+  if depth <= 0 then Tree.leaf hairpin
+  else
+    match Prng.int rng 10 with
+    | 0 | 1 ->
+      (* interior bulge, stem continues *)
+      Tree.node stem [ Tree.node bulge [ grow_stem rng (depth - 1) ] ]
+    | 2 | 3 ->
+      Tree.node stem [ Tree.node internal_loop [ grow_stem rng (depth - 1) ] ]
+    | 4 ->
+      (* multiloop: the stem branches *)
+      let branches = List.init (2 + Prng.int rng 2) (fun _ -> grow_stem rng (depth - 1)) in
+      Tree.node stem [ Tree.node multiloop branches ]
+    | _ -> Tree.node stem [ grow_stem rng (depth - 1) ]
+
+let ancestor rng =
+  let stems = List.init (1 + Prng.int rng 3) (fun _ -> grow_stem rng (4 + Prng.int rng 4)) in
+  Tree.node exterior stems
+
+(* Union-find over tree indices for clustering the similarity graph. *)
+module Union_find = struct
+  type t = { parent : int array; rank : int array }
+
+  let create n = { parent = Array.init n (fun i -> i); rank = Array.make n 0 }
+
+  let rec find uf i =
+    if uf.parent.(i) = i then i
+    else begin
+      let root = find uf uf.parent.(i) in
+      uf.parent.(i) <- root;
+      root
+    end
+
+  let union uf a b =
+    let ra = find uf a and rb = find uf b in
+    if ra <> rb then
+      if uf.rank.(ra) < uf.rank.(rb) then uf.parent.(ra) <- rb
+      else if uf.rank.(ra) > uf.rank.(rb) then uf.parent.(rb) <- ra
+      else begin
+        uf.parent.(rb) <- ra;
+        uf.rank.(ra) <- uf.rank.(ra) + 1
+      end
+end
+
+let () =
+  let rng = Prng.create 17 in
+  let n_families = 8 in
+  let variants_per_family = 12 in
+  let population = ref [] in
+  let family_of = ref [] in
+  for fam = 0 to n_families - 1 do
+    let base = ancestor rng in
+    for _ = 1 to variants_per_family do
+      (* evolutionary drift: a couple of random edit operations *)
+      let drift = Prng.int rng 3 in
+      let _, variant = Edit_op.random_script rng ~labels drift base in
+      population := variant :: !population;
+      family_of := fam :: !family_of
+    done
+  done;
+  let trees = Array.of_list !population in
+  let family_of = Array.of_list !family_of in
+  let n = Array.length trees in
+  let sizes = Array.map Tree.size trees in
+  Printf.printf "population: %d structures from %d families (sizes %d..%d)\n" n
+    n_families
+    (Array.fold_left min max_int sizes)
+    (Array.fold_left max 0 sizes);
+
+  let tau = 4 in
+  let result = Tsj_core.Partsj.join ~trees ~tau () in
+  Format.printf "join stats: %a@." Types.pp_stats result.Types.stats;
+
+  (* Cluster: connected components of the similarity graph. *)
+  let uf = Union_find.create n in
+  List.iter (fun p -> Union_find.union uf p.Types.i p.Types.j) result.Types.pairs;
+  let clusters = Hashtbl.create 16 in
+  for i = 0 to n - 1 do
+    let root = Union_find.find uf i in
+    Hashtbl.replace clusters root (i :: Option.value ~default:[] (Hashtbl.find_opt clusters root))
+  done;
+  let cluster_list =
+    Hashtbl.fold (fun _ members acc -> members :: acc) clusters []
+    |> List.filter (fun m -> List.length m > 1)
+    |> List.sort (fun a b -> compare (List.length b) (List.length a))
+  in
+  Printf.printf "\nclusters with >= 2 members: %d\n" (List.length cluster_list);
+  List.iteri
+    (fun rank members ->
+      if rank < 10 then begin
+        (* how pure is the cluster w.r.t. the true families? *)
+        let fams = List.map (fun i -> family_of.(i)) members in
+        let majority =
+          List.fold_left
+            (fun (best, best_n) f ->
+              let c = List.length (List.filter (( = ) f) fams) in
+              if c > best_n then (f, c) else (best, best_n))
+            (-1, 0) (List.sort_uniq compare fams)
+        in
+        Printf.printf "  cluster %d: %d members, %d%% from family %d\n" rank
+          (List.length members)
+          (100 * snd majority / List.length members)
+          (fst majority)
+      end)
+    cluster_list;
+  (* quick quality summary: fraction of joined pairs that are intra-family *)
+  let intra =
+    List.length
+      (List.filter (fun p -> family_of.(p.Types.i) = family_of.(p.Types.j)) result.Types.pairs)
+  in
+  let total = List.length result.Types.pairs in
+  if total > 0 then
+    Printf.printf "\n%d/%d joined pairs (%d%%) are within a true family\n" intra total
+      (100 * intra / total)

@@ -1,0 +1,138 @@
+(* Near-duplicate detection in an XML product catalog — the C2C shopping
+   scenario from the paper's introduction: vendors describe items as XML
+   documents; the site joins the catalog against itself to spot listings
+   that are the same product with small edits.
+
+   The example builds a synthetic catalog of XML listings (some of which
+   are perturbed copies), serializes it to real XML text, parses it back
+   with the library's XML parser, converts documents to labeled trees and
+   runs the PartSJ similarity join.
+
+   Run with:  dune exec examples/xml_dedup.exe *)
+
+module Prng = Tsj_util.Prng
+module Types = Tsj_join.Types
+module Xml = Tsj_xml.Xml
+module Xml_parser = Tsj_xml.Xml_parser
+
+let brands = [| "Acme"; "Globex"; "Initech"; "Umbrella"; "Stark"; "Wayne" |]
+let nouns = [| "Turntable"; "Amplifier"; "Headphones"; "Speaker"; "Mixer"; "Microphone" |]
+let colours = [| "black"; "white"; "red"; "walnut"; "silver" |]
+let conditions = [| "new"; "used"; "refurbished" |]
+
+let listing rng id =
+  let brand = Prng.choice rng brands in
+  let noun = Prng.choice rng nouns in
+  let price = 50 + Prng.int rng 900 in
+  let features =
+    List.init (1 + Prng.int rng 4) (fun i ->
+        Xml.Element
+          {
+            tag = "feature";
+            attrs = [];
+            children = [ Xml.Text (Printf.sprintf "feature-%d-%d" (Prng.int rng 20) i) ];
+          })
+  in
+  Xml.Element
+    {
+      tag = "listing";
+      attrs = [ ("id", string_of_int id) ];
+      children =
+        [
+          Xml.Element { tag = "title"; attrs = []; children = [ Xml.Text (brand ^ " " ^ noun) ] };
+          Xml.Element { tag = "brand"; attrs = []; children = [ Xml.Text brand ] };
+          Xml.Element
+            { tag = "price"; attrs = []; children = [ Xml.Text (string_of_int price) ] };
+          Xml.Element
+            {
+              tag = "condition";
+              attrs = [];
+              children = [ Xml.Text (Prng.choice rng conditions) ];
+            };
+          Xml.Element
+            { tag = "colour"; attrs = []; children = [ Xml.Text (Prng.choice rng colours) ] };
+          Xml.Element { tag = "features"; attrs = []; children = features };
+        ];
+    }
+
+(* A vendor re-posting someone else's listing: tweak one or two fields. *)
+let repost rng doc =
+  match doc with
+  | Xml.Element e ->
+    let tweak child =
+      match child with
+      | Xml.Element ({ tag = "price"; _ } as pe) when Prng.bool rng ->
+        Xml.Element
+          { pe with children = [ Xml.Text (string_of_int (50 + Prng.int rng 900)) ] }
+      | Xml.Element ({ tag = "condition"; _ } as ce) when Prng.bool rng ->
+        Xml.Element { ce with children = [ Xml.Text (Prng.choice rng conditions) ] }
+      | other -> other
+    in
+    Xml.Element { e with children = List.map tweak e.children }
+  | other -> other
+
+let () =
+  let rng = Prng.create 2026 in
+  let n_fresh = 120 in
+  let catalog = ref [] in
+  for id = 0 to n_fresh - 1 do
+    let doc = listing rng id in
+    catalog := doc :: !catalog;
+    (* roughly a third of the listings get re-posted once or twice *)
+    if Prng.float rng < 0.35 then begin
+      let copies = 1 + Prng.int rng 2 in
+      for _ = 1 to copies do
+        catalog := repost rng doc :: !catalog
+      done
+    end
+  done;
+  let docs = Array.of_list !catalog in
+  Printf.printf "catalog: %d XML listings\n" (Array.length docs);
+
+  (* Serialize to XML text and re-parse — exercising the real parser the
+     way a crawler would. *)
+  let xml_text =
+    String.concat "\n" (Array.to_list (Array.map Xml.to_string docs))
+  in
+  let parsed =
+    match Xml_parser.parse_fragments xml_text with
+    | Ok docs -> Array.of_list docs
+    | Error msg -> failwith ("XML parse error: " ^ msg)
+  in
+  Printf.printf "parsed back: %d documents (%d bytes of XML)\n" (Array.length parsed)
+    (String.length xml_text);
+
+  (* Convert to labeled trees.  The id attribute is dropped (it is unique
+     by construction and would mask similarity); text becomes leaves. *)
+  let trees = Array.map (fun d -> Xml.to_tree ~keep_text:true ~keep_attrs:false d) parsed in
+
+  (* Join: listings within 2 edits are near-duplicates. *)
+  let tau = 2 in
+  let result = Tsj_core.Partsj.join ~trees ~tau () in
+  Format.printf "\njoin stats: %a@." Types.pp_stats result.Types.stats;
+  Printf.printf "\nnear-duplicate listings (TED <= %d): %d pairs\n" tau
+    (List.length result.Types.pairs);
+  let show i =
+    match parsed.(i) with
+    | Xml.Element { children; _ } ->
+      let field tag =
+        List.find_map
+          (function
+            | Xml.Element { tag = t; children = [ Xml.Text s ]; _ } when t = tag -> Some s
+            | _ -> None)
+          children
+      in
+      Printf.sprintf "%s (%s, %s)"
+        (Option.value ~default:"?" (field "title"))
+        (Option.value ~default:"?" (field "price"))
+        (Option.value ~default:"?" (field "condition"))
+    | Xml.Text _ -> "?"
+  in
+  List.iteri
+    (fun rank p ->
+      if rank < 10 then
+        Printf.printf "  #%d ~ #%d  d=%d  %s  <->  %s\n" p.Types.i p.Types.j
+          p.Types.distance (show p.Types.i) (show p.Types.j))
+    result.Types.pairs;
+  if List.length result.Types.pairs > 10 then
+    Printf.printf "  ... and %d more\n" (List.length result.Types.pairs - 10)

@@ -1,0 +1,1 @@
+lib/baselines/binary_branch.ml: Array Hashtbl Tsj_tree Tsj_util

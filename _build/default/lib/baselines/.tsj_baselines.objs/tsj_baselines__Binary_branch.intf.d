@@ -1,0 +1,1 @@
+lib/baselines/binary_branch.mli: Tsj_tree Tsj_util

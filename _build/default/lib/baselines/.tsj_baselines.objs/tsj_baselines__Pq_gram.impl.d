@@ -1,0 +1,1 @@
+lib/baselines/pq_gram.ml: Array Hashtbl List Tsj_tree Tsj_util

@@ -1,0 +1,1 @@
+lib/baselines/pq_gram.mli: Tsj_tree

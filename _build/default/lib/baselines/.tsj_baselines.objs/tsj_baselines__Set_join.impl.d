@@ -1,0 +1,1 @@
+lib/baselines/set_join.ml: Array Binary_branch Tsj_join

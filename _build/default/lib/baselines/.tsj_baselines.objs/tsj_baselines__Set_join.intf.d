@@ -1,0 +1,1 @@
+lib/baselines/set_join.mli: Tsj_join Tsj_tree

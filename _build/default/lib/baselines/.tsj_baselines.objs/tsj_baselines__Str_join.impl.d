@@ -1,0 +1,1 @@
+lib/baselines/str_join.ml: Array Tsj_join Tsj_ted Tsj_tree

@@ -1,0 +1,1 @@
+lib/baselines/str_join.mli: Tsj_join Tsj_tree

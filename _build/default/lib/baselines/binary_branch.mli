@@ -1,0 +1,28 @@
+(** Binary branches and the binary branch distance (Yang, Kalnis & Tung,
+    SIGMOD 2005) — the structure behind the SET baseline.
+
+    A binary branch of a tree is one node of its LC-RS binary
+    representation together with the labels of its (up to two) binary
+    children, missing children standing in as the dummy label [ε].  A tree
+    of [n] nodes yields a bag of exactly [n] binary branches, and
+
+      [BIB(T1, T2) = |X1| + |X2| - 2 |X1 ∩ X2| <= 5 * TED(T1, T2)],
+
+    so [BIB > 5τ] proves a pair dissimilar. *)
+
+type bag = Tsj_util.Multiset.t
+(** Binary branches encoded as integers (label triples packed against a
+    global arity that grows with the interned-label count). *)
+
+val bag_of_tree : Tsj_tree.Tree.t -> bag
+(** The bag has exactly [Tree.size t] elements. *)
+
+val distance : bag -> bag -> int
+(** The binary branch distance [BIB]. *)
+
+val lower_bound : bag -> bag -> int
+(** [ceil (BIB / 5)] — a valid TED lower bound. *)
+
+val decode : int -> Tsj_tree.Label.t * Tsj_tree.Label.t * Tsj_tree.Label.t
+(** Unpack an encoded branch back into (node, left, right) labels — used
+    by tests and debugging output. *)

@@ -1,0 +1,61 @@
+module Tree = Tsj_tree.Tree
+module Label = Tsj_tree.Label
+module Multiset = Tsj_util.Multiset
+
+type profile = Multiset.t
+
+(* Grams are label tuples; intern them to dense ids like binary branches
+   so bags are plain integer multisets.  The dummy label is Label.epsilon,
+   which ordinary labels can never equal. *)
+let ids : (int list, int) Hashtbl.t = Hashtbl.create 1024
+let n_ids = ref 0
+
+let intern gram =
+  match Hashtbl.find_opt ids gram with
+  | Some id -> id
+  | None ->
+    let id = !n_ids in
+    incr n_ids;
+    Hashtbl.add ids gram id;
+    id
+
+let profile ?(p = 2) ?(q = 3) tree =
+  if p < 1 then invalid_arg "Pq_gram.profile: p must be >= 1";
+  if q < 1 then invalid_arg "Pq_gram.profile: q must be >= 1";
+  let dummy = Label.epsilon in
+  let acc = Tsj_util.Vec_int.create () in
+  let emit anc window = Tsj_util.Vec_int.push acc (intern (anc @ window)) in
+  (* [anc] always has length p - 1: the labels of the p - 1 nearest
+     ancestors, oldest first, padded with dummies above the root. *)
+  let rec go (node : Tree.t) anc =
+    let anc_full = anc @ [ node.label ] in
+    (match node.children with
+    | [] -> emit anc_full (List.init q (fun _ -> dummy))
+    | children ->
+      (* Slide a q-window over the children padded with q - 1 dummies on
+         each side: c + q - 1 windows. *)
+      let labels =
+        List.init (q - 1) (fun _ -> dummy)
+        @ List.map (fun (c : Tree.t) -> c.label) children
+        @ List.init (q - 1) (fun _ -> dummy)
+      in
+      let arr = Array.of_list labels in
+      for start = 0 to Array.length arr - q do
+        emit anc_full (Array.to_list (Array.sub arr start q))
+      done);
+    (* The children see the last p - 1 labels of the extended ancestor
+       path: drop the oldest. *)
+    let child_anc = if p = 1 then [] else List.tl anc_full in
+    List.iter (fun c -> go c child_anc) node.children
+  in
+  go tree (List.init (p - 1) (fun _ -> dummy));
+  Multiset.of_unsorted (Tsj_util.Vec_int.to_array acc)
+
+let size = Multiset.size
+
+let distance = Multiset.symmetric_difference_size
+
+let normalized_distance p1 p2 =
+  let total = Multiset.size p1 + Multiset.size p2 in
+  if total = 0 then 0.0
+  else 1.0 -. (2.0 *. float_of_int (Multiset.inter_size p1 p2) /. float_of_int total)

@@ -1,0 +1,29 @@
+(** pq-grams (Augsten, Böhlen & Gamper, VLDB 2005) — the alternative tree
+    similarity measure discussed in the paper's related work (Section 5).
+
+    A pq-gram is a small fixed-shape piece of the tree: an anchor node with
+    its [p - 1] closest ancestors and [q] consecutive children, where
+    missing positions are filled with a dummy label [*].  Two trees are
+    similar when their pq-gram bags overlap.  Unlike the traversal-string
+    and binary-branch bounds, the pq-gram distance is {e not} a TED lower
+    bound — it is its own (pseudo-)distance, cheap to compute and popular
+    for approximate XML joins; it is provided here as a library feature,
+    not as a join filter. *)
+
+type profile
+(** The bag of a tree's pq-grams (label tuples hashed to integers). *)
+
+val profile : ?p:int -> ?q:int -> Tsj_tree.Tree.t -> profile
+(** Defaults: [p = 2], [q = 3] (the values recommended by Augsten et al.).
+    @raise Invalid_argument if [p < 1] or [q < 1]. *)
+
+val size : profile -> int
+(** Number of pq-grams: one per leaf plus [c + q - 1] per internal node
+    with [c] children. *)
+
+val distance : profile -> profile -> int
+(** Bag symmetric difference [|P1| + |P2| - 2 |P1 ∩ P2|]. *)
+
+val normalized_distance : profile -> profile -> float
+(** [1 - 2 |P1 ∩ P2| / (|P1| + |P2|)], in [\[0, 1\]]; 0 for identical
+    trees.  Defined as 0 when both profiles are empty. *)

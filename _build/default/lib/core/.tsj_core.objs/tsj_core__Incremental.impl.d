@@ -1,0 +1,1 @@
+lib/core/incremental.ml: Array Hashtbl List Partition Subgraph Tsj_ted Tsj_tree Two_layer_index

@@ -1,0 +1,1 @@
+lib/core/incremental.mli: Tsj_tree Two_layer_index

@@ -1,0 +1,1 @@
+lib/core/partition.mli: Tsj_tree Tsj_util

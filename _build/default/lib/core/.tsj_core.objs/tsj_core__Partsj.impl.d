@@ -1,0 +1,1 @@
+lib/core/partsj.ml: Array Hashtbl List Partition Subgraph Tsj_join Tsj_ted Tsj_tree Tsj_util Two_layer_index

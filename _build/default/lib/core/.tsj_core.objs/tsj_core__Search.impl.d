@@ -1,0 +1,1 @@
+lib/core/search.ml: Array Hashtbl In_channel List Option Out_channel Partition Printf String Subgraph Tsj_join Tsj_ted Tsj_tree Tsj_util Two_layer_index

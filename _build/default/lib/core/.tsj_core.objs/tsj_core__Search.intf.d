@@ -1,0 +1,1 @@
+lib/core/search.mli: Tsj_join Tsj_tree Two_layer_index

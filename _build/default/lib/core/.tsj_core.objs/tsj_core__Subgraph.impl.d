@@ -1,0 +1,1 @@
+lib/core/subgraph.ml: Array Partition Tsj_tree

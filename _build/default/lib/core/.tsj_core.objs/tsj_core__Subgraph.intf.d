@@ -1,0 +1,1 @@
+lib/core/subgraph.mli: Partition Tsj_tree

@@ -1,0 +1,1 @@
+lib/core/two_layer_index.ml: Array Hashtbl List Subgraph Tsj_tree

@@ -1,0 +1,1 @@
+lib/core/two_layer_index.mli: Subgraph Tsj_tree

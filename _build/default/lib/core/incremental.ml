@@ -1,0 +1,124 @@
+module Tree = Tsj_tree.Tree
+module Binary_tree = Tsj_tree.Binary_tree
+module Ted = Tsj_ted.Ted
+
+type size_entry = { index : Two_layer_index.t; mutable small : int list }
+
+type t = {
+  tau : int;
+  mode : Two_layer_index.mode;
+  delta : int;
+  mutable trees : Tree.t array;     (* growable; slot i = tree id i *)
+  mutable preps : Ted.prep option array;
+  mutable count : int;
+  entries : (int, size_entry) Hashtbl.t;
+  mutable n_candidates : int;
+  mutable n_indexed : int;
+}
+
+let create ?(mode = Two_layer_index.Two_sided) ~tau () =
+  if tau < 0 then invalid_arg "Incremental.create: negative threshold";
+  {
+    tau;
+    mode;
+    delta = (2 * tau) + 1;
+    trees = Array.make 16 (Tree.leaf Tsj_tree.Label.epsilon);
+    preps = Array.make 16 None;
+    count = 0;
+    entries = Hashtbl.create 64;
+    n_candidates = 0;
+    n_indexed = 0;
+  }
+
+let tau t = t.tau
+
+let n_trees t = t.count
+
+let tree t id =
+  if id < 0 || id >= t.count then invalid_arg "Incremental.tree: unknown id";
+  t.trees.(id)
+
+let stats t = (t.n_candidates, t.n_indexed)
+
+let grow t =
+  let cap = Array.length t.trees in
+  if t.count = cap then begin
+    let trees = Array.make (2 * cap) t.trees.(0) in
+    Array.blit t.trees 0 trees 0 cap;
+    t.trees <- trees;
+    let preps = Array.make (2 * cap) None in
+    Array.blit t.preps 0 preps 0 cap;
+    t.preps <- preps
+  end
+
+let prep t id =
+  match t.preps.(id) with
+  | Some p -> p
+  | None ->
+    let p = Ted.preprocess t.trees.(id) in
+    t.preps.(id) <- Some p;
+    p
+
+let entry_for t size =
+  match Hashtbl.find_opt t.entries size with
+  | Some e -> e
+  | None ->
+    let e = { index = Two_layer_index.create ~mode:t.mode ~tau:t.tau (); small = [] } in
+    Hashtbl.add t.entries size e;
+    e
+
+let add t tree =
+  grow t;
+  let id = t.count in
+  t.trees.(id) <- tree;
+  t.count <- t.count + 1;
+  let btree = Binary_tree.of_tree tree in
+  let size = btree.Binary_tree.size in
+  (* 1. Probe: candidates among all previously inserted trees in the
+     size band, in either direction. *)
+  let checked = Hashtbl.create 16 in
+  let pending = ref [] in
+  for other_size = max 1 (size - t.tau) to size + t.tau do
+    match Hashtbl.find_opt t.entries other_size with
+    | None -> ()
+    | Some entry ->
+      List.iter
+        (fun tj ->
+          if not (Hashtbl.mem checked tj) then begin
+            Hashtbl.add checked tj ();
+            pending := tj :: !pending
+          end)
+        entry.small;
+      for v = 0 to size - 1 do
+        Two_layer_index.probe entry.index btree v (fun s ->
+            let tj = s.Subgraph.tree_id in
+            if not (Hashtbl.mem checked tj) then
+              if Subgraph.matches s btree v then begin
+                Hashtbl.add checked tj ();
+                pending := tj :: !pending
+              end)
+      done
+  done;
+  (* 2. Verify. *)
+  let my_prep = prep t id in
+  let results =
+    List.filter_map
+      (fun tj ->
+        t.n_candidates <- t.n_candidates + 1;
+        let d = Ted.bounded_distance_prep my_prep (prep t tj) t.tau in
+        if d <= t.tau then Some (tj, d) else None)
+      !pending
+    |> List.sort compare
+  in
+  (* 3. Index the new tree. *)
+  let entry = entry_for t size in
+  if size < t.delta then entry.small <- id :: entry.small
+  else begin
+    let part = Partition.partition btree ~delta:t.delta in
+    Array.iter
+      (fun s ->
+        Two_layer_index.insert entry.index s;
+        t.n_indexed <- t.n_indexed + 1)
+      (Subgraph.of_partition ~tree_id:id part)
+  end;
+  results

@@ -1,0 +1,35 @@
+(** Streaming similarity join.
+
+    The paper motivates PartSJ with "streaming workloads where tree
+    objects (e.g., XML and HTML entities) are inserted and updated at a
+    high rate" — its index is already built on-the-fly.  This module
+    removes the remaining batch assumption (size-ascending processing):
+    trees may arrive in {e any} order.  On arrival, a tree probes the
+    per-size indexes over the whole [size ± τ] band (Lemma 2 partitions
+    the {e indexed} tree, so the direction of the size difference is
+    irrelevant), reports its join partners among everything seen so far,
+    and is then partitioned and indexed itself.
+
+    Feeding a whole collection through {!add} yields exactly the self-join
+    result of {!Partsj.join}. *)
+
+type t
+
+val create : ?mode:Two_layer_index.mode -> tau:int -> unit -> t
+(** @raise Invalid_argument if [tau < 0]. *)
+
+val tau : t -> int
+
+val n_trees : t -> int
+(** Trees inserted so far. *)
+
+val add : t -> Tsj_tree.Tree.t -> (int * int) list
+(** [add t tree] inserts [tree] (its id is the number of previously
+    inserted trees) and returns [(id, distance)] for every earlier tree
+    within [τ], sorted by id. *)
+
+val tree : t -> int -> Tsj_tree.Tree.t
+(** @raise Invalid_argument on an unknown id. *)
+
+val stats : t -> int * int
+(** [(candidates verified, subgraphs indexed)] so far. *)

@@ -1,0 +1,127 @@
+module Binary_tree = Tsj_tree.Binary_tree
+module Prng = Tsj_util.Prng
+
+type t = {
+  btree : Binary_tree.t;
+  delta : int;
+  gamma : int;
+  assignment : int array;
+  roots : int array;
+}
+
+(* Greedy γ-subtree cutting (paper Algorithm 2).  Node ids are postorder
+   numbers and children have smaller ids than parents, so a single
+   ascending loop is the postorder traversal.  When [cuts] is given, the
+   roots of the first [delta - 1] detached γ-subtrees are collected (in
+   detection order, which is ascending postorder). *)
+let greedy_cut (b : Binary_tree.t) ~delta ~gamma ~cuts =
+  let n = b.Binary_tree.size in
+  (* live.(i): nodes remaining in the subtree rooted at i after all the
+     detachments performed so far (= size - detached of the paper). *)
+  let live = Array.make n 0 in
+  let found = ref 0 in
+  let i = ref 0 in
+  while !found < delta && !i < n do
+    let node = !i in
+    let l = b.Binary_tree.left.(node) and r = b.Binary_tree.right.(node) in
+    let v = 1 + (if l >= 0 then live.(l) else 0) + (if r >= 0 then live.(r) else 0) in
+    if v >= gamma then begin
+      (* γ-subtree identified: detach it. *)
+      (match cuts with
+      | Some acc when !found < delta - 1 -> Tsj_util.Vec_int.push acc node
+      | Some _ | None -> ());
+      live.(node) <- 0;
+      incr found
+    end
+    else live.(node) <- v;
+    incr i
+  done;
+  !found >= delta
+
+let partitionable b ~delta ~gamma =
+  if delta < 1 then invalid_arg "Partition.partitionable: delta must be >= 1";
+  if gamma < 1 then invalid_arg "Partition.partitionable: gamma must be >= 1";
+  if gamma * delta > b.Binary_tree.size then false
+  else greedy_cut b ~delta ~gamma ~cuts:None
+
+(* Paper Algorithm 3: binary search on γ between the trivial upper bound
+   ⌊n/δ⌋ and the always-feasible lower bound ⌊(n + δ - 1)/(2δ - 1)⌋. *)
+let max_min_size b ~delta =
+  if delta < 1 then invalid_arg "Partition.max_min_size: delta must be >= 1";
+  let n = b.Binary_tree.size in
+  if n < delta then
+    invalid_arg
+      (Printf.sprintf "Partition.max_min_size: tree of %d nodes has no %d-partitioning" n
+         delta);
+  let gamma_max = n / delta in
+  let gamma_min = max 1 ((n + delta - 1) / ((2 * delta) - 1)) in
+  let gamma_min = ref gamma_min in
+  let c = ref (gamma_max - !gamma_min + 1) in
+  while !c > 1 do
+    let gamma_mid = !gamma_min + (!c / 2) in
+    if greedy_cut b ~delta ~gamma:gamma_mid ~cuts:None then begin
+      gamma_min := gamma_mid;
+      c := !c - (!c / 2)
+    end
+    else c := !c / 2
+  done;
+  !gamma_min
+
+(* Build the component structure from cut roots (ascending postorder).
+   Component k (k < delta - 1 cuts) is the subtree of its cut root minus
+   earlier cuts nested inside it; the remainder — always containing the
+   tree root — is component delta - 1.  Because node ids are postorder
+   numbers, the subtree of root r occupies exactly the contiguous id range
+   [r - subtree_size(r) + 1, r]. *)
+let of_cut_roots (b : Binary_tree.t) ~delta ~gamma cut_roots =
+  let n = b.Binary_tree.size in
+  let assignment = Array.make n (-1) in
+  Array.iteri
+    (fun k root ->
+      let lo = root - b.Binary_tree.subtree_size.(root) + 1 in
+      for v = lo to root do
+        if assignment.(v) < 0 then assignment.(v) <- k
+      done)
+    cut_roots;
+  for v = 0 to n - 1 do
+    if assignment.(v) < 0 then assignment.(v) <- delta - 1
+  done;
+  let roots = Array.append cut_roots [| n - 1 |] in
+  { btree = b; delta; gamma; assignment; roots }
+
+let partition b ~delta =
+  let gamma = max_min_size b ~delta in
+  let cuts = Tsj_util.Vec_int.create ~capacity:delta () in
+  let ok = greedy_cut b ~delta ~gamma ~cuts:(Some cuts) in
+  assert ok;
+  of_cut_roots b ~delta ~gamma (Tsj_util.Vec_int.to_array cuts)
+
+let random_partition rng b ~delta =
+  if delta < 1 then invalid_arg "Partition.random_partition: delta must be >= 1";
+  let n = b.Binary_tree.size in
+  if n < delta then
+    invalid_arg
+      (Printf.sprintf
+         "Partition.random_partition: tree of %d nodes has no %d-partitioning" n delta);
+  (* An edge is identified with its child endpoint: every node except the
+     root has exactly one incoming edge.  Cut delta - 1 distinct ones. *)
+  let children = Array.init (n - 1) (fun i -> i) in
+  Prng.shuffle rng children;
+  let cut_roots = Array.sub children 0 (delta - 1) in
+  Array.sort compare cut_roots;
+  of_cut_roots b ~delta ~gamma:0 cut_roots
+
+let component_sizes p =
+  let sizes = Array.make p.delta 0 in
+  Array.iter (fun k -> sizes.(k) <- sizes.(k) + 1) p.assignment;
+  sizes
+
+let bridging_edges p =
+  let b = p.btree in
+  let acc = ref [] in
+  for v = 0 to b.Binary_tree.size - 1 do
+    let parent = b.Binary_tree.parent.(v) in
+    if parent >= 0 && p.assignment.(parent) <> p.assignment.(v) then
+      acc := (parent, v) :: !acc
+  done;
+  List.rev !acc

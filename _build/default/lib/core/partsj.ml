@@ -1,0 +1,183 @@
+module Tree = Tsj_tree.Tree
+module Binary_tree = Tsj_tree.Binary_tree
+module Ted = Tsj_ted.Ted
+module Timer = Tsj_util.Timer
+module Types = Tsj_join.Types
+
+type partitioning = Balanced | Random of int
+
+type probe_stats = {
+  n_probed : int;
+  n_matched : int;
+  n_small_tree_hits : int;
+  n_subgraphs_indexed : int;
+}
+
+(* Per-size inverted list: the two-layer index for δ-partitionable trees
+   plus the overflow list of sub-δ trees. *)
+type size_entry = { index : Two_layer_index.t; mutable small : int list }
+
+let join_with_probe_stats ?(partitioning = Balanced)
+    ?(index_mode = Two_layer_index.Two_sided) ?(verify_domains = 1)
+    ?(bounded_verify = true) ?metric ~trees ~tau () =
+  if tau < 0 then invalid_arg "Partsj.join: negative threshold";
+  let n = Array.length trees in
+  let delta = (2 * tau) + 1 in
+  let cand_timer = Timer.create () in
+  let verify_timer = Timer.create () in
+  let rng =
+    match partitioning with
+    | Balanced -> None
+    | Random seed -> Some (Tsj_util.Prng.create seed)
+  in
+  let sizes = Array.map Tree.size trees in
+  let order = Array.init n (fun i -> i) in
+  Array.sort
+    (fun a b -> if sizes.(a) <> sizes.(b) then compare sizes.(a) sizes.(b) else compare a b)
+    order;
+  let entries : (int, size_entry) Hashtbl.t = Hashtbl.create 64 in
+  let entry_for size =
+    match Hashtbl.find_opt entries size with
+    | Some e -> e
+    | None ->
+      let e = { index = Two_layer_index.create ~mode:index_mode ~tau (); small = [] } in
+      Hashtbl.add entries size e;
+      e
+  in
+  let preps : Ted.prep option array = Array.make n None in
+  let prep i =
+    match preps.(i) with
+    | Some p -> p
+    | None ->
+      let p = Ted.preprocess trees.(i) in
+      preps.(i) <- Some p;
+      p
+  in
+  let n_probed = ref 0 in
+  let n_matched = ref 0 in
+  let n_small_hits = ref 0 in
+  let n_indexed = ref 0 in
+  let window_pairs = ref 0 in
+  (* Candidate pairs are collected during the sweep and verified in one
+     deferred batch: verification is a pure function of the preprocessed
+     trees, which lets it run on several domains when asked. *)
+  let candidate_pairs = ref [] in
+  (* Trees already paired with the current tree in this iteration. *)
+  let checked : (int, unit) Hashtbl.t = Hashtbl.create 64 in
+  for b = 0 to n - 1 do
+    let ti = order.(b) in
+    let size_i = sizes.(ti) in
+    Hashtbl.reset checked;
+    Timer.start cand_timer;
+    let btree = Binary_tree.of_tree trees.(ti) in
+    (* Candidate generation: probe the inverted lists of every admissible
+       size. *)
+    let pending = ref [] in
+    for size_j = max 1 (size_i - tau) to size_i do
+      match Hashtbl.find_opt entries size_j with
+      | None -> ()
+      | Some entry ->
+        (* Sub-δ trees in the window are always candidates. *)
+        List.iter
+          (fun tj ->
+            if not (Hashtbl.mem checked tj) then begin
+              Hashtbl.add checked tj ();
+              incr n_small_hits;
+              pending := tj :: !pending
+            end)
+          entry.small;
+        for v = 0 to size_i - 1 do
+          Two_layer_index.probe entry.index btree v (fun s ->
+              incr n_probed;
+              let tj = s.Subgraph.tree_id in
+              if not (Hashtbl.mem checked tj) then
+                if Subgraph.matches s btree v then begin
+                  incr n_matched;
+                  Hashtbl.add checked tj ();
+                  pending := tj :: !pending
+                end)
+        done
+    done;
+    Timer.stop cand_timer;
+    List.iter (fun tj -> candidate_pairs := (ti, tj) :: !candidate_pairs) !pending;
+    (* Index the current tree for subsequent iterations. *)
+    Timer.start cand_timer;
+    let entry = entry_for size_i in
+    if size_i < delta then entry.small <- ti :: entry.small
+    else begin
+      let part =
+        match rng with
+        | None -> Partition.partition btree ~delta
+        | Some rng -> Partition.random_partition rng btree ~delta
+      in
+      Array.iter
+        (fun s ->
+          Two_layer_index.insert entry.index s;
+          incr n_indexed)
+        (Subgraph.of_partition ~tree_id:ti part)
+    end;
+    Timer.stop cand_timer
+  done;
+  (* Deferred verification, optionally on several domains.  Preprocessing
+     is completed sequentially first: the per-tree caches are not safe to
+     fill concurrently, while the distance computations only read them. *)
+  let pairs_arr = Array.of_list (List.rev !candidate_pairs) in
+  let distances =
+    Timer.time verify_timer (fun () ->
+        Array.iter
+          (fun (i, j) ->
+            ignore (prep i);
+            ignore (prep j))
+          pairs_arr;
+        Tsj_join.Parallel.map ~domains:verify_domains
+          (fun (i, j) ->
+            if bounded_verify then
+              Tsj_join.Sweep.verify_bounded ?metric ~tau (prep i) (prep j)
+            else Tsj_join.Sweep.verify_distance ?metric (prep i) (prep j))
+          pairs_arr)
+  in
+  let results = ref [] in
+  Array.iteri
+    (fun idx (i, j) ->
+      let d = distances.(idx) in
+      if d <= tau then begin
+        let a = min i j and b = max i j in
+        results := { Types.i = a; j = b; distance = d } :: !results
+      end)
+    pairs_arr;
+  let candidates = ref (Array.length pairs_arr) in
+  (* Window-pair count (the shared universe statistic): trees are sorted by
+     size, so a sliding lower pointer suffices. *)
+  let lo = ref 0 in
+  for b = 0 to n - 1 do
+    while sizes.(order.(b)) - sizes.(order.(!lo)) > tau do
+      incr lo
+    done;
+    window_pairs := !window_pairs + (b - !lo)
+  done;
+  let pairs = List.rev !results in
+  ( {
+      Types.pairs;
+      stats =
+        {
+          Types.n_trees = n;
+          tau;
+          n_window_pairs = !window_pairs;
+          n_candidates = !candidates;
+          n_results = List.length pairs;
+          candidate_time_s = Timer.elapsed_s cand_timer;
+          verify_time_s = Timer.elapsed_s verify_timer;
+        };
+    },
+    {
+      n_probed = !n_probed;
+      n_matched = !n_matched;
+      n_small_tree_hits = !n_small_hits;
+      n_subgraphs_indexed = !n_indexed;
+    } )
+
+let join ?partitioning ?index_mode ?verify_domains ?bounded_verify ?metric ~trees ~tau
+    () =
+  fst
+    (join_with_probe_stats ?partitioning ?index_mode ?verify_domains ?bounded_verify
+       ?metric ~trees ~tau ())

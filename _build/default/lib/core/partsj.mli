@@ -1,0 +1,65 @@
+(** PartSJ — the paper's partition-based tree similarity self-join
+    (Algorithm 1, the method called PRT in the evaluation).
+
+    Trees are processed in ascending size order.  For the current tree
+    [Ti], the subgraphs of previously processed trees with size in
+    [|Ti| - τ .. |Ti|] are probed through the per-size two-layer indexes:
+    every node [N] of [Ti] selects only the subgraphs whose postorder
+    group and twig key are compatible with [N]; a selected subgraph that
+    actually matches makes its container tree a candidate, verified once
+    with the exact TED.  Finally [Ti] itself is partitioned into
+    [δ = 2τ + 1] balanced subgraphs and inserted into the index — the
+    index is built on-the-fly, there is no offline phase.
+
+    Trees with fewer than [δ] nodes cannot be δ-partitioned (a tree of
+    [n] nodes has only [n - 1] edges); they are kept in per-size overflow
+    lists and treated as always-candidates within the size window, which
+    preserves completeness (such trees have at most [2τ] nodes, so they
+    are both rare and cheap to verify). *)
+
+type partitioning =
+  | Balanced          (** max-min-size partitioning (Section 3.3) *)
+  | Random of int     (** seeded random bridging edges — ablation *)
+
+val join :
+  ?partitioning:partitioning ->
+  ?index_mode:Two_layer_index.mode ->
+  ?verify_domains:int ->
+  ?bounded_verify:bool ->
+  ?metric:Tsj_join.Sweep.metric ->
+  trees:Tsj_tree.Tree.t array ->
+  tau:int ->
+  unit ->
+  Tsj_join.Types.output
+(** @raise Invalid_argument if [tau < 0].  [index_mode] defaults to the
+    sound {!Two_layer_index.Two_sided} windows; with
+    {!Two_layer_index.Paper_rank} the join is faster but may miss result
+    pairs (see {!Two_layer_index}).  [verify_domains] (default 1) runs the
+    deferred exact-TED verification batch on that many OCaml domains —
+    the paper's "multi-core architectures" future-work point.  [metric]
+    swaps the verifier (default: unrestricted TED); any metric that never
+    underestimates TED — e.g. {!Tsj_ted.Constrained} — keeps the subgraph
+    filter lossless, realizing the paper's "other tree distance metrics"
+    future-work point.  [bounded_verify] (default [true]) verifies with
+    the τ-banded DP, which is exact for all distances up to [τ]; pass
+    [false] to force the full cubic verifier (ablation). *)
+
+type probe_stats = {
+  n_probed : int;        (** subgraphs returned by index probes *)
+  n_matched : int;       (** probed subgraphs that matched *)
+  n_small_tree_hits : int; (** candidates from the sub-δ overflow lists *)
+  n_subgraphs_indexed : int;
+}
+
+val join_with_probe_stats :
+  ?partitioning:partitioning ->
+  ?index_mode:Two_layer_index.mode ->
+  ?verify_domains:int ->
+  ?bounded_verify:bool ->
+  ?metric:Tsj_join.Sweep.metric ->
+  trees:Tsj_tree.Tree.t array ->
+  tau:int ->
+  unit ->
+  Tsj_join.Types.output * probe_stats
+(** Same join, also reporting index-behaviour counters (used by the
+    ablation benches and tests). *)

@@ -1,0 +1,187 @@
+module Tree = Tsj_tree.Tree
+module Binary_tree = Tsj_tree.Binary_tree
+module Ted = Tsj_ted.Ted
+module Types = Tsj_join.Types
+module Timer = Tsj_util.Timer
+
+type size_entry = { index : Two_layer_index.t; mutable small : int list }
+
+type t = {
+  tau : int;
+  trees : Tree.t array;
+  preps : Ted.prep array;
+  entries : (int, size_entry) Hashtbl.t; (* size -> inverted list *)
+}
+
+let build ?(mode = Two_layer_index.Two_sided) ~tau trees =
+  if tau < 0 then invalid_arg "Search.build: negative threshold";
+  let delta = (2 * tau) + 1 in
+  let entries = Hashtbl.create 64 in
+  let entry_for size =
+    match Hashtbl.find_opt entries size with
+    | Some e -> e
+    | None ->
+      let e = { index = Two_layer_index.create ~mode ~tau (); small = [] } in
+      Hashtbl.add entries size e;
+      e
+  in
+  Array.iteri
+    (fun id tree ->
+      let btree = Binary_tree.of_tree tree in
+      let entry = entry_for btree.Binary_tree.size in
+      if btree.Binary_tree.size < delta then entry.small <- id :: entry.small
+      else begin
+        let part = Partition.partition btree ~delta in
+        Array.iter
+          (Two_layer_index.insert entry.index)
+          (Subgraph.of_partition ~tree_id:id part)
+      end)
+    trees;
+  { tau; trees; preps = Array.map Ted.preprocess trees; entries }
+
+let tau t = t.tau
+
+let n_trees t = Array.length t.trees
+
+let candidates t ?(tau = t.tau) q =
+  if tau > t.tau then
+    invalid_arg
+      (Printf.sprintf "Search.query: tau = %d exceeds the index threshold %d" tau t.tau);
+  if tau < 0 then invalid_arg "Search.query: negative threshold";
+  let qb = Binary_tree.of_tree q in
+  let qsize = qb.Binary_tree.size in
+  let found = Hashtbl.create 16 in
+  (* Unlike the self-join sweep, indexed trees may be larger than the
+     query: probe the whole [qsize ± tau] size band. *)
+  for size = max 1 (qsize - tau) to qsize + tau do
+    match Hashtbl.find_opt t.entries size with
+    | None -> ()
+    | Some entry ->
+      List.iter (fun id -> Hashtbl.replace found id ()) entry.small;
+      for v = 0 to qsize - 1 do
+        Two_layer_index.probe entry.index qb v (fun s ->
+            let id = s.Subgraph.tree_id in
+            if not (Hashtbl.mem found id) then
+              if Subgraph.matches s qb v then Hashtbl.replace found id ())
+      done
+  done;
+  Hashtbl.fold (fun id () acc -> id :: acc) found []
+
+let query ?tau t q =
+  let tau = Option.value tau ~default:t.tau in
+  let qprep = Ted.preprocess q in
+  candidates t ~tau q
+  |> List.filter_map (fun id ->
+         let d = Ted.bounded_distance_prep qprep t.preps.(id) tau in
+         if d <= tau then Some (id, d) else None)
+  |> List.sort (fun (i1, d1) (i2, d2) ->
+         if d1 <> d2 then compare d1 d2 else compare i1 i2)
+
+let format_line = "tsj-search-index v1"
+
+let save t path =
+  Out_channel.with_open_text path (fun oc ->
+      Printf.fprintf oc "# %s\n# tau %d\n" format_line t.tau;
+      Array.iter
+        (fun tree ->
+          Out_channel.output_string oc (Tsj_tree.Bracket.to_string tree);
+          Out_channel.output_char oc '\n')
+        t.trees)
+
+let load path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | exception Sys_error msg -> Error msg
+  | contents ->
+    let lines = String.split_on_char '\n' contents in
+    (match lines with
+    | header :: tau_line :: rest when header = "# " ^ format_line ->
+      (match String.split_on_char ' ' tau_line with
+      | [ "#"; "tau"; tau_s ] ->
+        (match int_of_string_opt tau_s with
+        | Some tau when tau >= 0 ->
+          (match Tsj_tree.Bracket.forest_of_string (String.concat "\n" rest) with
+          | Ok trees -> Ok (build ~tau (Array.of_list trees))
+          | Error msg -> Error msg)
+        | Some _ | None -> Error "corrupt tau header")
+      | _ -> Error "corrupt tau header")
+    | _ -> Error "not a tsj search index file")
+
+let nearest ~k t q =
+  if k < 0 then invalid_arg "Search.nearest: negative k";
+  if k = 0 then []
+  else begin
+    let qprep = Ted.preprocess q in
+    let dist_cache : (int, int) Hashtbl.t = Hashtbl.create 64 in
+    let dist id =
+      match Hashtbl.find_opt dist_cache id with
+      | Some d -> d
+      | None ->
+        (* distances beyond the index threshold are never reported *)
+        let d = Ted.bounded_distance_prep qprep t.preps.(id) t.tau in
+        Hashtbl.add dist_cache id d;
+        d
+    in
+    let sorted_hits tau' =
+      Hashtbl.fold (fun id d acc -> if d <= tau' then (id, d) :: acc else acc) dist_cache []
+      |> List.sort (fun (i1, d1) (i2, d2) ->
+             if d1 <> d2 then compare d1 d2 else compare i1 i2)
+    in
+    (* Expand the radius until k trees are within it; every tree within
+       radius tau' is guaranteed found by the radius-tau' candidate set,
+       so once hits >= k the closest k are final. *)
+    let rec expand tau' =
+      List.iter (fun id -> ignore (dist id)) (candidates t ~tau:tau' q);
+      let hits = sorted_hits tau' in
+      if List.length hits >= k || tau' = t.tau then hits else expand (tau' + 1)
+    in
+    let hits = expand 0 in
+    List.filteri (fun i _ -> i < k) hits
+  end
+
+let join_with ?tau t probes =
+  let tau = Option.value tau ~default:t.tau in
+  let cand_timer = Timer.create () in
+  let verify_timer = Timer.create () in
+  let n_candidates = ref 0 in
+  let pairs = ref [] in
+  Array.iteri
+    (fun j q ->
+      let cands = Timer.time cand_timer (fun () -> candidates t ~tau q) in
+      let qprep = Timer.time verify_timer (fun () -> Ted.preprocess q) in
+      List.iter
+        (fun i ->
+          incr n_candidates;
+          let d =
+            Timer.time verify_timer (fun () ->
+                Ted.bounded_distance_prep qprep t.preps.(i) tau)
+          in
+          if d <= tau then pairs := { Types.i; j; distance = d } :: !pairs)
+        cands)
+    probes;
+  let pairs = List.rev !pairs in
+  (* The window statistic for a non-self join: probe-indexed pairs within
+     the size band. *)
+  let window =
+    let sizes_indexed = Array.map Tree.size t.trees in
+    Array.fold_left
+      (fun acc q ->
+        let qs = Tree.size q in
+        acc
+        + Array.fold_left
+            (fun acc s -> if abs (s - qs) <= tau then acc + 1 else acc)
+            0 sizes_indexed)
+      0 probes
+  in
+  {
+    Types.pairs;
+    stats =
+      {
+        Types.n_trees = Array.length t.trees + Array.length probes;
+        tau;
+        n_window_pairs = window;
+        n_candidates = !n_candidates;
+        n_results = List.length pairs;
+        candidate_time_s = Timer.elapsed_s cand_timer;
+        verify_time_s = Timer.elapsed_s verify_timer;
+      };
+  }

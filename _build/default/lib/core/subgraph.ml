@@ -1,0 +1,84 @@
+module Binary_tree = Tsj_tree.Binary_tree
+module Label = Tsj_tree.Label
+
+type t = {
+  tree_id : int;
+  tree_size : int;
+  btree : Binary_tree.t;
+  assignment : int array;
+  component : int;
+  root : int;
+  root_gpost : int;
+  rank : int;
+  n_nodes : int;
+  incoming : Binary_tree.child_kind;
+}
+
+let of_partition ~tree_id (p : Partition.t) =
+  let b = p.Partition.btree in
+  let sizes = Partition.component_sizes p in
+  (* The paper orders a tree's subgraphs by the general-postorder number of
+     their root (the identifiers p_1 < ... < p_delta of Section 3.4); that
+     order defines the rank k.  It can differ from the binary-postorder
+     order of the component roots. *)
+  let by_gpost = Array.init p.Partition.delta (fun k -> k) in
+  Array.sort
+    (fun k1 k2 ->
+      compare b.Binary_tree.gpost.(p.Partition.roots.(k1))
+        b.Binary_tree.gpost.(p.Partition.roots.(k2)))
+    by_gpost;
+  Array.mapi
+    (fun rank0 k ->
+      let root = p.Partition.roots.(k) in
+      {
+        tree_id;
+        tree_size = b.Binary_tree.size;
+        btree = b;
+        assignment = p.Partition.assignment;
+        component = k;
+        root;
+        root_gpost = b.Binary_tree.gpost.(root);
+        rank = rank0 + 1;
+        n_nodes = sizes.(k);
+        incoming = b.Binary_tree.kind.(root);
+      })
+    by_gpost
+
+let slot s child =
+  if child < 0 then Label.epsilon
+  else if s.assignment.(child) <> s.component then Label.epsilon
+  else s.btree.Binary_tree.label.(child)
+
+let label_key s =
+  let b = s.btree in
+  ( b.Binary_tree.label.(s.root),
+    slot s b.Binary_tree.left.(s.root),
+    slot s b.Binary_tree.right.(s.root) )
+
+let matches s (target : Binary_tree.t) v =
+  let src = s.btree in
+  (* The component root must preserve whether it has an incoming edge at
+     all (tree root vs. hanging off a bridging edge), but NOT the edge's
+     left/right category: deleting a node makes its first child take the
+     deleted node's place in the sibling chain, flipping that child's
+     incoming category even though the child's subgraph is otherwise
+     untouched.  Matching the category (as the paper's Figure 7 narrative
+     does) would make deletions touch three subgraphs and break Lemma 1 /
+     Lemma 2 at delta = 2*tau + 1 — see DESIGN.md, finding 3. *)
+  (s.incoming = Binary_tree.Root) = (target.Binary_tree.kind.(v) = Binary_tree.Root)
+  &&
+  let rec walk u v =
+    src.Binary_tree.label.(u) = target.Binary_tree.label.(v)
+    && check src.Binary_tree.left.(u) target.Binary_tree.left.(v)
+    && check src.Binary_tree.right.(u) target.Binary_tree.right.(v)
+  and check uc vc =
+    if uc < 0 then vc < 0 (* no edge in the component: none allowed in T *)
+    else if s.assignment.(uc) <> s.component then vc >= 0 (* bridging edge *)
+    else vc >= 0 && walk uc vc
+  in
+  walk s.root v
+
+let occurs_in s target =
+  let n = target.Binary_tree.size in
+  let rec scan v = v < n && (matches s target v || scan (v + 1)) in
+  scan 0

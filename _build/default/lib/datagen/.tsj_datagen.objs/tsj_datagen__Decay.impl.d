@@ -1,0 +1,1 @@
+lib/datagen/decay.ml: Array Tsj_tree Tsj_util

@@ -1,0 +1,1 @@
+lib/datagen/decay.mli: Tsj_tree Tsj_util

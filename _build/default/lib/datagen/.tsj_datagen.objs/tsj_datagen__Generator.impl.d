@@ -1,0 +1,1 @@
+lib/datagen/generator.ml: Array List Printf Tsj_tree Tsj_util

@@ -1,0 +1,1 @@
+lib/datagen/generator.mli: Tsj_tree Tsj_util

@@ -1,0 +1,1 @@
+lib/datagen/profiles.ml: Array Decay Generator Hashtbl Int List Printf Set String Tsj_tree Tsj_util

@@ -1,0 +1,1 @@
+lib/datagen/profiles.mli: Generator Tsj_tree

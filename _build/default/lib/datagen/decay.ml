@@ -1,0 +1,18 @@
+module Tree = Tsj_tree.Tree
+module Edit_op = Tsj_tree.Edit_op
+module Prng = Tsj_util.Prng
+
+let default_dz = 0.05
+
+let perturb rng ~dz ~labels tree =
+  if dz < 0.0 || dz > 1.0 then invalid_arg "Decay.perturb: dz must be in [0,1]";
+  if Array.length labels = 0 then invalid_arg "Decay.perturb: empty label alphabet";
+  let n = Tree.size tree in
+  let changes = ref 0 in
+  for _ = 1 to n do
+    if Prng.float rng < dz then incr changes
+  done;
+  let _ops, result = Edit_op.random_script rng ~labels !changes tree in
+  result
+
+let perturb_all rng ~dz ~labels trees = Array.map (perturb rng ~dz ~labels) trees

@@ -1,0 +1,24 @@
+(** The decay perturbation model of the paper's synthetic workloads
+    (adopted from Yang et al. [27]): every node of a generated tree is
+    changed with probability [Dz]; a change is an insertion, a deletion or
+    a renaming with equal probability.  The paper fixes [Dz = 0.05]. *)
+
+val default_dz : float
+(** 0.05, as in the paper. *)
+
+val perturb :
+  Tsj_util.Prng.t ->
+  dz:float ->
+  labels:Tsj_tree.Label.t array ->
+  Tsj_tree.Tree.t ->
+  Tsj_tree.Tree.t
+(** Draws the number of changes as Binomial(size, dz) and applies that many
+    random edit operations.  @raise Invalid_argument if [dz] is outside
+    [\[0,1\]] or [labels] is empty. *)
+
+val perturb_all :
+  Tsj_util.Prng.t ->
+  dz:float ->
+  labels:Tsj_tree.Label.t array ->
+  Tsj_tree.Tree.t array ->
+  Tsj_tree.Tree.t array

@@ -1,0 +1,151 @@
+module Tree = Tsj_tree.Tree
+module Label = Tsj_tree.Label
+module Prng = Tsj_util.Prng
+
+type params = {
+  max_fanout : int;
+  max_depth : int;
+  n_labels : int;
+  avg_size : int;
+  size_jitter : float;
+}
+
+let default =
+  { max_fanout = 3; max_depth = 5; n_labels = 20; avg_size = 80; size_jitter = 0.25 }
+
+let validate p =
+  if p.max_fanout < 1 then invalid_arg "Generator: max_fanout must be >= 1";
+  if p.max_depth < 1 then invalid_arg "Generator: max_depth must be >= 1";
+  if p.n_labels < 1 then invalid_arg "Generator: n_labels must be >= 1";
+  if p.avg_size < 1 then invalid_arg "Generator: avg_size must be >= 1";
+  if p.size_jitter < 0.0 || p.size_jitter >= 1.0 then
+    invalid_arg "Generator: size_jitter must be in [0,1)"
+
+let saturation = 1 lsl 30
+
+(* (f^d - 1) / (f - 1), saturating. *)
+let capacity ~max_fanout ~max_depth =
+  if max_fanout <= 1 then max_depth
+  else begin
+    let rec go levels nodes level_width =
+      if levels = 0 || nodes >= saturation then min nodes saturation
+      else
+        let level_width = min saturation (level_width * max_fanout) in
+        go (levels - 1) (min saturation (nodes + level_width)) level_width
+    in
+    go (max_depth - 1) 1 1
+  end
+
+let clamp_size p target =
+  let cap = capacity ~max_fanout:p.max_fanout ~max_depth:p.max_depth in
+  (* Leave 10% slack so the recursive splitter is never forced into the
+     single maximal shape. *)
+  let safe_cap = max 1 (cap - (cap / 10)) in
+  max 1 (min target safe_cap)
+
+let alphabet p = Array.init p.n_labels (fun i -> Label.intern (Printf.sprintf "L%d" i))
+
+(* Build a tree with exactly [budget] nodes, fanout/depth respecting.
+   [depth_left] counts remaining levels including this node's. *)
+let rec build rng ~labels ~max_fanout ~depth_left budget =
+  assert (budget >= 1);
+  let label = Prng.choice rng labels in
+  let remaining = budget - 1 in
+  if remaining = 0 || depth_left <= 1 then Tree.leaf label
+  else begin
+    let child_cap = capacity ~max_fanout ~max_depth:(depth_left - 1) in
+    (* Need c children with 1 <= part_i <= child_cap summing to remaining. *)
+    let c_min = (remaining + child_cap - 1) / child_cap in
+    let c_max = min max_fanout remaining in
+    let c = Prng.int_in rng (max 1 c_min) (max c_min c_max) in
+    let children = ref [] in
+    let left = ref remaining in
+    for i = c downto 1 do
+      (* Children still to fill after this one: i - 1. *)
+      let lo = max 1 (!left - ((i - 1) * child_cap)) in
+      let hi = min child_cap (!left - (i - 1)) in
+      let part = if lo >= hi then lo else Prng.int_in rng lo hi in
+      left := !left - part;
+      children :=
+        build rng ~labels ~max_fanout ~depth_left:(depth_left - 1) part :: !children
+    done;
+    assert (!left = 0);
+    Tree.node label !children
+  end
+
+let target_size rng p =
+  let t = float_of_int p.avg_size in
+  let lo = int_of_float (t *. (1.0 -. p.size_jitter)) in
+  let hi = int_of_float (t *. (1.0 +. p.size_jitter)) in
+  clamp_size p (Prng.int_in rng (max 1 lo) (max 1 hi))
+
+let random_tree rng p =
+  validate p;
+  let labels = alphabet p in
+  let budget = target_size rng p in
+  build rng ~labels ~max_fanout:p.max_fanout ~depth_left:p.max_depth budget
+
+let random_trees rng p n = Array.init n (fun _ -> random_tree rng p)
+
+module Mother = struct
+  (* Array form of the template for fast repeated sampling:
+     children.(i) lists the node ids of node i's children in order. *)
+  type t = {
+    tree : Tree.t;
+    labels : int array;
+    children : int array array;
+    root : int;
+    size : int;
+  }
+
+  let create rng p =
+    validate p;
+    let lbls = alphabet p in
+    let cap = capacity ~max_fanout:p.max_fanout ~max_depth:p.max_depth in
+    let mother_size = clamp_size p (min (max (3 * p.avg_size) (p.avg_size + 20)) cap) in
+    let tree =
+      build rng ~labels:lbls ~max_fanout:p.max_fanout ~depth_left:p.max_depth mother_size
+    in
+    let n = Tree.size tree in
+    let labels = Array.make n 0 in
+    let children = Array.make n [||] in
+    let counter = ref 0 in
+    let rec index (node : Tree.t) =
+      let child_ids = List.map index node.children in
+      let me = !counter in
+      incr counter;
+      labels.(me) <- node.label;
+      children.(me) <- Array.of_list child_ids;
+      me
+    in
+    let root = index tree in
+    { tree; labels; children; root; size = n }
+
+  let tree m = m.tree
+
+  let sample rng m ~target_size =
+    let target = max 1 (min target_size m.size) in
+    let included = Array.make m.size false in
+    included.(m.root) <- true;
+    let frontier = Tsj_util.Vec_int.create () in
+    Array.iter (Tsj_util.Vec_int.push frontier) m.children.(m.root);
+    let taken = ref 1 in
+    while !taken < target && not (Tsj_util.Vec_int.is_empty frontier) do
+      (* Swap-remove a uniformly random frontier node. *)
+      let i = Prng.int rng (Tsj_util.Vec_int.length frontier) in
+      let v = Tsj_util.Vec_int.get frontier i in
+      let last = Tsj_util.Vec_int.pop frontier in
+      if i < Tsj_util.Vec_int.length frontier then Tsj_util.Vec_int.set frontier i last;
+      included.(v) <- true;
+      incr taken;
+      Array.iter (Tsj_util.Vec_int.push frontier) m.children.(v)
+    done;
+    let rec rebuild id =
+      let kids =
+        Array.to_list m.children.(id)
+        |> List.filter_map (fun c -> if included.(c) then Some (rebuild c) else None)
+      in
+      Tree.node m.labels.(id) kids
+    in
+    rebuild m.root
+end

@@ -1,0 +1,62 @@
+(** Synthetic tree generation in the style of Zaki's TreeGenerator [28],
+    which the paper uses for its synthetic datasets and sensitivity study
+    (Table 1: maximum fanout [f], maximum depth [d], number of labels [l],
+    average tree size [t]).
+
+    Two generation modes are provided:
+
+    - {!random_tree} draws an independent tree: a target size is sampled
+      around [avg_size] and node budget is split recursively among a random
+      number of children, respecting the fanout and depth caps.
+    - {!Mother.sample} mimics Zaki's mother-tree construction: every
+      dataset tree is a random root-containing connected subtree of a large
+      shared template ("mother") tree.  Trees sampled from the same mother
+      share large fragments, which is what makes similarity-join results
+      non-empty — exactly the role the mother tree plays in [28]. *)
+
+type params = {
+  max_fanout : int;   (** [f]: no node has more children than this *)
+  max_depth : int;    (** [d]: no root-to-leaf path has more nodes than this *)
+  n_labels : int;     (** [l]: size of the label alphabet *)
+  avg_size : int;     (** [t]: average number of nodes per tree *)
+  size_jitter : float;(** relative half-width of the uniform size range *)
+}
+
+val default : params
+(** The paper's synthetic defaults: [f = 3], [d = 5], [l = 20], [t = 80],
+    with 25% size jitter. *)
+
+val capacity : max_fanout:int -> max_depth:int -> int
+(** Maximum node count of a tree respecting the caps (saturates at a large
+    value instead of overflowing). *)
+
+val clamp_size : params -> int -> int
+(** Clamp a target size to what the fanout/depth caps allow (with a small
+    safety margin so generation never gets cornered). *)
+
+val alphabet : params -> Tsj_tree.Label.t array
+(** The interned label pool ["L0" .. "L(l-1)"]. *)
+
+val random_tree : Tsj_util.Prng.t -> params -> Tsj_tree.Tree.t
+(** One independent random tree.  @raise Invalid_argument on nonsensical
+    parameters ([max_fanout < 1], [max_depth < 1], [n_labels < 1],
+    [avg_size < 1]). *)
+
+val random_trees : Tsj_util.Prng.t -> params -> int -> Tsj_tree.Tree.t array
+
+module Mother : sig
+  type t
+  (** A template tree prepared for repeated subtree sampling. *)
+
+  val create : Tsj_util.Prng.t -> params -> t
+  (** Builds a mother tree larger than [avg_size] (as large as the caps
+      allow, up to a few multiples of the average). *)
+
+  val tree : t -> Tsj_tree.Tree.t
+
+  val sample : Tsj_util.Prng.t -> t -> target_size:int -> Tsj_tree.Tree.t
+  (** A uniform-ish random connected subtree containing the mother's root,
+      grown frontier-node-by-frontier-node to [target_size] (capped by the
+      mother's size).  Child order and labels are inherited from the
+      mother. *)
+end

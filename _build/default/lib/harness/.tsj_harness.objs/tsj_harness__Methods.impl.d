@@ -1,0 +1,1 @@
+lib/harness/methods.ml: List String Tsj_baselines Tsj_core Tsj_join

@@ -1,0 +1,1 @@
+lib/harness/methods.mli: Tsj_join Tsj_tree

@@ -1,0 +1,1 @@
+lib/harness/table.ml: Buffer List Printf String

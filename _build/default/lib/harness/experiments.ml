@@ -1,0 +1,343 @@
+module Types = Tsj_join.Types
+module Profiles = Tsj_datagen.Profiles
+module Generator = Tsj_datagen.Generator
+
+type config = { scale : float; seed : int; taus : int list; out : out_channel }
+
+let default_config = { scale = 1.0; seed = 42; taus = [ 1; 2; 3; 4; 5 ]; out = stdout }
+
+(* Laptop-scale default cardinalities per dataset (paper: 100K / 50K /
+   10K / 10K). *)
+let base_cardinality (p : Profiles.t) =
+  match p.Profiles.name with
+  | "swissprot" -> 1200
+  | "treebank" -> 1200
+  | "sentiment" -> 800
+  | _ -> 800
+
+let cardinality config profile =
+  max 10 (int_of_float (float_of_int (base_cardinality profile) *. config.scale))
+
+let printf config fmt = Printf.fprintf config.out fmt
+
+let dataset config profile n =
+  let trees = Profiles.instantiate profile ~seed:config.seed ~n in
+  printf config "  [%s: %s]\n%!" profile.Profiles.name (Profiles.describe trees);
+  trees
+
+(* One instrumented run; rows feed both the runtime and candidate tables. *)
+type row = { method_ : Methods.t; label : string; output : Types.output }
+
+let run_method config ~trees ~tau ~label method_ =
+  let output = Methods.run method_ ~trees ~tau in
+  printf config "    %s tau=%d %s: %s\n%!" (Methods.name method_) tau label
+    (Format.asprintf "%a" Types.pp_stats output.Types.stats);
+  { method_; label; output }
+
+let runtime_table config ~key rows =
+  Table.print ~out:config.out
+    ~header:[ key; "method"; "cand-gen"; "TED verify"; "total"; "candidates"; "results" ]
+    ~align:[ Table.Left; Left; Right; Right; Right; Right; Right ]
+    (List.map
+       (fun r ->
+         let s = r.output.Types.stats in
+         [
+           r.label;
+           Methods.name r.method_;
+           Table.seconds s.Types.candidate_time_s;
+           Table.seconds s.Types.verify_time_s;
+           Table.seconds (Types.total_time_s s);
+           Table.count s.Types.n_candidates;
+           Table.count s.Types.n_results;
+         ])
+       rows)
+
+let candidate_table config ~key rows =
+  (* Figures 11/13: one row per x-value, one column per method, plus REL. *)
+  (* Preserve first-occurrence order: numeric labels sort wrongly as
+     strings ("n=1200" < "n=240"). *)
+  let dedupe xs =
+    List.rev
+      (List.fold_left (fun acc x -> if List.mem x acc then acc else x :: acc) [] xs)
+  in
+  let labels = dedupe (List.map (fun r -> r.label) rows) in
+  let methods = dedupe (List.map (fun r -> r.method_) rows) in
+  let find label m =
+    List.find_opt (fun r -> r.label = label && r.method_ = m) rows
+  in
+  let header = key :: List.map Methods.name methods @ [ "REL" ] in
+  let data =
+    List.map
+      (fun label ->
+        let cells =
+          List.map
+            (fun m ->
+              match find label m with
+              | Some r -> Table.count r.output.Types.stats.Types.n_candidates
+              | None -> "-")
+            methods
+        in
+        let rel =
+          match List.find_opt (fun r -> r.label = label) rows with
+          | Some r -> Table.count r.output.Types.stats.Types.n_results
+          | None -> "-"
+        in
+        (label :: cells) @ [ rel ])
+      labels
+  in
+  Table.print ~out:config.out ~header
+    ~align:(Table.Left :: List.map (fun _ -> Table.Right) (List.tl header))
+    data
+
+(* --- Figures 10 & 11: vary tau on the four datasets --- *)
+
+let fig10_11 config =
+  Table.heading ~out:config.out
+    "Figures 10 & 11 — runtime split and candidate counts vs TED threshold";
+  List.iter
+    (fun profile ->
+      let n = cardinality config profile in
+      printf config "\n-- dataset %s (n = %d) --\n" profile.Profiles.name n;
+      let trees = dataset config profile n in
+      let rows =
+        List.concat_map
+          (fun tau ->
+            List.map
+              (fun m ->
+                run_method config ~trees ~tau ~label:(Printf.sprintf "tau=%d" tau) m)
+              Methods.paper_methods)
+          config.taus
+      in
+      printf config "\n  Figure 10 (%s): runtime\n" profile.Profiles.name;
+      runtime_table config ~key:"tau" rows;
+      printf config "\n  Figure 11 (%s): candidates\n" profile.Profiles.name;
+      candidate_table config ~key:"tau" rows)
+    Profiles.all
+
+(* --- Figures 12 & 13: vary cardinality at tau = 3 --- *)
+
+let fig12_13 config =
+  Table.heading ~out:config.out
+    "Figures 12 & 13 — runtime split and candidate counts vs dataset cardinality (tau=3)";
+  let tau = 3 in
+  List.iter
+    (fun profile ->
+      let full = cardinality config profile in
+      let steps = List.map (fun f -> max 10 (full * f / 5)) [ 1; 2; 3; 4; 5 ] in
+      printf config "\n-- dataset %s (n = %s) --\n" profile.Profiles.name
+        (String.concat ", " (List.map string_of_int steps));
+      let all_trees = dataset config profile full in
+      let rows =
+        List.concat_map
+          (fun n ->
+            let trees = Array.sub all_trees 0 n in
+            List.map
+              (fun m ->
+                run_method config ~trees ~tau ~label:(Printf.sprintf "n=%d" n) m)
+              Methods.paper_methods)
+          steps
+      in
+      printf config "\n  Figure 12 (%s): runtime\n" profile.Profiles.name;
+      runtime_table config ~key:"cardinality" rows;
+      printf config "\n  Figure 13 (%s): candidates\n" profile.Profiles.name;
+      candidate_table config ~key:"cardinality" rows)
+    Profiles.all
+
+(* --- Table 1 + Figure 14: sensitivity to the generator parameters --- *)
+
+let fig14 config =
+  Table.heading ~out:config.out
+    "Table 1 + Figure 14 — sensitivity to tree parameters (synthetic, tau=3)";
+  let tau = 3 in
+  let n = max 10 (int_of_float (600.0 *. config.scale)) in
+  let base = Profiles.synthetic in
+  let sweeps =
+    [
+      ( "maximum fanout f",
+        List.map
+          (fun f -> (Printf.sprintf "f=%d" f, { base.Profiles.params with Generator.max_fanout = f }))
+          [ 2; 3; 4; 5; 6 ] );
+      ( "maximum depth d",
+        List.map
+          (fun d -> (Printf.sprintf "d=%d" d, { base.Profiles.params with Generator.max_depth = d }))
+          [ 4; 5; 6; 7; 8 ] );
+      ( "number of labels l",
+        List.map
+          (fun l -> (Printf.sprintf "l=%d" l, { base.Profiles.params with Generator.n_labels = l }))
+          [ 3; 5; 10; 20; 50 ] );
+      ( "average tree size t",
+        List.map
+          (fun t ->
+            (* Table 1 combines t up to 200 with f = 3, d = 5, which no
+               tree can satisfy (capacity(3,5) = 121): raise the depth cap
+               just enough for the size target, as the printed dataset
+               stats make visible. *)
+            let rec fit d =
+              if Generator.capacity ~max_fanout:3 ~max_depth:d >= t + (t / 4) then d
+              else fit (d + 1)
+            in
+            ( Printf.sprintf "t=%d" t,
+              {
+                base.Profiles.params with
+                Generator.avg_size = t;
+                max_depth = max base.Profiles.params.Generator.max_depth (fit 1);
+              } ))
+          [ 40; 80; 120; 160; 200 ] );
+    ]
+  in
+  List.iter
+    (fun (title, variants) ->
+      printf config "\n-- varying %s (n = %d) --\n" title n;
+      let rows =
+        List.concat_map
+          (fun (label, params) ->
+            let profile = Profiles.with_params base params in
+            let trees = Profiles.instantiate profile ~seed:config.seed ~n in
+            printf config "  [%s: %s]\n%!" label (Profiles.describe trees);
+            List.map (fun m -> run_method config ~trees ~tau ~label m)
+              Methods.paper_methods)
+          variants
+      in
+      printf config "\n  Figure 14 (%s): runtime\n" title;
+      runtime_table config ~key:"value" rows;
+      printf config "\n  Figure 14 (%s): candidates\n" title;
+      candidate_table config ~key:"value" rows)
+    sweeps
+
+(* --- Ablations --- *)
+
+let ablation config =
+  Table.heading ~out:config.out
+    "Ablations — partitioning scheme and index variants (Section 4.3 note)";
+  List.iter
+    (fun profile ->
+      let n = max 10 (cardinality config profile * 3 / 4) in
+      printf config "\n-- dataset %s (n = %d) --\n" profile.Profiles.name n;
+      let trees = dataset config profile n in
+      let rows =
+        List.concat_map
+          (fun tau ->
+            let label = Printf.sprintf "tau=%d" tau in
+            let balanced = run_method config ~trees ~tau ~label Methods.Prt in
+            let random = run_method config ~trees ~tau ~label Methods.Prt_random in
+            let paper_idx = run_method config ~trees ~tau ~label Methods.Prt_paper_index in
+            let label_only =
+              let output =
+                Tsj_core.Partsj.join ~index_mode:Tsj_core.Two_layer_index.Label_only
+                  ~trees ~tau ()
+              in
+              { method_ = Methods.Prt; label = label ^ " (label-only)"; output }
+            in
+            let exact_verify =
+              let output = Tsj_core.Partsj.join ~bounded_verify:false ~trees ~tau () in
+              { method_ = Methods.Prt; label = label ^ " (exact-verify)"; output }
+            in
+            let missed =
+              balanced.output.Types.stats.Types.n_results
+              - paper_idx.output.Types.stats.Types.n_results
+            in
+            printf config
+              "    paper rank windows at tau=%d: %d result pair(s) missed vs sound index\n"
+              tau missed;
+            [ balanced; random; paper_idx; label_only; exact_verify ])
+          [ 1; 2; 3; 4; 5 ]
+      in
+      printf config "\n  Ablation (%s): runtime and candidates\n" profile.Profiles.name;
+      Table.print ~out:config.out
+        ~header:[ "variant"; "method"; "cand-gen"; "TED verify"; "total"; "candidates"; "results" ]
+        ~align:[ Table.Left; Left; Right; Right; Right; Right; Right ]
+        (List.map
+           (fun r ->
+             let s = r.output.Types.stats in
+             [
+               r.label;
+               Methods.name r.method_;
+               Table.seconds s.Types.candidate_time_s;
+               Table.seconds s.Types.verify_time_s;
+               Table.seconds (Types.total_time_s s);
+               Table.count s.Types.n_candidates;
+               Table.count s.Types.n_results;
+             ])
+           rows))
+    [ Profiles.synthetic; Profiles.sentiment ]
+
+(* --- extensions: multicore verification and streaming throughput --- *)
+
+let parallel config =
+  Table.heading ~out:config.out
+    "Extension — multicore TED verification (paper future work: multi-core)";
+  let profile = Profiles.synthetic in
+  let n = cardinality config profile in
+  let trees = dataset config profile n in
+  let tau = 3 in
+  let rec_domains = Tsj_join.Parallel.recommended_domains () in
+  let domain_counts =
+    List.sort_uniq compare [ 1; 2; 4; rec_domains ]
+  in
+  let rows =
+    List.filter_map
+      (fun domains ->
+        if domains > rec_domains && domains > 2 then None
+        else begin
+          let output, dt =
+            Tsj_util.Timer.wall (fun () ->
+                Tsj_core.Partsj.join ~verify_domains:domains ~trees ~tau ())
+          in
+          let s = output.Types.stats in
+          Some
+            [
+              string_of_int domains;
+              Table.seconds s.Types.candidate_time_s;
+              Table.seconds s.Types.verify_time_s;
+              Table.seconds dt;
+              Table.count s.Types.n_results;
+            ]
+        end)
+      domain_counts
+  in
+  printf config "\n  (tau = %d, %d trees, recommended domains = %d)\n" tau n rec_domains;
+  Table.print ~out:config.out
+    ~header:[ "domains"; "cand-gen"; "verify (wall)"; "total (wall)"; "results" ]
+    ~align:[ Table.Right; Right; Right; Right; Right ]
+    rows
+
+let streaming config =
+  Table.heading ~out:config.out
+    "Extension — streaming (incremental) join throughput";
+  let profile = Profiles.swissprot in
+  let n = cardinality config profile in
+  let trees = Profiles.instantiate profile ~seed:config.seed ~n in
+  let tau = 2 in
+  let inc = Tsj_core.Incremental.create ~tau () in
+  let checkpoint = max 1 (n / 5) in
+  let pairs = ref 0 in
+  let t0 = Unix.gettimeofday () in
+  let rows = ref [] in
+  Array.iteri
+    (fun i tree ->
+      pairs := !pairs + List.length (Tsj_core.Incremental.add inc tree);
+      if (i + 1) mod checkpoint = 0 then begin
+        let dt = Unix.gettimeofday () -. t0 in
+        rows :=
+          [
+            string_of_int (i + 1);
+            Printf.sprintf "%.0f" (float_of_int (i + 1) /. dt);
+            Table.count !pairs;
+          ]
+          :: !rows
+      end)
+    trees;
+  printf config "\n  (%s profile, tau = %d, arrival order = generation order)\n"
+    profile.Profiles.name tau;
+  Table.print ~out:config.out
+    ~header:[ "trees inserted"; "docs/s (cumulative)"; "pairs reported" ]
+    ~align:[ Table.Right; Right; Right ]
+    (List.rev !rows)
+
+let run_all config =
+  fig10_11 config;
+  fig12_13 config;
+  fig14 config;
+  ablation config;
+  parallel config;
+  streaming config

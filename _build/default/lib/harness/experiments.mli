@@ -1,0 +1,48 @@
+(** Runners that regenerate every table and figure of the paper's
+    evaluation (Section 4), printing the same rows/series in plain-text
+    tables.  See DESIGN.md for the per-experiment index and EXPERIMENTS.md
+    for recorded paper-vs-measured outcomes.
+
+    Cardinalities default to laptop-scale stand-ins for the paper's
+    corpora (the paper runs up to 100K trees on C++ for hours); the
+    [scale] knob multiplies them.  All runs are deterministic in
+    [seed]. *)
+
+type config = {
+  scale : float;       (** multiplies every dataset cardinality *)
+  seed : int;
+  taus : int list;     (** thresholds for the τ sweeps (paper: 1..5) *)
+  out : out_channel;
+}
+
+val default_config : config
+(** [scale = 1.0], [seed = 42], [taus = 1..5], stdout. *)
+
+val fig10_11 : config -> unit
+(** Figures 10 and 11: runtime split (candidate generation vs TED) and
+    candidate counts (STR / SET / PRT / REL) vs τ, on all four datasets. *)
+
+val fig12_13 : config -> unit
+(** Figures 12 and 13: the same two metrics vs dataset cardinality at
+    τ = 3. *)
+
+val fig14 : config -> unit
+(** Table 1 + Figure 14: sensitivity to maximum fanout, maximum depth,
+    number of labels and average tree size on the synthetic generator,
+    τ = 3. *)
+
+val ablation : config -> unit
+(** Section 4.3's closing experiment (balanced vs random partitioning)
+    plus our index ablations: the paper's rank windows (with missed
+    results counted against ground truth) and the label-only index. *)
+
+val parallel : config -> unit
+(** Extension bench: the same PartSJ join with the exact-TED verification
+    batch on 1, 2, 4 and the recommended number of OCaml domains. *)
+
+val streaming : config -> unit
+(** Extension bench: cumulative throughput of the incremental
+    (streaming) join as the history grows. *)
+
+val run_all : config -> unit
+(** Everything above, in paper order, extensions last. *)

@@ -1,0 +1,54 @@
+type align = Left | Right
+
+let pad align width s =
+  let n = String.length s in
+  if n >= width then s
+  else
+    match align with
+    | Left -> s ^ String.make (width - n) ' '
+    | Right -> String.make (width - n) ' ' ^ s
+
+let print ?(out = stdout) ~header ~align rows =
+  let cols = List.length header in
+  List.iter
+    (fun row ->
+      if List.length row <> cols then
+        invalid_arg "Table.print: row arity differs from header")
+    rows;
+  if List.length align <> cols then invalid_arg "Table.print: align arity differs";
+  let widths =
+    List.mapi
+      (fun c h ->
+        List.fold_left (fun acc row -> max acc (String.length (List.nth row c)))
+          (String.length h) rows)
+      header
+  in
+  let print_row cells =
+    let padded = List.map2 (fun (w, a) s -> pad a w s) (List.combine widths align) cells in
+    output_string out ("  " ^ String.concat "  " padded ^ "\n")
+  in
+  print_row header;
+  print_row (List.map (fun w -> String.make w '-') widths);
+  List.iter print_row rows
+
+let seconds s =
+  if s >= 10.0 then Printf.sprintf "%.1fs" s
+  else if s >= 1.0 then Printf.sprintf "%.2fs" s
+  else if s >= 0.001 then Printf.sprintf "%.0fms" (s *. 1000.0)
+  else if s > 0.0 then Printf.sprintf "%.2fms" (s *. 1000.0)
+  else "0"
+
+let count n =
+  let s = string_of_int (abs n) in
+  let len = String.length s in
+  let b = Buffer.create (len + (len / 3) + 1) in
+  if n < 0 then Buffer.add_char b '-';
+  String.iteri
+    (fun i c ->
+      if i > 0 && (len - i) mod 3 = 0 then Buffer.add_char b ',';
+      Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let heading ?(out = stdout) title =
+  output_string out ("\n" ^ title ^ "\n" ^ String.make (String.length title) '=' ^ "\n")

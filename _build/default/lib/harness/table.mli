@@ -1,0 +1,18 @@
+(** Plain-text table rendering for experiment output. *)
+
+type align = Left | Right
+
+val print :
+  ?out:out_channel -> header:string list -> align:align list -> string list list -> unit
+(** Column widths are computed from the data; a separator row follows the
+    header.  @raise Invalid_argument if a row's arity differs from the
+    header's. *)
+
+val seconds : float -> string
+(** Compact duration: ["1.23s"], ["45ms"], ... *)
+
+val count : int -> string
+(** Thousands separators: [12345 -> "12,345"]. *)
+
+val heading : ?out:out_channel -> string -> unit
+(** An underlined section title with surrounding blank lines. *)

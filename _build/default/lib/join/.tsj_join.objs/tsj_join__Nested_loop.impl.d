@@ -1,0 +1,1 @@
+lib/join/nested_loop.ml: Sweep Types

@@ -1,0 +1,1 @@
+lib/join/nested_loop.mli: Sweep Tsj_tree Types

@@ -1,0 +1,1 @@
+lib/join/sweep.ml: Array List Tsj_ted Tsj_tree Tsj_util Types

@@ -1,0 +1,1 @@
+lib/join/sweep.mli: Tsj_ted Tsj_tree Types

@@ -1,0 +1,26 @@
+let recommended_domains () = min 8 (Domain.recommended_domain_count ())
+
+let map ~domains f xs =
+  if domains < 1 then invalid_arg "Parallel.map: domains must be >= 1";
+  let n = Array.length xs in
+  if domains = 1 || n < 2 * domains then Array.map f xs
+  else begin
+    let out = Array.make n None in
+    (* Striped assignment keeps per-domain work balanced when cost varies
+       smoothly along the array (e.g. trees sorted by size). *)
+    let worker stripe () =
+      let i = ref stripe in
+      while !i < n do
+        out.(!i) <- Some (f xs.(!i));
+        i := !i + domains
+      done
+    in
+    let spawned = List.init (domains - 1) (fun k -> Domain.spawn (worker (k + 1))) in
+    worker 0 ();
+    List.iter Domain.join spawned;
+    Array.map
+      (function
+        | Some v -> v
+        | None -> assert false (* every index is covered by exactly one stripe *))
+      out
+  end

@@ -1,0 +1,18 @@
+(** Multicore helpers (OCaml 5 domains).
+
+    The paper's future work names "parallel and distributed settings
+    (e.g., multi-core architectures)"; the embarrassingly parallel part of
+    every join method is candidate verification — independent exact TED
+    computations over read-only preprocessed trees.  {!map} provides the
+    fork/join primitive the join drivers use for it. *)
+
+val map : domains:int -> ('a -> 'b) -> 'a array -> 'b array
+(** [map ~domains f xs] is [Array.map f xs] computed on up to [domains]
+    domains (including the caller's).  [f] must be safe to run
+    concurrently on read-only shared data — it must not intern labels or
+    touch other global tables.  With [domains <= 1] or short arrays this
+    is exactly [Array.map].  Exceptions raised by [f] are re-raised.
+    @raise Invalid_argument if [domains < 1]. *)
+
+val recommended_domains : unit -> int
+(** [Domain.recommended_domain_count ()], capped at 8. *)

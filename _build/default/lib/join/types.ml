@@ -1,0 +1,30 @@
+type pair = { i : int; j : int; distance : int }
+
+type stats = {
+  n_trees : int;
+  tau : int;
+  n_window_pairs : int;
+  n_candidates : int;
+  n_results : int;
+  candidate_time_s : float;
+  verify_time_s : float;
+}
+
+type output = { pairs : pair list; stats : stats }
+
+let total_time_s s = s.candidate_time_s +. s.verify_time_s
+
+let pair_set output =
+  output.pairs
+  |> List.map (fun p -> (p.i, p.j))
+  |> List.sort_uniq compare
+
+let equal_results a b =
+  let norm o = List.sort compare (List.map (fun p -> (p.i, p.j, p.distance)) o.pairs) in
+  norm a = norm b
+
+let pp_stats fmt s =
+  Format.fprintf fmt
+    "trees=%d tau=%d window=%d candidates=%d results=%d cand_time=%.3fs verify_time=%.3fs"
+    s.n_trees s.tau s.n_window_pairs s.n_candidates s.n_results s.candidate_time_s
+    s.verify_time_s

@@ -1,0 +1,43 @@
+(** Common result/statistics types shared by all similarity-join methods
+    (the nested-loop reference, the STR and SET baselines, and PartSJ).
+
+    Every method takes the tree collection and the TED threshold [τ] and
+    returns the set of similar pairs together with instrumentation that
+    mirrors the paper's evaluation: the number of candidate pairs sent to
+    exact TED verification (Figures 11/13) and the runtime split between
+    candidate generation and TED computation (the stacked bars of
+    Figures 10/12). *)
+
+type pair = {
+  i : int;       (** index of the first tree in the input array *)
+  j : int;       (** index of the second tree; [i < j] *)
+  distance : int;(** their exact tree edit distance, [<= τ] *)
+}
+
+type stats = {
+  n_trees : int;
+  tau : int;
+  n_window_pairs : int;
+      (** pairs surviving the size-difference filter (the universe every
+          method draws candidates from) *)
+  n_candidates : int;
+      (** pairs verified with an exact TED computation *)
+  n_results : int;
+  candidate_time_s : float;
+      (** wall time spent generating/filtering candidates *)
+  verify_time_s : float;
+      (** wall time spent in exact TED verification *)
+}
+
+type output = { pairs : pair list; stats : stats }
+
+val total_time_s : stats -> float
+
+val pair_set : output -> (int * int) list
+(** Result pairs as sorted [(i, j)] tuples — handy for equality checks
+    between methods. *)
+
+val equal_results : output -> output -> bool
+(** Same set of pairs (distances included). *)
+
+val pp_stats : Format.formatter -> stats -> unit

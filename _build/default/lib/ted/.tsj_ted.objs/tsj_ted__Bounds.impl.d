@@ -1,0 +1,1 @@
+lib/ted/bounds.ml: List String_edit Tsj_tree Tsj_util

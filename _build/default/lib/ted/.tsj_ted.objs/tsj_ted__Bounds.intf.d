@@ -1,0 +1,1 @@
+lib/ted/bounds.mli: Tsj_tree

@@ -1,0 +1,1 @@
+lib/ted/constrained.ml: Array List Tsj_tree

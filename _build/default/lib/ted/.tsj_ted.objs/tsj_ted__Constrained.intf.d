@@ -1,0 +1,1 @@
+lib/ted/constrained.mli: Tsj_tree

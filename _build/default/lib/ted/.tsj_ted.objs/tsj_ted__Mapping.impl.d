@@ -1,0 +1,1 @@
+lib/ted/mapping.ml: Array Format List Tsj_tree

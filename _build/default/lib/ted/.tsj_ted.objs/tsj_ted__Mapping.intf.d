@@ -1,0 +1,1 @@
+lib/ted/mapping.mli: Format Tsj_tree

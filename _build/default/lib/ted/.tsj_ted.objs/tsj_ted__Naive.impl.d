@@ -1,0 +1,1 @@
+lib/ted/naive.ml: Hashtbl List Tsj_tree

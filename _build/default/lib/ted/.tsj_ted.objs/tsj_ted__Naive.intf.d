@@ -1,0 +1,1 @@
+lib/ted/naive.mli: Tsj_tree

@@ -1,0 +1,1 @@
+lib/ted/string_edit.ml: Array

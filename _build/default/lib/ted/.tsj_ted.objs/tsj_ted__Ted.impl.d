@@ -1,0 +1,1 @@
+lib/ted/ted.ml: Naive Tsj_tree Zhang_shasha

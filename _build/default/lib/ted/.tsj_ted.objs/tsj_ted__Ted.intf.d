@@ -1,0 +1,1 @@
+lib/ted/ted.mli: Tsj_tree

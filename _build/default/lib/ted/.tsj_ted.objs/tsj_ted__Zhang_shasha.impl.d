@@ -1,0 +1,1 @@
+lib/ted/zhang_shasha.ml: Array Tsj_tree

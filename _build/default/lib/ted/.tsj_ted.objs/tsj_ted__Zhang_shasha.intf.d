@@ -1,0 +1,1 @@
+lib/ted/zhang_shasha.mli: Tsj_tree

@@ -1,0 +1,47 @@
+module Tree = Tsj_tree.Tree
+module Traversal = Tsj_tree.Traversal
+module Multiset = Tsj_util.Multiset
+
+let size t1 t2 = abs (Tree.size t1 - Tree.size t2)
+
+let label_bag t =
+  let acc = Tsj_util.Vec_int.create ~capacity:(Tree.size t) () in
+  Tree.iter_postorder (fun (n : Tree.t) -> Tsj_util.Vec_int.push acc n.label) t;
+  Multiset.of_unsorted (Tsj_util.Vec_int.to_array acc)
+
+let label_histogram t1 t2 =
+  let d = Multiset.symmetric_difference_size (label_bag t1) (label_bag t2) in
+  (d + 1) / 2
+
+let degree_bag t =
+  let acc = Tsj_util.Vec_int.create ~capacity:(Tree.size t) () in
+  Tree.iter_postorder
+    (fun (n : Tree.t) -> Tsj_util.Vec_int.push acc (List.length n.children))
+    t;
+  Multiset.of_unsorted (Tsj_util.Vec_int.to_array acc)
+
+let degree_histogram t1 t2 =
+  let d = Multiset.symmetric_difference_size (degree_bag t1) (degree_bag t2) in
+  (d + 2) / 3
+
+let preorder_string t1 t2 =
+  String_edit.distance (Traversal.preorder_labels t1) (Traversal.preorder_labels t2)
+
+let postorder_string t1 t2 =
+  String_edit.distance (Traversal.postorder_labels t1) (Traversal.postorder_labels t2)
+
+let traversal t1 t2 = max (preorder_string t1 t2) (postorder_string t1 t2)
+
+let euler_string t1 t2 =
+  let d = String_edit.distance (Traversal.euler_tour t1) (Traversal.euler_tour t2) in
+  (d + 1) / 2
+
+let best t1 t2 =
+  List.fold_left max 0
+    [
+      size t1 t2;
+      label_histogram t1 t2;
+      degree_histogram t1 t2;
+      traversal t1 t2;
+      euler_string t1 t2;
+    ]

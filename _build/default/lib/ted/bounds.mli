@@ -1,0 +1,36 @@
+(** Lower bounds on the tree edit distance.
+
+    Every function here satisfies [bound t1 t2 <= TED(t1, t2)]; the join
+    baselines use them as filters ([bound > τ] prunes a pair without an
+    exact TED computation).  The tests validate the inequality on random
+    tree pairs.
+
+    Provenance of each bound:
+    - size: one edit operation changes the node count by at most 1;
+    - label histogram: one operation changes the label bag's L1 distance by
+      at most 2 (rename removes one label and adds another);
+    - degree histogram: one operation changes the degree bag's L1 distance
+      by at most 3 (the reconnected parent's degree moves, and a node
+      appears or disappears);
+    - preorder / postorder strings: Guha et al. — each operation edits the
+      traversal label sequence in exactly one position;
+    - Euler string: Akutsu et al. — each operation edits the Euler tour in
+      at most two positions. *)
+
+val size : Tsj_tree.Tree.t -> Tsj_tree.Tree.t -> int
+
+val label_histogram : Tsj_tree.Tree.t -> Tsj_tree.Tree.t -> int
+
+val degree_histogram : Tsj_tree.Tree.t -> Tsj_tree.Tree.t -> int
+
+val preorder_string : Tsj_tree.Tree.t -> Tsj_tree.Tree.t -> int
+
+val postorder_string : Tsj_tree.Tree.t -> Tsj_tree.Tree.t -> int
+
+val traversal : Tsj_tree.Tree.t -> Tsj_tree.Tree.t -> int
+(** [max preorder_string postorder_string] — the STR filter. *)
+
+val euler_string : Tsj_tree.Tree.t -> Tsj_tree.Tree.t -> int
+
+val best : Tsj_tree.Tree.t -> Tsj_tree.Tree.t -> int
+(** Maximum of all the bounds above. *)

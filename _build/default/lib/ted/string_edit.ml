@@ -1,0 +1,64 @@
+let distance a b =
+  let la = Array.length a and lb = Array.length b in
+  if la = 0 then lb
+  else if lb = 0 then la
+  else begin
+    (* Keep the shorter sequence as the row dimension. *)
+    let a, b, la, lb = if la <= lb then (a, b, la, lb) else (b, a, lb, la) in
+    let prev = Array.init (la + 1) (fun i -> i) in
+    let cur = Array.make (la + 1) 0 in
+    for j = 1 to lb do
+      cur.(0) <- j;
+      let bj = b.(j - 1) in
+      for i = 1 to la do
+        let cost = if a.(i - 1) = bj then 0 else 1 in
+        cur.(i) <- min (min (cur.(i - 1) + 1) (prev.(i) + 1)) (prev.(i - 1) + cost)
+      done;
+      Array.blit cur 0 prev 0 (la + 1)
+    done;
+    prev.(la)
+  end
+
+(* Banded DP (Ukkonen): a cell (i, j) with |i - j| > k cannot lie on a path
+   of cost <= k, so only the (2k+1)-wide diagonal band is filled; cells
+   outside the band act as infinity.  Row [i] ranges over prefixes of [a];
+   slot [j - i + k] of the row array holds D(i, j). *)
+let bounded_distance a b k =
+  if k < 0 then invalid_arg "String_edit.bounded_distance: negative threshold";
+  let la = Array.length a and lb = Array.length b in
+  if abs (la - lb) > k then k + 1
+  else begin
+    let inf = k + 1 in
+    let width = (2 * k) + 1 in
+    let prev = Array.make width inf in
+    let cur = Array.make width inf in
+    (* Row 0: D(0, j) = j for 0 <= j <= k; slot = j + k... slots j - 0 + k. *)
+    for j = 0 to min k lb do
+      prev.(j + k) <- j
+    done;
+    for i = 1 to la do
+      Array.fill cur 0 width inf;
+      let jlo = max 0 (i - k) and jhi = min lb (i + k) in
+      let ai = a.(i - 1) in
+      for j = jlo to jhi do
+        let s = j - i + k in
+        let best = ref inf in
+        (* delete a.(i-1): D(i-1, j) + 1, prev slot s + 1 *)
+        if s + 1 < width then best := min !best (prev.(s + 1) + 1);
+        (* insert b.(j-1): D(i, j-1) + 1, cur slot s - 1 *)
+        if j >= 1 && s - 1 >= 0 then best := min !best (cur.(s - 1) + 1);
+        (* substitute / match: D(i-1, j-1) + cost, prev slot s *)
+        if j >= 1 then begin
+          let cost = if ai = b.(j - 1) then 0 else 1 in
+          best := min !best (prev.(s) + cost)
+        end;
+        if j = 0 then best := min !best i;
+        cur.(s) <- min !best inf
+      done;
+      Array.blit cur 0 prev 0 width
+    done;
+    let final = lb - la + k in
+    min prev.(final) inf
+  end
+
+let within a b k = if k < 0 then false else bounded_distance a b k <= k

@@ -1,0 +1,18 @@
+(** Levenshtein edit distance over interned-label arrays.
+
+    Used by the STR baseline: the string edit distance between the
+    preorder (resp. postorder) label sequences of two trees lower-bounds
+    their tree edit distance (Guha et al.). *)
+
+val distance : int array -> int array -> int
+(** Full [O(|a| * |b|)] dynamic program with two rolling rows. *)
+
+val within : int array -> int array -> int -> bool
+(** [within a b k] is [true] iff [distance a b <= k], computed with a
+    banded dynamic program in [O(k * min(|a|,|b|))] time.  This is the
+    filter primitive: the join only needs the threshold decision, not the
+    exact distance.  [k < 0] is always [false]. *)
+
+val bounded_distance : int array -> int array -> int -> int
+(** [bounded_distance a b k] is [distance a b] when that is [<= k], and
+    [k + 1] otherwise (banded computation). *)

@@ -1,0 +1,125 @@
+module Postorder = Tsj_tree.Postorder
+
+let distance_postorder (p1 : Postorder.t) (p2 : Postorder.t) =
+  let n1 = p1.size and n2 = p2.size in
+  if n1 = 0 || n2 = 0 then max n1 n2
+  else begin
+    let lld1 = p1.lld and lld2 = p2.lld in
+    let lab1 = p1.labels and lab2 = p2.labels in
+    (* treedist.(i).(j): TED between the subtrees rooted at postorder nodes
+       i and j; filled in increasing keyroot order, so the forest DP can
+       reuse previously computed entries. *)
+    let treedist = Array.make_matrix n1 n2 0 in
+    (* Forest-distance scratch table, reused across keyroot pairs.  fd has
+       an extra row/column for the empty-forest prefixes. *)
+    let fd = Array.make_matrix (n1 + 1) (n2 + 1) 0 in
+    let compute k1 k2 =
+      let l1 = lld1.(k1) and l2 = lld2.(k2) in
+      let m = k1 - l1 + 1 and n = k2 - l2 + 1 in
+      fd.(0).(0) <- 0;
+      for x = 1 to m do
+        fd.(x).(0) <- x
+      done;
+      for y = 1 to n do
+        fd.(0).(y) <- y
+      done;
+      for x = 1 to m do
+        let a = l1 + x - 1 in
+        let fda = fd.(x) and fda1 = fd.(x - 1) in
+        for y = 1 to n do
+          let b = l2 + y - 1 in
+          if lld1.(a) = l1 && lld2.(b) = l2 then begin
+            let cost = if lab1.(a) = lab2.(b) then 0 else 1 in
+            let v =
+              min (min (fda1.(y) + 1) (fda.(y - 1) + 1)) (fda1.(y - 1) + cost)
+            in
+            fda.(y) <- v;
+            treedist.(a).(b) <- v
+          end
+          else begin
+            let x' = lld1.(a) - l1 and y' = lld2.(b) - l2 in
+            fda.(y) <-
+              min
+                (min (fda1.(y) + 1) (fda.(y - 1) + 1))
+                (fd.(x').(y') + treedist.(a).(b))
+          end
+        done
+      done
+    in
+    Array.iter
+      (fun k1 -> Array.iter (fun k2 -> compute k1 k2) p2.keyroots)
+      p1.keyroots;
+    treedist.(n1 - 1).(n2 - 1)
+  end
+
+(* Threshold-banded variant.  Every forest-DP cell (x, y) measures the
+   distance between prefix forests of sizes x and y, which is at least
+   |x - y|; a cell outside the |x - y| <= k band therefore cannot lie on a
+   path of total cost <= k.  The DP is a monotone min-plus recurrence, so
+   clamping every value at k + 1 preserves all values <= k exactly while
+   capping the rest — the result is [min (distance, k + 1)] at a cost of
+   O(rows * (2k + 1)) cells per keyroot pair instead of O(rows * cols). *)
+let bounded_distance_postorder (p1 : Postorder.t) (p2 : Postorder.t) k =
+  if k < 0 then invalid_arg "Zhang_shasha.bounded_distance_postorder: negative threshold";
+  let n1 = p1.size and n2 = p2.size in
+  if abs (n1 - n2) > k then k + 1
+  else if n1 = 0 || n2 = 0 then min (max n1 n2) (k + 1)
+  else begin
+    let inf = k + 1 in
+    let lld1 = p1.lld and lld2 = p2.lld in
+    let lab1 = p1.labels and lab2 = p2.labels in
+    (* Unwritten treedist entries correspond to out-of-band subtree pairs,
+       whose distance exceeds k: default to the clamp value. *)
+    let treedist = Array.make_matrix n1 n2 inf in
+    let fd = Array.make_matrix (n1 + 1) (n2 + 1) inf in
+    let compute k1 k2 =
+      let l1 = lld1.(k1) and l2 = lld2.(k2) in
+      let m = k1 - l1 + 1 and n = k2 - l2 + 1 in
+      (* In-band read; out-of-band cells are >= |x - y| > k by the size
+         argument, so they act as the clamp value. *)
+      let get x y = if abs (x - y) > k then inf else fd.(x).(y) in
+      fd.(0).(0) <- 0;
+      for y = 1 to min n k do
+        fd.(0).(y) <- y
+      done;
+      for x = 1 to m do
+        let ylo = max 1 (x - k) and yhi = min n (x + k) in
+        if x <= k then fd.(x).(0) <- x;
+        for y = ylo to yhi do
+          let a = l1 + x - 1 in
+          let b = l2 + y - 1 in
+          let v =
+            if lld1.(a) = l1 && lld2.(b) = l2 then begin
+              let cost = if lab1.(a) = lab2.(b) then 0 else 1 in
+              let v =
+                min (min (get (x - 1) y + 1) (get x (y - 1) + 1)) (get (x - 1) (y - 1) + cost)
+              in
+              let v = min v inf in
+              treedist.(a).(b) <- v;
+              v
+            end
+            else begin
+              let x' = lld1.(a) - l1 and y' = lld2.(b) - l2 in
+              min
+                (min (get (x - 1) y + 1) (get x (y - 1) + 1))
+                (get x' y' + treedist.(a).(b))
+            end
+          in
+          fd.(x).(y) <- min v inf
+        done
+      done
+    in
+    Array.iter
+      (fun k1 -> Array.iter (fun k2 -> compute k1 k2) p2.keyroots)
+      p1.keyroots;
+    min treedist.(n1 - 1).(n2 - 1) inf
+  end
+
+let distance t1 t2 =
+  distance_postorder (Postorder.of_tree t1) (Postorder.of_tree t2)
+
+let bounded_distance t1 t2 k =
+  bounded_distance_postorder (Postorder.of_tree t1) (Postorder.of_tree t2) k
+
+let relevant_subproblems p1 p2 =
+  Postorder.keyroot_cost p1 * Postorder.keyroot_cost p2

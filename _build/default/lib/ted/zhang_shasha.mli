@@ -1,0 +1,34 @@
+(** The Zhang–Shasha tree edit distance algorithm (SIAM J. Comput. 1989).
+
+    Computes the exact TED between two rooted ordered labeled trees with
+    unit costs, in [O(|T1| |T2| min(d1,l1) min(d2,l2))] time and
+    [O(|T1| |T2|)] space, by solving one forest-distance dynamic program
+    per pair of LR-keyroots.
+
+    This left-path decomposition is one half of the RTED-style hybrid in
+    {!Ted}; its mirror image (running on mirrored trees) gives the
+    right-path decomposition. *)
+
+val distance_postorder : Tsj_tree.Postorder.t -> Tsj_tree.Postorder.t -> int
+(** TED between two trees already compiled to postorder form. *)
+
+val distance : Tsj_tree.Tree.t -> Tsj_tree.Tree.t -> int
+(** Convenience wrapper compiling both trees first. *)
+
+val bounded_distance_postorder : Tsj_tree.Postorder.t -> Tsj_tree.Postorder.t -> int -> int
+(** [bounded_distance_postorder p1 p2 k] is [min (distance, k + 1)],
+    computed with the forest DP restricted to the [|x - y| <= k] band
+    (values above [k] are clamped by the monotone min-plus recurrence, so
+    every value [<= k] stays exact).  This is the τ-aware verifier: a join
+    needs [distance <= τ], never the exact distance of dissimilar pairs.
+    Each keyroot pass shrinks from [rows * cols] to [rows * (2k + 1)]
+    cells; the number of keyroot passes is unchanged, so the end-to-end
+    win on similar-sized trees is a factor of ~1.5–2 (plus an immediate
+    exit on size-incompatible pairs).
+    @raise Invalid_argument if [k < 0]. *)
+
+val bounded_distance : Tsj_tree.Tree.t -> Tsj_tree.Tree.t -> int -> int
+
+val relevant_subproblems : Tsj_tree.Postorder.t -> Tsj_tree.Postorder.t -> int
+(** The number of forest-distance cells the algorithm fills for this pair —
+    the cost estimate used for strategy selection. *)

@@ -1,0 +1,1 @@
+lib/tree/binary_tree.ml: Array Format Label List Option Tree

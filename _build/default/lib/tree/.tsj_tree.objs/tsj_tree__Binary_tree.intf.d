@@ -1,0 +1,1 @@
+lib/tree/binary_tree.mli: Format Tree

@@ -1,0 +1,1 @@
+lib/tree/bracket.ml: Buffer In_channel Label List Out_channel Printf String Tree

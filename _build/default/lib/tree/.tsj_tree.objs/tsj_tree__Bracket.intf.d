@@ -1,0 +1,1 @@
+lib/tree/bracket.mli: Tree

@@ -1,0 +1,1 @@
+lib/tree/dot.ml: Array Binary_tree Buffer Label List Printf String Tree

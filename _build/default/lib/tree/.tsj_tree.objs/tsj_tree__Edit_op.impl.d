@@ -1,0 +1,1 @@
+lib/tree/edit_op.ml: Array Format Label List Printf Tree Tsj_util

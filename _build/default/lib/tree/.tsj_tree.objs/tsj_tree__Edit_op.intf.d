@@ -1,0 +1,1 @@
+lib/tree/edit_op.mli: Format Label Tree Tsj_util

@@ -1,0 +1,1 @@
+lib/tree/label.ml: Array Format Hashtbl

@@ -1,0 +1,1 @@
+lib/tree/postorder.ml: Array List Tree Tsj_util

@@ -1,0 +1,1 @@
+lib/tree/postorder.mli: Tree

@@ -1,0 +1,1 @@
+lib/tree/sexp_format.ml: Buffer In_channel Label List Printf String Tree

@@ -1,0 +1,1 @@
+lib/tree/sexp_format.mli: Tree

@@ -1,0 +1,1 @@
+lib/tree/traversal.ml: Array List Tree Tsj_util

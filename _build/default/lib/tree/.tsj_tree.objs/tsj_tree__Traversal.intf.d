@@ -1,0 +1,1 @@
+lib/tree/traversal.mli: Label Tree

@@ -1,0 +1,1 @@
+lib/tree/tree.ml: Array Format Int Label List Set Stdlib

@@ -1,0 +1,109 @@
+type child_kind = Root | Left_of_parent | Right_of_parent
+
+type t = {
+  size : int;
+  label : int array;
+  left : int array;
+  right : int array;
+  parent : int array;
+  kind : child_kind array;
+  subtree_size : int array;
+  gpost : int array;
+}
+
+(* General tree annotated with general-postorder numbers: the Knuth
+   transform is a bijection on nodes, so each binary node inherits the
+   general-postorder number of its source node. *)
+type anode = { alabel : int; apost : int; achildren : anode list }
+
+let annotate tree =
+  let counter = ref 0 in
+  let rec go (node : Tree.t) =
+    let achildren = List.map go node.children in
+    let apost = !counter in
+    incr counter;
+    { alabel = node.label; apost; achildren }
+  in
+  go tree
+
+(* Linked intermediate form used while converting. *)
+type bnode = { blabel : int; bpost : int; bleft : bnode option; bright : bnode option }
+
+let rec conv (node : anode) (siblings : anode list) =
+  let bleft =
+    match node.achildren with
+    | [] -> None
+    | c :: rest -> Some (conv c rest)
+  in
+  let bright =
+    match siblings with
+    | [] -> None
+    | s :: rest -> Some (conv s rest)
+  in
+  { blabel = node.alabel; bpost = node.apost; bleft; bright }
+
+let of_tree tree =
+  let n = Tree.size tree in
+  let label = Array.make n 0 in
+  let left = Array.make n (-1) in
+  let right = Array.make n (-1) in
+  let parent = Array.make n (-1) in
+  let kind = Array.make n Root in
+  let subtree_size = Array.make n 1 in
+  let gpost = Array.make n 0 in
+  let counter = ref 0 in
+  (* Postorder numbering of the binary tree: left subtree, right subtree,
+     then the node itself. *)
+  let rec number b =
+    let l = Option.map number b.bleft in
+    let r = Option.map number b.bright in
+    let me = !counter in
+    incr counter;
+    label.(me) <- b.blabel;
+    gpost.(me) <- b.bpost;
+    (match l with
+    | Some li ->
+      left.(me) <- li;
+      parent.(li) <- me;
+      kind.(li) <- Left_of_parent;
+      subtree_size.(me) <- subtree_size.(me) + subtree_size.(li)
+    | None -> ());
+    (match r with
+    | Some ri ->
+      right.(me) <- ri;
+      parent.(ri) <- me;
+      kind.(ri) <- Right_of_parent;
+      subtree_size.(me) <- subtree_size.(me) + subtree_size.(ri)
+    | None -> ());
+    me
+  in
+  let root_id = number (conv (annotate tree) []) in
+  assert (root_id = n - 1);
+  { size = n; label; left; right; parent; kind; subtree_size; gpost }
+
+let root t = t.size - 1
+
+let has_left t i = t.left.(i) >= 0
+
+let has_right t i = t.right.(i) >= 0
+
+let to_tree t =
+  (* [general i] rebuilds the general-tree node for binary node [i];
+     [sibling_chain i] follows right pointers collecting a child list. *)
+  let rec general i =
+    Tree.node t.label.(i) (match t.left.(i) with -1 -> [] | l -> sibling_chain l)
+  and sibling_chain i =
+    general i :: (match t.right.(i) with -1 -> [] | r -> sibling_chain r)
+  in
+  general (root t)
+
+let pp fmt t =
+  for i = 0 to t.size - 1 do
+    Format.fprintf fmt "%3d %-10s left=%-3d right=%-3d parent=%-3d %s@." i
+      (Label.name t.label.(i))
+      t.left.(i) t.right.(i) t.parent.(i)
+      (match t.kind.(i) with
+      | Root -> "root"
+      | Left_of_parent -> "L"
+      | Right_of_parent -> "R")
+  done

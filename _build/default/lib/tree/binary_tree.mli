@@ -1,0 +1,50 @@
+(** Left-child / right-sibling (LC-RS) binary representation of a general
+    tree (Knuth's transformation).
+
+    In the binary form every node has at most a [left] child (its leftmost
+    child in the general tree) and a [right] child (its next sibling), so a
+    node edit operation touches a strictly bounded neighbourhood — the
+    property Lemma 1 of the paper builds on.
+
+    Nodes are identified with their 0-based postorder number in the binary
+    tree (left subtree, right subtree, node); the root is node [size - 1].
+    This numbering is exactly the key space of the PartSJ postorder-pruning
+    index layer. *)
+
+type child_kind =
+  | Root           (** the node has no incoming edge *)
+  | Left_of_parent (** reached via its parent's left (leftmost-child) pointer *)
+  | Right_of_parent(** reached via its parent's right (next-sibling) pointer *)
+
+type t = {
+  size : int;
+  label : int array;        (** label of node [i] *)
+  left : int array;         (** left-child id, or [-1] *)
+  right : int array;        (** right-child id, or [-1] *)
+  parent : int array;       (** parent id, or [-1] for the root *)
+  kind : child_kind array;  (** how node [i] hangs off its parent *)
+  subtree_size : int array; (** nodes in the binary subtree rooted at [i] *)
+  gpost : int array;
+      (** 0-based postorder number of node [i] {e in the general tree}.
+          Binary-postorder ids are unstable under node edit operations (one
+          general-tree deletion can move whole sibling chains), but
+          general-tree postorder numbers shift by at most one per
+          operation — they are the position coordinate of the PartSJ
+          postorder-pruning index. *)
+}
+
+val of_tree : Tree.t -> t
+(** Knuth transformation.  Preserves the node count and labels. *)
+
+val to_tree : t -> Tree.t
+(** Inverse transformation.  [to_tree (of_tree t) = t]. *)
+
+val root : t -> int
+(** Always [size - 1]. *)
+
+val has_left : t -> int -> bool
+
+val has_right : t -> int -> bool
+
+val pp : Format.formatter -> t -> unit
+(** Debug rendering: one line per node in postorder. *)

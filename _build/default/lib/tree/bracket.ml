@@ -1,0 +1,147 @@
+let needs_escape c = c = '{' || c = '}' || c = '\\'
+
+let escape_label s =
+  if String.exists needs_escape s then begin
+    let b = Buffer.create (String.length s + 4) in
+    String.iter
+      (fun c ->
+        if needs_escape c then Buffer.add_char b '\\';
+        Buffer.add_char b c)
+      s;
+    Buffer.contents b
+  end
+  else s
+
+let to_string t =
+  let b = Buffer.create 64 in
+  let rec go (t : Tree.t) =
+    Buffer.add_char b '{';
+    Buffer.add_string b (escape_label (Label.name t.label));
+    List.iter go t.children;
+    Buffer.add_char b '}'
+  in
+  go t;
+  Buffer.contents b
+
+exception Parse_error of string
+
+type cursor = { input : string; mutable pos : int }
+
+let error cur msg =
+  raise (Parse_error (Printf.sprintf "at offset %d: %s" cur.pos msg))
+
+let peek cur =
+  if cur.pos < String.length cur.input then Some cur.input.[cur.pos] else None
+
+let advance cur = cur.pos <- cur.pos + 1
+
+let skip_ws cur =
+  let rec go () =
+    match peek cur with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+      advance cur;
+      go ()
+    | Some '#' ->
+      (* comment until end of line *)
+      let rec eat () =
+        match peek cur with
+        | Some '\n' | None -> ()
+        | Some _ ->
+          advance cur;
+          eat ()
+      in
+      eat ();
+      go ()
+    | _ -> ()
+  in
+  go ()
+
+let parse_label cur =
+  let b = Buffer.create 8 in
+  let rec go () =
+    match peek cur with
+    | Some '\\' ->
+      advance cur;
+      (match peek cur with
+      | Some c ->
+        Buffer.add_char b c;
+        advance cur;
+        go ()
+      | None -> error cur "dangling escape character")
+    | Some ('{' | '}') | None -> ()
+    | Some c ->
+      Buffer.add_char b c;
+      advance cur;
+      go ()
+  in
+  go ();
+  let s = Buffer.contents b in
+  if s = "" then error cur "empty label";
+  Label.intern s
+
+let rec parse_tree cur =
+  (match peek cur with
+  | Some '{' -> advance cur
+  | Some c -> error cur (Printf.sprintf "expected '{', found %C" c)
+  | None -> error cur "expected '{', found end of input");
+  let label = parse_label cur in
+  let children = ref [] in
+  let rec kids () =
+    match peek cur with
+    | Some '{' ->
+      children := parse_tree cur :: !children;
+      kids ()
+    | Some '}' -> advance cur
+    | Some c -> error cur (Printf.sprintf "expected '{' or '}', found %C" c)
+    | None -> error cur "unterminated tree: expected '}'"
+  in
+  kids ();
+  Tree.node label (List.rev !children)
+
+let of_string s =
+  let cur = { input = s; pos = 0 } in
+  match
+    skip_ws cur;
+    let t = parse_tree cur in
+    skip_ws cur;
+    if cur.pos < String.length s then error cur "trailing garbage after tree";
+    t
+  with
+  | t -> Ok t
+  | exception Parse_error msg -> Error msg
+
+let of_string_exn s =
+  match of_string s with
+  | Ok t -> t
+  | Error msg -> invalid_arg ("Bracket.of_string_exn: " ^ msg)
+
+let forest_of_string s =
+  let cur = { input = s; pos = 0 } in
+  match
+    let acc = ref [] in
+    let rec go () =
+      skip_ws cur;
+      match peek cur with
+      | None -> ()
+      | Some _ ->
+        acc := parse_tree cur :: !acc;
+        go ()
+    in
+    go ();
+    List.rev !acc
+  with
+  | ts -> Ok ts
+  | exception Parse_error msg -> Error msg
+
+let load_file path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | contents -> forest_of_string contents
+  | exception Sys_error msg -> Error msg
+
+let save_file path trees =
+  Out_channel.with_open_text path (fun oc ->
+      List.iter
+        (fun t ->
+          Out_channel.output_string oc (to_string t);
+          Out_channel.output_char oc '\n')
+        trees)

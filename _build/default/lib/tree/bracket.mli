@@ -1,0 +1,26 @@
+(** Bracket notation for trees — the interchange format used throughout the
+    TED literature (and by the RTED reference implementation):
+    [{a{b{c}}{d}}] is a root [a] with children [b] (itself parent of [c])
+    and [d].
+
+    Labels may contain any characters except unescaped braces; [\{], [\}]
+    and [\\] escape a literal brace/backslash. *)
+
+val to_string : Tree.t -> string
+
+val of_string : string -> (Tree.t, string) result
+(** Parses exactly one tree (surrounding whitespace allowed); the error
+    string describes the position and cause of failure. *)
+
+val of_string_exn : string -> Tree.t
+(** @raise Invalid_argument on a parse error. *)
+
+val forest_of_string : string -> (Tree.t list, string) result
+(** Parses zero or more whitespace-separated trees. *)
+
+val load_file : string -> (Tree.t list, string) result
+(** One or more trees per file, whitespace/newline separated.  Lines whose
+    first non-blank character is [#] are comments. *)
+
+val save_file : string -> Tree.t list -> unit
+(** One tree per line. *)

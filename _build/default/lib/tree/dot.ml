@@ -1,0 +1,79 @@
+let escape s =
+  let b = Buffer.create (String.length s + 4) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let of_tree ?(name = "tree") t =
+  let b = Buffer.create 256 in
+  Buffer.add_string b (Printf.sprintf "digraph \"%s\" {\n  node [shape=ellipse];\n" (escape name));
+  let counter = ref 0 in
+  let rec go (node : Tree.t) =
+    let me = !counter in
+    incr counter;
+    Buffer.add_string b
+      (Printf.sprintf "  n%d [label=\"%s\"];\n" me (escape (Label.name node.label)));
+    List.iter
+      (fun c ->
+        let child_id = !counter in
+        go c;
+        Buffer.add_string b (Printf.sprintf "  n%d -> n%d;\n" me child_id))
+      node.children;
+    ()
+  in
+  go t;
+  Buffer.add_string b "}\n";
+  Buffer.contents b
+
+let palette =
+  [| "#a6cee3"; "#b2df8a"; "#fb9a99"; "#fdbf6f"; "#cab2d6"; "#ffff99"; "#1f78b4"; "#33a02c" |]
+
+let binary_body b (t : Binary_tree.t) ~color =
+  for i = 0 to t.Binary_tree.size - 1 do
+    let fill = color i in
+    Buffer.add_string b
+      (Printf.sprintf
+         "  n%d [label=\"%s\\nb%d g%d\" style=filled fillcolor=\"%s\"];\n" i
+         (escape (Label.name t.Binary_tree.label.(i)))
+         i
+         t.Binary_tree.gpost.(i)
+         fill)
+  done
+
+let binary_edges b (t : Binary_tree.t) ~edge_attr =
+  for i = 0 to t.Binary_tree.size - 1 do
+    (match t.Binary_tree.left.(i) with
+    | -1 -> ()
+    | l -> Buffer.add_string b (Printf.sprintf "  n%d -> n%d [%s];\n" i l (edge_attr i l "")) );
+    match t.Binary_tree.right.(i) with
+    | -1 -> ()
+    | r ->
+      Buffer.add_string b (Printf.sprintf "  n%d -> n%d [%s];\n" i r (edge_attr i r "style=dashed"))
+  done
+
+let of_binary ?(name = "lcrs") t =
+  let b = Buffer.create 512 in
+  Buffer.add_string b (Printf.sprintf "digraph \"%s\" {\n  node [shape=box];\n" (escape name));
+  binary_body b t ~color:(fun _ -> "#ffffff");
+  binary_edges b t ~edge_attr:(fun _ _ base -> if base = "" then "style=solid" else base);
+  Buffer.add_string b "}\n";
+  Buffer.contents b
+
+let of_partition ?(name = "partition") t ~assignment =
+  if Array.length assignment <> t.Binary_tree.size then
+    invalid_arg "Dot.of_partition: assignment length mismatch";
+  let b = Buffer.create 512 in
+  Buffer.add_string b (Printf.sprintf "digraph \"%s\" {\n  node [shape=box];\n" (escape name));
+  binary_body b t ~color:(fun i -> palette.(assignment.(i) mod Array.length palette));
+  binary_edges b t ~edge_attr:(fun src dst base ->
+      if assignment.(src) <> assignment.(dst) then "color=red penwidth=2"
+      else if base = "" then "style=solid"
+      else base);
+  Buffer.add_string b "}\n";
+  Buffer.contents b

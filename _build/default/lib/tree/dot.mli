@@ -1,0 +1,19 @@
+(** Graphviz (DOT) rendering of trees, binary trees and partitions —
+    debugging/visualization support.
+
+    [dot -Tsvg out.dot > out.svg] renders the output. *)
+
+val of_tree : ?name:string -> Tree.t -> string
+(** A general tree as a digraph; node labels are the tree labels. *)
+
+val of_binary : ?name:string -> Binary_tree.t -> string
+(** The LC-RS form: solid edges for left (first-child) pointers, dashed
+    for right (next-sibling) pointers; node captions show the label with
+    binary and general postorder numbers. *)
+
+val of_partition :
+  ?name:string -> Binary_tree.t -> assignment:int array -> string
+(** Like {!of_binary} with components colored (cycling through a fixed
+    palette) and bridging edges drawn bold red — renders exactly what the
+    PartSJ index stores for one tree.
+    @raise Invalid_argument if [assignment] has the wrong length. *)

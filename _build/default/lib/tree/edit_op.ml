@@ -1,0 +1,139 @@
+type t =
+  | Rename of { node : int; label : Label.t }
+  | Delete of { node : int }
+  | Insert of { parent : int; first_child : int; n_children : int; label : Label.t }
+
+let size_check tree node name =
+  let n = Tree.size tree in
+  if node < 0 || node >= n then
+    invalid_arg (Printf.sprintf "Edit_op.%s: node %d out of range [0,%d)" name node n)
+
+let apply_rename tree target label =
+  size_check tree target "apply (rename)";
+  let counter = ref 0 in
+  let rec go (node : Tree.t) =
+    let children = List.map go node.children in
+    let me = !counter in
+    incr counter;
+    Tree.node (if me = target then label else node.label) children
+  in
+  go tree
+
+let apply_delete tree target =
+  size_check tree target "apply (delete)";
+  let counter = ref 0 in
+  (* Returns the rebuilt subtree and its root's postorder id. *)
+  let rec go (node : Tree.t) =
+    let rebuilt = List.map go node.children in
+    let me = !counter in
+    incr counter;
+    let children =
+      List.concat_map
+        (fun ((sub : Tree.t), id) -> if id = target then sub.children else [ sub ])
+        rebuilt
+    in
+    (Tree.node node.label children, me)
+  in
+  let rebuilt, root_id = go tree in
+  if root_id = target then
+    match rebuilt.children with
+    | [ only ] -> only
+    | _ ->
+      invalid_arg
+        "Edit_op.apply (delete): deleting a root with zero or several children"
+  else rebuilt
+
+let apply_insert tree parent first_child n_children label =
+  size_check tree parent "apply (insert)";
+  if n_children < 0 then invalid_arg "Edit_op.apply (insert): negative child span";
+  let counter = ref 0 in
+  let rec go (node : Tree.t) =
+    let children = List.map go node.children in
+    let me = !counter in
+    incr counter;
+    let children =
+      if me <> parent then children
+      else begin
+        let total = List.length children in
+        if first_child < 0 || first_child + n_children > total then
+          invalid_arg
+            (Printf.sprintf
+               "Edit_op.apply (insert): child span [%d,%d) out of range [0,%d]"
+               first_child (first_child + n_children) total);
+        let rec split i = function
+          | rest when i = 0 -> ([], rest)
+          | [] -> ([], [])
+          | c :: rest ->
+            let taken, remaining = split (i - 1) rest in
+            (c :: taken, remaining)
+        in
+        let prefix, rest = split first_child children in
+        let adopted, suffix = split n_children rest in
+        prefix @ [ Tree.node label adopted ] @ suffix
+      end
+    in
+    Tree.node node.label children
+  in
+  go tree
+
+let apply tree = function
+  | Rename { node; label } -> apply_rename tree node label
+  | Delete { node } -> apply_delete tree node
+  | Insert { parent; first_child; n_children; label } ->
+    apply_insert tree parent first_child n_children label
+
+let apply_script tree ops = List.fold_left apply tree ops
+
+let random rng ~labels tree =
+  if Array.length labels = 0 then invalid_arg "Edit_op.random: empty label alphabet";
+  let module P = Tsj_util.Prng in
+  let nodes = Tree.nodes_postorder tree in
+  let n = Array.length nodes in
+  let root_id = n - 1 in
+  let pick_rename () =
+    Rename { node = P.int rng n; label = P.choice rng labels }
+  in
+  let pick_insert () =
+    let parent = P.int rng n in
+    let fanout = List.length nodes.(parent).Tree.children in
+    let first_child = P.int_in rng 0 fanout in
+    let n_children = P.int_in rng 0 (fanout - first_child) in
+    Insert { parent; first_child; n_children; label = P.choice rng labels }
+  in
+  let pick_delete () =
+    (* The root is only deletable when it has exactly one child; in a
+       single-node tree no deletion is valid, so fall back to renaming. *)
+    let deletable id =
+      id <> root_id || List.length nodes.(id).Tree.children = 1
+    in
+    let candidates = ref [] in
+    for id = 0 to n - 1 do
+      if deletable id then candidates := id :: !candidates
+    done;
+    match !candidates with
+    | [] -> pick_rename ()
+    | cs -> Delete { node = List.nth cs (P.int rng (List.length cs)) }
+  in
+  match P.int rng 3 with
+  | 0 -> pick_rename ()
+  | 1 -> pick_insert ()
+  | _ -> pick_delete ()
+
+let random_script rng ~labels k tree =
+  let rec go acc t i =
+    if i = k then (List.rev acc, t)
+    else begin
+      let op = random rng ~labels t in
+      go (op :: acc) (apply t op) (i + 1)
+    end
+  in
+  go [] tree 0
+
+let pp fmt = function
+  | Rename { node; label } ->
+    Format.fprintf fmt "rename(%d -> %s)" node (Label.name label)
+  | Delete { node } -> Format.fprintf fmt "delete(%d)" node
+  | Insert { parent; first_child; n_children; label } ->
+    Format.fprintf fmt "insert(%s under %d at %d..%d)" (Label.name label) parent
+      first_child
+      (first_child + n_children)

@@ -1,0 +1,47 @@
+(** Node edit operations on rooted ordered labeled trees.
+
+    The three operations of the tree edit distance model (Section 2 of the
+    paper): rename a node's label, delete a node (its children are adopted
+    by its parent, in place, preserving order), and insert a node between a
+    parent and a consecutive run of its children.
+
+    Nodes are addressed by their 0-based postorder number in the tree the
+    operation is applied to.  Applying an operation produces a new tree;
+    the input is unchanged.
+
+    These are the building blocks of the synthetic decay model [Dz] and of
+    the property tests ([TED(T, apply_script T ops) <= length ops]). *)
+
+type t =
+  | Rename of { node : int; label : Label.t }
+      (** Change the label of node [node]. *)
+  | Delete of { node : int }
+      (** Remove node [node]; its children replace it among its parent's
+          children.  The root may only be deleted when it has exactly one
+          child (so the result is still a tree). *)
+  | Insert of { parent : int; first_child : int; n_children : int; label : Label.t }
+      (** Add a new node labeled [label] as a child of [parent] at child
+          position [first_child]; the [n_children] consecutive existing
+          children starting at that position become children of the new
+          node. *)
+
+val apply : Tree.t -> t -> Tree.t
+(** @raise Invalid_argument when the operation addresses a node that does
+    not exist, deletes an ineligible root, or the child span is out of
+    range. *)
+
+val apply_script : Tree.t -> t list -> Tree.t
+(** Apply operations left to right; each addresses the tree produced by its
+    predecessors. *)
+
+val random : Tsj_util.Prng.t -> labels:Label.t array -> Tree.t -> t
+(** A uniformly-typed random valid operation on the given tree (insertion,
+    deletion, renaming with equal probability, as in the paper's decay
+    model), with labels drawn from [labels].
+    @raise Invalid_argument if [labels] is empty. *)
+
+val random_script : Tsj_util.Prng.t -> labels:Label.t array -> int -> Tree.t -> t list * Tree.t
+(** [random_script rng ~labels k t] draws [k] successive random operations
+    and returns them together with the resulting tree. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,34 @@
+type t = int
+
+let epsilon = 0
+
+(* Global intern table.  Id 0 is reserved for epsilon; names start at 1. *)
+let by_name : (string, int) Hashtbl.t = Hashtbl.create 256
+let names : string array ref = ref (Array.make 16 "")
+let n_names = ref 1 (* slot 0 = epsilon = "" *)
+
+let intern s =
+  if s = "" then invalid_arg "Label.intern: empty string is reserved for epsilon";
+  match Hashtbl.find_opt by_name s with
+  | Some id -> id
+  | None ->
+    let id = !n_names in
+    if id = Array.length !names then begin
+      let bigger = Array.make (2 * id) "" in
+      Array.blit !names 0 bigger 0 id;
+      names := bigger
+    end;
+    !names.(id) <- s;
+    incr n_names;
+    Hashtbl.add by_name s id;
+    id
+
+let name id =
+  if id < 0 || id >= !n_names then invalid_arg "Label.name: unregistered label";
+  !names.(id)
+
+let mem s = Hashtbl.mem by_name s
+
+let count () = !n_names - 1
+
+let pp fmt id = Format.pp_print_string fmt (name id)

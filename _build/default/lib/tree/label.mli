@@ -1,0 +1,35 @@
+(** Interned node labels.
+
+    Trees in the collections share a small label alphabet (84 distinct labels
+    in Swissprot, 5 in Sentiment, ...), while join kernels compare labels
+    billions of times.  Labels are therefore interned once into dense
+    integers; all structural algorithms work on [int]s and only printing
+    resolves names back.
+
+    The intern table is global and not synchronized: call {!intern} only
+    from the main domain (loading and generation do; the multicore
+    verification path only compares already-interned ids). *)
+
+type t = int
+(** An interned label.  Equality and hashing are integer operations. *)
+
+val epsilon : t
+(** The dummy/empty label [ε] used for missing children in binary branches
+    and twig keys.  Never returned by {!intern}. *)
+
+val intern : string -> t
+(** [intern s] returns the unique label for [s], registering it on first
+    use.  @raise Invalid_argument on the empty string (reserved for
+    {!epsilon}). *)
+
+val name : t -> string
+(** Printable name of a label; [""] for {!epsilon}.
+    @raise Invalid_argument on an unregistered id. *)
+
+val mem : string -> bool
+(** Has this string been interned already? *)
+
+val count : unit -> int
+(** Number of distinct labels interned so far (excluding [ε]). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,147 @@
+exception Parse_error of string
+
+type cursor = { input : string; mutable pos : int }
+
+let error cur msg = raise (Parse_error (Printf.sprintf "at offset %d: %s" cur.pos msg))
+
+let peek cur = if cur.pos < String.length cur.input then Some cur.input.[cur.pos] else None
+
+let advance cur = cur.pos <- cur.pos + 1
+
+let skip_ws cur =
+  let rec go () =
+    match peek cur with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+      advance cur;
+      go ()
+    | _ -> ()
+  in
+  go ()
+
+let is_token_char c =
+  match c with '(' | ')' | ' ' | '\t' | '\n' | '\r' -> false | _ -> true
+
+let parse_token cur =
+  let start = cur.pos in
+  let rec go () =
+    match peek cur with
+    | Some c when is_token_char c ->
+      advance cur;
+      go ()
+    | _ -> ()
+  in
+  go ();
+  if cur.pos = start then error cur "expected a token";
+  String.sub cur.input start (cur.pos - start)
+
+let word_marker = "#word"
+
+let rec parse_node ~drop_words cur =
+  skip_ws cur;
+  match peek cur with
+  | Some '(' ->
+    advance cur;
+    skip_ws cur;
+    (* Penn Treebank wraps sentences in an unlabeled pair of parens:
+       "( (S ...) )".  Treat a '(' right after '(' as such a wrapper
+       when it contains exactly one node. *)
+    let label =
+      match peek cur with
+      | Some '(' -> None
+      | _ -> Some (parse_token cur)
+    in
+    let children = ref [] in
+    let rec kids () =
+      skip_ws cur;
+      match peek cur with
+      | Some ')' -> advance cur
+      | Some _ ->
+        children := parse_node ~drop_words cur :: !children;
+        kids ()
+      | None -> error cur "unterminated '('"
+    in
+    kids ();
+    let children = List.rev !children in
+    (match (label, children) with
+    | None, [ only ] -> only
+    | None, _ -> error cur "unlabeled node must wrap exactly one tree"
+    | Some l, children ->
+      (* With [drop_words], bare-token leaves were marked below; remove
+         them here so "(NN cat)" collapses to an NN leaf. *)
+      let children =
+        if drop_words then
+          List.filter
+            (fun (c : Tree.t) -> Label.name c.Tree.label <> word_marker)
+            children
+        else children
+      in
+      Tree.node (Label.intern l) children)
+  | Some _ ->
+    (* bare token: a leaf (usually a word) *)
+    let token = parse_token cur in
+    Tree.leaf (Label.intern (if drop_words then word_marker else token))
+  | None -> error cur "expected a tree"
+
+let finish_one ~drop_words cur =
+  let t = parse_node ~drop_words cur in
+  skip_ws cur;
+  t
+
+let of_string ?(drop_words = false) s =
+  let cur = { input = s; pos = 0 } in
+  match
+    let t = finish_one ~drop_words cur in
+    if cur.pos < String.length s then error cur "trailing content";
+    t
+  with
+  | t -> Ok t
+  | exception Parse_error msg -> Error msg
+
+let of_string_exn ?drop_words s =
+  match of_string ?drop_words s with
+  | Ok t -> t
+  | Error msg -> invalid_arg ("Sexp_format.of_string_exn: " ^ msg)
+
+let forest_of_string ?(drop_words = false) s =
+  let cur = { input = s; pos = 0 } in
+  match
+    let acc = ref [] in
+    let rec go () =
+      skip_ws cur;
+      match peek cur with
+      | None -> ()
+      | Some _ ->
+        acc := parse_node ~drop_words cur :: !acc;
+        go ()
+    in
+    go ();
+    List.rev !acc
+  with
+  | ts -> Ok ts
+  | exception Parse_error msg -> Error msg
+
+let sanitize_token s =
+  String.map (fun c -> if is_token_char c then c else '_') s
+
+let to_string t =
+  let b = Buffer.create 128 in
+  let rec go (node : Tree.t) =
+    match node.children with
+    | [] -> Buffer.add_string b (sanitize_token (Label.name node.label))
+    | children ->
+      Buffer.add_char b '(';
+      Buffer.add_string b (sanitize_token (Label.name node.label));
+      List.iter
+        (fun c ->
+          Buffer.add_char b ' ';
+          go c)
+        children;
+      Buffer.add_char b ')'
+  in
+  go t;
+  Buffer.contents b
+
+let load_file ?drop_words path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | contents -> forest_of_string ?drop_words contents
+  | exception Sys_error msg -> Error msg

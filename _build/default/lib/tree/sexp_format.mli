@@ -1,0 +1,27 @@
+(** Penn-Treebank-style s-expression trees.
+
+    The Treebank dataset the paper joins distributes parse trees as
+    parenthesized s-expressions: [(S (NP (DT the) (NN cat)) (VP ...))].
+    This module reads and writes that format:
+
+    - [(LABEL child child ...)] is an internal node;
+    - a bare token is a leaf;
+    - the common "tag + word" leaf [(NN cat)] parses as an [NN] node with
+      a [cat] leaf child (pass [~drop_words:true] to keep only the tag, as
+      structure-only joins usually want);
+    - an extra outer wrapper [( ... )] with no label — Penn Treebank wraps
+      every sentence this way — is unwrapped automatically. *)
+
+val of_string : ?drop_words:bool -> string -> (Tree.t, string) result
+
+val of_string_exn : ?drop_words:bool -> string -> Tree.t
+(** @raise Invalid_argument on a parse error. *)
+
+val forest_of_string : ?drop_words:bool -> string -> (Tree.t list, string) result
+(** Zero or more whitespace-separated trees (one treebank file). *)
+
+val to_string : Tree.t -> string
+(** Tokens containing whitespace or parentheses are not representable and
+    are escaped by replacing the offending characters with ['_']. *)
+
+val load_file : ?drop_words:bool -> string -> (Tree.t list, string) result

@@ -1,0 +1,48 @@
+(** Deterministic pseudo-random number generation.
+
+    All randomized components of the library (synthetic data generation,
+    random partitioning, property-test corpora) draw from this generator so
+    that every experiment is reproducible from a seed.  The implementation is
+    SplitMix64 (Steele, Lea & Flood, OOPSLA 2014): tiny state, excellent
+    statistical quality for simulation purposes, and trivially portable. *)
+
+type t
+(** Mutable generator state. *)
+
+val create : int -> t
+(** [create seed] makes a fresh generator.  Equal seeds yield equal
+    streams. *)
+
+val copy : t -> t
+(** [copy g] is an independent generator whose future stream equals the
+    future stream of [g] at the time of the copy. *)
+
+val split : t -> t
+(** [split g] derives a new generator from [g], advancing [g]; the two
+    streams are statistically independent.  Used to give each dataset /
+    tree its own substream so that changing one parameter does not shift
+    the randomness of unrelated components. *)
+
+val bits64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val int : t -> int -> int
+(** [int g bound] is uniform in [\[0, bound)].  @raise Invalid_argument if
+    [bound <= 0]. *)
+
+val int_in : t -> int -> int -> int
+(** [int_in g lo hi] is uniform in [\[lo, hi\]] (inclusive).
+    @raise Invalid_argument if [hi < lo]. *)
+
+val float : t -> float
+(** Uniform float in [\[0, 1)]. *)
+
+val bool : t -> bool
+(** Fair coin. *)
+
+val choice : t -> 'a array -> 'a
+(** Uniform element of a non-empty array.
+    @raise Invalid_argument on an empty array. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates shuffle. *)

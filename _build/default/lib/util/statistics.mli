@@ -1,0 +1,20 @@
+(** Small descriptive-statistics helpers for experiment reporting. *)
+
+val mean : float array -> float
+(** Arithmetic mean; 0 on the empty array. *)
+
+val mean_int : int array -> float
+
+val stddev : float array -> float
+(** Population standard deviation; 0 on arrays shorter than 2. *)
+
+val min_max : float array -> float * float
+(** @raise Invalid_argument on the empty array. *)
+
+val percentile : float array -> float -> float
+(** [percentile xs p] with [p] in [\[0,100\]], nearest-rank on a sorted copy.
+    @raise Invalid_argument on the empty array or [p] outside the range. *)
+
+val histogram : bins:int -> float array -> (float * float * int) array
+(** [histogram ~bins xs] returns [(lo, hi, count)] per bin over the data
+    range.  @raise Invalid_argument if [bins <= 0] or [xs] is empty. *)

@@ -1,0 +1,43 @@
+type t = {
+  mutable acc : float;        (* seconds accumulated over closed intervals *)
+  mutable started_at : float; (* start of the open interval, if any *)
+  mutable running : bool;
+}
+
+let now () = Unix.gettimeofday ()
+
+let create () = { acc = 0.0; started_at = 0.0; running = false }
+
+let start t =
+  if not t.running then begin
+    t.running <- true;
+    t.started_at <- now ()
+  end
+
+let stop t =
+  if t.running then begin
+    t.acc <- t.acc +. (now () -. t.started_at);
+    t.running <- false
+  end
+
+let elapsed_s t =
+  if t.running then t.acc +. (now () -. t.started_at) else t.acc
+
+let reset t =
+  t.acc <- 0.0;
+  t.running <- false
+
+let time t f =
+  start t;
+  match f () with
+  | v ->
+    stop t;
+    v
+  | exception e ->
+    stop t;
+    raise e
+
+let wall f =
+  let t0 = now () in
+  let v = f () in
+  (v, now () -. t0)

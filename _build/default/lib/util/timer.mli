@@ -1,0 +1,32 @@
+(** Wall-clock timing of join phases.
+
+    The evaluation figures in the paper split runtime into candidate
+    generation and TED verification; join drivers accumulate those phases in
+    separate {!t} values. *)
+
+type t
+(** A stopwatch accumulating elapsed time across several start/stop
+    intervals. *)
+
+val create : unit -> t
+(** A stopped stopwatch with zero accumulated time. *)
+
+val start : t -> unit
+(** Begin an interval.  Starting an already-running stopwatch is a no-op. *)
+
+val stop : t -> unit
+(** End the current interval, adding it to the accumulated total.  Stopping a
+    stopped stopwatch is a no-op. *)
+
+val elapsed_s : t -> float
+(** Accumulated seconds, including the current interval if running. *)
+
+val reset : t -> unit
+(** Back to zero, stopped. *)
+
+val time : t -> (unit -> 'a) -> 'a
+(** [time t f] runs [f ()] with [t] running around the call, and propagates
+    both results and exceptions. *)
+
+val wall : (unit -> 'a) -> 'a * float
+(** [wall f] is [(f (), seconds_taken)]. *)

@@ -1,0 +1,63 @@
+type t = { mutable data : int array; mutable len : int }
+
+let create ?(capacity = 8) () =
+  let capacity = max capacity 1 in
+  { data = Array.make capacity 0; len = 0 }
+
+let length v = v.len
+
+let is_empty v = v.len = 0
+
+let grow v =
+  let cap = Array.length v.data in
+  let data = Array.make (2 * cap) 0 in
+  Array.blit v.data 0 data 0 v.len;
+  v.data <- data
+
+let push v x =
+  if v.len = Array.length v.data then grow v;
+  v.data.(v.len) <- x;
+  v.len <- v.len + 1
+
+let check v i name =
+  if i < 0 || i >= v.len then invalid_arg ("Vec_int." ^ name ^ ": index out of bounds")
+
+let get v i =
+  check v i "get";
+  v.data.(i)
+
+let set v i x =
+  check v i "set";
+  v.data.(i) <- x
+
+let pop v =
+  if v.len = 0 then invalid_arg "Vec_int.pop: empty";
+  v.len <- v.len - 1;
+  v.data.(v.len)
+
+let top v =
+  if v.len = 0 then invalid_arg "Vec_int.top: empty";
+  v.data.(v.len - 1)
+
+let clear v = v.len <- 0
+
+let to_array v = Array.sub v.data 0 v.len
+
+let of_array a = { data = Array.copy a; len = Array.length a }
+
+let iter f v =
+  for i = 0 to v.len - 1 do
+    f v.data.(i)
+  done
+
+let fold_left f init v =
+  let acc = ref init in
+  for i = 0 to v.len - 1 do
+    acc := f !acc v.data.(i)
+  done;
+  !acc
+
+let sort v =
+  let a = to_array v in
+  Array.sort compare a;
+  Array.blit a 0 v.data 0 v.len

@@ -1,0 +1,45 @@
+(** Growable arrays of unboxed [int]s.
+
+    The join kernels build many postorder/index structures incrementally;
+    this avoids both list reversal churn and boxing. *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** Fresh empty vector.  [capacity] pre-allocates backing storage. *)
+
+val length : t -> int
+
+val is_empty : t -> bool
+
+val push : t -> int -> unit
+(** Append one element, growing the backing array geometrically. *)
+
+val get : t -> int -> int
+(** [get v i] is the [i]-th element.  @raise Invalid_argument out of
+    bounds. *)
+
+val set : t -> int -> int -> unit
+(** @raise Invalid_argument out of bounds. *)
+
+val pop : t -> int
+(** Remove and return the last element.  @raise Invalid_argument if
+    empty. *)
+
+val top : t -> int
+(** Last element without removing.  @raise Invalid_argument if empty. *)
+
+val clear : t -> unit
+(** Logical reset; keeps the backing storage. *)
+
+val to_array : t -> int array
+(** Fresh array of the current contents. *)
+
+val of_array : int array -> t
+
+val iter : (int -> unit) -> t -> unit
+
+val fold_left : ('a -> int -> 'a) -> 'a -> t -> 'a
+
+val sort : t -> unit
+(** In-place ascending sort of the live prefix. *)

@@ -1,0 +1,1 @@
+lib/xml/xml.ml: Buffer Format List String Tsj_tree

@@ -1,0 +1,1 @@
+lib/xml/xml.mli: Format Tsj_tree

@@ -1,0 +1,1 @@
+lib/xml/xml_parser.ml: Buffer Char In_channel List Printf String Xml

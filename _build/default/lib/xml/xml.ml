@@ -1,0 +1,122 @@
+module Tree = Tsj_tree.Tree
+module Label = Tsj_tree.Label
+
+type t =
+  | Element of { tag : string; attrs : (string * string) list; children : t list }
+  | Text of string
+
+let normalize_ws s =
+  let b = Buffer.create (String.length s) in
+  let pending_space = ref false in
+  String.iter
+    (fun c ->
+      match c with
+      | ' ' | '\t' | '\n' | '\r' -> if Buffer.length b > 0 then pending_space := true
+      | c ->
+        if !pending_space then begin
+          Buffer.add_char b ' ';
+          pending_space := false
+        end;
+        Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let rec to_tree ?(keep_text = true) ?(keep_attrs = false) doc =
+  match doc with
+  | Text s ->
+    let s = normalize_ws s in
+    Tree.leaf (Label.intern (if s = "" then "#text" else s))
+  | Element { tag; attrs; children } ->
+    let attr_leaves =
+      if keep_attrs then
+        List.map (fun (k, v) -> Tree.leaf (Label.intern ("@" ^ k ^ "=" ^ v))) attrs
+      else []
+    in
+    let keep_child = function
+      | Text s -> keep_text && normalize_ws s <> ""
+      | Element _ -> true
+    in
+    let child_nodes =
+      List.filter_map
+        (fun c ->
+          if keep_child c then Some (to_tree ~keep_text ~keep_attrs c) else None)
+        children
+    in
+    Tree.node (Label.intern tag) (attr_leaves @ child_nodes)
+
+let is_name_char c =
+  (c >= 'a' && c <= 'z')
+  || (c >= 'A' && c <= 'Z')
+  || (c >= '0' && c <= '9')
+  || c = '_' || c = '-' || c = '.' || c = ':'
+
+let is_name s =
+  s <> ""
+  && (let c = s.[0] in
+      (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_')
+  && String.for_all is_name_char s
+
+let rec of_tree (tree : Tree.t) =
+  let name = Label.name tree.label in
+  if String.length name > 1 && name.[0] = '@' then
+    (* handled by the parent; standalone attribute becomes text *)
+    Text name
+  else if tree.children = [] && not (is_name name) then Text name
+  else begin
+    let attrs, children =
+      List.partition
+        (fun (c : Tree.t) ->
+          let n = Label.name c.label in
+          c.children = [] && String.length n > 1 && n.[0] = '@'
+          && String.contains n '=')
+        tree.children
+    in
+    let split_attr (c : Tree.t) =
+      let n = Label.name c.label in
+      let eq = String.index n '=' in
+      (String.sub n 1 (eq - 1), String.sub n (eq + 1) (String.length n - eq - 1))
+    in
+    let tag = if is_name name then name else "node" in
+    Element { tag; attrs = List.map split_attr attrs; children = List.map of_tree children }
+  end
+
+let escape_into b s ~attr =
+  String.iter
+    (fun c ->
+      match c with
+      | '<' -> Buffer.add_string b "&lt;"
+      | '>' -> Buffer.add_string b "&gt;"
+      | '&' -> Buffer.add_string b "&amp;"
+      | '"' when attr -> Buffer.add_string b "&quot;"
+      | '\'' when attr -> Buffer.add_string b "&apos;"
+      | c -> Buffer.add_char b c)
+    s
+
+let to_string doc =
+  let b = Buffer.create 256 in
+  let rec go = function
+    | Text s -> escape_into b s ~attr:false
+    | Element { tag; attrs; children } ->
+      Buffer.add_char b '<';
+      Buffer.add_string b tag;
+      List.iter
+        (fun (k, v) ->
+          Buffer.add_char b ' ';
+          Buffer.add_string b k;
+          Buffer.add_string b "=\"";
+          escape_into b v ~attr:true;
+          Buffer.add_char b '"')
+        attrs;
+      if children = [] then Buffer.add_string b "/>"
+      else begin
+        Buffer.add_char b '>';
+        List.iter go children;
+        Buffer.add_string b "</";
+        Buffer.add_string b tag;
+        Buffer.add_char b '>'
+      end
+  in
+  go doc;
+  Buffer.contents b
+
+let pp fmt doc = Format.pp_print_string fmt (to_string doc)

@@ -1,0 +1,31 @@
+(** Minimal XML document model.
+
+    The real Swissprot/Treebank corpora the paper joins are XML; this module
+    provides the document model the examples and loaders work with.  It is a
+    deliberately small subset of XML 1.0: elements with attributes, text,
+    CDATA, comments (skipped), processing instructions and the XML
+    declaration (skipped), and the five predefined entities.  No DTDs or
+    namespaces — the similarity-join workloads never need them. *)
+
+type t =
+  | Element of { tag : string; attrs : (string * string) list; children : t list }
+  | Text of string
+
+val to_tree : ?keep_text:bool -> ?keep_attrs:bool -> t -> Tsj_tree.Tree.t
+(** Convert a document to a labeled tree the join algorithms consume.
+    Element tags become labels.  With [keep_text] (default [true]) each
+    text node becomes a leaf labeled with the (whitespace-normalized)
+    text; with [keep_attrs] (default [false]) each attribute becomes a
+    leaf labeled ["@name=value"] preceding the element's children — the
+    convention used by the XML TED literature. *)
+
+val of_tree : Tsj_tree.Tree.t -> t
+(** Inverse-ish of {!to_tree}: leaf children labeled ["@name=value"]
+    become attributes of their parent element, leaf labels that are not
+    valid XML names become text nodes, and everything else becomes an
+    element (non-name inner labels fall back to the tag ["node"]). *)
+
+val pp : Format.formatter -> t -> unit
+(** Serialize with escaping; no added indentation. *)
+
+val to_string : t -> string

@@ -1,0 +1,266 @@
+exception Error of string
+
+type cursor = { input : string; mutable pos : int }
+
+let fail cur msg = raise (Error (Printf.sprintf "at offset %d: %s" cur.pos msg))
+
+let eof cur = cur.pos >= String.length cur.input
+
+let peek cur = if eof cur then '\000' else cur.input.[cur.pos]
+
+let peek2 cur =
+  if cur.pos + 1 >= String.length cur.input then '\000' else cur.input.[cur.pos + 1]
+
+let advance cur = cur.pos <- cur.pos + 1
+
+let looking_at cur s =
+  let n = String.length s in
+  cur.pos + n <= String.length cur.input && String.sub cur.input cur.pos n = s
+
+let expect cur s =
+  if looking_at cur s then cur.pos <- cur.pos + String.length s
+  else fail cur (Printf.sprintf "expected %S" s)
+
+let skip_until cur s =
+  let n = String.length cur.input in
+  let rec go () =
+    if cur.pos >= n then fail cur (Printf.sprintf "unterminated construct, expected %S" s)
+    else if looking_at cur s then cur.pos <- cur.pos + String.length s
+    else begin
+      advance cur;
+      go ()
+    end
+  in
+  go ()
+
+let is_ws c = c = ' ' || c = '\t' || c = '\n' || c = '\r'
+
+let skip_ws cur = while (not (eof cur)) && is_ws (peek cur) do advance cur done
+
+let is_name_start c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_' || c = ':'
+
+let is_name_char c =
+  is_name_start c || (c >= '0' && c <= '9') || c = '-' || c = '.'
+
+let parse_name cur =
+  if not (is_name_start (peek cur)) then fail cur "expected a name";
+  let start = cur.pos in
+  while (not (eof cur)) && is_name_char (peek cur) do advance cur done;
+  String.sub cur.input start (cur.pos - start)
+
+(* Decode one entity/char reference starting after '&'. *)
+let parse_reference cur b =
+  let semi =
+    match String.index_from_opt cur.input cur.pos ';' with
+    | Some i when i - cur.pos <= 10 -> i
+    | _ -> fail cur "unterminated entity reference"
+  in
+  let body = String.sub cur.input cur.pos (semi - cur.pos) in
+  cur.pos <- semi + 1;
+  match body with
+  | "lt" -> Buffer.add_char b '<'
+  | "gt" -> Buffer.add_char b '>'
+  | "amp" -> Buffer.add_char b '&'
+  | "quot" -> Buffer.add_char b '"'
+  | "apos" -> Buffer.add_char b '\''
+  | _ ->
+    if String.length body > 1 && body.[0] = '#' then begin
+      let code =
+        try
+          if body.[1] = 'x' || body.[1] = 'X' then
+            int_of_string ("0x" ^ String.sub body 2 (String.length body - 2))
+          else int_of_string (String.sub body 1 (String.length body - 1))
+        with Failure _ -> fail cur (Printf.sprintf "bad character reference &%s;" body)
+      in
+      if code < 0x80 then Buffer.add_char b (Char.chr code)
+      else begin
+        (* UTF-8 encode *)
+        if code < 0x800 then begin
+          Buffer.add_char b (Char.chr (0xC0 lor (code lsr 6)));
+          Buffer.add_char b (Char.chr (0x80 lor (code land 0x3F)))
+        end
+        else if code < 0x10000 then begin
+          Buffer.add_char b (Char.chr (0xE0 lor (code lsr 12)));
+          Buffer.add_char b (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+          Buffer.add_char b (Char.chr (0x80 lor (code land 0x3F)))
+        end
+        else begin
+          Buffer.add_char b (Char.chr (0xF0 lor (code lsr 18)));
+          Buffer.add_char b (Char.chr (0x80 lor ((code lsr 12) land 0x3F)));
+          Buffer.add_char b (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+          Buffer.add_char b (Char.chr (0x80 lor (code land 0x3F)))
+        end
+      end
+    end
+    else fail cur (Printf.sprintf "unknown entity &%s;" body)
+
+let parse_attr_value cur =
+  let quote = peek cur in
+  if quote <> '"' && quote <> '\'' then fail cur "expected a quoted attribute value";
+  advance cur;
+  let b = Buffer.create 16 in
+  let rec go () =
+    if eof cur then fail cur "unterminated attribute value"
+    else begin
+      let c = peek cur in
+      if c = quote then advance cur
+      else if c = '&' then begin
+        advance cur;
+        parse_reference cur b;
+        go ()
+      end
+      else if c = '<' then fail cur "'<' in attribute value"
+      else begin
+        Buffer.add_char b c;
+        advance cur;
+        go ()
+      end
+    end
+  in
+  go ();
+  Buffer.contents b
+
+let parse_attrs cur =
+  let rec go acc =
+    skip_ws cur;
+    if is_name_start (peek cur) then begin
+      let name = parse_name cur in
+      skip_ws cur;
+      expect cur "=";
+      skip_ws cur;
+      let value = parse_attr_value cur in
+      go ((name, value) :: acc)
+    end
+    else List.rev acc
+  in
+  go []
+
+(* Skip comments, PIs and the XML declaration; return true if something was
+   consumed. *)
+let skip_misc cur =
+  if looking_at cur "<!--" then begin
+    cur.pos <- cur.pos + 4;
+    skip_until cur "-->";
+    true
+  end
+  else if looking_at cur "<?" then begin
+    cur.pos <- cur.pos + 2;
+    skip_until cur "?>";
+    true
+  end
+  else if looking_at cur "<!DOCTYPE" then begin
+    (* naive DOCTYPE skip: up to the next '>' (no internal subsets) *)
+    skip_until cur ">";
+    true
+  end
+  else false
+
+let rec parse_element cur =
+  expect cur "<";
+  let tag = parse_name cur in
+  let attrs = parse_attrs cur in
+  skip_ws cur;
+  if looking_at cur "/>" then begin
+    cur.pos <- cur.pos + 2;
+    Xml.Element { tag; attrs; children = [] }
+  end
+  else begin
+    expect cur ">";
+    let children = parse_content cur tag in
+    Xml.Element { tag; attrs; children }
+  end
+
+and parse_content cur tag =
+  let children = ref [] in
+  let text = Buffer.create 32 in
+  let flush_text () =
+    if Buffer.length text > 0 then begin
+      children := Xml.Text (Buffer.contents text) :: !children;
+      Buffer.clear text
+    end
+  in
+  let rec go () =
+    if eof cur then fail cur (Printf.sprintf "unterminated element <%s>" tag)
+    else if looking_at cur "</" then begin
+      flush_text ();
+      cur.pos <- cur.pos + 2;
+      let close = parse_name cur in
+      skip_ws cur;
+      expect cur ">";
+      if close <> tag then
+        fail cur (Printf.sprintf "mismatched closing tag </%s> for <%s>" close tag)
+    end
+    else if looking_at cur "<![CDATA[" then begin
+      cur.pos <- cur.pos + 9;
+      let start = cur.pos in
+      skip_until cur "]]>";
+      Buffer.add_string text (String.sub cur.input start (cur.pos - 3 - start));
+      go ()
+    end
+    else if skip_misc cur then go ()
+    else if peek cur = '<' && peek2 cur = '/' then go () (* unreachable; kept for clarity *)
+    else if peek cur = '<' then begin
+      flush_text ();
+      children := parse_element cur :: !children;
+      go ()
+    end
+    else if peek cur = '&' then begin
+      advance cur;
+      parse_reference cur text;
+      go ()
+    end
+    else begin
+      Buffer.add_char text (peek cur);
+      advance cur;
+      go ()
+    end
+  in
+  go ();
+  List.rev !children
+
+let parse_prolog cur =
+  let rec go () =
+    skip_ws cur;
+    if skip_misc cur then go ()
+  in
+  go ()
+
+let parse s =
+  let cur = { input = s; pos = 0 } in
+  match
+    parse_prolog cur;
+    let doc = parse_element cur in
+    parse_prolog cur;
+    if not (eof cur) then fail cur "trailing content after the root element";
+    doc
+  with
+  | doc -> Ok doc
+  | exception Error msg -> Error msg
+
+let parse_exn s =
+  match parse s with
+  | Ok doc -> doc
+  | Error msg -> invalid_arg ("Xml_parser.parse_exn: " ^ msg)
+
+let parse_fragments s =
+  let cur = { input = s; pos = 0 } in
+  match
+    let acc = ref [] in
+    let rec go () =
+      parse_prolog cur;
+      if not (eof cur) then begin
+        acc := parse_element cur :: !acc;
+        go ()
+      end
+    in
+    go ();
+    List.rev !acc
+  with
+  | docs -> Ok docs
+  | exception Error msg -> Error msg
+
+let load_file path =
+  match In_channel.with_open_bin path In_channel.input_all with
+  | contents -> parse contents
+  | exception Sys_error msg -> Error msg

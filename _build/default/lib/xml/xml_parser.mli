@@ -1,0 +1,21 @@
+(** Recursive-descent parser for the XML subset described in {!Xml}.
+
+    Handles: the XML declaration and processing instructions (skipped),
+    comments (skipped), CDATA sections (as text), the five predefined
+    entities ([&lt; &gt; &amp; &quot; &apos;]) and decimal/hex character
+    references, attributes in single or double quotes, and self-closing
+    tags.  Tag mismatches, unterminated constructs and stray markup are
+    reported with byte offsets. *)
+
+val parse : string -> (Xml.t, string) result
+(** Parse a document with exactly one root element.  Leading/trailing
+    prolog material (declaration, comments, whitespace) is allowed. *)
+
+val parse_exn : string -> Xml.t
+(** @raise Invalid_argument on malformed input. *)
+
+val parse_fragments : string -> (Xml.t list, string) result
+(** Parse a sequence of root-level elements — handy for record-per-line
+    corpora (e.g. a concatenation of Swissprot entries). *)
+
+val load_file : string -> (Xml.t, string) result

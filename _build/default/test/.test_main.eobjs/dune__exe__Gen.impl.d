@@ -1,0 +1,1 @@
+test/gen.ml: Array Format List Printf QCheck QCheck_alcotest Random String Tsj_tree Tsj_util

@@ -1,0 +1,1 @@
+test/suite_cli.ml: Alcotest Filename Fun In_channel List Out_channel String Sys Unix

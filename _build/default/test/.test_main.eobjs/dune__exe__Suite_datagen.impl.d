@@ -1,0 +1,1 @@
+test/suite_datagen.ml: Alcotest Array Gen List Printf String Tsj_core Tsj_datagen Tsj_join Tsj_ted Tsj_tree Tsj_util

@@ -1,0 +1,1 @@
+test/suite_extensions.ml: Alcotest Array Filename Format Gen List Out_channel Printf String Sys Tsj_core Tsj_join Tsj_ted Tsj_tree Tsj_util

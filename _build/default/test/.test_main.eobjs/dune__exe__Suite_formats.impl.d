@@ -1,0 +1,1 @@
+test/suite_formats.ml: Alcotest Filename Fmt Gen List Out_channel String Sys Tsj_core Tsj_tree

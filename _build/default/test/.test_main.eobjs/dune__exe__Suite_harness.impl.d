@@ -1,0 +1,1 @@
+test/suite_harness.ml: Alcotest Array Filename Gen In_channel List String Sys Tsj_harness Tsj_join Tsj_tree Tsj_util

@@ -1,0 +1,1 @@
+test/suite_join.ml: Alcotest Array Gen List Printf QCheck Random Tsj_baselines Tsj_core Tsj_join Tsj_ted Tsj_tree Tsj_util

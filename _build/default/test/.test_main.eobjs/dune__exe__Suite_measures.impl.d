@@ -1,0 +1,1 @@
+test/suite_measures.ml: Alcotest Array Gen List Printf Tsj_baselines Tsj_core Tsj_ted Tsj_tree Tsj_util

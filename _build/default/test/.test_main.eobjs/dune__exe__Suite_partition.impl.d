@@ -1,0 +1,1 @@
+test/suite_partition.ml: Alcotest Array Gen Hashtbl List Option Printf Tsj_core Tsj_join Tsj_ted Tsj_tree Tsj_util

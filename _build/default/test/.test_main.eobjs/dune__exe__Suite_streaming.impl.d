@@ -1,0 +1,1 @@
+test/suite_streaming.ml: Alcotest Array Fun Gen List Printf Tsj_core Tsj_join Tsj_tree Tsj_util

@@ -1,0 +1,1 @@
+test/suite_ted.ml: Alcotest Array Char Gen List Printf QCheck String Tsj_ted Tsj_tree Tsj_util

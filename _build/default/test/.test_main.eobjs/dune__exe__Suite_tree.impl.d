@@ -1,0 +1,1 @@
+test/suite_tree.ml: Alcotest Array Buffer Filename Fmt Format Gen List Printf String Sys Tsj_core Tsj_tree Tsj_util

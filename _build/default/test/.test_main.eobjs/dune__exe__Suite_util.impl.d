@@ -1,0 +1,1 @@
+test/suite_util.ml: Alcotest Array Gen QCheck Tsj_util

@@ -1,0 +1,1 @@
+test/suite_xml.ml: Alcotest Array Gen List Printf QCheck Random String Tsj_core Tsj_join Tsj_tree Tsj_util Tsj_xml

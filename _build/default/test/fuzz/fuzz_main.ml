@@ -1,0 +1,212 @@
+(* Long-running randomized hunts for rare soundness violations.
+
+   The quick property tests in ../suite_*.ml run a few hundred cases per
+   suite; the failure modes this tool targets occur once per ~10^4..10^6
+   random draws (this is how DESIGN.md findings 2 and 3 were discovered).
+   Run it when touching the partitioning, matching or index code:
+
+     dune exec test/fuzz/fuzz_main.exe -- lemma2 2000000 42
+     dune exec test/fuzz/fuzz_main.exe -- windows 2000000 42
+     dune exec test/fuzz/fuzz_main.exe -- join 20000 42
+     dune exec test/fuzz/fuzz_main.exe -- ted 200000 42
+
+   Modes:
+   - lemma2: after <= tau random edits, some subgraph of the balanced
+     (2 tau + 1)-partitioning must occur in the edited tree (expected: 0
+     failures — finding 3's fix);
+   - windows: same, but through the two-layer index with the sound
+     Two_sided windows (expected: 0) and with the paper's rank windows
+     (failures are counted and expected — finding 2);
+   - join: PartSJ must equal the nested-loop ground truth on random
+     clustered datasets (expected: 0);
+   - ted: Zhang-Shasha left/right/hybrid must agree, match the naive
+     reference on small inputs, and every bound must lower-bound it
+     (expected: 0). *)
+
+module Tree = Tsj_tree.Tree
+module BT = Tsj_tree.Binary_tree
+module Prng = Tsj_util.Prng
+module Partition = Tsj_core.Partition
+module Subgraph = Tsj_core.Subgraph
+module Index = Tsj_core.Two_layer_index
+
+let labels = Array.init 8 (fun i -> Tsj_tree.Label.intern (Printf.sprintf "f%d" i))
+
+(* Uniform-ish random tree: repeatedly attach a leaf under a random node. *)
+let random_tree rng size =
+  let rec attach (t : Tree.t) slot =
+    if slot = 0 then begin
+      let pos = Prng.int_in rng 0 (List.length t.Tree.children) in
+      let rec insert i = function
+        | rest when i = 0 -> Tree.leaf (Prng.choice rng labels) :: rest
+        | [] -> [ Tree.leaf (Prng.choice rng labels) ]
+        | c :: rest -> c :: insert (i - 1) rest
+      in
+      (Tree.node t.Tree.label (insert pos t.Tree.children), -1)
+    end
+    else begin
+      let rec through acc slot = function
+        | [] -> (List.rev acc, slot)
+        | c :: rest ->
+          if slot < 0 then through (c :: acc) slot rest
+          else begin
+            let c', slot' = attach c (slot - 1) in
+            through (c' :: acc) slot' rest
+          end
+      in
+      let children, slot' = through [] (slot - 1) t.Tree.children in
+      (Tree.node t.Tree.label children, slot')
+    end
+  in
+  let rec grow t n =
+    if n = 0 then t
+    else begin
+      let target = Prng.int rng (Tree.size t) in
+      let t', _ = attach t target in
+      grow t' (n - 1)
+    end
+  in
+  grow (Tree.leaf (Prng.choice rng labels)) (size - 1)
+
+let edited_pair rng =
+  let size = 2 + Prng.int rng 35 in
+  let x = random_tree rng size in
+  let k = Prng.int_in rng 1 3 in
+  let _, x' = Tsj_tree.Edit_op.random_script rng ~labels k x in
+  (x, x', k)
+
+let report name i detail =
+  Printf.printf "FAIL %s at iteration %d: %s\n%!" name i detail
+
+let fuzz_lemma2 iterations rng =
+  let failures = ref 0 in
+  for i = 1 to iterations do
+    let x, x', tau = edited_pair rng in
+    let delta = (2 * tau) + 1 in
+    let b = BT.of_tree x in
+    if b.BT.size >= delta then begin
+      let subs = Subgraph.of_partition ~tree_id:0 (Partition.partition b ~delta) in
+      let b' = BT.of_tree x' in
+      if not (Array.exists (fun s -> Subgraph.occurs_in s b') subs) then begin
+        incr failures;
+        if !failures <= 5 then
+          report "lemma2" i
+            (Printf.sprintf "tau=%d base=%s edited=%s" tau
+               (Tsj_tree.Bracket.to_string x)
+               (Tsj_tree.Bracket.to_string x'))
+      end
+    end
+  done;
+  !failures
+
+let probe_finds mode tau subs b' =
+  let idx = Index.create ~mode ~tau () in
+  Array.iter (Index.insert idx) subs;
+  let found = ref false in
+  for v = 0 to b'.BT.size - 1 do
+    Index.probe idx b' v (fun s -> if (not !found) && Subgraph.matches s b' v then found := true)
+  done;
+  !found
+
+let fuzz_windows iterations rng =
+  let sound_failures = ref 0 in
+  let paper_misses = ref 0 in
+  for i = 1 to iterations do
+    let x, x', tau = edited_pair rng in
+    let x, x' = if Tree.size x <= Tree.size x' then (x, x') else (x', x) in
+    let delta = (2 * tau) + 1 in
+    let b = BT.of_tree x in
+    if b.BT.size >= delta then begin
+      let subs = Subgraph.of_partition ~tree_id:0 (Partition.partition b ~delta) in
+      let b' = BT.of_tree x' in
+      if not (probe_finds Index.Two_sided tau subs b') then begin
+        incr sound_failures;
+        if !sound_failures <= 5 then
+          report "windows(two-sided)" i
+            (Printf.sprintf "tau=%d base=%s edited=%s" tau
+               (Tsj_tree.Bracket.to_string x)
+               (Tsj_tree.Bracket.to_string x'))
+      end;
+      if not (probe_finds Index.Paper_rank tau subs b') then incr paper_misses
+    end
+  done;
+  Printf.printf "paper-rank windows missed %d (expected: nonzero, see DESIGN.md finding 2)\n"
+    !paper_misses;
+  !sound_failures
+
+let fuzz_join iterations rng =
+  let failures = ref 0 in
+  for i = 1 to iterations do
+    let n_base = 3 + Prng.int rng 6 in
+    let trees = ref [] in
+    for _ = 1 to n_base do
+      let base = random_tree rng (1 + Prng.int rng 12) in
+      trees := base :: !trees;
+      for _ = 1 to 2 do
+        let k = Prng.int_in rng 0 3 in
+        let _, copy = Tsj_tree.Edit_op.random_script rng ~labels k base in
+        trees := copy :: !trees
+      done
+    done;
+    let trees = Array.of_list !trees in
+    let tau = Prng.int rng 4 in
+    let truth = Tsj_join.Nested_loop.join ~trees ~tau () in
+    let prt = Tsj_core.Partsj.join ~trees ~tau () in
+    if not (Tsj_join.Types.equal_results truth prt) then begin
+      incr failures;
+      if !failures <= 5 then
+        report "join" i
+          (Printf.sprintf "tau=%d trees=%s" tau
+             (String.concat " "
+                (Array.to_list (Array.map Tsj_tree.Bracket.to_string trees))))
+    end
+  done;
+  !failures
+
+let fuzz_ted iterations rng =
+  let failures = ref 0 in
+  for i = 1 to iterations do
+    let x = random_tree rng (1 + Prng.int rng 12) in
+    let y = random_tree rng (1 + Prng.int rng 12) in
+    let px = Tsj_ted.Ted.preprocess x and py = Tsj_ted.Ted.preprocess y in
+    let l = Tsj_ted.Ted.distance_prep ~algorithm:Tsj_ted.Ted.Zs_left px py in
+    let r = Tsj_ted.Ted.distance_prep ~algorithm:Tsj_ted.Ted.Zs_right px py in
+    let bad = ref [] in
+    if l <> r then bad := "left<>right" :: !bad;
+    if Tree.size x <= 9 && Tree.size y <= 9 && l <> Tsj_ted.Naive.distance x y then
+      bad := "zs<>naive" :: !bad;
+    if Tsj_ted.Bounds.best x y > l then bad := "bound>ted" :: !bad;
+    if Tsj_ted.Constrained.distance x y < l then bad := "constrained<ted" :: !bad;
+    if !bad <> [] then begin
+      incr failures;
+      if !failures <= 5 then
+        report "ted" i
+          (Printf.sprintf "%s: %s vs %s" (String.concat "," !bad)
+             (Tsj_tree.Bracket.to_string x) (Tsj_tree.Bracket.to_string y))
+    end
+  done;
+  !failures
+
+let () =
+  let mode, iterations, seed =
+    match Array.to_list Sys.argv with
+    | [ _; mode ] -> (mode, 200_000, 42)
+    | [ _; mode; iters ] -> (mode, int_of_string iters, 42)
+    | [ _; mode; iters; seed ] -> (mode, int_of_string iters, int_of_string seed)
+    | _ ->
+      prerr_endline "usage: fuzz_main (lemma2|windows|join|ted) [iterations] [seed]";
+      exit 2
+  in
+  let rng = Prng.create seed in
+  let failures =
+    match mode with
+    | "lemma2" -> fuzz_lemma2 iterations rng
+    | "windows" -> fuzz_windows iterations rng
+    | "join" -> fuzz_join iterations rng
+    | "ted" -> fuzz_ted iterations rng
+    | other ->
+      Printf.eprintf "unknown mode %S\n" other;
+      exit 2
+  in
+  Printf.printf "%s: %d iterations, %d failures\n" mode iterations failures;
+  exit (if failures = 0 then 0 else 1)

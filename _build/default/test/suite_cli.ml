@@ -1,0 +1,109 @@
+(* End-to-end tests of the tsj command-line interface: each case runs the
+   built binary as a subprocess and checks its output and exit status. *)
+
+let tsj = "../bin/tsj.exe"
+
+let run args =
+  let cmd = Filename.quote_command tsj args in
+  let ic = Unix.open_process_in (cmd ^ " 2>&1") in
+  let out = In_channel.input_all ic in
+  let status = Unix.close_process_in ic in
+  let code = match status with Unix.WEXITED c -> c | _ -> -1 in
+  (code, out)
+
+let contains haystack needle =
+  let n = String.length needle in
+  let rec go i =
+    i + n <= String.length haystack && (String.sub haystack i n = needle || go (i + 1))
+  in
+  go 0
+
+let check_exit name expected (code, out) =
+  if code <> expected then
+    Alcotest.failf "%s: exit %d (expected %d); output:\n%s" name code expected out
+
+let test_ted () =
+  let code, out = run [ "ted"; "{a{b}{c}}"; "{a{c}{b}}" ] in
+  check_exit "ted" 0 (code, out);
+  Alcotest.(check string) "distance printed" "2" (String.trim out);
+  let code, out = run [ "ted"; "{a}"; "{a}"; "--algorithm"; "naive" ] in
+  check_exit "ted naive" 0 (code, out);
+  Alcotest.(check string) "zero" "0" (String.trim out);
+  let code, _ = run [ "ted"; "{bad"; "{a}" ] in
+  Alcotest.(check bool) "bad tree rejected" true (code <> 0)
+
+let with_dataset f =
+  let path = Filename.temp_file "tsjcli" ".trees" in
+  Out_channel.with_open_text path (fun oc ->
+      output_string oc "{a{b}{c}}\n{a{b}{c}}\n{a{b}{x}}\n{q{w{e{r{t}}}}}\n");
+  Fun.protect ~finally:(fun () -> Sys.remove path) (fun () -> f path)
+
+let test_join () =
+  with_dataset (fun path ->
+      let code, out = run [ "join"; path; "--tau"; "1"; "-m"; "PRT"; "--pairs" ] in
+      check_exit "join" 0 (code, out);
+      Alcotest.(check bool) "stats line" true (contains out "results=3");
+      Alcotest.(check bool) "duplicate pair listed" true (contains out "0\t1\t0");
+      (* all methods agree *)
+      List.iter
+        (fun m ->
+          let code, out' = run [ "join"; path; "--tau"; "1"; "-m"; m ] in
+          check_exit ("join " ^ m) 0 (code, out');
+          Alcotest.(check bool) (m ^ " same results") true (contains out' "results=3"))
+        [ "NL"; "STR"; "SET" ];
+      let code, out = run [ "join"; path; "--tau"; "1"; "--metric"; "constrained" ] in
+      check_exit "join constrained" 0 (code, out);
+      Alcotest.(check bool) "constrained runs" true (contains out "results="))
+
+let test_search () =
+  with_dataset (fun path ->
+      let code, out = run [ "search"; path; "{a{b}{c}}"; "--tau"; "1" ] in
+      check_exit "search" 0 (code, out);
+      Alcotest.(check bool) "finds duplicates" true
+        (contains out "0\t0" && contains out "1\t0" && contains out "2\t1");
+      let code, out = run [ "search"; path; "{a{b}{c}}"; "--tau"; "1"; "--top"; "1" ] in
+      check_exit "search top" 0 (code, out);
+      Alcotest.(check int) "exactly one line" 1
+        (List.length (List.filter (fun l -> String.trim l <> "") (String.split_on_char '\n' out))))
+
+let test_gen_and_partition () =
+  let path = Filename.temp_file "tsjcli" ".gen" in
+  Fun.protect ~finally:(fun () -> Sys.remove path) (fun () ->
+      let code, out = run [ "gen"; path; "--count"; "25"; "--profile"; "sentiment" ] in
+      check_exit "gen" 0 (code, out);
+      Alcotest.(check bool) "reports stats" true (contains out "25 trees");
+      let code, out = run [ "join"; path; "--tau"; "1" ] in
+      check_exit "join generated" 0 (code, out);
+      Alcotest.(check bool) "ran" true (contains out "trees=25"));
+  let code, out = run [ "partition"; "{a{b{c{d}{e}}}{f}{g}}"; "--tau"; "1" ] in
+  check_exit "partition" 0 (code, out);
+  Alcotest.(check bool) "gamma shown" true (contains out "gamma");
+  Alcotest.(check bool) "subgraphs listed" true (contains out "subgraph k=1");
+  let code, out = run [ "partition"; "{a{b{c{d}{e}}}{f}{g}}"; "--tau"; "1"; "--dot" ] in
+  check_exit "partition dot" 0 (code, out);
+  Alcotest.(check bool) "dot output" true (contains out "digraph")
+
+let test_sexp_format () =
+  let path = Filename.temp_file "tsjcli" ".mrg" in
+  Fun.protect ~finally:(fun () -> Sys.remove path) (fun () ->
+      Out_channel.with_open_text path (fun oc ->
+          output_string oc "( (S (NP x) (VP y)) )\n( (S (NP x) (VP y)) )\n");
+      let code, out = run [ "join"; path; "--format"; "sexp"; "--tau"; "0" ] in
+      check_exit "sexp join" 0 (code, out);
+      Alcotest.(check bool) "duplicate found" true (contains out "results=1"))
+
+let test_errors () =
+  let code, _ = run [ "join"; "/nonexistent-file"; "--tau"; "1" ] in
+  Alcotest.(check bool) "missing file" true (code <> 0);
+  let code, _ = run [ "nonsense-subcommand" ] in
+  Alcotest.(check bool) "unknown subcommand" true (code <> 0)
+
+let suite =
+  [
+    Alcotest.test_case "cli ted" `Slow test_ted;
+    Alcotest.test_case "cli join" `Slow test_join;
+    Alcotest.test_case "cli search" `Slow test_search;
+    Alcotest.test_case "cli gen/partition" `Slow test_gen_and_partition;
+    Alcotest.test_case "cli sexp format" `Slow test_sexp_format;
+    Alcotest.test_case "cli errors" `Slow test_errors;
+  ]

@@ -1,0 +1,418 @@
+module Tree = Tsj_tree.Tree
+module Bracket = Tsj_tree.Bracket
+module Binary_tree = Tsj_tree.Binary_tree
+module Edit_op = Tsj_tree.Edit_op
+module Prng = Tsj_util.Prng
+module Partition = Tsj_core.Partition
+module Subgraph = Tsj_core.Subgraph
+module Two_layer_index = Tsj_core.Two_layer_index
+
+let t s = Bracket.of_string_exn s
+
+let bt s = Binary_tree.of_tree (t s)
+
+(* --- partitionable / max_min_size --- *)
+
+let test_partitionable_chain () =
+  (* A 6-node chain: LC-RS keeps it a chain of left children. *)
+  let b = bt "{a{b{c{d{e{f}}}}}}" in
+  Alcotest.(check bool) "(2,3)" true (Partition.partitionable b ~delta:2 ~gamma:3);
+  Alcotest.(check bool) "(3,2)" true (Partition.partitionable b ~delta:3 ~gamma:2);
+  Alcotest.(check bool) "(2,4)" false (Partition.partitionable b ~delta:2 ~gamma:4);
+  Alcotest.(check bool) "(6,1)" true (Partition.partitionable b ~delta:6 ~gamma:1);
+  Alcotest.(check bool) "(7,1)" false (Partition.partitionable b ~delta:7 ~gamma:1)
+
+let test_partitionable_star () =
+  (* A root with 5 leaf children: LC-RS is root with a left-child chain of
+     5 siblings.  Still a 6-node binary tree. *)
+  let b = bt "{a{b}{c}{d}{e}{f}}" in
+  Alcotest.(check bool) "(3,2)" true (Partition.partitionable b ~delta:3 ~gamma:2);
+  Alcotest.(check bool) "(2,3)" true (Partition.partitionable b ~delta:2 ~gamma:3)
+
+let test_partitionable_args () =
+  let b = bt "{a{b}}" in
+  Alcotest.check_raises "delta 0" (Invalid_argument "Partition.partitionable: delta must be >= 1")
+    (fun () -> ignore (Partition.partitionable b ~delta:0 ~gamma:1));
+  Alcotest.check_raises "gamma 0" (Invalid_argument "Partition.partitionable: gamma must be >= 1")
+    (fun () -> ignore (Partition.partitionable b ~delta:1 ~gamma:0))
+
+let test_paper_unbalanced_example () =
+  (* Section 3.3's motivating observation, scaled down: a binary tree made
+     of a root joining two size-s branches through single connectors can
+     never be split into 3 components of n/3 each; MaxMinSize finds the
+     best achievable γ, which is at most s. *)
+  let chain n seed =
+    let rng = Prng.create seed in
+    Gen.random_tree rng n
+  in
+  ignore chain;
+  (* Build the Figure 8 shape directly: root ℓj with left subtree s4-ish
+     and a child ℓi holding two size-5 chains; sizes: 5+5+5+2 = 17. *)
+  let block p = Printf.sprintf "{%s1{%s2{%s3{%s4{%s5}}}}}" p p p p p in
+  let tree_s =
+    Printf.sprintf "{j%s{i%s%s}}" (block "a") (block "b") (block "c")
+  in
+  let b = bt tree_s in
+  Alcotest.(check int) "17 nodes" 17 b.Binary_tree.size;
+  let gamma = Partition.max_min_size b ~delta:3 in
+  Alcotest.(check bool) "gamma at most 17/3" true (gamma <= 5);
+  Alcotest.(check bool) "gamma feasible" true
+    (Partition.partitionable b ~delta:3 ~gamma);
+  Alcotest.(check bool) "gamma maximal" true
+    (gamma = 17 / 3 || not (Partition.partitionable b ~delta:3 ~gamma:(gamma + 1)))
+
+let test_max_min_size_small () =
+  let b = bt "{a}" in
+  Alcotest.(check int) "delta 1 on single node" 1 (Partition.max_min_size b ~delta:1);
+  Alcotest.check_raises "delta too big"
+    (Invalid_argument "Partition.max_min_size: tree of 1 nodes has no 2-partitioning")
+    (fun () -> ignore (Partition.max_min_size b ~delta:2))
+
+(* Brute force: try all (delta-1)-subsets of edges; the best achievable
+   minimum component size.  Components of a cut-edge set are exactly what
+   Partition.of_cut_roots computes, so rebuild them independently here. *)
+let brute_force_max_min (b : Binary_tree.t) ~delta =
+  let n = b.Binary_tree.size in
+  let best = ref 0 in
+  let edges = Array.init (n - 1) (fun i -> i) in
+  let rec choose start chosen k =
+    if k = 0 then begin
+      (* component root of v: nearest cut-or-tree-root ancestor *)
+      let cut = Array.make n false in
+      List.iter (fun c -> cut.(c) <- true) chosen;
+      let comp_root = Array.make n (-1) in
+      for v = n - 1 downto 0 do
+        if v = n - 1 || cut.(v) then comp_root.(v) <- v
+      done;
+      (* nodes in descending order: parents have larger ids *)
+      for v = n - 2 downto 0 do
+        if comp_root.(v) < 0 then comp_root.(v) <- comp_root.(b.Binary_tree.parent.(v))
+      done;
+      let sizes = Hashtbl.create 8 in
+      Array.iter
+        (fun r ->
+          Hashtbl.replace sizes r (1 + Option.value ~default:0 (Hashtbl.find_opt sizes r)))
+        comp_root;
+      let min_size = Hashtbl.fold (fun _ s acc -> min s acc) sizes max_int in
+      if min_size > !best then best := min_size
+    end
+    else
+      for i = start to n - 2 do
+        choose (i + 1) (edges.(i) :: chosen) (k - 1)
+      done
+  in
+  choose 0 [] (delta - 1);
+  !best
+
+let prop_max_min_size_matches_brute_force =
+  Gen.qtest ~count:80 "MaxMinSize = brute force" (Gen.arb_tree ~max_size:9 ())
+    (fun x ->
+      let b = Binary_tree.of_tree x in
+      let ok = ref true in
+      List.iter
+        (fun delta ->
+          if b.Binary_tree.size >= delta then begin
+            let fast = Partition.max_min_size b ~delta in
+            let brute = brute_force_max_min b ~delta in
+            if fast <> brute then begin
+              ok := false;
+              Printf.eprintf "delta=%d fast=%d brute=%d tree=%s\n" delta fast brute
+                (Gen.pp_tree x)
+            end
+          end)
+        [ 1; 2; 3; 4 ];
+      !ok)
+
+(* --- partition extraction invariants --- *)
+
+let check_partition_invariants ?(expect_gamma = true) (p : Partition.t) =
+  let b = p.Partition.btree in
+  let n = b.Binary_tree.size in
+  let delta = p.Partition.delta in
+  (* assignment total and within range *)
+  Array.iter (fun k -> assert (k >= 0 && k < delta)) p.Partition.assignment;
+  (* roots strictly increasing, last = tree root, assigned to own component *)
+  Array.iteri
+    (fun k r ->
+      assert (p.Partition.assignment.(r) = k);
+      if k > 0 then assert (r > p.Partition.roots.(k - 1)))
+    p.Partition.roots;
+  assert (p.Partition.roots.(delta - 1) = n - 1);
+  (* sizes >= gamma *)
+  let sizes = Partition.component_sizes p in
+  Array.iter (fun s -> assert (s >= 1)) sizes;
+  if expect_gamma then Array.iter (fun s -> assert (s >= p.Partition.gamma)) sizes;
+  assert (Array.fold_left ( + ) 0 sizes = n);
+  (* connectivity: every non-root component member's parent is in the same
+     component *)
+  for v = 0 to n - 1 do
+    let k = p.Partition.assignment.(v) in
+    if v <> p.Partition.roots.(k) then
+      assert (p.Partition.assignment.(b.Binary_tree.parent.(v)) = k)
+  done;
+  (* exactly delta - 1 bridging edges *)
+  assert (List.length (Partition.bridging_edges p) = delta - 1)
+
+let prop_partition_invariants =
+  Gen.qtest ~count:150 "balanced partition invariants" (Gen.arb_tree ~max_size:40 ())
+    (fun x ->
+      let b = Binary_tree.of_tree x in
+      List.iter
+        (fun tau ->
+          let delta = (2 * tau) + 1 in
+          if b.Binary_tree.size >= delta then begin
+            let p = Partition.partition b ~delta in
+            check_partition_invariants p;
+            assert (p.Partition.gamma = Partition.max_min_size b ~delta)
+          end)
+        [ 0; 1; 2; 3 ];
+      true)
+
+let prop_random_partition_invariants =
+  Gen.qtest ~count:150 "random partition invariants" (Gen.arb_tree ~max_size:40 ())
+    (fun x ->
+      let b = Binary_tree.of_tree x in
+      let rng = Prng.create (Tree.hash x land 0xFFFFF) in
+      List.iter
+        (fun delta ->
+          if b.Binary_tree.size >= delta then
+            check_partition_invariants ~expect_gamma:false
+              (Partition.random_partition rng b ~delta))
+        [ 1; 2; 3; 5; 7 ];
+      true)
+
+let test_partition_delta_one () =
+  let b = bt "{a{b}{c}}" in
+  let p = Partition.partition b ~delta:1 in
+  Alcotest.(check int) "one component" 1 p.Partition.delta;
+  Alcotest.(check (array int)) "all in component 0" [| 0; 0; 0 |] p.Partition.assignment;
+  Alcotest.(check int) "no bridging edges" 0 (List.length (Partition.bridging_edges p))
+
+(* --- subgraphs and matching --- *)
+
+let test_subgraph_self_match () =
+  let b = bt "{a{b{c{d}{e}}}{f}{g{h{i{j}}}}}" in
+  let p = Partition.partition b ~delta:3 in
+  let subs = Subgraph.of_partition ~tree_id:0 p in
+  Array.iter
+    (fun s ->
+      Alcotest.(check bool) "matches own root" true
+        (Subgraph.matches s b s.Subgraph.root);
+      Alcotest.(check bool) "occurs in own tree" true (Subgraph.occurs_in s b))
+    subs
+
+let test_subgraph_ranks_and_keys () =
+  let b = bt "{a{b{c{d}{e}}}{f}{g{h{i{j}}}}}" in
+  let p = Partition.partition b ~delta:3 in
+  let subs = Subgraph.of_partition ~tree_id:7 p in
+  Alcotest.(check int) "three subgraphs" 3 (Array.length subs);
+  Array.iteri
+    (fun k s ->
+      Alcotest.(check int) "rank" (k + 1) s.Subgraph.rank;
+      Alcotest.(check int) "tree_id" 7 s.Subgraph.tree_id;
+      Alcotest.(check int) "tree_size" 10 s.Subgraph.tree_size;
+      let l, _, _ = Subgraph.label_key s in
+      Alcotest.(check int) "key root label" b.Binary_tree.label.(s.Subgraph.root) l)
+    subs;
+  Alcotest.(check int) "last subgraph rooted at tree root"
+    (Binary_tree.root b)
+    subs.(2).Subgraph.root
+
+let test_subgraph_no_match_on_label_change () =
+  let base = t "{a{b{c{d}{e}}}{f}{g{h{i{j}}}}}" in
+  let b = Binary_tree.of_tree base in
+  let p = Partition.partition b ~delta:3 in
+  let subs = Subgraph.of_partition ~tree_id:0 p in
+  (* Rename every node in turn; the subgraph containing the renamed node
+     must stop occurring (fresh label not present anywhere else). *)
+  let fresh = Tsj_tree.Label.intern "zz-not-elsewhere" in
+  for v_general = 0 to Tree.size base - 1 do
+    let changed = Edit_op.apply base (Edit_op.Rename { node = v_general; label = fresh }) in
+    let cb = Binary_tree.of_tree changed in
+    let occur_count =
+      Array.fold_left (fun acc s -> acc + if Subgraph.occurs_in s cb then 1 else 0) 0 subs
+    in
+    (* at least delta - 1 = 2 subgraphs must still occur (Lemma 1: one
+       rename changes at most 1 subgraph here) *)
+    Alcotest.(check bool) "at most one subgraph lost" true (occur_count >= 2)
+  done
+
+(* Lemma 2, the core filter guarantee: if TED(T, T') <= tau then some
+   subgraph of any (2tau+1)-partitioning of T's binary form occurs in T''s
+   binary form. *)
+let lemma2_check ~partitioner (x, ops, x') =
+  let tau = List.length ops in
+  let delta = (2 * tau) + 1 in
+  let b = Binary_tree.of_tree x in
+  if b.Binary_tree.size < delta then true
+  else begin
+    let p = partitioner b ~delta in
+    let subs = Subgraph.of_partition ~tree_id:0 p in
+    let b' = Binary_tree.of_tree x' in
+    Array.exists (fun s -> Subgraph.occurs_in s b') subs
+  end
+
+let prop_lemma2_balanced =
+  Gen.qtest ~count:400 "Lemma 2 (balanced partitioning)"
+    (Gen.arb_tree_with_edits ~max_size:30 ~max_edits:3 ())
+    (lemma2_check ~partitioner:Partition.partition)
+
+let prop_lemma2_random =
+  Gen.qtest ~count:400 "Lemma 2 (random partitioning)"
+    (Gen.arb_tree_with_edits ~max_size:30 ~max_edits:3 ())
+    (fun input ->
+      let rng = Prng.create 99 in
+      lemma2_check ~partitioner:(fun b ~delta -> Partition.random_partition rng b ~delta)
+        input)
+
+(* Index completeness: probing T' through the two-layer index must
+   rediscover T whenever TED(T, T') <= tau — this exercises the postorder
+   windows and the twig keys on top of Lemma 2. *)
+let index_completeness_check (x, ops, x') =
+  let tau = List.length ops in
+  let delta = (2 * tau) + 1 in
+  (* The join always indexes the smaller tree and probes with the larger
+     one (trees are processed in ascending size order); mirror that. *)
+  let x, x' = if Tree.size x <= Tree.size x' then (x, x') else (x', x) in
+  let b = Binary_tree.of_tree x in
+  let b' = Binary_tree.of_tree x' in
+  if b.Binary_tree.size < delta then true
+  else begin
+    let p = Partition.partition b ~delta in
+    let idx = Two_layer_index.create ~tau () in
+    Array.iter (Two_layer_index.insert idx) (Subgraph.of_partition ~tree_id:42 p);
+    let found = ref false in
+    for v = 0 to b'.Binary_tree.size - 1 do
+      Two_layer_index.probe idx b' v (fun s ->
+          if (not !found) && Subgraph.matches s b' v then found := true)
+    done;
+    !found
+  end
+
+let prop_index_completeness =
+  Gen.qtest ~count:400 "two-layer index completeness"
+    (Gen.arb_tree_with_edits ~max_size:30 ~max_edits:3 ())
+    index_completeness_check
+
+(* Pinned counterexample to the paper's rank-tightened postorder windows
+   (Section 3.4): [large] is [small] plus ONE insertion (TED = 1), yet no
+   subgraph of the balanced 3-partitioning of [small] is found inside
+   [large] when subgraph s_k is only registered under positions
+   p_k ± (tau - floor(k/2)).  The insertion adopts most of the root's
+   children, landing after the untouched subgraphs in postorder and
+   shifting their end-relative positions past the k >= 2 windows, while
+   the rank-1 subgraph (whose window would be wide enough) is exactly the
+   changed one.  The sound two-sided default finds the pair.  A randomized
+   hunt reproduces this class of failure roughly 100 times per million
+   random (tree, script) draws. *)
+let test_paper_rank_windows_incomplete () =
+  let small = t "{h3{h0}{h3{h2}{h1}}{h1{h3}}{h3{h3}{h5}{h0}{h0}{h1}}{h2}{h4}{h2}}" in
+  let large = t "{h3{h0{h0}{h3{h2}{h1}}{h1{h3}}{h3{h3}{h5}{h0}{h0}{h1}}{h2}{h4}}{h2}}" in
+  let tau = 1 in
+  Alcotest.(check int) "TED is 1" 1 (Tsj_ted.Zhang_shasha.distance small large);
+  let b = Binary_tree.of_tree small and b' = Binary_tree.of_tree large in
+  let p = Partition.partition b ~delta:((2 * tau) + 1) in
+  let subs = Subgraph.of_partition ~tree_id:0 p in
+  let probe_finds mode =
+    let idx = Two_layer_index.create ~mode ~tau () in
+    Array.iter (Two_layer_index.insert idx) subs;
+    let found = ref false in
+    for v = 0 to b'.Binary_tree.size - 1 do
+      Two_layer_index.probe idx b' v (fun s ->
+          if (not !found) && Subgraph.matches s b' v then found := true)
+    done;
+    !found
+  in
+  (* Lemma 2 itself holds: a subgraph does occur... *)
+  Alcotest.(check bool) "some subgraph occurs" true
+    (Array.exists (fun s -> Subgraph.occurs_in s b') subs);
+  (* ...the sound windows find it... *)
+  Alcotest.(check bool) "two-sided finds it" true
+    (probe_finds Two_layer_index.Two_sided);
+  (* ...and the paper's windows do not. *)
+  Alcotest.(check bool) "paper windows miss it" false
+    (probe_finds Two_layer_index.Paper_rank)
+
+(* Pinned regression for DESIGN.md finding 3: deleting the second child
+   of the root (postorder 5, the inner l5) splices its three children into
+   the root, which moves l6 into the deleted node's sibling-chain slot and
+   flips l6's incoming-edge category from left to right.  Under the
+   paper's kind-strict matching that deletion touches THREE subgraphs of
+   the 3-partitioning — one per component — so no subgraph of [base]
+   occurred in [result] and the tau = 1 join missed the pair.  The relaxed
+   root check (incoming-edge existence only) must find it. *)
+let test_lemma1_deletion_regression () =
+  let base = t "{l1{l2}{l5{l6{l1}}{l5}{l0}}{l7}{l0}}" in
+  let result = Edit_op.apply base (Edit_op.Delete { node = 5 }) in
+  Alcotest.(check bool) "expected shape" true
+    (Tree.equal result (t "{l1{l2}{l6{l1}}{l5}{l0}{l7}{l0}}"));
+  Alcotest.(check int) "TED 1" 1 (Tsj_ted.Zhang_shasha.distance base result);
+  let b = Binary_tree.of_tree base in
+  let p = Partition.partition b ~delta:3 in
+  let subs = Subgraph.of_partition ~tree_id:0 p in
+  let b' = Binary_tree.of_tree result in
+  Alcotest.(check bool) "Lemma 2 holds under relaxed matching" true
+    (Array.exists (fun s -> Subgraph.occurs_in s b') subs);
+  let out = Tsj_core.Partsj.join ~trees:[| base; result |] ~tau:1 () in
+  Alcotest.(check int) "join finds the pair" 1
+    out.Tsj_join.Types.stats.Tsj_join.Types.n_results
+
+let test_index_counters () =
+  let b = bt "{a{b{c{d}{e}}}{f}{g{h{i{j}}}}}" in
+  let p = Partition.partition b ~delta:3 in
+  let idx = Two_layer_index.create ~tau:1 () in
+  Array.iter (Two_layer_index.insert idx) (Subgraph.of_partition ~tree_id:0 p);
+  Alcotest.(check int) "three subgraphs" 3 (Two_layer_index.n_subgraphs idx);
+  Alcotest.(check bool) "buckets exist" true (Two_layer_index.n_groups idx >= 3)
+
+let test_index_rejects_negative_tau () =
+  Alcotest.check_raises "negative tau"
+    (Invalid_argument "Two_layer_index.create: negative threshold") (fun () ->
+      ignore (Two_layer_index.create ~tau:(-1) ()))
+
+let test_index_exact_duplicate_found () =
+  (* tau = 0: only exact matches; a duplicate tree must be found, a
+     renamed one must not produce any matching probe. *)
+  let x = t "{a{b{c}}{d}}" in
+  let b = Binary_tree.of_tree x in
+  let p = Partition.partition b ~delta:1 in
+  let idx = Two_layer_index.create ~tau:0 () in
+  Array.iter (Two_layer_index.insert idx) (Subgraph.of_partition ~tree_id:5 p);
+  let probe_matches target =
+    let tb = Binary_tree.of_tree target in
+    let found = ref false in
+    for v = 0 to tb.Binary_tree.size - 1 do
+      Two_layer_index.probe idx tb v (fun s ->
+          if Subgraph.matches s tb v then found := true)
+    done;
+    !found
+  in
+  Alcotest.(check bool) "duplicate found" true (probe_matches (t "{a{b{c}}{d}}"));
+  Alcotest.(check bool) "different tree not matched" false
+    (probe_matches (t "{a{b{x}}{d}}"))
+
+let suite =
+  [
+    Alcotest.test_case "partitionable chain" `Quick test_partitionable_chain;
+    Alcotest.test_case "partitionable star" `Quick test_partitionable_star;
+    Alcotest.test_case "partitionable arg checks" `Quick test_partitionable_args;
+    Alcotest.test_case "paper fig. 8 imbalance" `Quick test_paper_unbalanced_example;
+    Alcotest.test_case "max_min_size small trees" `Quick test_max_min_size_small;
+    prop_max_min_size_matches_brute_force;
+    prop_partition_invariants;
+    prop_random_partition_invariants;
+    Alcotest.test_case "partition delta=1" `Quick test_partition_delta_one;
+    Alcotest.test_case "subgraph self match" `Quick test_subgraph_self_match;
+    Alcotest.test_case "subgraph ranks and keys" `Quick test_subgraph_ranks_and_keys;
+    Alcotest.test_case "subgraph rename sensitivity" `Quick test_subgraph_no_match_on_label_change;
+    prop_lemma2_balanced;
+    prop_lemma2_random;
+    prop_index_completeness;
+    Alcotest.test_case "paper rank windows incomplete (pinned)" `Quick
+      test_paper_rank_windows_incomplete;
+    Alcotest.test_case "lemma 1 deletion fix (pinned)" `Quick
+      test_lemma1_deletion_regression;
+    Alcotest.test_case "index counters" `Quick test_index_counters;
+    Alcotest.test_case "index rejects negative tau" `Quick test_index_rejects_negative_tau;
+    Alcotest.test_case "index exact duplicates (tau=0)" `Quick test_index_exact_duplicate_found;
+  ]

@@ -1,0 +1,162 @@
+(* Tests for the streaming (incremental) join and parallel verification. *)
+
+module Tree = Tsj_tree.Tree
+module Prng = Tsj_util.Prng
+module Edit_op = Tsj_tree.Edit_op
+module Incremental = Tsj_core.Incremental
+module Partsj = Tsj_core.Partsj
+module Parallel = Tsj_join.Parallel
+module Types = Tsj_join.Types
+
+let clustered seed n =
+  let rng = Prng.create seed in
+  let acc = ref [] in
+  for _ = 1 to n / 2 do
+    let base = Gen.random_tree rng (3 + Prng.int rng 14) in
+    acc := base :: !acc;
+    let _, copy = Edit_op.random_script rng ~labels:Gen.default_alphabet 2 base in
+    acc := copy :: !acc
+  done;
+  Array.of_list !acc
+
+(* Feed trees through the incremental join in the given order; collect all
+   pairs translated back to original indices. *)
+let stream_join trees order tau =
+  let inc = Incremental.create ~tau () in
+  let pairs = ref [] in
+  Array.iter
+    (fun orig ->
+      let id = Incremental.n_trees inc in
+      ignore id;
+      let hits = Incremental.add inc trees.(orig) in
+      List.iter (fun (earlier, d) -> pairs := (earlier, orig, d) :: !pairs) hits)
+    order;
+  (* [earlier] is an insertion id; translate via the order array, then
+     normalize pair direction. *)
+  List.map
+    (fun (earlier_id, orig_j, d) ->
+      let i = order.(earlier_id) in
+      (min i orig_j, max i orig_j, d))
+    !pairs
+  |> List.sort compare
+
+let batch_triples trees tau =
+  (Partsj.join ~trees ~tau ()).Types.pairs
+  |> List.map (fun p -> (p.Types.i, p.Types.j, p.Types.distance))
+  |> List.sort compare
+
+let test_incremental_equals_batch_in_order () =
+  let trees = clustered 31 30 in
+  let order = Array.init (Array.length trees) (fun i -> i) in
+  List.iter
+    (fun tau ->
+      Alcotest.(check (list (triple int int int)))
+        (Printf.sprintf "tau=%d" tau)
+        (batch_triples trees tau)
+        (stream_join trees order tau))
+    [ 0; 1; 2; 3 ]
+
+let test_incremental_equals_batch_shuffled () =
+  let trees = clustered 32 30 in
+  let rng = Prng.create 99 in
+  List.iter
+    (fun tau ->
+      let order = Array.init (Array.length trees) (fun i -> i) in
+      Prng.shuffle rng order;
+      Alcotest.(check (list (triple int int int)))
+        (Printf.sprintf "tau=%d shuffled" tau)
+        (batch_triples trees tau)
+        (stream_join trees order tau))
+    [ 1; 2; 3 ]
+
+let test_incremental_descending_sizes () =
+  (* The adversarial order for the batch algorithm's assumption. *)
+  let trees = clustered 33 24 in
+  let order = Array.init (Array.length trees) (fun i -> i) in
+  Array.sort (fun a b -> compare (Tree.size trees.(b)) (Tree.size trees.(a))) order;
+  Alcotest.(check (list (triple int int int)))
+    "descending size order"
+    (batch_triples trees 2)
+    (stream_join trees order 2)
+
+let test_incremental_accessors () =
+  let inc = Incremental.create ~tau:1 () in
+  Alcotest.(check int) "tau" 1 (Incremental.tau inc);
+  Alcotest.(check int) "empty" 0 (Incremental.n_trees inc);
+  let a = Gen.random_tree (Prng.create 1) 6 in
+  let hits = Incremental.add inc a in
+  Alcotest.(check (list (pair int int))) "first tree has no partners" [] hits;
+  Alcotest.(check int) "one tree" 1 (Incremental.n_trees inc);
+  Alcotest.(check bool) "tree back" true (Tree.equal a (Incremental.tree inc 0));
+  Alcotest.check_raises "unknown id" (Invalid_argument "Incremental.tree: unknown id")
+    (fun () -> ignore (Incremental.tree inc 1));
+  let hits = Incremental.add inc a in
+  Alcotest.(check (list (pair int int))) "duplicate found" [ (0, 0) ] hits;
+  let verified, indexed = Incremental.stats inc in
+  Alcotest.(check bool) "stats counted" true (verified >= 1 && indexed >= 0)
+
+let test_incremental_rejects_negative () =
+  Alcotest.check_raises "negative tau"
+    (Invalid_argument "Incremental.create: negative threshold") (fun () ->
+      ignore (Incremental.create ~tau:(-1) ()))
+
+(* --- parallel map / parallel verification --- *)
+
+let test_parallel_map_matches_sequential () =
+  let xs = Array.init 1000 (fun i -> i) in
+  let f x = (x * x) + 1 in
+  List.iter
+    (fun domains ->
+      Alcotest.(check (array int))
+        (Printf.sprintf "domains=%d" domains)
+        (Array.map f xs)
+        (Parallel.map ~domains f xs))
+    [ 1; 2; 3; 4 ]
+
+let test_parallel_map_short_array () =
+  Alcotest.(check (array int)) "short input" [| 2 |]
+    (Parallel.map ~domains:4 (fun x -> x + 1) [| 1 |]);
+  Alcotest.(check (array int)) "empty input" [||] (Parallel.map ~domains:4 Fun.id [||])
+
+let test_parallel_map_validation () =
+  Alcotest.check_raises "domains 0" (Invalid_argument "Parallel.map: domains must be >= 1")
+    (fun () -> ignore (Parallel.map ~domains:0 Fun.id [| 1 |]))
+
+let test_parallel_map_exception_propagates () =
+  match Parallel.map ~domains:3 (fun x -> if x = 17 then failwith "boom" else x)
+          (Array.init 100 (fun i -> i))
+  with
+  | _ -> Alcotest.fail "expected exception"
+  | exception Failure msg -> Alcotest.(check string) "propagated" "boom" msg
+
+let test_parallel_verification_same_results () =
+  let trees = clustered 34 40 in
+  let seq = Partsj.join ~trees ~tau:2 () in
+  List.iter
+    (fun domains ->
+      let par = Partsj.join ~verify_domains:domains ~trees ~tau:2 () in
+      Alcotest.(check bool)
+        (Printf.sprintf "verify_domains=%d equals sequential" domains)
+        true
+        (Types.equal_results seq par))
+    [ 2; 4 ];
+  Alcotest.(check bool) "recommended domains positive" true
+    (Parallel.recommended_domains () >= 1)
+
+let suite =
+  [
+    Alcotest.test_case "incremental = batch (insertion order)" `Quick
+      test_incremental_equals_batch_in_order;
+    Alcotest.test_case "incremental = batch (shuffled)" `Quick
+      test_incremental_equals_batch_shuffled;
+    Alcotest.test_case "incremental = batch (descending sizes)" `Quick
+      test_incremental_descending_sizes;
+    Alcotest.test_case "incremental accessors" `Quick test_incremental_accessors;
+    Alcotest.test_case "incremental validation" `Quick test_incremental_rejects_negative;
+    Alcotest.test_case "parallel map = sequential" `Quick test_parallel_map_matches_sequential;
+    Alcotest.test_case "parallel map short/empty" `Quick test_parallel_map_short_array;
+    Alcotest.test_case "parallel map validation" `Quick test_parallel_map_validation;
+    Alcotest.test_case "parallel map exceptions" `Quick test_parallel_map_exception_propagates;
+    Alcotest.test_case "parallel verification = sequential" `Quick
+      test_parallel_verification_same_results;
+  ]

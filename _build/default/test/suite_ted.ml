@@ -1,0 +1,347 @@
+module Tree = Tsj_tree.Tree
+module Bracket = Tsj_tree.Bracket
+module Traversal = Tsj_tree.Traversal
+module Edit_op = Tsj_tree.Edit_op
+module String_edit = Tsj_ted.String_edit
+module Zhang_shasha = Tsj_ted.Zhang_shasha
+module Naive = Tsj_ted.Naive
+module Bounds = Tsj_ted.Bounds
+module Ted = Tsj_ted.Ted
+
+let t s = Bracket.of_string_exn s
+
+let arr_of_string s = Array.map Char.code (Array.init (String.length s) (String.get s))
+
+(* --- string edit distance --- *)
+
+let test_sed_known () =
+  let check a b expect =
+    Alcotest.(check int)
+      (Printf.sprintf "sed(%s,%s)" a b)
+      expect
+      (String_edit.distance (arr_of_string a) (arr_of_string b))
+  in
+  check "" "" 0;
+  check "abc" "" 3;
+  check "" "abc" 3;
+  check "kitten" "sitting" 3;
+  check "flaw" "lawn" 2;
+  check "abc" "abc" 0;
+  check "abc" "acb" 2
+
+let naive_sed a b =
+  let la = Array.length a and lb = Array.length b in
+  let d = Array.make_matrix (la + 1) (lb + 1) 0 in
+  for i = 0 to la do
+    d.(i).(0) <- i
+  done;
+  for j = 0 to lb do
+    d.(0).(j) <- j
+  done;
+  for i = 1 to la do
+    for j = 1 to lb do
+      let cost = if a.(i - 1) = b.(j - 1) then 0 else 1 in
+      d.(i).(j) <-
+        min (min (d.(i - 1).(j) + 1) (d.(i).(j - 1) + 1)) (d.(i - 1).(j - 1) + cost)
+    done
+  done;
+  d.(la).(lb)
+
+let arb_int_arrays =
+  QCheck.(
+    pair
+      (array_of_size Gen.(int_bound 15) (int_bound 4))
+      (array_of_size Gen.(int_bound 15) (int_bound 4)))
+
+let prop_sed_matches_naive =
+  Gen.qtest "rolling-row sed = naive DP" arb_int_arrays (fun (a, b) ->
+      String_edit.distance a b = naive_sed a b)
+
+let prop_sed_banded_consistent =
+  Gen.qtest "banded sed consistent with exact" arb_int_arrays (fun (a, b) ->
+      let d = String_edit.distance a b in
+      let ok = ref true in
+      for k = 0 to 8 do
+        let bd = String_edit.bounded_distance a b k in
+        if d <= k then begin
+          if bd <> d then ok := false
+        end
+        else if bd <> k + 1 then ok := false;
+        if String_edit.within a b k <> (d <= k) then ok := false
+      done;
+      !ok)
+
+let test_sed_banded_negative () =
+  Alcotest.(check bool) "within negative" false (String_edit.within [| 1 |] [| 1 |] (-1));
+  Alcotest.check_raises "bounded negative"
+    (Invalid_argument "String_edit.bounded_distance: negative threshold") (fun () ->
+      ignore (String_edit.bounded_distance [| 1 |] [| 1 |] (-1)))
+
+(* --- TED: fixed examples --- *)
+
+let test_ted_identical () =
+  let a = t "{a{b{c}}{d}}" in
+  Alcotest.(check int) "identical" 0 (Zhang_shasha.distance a a)
+
+let test_ted_single_ops () =
+  let check t1 t2 expect name =
+    Alcotest.(check int) name expect (Zhang_shasha.distance (t t1) (t t2))
+  in
+  check "{a}" "{b}" 1 "rename";
+  check "{a}" "{a{b}}" 1 "insert leaf";
+  check "{a{b}}" "{a}" 1 "delete leaf";
+  check "{a{b}{c}}" "{a{m{b}{c}}}" 1 "insert internal";
+  check "{a{b}{c}}" "{a{c}{b}}" 2 "swap leaves"
+
+let test_ted_paper_fig3 () =
+  (* Figure 3 of the paper: TED(T1, T2) = 3 where T1 = {1{2}{1{3}}} drawn
+     as l1 with children l2 and l1(child l3)... the figure's trees are
+     binary: T1 = l1(l2, l1(l3)), T2 = l1(l2(l1, l3)). *)
+  let t1 = t "{1{2}{1{3}}}" in
+  let t2 = t "{1{2{1}{3}}}" in
+  Alcotest.(check int) "TED = 3" 3 (Zhang_shasha.distance t1 t2);
+  (* and the traversal-string bounds from the same figure *)
+  Alcotest.(check int) "preorder sed = 0" 0
+    (String_edit.distance (Traversal.preorder_labels t1) (Traversal.preorder_labels t2));
+  Alcotest.(check int) "postorder sed = 2" 2
+    (String_edit.distance (Traversal.postorder_labels t1) (Traversal.postorder_labels t2))
+
+let test_ted_zs_classic () =
+  (* The running example of the Zhang–Shasha paper: distance 2. *)
+  let t1 = t "{f{d{a}{c{b}}}{e}}" in
+  let t2 = t "{f{c{d{a}{b}}}{e}}" in
+  Alcotest.(check int) "zs paper example" 2 (Zhang_shasha.distance t1 t2);
+  Alcotest.(check int) "naive agrees" 2 (Naive.distance t1 t2)
+
+let test_ted_empty_vs () =
+  let single = t "{a}" in
+  let five = t "{a{b}{c}{d}{e}}" in
+  Alcotest.(check int) "grow by 4" 4 (Zhang_shasha.distance single five)
+
+(* --- TED: differential and metric properties --- *)
+
+let prop_zs_matches_naive =
+  Gen.qtest ~count:150 "Zhang-Shasha = naive forest DP"
+    (Gen.arb_tree_pair ~max_size:9 ()) (fun (a, b) ->
+      Zhang_shasha.distance a b = Naive.distance a b)
+
+let prop_ted_algorithms_agree =
+  Gen.qtest ~count:150 "left/right/hybrid agree" (Gen.arb_tree_pair ~max_size:14 ())
+    (fun (a, b) ->
+      let pa = Ted.preprocess a and pb = Ted.preprocess b in
+      let l = Ted.distance_prep ~algorithm:Ted.Zs_left pa pb in
+      let r = Ted.distance_prep ~algorithm:Ted.Zs_right pa pb in
+      let h = Ted.distance_prep ~algorithm:Ted.Hybrid pa pb in
+      l = r && r = h)
+
+let prop_ted_symmetry =
+  Gen.qtest "TED is symmetric" (Gen.arb_tree_pair ~max_size:14 ()) (fun (a, b) ->
+      Zhang_shasha.distance a b = Zhang_shasha.distance b a)
+
+let prop_ted_identity =
+  Gen.qtest "TED(t,t) = 0 and positivity" (Gen.arb_tree_pair ~max_size:14 ())
+    (fun (a, b) ->
+      Zhang_shasha.distance a a = 0
+      && (Tree.equal a b || Zhang_shasha.distance a b > 0))
+
+let prop_ted_triangle =
+  Gen.qtest ~count:100 "triangle inequality" (Gen.arb_tree_triple ~max_size:10 ())
+    (fun (a, b, c) ->
+      Zhang_shasha.distance a c
+      <= Zhang_shasha.distance a b + Zhang_shasha.distance b c)
+
+let prop_ted_edit_script_bound =
+  Gen.qtest "TED(t, edits(t)) <= #edits" (Gen.arb_tree_with_edits ~max_edits:4 ())
+    (fun (base, ops, result) ->
+      Zhang_shasha.distance base result <= List.length ops)
+
+let prop_ted_size_diff =
+  Gen.qtest "TED >= size difference" (Gen.arb_tree_pair ~max_size:14 ())
+    (fun (a, b) -> Zhang_shasha.distance a b >= abs (Tree.size a - Tree.size b))
+
+let prop_ted_upper_bound =
+  Gen.qtest "TED <= size1 + size2" (Gen.arb_tree_pair ~max_size:14 ()) (fun (a, b) ->
+      (* delete everything but the root, rename it, insert the rest *)
+      Zhang_shasha.distance a b <= Tree.size a + Tree.size b - 1)
+
+(* --- bounds --- *)
+
+let all_bounds =
+  [
+    ("size", Bounds.size);
+    ("label_histogram", Bounds.label_histogram);
+    ("degree_histogram", Bounds.degree_histogram);
+    ("preorder_string", Bounds.preorder_string);
+    ("postorder_string", Bounds.postorder_string);
+    ("traversal", Bounds.traversal);
+    ("euler_string", Bounds.euler_string);
+    ("best", Bounds.best);
+  ]
+
+let prop_bounds_are_lower_bounds =
+  Gen.qtest ~count:150 "every bound <= TED" (Gen.arb_tree_pair ~max_size:12 ())
+    (fun (a, b) ->
+      let d = Zhang_shasha.distance a b in
+      List.for_all
+        (fun (name, f) ->
+          let v = f a b in
+          if v > d then
+            QCheck.Test.fail_reportf "bound %s = %d > TED = %d on %s / %s" name v d
+              (Gen.pp_tree a) (Gen.pp_tree b)
+          else true)
+        all_bounds)
+
+let test_bounds_zero_on_equal () =
+  let a = t "{a{b{c}}{d}}" in
+  List.iter
+    (fun (name, f) -> Alcotest.(check int) (name ^ " on equal trees") 0 (f a a))
+    all_bounds
+
+(* --- banded (threshold) TED --- *)
+
+let prop_banded_ted_consistent =
+  Gen.qtest ~count:200 "banded TED = min(TED, k+1)" (Gen.arb_tree_pair ~max_size:14 ())
+    (fun (a, b) ->
+      let exact = Zhang_shasha.distance a b in
+      let ok = ref true in
+      for k = 0 to 8 do
+        if Zhang_shasha.bounded_distance a b k <> min exact (k + 1) then ok := false
+      done;
+      !ok)
+
+let prop_banded_hybrid_consistent =
+  Gen.qtest ~count:100 "banded hybrid/left/right agree" (Gen.arb_tree_pair ~max_size:14 ())
+    (fun (a, b) ->
+      let pa = Ted.preprocess a and pb = Ted.preprocess b in
+      let ok = ref true in
+      for k = 0 to 5 do
+        let h = Ted.bounded_distance_prep ~algorithm:Ted.Hybrid pa pb k in
+        let l = Ted.bounded_distance_prep ~algorithm:Ted.Zs_left pa pb k in
+        let r = Ted.bounded_distance_prep ~algorithm:Ted.Zs_right pa pb k in
+        if not (h = l && l = r) then ok := false
+      done;
+      !ok)
+
+let test_banded_validation () =
+  let a = t "{a}" in
+  Alcotest.check_raises "negative threshold"
+    (Invalid_argument "Zhang_shasha.bounded_distance_postorder: negative threshold")
+    (fun () -> ignore (Zhang_shasha.bounded_distance a a (-1)))
+
+(* --- constrained edit distance --- *)
+
+module Constrained = Tsj_ted.Constrained
+
+let test_constrained_known () =
+  let check t1s t2s expect name =
+    Alcotest.(check int) name expect (Constrained.distance (t t1s) (t t2s))
+  in
+  check "{a}" "{a}" 0 "equal singletons";
+  check "{a}" "{b}" 1 "rename";
+  check "{a{b}}" "{a}" 1 "delete leaf";
+  check "{a{b}{c}}" "{a{m{b}{c}}}" 1 "insert internal (constrained ok)";
+  (* The classic separating example: a and b (separate subtrees of f) both
+     map under the single new child g — forbidden for constrained
+     mappings, so the constrained distance exceeds TED = 1. *)
+  check "{f{a}{b}{c}}" "{f{g{a}{b}}{c}}" 3 "isolated-subtree violation";
+  Alcotest.(check int) "its TED is 1" 1
+    (Zhang_shasha.distance (t "{f{a}{b}{c}}") (t "{f{g{a}{b}}{c}}"))
+
+let test_constrained_within () =
+  let a = t "{f{a}{b}{c}}" and b = t "{f{g{a}{b}}{c}}" in
+  Alcotest.(check bool) "within 3" true (Constrained.within a b 3);
+  Alcotest.(check bool) "not within 2" false (Constrained.within a b 2);
+  Alcotest.(check bool) "negative" false (Constrained.within a b (-1))
+
+let prop_constrained_upper_bounds_ted =
+  Gen.qtest ~count:200 "TED <= constrained distance" (Gen.arb_tree_pair ~max_size:12 ())
+    (fun (x, y) -> Zhang_shasha.distance x y <= Constrained.distance x y)
+
+let prop_constrained_metric =
+  Gen.qtest ~count:120 "constrained distance is a metric"
+    (Gen.arb_tree_triple ~max_size:10 ()) (fun (x, y, z) ->
+      let d = Constrained.distance in
+      d x x = 0
+      && d x y = d y x
+      && (Tree.equal x y || d x y > 0)
+      && d x z <= d x y + d y z)
+
+let prop_constrained_often_equals_ted =
+  (* Not a theorem, but on small random trees the two coincide almost
+     always; guard against systematic overestimation by requiring
+     coincidence in at least half the samples. *)
+  Gen.qtest ~count:1 "constrained ~ TED on random pairs"
+    (QCheck.make ~print:(fun () -> "batch") (fun _ -> ()))
+    (fun () ->
+      let rng = Tsj_util.Prng.create 4242 in
+      let equal_count = ref 0 in
+      let total = 200 in
+      for _ = 1 to total do
+        let x = Gen.random_tree rng (1 + Tsj_util.Prng.int rng 10) in
+        let y = Gen.random_tree rng (1 + Tsj_util.Prng.int rng 10) in
+        if Constrained.distance x y = Zhang_shasha.distance x y then incr equal_count
+      done;
+      !equal_count * 2 >= total)
+
+let prop_constrained_size_bounds =
+  Gen.qtest "constrained distance bounded by sizes" (Gen.arb_tree_pair ~max_size:14 ())
+    (fun (x, y) ->
+      let d = Constrained.distance x y in
+      d >= abs (Tree.size x - Tree.size y) && d <= Tree.size x + Tree.size y)
+
+(* --- Ted facade --- *)
+
+let test_ted_within () =
+  let pa = Ted.preprocess (t "{a{b}{c}}") in
+  let pb = Ted.preprocess (t "{a{b}{c}{d}{e}}") in
+  Alcotest.(check bool) "tau 1" false (Ted.within pa pb 1);
+  Alcotest.(check bool) "tau 2" true (Ted.within pa pb 2);
+  Alcotest.(check bool) "negative tau" false (Ted.within pa pa (-1));
+  Alcotest.(check bool) "tau 0 self" true (Ted.within pa pa 0)
+
+let test_ted_prep_accessors () =
+  let tree = t "{a{b}}" in
+  let p = Ted.preprocess tree in
+  Alcotest.(check int) "size" 2 (Ted.size p);
+  Alcotest.(check bool) "tree" true (Tree.equal tree (Ted.tree p))
+
+let test_ted_naive_algorithm_facade () =
+  let a = t "{a{b{x}}{c}}" and b = t "{a{c{x}}{b}}" in
+  Alcotest.(check int) "facade naive = zs"
+    (Ted.distance ~algorithm:Ted.Naive a b)
+    (Ted.distance a b)
+
+let suite =
+  [
+    Alcotest.test_case "sed known values" `Quick test_sed_known;
+    prop_sed_matches_naive;
+    prop_sed_banded_consistent;
+    Alcotest.test_case "sed negative thresholds" `Quick test_sed_banded_negative;
+    Alcotest.test_case "ted identical" `Quick test_ted_identical;
+    Alcotest.test_case "ted single ops" `Quick test_ted_single_ops;
+    Alcotest.test_case "ted paper fig. 3" `Quick test_ted_paper_fig3;
+    Alcotest.test_case "ted zhang-shasha classic" `Quick test_ted_zs_classic;
+    Alcotest.test_case "ted growth" `Quick test_ted_empty_vs;
+    prop_zs_matches_naive;
+    prop_ted_algorithms_agree;
+    prop_ted_symmetry;
+    prop_ted_identity;
+    prop_ted_triangle;
+    prop_ted_edit_script_bound;
+    prop_ted_size_diff;
+    prop_ted_upper_bound;
+    prop_bounds_are_lower_bounds;
+    Alcotest.test_case "bounds zero on equal" `Quick test_bounds_zero_on_equal;
+    prop_banded_ted_consistent;
+    prop_banded_hybrid_consistent;
+    Alcotest.test_case "banded validation" `Quick test_banded_validation;
+    Alcotest.test_case "constrained known values" `Quick test_constrained_known;
+    Alcotest.test_case "constrained within" `Quick test_constrained_within;
+    prop_constrained_upper_bounds_ted;
+    prop_constrained_metric;
+    prop_constrained_often_equals_ted;
+    prop_constrained_size_bounds;
+    Alcotest.test_case "ted within" `Quick test_ted_within;
+    Alcotest.test_case "ted prep accessors" `Quick test_ted_prep_accessors;
+    Alcotest.test_case "ted naive facade" `Quick test_ted_naive_algorithm_facade;
+  ]

@@ -1,0 +1,246 @@
+module Xml = Tsj_xml.Xml
+module Xml_parser = Tsj_xml.Xml_parser
+module Tree = Tsj_tree.Tree
+module Label = Tsj_tree.Label
+
+let parse = Xml_parser.parse_exn
+
+let check_roundtrip name doc =
+  let s = Xml.to_string doc in
+  let reparsed = parse s in
+  Alcotest.(check string) name s (Xml.to_string reparsed)
+
+let test_parse_element () =
+  match parse "<a><b/><c>text</c></a>" with
+  | Xml.Element { tag = "a"; attrs = []; children = [ Xml.Element b; Xml.Element c ] } ->
+    Alcotest.(check string) "b" "b" b.tag;
+    Alcotest.(check string) "c" "c" c.tag;
+    (match c.children with
+    | [ Xml.Text "text" ] -> ()
+    | _ -> Alcotest.fail "expected text child")
+  | _ -> Alcotest.fail "unexpected structure"
+
+let test_parse_attributes () =
+  match parse {|<item id="42" name='x y' flag="a&amp;b"/>|} with
+  | Xml.Element { attrs; _ } ->
+    Alcotest.(check (list (pair string string)))
+      "attrs"
+      [ ("id", "42"); ("name", "x y"); ("flag", "a&b") ]
+      attrs
+  | _ -> Alcotest.fail "expected element"
+
+let test_parse_entities () =
+  match parse "<t>&lt;&gt;&amp;&quot;&apos;&#65;&#x42;</t>" with
+  | Xml.Element { children = [ Xml.Text s ]; _ } ->
+    Alcotest.(check string) "decoded" "<>&\"'AB" s
+  | _ -> Alcotest.fail "expected one text child"
+
+let test_parse_utf8_charref () =
+  match parse "<t>&#233;&#x20AC;</t>" with
+  | Xml.Element { children = [ Xml.Text s ]; _ } ->
+    Alcotest.(check string) "utf8 encoded" "\xc3\xa9\xe2\x82\xac" s
+  | _ -> Alcotest.fail "expected one text child"
+
+let test_parse_cdata_comments_pi () =
+  let doc =
+    parse
+      "<?xml version=\"1.0\"?><!-- prolog --><root><!-- inner --><![CDATA[<raw> & \
+       stuff]]><a/></root>"
+  in
+  match doc with
+  | Xml.Element { tag = "root"; children = [ Xml.Text cdata; Xml.Element a ]; _ } ->
+    Alcotest.(check string) "cdata" "<raw> & stuff" cdata;
+    Alcotest.(check string) "a" "a" a.tag
+  | _ -> Alcotest.fail "unexpected structure"
+
+let test_parse_doctype_skipped () =
+  match parse "<!DOCTYPE html><html><body/></html>" with
+  | Xml.Element { tag = "html"; _ } -> ()
+  | _ -> Alcotest.fail "expected html root"
+
+let test_parse_errors () =
+  let bad input =
+    match Xml_parser.parse input with
+    | Ok _ -> Alcotest.failf "expected error on %S" input
+    | Error _ -> ()
+  in
+  List.iter bad
+    [
+      "";
+      "<a>";
+      "<a></b>";
+      "<a><b></a></b>";
+      "<a attr=5/>";
+      "<a>&unknown;</a>";
+      "<a>&#xZZ;</a>";
+      "<1tag/>";
+      "<a/><b/>";
+      "text only";
+      "<a attr=\"x>";
+    ]
+
+let test_parse_fragments () =
+  match Xml_parser.parse_fragments "<a/> <b>t</b>\n<c x='1'/>" with
+  | Ok [ Xml.Element a; Xml.Element b; Xml.Element c ] ->
+    Alcotest.(check (list string)) "tags" [ "a"; "b"; "c" ] [ a.tag; b.tag; c.tag ]
+  | Ok l -> Alcotest.failf "expected 3 fragments, got %d" (List.length l)
+  | Error e -> Alcotest.fail e
+
+let test_serialize_escaping () =
+  let doc =
+    Xml.Element
+      {
+        tag = "t";
+        attrs = [ ("a", "x\"y<z&") ];
+        children = [ Xml.Text "a<b>c&d" ];
+      }
+  in
+  check_roundtrip "escaping survives roundtrip" doc;
+  let s = Xml.to_string doc in
+  let contains sub =
+    let n = String.length sub in
+    let rec go i =
+      i + n <= String.length s && (String.sub s i n = sub || go (i + 1))
+    in
+    go 0
+  in
+  Alcotest.(check bool) "text < escaped" true (contains "a&lt;b");
+  Alcotest.(check bool) "text & escaped" true (contains "c&amp;d");
+  Alcotest.(check bool) "attr quote escaped" true (contains "&quot;")
+
+let test_to_tree_basic () =
+  let doc = parse "<album><title>X</title><year>1969</year></album>" in
+  let tree = Xml.to_tree doc in
+  Alcotest.(check string) "root label" "album" (Label.name tree.Tree.label);
+  Alcotest.(check int) "size: album,title,X,year,1969" 5 (Tree.size tree)
+
+let test_to_tree_drop_text () =
+  let doc = parse "<a><b>hello</b><c/></a>" in
+  let with_text = Xml.to_tree ~keep_text:true doc in
+  let without = Xml.to_tree ~keep_text:false doc in
+  Alcotest.(check int) "with text" 4 (Tree.size with_text);
+  Alcotest.(check int) "without text" 3 (Tree.size without)
+
+let test_to_tree_attrs () =
+  let doc = parse {|<a id="1"><b/></a>|} in
+  let without = Xml.to_tree doc in
+  let with_attrs = Xml.to_tree ~keep_attrs:true doc in
+  Alcotest.(check int) "attrs dropped by default" 2 (Tree.size without);
+  Alcotest.(check int) "attr leaf added" 3 (Tree.size with_attrs);
+  match with_attrs.Tree.children with
+  | first :: _ ->
+    Alcotest.(check string) "attr label" "@id=1" (Label.name first.Tree.label)
+  | [] -> Alcotest.fail "expected children"
+
+let test_to_tree_whitespace_normalized () =
+  let doc = parse "<a>  hello   world \n </a>" in
+  let tree = Xml.to_tree doc in
+  match tree.Tree.children with
+  | [ leaf ] -> Alcotest.(check string) "normalized" "hello world" (Label.name leaf.Tree.label)
+  | _ -> Alcotest.fail "expected one text leaf"
+
+let test_to_tree_pure_whitespace_dropped () =
+  let doc = parse "<a> \n  <b/> \n </a>" in
+  let tree = Xml.to_tree doc in
+  Alcotest.(check int) "whitespace-only text dropped" 2 (Tree.size tree)
+
+let test_of_tree_roundtrip () =
+  let doc = parse {|<catalog count="2"><item>first thing</item><item/></catalog>|} in
+  let tree = Xml.to_tree ~keep_attrs:true doc in
+  let back = Xml.of_tree tree in
+  (* to_tree . of_tree is stable on the tree side *)
+  let tree2 = Xml.to_tree ~keep_attrs:true back in
+  Alcotest.(check bool) "tree fixpoint" true (Tree.equal tree tree2)
+
+(* Random-document roundtrip: serialize . parse must be the identity up to
+   text-node merging (the printer concatenates adjacent text, so compare
+   after normalizing both sides through the tree conversion). *)
+let rec random_doc rng depth =
+  let module P = Tsj_util.Prng in
+  if depth = 0 || P.int rng 3 = 0 then
+    Xml.Text (Printf.sprintf "text %d & <%d>" (P.int rng 100) (P.int rng 100))
+  else begin
+    let tag = Printf.sprintf "tag%d" (P.int rng 8) in
+    let attrs =
+      List.init (P.int rng 3) (fun i ->
+          (Printf.sprintf "a%d" i, Printf.sprintf "v w\"%d'" (P.int rng 50)))
+    in
+    let children = List.init (P.int rng 4) (fun _ -> random_doc rng (depth - 1)) in
+    Xml.Element { tag; attrs; children }
+  end
+
+let prop_xml_roundtrip =
+  Gen.qtest ~count:200 "xml print/parse roundtrip"
+    (QCheck.make
+       ~print:(fun seed ->
+         Xml.to_string (random_doc (Tsj_util.Prng.create seed) 4))
+       (fun st -> Random.State.int st 0x3FFFFFF))
+    (fun seed ->
+      let rng = Tsj_util.Prng.create seed in
+      let doc =
+        (* ensure an element root *)
+        match random_doc rng 4 with
+        | Xml.Text _ -> Xml.Element { tag = "root"; attrs = []; children = [] }
+        | e -> e
+      in
+      (* Adjacent text children print concatenated and reparse as one text
+         node: normalize the original the same way before comparing. *)
+      let rec normalize d =
+        match d with
+        | Xml.Text _ -> d
+        | Xml.Element e ->
+          let children =
+            List.fold_right
+              (fun c acc ->
+                match (normalize c, acc) with
+                | Xml.Text a, Xml.Text b :: rest -> Xml.Text (a ^ b) :: rest
+                | c, acc -> c :: acc)
+              e.children []
+          in
+          Xml.Element { e with children }
+      in
+      let doc = normalize doc in
+      let printed = Xml.to_string doc in
+      let reparsed = parse printed in
+      (* the printed form is a fixpoint *)
+      Xml.to_string reparsed = printed
+      && Tree.equal
+           (Xml.to_tree ~keep_attrs:true doc)
+           (Xml.to_tree ~keep_attrs:true reparsed))
+
+let test_join_on_parsed_xml () =
+  (* An end-to-end sanity check tying the XML substrate to the join. *)
+  let docs =
+    [|
+      "<r><a>1</a><b/></r>";
+      "<r><a>1</a><b/></r>";
+      "<r><a>2</a><b/></r>";
+      "<x><y/><z><w/></z></x>";
+    |]
+  in
+  let trees = Array.map (fun s -> Xml.to_tree (parse s)) docs in
+  let out = Tsj_core.Partsj.join ~trees ~tau:1 () in
+  let pairs = Tsj_join.Types.pair_set out in
+  Alcotest.(check (list (pair int int))) "duplicate + near pair" [ (0, 1); (0, 2); (1, 2) ]
+    pairs
+
+let suite =
+  [
+    Alcotest.test_case "parse element" `Quick test_parse_element;
+    Alcotest.test_case "parse attributes" `Quick test_parse_attributes;
+    Alcotest.test_case "parse entities" `Quick test_parse_entities;
+    Alcotest.test_case "parse utf8 char refs" `Quick test_parse_utf8_charref;
+    Alcotest.test_case "parse cdata/comments/pi" `Quick test_parse_cdata_comments_pi;
+    Alcotest.test_case "parse doctype skipped" `Quick test_parse_doctype_skipped;
+    Alcotest.test_case "parse errors" `Quick test_parse_errors;
+    Alcotest.test_case "parse fragments" `Quick test_parse_fragments;
+    Alcotest.test_case "serialize escaping" `Quick test_serialize_escaping;
+    Alcotest.test_case "to_tree basic" `Quick test_to_tree_basic;
+    Alcotest.test_case "to_tree keep_text" `Quick test_to_tree_drop_text;
+    Alcotest.test_case "to_tree keep_attrs" `Quick test_to_tree_attrs;
+    Alcotest.test_case "to_tree whitespace" `Quick test_to_tree_whitespace_normalized;
+    Alcotest.test_case "to_tree drops blank text" `Quick test_to_tree_pure_whitespace_dropped;
+    Alcotest.test_case "of_tree roundtrip" `Quick test_of_tree_roundtrip;
+    prop_xml_roundtrip;
+    Alcotest.test_case "join over parsed xml" `Quick test_join_on_parsed_xml;
+  ]
