@@ -50,6 +50,10 @@ let micro () =
         (Staged.stage (fun () -> Tsj_ted.Ted.distance_prep prep1 prep2));
       Test.make ~name:"ted/zhang-shasha (80 vs 80, near)"
         (Staged.stage (fun () -> Tsj_ted.Ted.distance_prep prep1 prep_near));
+      Test.make ~name:"ted/banded tau=3 (80 vs 80, near)"
+        (Staged.stage (fun () -> Tsj_ted.Ted.bounded_distance_prep prep1 prep_near 3));
+      Test.make ~name:"ted/banded tau=3 (80 vs 80, far)"
+        (Staged.stage (fun () -> Tsj_ted.Ted.bounded_distance_prep prep1 prep2 3));
       Test.make ~name:"ted/preprocess (80)"
         (Staged.stage (fun () -> Tsj_ted.Ted.preprocess t80));
       Test.make ~name:"tree/lcrs-transform (80)"
@@ -118,6 +122,7 @@ let micro () =
 let () =
   let scale = ref 1.0 in
   let seed = ref 42 in
+  let domains = ref 1 in
   let selected = ref [] in
   let rec parse = function
     | [] -> ()
@@ -127,13 +132,17 @@ let () =
     | "--seed" :: v :: rest ->
       seed := int_of_string v;
       parse rest
+    | ("--domains" | "-j") :: v :: rest ->
+      domains := max 1 (int_of_string v);
+      parse rest
     | x :: rest ->
       selected := x :: !selected;
       parse rest
   in
   parse (List.tl (Array.to_list Sys.argv));
   let config =
-    { Experiments.default_config with Experiments.scale = !scale; seed = !seed }
+    { Experiments.default_config with
+      Experiments.scale = !scale; seed = !seed; domains = !domains }
   in
   let selected = if !selected = [] then [ "all" ] else List.rev !selected in
   let known =
@@ -146,7 +155,15 @@ let () =
       ("tab1", fun () -> Experiments.fig14 config);
       ("ablation", fun () -> Experiments.ablation config);
       ("parallel", fun () -> Experiments.parallel config);
-      ("streaming", fun () -> Experiments.streaming config);
+      ("perf", fun () -> Experiments.perf config);
+      ( "smoke",
+        (* Tiny-scale perf run — the dune runtest hook.  Exercises the
+           whole parallel pipeline (pool, block sweep, pipelined verify,
+           JSON emission) and fails on any cross-domain mismatch. *)
+        fun () ->
+          Experiments.perf
+            { config with Experiments.scale = Float.min config.Experiments.scale 0.0625 }
+      );
       ("micro", micro);
       ( "all",
         fun () ->

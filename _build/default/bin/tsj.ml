@@ -109,19 +109,34 @@ let join_cmd =
              Tsj_join.Sweep.Ted
          & info [ "metric" ] ~doc:"Distance metric: ted or constrained.")
   in
-  let run file tau method_ show_pairs format metric =
+  let jobs =
+    Arg.(value & opt (some int) None
+         & info [ "jobs"; "j" ]
+             ~doc:"OCaml domains for the PartSJ pipeline (default: the \
+                   recommended count, honoring TSJ_DOMAINS; baselines are \
+                   sequential).")
+  in
+  let run file tau method_ show_pairs format metric jobs =
     if tau < 0 then begin
       Printf.eprintf "tsj: tau must be non-negative\n";
       exit 2
     end;
+    let domains =
+      match jobs with
+      | Some j when j >= 1 -> j
+      | Some _ ->
+        Printf.eprintf "tsj: -j must be >= 1\n";
+        exit 2
+      | None -> Tsj_join.Parallel.recommended_domains ()
+    in
     let trees = load_trees ~format file in
     let out =
       match (metric, method_) with
-      | Tsj_join.Sweep.Ted, m -> Tsj_harness.Methods.run m ~trees ~tau
+      | Tsj_join.Sweep.Ted, m -> Tsj_harness.Methods.run ~domains m ~trees ~tau
       | metric, Tsj_harness.Methods.Nl -> Tsj_join.Nested_loop.join ~metric ~trees ~tau ()
       | metric, Tsj_harness.Methods.Str -> Tsj_baselines.Str_join.join ~metric ~trees ~tau ()
       | metric, Tsj_harness.Methods.Set -> Tsj_baselines.Set_join.join ~metric ~trees ~tau ()
-      | metric, _ -> Tsj_core.Partsj.join ~metric ~trees ~tau ()
+      | metric, _ -> Tsj_core.Partsj.join ~domains ~metric ~trees ~tau ()
     in
     Format.printf "%a@." Types.pp_stats out.Types.stats;
     if show_pairs then
@@ -134,7 +149,7 @@ let join_cmd =
   in
   Cmd.v
     (Cmd.info "join" ~doc:"Similarity self-join over a tree collection")
-    Term.(const run $ file $ tau $ method_ $ show_pairs $ format_arg $ metric)
+    Term.(const run $ file $ tau $ method_ $ show_pairs $ format_arg $ metric $ jobs)
 
 (* --- gen --- *)
 
@@ -268,14 +283,24 @@ let search_cmd =
 let bench_cmd =
   let scale = Arg.(value & opt float 1.0 & info [ "scale" ] ~doc:"Dataset size multiplier.") in
   let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Random seed.") in
+  let jobs =
+    Arg.(value & opt int 1
+         & info [ "jobs"; "j" ]
+             ~doc:"OCaml domains for the PartSJ runs (the perf experiment \
+                   always compares against the recommended count).")
+  in
   let what =
     Arg.(value & pos_all string [ "all" ] & info [] ~docv:"EXPERIMENT"
-           ~doc:"fig10, fig12, fig14, ablation, parallel, streaming or all.")
+           ~doc:"fig10, fig12, fig14, ablation, parallel, perf, streaming or all.")
   in
-  let run scale seed what =
+  let run scale seed jobs what =
+    if jobs < 1 then begin
+      Printf.eprintf "tsj: -j must be >= 1\n";
+      exit 2
+    end;
     let config =
       { Tsj_harness.Experiments.default_config with
-        Tsj_harness.Experiments.scale; seed }
+        Tsj_harness.Experiments.scale; seed; domains = jobs }
     in
     List.iter
       (fun name ->
@@ -285,6 +310,7 @@ let bench_cmd =
         | "fig14" | "tab1" -> Tsj_harness.Experiments.fig14 config
         | "ablation" -> Tsj_harness.Experiments.ablation config
         | "parallel" -> Tsj_harness.Experiments.parallel config
+        | "perf" -> Tsj_harness.Experiments.perf config
         | "streaming" -> Tsj_harness.Experiments.streaming config
         | "all" -> Tsj_harness.Experiments.run_all config
         | other ->
@@ -294,7 +320,7 @@ let bench_cmd =
   in
   Cmd.v
     (Cmd.info "bench" ~doc:"Re-run the paper's evaluation experiments")
-    Term.(const run $ scale $ seed $ what)
+    Term.(const run $ scale $ seed $ jobs $ what)
 
 let () =
   let doc = "similarity joins over tree-structured data (PartSJ, VLDB 2015)" in

@@ -75,7 +75,9 @@ let add t tree =
   let btree = Binary_tree.of_tree tree in
   let size = btree.Binary_tree.size in
   (* 1. Probe: candidates among all previously inserted trees in the
-     size band, in either direction. *)
+     size band, in either direction.  One cursor serves every size in
+     the band (the twig keys depend only on the probed tree). *)
+  let cursor = Two_layer_index.cursor btree in
   let checked = Hashtbl.create 16 in
   let pending = ref [] in
   for other_size = max 1 (size - t.tau) to size + t.tau do
@@ -90,7 +92,7 @@ let add t tree =
           end)
         entry.small;
       for v = 0 to size - 1 do
-        Two_layer_index.probe entry.index btree v (fun s ->
+        Two_layer_index.probe_cursor entry.index cursor v (fun s ->
             let tj = s.Subgraph.tree_id in
             if not (Hashtbl.mem checked tj) then
               if Subgraph.matches s btree v then begin

@@ -13,141 +13,319 @@ type probe_stats = {
   n_subgraphs_indexed : int;
 }
 
+type phase_times = {
+  prep_wall_s : float;
+  sweep_wall_s : float;
+  total_wall_s : float;
+  domains_used : int;
+}
+
 (* Per-size inverted list: the two-layer index for δ-partitionable trees
    plus the overflow list of sub-δ trees. *)
 type size_entry = { index : Two_layer_index.t; mutable small : int list }
 
+(* Everything derived from one input tree, built eagerly by the parallel
+   preprocessing phase: the TED preparation (both decompositions), the
+   LC-RS form probed by the index, its precomputed twig cursor, and the
+   preorder label sequence whose banded string edit distance is the
+   cheap lower-bound prefilter of the verifier (a tree edit script maps
+   op-for-op onto the preorder sequences, so SED <= TED). *)
+type tree_data = {
+  d_prep : Ted.prep;
+  d_btree : Binary_tree.t;
+  d_cursor : Two_layer_index.cursor;
+  d_pre : Tsj_tree.Label.t array;
+}
+
+(* The immutable snapshot of one size entry taken between blocks: a
+   read-only view of the index plus the overflow list value (lists are
+   immutable, so capturing it is a true snapshot). *)
+type frozen_entry = { f_index : Two_layer_index.frozen; f_small : int list }
+
+(* Result of probing one tree against the frozen snapshot.  [pending] is
+   in discovery order, which is deterministic: the task itself is a
+   sequential loop, and scheduling only decides which domain runs it. *)
+type probe_result = {
+  pending : int list;
+  probed : int;
+  matched : int;
+  small_hits : int;
+  elapsed_s : float;
+}
+
+let empty_probe_result =
+  { pending = []; probed = 0; matched = 0; small_hits = 0; elapsed_s = 0.0 }
+
+(* Trees per parallel block.  Fixed — independent of the domain count —
+   so the candidate stream, the verification batches and every statistic
+   are bit-identical whatever the parallelism. *)
+let block_size = 32
+
 let join_with_probe_stats ?(partitioning = Balanced)
-    ?(index_mode = Two_layer_index.Two_sided) ?(verify_domains = 1)
-    ?(bounded_verify = true) ?metric ~trees ~tau () =
+    ?(index_mode = Two_layer_index.Two_sided) ?(domains = 1)
+    ?(bounded_verify = true) ?metric ?on_phases ~trees ~tau () =
   if tau < 0 then invalid_arg "Partsj.join: negative threshold";
+  if domains < 1 then invalid_arg "Partsj.join: domains must be >= 1";
   let n = Array.length trees in
   let delta = (2 * tau) + 1 in
+  let total_t0 = Timer.now () in
   let cand_timer = Timer.create () in
-  let verify_timer = Timer.create () in
+  let cand_attr = ref 0.0 in
+  let verify_attr = ref 0.0 in
   let rng =
     match partitioning with
     | Balanced -> None
     | Random seed -> Some (Tsj_util.Prng.create seed)
   in
+  let pool = if domains > 1 then Some (Tsj_join.Parallel.pool ~domains) else None in
+  let run_tasks tasks =
+    if Array.length tasks > 0 then
+      match pool with
+      | Some p -> Tsj_join.Pool.run_tasks p ~width:domains tasks
+      | None -> Array.iter (fun f -> f ()) tasks
+  in
+  (* Eager parallel preprocessing: every tree compiled once, up front, on
+     all domains.  All downstream phases only read this immutable array,
+     which is what makes the concurrent probe and verify tasks safe (no
+     lazy fill-on-demand cache, no label interning past this point). *)
+  let data, prep_wall =
+    Timer.wall (fun () ->
+        Tsj_join.Parallel.map ~domains
+          (fun tree ->
+            let btree = Binary_tree.of_tree tree in
+            {
+              d_prep = Ted.preprocess tree;
+              d_btree = btree;
+              d_cursor = Two_layer_index.cursor btree;
+              d_pre = Tsj_tree.Traversal.preorder_labels tree;
+            })
+          trees)
+  in
+  verify_attr := !verify_attr +. prep_wall;
   let sizes = Array.map Tree.size trees in
   let order = Array.init n (fun i -> i) in
   Array.sort
     (fun a b -> if sizes.(a) <> sizes.(b) then compare sizes.(a) sizes.(b) else compare a b)
     order;
   let entries : (int, size_entry) Hashtbl.t = Hashtbl.create 64 in
-  let entry_for size =
-    match Hashtbl.find_opt entries size with
+  let entry_for table mode size =
+    match Hashtbl.find_opt table size with
     | Some e -> e
     | None ->
-      let e = { index = Two_layer_index.create ~mode:index_mode ~tau (); small = [] } in
-      Hashtbl.add entries size e;
+      let e = { index = Two_layer_index.create ~mode ~tau (); small = [] } in
+      Hashtbl.add table size e;
       e
-  in
-  let preps : Ted.prep option array = Array.make n None in
-  let prep i =
-    match preps.(i) with
-    | Some p -> p
-    | None ->
-      let p = Ted.preprocess trees.(i) in
-      preps.(i) <- Some p;
-      p
   in
   let n_probed = ref 0 in
   let n_matched = ref 0 in
   let n_small_hits = ref 0 in
   let n_indexed = ref 0 in
-  let window_pairs = ref 0 in
-  (* Candidate pairs are collected during the sweep and verified in one
-     deferred batch: verification is a pure function of the preprocessed
-     trees, which lets it run on several domains when asked. *)
-  let candidate_pairs = ref [] in
-  (* Trees already paired with the current tree in this iteration. *)
-  let checked : (int, unit) Hashtbl.t = Hashtbl.create 64 in
-  for b = 0 to n - 1 do
-    let ti = order.(b) in
-    let size_i = sizes.(ti) in
-    Hashtbl.reset checked;
-    Timer.start cand_timer;
-    let btree = Binary_tree.of_tree trees.(ti) in
-    (* Candidate generation: probe the inverted lists of every admissible
-       size. *)
-    let pending = ref [] in
-    for size_j = max 1 (size_i - tau) to size_i do
-      match Hashtbl.find_opt entries size_j with
-      | None -> ()
-      | Some entry ->
-        (* Sub-δ trees in the window are always candidates. *)
-        List.iter
-          (fun tj ->
-            if not (Hashtbl.mem checked tj) then begin
-              Hashtbl.add checked tj ();
-              incr n_small_hits;
-              pending := tj :: !pending
-            end)
-          entry.small;
-        for v = 0 to size_i - 1 do
-          Two_layer_index.probe entry.index btree v (fun s ->
-              incr n_probed;
-              let tj = s.Subgraph.tree_id in
-              if not (Hashtbl.mem checked tj) then
-                if Subgraph.matches s btree v then begin
-                  incr n_matched;
-                  Hashtbl.add checked tj ();
-                  pending := tj :: !pending
-                end)
-        done
-    done;
-    Timer.stop cand_timer;
-    List.iter (fun tj -> candidate_pairs := (ti, tj) :: !candidate_pairs) !pending;
-    (* Index the current tree for subsequent iterations. *)
-    Timer.start cand_timer;
-    let entry = entry_for size_i in
-    if size_i < delta then entry.small <- ti :: entry.small
-    else begin
-      let part =
-        match rng with
-        | None -> Partition.partition btree ~delta
-        | Some rng -> Partition.random_partition rng btree ~delta
-      in
-      Array.iter
-        (fun s ->
-          Two_layer_index.insert entry.index s;
-          incr n_indexed)
-        (Subgraph.of_partition ~tree_id:ti part)
-    end;
-    Timer.stop cand_timer
-  done;
-  (* Deferred verification, optionally on several domains.  Preprocessing
-     is completed sequentially first: the per-tree caches are not safe to
-     fill concurrently, while the distance computations only read them. *)
-  let pairs_arr = Array.of_list (List.rev !candidate_pairs) in
-  let distances =
-    Timer.time verify_timer (fun () ->
-        Array.iter
-          (fun (i, j) ->
-            ignore (prep i);
-            ignore (prep j))
-          pairs_arr;
-        Tsj_join.Parallel.map ~domains:verify_domains
-          (fun (i, j) ->
-            if bounded_verify then
-              Tsj_join.Sweep.verify_bounded ?metric ~tau (prep i) (prep j)
-            else Tsj_join.Sweep.verify_distance ?metric (prep i) (prep j))
-          pairs_arr)
+  let verify_pair =
+    let d = data in
+    fun (i, j) ->
+      if bounded_verify then
+        (* Preorder-SED lower bound: a tree edit script of cost c edits
+           the preorder label sequence with at most c operations, so
+           SED > tau implies TED > tau — and every admissible metric
+           dominates TED (see the .mli), so the candidate is dead either
+           way.  The banded SED is ~20x cheaper than the banded TED. *)
+        if not (Tsj_ted.String_edit.within d.(i).d_pre d.(j).d_pre tau) then tau + 1
+        else Tsj_join.Sweep.verify_bounded ?metric ~tau d.(i).d_prep d.(j).d_prep
+      else Tsj_join.Sweep.verify_distance ?metric d.(i).d_prep d.(j).d_prep
   in
   let results = ref [] in
-  Array.iteri
-    (fun idx (i, j) ->
-      let d = distances.(idx) in
-      if d <= tau then begin
-        let a = min i j and b = max i j in
-        results := { Types.i = a; j = b; distance = d } :: !results
-      end)
-    pairs_arr;
-  let candidates = ref (Array.length pairs_arr) in
+  let candidates = ref 0 in
+  (* The candidate batch of the previous block, verified on the pool
+     while the next block probes (software pipelining: candidate
+     generation of block b overlaps verification of block b - 1). *)
+  let pending_batch = ref [||] in
+  let flush_batch_tasks () =
+    let batch = !pending_batch in
+    let nb = Array.length batch in
+    if nb = 0 then ([||], fun () -> ())
+    else begin
+      let dist = Array.make nb 0 in
+      let elapsed = Array.make nb 0.0 in
+      let tasks =
+        Array.init nb (fun idx ->
+            fun () ->
+              let d, dt = Timer.wall (fun () -> verify_pair batch.(idx)) in
+              dist.(idx) <- d;
+              elapsed.(idx) <- dt)
+      in
+      let commit () =
+        Array.iter (fun dt -> verify_attr := !verify_attr +. dt) elapsed;
+        Array.iteri
+          (fun idx (i, j) ->
+            if dist.(idx) <= tau then begin
+              let a = min i j and b = max i j in
+              results := { Types.i = a; j = b; distance = dist.(idx) } :: !results
+            end)
+          batch;
+        pending_batch := [||]
+      in
+      (tasks, commit)
+    end
+  in
+  (* Probe one tree against the frozen snapshot of everything indexed
+     before the current block.  Pure function of immutable data — safe on
+     any domain. *)
+  let probe_frozen_task snapshot ti =
+    let r, dt =
+      Timer.wall (fun () ->
+          let d = data.(ti) in
+          let size_i = sizes.(ti) in
+          let checked : (int, unit) Hashtbl.t = Hashtbl.create 16 in
+          let pending = ref [] in
+          let probed = ref 0 and matched = ref 0 and small_hits = ref 0 in
+          for size_j = max 1 (size_i - tau) to size_i do
+            match Hashtbl.find_opt snapshot size_j with
+            | None -> ()
+            | Some fe ->
+              (* Sub-δ trees in the window are always candidates. *)
+              List.iter
+                (fun tj ->
+                  if not (Hashtbl.mem checked tj) then begin
+                    Hashtbl.add checked tj ();
+                    incr small_hits;
+                    pending := tj :: !pending
+                  end)
+                fe.f_small;
+              for v = 0 to size_i - 1 do
+                Two_layer_index.probe_frozen fe.f_index d.d_cursor v (fun s ->
+                    incr probed;
+                    let tj = s.Subgraph.tree_id in
+                    if not (Hashtbl.mem checked tj) then
+                      if Subgraph.matches s d.d_btree v then begin
+                        incr matched;
+                        Hashtbl.add checked tj ();
+                        pending := tj :: !pending
+                      end)
+              done
+          done;
+          {
+            pending = List.rev !pending;
+            probed = !probed;
+            matched = !matched;
+            small_hits = !small_hits;
+            elapsed_s = 0.0;
+          })
+    in
+    { r with elapsed_s = dt }
+  in
+  let sweep () =
+    let n_blocks = (n + block_size - 1) / block_size in
+    for blk = 0 to n_blocks - 1 do
+      let b0 = blk * block_size in
+      let b1 = min n (b0 + block_size) in
+      let width = b1 - b0 in
+      (* Snapshot the per-size entries: O(#sizes), between-block only. *)
+      let snapshot : (int, frozen_entry) Hashtbl.t = Hashtbl.create 64 in
+      Hashtbl.iter
+        (fun size e ->
+          Hashtbl.add snapshot size
+            { f_index = Two_layer_index.freeze e.index; f_small = e.small })
+        entries;
+      (* Parallel phase: probe every tree of this block against the
+         frozen snapshot, and verify the previous block's candidates. *)
+      let frozen_results = Array.make width empty_probe_result in
+      let probe_tasks =
+        Array.init width (fun w ->
+            fun () -> frozen_results.(w) <- probe_frozen_task snapshot order.(b0 + w))
+      in
+      let verify_tasks, commit_batch = flush_batch_tasks () in
+      run_tasks (Array.append probe_tasks verify_tasks);
+      commit_batch ();
+      Array.iter
+        (fun r ->
+          cand_attr := !cand_attr +. r.elapsed_s;
+          n_probed := !n_probed + r.probed;
+          n_matched := !n_matched + r.matched;
+          n_small_hits := !n_small_hits + r.small_hits)
+        frozen_results;
+      (* Sequential phase: in block order, probe the subgraphs inserted
+         earlier in this block (invisible to the snapshot), emit the
+         tree's candidates, then partition and index it.  The random
+         partitioning rng is consumed only here, in tree order, so the
+         stream is identical at every domain count. *)
+      Timer.start cand_timer;
+      let block_entries : (int, size_entry) Hashtbl.t = Hashtbl.create 8 in
+      let batch = ref [] in
+      for w = 0 to width - 1 do
+        let ti = order.(b0 + w) in
+        let d = data.(ti) in
+        let size_i = sizes.(ti) in
+        let checked : (int, unit) Hashtbl.t = Hashtbl.create 8 in
+        let local_pending = ref [] in
+        for size_j = max 1 (size_i - tau) to size_i do
+          match Hashtbl.find_opt block_entries size_j with
+          | None -> ()
+          | Some entry ->
+            List.iter
+              (fun tj ->
+                if not (Hashtbl.mem checked tj) then begin
+                  Hashtbl.add checked tj ();
+                  incr n_small_hits;
+                  local_pending := tj :: !local_pending
+                end)
+              entry.small;
+            for v = 0 to size_i - 1 do
+              Two_layer_index.probe_cursor entry.index d.d_cursor v (fun s ->
+                  incr n_probed;
+                  let tj = s.Subgraph.tree_id in
+                  if not (Hashtbl.mem checked tj) then
+                    if Subgraph.matches s d.d_btree v then begin
+                      incr n_matched;
+                      Hashtbl.add checked tj ();
+                      local_pending := tj :: !local_pending
+                    end)
+            done
+        done;
+        (* Frozen hits (trees before the block) and local hits (earlier
+           trees of this block) are disjoint by construction; their
+           concatenation is the exact candidate set of the sequential
+           algorithm, in a deterministic order. *)
+        let emit tj =
+          incr candidates;
+          batch := (ti, tj) :: !batch
+        in
+        List.iter emit frozen_results.(w).pending;
+        List.iter emit (List.rev !local_pending);
+        (* Index the current tree for subsequent iterations: in the main
+           per-size entry for later blocks, and in the block-local entry
+           for the remaining trees of this block. *)
+        let entry = entry_for entries index_mode size_i in
+        let local = entry_for block_entries index_mode size_i in
+        if size_i < delta then begin
+          entry.small <- ti :: entry.small;
+          local.small <- ti :: local.small
+        end
+        else begin
+          let part =
+            match rng with
+            | None -> Partition.partition d.d_btree ~delta
+            | Some rng -> Partition.random_partition rng d.d_btree ~delta
+          in
+          Array.iter
+            (fun s ->
+              Two_layer_index.insert entry.index s;
+              Two_layer_index.insert local.index s;
+              incr n_indexed)
+            (Subgraph.of_partition ~tree_id:ti part)
+        end
+      done;
+      Timer.stop cand_timer;
+      pending_batch := Array.of_list (List.rev !batch)
+    done;
+    (* Drain the last block's candidates. *)
+    let verify_tasks, commit_batch = flush_batch_tasks () in
+    run_tasks verify_tasks;
+    commit_batch ()
+  in
+  let (), sweep_wall = Timer.wall sweep in
   (* Window-pair count (the shared universe statistic): trees are sorted by
      size, so a sliding lower pointer suffices. *)
+  let window_pairs = ref 0 in
   let lo = ref 0 in
   for b = 0 to n - 1 do
     while sizes.(order.(b)) - sizes.(order.(!lo)) > tau do
@@ -156,6 +334,18 @@ let join_with_probe_stats ?(partitioning = Balanced)
     window_pairs := !window_pairs + (b - !lo)
   done;
   let pairs = List.rev !results in
+  let cand_time_s = !cand_attr +. Timer.elapsed_s cand_timer in
+  let verify_time_s = !verify_attr in
+  (match on_phases with
+  | None -> ()
+  | Some f ->
+    f
+      {
+        prep_wall_s = prep_wall;
+        sweep_wall_s = sweep_wall;
+        total_wall_s = Timer.now () -. total_t0;
+        domains_used = domains;
+      });
   ( {
       Types.pairs;
       stats =
@@ -165,8 +355,8 @@ let join_with_probe_stats ?(partitioning = Balanced)
           n_window_pairs = !window_pairs;
           n_candidates = !candidates;
           n_results = List.length pairs;
-          candidate_time_s = Timer.elapsed_s cand_timer;
-          verify_time_s = Timer.elapsed_s verify_timer;
+          candidate_time_s = cand_time_s;
+          verify_time_s;
         };
     },
     {
@@ -176,8 +366,8 @@ let join_with_probe_stats ?(partitioning = Balanced)
       n_subgraphs_indexed = !n_indexed;
     } )
 
-let join ?partitioning ?index_mode ?verify_domains ?bounded_verify ?metric ~trees ~tau
-    () =
+let join ?partitioning ?index_mode ?domains ?bounded_verify ?metric ?on_phases ~trees
+    ~tau () =
   fst
-    (join_with_probe_stats ?partitioning ?index_mode ?verify_domains ?bounded_verify
-       ?metric ~trees ~tau ())
+    (join_with_probe_stats ?partitioning ?index_mode ?domains ?bounded_verify ?metric
+       ?on_phases ~trees ~tau ())

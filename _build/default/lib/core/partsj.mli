@@ -15,34 +15,65 @@
     [n] nodes has only [n - 1] edges); they are kept in per-size overflow
     lists and treated as always-candidates within the size window, which
     preserves completeness (such trees have at most [2τ] nodes, so they
-    are both rare and cheap to verify). *)
+    are both rare and cheap to verify).
+
+    {b Parallel execution.}  With [domains > 1] the join runs its three
+    phases on the shared work-stealing pool of {!Tsj_join.Pool}:
+    preprocessing compiles every tree in parallel up front; the sweep
+    processes trees in fixed-size blocks, probing each block against a
+    {!Two_layer_index.frozen} read-only snapshot concurrently while the
+    {e previous} block's candidates are verified on the same pool
+    (software pipelining), followed by a short sequential phase that
+    probes intra-block pairs and inserts the block's subgraphs.  The
+    block size is a constant, independent of [domains], and every task
+    is a pure function of immutable preprocessed data, so the candidate
+    stream, the result pairs and all statistics are bit-identical at
+    every domain count — parallelism changes only the wall clock. *)
 
 type partitioning =
   | Balanced          (** max-min-size partitioning (Section 3.3) *)
   | Random of int     (** seeded random bridging edges — ablation *)
 
+type phase_times = {
+  prep_wall_s : float;   (** parallel preprocessing wall time *)
+  sweep_wall_s : float;  (** pipelined candidate + verify sweep wall time *)
+  total_wall_s : float;
+  domains_used : int;
+}
+(** Wall-clock phase split reported through [on_phases] — the
+    machine-readable counterpart of the attributed per-phase stats (with
+    pipelining, candidate and verification work overlap in wall time, so
+    [candidate_time_s + verify_time_s] of {!Tsj_join.Types.stats} can
+    exceed [sweep_wall_s] on several domains). *)
+
 val join :
   ?partitioning:partitioning ->
   ?index_mode:Two_layer_index.mode ->
-  ?verify_domains:int ->
+  ?domains:int ->
   ?bounded_verify:bool ->
   ?metric:Tsj_join.Sweep.metric ->
+  ?on_phases:(phase_times -> unit) ->
   trees:Tsj_tree.Tree.t array ->
   tau:int ->
   unit ->
   Tsj_join.Types.output
-(** @raise Invalid_argument if [tau < 0].  [index_mode] defaults to the
-    sound {!Two_layer_index.Two_sided} windows; with
+(** @raise Invalid_argument if [tau < 0] or [domains < 1].  [index_mode]
+    defaults to the sound {!Two_layer_index.Two_sided} windows; with
     {!Two_layer_index.Paper_rank} the join is faster but may miss result
-    pairs (see {!Two_layer_index}).  [verify_domains] (default 1) runs the
-    deferred exact-TED verification batch on that many OCaml domains —
-    the paper's "multi-core architectures" future-work point.  [metric]
-    swaps the verifier (default: unrestricted TED); any metric that never
-    underestimates TED — e.g. {!Tsj_ted.Constrained} — keeps the subgraph
-    filter lossless, realizing the paper's "other tree distance metrics"
-    future-work point.  [bounded_verify] (default [true]) verifies with
-    the τ-banded DP, which is exact for all distances up to [τ]; pass
-    [false] to force the full cubic verifier (ablation). *)
+    pairs (see {!Two_layer_index}).  [domains] (default 1) runs the whole
+    join — preprocessing, block-parallel candidate generation and
+    pipelined verification — on that many OCaml domains; the result is
+    identical at every count.  [metric] swaps the verifier (default:
+    unrestricted TED); any metric that never underestimates TED — e.g.
+    {!Tsj_ted.Constrained} — keeps the subgraph filter {e and} the
+    preorder-SED prefilter lossless, realizing the paper's "other tree
+    distance metrics" future-work point.  [bounded_verify] (default
+    [true]) verifies with the τ-banded DP behind a banded preorder
+    string-edit-distance lower-bound prefilter, both exact for all
+    distances up to [τ]; pass [false] to force the full cubic verifier
+    with no prefilter (ablation).  In the reported stats, preprocessing
+    is charged to verification (as before) and pipelined task times are
+    attributed to their phase. *)
 
 type probe_stats = {
   n_probed : int;        (** subgraphs returned by index probes *)
@@ -54,12 +85,15 @@ type probe_stats = {
 val join_with_probe_stats :
   ?partitioning:partitioning ->
   ?index_mode:Two_layer_index.mode ->
-  ?verify_domains:int ->
+  ?domains:int ->
   ?bounded_verify:bool ->
   ?metric:Tsj_join.Sweep.metric ->
+  ?on_phases:(phase_times -> unit) ->
   trees:Tsj_tree.Tree.t array ->
   tau:int ->
   unit ->
   Tsj_join.Types.output * probe_stats
 (** Same join, also reporting index-behaviour counters (used by the
-    ablation benches and tests). *)
+    ablation benches and tests).  The counters are deterministic: every
+    parallel task counts its own deterministic probe sequence and the
+    sums are order-independent. *)

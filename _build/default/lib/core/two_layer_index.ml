@@ -76,21 +76,10 @@ let n_groups t =
   let count table = Hashtbl.fold (fun _ group acc -> acc + Hashtbl.length group) table 0 in
   count t.by_start + count t.by_end
 
-let probe_table table post (target : Binary_tree.t) v f =
+let probe_table table post l ll lr f =
   match Hashtbl.find_opt table post with
   | None -> ()
   | Some group ->
-    let l = target.Binary_tree.label.(v) in
-    let ll =
-      match target.Binary_tree.left.(v) with
-      | -1 -> Label.epsilon
-      | c -> target.Binary_tree.label.(c)
-    in
-    let lr =
-      match target.Binary_tree.right.(v) with
-      | -1 -> Label.epsilon
-      | c -> target.Binary_tree.label.(c)
-    in
     let visit key =
       match Hashtbl.find_opt group key with
       | Some subs -> List.iter f !subs
@@ -104,10 +93,70 @@ let probe_table table post (target : Binary_tree.t) v f =
     if ll <> Label.epsilon || lr <> Label.epsilon then
       visit (l, Label.epsilon, Label.epsilon)
 
-let probe t (target : Binary_tree.t) v f =
+(* Precomputed per-node twig keys of a probed tree.  Probing runs the
+   same tree against one index per admissible size, each with up to two
+   coordinate tables — recomputing the twig of node [v] for every
+   (size, table) lookup showed up in join profiles.  A cursor computes
+   all of them once. *)
+type cursor = {
+  c_l : int array;
+  c_ll : int array; (* left-child label, ε when absent *)
+  c_lr : int array;
+  c_gpost : int array; (* shared with the source tree, not copied *)
+  c_size : int;
+}
+
+let cursor (target : Binary_tree.t) =
+  let n = target.Binary_tree.size in
+  let label = target.Binary_tree.label in
+  let child lane v =
+    match lane.(v) with
+    | -1 -> Label.epsilon
+    | c -> label.(c)
+  in
+  {
+    c_l = label; (* shared, read-only *)
+    c_ll = Array.init n (child target.Binary_tree.left);
+    c_lr = Array.init n (child target.Binary_tree.right);
+    c_gpost = target.Binary_tree.gpost;
+    c_size = n;
+  }
+
+let probe_cursor t (cur : cursor) v f =
+  let l = cur.c_l.(v) and ll = cur.c_ll.(v) and lr = cur.c_lr.(v) in
   match t.mode with
-  | Label_only -> probe_table t.by_start 0 target v f
+  | Label_only -> probe_table t.by_start 0 l ll lr f
+  | Two_sided | Paper_rank ->
+    let p = cur.c_gpost.(v) in
+    probe_table t.by_start p l ll lr f;
+    probe_table t.by_end (cur.c_size - 1 - p) l ll lr f
+
+let probe t (target : Binary_tree.t) v f =
+  let l = target.Binary_tree.label.(v) in
+  let ll =
+    match target.Binary_tree.left.(v) with
+    | -1 -> Label.epsilon
+    | c -> target.Binary_tree.label.(c)
+  in
+  let lr =
+    match target.Binary_tree.right.(v) with
+    | -1 -> Label.epsilon
+    | c -> target.Binary_tree.label.(c)
+  in
+  match t.mode with
+  | Label_only -> probe_table t.by_start 0 l ll lr f
   | Two_sided | Paper_rank ->
     let p = target.Binary_tree.gpost.(v) in
-    probe_table t.by_start p target v f;
-    probe_table t.by_end (target.Binary_tree.size - 1 - p) target v f
+    probe_table t.by_start p l ll lr f;
+    probe_table t.by_end (target.Binary_tree.size - 1 - p) l ll lr f
+
+(* Read-only probe view.  [frozen] shares structure with the underlying
+   index — freezing is O(1) — but the type rules out insertion, which is
+   what makes handing it to concurrently probing domains an honest API:
+   probes through the view are safe as long as no [insert] on the
+   underlying index runs concurrently. *)
+type frozen = { view : t }
+
+let freeze t = { view = t }
+
+let probe_frozen fz cur v f = probe_cursor fz.view cur v f

@@ -1,1 +1,1 @@
-lib/harness/experiments.ml: Array Format List Methods Printf String Table Tsj_core Tsj_datagen Tsj_join Tsj_util Unix
+lib/harness/experiments.ml: Array Format List Methods Option Printf String Table Tsj_core Tsj_datagen Tsj_join Tsj_util Unix

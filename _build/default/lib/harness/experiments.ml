@@ -2,9 +2,24 @@ module Types = Tsj_join.Types
 module Profiles = Tsj_datagen.Profiles
 module Generator = Tsj_datagen.Generator
 
-type config = { scale : float; seed : int; taus : int list; out : out_channel }
+type config = {
+  scale : float;
+  seed : int;
+  taus : int list;
+  out : out_channel;
+  domains : int;  (** domain count for the PartSJ runs (1 = sequential) *)
+  bench_json : string;  (** where {!perf} writes its machine-readable record *)
+}
 
-let default_config = { scale = 1.0; seed = 42; taus = [ 1; 2; 3; 4; 5 ]; out = stdout }
+let default_config =
+  {
+    scale = 1.0;
+    seed = 42;
+    taus = [ 1; 2; 3; 4; 5 ];
+    out = stdout;
+    domains = 1;
+    bench_json = "BENCH_partsj.json";
+  }
 
 (* Laptop-scale default cardinalities per dataset (paper: 100K / 50K /
    10K / 10K). *)
@@ -29,7 +44,7 @@ let dataset config profile n =
 type row = { method_ : Methods.t; label : string; output : Types.output }
 
 let run_method config ~trees ~tau ~label method_ =
-  let output = Methods.run method_ ~trees ~tau in
+  let output = Methods.run ~domains:config.domains method_ ~trees ~tau in
   printf config "    %s tau=%d %s: %s\n%!" (Methods.name method_) tau label
     (Format.asprintf "%a" Types.pp_stats output.Types.stats);
   { method_; label; output }
@@ -265,15 +280,13 @@ let ablation config =
 
 let parallel config =
   Table.heading ~out:config.out
-    "Extension — multicore TED verification (paper future work: multi-core)";
+    "Extension — block-parallel PartSJ (paper future work: multi-core)";
   let profile = Profiles.synthetic in
   let n = cardinality config profile in
   let trees = dataset config profile n in
   let tau = 3 in
   let rec_domains = Tsj_join.Parallel.recommended_domains () in
-  let domain_counts =
-    List.sort_uniq compare [ 1; 2; 4; rec_domains ]
-  in
+  let domain_counts = List.sort_uniq compare [ 1; 2; 4; rec_domains ] in
   let rows =
     List.filter_map
       (fun domains ->
@@ -281,7 +294,7 @@ let parallel config =
         else begin
           let output, dt =
             Tsj_util.Timer.wall (fun () ->
-                Tsj_core.Partsj.join ~verify_domains:domains ~trees ~tau ())
+                Tsj_core.Partsj.join ~domains ~trees ~tau ())
           in
           let s = output.Types.stats in
           Some
@@ -295,11 +308,98 @@ let parallel config =
         end)
       domain_counts
   in
-  printf config "\n  (tau = %d, %d trees, recommended domains = %d)\n" tau n rec_domains;
+  printf config "\n  (tau = %d, %d trees, recommended domains = %d;\n" tau n rec_domains;
+  printf config
+    "   cand-gen / verify are attributed task times, which overlap in wall time)\n";
   Table.print ~out:config.out
-    ~header:[ "domains"; "cand-gen"; "verify (wall)"; "total (wall)"; "results" ]
+    ~header:[ "domains"; "cand-gen"; "TED verify"; "total (wall)"; "results" ]
     ~align:[ Table.Right; Right; Right; Right; Right ]
     rows
+
+(* --- end-to-end phase benchmark + machine-readable record --- *)
+
+let perf config =
+  Table.heading ~out:config.out
+    "PartSJ end-to-end phase benchmark (fig10-style synthetic, tau = 3)";
+  let profile = Profiles.synthetic in
+  let n = cardinality config profile in
+  let trees = dataset config profile n in
+  let tau = 3 in
+  let rec_domains = Tsj_join.Parallel.recommended_domains () in
+  let domains = if config.domains > 1 then config.domains else rec_domains in
+  let run d =
+    let phases = ref None in
+    let (output, pstats), wall =
+      Tsj_util.Timer.wall (fun () ->
+          Tsj_core.Partsj.join_with_probe_stats ~domains:d
+            ~on_phases:(fun p -> phases := Some p)
+            ~trees ~tau ())
+    in
+    (output, pstats, Option.get !phases, wall)
+  in
+  let o1, p1, ph1, w1 = run 1 in
+  let oN, pN, phN, wN = run domains in
+  let identical =
+    Types.equal_results o1 oN
+    && o1.Types.stats.Types.n_candidates = oN.Types.stats.Types.n_candidates
+    && p1 = pN
+  in
+  let row label (o : Types.output) (ph : Tsj_core.Partsj.phase_times) wall =
+    let s = o.Types.stats in
+    [
+      label;
+      Table.seconds ph.Tsj_core.Partsj.prep_wall_s;
+      Table.seconds ph.Tsj_core.Partsj.sweep_wall_s;
+      Table.seconds wall;
+      Table.count s.Types.n_candidates;
+      Table.count s.Types.n_results;
+    ]
+  in
+  printf config "\n  (n = %d, recommended domains = %d)\n" n rec_domains;
+  Table.print ~out:config.out
+    ~header:[ "domains"; "prep (wall)"; "sweep (wall)"; "total (wall)"; "candidates"; "results" ]
+    ~align:[ Table.Right; Right; Right; Right; Right; Right ]
+    [ row "1" o1 ph1 w1; row (string_of_int domains) oN phN wN ];
+  printf config "  determinism (domains=1 vs domains=%d): %s\n" domains
+    (if identical then "identical pairs, candidates and probe stats"
+     else "MISMATCH — results differ across domain counts!");
+  (* Machine-readable record, hand-rolled (no JSON dependency in the
+     toolchain).  One run object per domain count. *)
+  let json_run d (o : Types.output) (ph : Tsj_core.Partsj.phase_times) wall =
+    let s = o.Types.stats in
+    Printf.sprintf
+      "    {\n\
+      \      \"domains\": %d,\n\
+      \      \"prep_wall_s\": %.6f,\n\
+      \      \"sweep_wall_s\": %.6f,\n\
+      \      \"total_wall_s\": %.6f,\n\
+      \      \"candidate_time_s\": %.6f,\n\
+      \      \"verify_time_s\": %.6f,\n\
+      \      \"n_candidates\": %d,\n\
+      \      \"n_results\": %d\n\
+      \    }"
+      d ph.Tsj_core.Partsj.prep_wall_s ph.Tsj_core.Partsj.sweep_wall_s wall
+      s.Types.candidate_time_s s.Types.verify_time_s s.Types.n_candidates
+      s.Types.n_results
+  in
+  let oc = open_out config.bench_json in
+  Printf.fprintf oc
+    "{\n\
+    \  \"benchmark\": \"partsj_join\",\n\
+    \  \"dataset\": \"%s\",\n\
+    \  \"n_trees\": %d,\n\
+    \  \"tau\": %d,\n\
+    \  \"seed\": %d,\n\
+    \  \"recommended_domains\": %d,\n\
+    \  \"identical_across_domains\": %b,\n\
+    \  \"runs\": [\n%s,\n%s\n  ]\n\
+     }\n"
+    profile.Profiles.name n tau config.seed rec_domains identical
+    (json_run 1 o1 ph1 w1)
+    (json_run domains oN phN wN);
+  close_out oc;
+  printf config "  wrote %s\n" config.bench_json;
+  if not identical then failwith "Experiments.perf: results differ across domain counts"
 
 let streaming config =
   Table.heading ~out:config.out
@@ -340,4 +440,5 @@ let run_all config =
   fig14 config;
   ablation config;
   parallel config;
+  perf config;
   streaming config

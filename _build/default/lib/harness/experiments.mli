@@ -13,10 +13,13 @@ type config = {
   seed : int;
   taus : int list;     (** thresholds for the τ sweeps (paper: 1..5) *)
   out : out_channel;
+  domains : int;       (** domain count forwarded to the PartSJ runs *)
+  bench_json : string; (** output path of {!perf}'s machine-readable record *)
 }
 
 val default_config : config
-(** [scale = 1.0], [seed = 42], [taus = 1..5], stdout. *)
+(** [scale = 1.0], [seed = 42], [taus = 1..5], stdout, [domains = 1],
+    [bench_json = "BENCH_partsj.json"]. *)
 
 val fig10_11 : config -> unit
 (** Figures 10 and 11: runtime split (candidate generation vs TED) and
@@ -37,8 +40,18 @@ val ablation : config -> unit
     results counted against ground truth) and the label-only index. *)
 
 val parallel : config -> unit
-(** Extension bench: the same PartSJ join with the exact-TED verification
-    batch on 1, 2, 4 and the recommended number of OCaml domains. *)
+(** Extension bench: the whole PartSJ join (preprocessing, block-parallel
+    candidate generation and pipelined verification) on 1, 2, 4 and the
+    recommended number of OCaml domains. *)
+
+val perf : config -> unit
+(** End-to-end phase benchmark on the fig10-style synthetic dataset at
+    τ = 3: runs the join at one domain and at the recommended count,
+    prints the wall-time phase split, asserts that result pairs,
+    candidate counts and probe statistics are identical across domain
+    counts, and writes the machine-readable record to
+    [config.bench_json].
+    @raise Failure if the two runs disagree. *)
 
 val streaming : config -> unit
 (** Extension bench: cumulative throughput of the incremental

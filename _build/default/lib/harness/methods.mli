@@ -25,4 +25,8 @@ val all : t list
 val paper_methods : t list
 (** [STR; SET; PRT] — the three lines of every figure. *)
 
-val run : t -> trees:Tsj_tree.Tree.t array -> tau:int -> Tsj_join.Types.output
+val run :
+  ?domains:int -> t -> trees:Tsj_tree.Tree.t array -> tau:int -> Tsj_join.Types.output
+(** [domains] (default 1) is forwarded to the PartSJ variants, which run
+    their whole pipeline on that many OCaml domains; the baselines are
+    sequential and ignore it. *)

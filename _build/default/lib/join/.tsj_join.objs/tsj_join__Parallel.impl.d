@@ -1,1 +1,1 @@
-lib/join/parallel.ml: Array Domain List
+lib/join/parallel.ml: Array Domain Mutex Option Pool String Sys

@@ -1,1 +1,1 @@
-lib/join/parallel.mli:
+lib/join/parallel.mli: Pool

@@ -1,0 +1,1 @@
+lib/join/pool.ml: Array Atomic Condition Domain List Mutex Option Printexc

@@ -1,0 +1,1 @@
+lib/join/pool.mli:

@@ -1,26 +1,47 @@
-let recommended_domains () = min 8 (Domain.recommended_domain_count ())
+let recommended_domains () =
+  match Sys.getenv_opt "TSJ_DOMAINS" with
+  | Some s -> (
+    match int_of_string_opt (String.trim s) with
+    | Some d when d >= 1 -> d
+    | Some _ | None -> Domain.recommended_domain_count ())
+  | None -> Domain.recommended_domain_count ()
+
+(* One shared pool for the whole process, created on first parallel call
+   and grown (replaced) if a caller asks for more domains than it has.
+   Helpers are joined at exit so the process never leaks blocked
+   domains. *)
+let shared : Pool.t option ref = ref None
+
+let shared_mutex = Mutex.create ()
+
+let at_exit_registered = ref false
+
+let pool ~domains =
+  if domains < 1 then invalid_arg "Parallel.pool: domains must be >= 1";
+  Mutex.lock shared_mutex;
+  let p =
+    match !shared with
+    | Some p when Pool.size p >= domains -> p
+    | prev ->
+      Option.iter Pool.shutdown prev;
+      let p = Pool.create ~domains in
+      shared := Some p;
+      if not !at_exit_registered then begin
+        at_exit_registered := true;
+        at_exit (fun () ->
+            Mutex.lock shared_mutex;
+            let p = !shared in
+            shared := None;
+            Mutex.unlock shared_mutex;
+            Option.iter Pool.shutdown p)
+      end;
+      p
+  in
+  Mutex.unlock shared_mutex;
+  p
 
 let map ~domains f xs =
   if domains < 1 then invalid_arg "Parallel.map: domains must be >= 1";
   let n = Array.length xs in
-  if domains = 1 || n < 2 * domains then Array.map f xs
-  else begin
-    let out = Array.make n None in
-    (* Striped assignment keeps per-domain work balanced when cost varies
-       smoothly along the array (e.g. trees sorted by size). *)
-    let worker stripe () =
-      let i = ref stripe in
-      while !i < n do
-        out.(!i) <- Some (f xs.(!i));
-        i := !i + domains
-      done
-    in
-    let spawned = List.init (domains - 1) (fun k -> Domain.spawn (worker (k + 1))) in
-    worker 0 ();
-    List.iter Domain.join spawned;
-    Array.map
-      (function
-        | Some v -> v
-        | None -> assert false (* every index is covered by exactly one stripe *))
-      out
-  end
+  if domains = 1 || n < 2 then Array.map f xs
+  else Pool.map (pool ~domains) ~width:domains f xs

@@ -1,18 +1,32 @@
 (** Multicore helpers (OCaml 5 domains).
 
     The paper's future work names "parallel and distributed settings
-    (e.g., multi-core architectures)"; the embarrassingly parallel part of
-    every join method is candidate verification — independent exact TED
-    computations over read-only preprocessed trees.  {!map} provides the
-    fork/join primitive the join drivers use for it. *)
+    (e.g., multi-core architectures)".  The PartSJ pipeline runs its
+    preprocessing, candidate-generation and verification phases on the
+    persistent work-stealing pool of {!Pool}; this module owns the shared
+    process-wide pool instance and the classic fork/join {!map} built on
+    it. *)
+
+val pool : domains:int -> Pool.t
+(** The shared process-wide pool, guaranteed to have at least [domains]
+    worker slots.  Created lazily on first use, grown (replaced) when a
+    caller asks for more domains, and shut down automatically at process
+    exit.  Jobs that should use fewer workers than the pool holds pass
+    [~width] to the {!Pool} schedulers.
+    @raise Invalid_argument if [domains < 1]. *)
 
 val map : domains:int -> ('a -> 'b) -> 'a array -> 'b array
 (** [map ~domains f xs] is [Array.map f xs] computed on up to [domains]
-    domains (including the caller's).  [f] must be safe to run
-    concurrently on read-only shared data — it must not intern labels or
-    touch other global tables.  With [domains <= 1] or short arrays this
-    is exactly [Array.map].  Exceptions raised by [f] are re-raised.
+    domains (including the caller's), scheduled dynamically with chunk
+    stealing so uneven per-element costs do not idle fast workers.  [f]
+    must be safe to run concurrently on read-only shared data — it must
+    not intern labels or touch other global tables.  With [domains <= 1]
+    or arrays shorter than 2 this is exactly [Array.map].  Exceptions
+    raised by [f] are re-raised.
     @raise Invalid_argument if [domains < 1]. *)
 
 val recommended_domains : unit -> int
-(** [Domain.recommended_domain_count ()], capped at 8. *)
+(** [Domain.recommended_domain_count ()] — one worker per available core,
+    uncapped.  The [TSJ_DOMAINS] environment variable (a positive
+    integer) overrides the detected count, for container limits or
+    benchmarking. *)

@@ -1,0 +1,200 @@
+(* Persistent work-stealing domain pool.
+
+   One pool holds [size - 1] long-lived helper domains plus the calling
+   domain (worker slot 0).  A job is a function [body : worker -> unit]
+   executed once per participating worker slot; jobs are handed to the
+   helpers through a mutex/condition pair and joined with a countdown.
+   Index spaces ([for_], [map], [run_tasks]) are scheduled dynamically:
+   the range is split into one contiguous region per participating
+   worker, each region drained in chunks claimed with
+   [Atomic.fetch_and_add]; a worker whose own region runs dry steals
+   chunks from the fullest remaining region.  Dynamic chunk claiming is
+   what keeps skewed workloads (tree sizes vary widely, so verification
+   costs do too) from idling fast workers. *)
+
+type error = { exn : exn; bt : Printexc.raw_backtrace }
+
+type job = { width : int; body : int -> unit }
+
+type t = {
+  size : int;
+  mutex : Mutex.t;
+  work_available : Condition.t;
+  work_done : Condition.t;
+  mutable job : job option;
+  mutable epoch : int; (* job sequence number; workers wait for it to move *)
+  mutable pending : int; (* helpers yet to finish the current job *)
+  mutable in_job : bool; (* caller-side reentrancy / concurrency guard *)
+  mutable error : error option; (* first exception of the current job *)
+  mutable stopping : bool;
+  mutable workers : unit Domain.t list;
+}
+
+let size t = t.size
+
+let record_error t exn bt =
+  Mutex.lock t.mutex;
+  if t.error = None then t.error <- Some { exn; bt };
+  Mutex.unlock t.mutex
+
+let worker_loop t slot =
+  let last = ref 0 in
+  let continue = ref true in
+  while !continue do
+    Mutex.lock t.mutex;
+    while (not t.stopping) && t.epoch = !last do
+      Condition.wait t.work_available t.mutex
+    done;
+    if t.stopping then begin
+      Mutex.unlock t.mutex;
+      continue := false
+    end
+    else begin
+      let job = Option.get t.job in
+      last := t.epoch;
+      Mutex.unlock t.mutex;
+      (if slot < job.width then
+         try job.body slot
+         with exn -> record_error t exn (Printexc.get_raw_backtrace ()));
+      Mutex.lock t.mutex;
+      t.pending <- t.pending - 1;
+      if t.pending = 0 then Condition.broadcast t.work_done;
+      Mutex.unlock t.mutex
+    end
+  done
+
+let create ~domains =
+  if domains < 1 then invalid_arg "Pool.create: domains must be >= 1";
+  let t =
+    {
+      size = domains;
+      mutex = Mutex.create ();
+      work_available = Condition.create ();
+      work_done = Condition.create ();
+      job = None;
+      epoch = 0;
+      pending = 0;
+      in_job = false;
+      error = None;
+      stopping = false;
+      workers = [];
+    }
+  in
+  t.workers <- List.init (domains - 1) (fun i -> Domain.spawn (fun () -> worker_loop t (i + 1)));
+  t
+
+let shutdown t =
+  Mutex.lock t.mutex;
+  let already = t.stopping in
+  t.stopping <- true;
+  Condition.broadcast t.work_available;
+  Mutex.unlock t.mutex;
+  if not already then begin
+    List.iter Domain.join t.workers;
+    t.workers <- []
+  end
+
+let run t ?(width = max_int) body =
+  let width = max 1 (min width t.size) in
+  if t.stopping then invalid_arg "Pool.run: pool is shut down";
+  if t.in_job then invalid_arg "Pool.run: nested or concurrent job";
+  if width = 1 || t.size = 1 then body 0
+  else begin
+    Mutex.lock t.mutex;
+    t.in_job <- true;
+    t.job <- Some { width; body };
+    t.epoch <- t.epoch + 1;
+    t.pending <- t.size - 1;
+    t.error <- None;
+    Condition.broadcast t.work_available;
+    Mutex.unlock t.mutex;
+    (try body 0 with exn -> record_error t exn (Printexc.get_raw_backtrace ()));
+    Mutex.lock t.mutex;
+    while t.pending > 0 do
+      Condition.wait t.work_done t.mutex
+    done;
+    t.job <- None;
+    t.in_job <- false;
+    let err = t.error in
+    t.error <- None;
+    Mutex.unlock t.mutex;
+    match err with
+    | Some { exn; bt } -> Printexc.raise_with_backtrace exn bt
+    | None -> ()
+  end
+
+(* Chunked region scheduling over [0, n).  Region [r] is the contiguous
+   slice [lo.(r), hi.(r)); claims move its cursor forward atomically, so
+   every index is claimed by exactly one worker no matter who drains the
+   region.  The cursor may overshoot [hi] (failed claims), which only
+   signals dryness. *)
+let for_ t ?(chunk = 0) ?(width = max_int) n f =
+  if n < 0 then invalid_arg "Pool.for_: negative range";
+  let width = max 1 (min (min width t.size) n) in
+  if n = 0 then ()
+  else if width = 1 || t.size = 1 then
+    for i = 0 to n - 1 do
+      f i
+    done
+  else begin
+    let chunk = if chunk > 0 then chunk else max 1 (min 128 (n / (width * 8))) in
+    let lo = Array.init width (fun r -> r * n / width) in
+    let hi = Array.init width (fun r -> (r + 1) * n / width) in
+    let cursor = Array.init width (fun r -> Atomic.make lo.(r)) in
+    let failed = Atomic.make false in
+    let claim r =
+      let pos = Atomic.fetch_and_add cursor.(r) chunk in
+      if pos >= hi.(r) then None else Some (pos, min hi.(r) (pos + chunk))
+    in
+    let run_range (a, b) =
+      try
+        for i = a to b - 1 do
+          f i
+        done
+      with exn ->
+        Atomic.set failed true;
+        raise exn
+    in
+    let body slot =
+      (* Drain the worker's own region first (locality), then steal from
+         the region with the most unclaimed work left. *)
+      let exhausted = ref false in
+      while (not !exhausted) && not (Atomic.get failed) do
+        match claim slot with
+        | Some range -> run_range range
+        | None -> exhausted := true
+      done;
+      let dry = ref false in
+      while (not !dry) && not (Atomic.get failed) do
+        let victim = ref (-1) and best = ref 0 in
+        for r = 0 to width - 1 do
+          let left = hi.(r) - Atomic.get cursor.(r) in
+          if left > !best then begin
+            best := left;
+            victim := r
+          end
+        done;
+        if !victim < 0 then dry := true
+        else
+          match claim !victim with
+          | Some range -> run_range range
+          | None -> () (* lost the race; rescan *)
+      done
+    in
+    run t ~width body
+  end
+
+let run_tasks t ?width tasks = for_ t ?width ~chunk:1 (Array.length tasks) (fun i -> tasks.(i) ())
+
+let map t ?chunk ?width f xs =
+  let n = Array.length xs in
+  if n = 0 then [||]
+  else begin
+    (* Seed the result buffer with the first element's image: no ['b
+       option] boxes and no unsafe placeholder, at the cost of computing
+       one element on the caller before the fan-out. *)
+    let first = f xs.(0) in
+    let out = Array.make n first in
+    for_ t ?chunk ?width (n - 1) (fun i -> out.(i + 1) <- f xs.(i + 1));
+    out
+  end

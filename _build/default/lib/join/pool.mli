@@ -1,0 +1,58 @@
+(** Persistent work-stealing domain pool (OCaml 5).
+
+    A pool owns [domains - 1] long-lived helper domains; the caller's
+    domain is worker slot 0 of every job.  Jobs are synchronous: {!run}
+    (and the schedulers built on it) returns once every participating
+    worker has finished, re-raising the first exception any worker threw.
+    Spawning a domain costs tens of microseconds, so joins that issue one
+    parallel job per block reuse one pool for the whole run instead of
+    spawning per call — see {!Parallel.pool} for the shared instance.
+
+    Scheduling is dynamic: an index space is split into one contiguous
+    region per worker, drained chunk-by-chunk with atomic claiming, and
+    workers whose region runs dry steal chunks from the fullest remaining
+    region.  Skewed per-index costs (verification of trees of very
+    different sizes) therefore do not idle fast workers, unlike static
+    striping.
+
+    Work functions must be safe to run concurrently on read-only shared
+    data — they must not intern labels or touch other unsynchronized
+    global tables.  All scheduling entry points may be called from one
+    domain at a time only (nested or concurrent jobs raise). *)
+
+type t
+
+val create : domains:int -> t
+(** [create ~domains] spawns [domains - 1] helper domains.
+    @raise Invalid_argument if [domains < 1]. *)
+
+val size : t -> int
+(** Total worker slots, including the caller's. *)
+
+val run : t -> ?width:int -> (int -> unit) -> unit
+(** [run t ~width body] executes [body slot] on workers [0 .. width - 1]
+    ([width] defaults to the pool size and is clamped to it) and waits for
+    all of them.  The first exception raised by any worker is re-raised
+    after the job completes.  @raise Invalid_argument on a nested job or a
+    shut-down pool. *)
+
+val for_ : t -> ?chunk:int -> ?width:int -> int -> (int -> unit) -> unit
+(** [for_ t n f] calls [f i] exactly once for every [i] in [0 .. n - 1],
+    in parallel with dynamic chunk stealing.  [chunk] is the claiming
+    granularity (default: an automatic size targeting several chunks per
+    worker, capped at 128).  After an exception, remaining chunks are
+    abandoned (every started chunk still runs to completion or failure). *)
+
+val run_tasks : t -> ?width:int -> (unit -> unit) array -> unit
+(** [run_tasks t tasks] runs every closure exactly once, claimed one task
+    at a time — the right granularity for heterogeneous task batches
+    (e.g. index probes mixed with deferred verifications). *)
+
+val map : t -> ?chunk:int -> ?width:int -> ('a -> 'b) -> 'a array -> 'b array
+(** Parallel [Array.map].  The output buffer is seeded with the image of
+    the first element (computed on the caller), avoiding an intermediate
+    ['b option array]. *)
+
+val shutdown : t -> unit
+(** Graceful shutdown: wakes all helpers and joins them.  Idempotent.
+    Subsequent jobs raise [Invalid_argument]. *)

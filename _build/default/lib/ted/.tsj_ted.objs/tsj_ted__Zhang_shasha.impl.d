@@ -1,1 +1,1 @@
-lib/ted/zhang_shasha.ml: Array Tsj_tree
+lib/ted/zhang_shasha.ml: Array Domain Tsj_tree

@@ -1,55 +1,125 @@
 module Postorder = Tsj_tree.Postorder
 
+(* Reusable DP scratch.
+
+   The two tables of the Zhang–Shasha DP — treedist (n1 × n2) and the
+   forest-distance table fd ((n1+1) × (n2+1)) — used to be allocated per
+   call.  For join-sized trees that is ~100 KB of major-heap allocation
+   and an O(n1·n2) initialization per verified pair, which dominates the
+   τ-banded verifier whose actual DP work is only O(rows · (2τ+1)) cells
+   per keyroot pair.  Instead, every domain keeps one growable flat
+   scratch (via [Domain.DLS], so concurrent verification on a pool is
+   safe) and the tables are reused without clearing:
+
+   - [fd] needs no initialization at all: every cell the DP reads is
+     either written earlier in the same keyroot-pair computation or
+     rejected by the band check (bounded variant) / the first-row and
+     first-column writes (unbounded variant).
+   - [td] (treedist) in the unbounded variant is only read for subtree
+     pairs computed earlier in the same call (the keyroot-order
+     invariant), so stale values are never observed.  The bounded variant
+     must distinguish "computed this call" from "out of band" (which
+     defaults to the clamp value), so each cell carries a stamp: the
+     serial number of the call that wrote it.  Stale stamps read as the
+     clamp, exactly like the former fresh-[inf] matrix. *)
+type scratch = {
+  mutable td : int array; (* treedist values, row stride [cols] *)
+  mutable td_stamp : int array; (* call serial that wrote each td cell *)
+  mutable fd : int array; (* forest table, row stride [cols] *)
+  mutable rows : int; (* allocated rows, >= n1 + 1 *)
+  mutable cols : int; (* allocated columns, >= n2 + 1 *)
+  mutable serial : int; (* bounded-call counter for td stamps *)
+}
+
+let create_scratch () = { td = [||]; td_stamp = [||]; fd = [||]; rows = 0; cols = 0; serial = 0 }
+
+let scratch_key = Domain.DLS.new_key create_scratch
+
+let reserve s n1 n2 =
+  if n1 + 1 > s.rows || n2 + 1 > s.cols then begin
+    let rows = max (n1 + 1) (2 * s.rows) in
+    let cols = max (n2 + 1) (2 * s.cols) in
+    s.td <- Array.make (rows * cols) 0;
+    s.td_stamp <- Array.make (rows * cols) 0;
+    s.fd <- Array.make (rows * cols) 0;
+    s.rows <- rows;
+    s.cols <- cols
+  end
+
+(* Both DP kernels below use [Array.unsafe_get]/[unsafe_set] on the
+   scratch tables and the postorder arrays.  Safety: [reserve] guarantees
+   [rows > n1] and [cols > n2]; every flat offset is [x * stride + y] or
+   [a * stride + b] with [x, a <= n1 - 1 < rows] and [y, b <= n2 - 1 <
+   cols], hence [< rows * cols]; and [a] ranges over [l1 .. k1] within
+   [0 .. n1), [b] over [l2 .. k2] within [0 .. n2), the index ranges of
+   the lld / label arrays.  The join verifier spends nearly all its time
+   in these loops, and the bounds checks were a measurable fraction of
+   the per-cell cost. *)
+
 let distance_postorder (p1 : Postorder.t) (p2 : Postorder.t) =
   let n1 = p1.size and n2 = p2.size in
   if n1 = 0 || n2 = 0 then max n1 n2
   else begin
+    let s = Domain.DLS.get scratch_key in
+    reserve s n1 n2;
+    let stride = s.cols in
     let lld1 = p1.lld and lld2 = p2.lld in
     let lab1 = p1.labels and lab2 = p2.labels in
-    (* treedist.(i).(j): TED between the subtrees rooted at postorder nodes
-       i and j; filled in increasing keyroot order, so the forest DP can
-       reuse previously computed entries. *)
-    let treedist = Array.make_matrix n1 n2 0 in
-    (* Forest-distance scratch table, reused across keyroot pairs.  fd has
-       an extra row/column for the empty-forest prefixes. *)
-    let fd = Array.make_matrix (n1 + 1) (n2 + 1) 0 in
+    (* td.(i*stride + j): TED between the subtrees rooted at postorder
+       nodes i and j; filled in increasing keyroot order, so the forest DP
+       only ever reads entries written earlier in this call. *)
+    let td = s.td and fd = s.fd in
     let compute k1 k2 =
       let l1 = lld1.(k1) and l2 = lld2.(k2) in
       let m = k1 - l1 + 1 and n = k2 - l2 + 1 in
-      fd.(0).(0) <- 0;
+      if m = 1 && n = 1 then
+        (* Leaf keyroot pair: the single DP cell reduces to
+           min (2, label cost) = label cost. *)
+        Array.unsafe_set td ((k1 * stride) + k2)
+          (if Array.unsafe_get lab1 k1 = Array.unsafe_get lab2 k2 then 0 else 1)
+      else begin
+      fd.(0) <- 0;
       for x = 1 to m do
-        fd.(x).(0) <- x
+        Array.unsafe_set fd (x * stride) x
       done;
       for y = 1 to n do
-        fd.(0).(y) <- y
+        Array.unsafe_set fd y y
       done;
       for x = 1 to m do
         let a = l1 + x - 1 in
-        let fda = fd.(x) and fda1 = fd.(x - 1) in
+        let la = Array.unsafe_get lld1 a in
+        let on_path1 = la = l1 in
+        let lab_a = Array.unsafe_get lab1 a in
+        let row = x * stride and prev = (x - 1) * stride in
         for y = 1 to n do
           let b = l2 + y - 1 in
-          if lld1.(a) = l1 && lld2.(b) = l2 then begin
-            let cost = if lab1.(a) = lab2.(b) then 0 else 1 in
+          let lb = Array.unsafe_get lld2 b in
+          let up = Array.unsafe_get fd (prev + y) in
+          let left = Array.unsafe_get fd (row + y - 1) in
+          if on_path1 && lb = l2 then begin
+            let cost = if lab_a = Array.unsafe_get lab2 b then 0 else 1 in
             let v =
-              min (min (fda1.(y) + 1) (fda.(y - 1) + 1)) (fda1.(y - 1) + cost)
+              min (min (up + 1) (left + 1)) (Array.unsafe_get fd (prev + y - 1) + cost)
             in
-            fda.(y) <- v;
-            treedist.(a).(b) <- v
+            Array.unsafe_set fd (row + y) v;
+            Array.unsafe_set td ((a * stride) + b) v
           end
           else begin
-            let x' = lld1.(a) - l1 and y' = lld2.(b) - l2 in
-            fda.(y) <-
-              min
-                (min (fda1.(y) + 1) (fda.(y - 1) + 1))
-                (fd.(x').(y') + treedist.(a).(b))
+            let x' = la - l1 and y' = lb - l2 in
+            Array.unsafe_set fd (row + y)
+              (min
+                 (min (up + 1) (left + 1))
+                 (Array.unsafe_get fd ((x' * stride) + y')
+                 + Array.unsafe_get td ((a * stride) + b)))
           end
         done
       done
+      end
     in
     Array.iter
       (fun k1 -> Array.iter (fun k2 -> compute k1 k2) p2.keyroots)
       p1.keyroots;
-    treedist.(n1 - 1).(n2 - 1)
+    td.(((n1 - 1) * stride) + (n2 - 1))
   end
 
 (* Threshold-banded variant.  Every forest-DP cell (x, y) measures the
@@ -65,54 +135,96 @@ let bounded_distance_postorder (p1 : Postorder.t) (p2 : Postorder.t) k =
   if abs (n1 - n2) > k then k + 1
   else if n1 = 0 || n2 = 0 then min (max n1 n2) (k + 1)
   else begin
+    let s = Domain.DLS.get scratch_key in
+    reserve s n1 n2;
+    s.serial <- s.serial + 1;
+    let id = s.serial in
+    let stride = s.cols in
     let inf = k + 1 in
     let lld1 = p1.lld and lld2 = p2.lld in
     let lab1 = p1.labels and lab2 = p2.labels in
-    (* Unwritten treedist entries correspond to out-of-band subtree pairs,
-       whose distance exceeds k: default to the clamp value. *)
-    let treedist = Array.make_matrix n1 n2 inf in
-    let fd = Array.make_matrix (n1 + 1) (n2 + 1) inf in
+    let td = s.td and td_stamp = s.td_stamp and fd = s.fd in
+    (* td entries not written during this call correspond to out-of-band
+       subtree pairs, whose distance exceeds k: read as the clamp value. *)
+    let td_get a b =
+      let off = (a * stride) + b in
+      if Array.unsafe_get td_stamp off = id then Array.unsafe_get td off else inf
+    in
+    (* In-band read; out-of-band cells are >= |x - y| > k by the size
+       argument, so they act as the clamp value.  In-band cells are
+       always written before they are read within this keyroot pair, so
+       the uncleared scratch is never observed.  Defined once per call:
+       a definition inside [compute] would allocate a closure per
+       keyroot pair, and most passes are only a handful of cells. *)
+    let get x y = if abs (x - y) > k then inf else Array.unsafe_get fd ((x * stride) + y) in
     let compute k1 k2 =
       let l1 = lld1.(k1) and l2 = lld2.(k2) in
       let m = k1 - l1 + 1 and n = k2 - l2 + 1 in
-      (* In-band read; out-of-band cells are >= |x - y| > k by the size
-         argument, so they act as the clamp value. *)
-      let get x y = if abs (x - y) > k then inf else fd.(x).(y) in
-      fd.(0).(0) <- 0;
+      if m = 1 && n = 1 then begin
+        (* Leaf keyroot pair: the single DP cell reduces to
+           min (2, label cost) = label cost. *)
+        let off = (k1 * stride) + k2 in
+        Array.unsafe_set td off
+          (if Array.unsafe_get lab1 k1 = Array.unsafe_get lab2 k2 then 0 else 1);
+        Array.unsafe_set td_stamp off id
+      end
+      else begin
+      fd.(0) <- 0;
       for y = 1 to min n k do
-        fd.(0).(y) <- y
+        Array.unsafe_set fd y y
       done;
-      for x = 1 to m do
+      (* Rows beyond [n + k] contain no in-band cell, and the treedist
+         entries they would write pair subtrees whose sizes differ by more
+         than [k] — out of band for every later read, i.e. the clamp
+         value.  Skip them. *)
+      for x = 1 to min m (n + k) do
+        let a = l1 + x - 1 in
+        let la = Array.unsafe_get lld1 a in
+        let on_path1 = la = l1 in
+        let lab_a = Array.unsafe_get lab1 a in
         let ylo = max 1 (x - k) and yhi = min n (x + k) in
-        if x <= k then fd.(x).(0) <- x;
+        if x <= k then Array.unsafe_set fd (x * stride) x;
+        let row = x * stride and prev = (x - 1) * stride in
+        (* Within [ylo .. yhi], the up neighbour (x-1, y) leaves the band
+           only at [y = x + k], the left neighbour (x, y-1) only at
+           [y = x - k], and the diagonal (x-1, y-1) never does — so the
+           three reads need one equality test each instead of a full
+           band check. *)
+        let y_up_out = x + k and y_left_out = x - k in
         for y = ylo to yhi do
-          let a = l1 + x - 1 in
           let b = l2 + y - 1 in
+          let lb = Array.unsafe_get lld2 b in
+          let up = if y = y_up_out then inf else Array.unsafe_get fd (prev + y) in
+          let left = if y = y_left_out then inf else Array.unsafe_get fd (row + y - 1) in
           let v =
-            if lld1.(a) = l1 && lld2.(b) = l2 then begin
-              let cost = if lab1.(a) = lab2.(b) then 0 else 1 in
-              let v =
-                min (min (get (x - 1) y + 1) (get x (y - 1) + 1)) (get (x - 1) (y - 1) + cost)
-              in
-              let v = min v inf in
-              treedist.(a).(b) <- v;
+            if on_path1 && lb = l2 then begin
+              let cost = if lab_a = Array.unsafe_get lab2 b then 0 else 1 in
+              let diag = Array.unsafe_get fd (prev + y - 1) in
+              let v = min (min (up + 1) (left + 1)) (diag + cost) in
+              let v = if v > inf then inf else v in
+              let off = (a * stride) + b in
+              Array.unsafe_set td off v;
+              Array.unsafe_set td_stamp off id;
               v
             end
             else begin
-              let x' = lld1.(a) - l1 and y' = lld2.(b) - l2 in
-              min
-                (min (get (x - 1) y + 1) (get x (y - 1) + 1))
-                (get x' y' + treedist.(a).(b))
+              let x' = la - l1 and y' = lb - l2 in
+              let off = (a * stride) + b in
+              let tdv =
+                if Array.unsafe_get td_stamp off = id then Array.unsafe_get td off else inf
+              in
+              min (min (up + 1) (left + 1)) (get x' y' + tdv)
             end
           in
-          fd.(x).(y) <- min v inf
+          Array.unsafe_set fd (row + y) (if v > inf then inf else v)
         done
       done
+      end
     in
     Array.iter
       (fun k1 -> Array.iter (fun k2 -> compute k1 k2) p2.keyroots)
       p1.keyroots;
-    min treedist.(n1 - 1).(n2 - 1) inf
+    min (td_get (n1 - 1) (n2 - 1)) inf
   end
 
 let distance t1 t2 =

@@ -7,7 +7,15 @@
 
     This left-path decomposition is one half of the RTED-style hybrid in
     {!Ted}; its mirror image (running on mirrored trees) gives the
-    right-path decomposition. *)
+    right-path decomposition.
+
+    Both entry points reuse a growable domain-local scratch (via
+    [Domain.DLS]) for the DP tables instead of allocating O(|T1| |T2|)
+    matrices per call — for join workloads the per-pair allocation and
+    initialization used to dwarf the banded DP itself.  Concurrent calls
+    from different domains are safe (each domain owns its scratch);
+    recursive calls from the cost functions of the DP would not be, and
+    do not occur. *)
 
 val distance_postorder : Tsj_tree.Postorder.t -> Tsj_tree.Postorder.t -> int
 (** TED between two trees already compiled to postorder form. *)
@@ -22,9 +30,9 @@ val bounded_distance_postorder : Tsj_tree.Postorder.t -> Tsj_tree.Postorder.t ->
     every value [<= k] stays exact).  This is the τ-aware verifier: a join
     needs [distance <= τ], never the exact distance of dissimilar pairs.
     Each keyroot pass shrinks from [rows * cols] to [rows * (2k + 1)]
-    cells; the number of keyroot passes is unchanged, so the end-to-end
-    win on similar-sized trees is a factor of ~1.5–2 (plus an immediate
-    exit on size-incompatible pairs).
+    cells, and the stamp-tracked scratch avoids any O(rows * cols)
+    per-call initialization (plus an immediate exit on size-incompatible
+    pairs).
     @raise Invalid_argument if [k < 0]. *)
 
 val bounded_distance : Tsj_tree.Tree.t -> Tsj_tree.Tree.t -> int -> int

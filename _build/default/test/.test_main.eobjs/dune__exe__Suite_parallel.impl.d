@@ -1,0 +1,1 @@
+test/suite_parallel.ml: Alcotest Array Atomic Fun Gen List Printf QCheck Random Tsj_core Tsj_join Tsj_tree Tsj_util

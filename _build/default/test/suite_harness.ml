@@ -86,6 +86,7 @@ let test_experiments_smoke () =
   let oc = open_out path in
   let config =
     {
+      Tsj_harness.Experiments.default_config with
       Tsj_harness.Experiments.scale = 0.02;
       seed = 1;
       taus = [ 1; 2 ];

@@ -134,9 +134,9 @@ let test_parallel_verification_same_results () =
   let seq = Partsj.join ~trees ~tau:2 () in
   List.iter
     (fun domains ->
-      let par = Partsj.join ~verify_domains:domains ~trees ~tau:2 () in
+      let par = Partsj.join ~domains ~trees ~tau:2 () in
       Alcotest.(check bool)
-        (Printf.sprintf "verify_domains=%d equals sequential" domains)
+        (Printf.sprintf "domains=%d equals sequential" domains)
         true
         (Types.equal_results seq par))
     [ 2; 4 ];

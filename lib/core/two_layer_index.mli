@@ -51,3 +51,31 @@ val probe : t -> Tsj_tree.Binary_tree.t -> int -> (Subgraph.t -> unit) -> unit
     {!Subgraph.matches} — and may be called twice for a subgraph reachable
     through both coordinates; in {!Two_sided} mode it never misses a
     subgraph left untouched by an edit script of length [<= tau]. *)
+
+type cursor
+(** The per-node twig keys of one probed tree, precomputed.  A join
+    probes the same tree against one index per admissible size (times two
+    coordinate tables); the cursor hoists the twig-key computation out of
+    that loop. *)
+
+val cursor : Tsj_tree.Binary_tree.t -> cursor
+(** [cursor target] precomputes the twig key of every node of [target]
+    in O(size). *)
+
+val probe_cursor : t -> cursor -> int -> (Subgraph.t -> unit) -> unit
+(** [probe_cursor idx cur v f] — exactly {!probe} on the tree the cursor
+    was built from, reading the precomputed keys. *)
+
+type frozen
+(** A typed read-only view of an index.  Freezing is O(1) and shares
+    structure: probes through the view observe later {!insert}s, but the
+    type guarantees the view itself cannot mutate the index — which makes
+    it safe to probe one frozen view from several domains concurrently,
+    provided no [insert] on the underlying index runs at the same time
+    (the PartSJ block sweep alternates a parallel probe phase against the
+    frozen view with a sequential insertion phase). *)
+
+val freeze : t -> frozen
+
+val probe_frozen : frozen -> cursor -> int -> (Subgraph.t -> unit) -> unit
+(** {!probe_cursor} through a read-only view. *)

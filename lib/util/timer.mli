@@ -30,3 +30,6 @@ val time : t -> (unit -> 'a) -> 'a
 
 val wall : (unit -> 'a) -> 'a * float
 (** [wall f] is [(f (), seconds_taken)]. *)
+
+val now : unit -> float
+(** Seconds since the epoch — the clock every other entry point reads. *)
