@@ -1,6 +1,7 @@
 module Tree = Tsj_tree.Tree
 module Binary_tree = Tsj_tree.Binary_tree
 module Ted = Tsj_ted.Ted
+module Bounds = Tsj_ted.Bounds
 module Timer = Tsj_util.Timer
 module Types = Tsj_join.Types
 
@@ -27,14 +28,14 @@ type size_entry = { index : Two_layer_index.t; mutable small : int list }
 (* Everything derived from one input tree, built eagerly by the parallel
    preprocessing phase: the TED preparation (both decompositions), the
    LC-RS form probed by the index, its precomputed twig cursor, and the
-   preorder label sequence whose banded string edit distance is the
-   cheap lower-bound prefilter of the verifier (a tree edit script maps
-   op-for-op onto the preorder sequences, so SED <= TED). *)
+   compiled bound forms (sorted label/degree multisets, traversal label
+   arrays, greedy-mapping arrays) that the verification filter cascade
+   evaluates pairwise with zero per-pair allocation. *)
 type tree_data = {
   d_prep : Ted.prep;
   d_btree : Binary_tree.t;
   d_cursor : Two_layer_index.cursor;
-  d_pre : Tsj_tree.Label.t array;
+  d_bounds : Bounds.Compiled.t;
 }
 
 (* The immutable snapshot of one size entry taken between blocks: a
@@ -61,9 +62,25 @@ let empty_probe_result =
    are bit-identical whatever the parallelism. *)
 let block_size = 32
 
+(* Verifier decision codes, indexing the per-stage counter array: how
+   each candidate pair was decided.  The order mirrors the cascade. *)
+let stage_size = 0
+
+let stage_labels = 1
+
+let stage_degrees = 2
+
+let stage_sed = 3
+
+let stage_early = 4
+
+let stage_kernel = 5
+
+let n_stages = 6
+
 let join_with_probe_stats ?(partitioning = Balanced)
     ?(index_mode = Two_layer_index.Two_sided) ?(domains = 1)
-    ?(bounded_verify = true) ?metric ?on_phases ~trees ~tau () =
+    ?(bounded_verify = true) ?(cascade = true) ?metric ?on_phases ~trees ~tau () =
   if tau < 0 then invalid_arg "Partsj.join: negative threshold";
   if domains < 1 then invalid_arg "Partsj.join: domains must be >= 1";
   let n = Array.length trees in
@@ -97,7 +114,7 @@ let join_with_probe_stats ?(partitioning = Balanced)
               d_prep = Ted.preprocess tree;
               d_btree = btree;
               d_cursor = Two_layer_index.cursor btree;
-              d_pre = Tsj_tree.Traversal.preorder_labels tree;
+              d_bounds = Bounds.Compiled.of_tree tree;
             })
           trees)
   in
@@ -120,19 +137,53 @@ let join_with_probe_stats ?(partitioning = Balanced)
   let n_matched = ref 0 in
   let n_small_hits = ref 0 in
   let n_indexed = ref 0 in
+  (* The staged verifier.  Returns the (threshold-clamped) distance and
+     the stage code that decided the pair:
+     - with the cascade on, the compiled lower bounds run cheapest first
+       with short-circuit, the greedy upper bound early-accepts a pair
+       whose bound sandwich closes, and surviving pairs run the kernel
+       with the band shrunk to the upper bound when that is below τ — all
+       lossless, so results (pairs and distances) are bit-identical to
+       the uncascaded verifier;
+     - with the cascade off, this is the seed verifier: the banded
+       preorder-SED prefilter followed by the τ-banded kernel;
+     - [bounded_verify:false] forces the full kernel on every candidate
+       (ablation). *)
   let verify_pair =
     let d = data in
     fun (i, j) ->
-      if bounded_verify then
-        (* Preorder-SED lower bound: a tree edit script of cost c edits
-           the preorder label sequence with at most c operations, so
-           SED > tau implies TED > tau — and every admissible metric
-           dominates TED (see the .mli), so the candidate is dead either
-           way.  The banded SED is ~20x cheaper than the banded TED. *)
-        if not (Tsj_ted.String_edit.within d.(i).d_pre d.(j).d_pre tau) then tau + 1
-        else Tsj_join.Sweep.verify_bounded ?metric ~tau d.(i).d_prep d.(j).d_prep
-      else Tsj_join.Sweep.verify_distance ?metric d.(i).d_prep d.(j).d_prep
+      if not bounded_verify then
+        (Tsj_join.Sweep.verify_distance ?metric d.(i).d_prep d.(j).d_prep, stage_kernel)
+      else if not cascade then
+        if
+          not
+            (Tsj_ted.String_edit.within
+               (Bounds.Compiled.preorder d.(i).d_bounds)
+               (Bounds.Compiled.preorder d.(j).d_bounds)
+               tau)
+        then (tau + 1, stage_sed)
+        else
+          (Tsj_join.Sweep.verify_bounded ?metric ~tau d.(i).d_prep d.(j).d_prep,
+           stage_kernel)
+      else
+        match Bounds.Compiled.cascade ~tau d.(i).d_bounds d.(j).d_bounds with
+        | Bounds.Compiled.Pruned stage ->
+          let code =
+            match stage with
+            | Bounds.Compiled.Size -> stage_size
+            | Bounds.Compiled.Labels -> stage_labels
+            | Bounds.Compiled.Degrees -> stage_degrees
+            | Bounds.Compiled.Sed -> stage_sed
+          in
+          (tau + 1, code)
+        | Bounds.Compiled.Accept dist -> (dist, stage_early)
+        | Bounds.Compiled.Verify { band } ->
+          (Tsj_join.Sweep.verify_bounded ?metric ~tau:band d.(i).d_prep d.(j).d_prep,
+           stage_kernel)
   in
+  (* Per-stage decision counters; pure sums of per-pair outcomes, so they
+     are deterministic at every domain count. *)
+  let stage_counts = Array.make n_stages 0 in
   let results = ref [] in
   let candidates = ref 0 in
   (* The candidate batch of the previous block, verified on the pool
@@ -145,16 +196,19 @@ let join_with_probe_stats ?(partitioning = Balanced)
     if nb = 0 then ([||], fun () -> ())
     else begin
       let dist = Array.make nb 0 in
+      let stage = Array.make nb 0 in
       let elapsed = Array.make nb 0.0 in
       let tasks =
         Array.init nb (fun idx ->
             fun () ->
-              let d, dt = Timer.wall (fun () -> verify_pair batch.(idx)) in
+              let (d, st), dt = Timer.wall (fun () -> verify_pair batch.(idx)) in
               dist.(idx) <- d;
+              stage.(idx) <- st;
               elapsed.(idx) <- dt)
       in
       let commit () =
         Array.iter (fun dt -> verify_attr := !verify_attr +. dt) elapsed;
+        Array.iter (fun st -> stage_counts.(st) <- stage_counts.(st) + 1) stage;
         Array.iteri
           (fun idx (i, j) ->
             if dist.(idx) <= tau then begin
@@ -357,6 +411,15 @@ let join_with_probe_stats ?(partitioning = Balanced)
           n_results = List.length pairs;
           candidate_time_s = cand_time_s;
           verify_time_s;
+          cascade =
+            {
+              Types.pruned_size = stage_counts.(stage_size);
+              pruned_labels = stage_counts.(stage_labels);
+              pruned_degrees = stage_counts.(stage_degrees);
+              pruned_sed = stage_counts.(stage_sed);
+              early_accepted = stage_counts.(stage_early);
+              kernel_verified = stage_counts.(stage_kernel);
+            };
         };
     },
     {
@@ -366,8 +429,8 @@ let join_with_probe_stats ?(partitioning = Balanced)
       n_subgraphs_indexed = !n_indexed;
     } )
 
-let join ?partitioning ?index_mode ?domains ?bounded_verify ?metric ?on_phases ~trees
-    ~tau () =
+let join ?partitioning ?index_mode ?domains ?bounded_verify ?cascade ?metric ?on_phases
+    ~trees ~tau () =
   fst
-    (join_with_probe_stats ?partitioning ?index_mode ?domains ?bounded_verify ?metric
-       ?on_phases ~trees ~tau ())
+    (join_with_probe_stats ?partitioning ?index_mode ?domains ?bounded_verify ?cascade
+       ?metric ?on_phases ~trees ~tau ())

@@ -51,6 +51,7 @@ val join :
   ?index_mode:Two_layer_index.mode ->
   ?domains:int ->
   ?bounded_verify:bool ->
+  ?cascade:bool ->
   ?metric:Tsj_join.Sweep.metric ->
   ?on_phases:(phase_times -> unit) ->
   trees:Tsj_tree.Tree.t array ->
@@ -65,15 +66,23 @@ val join :
     pipelined verification — on that many OCaml domains; the result is
     identical at every count.  [metric] swaps the verifier (default:
     unrestricted TED); any metric that never underestimates TED — e.g.
-    {!Tsj_ted.Constrained} — keeps the subgraph filter {e and} the
-    preorder-SED prefilter lossless, realizing the paper's "other tree
-    distance metrics" future-work point.  [bounded_verify] (default
-    [true]) verifies with the τ-banded DP behind a banded preorder
-    string-edit-distance lower-bound prefilter, both exact for all
-    distances up to [τ]; pass [false] to force the full cubic verifier
-    with no prefilter (ablation).  In the reported stats, preprocessing
-    is charged to verification (as before) and pipelined task times are
-    attributed to their phase. *)
+    {!Tsj_ted.Constrained} — keeps the subgraph filter {e and} the bound
+    cascade lossless, realizing the paper's "other tree distance metrics"
+    future-work point.  [bounded_verify] (default [true]) verifies with
+    the τ-banded DP; pass [false] to force the full cubic verifier with
+    no prefilter (ablation).  [cascade] (default [true]) runs the staged
+    filter cascade of {!Tsj_ted.Bounds.Compiled} in front of the kernel:
+    precompiled lower bounds cheapest-first with short-circuit
+    (size → label histogram → degree histogram → banded traversal SED),
+    then the greedy-mapping upper bound, which early-accepts a pair whose
+    bound sandwich closes and otherwise shrinks the kernel band below τ.
+    Every stage is lossless, so pairs {e and} distances are bit-identical
+    with the cascade on or off; [cascade:false] restores the seed
+    verifier (banded preorder-SED prefilter + τ-banded kernel) for
+    before/after benchmarking.  Per-stage decisions are reported in
+    [stats.cascade]; the counters partition the candidate set.  In the
+    reported stats, preprocessing is charged to verification (as before)
+    and pipelined task times are attributed to their phase. *)
 
 type probe_stats = {
   n_probed : int;        (** subgraphs returned by index probes *)
@@ -87,6 +96,7 @@ val join_with_probe_stats :
   ?index_mode:Two_layer_index.mode ->
   ?domains:int ->
   ?bounded_verify:bool ->
+  ?cascade:bool ->
   ?metric:Tsj_join.Sweep.metric ->
   ?on_phases:(phase_times -> unit) ->
   trees:Tsj_tree.Tree.t array ->

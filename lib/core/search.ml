@@ -183,5 +183,7 @@ let join_with ?tau t probes =
         n_results = List.length pairs;
         candidate_time_s = Timer.elapsed_s cand_timer;
         verify_time_s = Timer.elapsed_s verify_timer;
+        cascade =
+          { Types.empty_cascade with Types.kernel_verified = !n_candidates };
       };
   }

@@ -327,22 +327,36 @@ let perf config =
   let tau = 3 in
   let rec_domains = Tsj_join.Parallel.recommended_domains () in
   let domains = if config.domains > 1 then config.domains else rec_domains in
-  let run d =
+  let run ~cascade d =
     let phases = ref None in
     let (output, pstats), wall =
       Tsj_util.Timer.wall (fun () ->
-          Tsj_core.Partsj.join_with_probe_stats ~domains:d
+          Tsj_core.Partsj.join_with_probe_stats ~domains:d ~cascade
             ~on_phases:(fun p -> phases := Some p)
             ~trees ~tau ())
     in
     (output, pstats, Option.get !phases, wall)
   in
-  let o1, p1, ph1, w1 = run 1 in
-  let oN, pN, phN, wN = run domains in
+  (* Before/after in one invocation: [cascade:false] is the seed verifier
+     (banded preorder-SED prefilter + τ-banded kernel), the other two runs
+     exercise the full filter cascade at one and [domains] domains. *)
+  let ob, pb, phb, wb = run ~cascade:false 1 in
+  let o1, p1, ph1, w1 = run ~cascade:true 1 in
+  let oN, pN, phN, wN = run ~cascade:true domains in
+  let consistent (o : Types.output) =
+    let s = o.Types.stats in
+    Types.cascade_total s.Types.cascade = s.Types.n_candidates
+  in
   let identical =
     Types.equal_results o1 oN
     && o1.Types.stats.Types.n_candidates = oN.Types.stats.Types.n_candidates
+    && o1.Types.stats.Types.cascade = oN.Types.stats.Types.cascade
     && p1 = pN
+  in
+  let lossless =
+    Types.equal_results ob o1
+    && ob.Types.stats.Types.n_candidates = o1.Types.stats.Types.n_candidates
+    && pb = p1
   in
   let row label (o : Types.output) (ph : Tsj_core.Partsj.phase_times) wall =
     let s = o.Types.stats in
@@ -350,6 +364,7 @@ let perf config =
       label;
       Table.seconds ph.Tsj_core.Partsj.prep_wall_s;
       Table.seconds ph.Tsj_core.Partsj.sweep_wall_s;
+      Table.seconds s.Types.verify_time_s;
       Table.seconds wall;
       Table.count s.Types.n_candidates;
       Table.count s.Types.n_results;
@@ -357,30 +372,80 @@ let perf config =
   in
   printf config "\n  (n = %d, recommended domains = %d)\n" n rec_domains;
   Table.print ~out:config.out
-    ~header:[ "domains"; "prep (wall)"; "sweep (wall)"; "total (wall)"; "candidates"; "results" ]
-    ~align:[ Table.Right; Right; Right; Right; Right; Right ]
-    [ row "1" o1 ph1 w1; row (string_of_int domains) oN phN wN ];
+    ~header:
+      [ "run"; "prep (wall)"; "sweep (wall)"; "verify (attr)"; "total (wall)";
+        "candidates"; "results" ]
+    ~align:[ Table.Left; Right; Right; Right; Right; Right; Right ]
+    [
+      row "cascade off, 1 dom" ob phb wb;
+      row "cascade on, 1 dom" o1 ph1 w1;
+      row (Printf.sprintf "cascade on, %d dom" domains) oN phN wN;
+    ];
+  let cascade_row label (o : Types.output) =
+    let c = o.Types.stats.Types.cascade in
+    [
+      label;
+      Table.count c.Types.pruned_size;
+      Table.count c.Types.pruned_labels;
+      Table.count c.Types.pruned_degrees;
+      Table.count c.Types.pruned_sed;
+      Table.count c.Types.early_accepted;
+      Table.count c.Types.kernel_verified;
+    ]
+  in
+  printf config "\n  Per-stage cascade decisions (partition the candidate set):\n";
+  Table.print ~out:config.out
+    ~header:[ "run"; "size"; "labels"; "degrees"; "sed"; "early"; "kernel" ]
+    ~align:[ Table.Left; Right; Right; Right; Right; Right; Right ]
+    [
+      cascade_row "cascade off, 1 dom" ob;
+      cascade_row "cascade on, 1 dom" o1;
+      cascade_row (Printf.sprintf "cascade on, %d dom" domains) oN;
+    ];
+  let verify_speedup =
+    ob.Types.stats.Types.verify_time_s /. o1.Types.stats.Types.verify_time_s
+  in
+  (* Measured crossover: the domain count that actually minimises the wall
+     clock on this machine (oversubscribed boxes regress past 1). *)
+  let measured_domains = if wN < w1 then domains else 1 in
+  printf config "  verify speedup (cascade off -> on, 1 domain): %.2fx\n" verify_speedup;
+  printf config "  measured best domain count: %d\n" measured_domains;
   printf config "  determinism (domains=1 vs domains=%d): %s\n" domains
-    (if identical then "identical pairs, candidates and probe stats"
+    (if identical then "identical pairs, candidates, cascade counters and probe stats"
      else "MISMATCH — results differ across domain counts!");
+  printf config "  cascade losslessness (off vs on): %s\n"
+    (if lossless then "identical pairs, distances and candidates"
+     else "MISMATCH — cascade changed the join output!");
   (* Machine-readable record, hand-rolled (no JSON dependency in the
-     toolchain).  One run object per domain count. *)
-  let json_run d (o : Types.output) (ph : Tsj_core.Partsj.phase_times) wall =
+     toolchain).  One run object per configuration. *)
+  let json_run label ~cascade d (o : Types.output)
+      (ph : Tsj_core.Partsj.phase_times) wall =
     let s = o.Types.stats in
+    let c = s.Types.cascade in
     Printf.sprintf
       "    {\n\
+      \      \"label\": \"%s\",\n\
       \      \"domains\": %d,\n\
+      \      \"cascade\": %b,\n\
       \      \"prep_wall_s\": %.6f,\n\
       \      \"sweep_wall_s\": %.6f,\n\
       \      \"total_wall_s\": %.6f,\n\
       \      \"candidate_time_s\": %.6f,\n\
       \      \"verify_time_s\": %.6f,\n\
       \      \"n_candidates\": %d,\n\
-      \      \"n_results\": %d\n\
+      \      \"n_results\": %d,\n\
+      \      \"pruned_size\": %d,\n\
+      \      \"pruned_labels\": %d,\n\
+      \      \"pruned_degrees\": %d,\n\
+      \      \"pruned_sed\": %d,\n\
+      \      \"early_accepted\": %d,\n\
+      \      \"kernel_verified\": %d\n\
       \    }"
-      d ph.Tsj_core.Partsj.prep_wall_s ph.Tsj_core.Partsj.sweep_wall_s wall
-      s.Types.candidate_time_s s.Types.verify_time_s s.Types.n_candidates
-      s.Types.n_results
+      label d cascade ph.Tsj_core.Partsj.prep_wall_s
+      ph.Tsj_core.Partsj.sweep_wall_s wall s.Types.candidate_time_s
+      s.Types.verify_time_s s.Types.n_candidates s.Types.n_results
+      c.Types.pruned_size c.Types.pruned_labels c.Types.pruned_degrees
+      c.Types.pruned_sed c.Types.early_accepted c.Types.kernel_verified
   in
   let oc = open_out config.bench_json in
   Printf.fprintf oc
@@ -391,15 +456,29 @@ let perf config =
     \  \"tau\": %d,\n\
     \  \"seed\": %d,\n\
     \  \"recommended_domains\": %d,\n\
+    \  \"verify_speedup_cascade\": %.4f,\n\
     \  \"identical_across_domains\": %b,\n\
-    \  \"runs\": [\n%s,\n%s\n  ]\n\
+    \  \"cascade_lossless\": %b,\n\
+    \  \"runs\": [\n%s,\n%s,\n%s\n  ]\n\
      }\n"
-    profile.Profiles.name n tau config.seed rec_domains identical
-    (json_run 1 o1 ph1 w1)
-    (json_run domains oN phN wN);
+    profile.Profiles.name n tau config.seed measured_domains verify_speedup
+    identical lossless
+    (json_run "baseline_seed_verifier" ~cascade:false 1 ob phb wb)
+    (json_run "cascade" ~cascade:true 1 o1 ph1 w1)
+    (json_run "cascade_parallel" ~cascade:true domains oN phN wN);
   close_out oc;
   printf config "  wrote %s\n" config.bench_json;
-  if not identical then failwith "Experiments.perf: results differ across domain counts"
+  List.iter
+    (fun (label, o) ->
+      if not (consistent o) then
+        failwith
+          (Printf.sprintf
+             "Experiments.perf: cascade counters of %s do not sum to the \
+              candidate count"
+             label))
+    [ ("cascade off", ob); ("cascade on", o1); ("cascade on parallel", oN) ];
+  if not identical then failwith "Experiments.perf: results differ across domain counts";
+  if not lossless then failwith "Experiments.perf: cascade changed the join output"
 
 let streaming config =
   Table.heading ~out:config.out

@@ -40,8 +40,20 @@ let pool ~domains =
   Mutex.unlock shared_mutex;
   p
 
+(* Below this many elements the pool dispatch (wake + steal + join
+   handshake) costs more than the fan-out saves; run on the caller.
+   Measured on the fig10-style preprocessing workload (~30 µs/tree),
+   where dispatching a sub-millisecond map loses at any domain count. *)
+let sequential_cutoff = 64
+
 let map ~domains f xs =
   if domains < 1 then invalid_arg "Parallel.map: domains must be >= 1";
   let n = Array.length xs in
-  if domains = 1 || n < 2 then Array.map f xs
-  else Pool.map (pool ~domains) ~width:domains f xs
+  (* Oversubscribing the hardware never helps a compute-bound map: extra
+     domains only add scheduling and allocation contention (the
+     prep_wall_s regression of BENCH_partsj.json).  Joins may still ask
+     for more domains than cores — the pipelined sweep overlaps phases —
+     so clamp only here, where the work is a pure map. *)
+  let width = min domains (Domain.recommended_domain_count ()) in
+  if width = 1 || n < sequential_cutoff then Array.map f xs
+  else Pool.map (pool ~domains) ~width f xs

@@ -20,9 +20,12 @@ val map : domains:int -> ('a -> 'b) -> 'a array -> 'b array
     domains (including the caller's), scheduled dynamically with chunk
     stealing so uneven per-element costs do not idle fast workers.  [f]
     must be safe to run concurrently on read-only shared data — it must
-    not intern labels or touch other global tables.  With [domains <= 1]
-    or arrays shorter than 2 this is exactly [Array.map].  Exceptions
-    raised by [f] are re-raised.
+    not intern labels or touch other global tables.  Two guards keep small
+    or over-parallel maps from losing to [Array.map]: inputs shorter than
+    a measured cutoff skip pool dispatch entirely, and the worker count
+    is clamped to the hardware's recommended domain count (a pure map
+    gains nothing from oversubscription).  Exceptions raised by [f] are
+    re-raised.
     @raise Invalid_argument if [domains < 1]. *)
 
 val recommended_domains : unit -> int

@@ -81,5 +81,8 @@ let windowed_join ?(metric = Ted) ~trees ~tau ~setup ~filter () =
         n_results = List.length pairs;
         candidate_time_s = Timer.elapsed_s cand_timer;
         verify_time_s = Timer.elapsed_s verify_timer;
+        (* No staged cascade here: every candidate goes straight to the
+           banded kernel, which keeps the counter partition exact. *)
+        cascade = { Types.empty_cascade with Types.kernel_verified = !candidates };
       };
   }

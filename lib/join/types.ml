@@ -1,5 +1,28 @@
 type pair = { i : int; j : int; distance : int }
 
+type cascade = {
+  pruned_size : int;
+  pruned_labels : int;
+  pruned_degrees : int;
+  pruned_sed : int;
+  early_accepted : int;
+  kernel_verified : int;
+}
+
+let empty_cascade =
+  {
+    pruned_size = 0;
+    pruned_labels = 0;
+    pruned_degrees = 0;
+    pruned_sed = 0;
+    early_accepted = 0;
+    kernel_verified = 0;
+  }
+
+let cascade_total c =
+  c.pruned_size + c.pruned_labels + c.pruned_degrees + c.pruned_sed
+  + c.early_accepted + c.kernel_verified
+
 type stats = {
   n_trees : int;
   tau : int;
@@ -8,6 +31,7 @@ type stats = {
   n_results : int;
   candidate_time_s : float;
   verify_time_s : float;
+  cascade : cascade;
 }
 
 type output = { pairs : pair list; stats : stats }
@@ -27,4 +51,10 @@ let pp_stats fmt s =
   Format.fprintf fmt
     "trees=%d tau=%d window=%d candidates=%d results=%d cand_time=%.3fs verify_time=%.3fs"
     s.n_trees s.tau s.n_window_pairs s.n_candidates s.n_results s.candidate_time_s
-    s.verify_time_s
+    s.verify_time_s;
+  let c = s.cascade in
+  if cascade_total c > 0 then
+    Format.fprintf fmt
+      " cascade=[size:%d labels:%d degrees:%d sed:%d early:%d kernel:%d]"
+      c.pruned_size c.pruned_labels c.pruned_degrees c.pruned_sed c.early_accepted
+      c.kernel_verified

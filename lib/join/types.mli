@@ -14,6 +14,24 @@ type pair = {
   distance : int;(** their exact tree edit distance, [<= τ] *)
 }
 
+type cascade = {
+  pruned_size : int;  (** rejected by the size lower bound *)
+  pruned_labels : int;  (** rejected by the label-histogram lower bound *)
+  pruned_degrees : int;  (** rejected by the degree-histogram lower bound *)
+  pruned_sed : int;  (** rejected by the banded traversal-SED lower bound *)
+  early_accepted : int;
+      (** admitted without a kernel run: the lower and upper bounds met *)
+  kernel_verified : int;  (** decided by the exact (banded) DP kernel *)
+}
+(** Per-stage counters of the verification filter cascade.  For every
+    join they partition the candidate set:
+    [cascade_total stats.cascade = stats.n_candidates].  Methods without
+    a cascade report every candidate under [kernel_verified]. *)
+
+val empty_cascade : cascade
+
+val cascade_total : cascade -> int
+
 type stats = {
   n_trees : int;
   tau : int;
@@ -21,12 +39,14 @@ type stats = {
       (** pairs surviving the size-difference filter (the universe every
           method draws candidates from) *)
   n_candidates : int;
-      (** pairs verified with an exact TED computation *)
+      (** pairs sent to the verifier (cascade or exact TED) *)
   n_results : int;
   candidate_time_s : float;
       (** wall time spent generating/filtering candidates *)
   verify_time_s : float;
-      (** wall time spent in exact TED verification *)
+      (** wall time spent in verification (cascade + kernels) *)
+  cascade : cascade;
+      (** how the verifier decided the candidates, stage by stage *)
 }
 
 type output = { pairs : pair list; stats : stats }

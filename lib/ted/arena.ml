@@ -1,0 +1,68 @@
+(* Per-domain scratch arenas for the verification kernels.
+
+   Every DP kernel in this library (the Zhang–Shasha tree edit distance,
+   its τ-banded variant, and the banded string edit distance used by the
+   filter cascade) needs flat integer working storage whose size depends
+   on the input pair.  Allocating it per call costs a major-heap
+   allocation and an O(table) initialization per verified candidate,
+   which at join scale dominates the banded kernels' actual O(band) work.
+
+   Instead each domain owns exactly one arena, reached through
+   [Domain.DLS]: the pool workers of [Tsj_join.Pool] are long-lived
+   domains, so in steady state verification performs no DP-table
+   allocation at all — the buffers grow monotonically (doubling) to the
+   high-water mark of the tree sizes seen by that domain and are then
+   reused without clearing.  Kernels are responsible for never reading a
+   cell they did not write in the current call (see the stamp protocol in
+   [Zhang_shasha]); the arena only guarantees capacity. *)
+
+type t = {
+  (* Zhang–Shasha matrices, row stride [cols]. *)
+  mutable td : int array; (* treedist values *)
+  mutable td_stamp : int array; (* call serial that wrote each td cell *)
+  mutable fd : int array; (* forest-distance table *)
+  mutable rows : int; (* allocated rows, >= n1 + 1 *)
+  mutable cols : int; (* allocated columns, >= n2 + 1 *)
+  mutable serial : int; (* bounded-call counter for td stamps *)
+  (* Rolling rows of the banded string-edit DP. *)
+  mutable band_prev : int array;
+  mutable band_cur : int array;
+}
+
+let create () =
+  {
+    td = [||];
+    td_stamp = [||];
+    fd = [||];
+    rows = 0;
+    cols = 0;
+    serial = 0;
+    band_prev = [||];
+    band_cur = [||];
+  }
+
+let key = Domain.DLS.new_key create
+
+let get () = Domain.DLS.get key
+
+let reserve_matrices a n1 n2 =
+  if n1 + 1 > a.rows || n2 + 1 > a.cols then begin
+    let rows = max (n1 + 1) (2 * a.rows) in
+    let cols = max (n2 + 1) (2 * a.cols) in
+    a.td <- Array.make (rows * cols) 0;
+    a.td_stamp <- Array.make (rows * cols) 0;
+    a.fd <- Array.make (rows * cols) 0;
+    a.rows <- rows;
+    a.cols <- cols
+  end
+
+let next_serial a =
+  a.serial <- a.serial + 1;
+  a.serial
+
+let reserve_bands a width =
+  if Array.length a.band_prev < width then begin
+    let cap = max width (2 * Array.length a.band_prev) in
+    a.band_prev <- Array.make cap 0;
+    a.band_cur <- Array.make cap 0
+  end

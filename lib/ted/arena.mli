@@ -1,0 +1,31 @@
+(** Per-domain reusable scratch for the DP verification kernels.
+
+    One arena per domain (via [Domain.DLS]); the long-lived pool workers
+    of [Tsj_join.Pool] therefore each own one, and steady-state
+    verification allocates no DP tables.  Buffers grow monotonically
+    (doubling) and are reused without clearing — kernels must only read
+    cells they wrote in the current call (the stamp protocol of
+    {!Zhang_shasha}) or cells they initialize themselves. *)
+
+type t = {
+  mutable td : int array;  (** treedist values, row stride [cols] *)
+  mutable td_stamp : int array;  (** call serial that wrote each td cell *)
+  mutable fd : int array;  (** forest-distance table, row stride [cols] *)
+  mutable rows : int;  (** allocated rows *)
+  mutable cols : int;  (** allocated columns *)
+  mutable serial : int;  (** bounded-call counter for the td stamps *)
+  mutable band_prev : int array;  (** banded string-edit DP, previous row *)
+  mutable band_cur : int array;  (** banded string-edit DP, current row *)
+}
+
+val get : unit -> t
+(** The calling domain's arena (created on first use). *)
+
+val reserve_matrices : t -> int -> int -> unit
+(** [reserve_matrices a n1 n2] ensures [a.rows > n1] and [a.cols > n2]. *)
+
+val next_serial : t -> int
+(** Fresh per-call serial for the [td_stamp] protocol. *)
+
+val reserve_bands : t -> int -> unit
+(** [reserve_bands a w] ensures both band rows hold at least [w] cells. *)

@@ -2,27 +2,184 @@ module Tree = Tsj_tree.Tree
 module Traversal = Tsj_tree.Traversal
 module Multiset = Tsj_util.Multiset
 
+(* --- compiled per-tree forms --- *)
+
+module Compiled = struct
+  type t = {
+    size : int;
+    labels : Multiset.t;
+    degrees : Multiset.t;
+    pre : int array;
+    post : int array;
+    euler : int array;
+    kids : int array array;
+    sizes : int array;
+  }
+
+  let of_tree tree =
+    let n = Tree.size tree in
+    let pre = Array.make n 0 in
+    let kids = Array.make n [||] in
+    let sizes = Array.make n 1 in
+    let degs = Array.make n 0 in
+    let counter = ref 0 in
+    let rec go (node : Tree.t) =
+      let me = !counter in
+      incr counter;
+      pre.(me) <- node.label;
+      let child_ids = List.map go node.children in
+      kids.(me) <- Array.of_list child_ids;
+      degs.(me) <- List.length node.children;
+      sizes.(me) <- List.fold_left (fun acc c -> acc + sizes.(c)) 1 child_ids;
+      me
+    in
+    ignore (go tree);
+    {
+      size = n;
+      labels = Multiset.of_unsorted pre;
+      degrees = Multiset.of_unsorted degs;
+      pre;
+      post = Traversal.postorder_labels tree;
+      euler = Traversal.euler_tour tree;
+      kids;
+      sizes;
+    }
+
+  let size c = c.size
+
+  let preorder c = c.pre
+
+  (* Pairwise lower bounds on the compiled forms.  Each runs without any
+     per-pair allocation: the multiset bounds are merge walks over the
+     sorted arrays, the banded SED draws its rolling rows from the
+     per-domain arena. *)
+
+  let size_bound a b = abs (a.size - b.size)
+
+  let label_bound a b = (Multiset.symmetric_difference_size a.labels b.labels + 1) / 2
+
+  let degree_bound a b = (Multiset.symmetric_difference_size a.degrees b.degrees + 2) / 3
+
+  let traversal_bound a b =
+    max (String_edit.distance a.pre b.pre) (String_edit.distance a.post b.post)
+
+  let euler_bound a b = (String_edit.distance a.euler b.euler + 1) / 2
+
+  let best a b =
+    List.fold_left max 0
+      [
+        size_bound a b;
+        label_bound a b;
+        degree_bound a b;
+        traversal_bound a b;
+        euler_bound a b;
+      ]
+
+  (* Greedy-mapping upper bound: rename the roots if their labels differ,
+     recursively edit the children matched position by position, and
+     delete / insert the unmatched tails.  This is the cost of a concrete
+     edit script whose mapping sends disjoint subtrees to disjoint
+     subtrees, so it upper-bounds not only the unrestricted TED but also
+     every restricted metric whose scripts include it — in particular the
+     constrained edit distance, which is what keeps the early-accept
+     stage lossless under [Sweep.Constrained].  O(min size) time, zero
+     allocation. *)
+  let upper a b =
+    let pre_a = a.pre and pre_b = b.pre in
+    let kids_a = a.kids and kids_b = b.kids in
+    let sizes_a = a.sizes and sizes_b = b.sizes in
+    let rec go i j =
+      let c = ref (if pre_a.(i) = pre_b.(j) then 0 else 1) in
+      let ka = kids_a.(i) and kb = kids_b.(j) in
+      let m = Array.length ka and n = Array.length kb in
+      let shared = if m < n then m else n in
+      for x = 0 to shared - 1 do
+        c := !c + go ka.(x) kb.(x)
+      done;
+      for x = shared to m - 1 do
+        c := !c + sizes_a.(ka.(x))
+      done;
+      for x = shared to n - 1 do
+        c := !c + sizes_b.(kb.(x))
+      done;
+      !c
+    in
+    go 0 0
+
+  (* --- the verification filter cascade --- *)
+
+  type stage = Size | Labels | Degrees | Sed
+
+  type outcome =
+    | Pruned of stage
+    | Accept of int
+    | Verify of { band : int }
+
+  let cascade ~tau a b =
+    if tau < 0 then invalid_arg "Bounds.Compiled.cascade: negative threshold";
+    (* Stages run cheapest first and short-circuit on the first lower
+       bound exceeding τ.  Each stage is a TED lower bound, so pruning is
+       lossless; surviving stage values accumulate into [lb]. *)
+    let lb = size_bound a b in
+    if lb > tau then Pruned Size
+    else begin
+      let l = label_bound a b in
+      if l > tau then Pruned Labels
+      else begin
+        let lb = max lb l in
+        let d = degree_bound a b in
+        if d > tau then Pruned Degrees
+        else begin
+          let lb = max lb d in
+          (* Banded traversal SED: each tree edit operation edits the
+             preorder (resp. postorder) label sequence in exactly one
+             position, so both are TED lower bounds; within the band the
+             returned values are exact. *)
+          let s1 = String_edit.bounded_distance a.pre b.pre tau in
+          if s1 > tau then Pruned Sed
+          else begin
+            let s2 = String_edit.bounded_distance a.post b.post tau in
+            if s2 > tau then Pruned Sed
+            else begin
+              let lb = max lb (max s1 s2) in
+              let ub = upper a b in
+              if ub = lb then
+                (* The bounds sandwich closes: lb <= TED <= ub = lb, so
+                   the exact distance is known without running the
+                   kernel (and it also pins every metric between TED and
+                   the greedy script's cost, e.g. the constrained
+                   distance). *)
+                Accept lb
+              else if ub <= tau then
+                (* The pair is certainly a result (TED <= ub <= τ), but
+                   the exact distance is still needed: run the kernel
+                   with the band shrunk to ub - 1.  The banded kernel
+                   returns min(TED, band + 1) = min(TED, ub) = TED. *)
+                Verify { band = ub - 1 }
+              else Verify { band = tau }
+            end
+          end
+        end
+      end
+    end
+end
+
+(* --- per-pair convenience entry points ---
+
+   These compile both trees on every call; they exist for tests, ad-hoc
+   exploration and the baselines' one-shot filters.
+
+   @deprecated for join inner loops — compile each tree once with
+   {!Compiled.of_tree} during preprocessing and use the pairwise
+   functions above instead. *)
+
 let size t1 t2 = abs (Tree.size t1 - Tree.size t2)
 
-let label_bag t =
-  let acc = Tsj_util.Vec_int.create ~capacity:(Tree.size t) () in
-  Tree.iter_postorder (fun (n : Tree.t) -> Tsj_util.Vec_int.push acc n.label) t;
-  Multiset.of_unsorted (Tsj_util.Vec_int.to_array acc)
+let compiled_pair f t1 t2 = f (Compiled.of_tree t1) (Compiled.of_tree t2)
 
-let label_histogram t1 t2 =
-  let d = Multiset.symmetric_difference_size (label_bag t1) (label_bag t2) in
-  (d + 1) / 2
+let label_histogram t1 t2 = compiled_pair Compiled.label_bound t1 t2
 
-let degree_bag t =
-  let acc = Tsj_util.Vec_int.create ~capacity:(Tree.size t) () in
-  Tree.iter_postorder
-    (fun (n : Tree.t) -> Tsj_util.Vec_int.push acc (List.length n.children))
-    t;
-  Multiset.of_unsorted (Tsj_util.Vec_int.to_array acc)
-
-let degree_histogram t1 t2 =
-  let d = Multiset.symmetric_difference_size (degree_bag t1) (degree_bag t2) in
-  (d + 2) / 3
+let degree_histogram t1 t2 = compiled_pair Compiled.degree_bound t1 t2
 
 let preorder_string t1 t2 =
   String_edit.distance (Traversal.preorder_labels t1) (Traversal.preorder_labels t2)
@@ -30,18 +187,13 @@ let preorder_string t1 t2 =
 let postorder_string t1 t2 =
   String_edit.distance (Traversal.postorder_labels t1) (Traversal.postorder_labels t2)
 
-let traversal t1 t2 = max (preorder_string t1 t2) (postorder_string t1 t2)
+let traversal t1 t2 = compiled_pair Compiled.traversal_bound t1 t2
 
-let euler_string t1 t2 =
-  let d = String_edit.distance (Traversal.euler_tour t1) (Traversal.euler_tour t2) in
-  (d + 1) / 2
+let euler_string t1 t2 = compiled_pair Compiled.euler_bound t1 t2
 
-let best t1 t2 =
-  List.fold_left max 0
-    [
-      size t1 t2;
-      label_histogram t1 t2;
-      degree_histogram t1 t2;
-      traversal t1 t2;
-      euler_string t1 t2;
-    ]
+(* Compiles each tree once and evaluates all bounds on the shared
+   compiled forms (the seed version recomputed the traversals and bags
+   once per bound). *)
+let best t1 t2 = compiled_pair Compiled.best t1 t2
+
+let upper t1 t2 = compiled_pair Compiled.upper t1 t2

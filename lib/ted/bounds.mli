@@ -1,11 +1,13 @@
-(** Lower bounds on the tree edit distance.
+(** Lower and upper bounds on the tree edit distance, and the staged
+    verification filter cascade built from them.
 
-    Every function here satisfies [bound t1 t2 <= TED(t1, t2)]; the join
-    baselines use them as filters ([bound > τ] prunes a pair without an
-    exact TED computation).  The tests validate the inequality on random
-    tree pairs.
+    Every lower bound satisfies [bound t1 t2 <= TED(t1, t2)] (so
+    [bound > τ] prunes a candidate pair without an exact TED
+    computation); {!Compiled.upper} satisfies [upper t1 t2 >= TED(t1, t2)]
+    (so [upper <= τ] certifies a result pair).  The tests validate both
+    inequalities on random tree pairs.
 
-    Provenance of each bound:
+    Provenance of each lower bound:
     - size: one edit operation changes the node count by at most 1;
     - label histogram: one operation changes the label bag's L1 distance by
       at most 2 (rename removes one label and adds another);
@@ -16,6 +18,71 @@
       traversal label sequence in exactly one position;
     - Euler string: Akutsu et al. — each operation edits the Euler tour in
       at most two positions. *)
+
+(** Per-tree forms compiled once (during join preprocessing) so that the
+    pairwise bounds run with zero per-pair allocation: sorted label and
+    degree multisets, traversal label arrays, the Euler string, and the
+    child/size arrays of the greedy-mapping upper bound. *)
+module Compiled : sig
+  type t
+
+  val of_tree : Tsj_tree.Tree.t -> t
+
+  val size : t -> int
+  (** Node count of the compiled tree. *)
+
+  val preorder : t -> int array
+  (** The compiled preorder label sequence (shared — do not mutate). *)
+
+  val size_bound : t -> t -> int
+
+  val label_bound : t -> t -> int
+
+  val degree_bound : t -> t -> int
+
+  val traversal_bound : t -> t -> int
+  (** [max preorder_sed postorder_sed] — the STR filter (unbanded). *)
+
+  val euler_bound : t -> t -> int
+
+  val best : t -> t -> int
+  (** Maximum of all the lower bounds above. *)
+
+  val upper : t -> t -> int
+  (** Greedy-mapping upper bound: cost of the edit script that renames
+      mismatched roots, edits children matched position by position and
+      deletes/inserts the unmatched tails.  The script's mapping sends
+      disjoint subtrees to disjoint subtrees, so
+      [TED <= constrained distance <= upper]. *)
+
+  (** Cascade stage that rejected a pair (for the per-stage counters). *)
+  type stage = Size | Labels | Degrees | Sed
+
+  type outcome =
+    | Pruned of stage  (** some lower bound exceeds τ: not a result *)
+    | Accept of int
+        (** the bounds sandwich closed (lower = upper <= τ): a result
+            with exactly this distance, no kernel run *)
+    | Verify of { band : int }
+        (** undecided: run the exact kernel with this band threshold
+            ([band = τ], or [band = upper - 1 < τ] when the upper bound
+            already admits the pair — the banded kernel then still
+            returns the exact distance since [TED <= upper]) *)
+
+  val cascade : tau:int -> t -> t -> outcome
+  (** The staged verifier, cheapest first with short-circuit:
+      size → label histogram → degree histogram → banded traversal SED →
+      greedy upper bound.  Lossless for the TED verifier and for any
+      metric wedged between TED and the greedy script cost (e.g. the
+      constrained edit distance).
+      @raise Invalid_argument if [tau < 0]. *)
+end
+
+(** {2 Per-pair convenience entry points}
+
+    Each compiles both trees on every call.
+    @deprecated for join inner loops — compile once with
+    {!Compiled.of_tree} and use the pairwise functions of {!Compiled}. *)
 
 val size : Tsj_tree.Tree.t -> Tsj_tree.Tree.t -> int
 
@@ -33,4 +100,8 @@ val traversal : Tsj_tree.Tree.t -> Tsj_tree.Tree.t -> int
 val euler_string : Tsj_tree.Tree.t -> Tsj_tree.Tree.t -> int
 
 val best : Tsj_tree.Tree.t -> Tsj_tree.Tree.t -> int
-(** Maximum of all the bounds above. *)
+(** Maximum of all the lower bounds above (compiles each tree once and
+    shares the compiled forms across the bounds). *)
+
+val upper : Tsj_tree.Tree.t -> Tsj_tree.Tree.t -> int
+(** Per-pair form of {!Compiled.upper}. *)

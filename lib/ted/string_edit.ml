@@ -22,7 +22,13 @@ let distance a b =
 (* Banded DP (Ukkonen): a cell (i, j) with |i - j| > k cannot lie on a path
    of cost <= k, so only the (2k+1)-wide diagonal band is filled; cells
    outside the band act as infinity.  Row [i] ranges over prefixes of [a];
-   slot [j - i + k] of the row array holds D(i, j). *)
+   slot [j - i + k] of the row array holds D(i, j).
+
+   The two rolling rows come from the per-domain {!Arena}: this runs once
+   or twice per candidate pair in the join's filter cascade, and the
+   per-call allocation of the rows used to be most of its cost.  Every
+   slot of both rows is (re)initialized below, so stale arena contents
+   are never observed. *)
 let bounded_distance a b k =
   if k < 0 then invalid_arg "String_edit.bounded_distance: negative threshold";
   let la = Array.length a and lb = Array.length b in
@@ -30,8 +36,10 @@ let bounded_distance a b k =
   else begin
     let inf = k + 1 in
     let width = (2 * k) + 1 in
-    let prev = Array.make width inf in
-    let cur = Array.make width inf in
+    let arena = Arena.get () in
+    Arena.reserve_bands arena width;
+    let prev = arena.Arena.band_prev and cur = arena.Arena.band_cur in
+    Array.fill prev 0 width inf;
     (* Row 0: D(0, j) = j for 0 <= j <= k; slot = j + k... slots j - 0 + k. *)
     for j = 0 to min k lb do
       prev.(j + k) <- j

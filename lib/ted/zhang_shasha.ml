@@ -1,14 +1,14 @@
 module Postorder = Tsj_tree.Postorder
 
-(* Reusable DP scratch.
+(* DP scratch.
 
    The two tables of the Zhang–Shasha DP — treedist (n1 × n2) and the
    forest-distance table fd ((n1+1) × (n2+1)) — used to be allocated per
    call.  For join-sized trees that is ~100 KB of major-heap allocation
    and an O(n1·n2) initialization per verified pair, which dominates the
    τ-banded verifier whose actual DP work is only O(rows · (2τ+1)) cells
-   per keyroot pair.  Instead, every domain keeps one growable flat
-   scratch (via [Domain.DLS], so concurrent verification on a pool is
+   per keyroot pair.  Instead both kernels draw on the per-domain
+   {!Arena} (pool workers are domains, so concurrent verification is
    safe) and the tables are reused without clearing:
 
    - [fd] needs no initialization at all: every cell the DP reads is
@@ -22,33 +22,10 @@ module Postorder = Tsj_tree.Postorder
      defaults to the clamp value), so each cell carries a stamp: the
      serial number of the call that wrote it.  Stale stamps read as the
      clamp, exactly like the former fresh-[inf] matrix. *)
-type scratch = {
-  mutable td : int array; (* treedist values, row stride [cols] *)
-  mutable td_stamp : int array; (* call serial that wrote each td cell *)
-  mutable fd : int array; (* forest table, row stride [cols] *)
-  mutable rows : int; (* allocated rows, >= n1 + 1 *)
-  mutable cols : int; (* allocated columns, >= n2 + 1 *)
-  mutable serial : int; (* bounded-call counter for td stamps *)
-}
-
-let create_scratch () = { td = [||]; td_stamp = [||]; fd = [||]; rows = 0; cols = 0; serial = 0 }
-
-let scratch_key = Domain.DLS.new_key create_scratch
-
-let reserve s n1 n2 =
-  if n1 + 1 > s.rows || n2 + 1 > s.cols then begin
-    let rows = max (n1 + 1) (2 * s.rows) in
-    let cols = max (n2 + 1) (2 * s.cols) in
-    s.td <- Array.make (rows * cols) 0;
-    s.td_stamp <- Array.make (rows * cols) 0;
-    s.fd <- Array.make (rows * cols) 0;
-    s.rows <- rows;
-    s.cols <- cols
-  end
 
 (* Both DP kernels below use [Array.unsafe_get]/[unsafe_set] on the
-   scratch tables and the postorder arrays.  Safety: [reserve] guarantees
-   [rows > n1] and [cols > n2]; every flat offset is [x * stride + y] or
+   scratch tables and the postorder arrays.  Safety: [Arena.reserve_matrices]
+   guarantees [rows > n1] and [cols > n2]; every flat offset is [x * stride + y] or
    [a * stride + b] with [x, a <= n1 - 1 < rows] and [y, b <= n2 - 1 <
    cols], hence [< rows * cols]; and [a] ranges over [l1 .. k1] within
    [0 .. n1), [b] over [l2 .. k2] within [0 .. n2), the index ranges of
@@ -60,15 +37,15 @@ let distance_postorder (p1 : Postorder.t) (p2 : Postorder.t) =
   let n1 = p1.size and n2 = p2.size in
   if n1 = 0 || n2 = 0 then max n1 n2
   else begin
-    let s = Domain.DLS.get scratch_key in
-    reserve s n1 n2;
-    let stride = s.cols in
+    let s = Arena.get () in
+    Arena.reserve_matrices s n1 n2;
+    let stride = s.Arena.cols in
     let lld1 = p1.lld and lld2 = p2.lld in
     let lab1 = p1.labels and lab2 = p2.labels in
     (* td.(i*stride + j): TED between the subtrees rooted at postorder
        nodes i and j; filled in increasing keyroot order, so the forest DP
        only ever reads entries written earlier in this call. *)
-    let td = s.td and fd = s.fd in
+    let td = s.Arena.td and fd = s.Arena.fd in
     let compute k1 k2 =
       let l1 = lld1.(k1) and l2 = lld2.(k2) in
       let m = k1 - l1 + 1 and n = k2 - l2 + 1 in
@@ -135,15 +112,14 @@ let bounded_distance_postorder (p1 : Postorder.t) (p2 : Postorder.t) k =
   if abs (n1 - n2) > k then k + 1
   else if n1 = 0 || n2 = 0 then min (max n1 n2) (k + 1)
   else begin
-    let s = Domain.DLS.get scratch_key in
-    reserve s n1 n2;
-    s.serial <- s.serial + 1;
-    let id = s.serial in
-    let stride = s.cols in
+    let s = Arena.get () in
+    Arena.reserve_matrices s n1 n2;
+    let id = Arena.next_serial s in
+    let stride = s.Arena.cols in
     let inf = k + 1 in
     let lld1 = p1.lld and lld2 = p2.lld in
     let lab1 = p1.labels and lab2 = p2.labels in
-    let td = s.td and td_stamp = s.td_stamp and fd = s.fd in
+    let td = s.Arena.td and td_stamp = s.Arena.td_stamp and fd = s.Arena.fd in
     (* td entries not written during this call correspond to out-of-band
        subtree pairs, whose distance exceeds k: read as the clamp value. *)
     let td_get a b =

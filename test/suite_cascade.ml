@@ -1,0 +1,218 @@
+(* Tests for the verification filter cascade: the compiled bound forms,
+   the greedy-mapping upper bound, the staged cascade's outcome soundness
+   and the end-to-end guarantee that the cascaded PartSJ join returns the
+   same pairs and distances as the uncascaded join and the nested-loop
+   ground truth. *)
+
+module Tree = Tsj_tree.Tree
+module Bounds = Tsj_ted.Bounds
+module Zhang_shasha = Tsj_ted.Zhang_shasha
+module Constrained = Tsj_ted.Constrained
+module Partsj = Tsj_core.Partsj
+module Nested_loop = Tsj_join.Nested_loop
+module Types = Tsj_join.Types
+module Prng = Tsj_util.Prng
+
+(* --- compiled forms agree with the per-pair entry points --- *)
+
+let prop_compiled_matches_per_pair =
+  Gen.qtest ~count:150 "compiled bounds = per-pair bounds"
+    (Gen.arb_tree_pair ~max_size:12 ()) (fun (a, b) ->
+      let ca = Bounds.Compiled.of_tree a and cb = Bounds.Compiled.of_tree b in
+      Bounds.Compiled.size_bound ca cb = Bounds.size a b
+      && Bounds.Compiled.label_bound ca cb = Bounds.label_histogram a b
+      && Bounds.Compiled.degree_bound ca cb = Bounds.degree_histogram a b
+      && Bounds.Compiled.traversal_bound ca cb = Bounds.traversal a b
+      && Bounds.Compiled.euler_bound ca cb = Bounds.euler_string a b
+      && Bounds.Compiled.best ca cb = Bounds.best a b
+      && Bounds.Compiled.upper ca cb = Bounds.upper a b)
+
+let prop_compiled_lower_bounds =
+  Gen.qtest ~count:150 "every compiled lower bound <= TED"
+    (Gen.arb_tree_pair ~max_size:12 ()) (fun (a, b) ->
+      let ca = Bounds.Compiled.of_tree a and cb = Bounds.Compiled.of_tree b in
+      let d = Zhang_shasha.distance a b in
+      List.for_all
+        (fun (name, v) ->
+          if v > d then
+            QCheck.Test.fail_reportf "compiled %s = %d > TED = %d on %s / %s"
+              name v d (Gen.pp_tree a) (Gen.pp_tree b)
+          else true)
+        [
+          ("size", Bounds.Compiled.size_bound ca cb);
+          ("labels", Bounds.Compiled.label_bound ca cb);
+          ("degrees", Bounds.Compiled.degree_bound ca cb);
+          ("traversal", Bounds.Compiled.traversal_bound ca cb);
+          ("euler", Bounds.Compiled.euler_bound ca cb);
+          ("best", Bounds.Compiled.best ca cb);
+        ])
+
+(* --- greedy-mapping upper bound --- *)
+
+let prop_upper_bounds_ted =
+  Gen.qtest ~count:200 "TED <= constrained <= greedy upper"
+    (Gen.arb_tree_pair ~max_size:12 ()) (fun (a, b) ->
+      let ub = Bounds.upper a b in
+      let ted = Zhang_shasha.distance a b in
+      let ced = Constrained.distance a b in
+      if not (ted <= ced && ced <= ub) then
+        QCheck.Test.fail_reportf "TED %d / CED %d / upper %d on %s / %s" ted ced
+          ub (Gen.pp_tree a) (Gen.pp_tree b)
+      else true)
+
+let test_upper_zero_on_equal () =
+  let t = Tsj_tree.Bracket.of_string_exn "{a{b{c}}{d}{e{f}}}" in
+  Alcotest.(check int) "upper t t = 0" 0 (Bounds.upper t t);
+  let c = Bounds.Compiled.of_tree t in
+  Alcotest.(check int) "compiled upper t t = 0" 0 (Bounds.Compiled.upper c c)
+
+(* --- cascade outcome soundness --- *)
+
+let prop_cascade_sound =
+  Gen.qtest ~count:200 "cascade outcomes are sound for tau in 0..5"
+    (Gen.arb_tree_pair ~max_size:12 ()) (fun (a, b) ->
+      let ca = Bounds.Compiled.of_tree a and cb = Bounds.Compiled.of_tree b in
+      let exact = Zhang_shasha.distance a b in
+      let check tau =
+        match Bounds.Compiled.cascade ~tau ca cb with
+        | Bounds.Compiled.Pruned _ ->
+            if exact <= tau then
+              QCheck.Test.fail_reportf
+                "tau=%d pruned but TED = %d on %s / %s" tau exact
+                (Gen.pp_tree a) (Gen.pp_tree b)
+            else true
+        | Bounds.Compiled.Accept d ->
+            if d <> exact || d > tau then
+              QCheck.Test.fail_reportf
+                "tau=%d accepted with %d but TED = %d on %s / %s" tau d exact
+                (Gen.pp_tree a) (Gen.pp_tree b)
+            else true
+        | Bounds.Compiled.Verify { band } ->
+            (* The banded kernel at the cascade's band must decide the
+               pair exactly like the full kernel at tau would: the band
+               only shrinks below tau when the upper bound certifies
+               TED <= band + 1. *)
+            let bd = Zhang_shasha.bounded_distance a b band in
+            if band < 0 || band > tau then
+              QCheck.Test.fail_reportf "tau=%d band=%d out of range" tau band
+            else if exact <= tau && bd <> exact then
+              QCheck.Test.fail_reportf
+                "tau=%d band=%d kernel gives %d but TED = %d on %s / %s" tau
+                band bd exact (Gen.pp_tree a) (Gen.pp_tree b)
+            else if exact > tau && bd <= tau then
+              QCheck.Test.fail_reportf
+                "tau=%d band=%d kernel admits %d but TED = %d on %s / %s" tau
+                band bd exact (Gen.pp_tree a) (Gen.pp_tree b)
+            else true
+      in
+      List.for_all check [ 0; 1; 2; 3; 4; 5 ])
+
+let test_cascade_negative_tau () =
+  let c = Bounds.Compiled.of_tree (Tsj_tree.Bracket.of_string_exn "{a}") in
+  Alcotest.check_raises "negative"
+    (Invalid_argument "Bounds.Compiled.cascade: negative threshold") (fun () ->
+      ignore (Bounds.Compiled.cascade ~tau:(-1) c c))
+
+let test_cascade_identical_trees () =
+  (* Identical trees close the sandwich at 0: accepted without a kernel. *)
+  let t = Tsj_tree.Bracket.of_string_exn "{a{b}{c{d}}}" in
+  let c = Bounds.Compiled.of_tree t in
+  match Bounds.Compiled.cascade ~tau:2 c c with
+  | Bounds.Compiled.Accept 0 -> ()
+  | _ -> Alcotest.fail "expected Accept 0 on identical trees"
+
+(* --- end-to-end: cascaded join = uncascaded join = ground truth --- *)
+
+let forest_of_seed seed n max_size =
+  let rng = Prng.create seed in
+  Array.of_list (Gen.random_forest rng ~n ~max_size)
+
+let arb_forest =
+  QCheck.make
+    ~print:(fun (seed, n, max_size) ->
+      Printf.sprintf "seed=%d n=%d max_size=%d" seed n max_size)
+    (fun st ->
+      ( Random.State.int st 0x3FFFFFFF,
+        2 + Random.State.int st 14,
+        4 + Random.State.int st 12 ))
+
+let prop_cascade_join_equals_truth (seed, n, max_size) =
+  let trees = forest_of_seed seed n max_size in
+  let tau = 1 + (seed mod 3) in
+  let truth = Nested_loop.join ~trees ~tau () in
+  let off = Partsj.join ~cascade:false ~trees ~tau () in
+  let on_ = Partsj.join ~cascade:true ~trees ~tau () in
+  if not (Types.equal_results truth off) then
+    QCheck.Test.fail_reportf "cascade:false differs from nested loop (seed=%d)"
+      seed
+  else if not (Types.equal_results truth on_) then
+    QCheck.Test.fail_reportf "cascade:true differs from nested loop (seed=%d)"
+      seed
+  else if off.Types.stats.Types.n_candidates <> on_.Types.stats.Types.n_candidates
+  then
+    QCheck.Test.fail_reportf "cascade changed the candidate count (seed=%d)"
+      seed
+  else if
+    Types.cascade_total on_.Types.stats.Types.cascade
+    <> on_.Types.stats.Types.n_candidates
+  then
+    QCheck.Test.fail_reportf
+      "cascade counters do not partition the candidates (seed=%d)" seed
+  else true
+
+let prop_cascade_join_constrained_metric (seed, n, max_size) =
+  (* The greedy script is a valid constrained script, so the cascade stays
+     lossless when the verifier metric is the constrained edit distance. *)
+  let trees = forest_of_seed seed n max_size in
+  let tau = 1 + (seed mod 3) in
+  let off = Partsj.join ~metric:Tsj_join.Sweep.Constrained ~cascade:false ~trees ~tau () in
+  let on_ = Partsj.join ~metric:Tsj_join.Sweep.Constrained ~cascade:true ~trees ~tau () in
+  Types.equal_results off on_
+
+let test_cascade_counters_clustered () =
+  (* Near-duplicate-heavy forest: all six counters should be exercised and
+     must partition the candidate set exactly. *)
+  let rng = Prng.create 7171 in
+  let acc = ref [] in
+  for _ = 1 to 30 do
+    let base = Gen.random_tree rng (4 + Prng.int rng 12) in
+    acc := base :: !acc;
+    let _, copy =
+      Tsj_tree.Edit_op.random_script rng ~labels:Gen.default_alphabet 2 base
+    in
+    acc := copy :: !acc
+  done;
+  let trees = Array.of_list !acc in
+  List.iter
+    (fun tau ->
+      let out = Partsj.join ~trees ~tau () in
+      let s = out.Types.stats in
+      Alcotest.(check int)
+        (Printf.sprintf "tau=%d counters partition candidates" tau)
+        s.Types.n_candidates
+        (Types.cascade_total s.Types.cascade);
+      (* Early accepts + kernel runs can only admit result pairs, and every
+         result came from one of the two. *)
+      let c = s.Types.cascade in
+      Alcotest.(check bool)
+        (Printf.sprintf "tau=%d results <= early + kernel" tau)
+        true
+        (s.Types.n_results <= c.Types.early_accepted + c.Types.kernel_verified))
+    [ 0; 1; 2; 3 ]
+
+let suite =
+  [
+    prop_compiled_matches_per_pair;
+    prop_compiled_lower_bounds;
+    prop_upper_bounds_ted;
+    Alcotest.test_case "upper zero on equal" `Quick test_upper_zero_on_equal;
+    prop_cascade_sound;
+    Alcotest.test_case "cascade negative tau" `Quick test_cascade_negative_tau;
+    Alcotest.test_case "cascade identical trees" `Quick test_cascade_identical_trees;
+    Gen.qtest ~count:25 "cascaded join = uncascaded = nested loop" arb_forest
+      prop_cascade_join_equals_truth;
+    Gen.qtest ~count:15 "cascade lossless under constrained metric" arb_forest
+      prop_cascade_join_constrained_metric;
+    Alcotest.test_case "cascade counters (clustered)" `Quick
+      test_cascade_counters_clustered;
+  ]

@@ -96,6 +96,16 @@ let test_experiments_smoke () =
   Tsj_harness.Experiments.fig10_11 config;
   Tsj_harness.Experiments.fig12_13 config;
   Tsj_harness.Experiments.ablation config;
+  (* The perf smoke run also asserts, inside [perf] itself, that the
+     cascade counters sum to the candidate count on every run, that the
+     counters and results are identical across domain counts, and that
+     the cascade leaves the join output bit-identical — it raises
+     otherwise. *)
+  let json = Filename.temp_file "tsj" ".json" in
+  Tsj_harness.Experiments.perf
+    { config with Tsj_harness.Experiments.domains = 2; bench_json = json };
+  let json_contents = In_channel.with_open_text json In_channel.input_all in
+  Sys.remove json;
   close_out oc;
   let contents = In_channel.with_open_text path In_channel.input_all in
   Sys.remove path;
@@ -112,7 +122,22 @@ let test_experiments_smoke () =
   Alcotest.(check bool) "REL column" true (contains "REL");
   Alcotest.(check bool) "all datasets present" true
     (contains "swissprot" && contains "treebank" && contains "sentiment"
-   && contains "synthetic")
+   && contains "synthetic");
+  Alcotest.(check bool) "perf prints the cascade speedup" true
+    (contains "verify speedup");
+  let json_has sub =
+    let n = String.length sub in
+    let rec go i =
+      i + n <= String.length json_contents
+      && (String.sub json_contents i n = sub || go (i + 1))
+    in
+    go 0
+  in
+  Alcotest.(check bool) "bench json has cascade fields" true
+    (json_has "\"verify_speedup_cascade\""
+    && json_has "\"cascade_lossless\": true"
+    && json_has "\"identical_across_domains\": true"
+    && json_has "\"kernel_verified\"")
 
 let test_sweep_rejects_negative_tau () =
   Alcotest.check_raises "negative" (Invalid_argument "Sweep.windowed_join: negative threshold")
@@ -157,6 +182,7 @@ let test_types_helpers () =
       n_results = 2;
       candidate_time_s = 0.5;
       verify_time_s = 0.25;
+      cascade = { Types.empty_cascade with Types.kernel_verified = 2 };
     }
   in
   let out = { Types.pairs = [ p2; p1 ]; stats } in

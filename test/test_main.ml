@@ -12,6 +12,7 @@ let () =
       ("extensions", Suite_extensions.suite);
       ("measures", Suite_measures.suite);
       ("streaming", Suite_streaming.suite);
+      ("cascade", Suite_cascade.suite);
       ("parallel", Suite_parallel.suite);
       ("formats", Suite_formats.suite);
       ("cli", Suite_cli.suite);
