@@ -167,14 +167,19 @@ let () =
       ("ablation", fun () -> Experiments.ablation config);
       ("parallel", fun () -> Experiments.parallel config);
       ("perf", fun () -> Experiments.perf config);
+      ("resilience", fun () -> Experiments.resilience config);
       ( "smoke",
-        (* Tiny-scale perf run — the dune runtest hook.  Exercises the
-           whole parallel pipeline (pool, block sweep, pipelined verify,
-           JSON emission) and fails on any cross-domain mismatch. *)
+        (* Tiny-scale perf + resilience run — the dune runtest hook.
+           Exercises the whole parallel pipeline (pool, block sweep,
+           pipelined verify, JSON emission), fails on any cross-domain
+           mismatch, and runs one kill-and-resume scenario asserting the
+           resumed output bit-identical to an uninterrupted run. *)
         fun () ->
-          Experiments.perf
+          let tiny =
             { config with Experiments.scale = Float.min config.Experiments.scale 0.0625 }
-      );
+          in
+          Experiments.perf tiny;
+          Experiments.resilience tiny );
       ("micro", micro);
       ( "all",
         fun () ->

@@ -37,8 +37,43 @@ let load_trees ?(format = Bracket_fmt) path =
   match result with
   | Ok trees -> Array.of_list trees
   | Error msg ->
+    (* Parse errors carry "line L, column C"; exit 2 = bad input. *)
     Printf.eprintf "tsj: cannot load %s: %s\n" path msg;
     exit 2
+
+(* Lenient load for --skip-malformed: unparseable records become
+   [Malformed] quarantine records instead of failing the run.  [q_i] is
+   the ordinal of the skipped record among the errors (the record never
+   received a tree index). *)
+let load_trees_lenient ~format path =
+  let lenient =
+    match format with
+    | Bracket_fmt -> Bracket.load_file_lenient path
+    | Xml_fmt ->
+      (match In_channel.with_open_bin path In_channel.input_all with
+      | exception Sys_error msg -> Error msg
+      | contents ->
+        let docs, errors = Tsj_xml.Xml_parser.parse_fragments_lenient contents in
+        Ok (List.map (Tsj_xml.Xml.to_tree ~keep_text:true ~keep_attrs:false) docs, errors))
+    | Sexp_fmt ->
+      Printf.eprintf "tsj: --skip-malformed is not supported for the sexp format\n";
+      exit 2
+  in
+  match lenient with
+  | Error msg ->
+    Printf.eprintf "tsj: cannot load %s: %s\n" path msg;
+    exit 2
+  | Ok (trees, errors) ->
+    let malformed =
+      List.mapi
+        (fun k (line, col, message) ->
+          { Types.q_i = k; q_j = None; q_reason = Types.Malformed { line; col; message } })
+        errors
+    in
+    if malformed <> [] then
+      Printf.eprintf "tsj: %s: skipped %d malformed record(s)\n" path
+        (List.length malformed);
+    (Array.of_list trees, malformed)
 
 let parse_tree_arg s =
   (* Accept either a literal bracket tree or @file containing one. *)
@@ -116,7 +151,41 @@ let join_cmd =
                    recommended count, honoring TSJ_DOMAINS; baselines are \
                    sequential).")
   in
-  let run file tau method_ show_pairs format metric jobs =
+  let time_budget =
+    Arg.(value & opt (some float) None
+         & info [ "time-budget" ] ~docv:"SECS"
+             ~doc:"Wall-clock budget for the join; on expiry the join stops \
+                   cooperatively and unprocessed work is reported as \
+                   quarantined (PRT methods only).")
+  in
+  let pair_budget =
+    Arg.(value & opt (some int) None
+         & info [ "pair-budget" ] ~docv:"COST"
+             ~doc:"Per-pair verification budget in cost units (|T1|*|T2|); a \
+                   candidate pair over the budget is quarantined with its \
+                   bound sandwich instead of verified (PRT methods only).")
+  in
+  let checkpoint_file =
+    Arg.(value & opt (some string) None
+         & info [ "checkpoint" ] ~docv:"FILE"
+             ~doc:"Journal join progress to $(docv) after every block (PRT \
+                   methods only).")
+  in
+  let resume =
+    Arg.(value & flag
+         & info [ "resume" ]
+             ~doc:"Resume from the --checkpoint journal if it exists; the \
+                   resumed output is identical to an uninterrupted run.")
+  in
+  let skip_malformed =
+    Arg.(value & flag
+         & info [ "skip-malformed" ]
+             ~doc:"Skip unparseable input records (reporting their line and \
+                   column) instead of aborting; each skipped record is listed \
+                   in the quarantine summary.")
+  in
+  let run file tau method_ show_pairs format metric jobs time_budget pair_budget
+      checkpoint_file resume skip_malformed =
     if tau < 0 then begin
       Printf.eprintf "tsj: tau must be non-negative\n";
       exit 2
@@ -129,16 +198,62 @@ let join_cmd =
         exit 2
       | None -> Tsj_join.Parallel.recommended_domains ()
     in
-    let trees = load_trees ~format file in
-    let out =
-      match (metric, method_) with
-      | Tsj_join.Sweep.Ted, m -> Tsj_harness.Methods.run ~domains m ~trees ~tau
-      | metric, Tsj_harness.Methods.Nl -> Tsj_join.Nested_loop.join ~metric ~trees ~tau ()
-      | metric, Tsj_harness.Methods.Str -> Tsj_baselines.Str_join.join ~metric ~trees ~tau ()
-      | metric, Tsj_harness.Methods.Set -> Tsj_baselines.Set_join.join ~metric ~trees ~tau ()
-      | metric, _ -> Tsj_core.Partsj.join ~domains ~metric ~trees ~tau ()
+    if resume && checkpoint_file = None then begin
+      Printf.eprintf "tsj: --resume requires --checkpoint FILE\n";
+      exit 2
+    end;
+    if
+      (time_budget <> None || pair_budget <> None || checkpoint_file <> None)
+      && not (Tsj_harness.Methods.supports_resilience method_)
+    then begin
+      Printf.eprintf
+        "tsj: --time-budget/--pair-budget/--checkpoint require a PRT method (got %s)\n"
+        (Tsj_harness.Methods.name method_);
+      exit 2
+    end;
+    let budget =
+      match (time_budget, pair_budget) with
+      | None, None -> None
+      | _ ->
+        (match
+           Tsj_join.Budget.create ?time_budget_s:time_budget ?pair_cost_limit:pair_budget ()
+         with
+        | b -> Some b
+        | exception Invalid_argument msg ->
+          Printf.eprintf "tsj: %s\n" msg;
+          exit 2)
     in
+    let checkpoint =
+      Option.map (fun path -> Tsj_join.Checkpoint.config ~resume path) checkpoint_file
+    in
+    let trees, malformed =
+      if skip_malformed then load_trees_lenient ~format file
+      else (load_trees ~format file, [])
+    in
+    let out =
+      match
+        match (metric, method_) with
+        | Tsj_join.Sweep.Ted, m ->
+          Tsj_harness.Methods.run ~domains ?budget ?checkpoint m ~trees ~tau
+        | metric, Tsj_harness.Methods.Nl -> Tsj_join.Nested_loop.join ~metric ~trees ~tau ()
+        | metric, Tsj_harness.Methods.Str -> Tsj_baselines.Str_join.join ~metric ~trees ~tau ()
+        | metric, Tsj_harness.Methods.Set -> Tsj_baselines.Set_join.join ~metric ~trees ~tau ()
+        | metric, _ -> Tsj_core.Partsj.join ~domains ~metric ?budget ?checkpoint ~trees ~tau ()
+      with
+      | out -> out
+      | exception Invalid_argument msg ->
+        (* e.g. a corrupt or mismatched --resume journal *)
+        Printf.eprintf "tsj: %s\n" msg;
+        exit 2
+    in
+    let out = { out with Types.quarantined = malformed @ out.Types.quarantined } in
     Format.printf "%a@." Types.pp_stats out.Types.stats;
+    (match out.Types.quarantined with
+    | [] -> ()
+    | qs ->
+      Printf.printf "quarantined: %d\n" (List.length qs);
+      if show_pairs then
+        List.iter (fun q -> Format.printf "  %a@." Types.pp_quarantined q) qs);
     if show_pairs then
       List.iter
         (fun p ->
@@ -149,7 +264,8 @@ let join_cmd =
   in
   Cmd.v
     (Cmd.info "join" ~doc:"Similarity self-join over a tree collection")
-    Term.(const run $ file $ tau $ method_ $ show_pairs $ format_arg $ metric $ jobs)
+    Term.(const run $ file $ tau $ method_ $ show_pairs $ format_arg $ metric $ jobs
+          $ time_budget $ pair_budget $ checkpoint_file $ resume $ skip_malformed)
 
 (* --- gen --- *)
 

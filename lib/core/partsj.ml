@@ -3,7 +3,10 @@ module Binary_tree = Tsj_tree.Binary_tree
 module Ted = Tsj_ted.Ted
 module Bounds = Tsj_ted.Bounds
 module Timer = Tsj_util.Timer
+module Fault = Tsj_util.Fault_inject
 module Types = Tsj_join.Types
+module Budget = Tsj_join.Budget
+module Checkpoint = Tsj_join.Checkpoint
 
 type partitioning = Balanced | Random of int
 
@@ -63,7 +66,9 @@ let empty_probe_result =
 let block_size = 32
 
 (* Verifier decision codes, indexing the per-stage counter array: how
-   each candidate pair was decided.  The order mirrors the cascade. *)
+   each candidate pair was decided.  The order mirrors the cascade;
+   [stage_quarantined] marks pairs the resilience layer diverted instead
+   of deciding (per-pair budget, verifier exception, deadline). *)
 let stage_size = 0
 
 let stage_labels = 1
@@ -76,11 +81,18 @@ let stage_early = 4
 
 let stage_kernel = 5
 
-let n_stages = 6
+let stage_quarantined = 6
+
+let n_stages = 7
+
+(* Outcome of verifying one candidate pair: either a decision (distance
+   + stage code) or a quarantine reason. *)
+type verdict = { v_dist : int; v_stage : int; v_reason : Types.quarantine_reason option }
 
 let join_with_probe_stats ?(partitioning = Balanced)
     ?(index_mode = Two_layer_index.Two_sided) ?(domains = 1)
-    ?(bounded_verify = true) ?(cascade = true) ?metric ?on_phases ~trees ~tau () =
+    ?(bounded_verify = true) ?(cascade = true) ?metric ?budget ?checkpoint ?on_phases
+    ~trees ~tau () =
   if tau < 0 then invalid_arg "Partsj.join: negative threshold";
   if domains < 1 then invalid_arg "Partsj.join: domains must be >= 1";
   let n = Array.length trees in
@@ -95,30 +107,76 @@ let join_with_probe_stats ?(partitioning = Balanced)
     | Random seed -> Some (Tsj_util.Prng.create seed)
   in
   let pool = if domains > 1 then Some (Tsj_join.Parallel.pool ~domains) else None in
+  (* Cooperative budget plumbing: [stop_flag] is threaded into every pool
+     job so expiry/cancellation drains all domains at the next chunk
+     boundary; tasks additionally poll [budget_live] so the single-domain
+     path stops just as promptly. *)
+  let stop_flag = Option.map Budget.stop_flag budget in
+  let budget_live () = match budget with None -> true | Some b -> Budget.live b in
+  let budget_stopped () =
+    match budget with None -> false | Some b -> Budget.stopped b
+  in
   let run_tasks tasks =
     if Array.length tasks > 0 then
       match pool with
-      | Some p -> Tsj_join.Pool.run_tasks p ~width:domains tasks
-      | None -> Array.iter (fun f -> f ()) tasks
+      | Some p -> Tsj_join.Pool.run_tasks p ?stop:stop_flag ~width:domains tasks
+      | None -> Array.iter (fun f -> if not (budget_stopped ()) then f ()) tasks
   in
   (* Eager parallel preprocessing: every tree compiled once, up front, on
      all domains.  All downstream phases only read this immutable array,
      which is what makes the concurrent probe and verify tasks safe (no
-     lazy fill-on-demand cache, no label interning past this point). *)
+     lazy fill-on-demand cache, no label interning past this point).
+     A tree whose compilation raises (adversarially shaped input, an
+     injected fault) is quarantined — it takes a placeholder slot that no
+     phase ever reads, and joins in no pair — instead of aborting the
+     run. *)
+  let prep_failures : string option array = Array.make (max n 1) None in
+  let placeholder =
+    (* Built on the caller BEFORE the fan-out: workers must not intern. *)
+    let leaf = Tree.leaf (Tsj_tree.Label.intern "?") in
+    let btree = Binary_tree.of_tree leaf in
+    {
+      d_prep = Ted.preprocess leaf;
+      d_btree = btree;
+      d_cursor = Two_layer_index.cursor btree;
+      d_bounds = Bounds.Compiled.of_tree leaf;
+    }
+  in
   let data, prep_wall =
     Timer.wall (fun () ->
         Tsj_join.Parallel.map ~domains
-          (fun tree ->
-            let btree = Binary_tree.of_tree tree in
-            {
-              d_prep = Ted.preprocess tree;
-              d_btree = btree;
-              d_cursor = Two_layer_index.cursor btree;
-              d_bounds = Bounds.Compiled.of_tree tree;
-            })
-          trees)
+          (fun i ->
+            match
+              Fault.hit "partsj.prep" i;
+              let tree = trees.(i) in
+              let btree = Binary_tree.of_tree tree in
+              {
+                d_prep = Ted.preprocess tree;
+                d_btree = btree;
+                d_cursor = Two_layer_index.cursor btree;
+                d_bounds = Bounds.Compiled.of_tree tree;
+              }
+            with
+            | d -> d
+            | exception exn ->
+              (* Per-index slot: each worker writes its own index once,
+                 so the array needs no synchronization. *)
+              prep_failures.(i) <- Some (Printexc.to_string exn);
+              placeholder)
+          (Array.init n Fun.id))
   in
   verify_attr := !verify_attr +. prep_wall;
+  let excluded i = prep_failures.(i) <> None in
+  let quarantine_prep = ref [] in
+  Array.iteri
+    (fun i failure ->
+      match failure with
+      | Some msg when i < n ->
+        quarantine_prep :=
+          { Types.q_i = i; q_j = None; q_reason = Types.Preprocess_failed msg }
+          :: !quarantine_prep
+      | _ -> ())
+    prep_failures;
   let sizes = Array.map Tree.size trees in
   let order = Array.init n (fun i -> i) in
   Array.sort
@@ -137,8 +195,9 @@ let join_with_probe_stats ?(partitioning = Balanced)
   let n_matched = ref 0 in
   let n_small_hits = ref 0 in
   let n_indexed = ref 0 in
-  (* The staged verifier.  Returns the (threshold-clamped) distance and
-     the stage code that decided the pair:
+  (* The staged verifier.  Returns a {!verdict}: the (threshold-clamped)
+     distance and the stage code that decided the pair, or a quarantine
+     reason when the resilience layer diverted it:
      - with the cascade on, the compiled lower bounds run cheapest first
        with short-circuit, the greedy upper bound early-accepts a pair
        whose bound sandwich closes, and surviving pairs run the kernel
@@ -148,43 +207,82 @@ let join_with_probe_stats ?(partitioning = Balanced)
      - with the cascade off, this is the seed verifier: the banded
        preorder-SED prefilter followed by the τ-banded kernel;
      - [bounded_verify:false] forces the full kernel on every candidate
-       (ablation). *)
+       (ablation);
+     - a pair that reaches the exact kernel with a cost estimate over the
+       per-pair budget is quarantined with its bound sandwich (still a
+       pure function of the pair, so budgeted joins stay deterministic at
+       every domain count); a verifier exception quarantines the pair
+       instead of killing the join. *)
   let verify_pair =
     let d = data in
     fun (i, j) ->
-      if not bounded_verify then
-        (Tsj_join.Sweep.verify_distance ?metric d.(i).d_prep d.(j).d_prep, stage_kernel)
-      else if not cascade then
-        if
-          not
-            (Tsj_ted.String_edit.within
-               (Bounds.Compiled.preorder d.(i).d_bounds)
-               (Bounds.Compiled.preorder d.(j).d_bounds)
-               tau)
-        then (tau + 1, stage_sed)
+      let decide dist stage = { v_dist = dist; v_stage = stage; v_reason = None } in
+      let kernel_allowed () =
+        match budget with
+        | None -> true
+        | Some b ->
+          Budget.pair_within b ~cost:(Budget.pair_cost sizes.(i) sizes.(j))
+      in
+      let over_budget () =
+        let lower = Bounds.Compiled.best d.(i).d_bounds d.(j).d_bounds in
+        let upper = Bounds.Compiled.upper d.(i).d_bounds d.(j).d_bounds in
+        {
+          v_dist = tau + 1;
+          v_stage = stage_quarantined;
+          v_reason = Some (Types.Pair_budget { lower; upper });
+        }
+      in
+      try
+        Fault.hit "partsj.verify" i;
+        if not bounded_verify then
+          if kernel_allowed () then
+            decide (Tsj_join.Sweep.verify_distance ?metric d.(i).d_prep d.(j).d_prep)
+              stage_kernel
+          else over_budget ()
+        else if not cascade then
+          if
+            not
+              (Tsj_ted.String_edit.within
+                 (Bounds.Compiled.preorder d.(i).d_bounds)
+                 (Bounds.Compiled.preorder d.(j).d_bounds)
+                 tau)
+          then decide (tau + 1) stage_sed
+          else if kernel_allowed () then
+            decide
+              (Tsj_join.Sweep.verify_bounded ?metric ~tau d.(i).d_prep d.(j).d_prep)
+              stage_kernel
+          else over_budget ()
         else
-          (Tsj_join.Sweep.verify_bounded ?metric ~tau d.(i).d_prep d.(j).d_prep,
-           stage_kernel)
-      else
-        match Bounds.Compiled.cascade ~tau d.(i).d_bounds d.(j).d_bounds with
-        | Bounds.Compiled.Pruned stage ->
-          let code =
-            match stage with
-            | Bounds.Compiled.Size -> stage_size
-            | Bounds.Compiled.Labels -> stage_labels
-            | Bounds.Compiled.Degrees -> stage_degrees
-            | Bounds.Compiled.Sed -> stage_sed
-          in
-          (tau + 1, code)
-        | Bounds.Compiled.Accept dist -> (dist, stage_early)
-        | Bounds.Compiled.Verify { band } ->
-          (Tsj_join.Sweep.verify_bounded ?metric ~tau:band d.(i).d_prep d.(j).d_prep,
-           stage_kernel)
+          match Bounds.Compiled.cascade ~tau d.(i).d_bounds d.(j).d_bounds with
+          | Bounds.Compiled.Pruned stage ->
+            let code =
+              match stage with
+              | Bounds.Compiled.Size -> stage_size
+              | Bounds.Compiled.Labels -> stage_labels
+              | Bounds.Compiled.Degrees -> stage_degrees
+              | Bounds.Compiled.Sed -> stage_sed
+            in
+            decide (tau + 1) code
+          | Bounds.Compiled.Accept dist -> decide dist stage_early
+          | Bounds.Compiled.Verify { band } ->
+            if kernel_allowed () then
+              decide
+                (Tsj_join.Sweep.verify_bounded ?metric ~tau:band d.(i).d_prep
+                   d.(j).d_prep)
+                stage_kernel
+            else over_budget ()
+      with exn ->
+        {
+          v_dist = tau + 1;
+          v_stage = stage_quarantined;
+          v_reason = Some (Types.Verify_failed (Printexc.to_string exn));
+        }
   in
   (* Per-stage decision counters; pure sums of per-pair outcomes, so they
      are deterministic at every domain count. *)
   let stage_counts = Array.make n_stages 0 in
   let results = ref [] in
+  let quarantine_sweep = ref [] in
   let candidates = ref 0 in
   (* The candidate batch of the previous block, verified on the pool
      while the next block probes (software pipelining: candidate
@@ -195,31 +293,51 @@ let join_with_probe_stats ?(partitioning = Balanced)
     let nb = Array.length batch in
     if nb = 0 then ([||], fun () -> ())
     else begin
-      let dist = Array.make nb 0 in
-      let stage = Array.make nb 0 in
+      let verdicts : verdict option array = Array.make nb None in
       let elapsed = Array.make nb 0.0 in
       let tasks =
         Array.init nb (fun idx ->
             fun () ->
-              let (d, st), dt = Timer.wall (fun () -> verify_pair batch.(idx)) in
-              dist.(idx) <- d;
-              stage.(idx) <- st;
-              elapsed.(idx) <- dt)
+              if budget_live () then begin
+                let v, dt = Timer.wall (fun () -> verify_pair batch.(idx)) in
+                verdicts.(idx) <- Some v;
+                elapsed.(idx) <- dt
+              end)
       in
       let commit () =
         Array.iter (fun dt -> verify_attr := !verify_attr +. dt) elapsed;
-        Array.iter (fun st -> stage_counts.(st) <- stage_counts.(st) + 1) stage;
         Array.iteri
           (fun idx (i, j) ->
-            if dist.(idx) <= tau then begin
-              let a = min i j and b = max i j in
-              results := { Types.i = a; j = b; distance = dist.(idx) } :: !results
-            end)
+            let a = min i j and b = max i j in
+            match verdicts.(idx) with
+            | Some v -> (
+              stage_counts.(v.v_stage) <- stage_counts.(v.v_stage) + 1;
+              match v.v_reason with
+              | Some reason ->
+                quarantine_sweep :=
+                  { Types.q_i = a; q_j = Some b; q_reason = reason }
+                  :: !quarantine_sweep
+              | None ->
+                if v.v_dist <= tau then
+                  results := { Types.i = a; j = b; distance = v.v_dist } :: !results)
+            | None ->
+              (* The task never ran: the stop flag drained the pool
+                 before it was claimed.  The pair is unprocessed work,
+                 not a non-result — quarantine it. *)
+              stage_counts.(stage_quarantined) <- stage_counts.(stage_quarantined) + 1;
+              quarantine_sweep :=
+                { Types.q_i = a; q_j = Some b; q_reason = Types.Deadline }
+                :: !quarantine_sweep)
           batch;
         pending_batch := [||]
       in
       (tasks, commit)
     end
+  in
+  let drain_pending () =
+    let verify_tasks, commit = flush_batch_tasks () in
+    run_tasks verify_tasks;
+    commit ()
   in
   (* Probe one tree against the frozen snapshot of everything indexed
      before the current block.  Pure function of immutable data — safe on
@@ -267,114 +385,268 @@ let join_with_probe_stats ?(partitioning = Balanced)
     in
     { r with elapsed_s = dt }
   in
+  let n_blocks = (n + block_size - 1) / block_size in
+  (* --- checkpoint/resume --- *)
+  let fingerprint =
+    match checkpoint with
+    | None -> ""
+    | Some _ ->
+      let params =
+        Printf.sprintf "v1|block=%d|part=%s|index=%s|metric=%s|bounded=%b|cascade=%b"
+          block_size
+          (match partitioning with
+          | Balanced -> "balanced"
+          | Random seed -> "random:" ^ string_of_int seed)
+          (match index_mode with
+          | Two_layer_index.Two_sided -> "two-sided"
+          | Two_layer_index.Paper_rank -> "paper-rank"
+          | Two_layer_index.Label_only -> "label-only")
+          (match metric with
+          | None | Some Tsj_join.Sweep.Ted -> "ted"
+          | Some Tsj_join.Sweep.Constrained -> "constrained")
+          bounded_verify cascade
+      in
+      Checkpoint.fingerprint ~tau ~params trees
+  in
+  let resume_state =
+    match checkpoint with
+    | Some cfg when cfg.Checkpoint.resume -> (
+      match Checkpoint.load cfg.Checkpoint.path with
+      | Ok None -> None
+      | Ok (Some st) ->
+        if st.Checkpoint.fingerprint <> fingerprint then
+          invalid_arg
+            (Printf.sprintf
+               "Partsj.join: checkpoint %s was written by a different dataset or \
+                join configuration"
+               cfg.Checkpoint.path)
+        else if Array.length st.Checkpoint.stage_counts <> n_stages then
+          invalid_arg
+            (Printf.sprintf "Partsj.join: checkpoint %s has an incompatible format"
+               cfg.Checkpoint.path)
+        else Some st
+      | Error msg ->
+        invalid_arg
+          (Printf.sprintf "Partsj.join: cannot resume from checkpoint %s: %s"
+             cfg.Checkpoint.path msg))
+    | _ -> None
+  in
+  let start_block =
+    match resume_state with
+    | None -> 0
+    | Some st ->
+      results := List.rev st.Checkpoint.pairs;
+      quarantine_sweep := List.rev st.Checkpoint.quarantined;
+      candidates := st.Checkpoint.n_candidates;
+      Array.blit st.Checkpoint.stage_counts 0 stage_counts 0 n_stages;
+      n_probed := st.Checkpoint.n_probed;
+      n_matched := st.Checkpoint.n_matched;
+      n_small_hits := st.Checkpoint.n_small_hits;
+      n_indexed := st.Checkpoint.n_indexed;
+      min st.Checkpoint.blocks_done n_blocks
+  in
+  let save_checkpoint blocks_done =
+    match checkpoint with
+    | None -> ()
+    | Some cfg ->
+      Checkpoint.save ~path:cfg.Checkpoint.path
+        {
+          Checkpoint.fingerprint;
+          blocks_done;
+          pairs = List.rev !results;
+          quarantined = List.rev !quarantine_sweep;
+          n_candidates = !candidates;
+          stage_counts = Array.copy stage_counts;
+          n_probed = !n_probed;
+          n_matched = !n_matched;
+          n_small_hits = !n_small_hits;
+          n_indexed = !n_indexed;
+        }
+  in
+  let checkpoint_due blk =
+    match checkpoint with
+    | None -> false
+    | Some cfg -> (blk + 1) mod cfg.Checkpoint.every = 0 || blk = n_blocks - 1
+  in
+  (* Deadline/cancellation abort: everything not yet processed — the
+     current block (whose probe results may be partial) and all later
+     blocks — is quarantined tree-by-tree in sweep order, so the
+     account of skipped work is complete and deterministic given the
+     point of interruption. *)
+  let aborted = ref false in
+  let abort_remaining from_block =
+    for b = from_block * block_size to n - 1 do
+      let ti = order.(b) in
+      if not (excluded ti) then
+        quarantine_sweep :=
+          { Types.q_i = ti; q_j = None; q_reason = Types.Deadline }
+          :: !quarantine_sweep
+    done;
+    aborted := true
+  in
   let sweep () =
-    let n_blocks = (n + block_size - 1) / block_size in
-    for blk = 0 to n_blocks - 1 do
+    (* Resume fast-forward: re-index the completed blocks without
+       probing, verifying or counting — the journal already holds their
+       outputs.  The RNG (random partitioning) is consumed in exactly
+       the original order, so the rebuilt index is bit-identical. *)
+    for blk = 0 to start_block - 1 do
       let b0 = blk * block_size in
       let b1 = min n (b0 + block_size) in
-      let width = b1 - b0 in
-      (* Snapshot the per-size entries: O(#sizes), between-block only. *)
-      let snapshot : (int, frozen_entry) Hashtbl.t = Hashtbl.create 64 in
-      Hashtbl.iter
-        (fun size e ->
-          Hashtbl.add snapshot size
-            { f_index = Two_layer_index.freeze e.index; f_small = e.small })
-        entries;
-      (* Parallel phase: probe every tree of this block against the
-         frozen snapshot, and verify the previous block's candidates. *)
-      let frozen_results = Array.make width empty_probe_result in
-      let probe_tasks =
-        Array.init width (fun w ->
-            fun () -> frozen_results.(w) <- probe_frozen_task snapshot order.(b0 + w))
-      in
-      let verify_tasks, commit_batch = flush_batch_tasks () in
-      run_tasks (Array.append probe_tasks verify_tasks);
-      commit_batch ();
-      Array.iter
-        (fun r ->
-          cand_attr := !cand_attr +. r.elapsed_s;
-          n_probed := !n_probed + r.probed;
-          n_matched := !n_matched + r.matched;
-          n_small_hits := !n_small_hits + r.small_hits)
-        frozen_results;
-      (* Sequential phase: in block order, probe the subgraphs inserted
-         earlier in this block (invisible to the snapshot), emit the
-         tree's candidates, then partition and index it.  The random
-         partitioning rng is consumed only here, in tree order, so the
-         stream is identical at every domain count. *)
-      Timer.start cand_timer;
-      let block_entries : (int, size_entry) Hashtbl.t = Hashtbl.create 8 in
-      let batch = ref [] in
-      for w = 0 to width - 1 do
+      for w = 0 to b1 - b0 - 1 do
         let ti = order.(b0 + w) in
-        let d = data.(ti) in
-        let size_i = sizes.(ti) in
-        let checked : (int, unit) Hashtbl.t = Hashtbl.create 8 in
-        let local_pending = ref [] in
-        for size_j = max 1 (size_i - tau) to size_i do
-          match Hashtbl.find_opt block_entries size_j with
-          | None -> ()
-          | Some entry ->
-            List.iter
-              (fun tj ->
-                if not (Hashtbl.mem checked tj) then begin
-                  Hashtbl.add checked tj ();
-                  incr n_small_hits;
-                  local_pending := tj :: !local_pending
-                end)
-              entry.small;
-            for v = 0 to size_i - 1 do
-              Two_layer_index.probe_cursor entry.index d.d_cursor v (fun s ->
-                  incr n_probed;
-                  let tj = s.Subgraph.tree_id in
-                  if not (Hashtbl.mem checked tj) then
-                    if Subgraph.matches s d.d_btree v then begin
-                      incr n_matched;
-                      Hashtbl.add checked tj ();
-                      local_pending := tj :: !local_pending
-                    end)
-            done
-        done;
-        (* Frozen hits (trees before the block) and local hits (earlier
-           trees of this block) are disjoint by construction; their
-           concatenation is the exact candidate set of the sequential
-           algorithm, in a deterministic order. *)
-        let emit tj =
-          incr candidates;
-          batch := (ti, tj) :: !batch
+        if not (excluded ti) then begin
+          let size_i = sizes.(ti) in
+          let entry = entry_for entries index_mode size_i in
+          if size_i < delta then entry.small <- ti :: entry.small
+          else begin
+            let part =
+              match rng with
+              | None -> Partition.partition data.(ti).d_btree ~delta
+              | Some rng -> Partition.random_partition rng data.(ti).d_btree ~delta
+            in
+            Array.iter
+              (fun s -> Two_layer_index.insert entry.index s)
+              (Subgraph.of_partition ~tree_id:ti part)
+          end
+        end
+      done
+    done;
+    let blk = ref start_block in
+    while !blk < n_blocks && not !aborted do
+      (* Injectable kill point: a raise here simulates a crash between
+         blocks; the last checkpoint then resumes the sweep exactly. *)
+      Fault.hit "partsj.block" !blk;
+      if not (budget_live ()) then begin
+        drain_pending ();
+        abort_remaining !blk
+      end
+      else begin
+        let b0 = !blk * block_size in
+        let b1 = min n (b0 + block_size) in
+        let width = b1 - b0 in
+        (* Snapshot the per-size entries: O(#sizes), between-block only. *)
+        let snapshot : (int, frozen_entry) Hashtbl.t = Hashtbl.create 64 in
+        Hashtbl.iter
+          (fun size e ->
+            Hashtbl.add snapshot size
+              { f_index = Two_layer_index.freeze e.index; f_small = e.small })
+          entries;
+        (* Parallel phase: probe every tree of this block against the
+           frozen snapshot, and verify the previous block's candidates. *)
+        let frozen_results = Array.make width empty_probe_result in
+        let probe_tasks =
+          Array.init width (fun w ->
+              fun () ->
+                let ti = order.(b0 + w) in
+                if (not (excluded ti)) && budget_live () then
+                  frozen_results.(w) <- probe_frozen_task snapshot ti)
         in
-        List.iter emit frozen_results.(w).pending;
-        List.iter emit (List.rev !local_pending);
-        (* Index the current tree for subsequent iterations: in the main
-           per-size entry for later blocks, and in the block-local entry
-           for the remaining trees of this block. *)
-        let entry = entry_for entries index_mode size_i in
-        let local = entry_for block_entries index_mode size_i in
-        if size_i < delta then begin
-          entry.small <- ti :: entry.small;
-          local.small <- ti :: local.small
-        end
+        let verify_tasks, commit_batch = flush_batch_tasks () in
+        run_tasks (Array.append probe_tasks verify_tasks);
+        commit_batch ();
+        if budget_stopped () then
+          (* Expired mid-block: the probe results above may be partial,
+             so the whole block is treated as unprocessed. *)
+          abort_remaining !blk
         else begin
-          let part =
-            match rng with
-            | None -> Partition.partition d.d_btree ~delta
-            | Some rng -> Partition.random_partition rng d.d_btree ~delta
-          in
           Array.iter
-            (fun s ->
-              Two_layer_index.insert entry.index s;
-              Two_layer_index.insert local.index s;
-              incr n_indexed)
-            (Subgraph.of_partition ~tree_id:ti part)
+            (fun r ->
+              cand_attr := !cand_attr +. r.elapsed_s;
+              n_probed := !n_probed + r.probed;
+              n_matched := !n_matched + r.matched;
+              n_small_hits := !n_small_hits + r.small_hits)
+            frozen_results;
+          (* Sequential phase: in block order, probe the subgraphs
+             inserted earlier in this block (invisible to the snapshot),
+             emit the tree's candidates, then partition and index it.
+             The random partitioning rng is consumed only here, in tree
+             order, so the stream is identical at every domain count. *)
+          Timer.start cand_timer;
+          let block_entries : (int, size_entry) Hashtbl.t = Hashtbl.create 8 in
+          let batch = ref [] in
+          for w = 0 to width - 1 do
+            let ti = order.(b0 + w) in
+            if not (excluded ti) then begin
+              let d = data.(ti) in
+              let size_i = sizes.(ti) in
+              let checked : (int, unit) Hashtbl.t = Hashtbl.create 8 in
+              let local_pending = ref [] in
+              for size_j = max 1 (size_i - tau) to size_i do
+                match Hashtbl.find_opt block_entries size_j with
+                | None -> ()
+                | Some entry ->
+                  List.iter
+                    (fun tj ->
+                      if not (Hashtbl.mem checked tj) then begin
+                        Hashtbl.add checked tj ();
+                        incr n_small_hits;
+                        local_pending := tj :: !local_pending
+                      end)
+                    entry.small;
+                  for v = 0 to size_i - 1 do
+                    Two_layer_index.probe_cursor entry.index d.d_cursor v (fun s ->
+                        incr n_probed;
+                        let tj = s.Subgraph.tree_id in
+                        if not (Hashtbl.mem checked tj) then
+                          if Subgraph.matches s d.d_btree v then begin
+                            incr n_matched;
+                            Hashtbl.add checked tj ();
+                            local_pending := tj :: !local_pending
+                          end)
+                  done
+              done;
+              (* Frozen hits (trees before the block) and local hits
+                 (earlier trees of this block) are disjoint by
+                 construction; their concatenation is the exact candidate
+                 set of the sequential algorithm, in a deterministic
+                 order. *)
+              let emit tj =
+                incr candidates;
+                batch := (ti, tj) :: !batch
+              in
+              List.iter emit frozen_results.(w).pending;
+              List.iter emit (List.rev !local_pending);
+              (* Index the current tree for subsequent iterations: in the
+                 main per-size entry for later blocks, and in the
+                 block-local entry for the remaining trees of this
+                 block. *)
+              let entry = entry_for entries index_mode size_i in
+              let local = entry_for block_entries index_mode size_i in
+              if size_i < delta then begin
+                entry.small <- ti :: entry.small;
+                local.small <- ti :: local.small
+              end
+              else begin
+                let part =
+                  match rng with
+                  | None -> Partition.partition d.d_btree ~delta
+                  | Some rng -> Partition.random_partition rng d.d_btree ~delta
+                in
+                Array.iter
+                  (fun s ->
+                    Two_layer_index.insert entry.index s;
+                    Two_layer_index.insert local.index s;
+                    incr n_indexed)
+                  (Subgraph.of_partition ~tree_id:ti part)
+              end
+            end
+          done;
+          Timer.stop cand_timer;
+          pending_batch := Array.of_list (List.rev !batch);
+          if checkpoint_due !blk then begin
+            (* Drain the pipelined batch so the journal never records a
+               block whose candidates are still in flight, then publish.
+               An expiry during the drain skips the save: journals only
+               ever describe fully verified prefixes. *)
+            drain_pending ();
+            if not (budget_stopped ()) then save_checkpoint (!blk + 1)
+          end
         end
-      done;
-      Timer.stop cand_timer;
-      pending_batch := Array.of_list (List.rev !batch)
+      end;
+      incr blk
     done;
     (* Drain the last block's candidates. *)
-    let verify_tasks, commit_batch = flush_batch_tasks () in
-    run_tasks verify_tasks;
-    commit_batch ()
+    if not !aborted then drain_pending ()
   in
   let (), sweep_wall = Timer.wall sweep in
   (* Window-pair count (the shared universe statistic): trees are sorted by
@@ -388,6 +660,7 @@ let join_with_probe_stats ?(partitioning = Balanced)
     window_pairs := !window_pairs + (b - !lo)
   done;
   let pairs = List.rev !results in
+  let quarantined = List.rev !quarantine_prep @ List.rev !quarantine_sweep in
   let cand_time_s = !cand_attr +. Timer.elapsed_s cand_timer in
   let verify_time_s = !verify_attr in
   (match on_phases with
@@ -402,6 +675,7 @@ let join_with_probe_stats ?(partitioning = Balanced)
       });
   ( {
       Types.pairs;
+      quarantined;
       stats =
         {
           Types.n_trees = n;
@@ -419,6 +693,7 @@ let join_with_probe_stats ?(partitioning = Balanced)
               pruned_sed = stage_counts.(stage_sed);
               early_accepted = stage_counts.(stage_early);
               kernel_verified = stage_counts.(stage_kernel);
+              quarantined = stage_counts.(stage_quarantined);
             };
         };
     },
@@ -429,8 +704,8 @@ let join_with_probe_stats ?(partitioning = Balanced)
       n_subgraphs_indexed = !n_indexed;
     } )
 
-let join ?partitioning ?index_mode ?domains ?bounded_verify ?cascade ?metric ?on_phases
-    ~trees ~tau () =
+let join ?partitioning ?index_mode ?domains ?bounded_verify ?cascade ?metric ?budget
+    ?checkpoint ?on_phases ~trees ~tau () =
   fst
     (join_with_probe_stats ?partitioning ?index_mode ?domains ?bounded_verify ?cascade
-       ?metric ?on_phases ~trees ~tau ())
+       ?metric ?budget ?checkpoint ?on_phases ~trees ~tau ())

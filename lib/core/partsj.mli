@@ -28,7 +28,36 @@
     block size is a constant, independent of [domains], and every task
     is a pure function of immutable preprocessed data, so the candidate
     stream, the result pairs and all statistics are bit-identical at
-    every domain count — parallelism changes only the wall clock. *)
+    every domain count — parallelism changes only the wall clock.
+
+    {b Resilient execution.}  The join degrades gracefully instead of
+    failing or running away:
+
+    - a tree whose preprocessing raises is {e quarantined}
+      ({!Tsj_join.Types.Preprocess_failed}) — it joins in no pair but the
+      rest of the collection is processed normally;
+    - with a {!Tsj_join.Budget}, a candidate pair whose exact-kernel cost
+      estimate exceeds the per-pair limit is quarantined with its bound
+      sandwich ({!Tsj_join.Types.Pair_budget}), and a wall-clock expiry or
+      {!Tsj_join.Budget.cancel} drains the pool cooperatively at the next
+      chunk boundary, quarantining every unprocessed pair and tree
+      ({!Tsj_join.Types.Deadline}) — the shared pool stays reusable;
+    - a verifier exception quarantines the pair
+      ({!Tsj_join.Types.Verify_failed}) instead of killing the join.
+
+    The soundness contract: [output.pairs] never contains a false
+    positive, and [pairs ∪ quarantined] covers the ground truth — every
+    true result pair is either reported exactly or accounted for in the
+    quarantine record.
+
+    {b Checkpoint/resume.}  With a {!Tsj_join.Checkpoint.config} the join
+    journals its accumulated outputs after every [every] completed blocks
+    (atomically — a kill mid-save never tears the journal); with
+    [resume:true] it loads the journal, replays the indexing of the
+    completed blocks (consuming the partitioning RNG in the original
+    order) and continues mid-sweep.  The resumed run's pairs, quarantine
+    records and deterministic counters are bit-identical to an
+    uninterrupted run, at every domain count. *)
 
 type partitioning =
   | Balanced          (** max-min-size partitioning (Section 3.3) *)
@@ -53,12 +82,16 @@ val join :
   ?bounded_verify:bool ->
   ?cascade:bool ->
   ?metric:Tsj_join.Sweep.metric ->
+  ?budget:Tsj_join.Budget.t ->
+  ?checkpoint:Tsj_join.Checkpoint.config ->
   ?on_phases:(phase_times -> unit) ->
   trees:Tsj_tree.Tree.t array ->
   tau:int ->
   unit ->
   Tsj_join.Types.output
-(** @raise Invalid_argument if [tau < 0] or [domains < 1].  [index_mode]
+(** @raise Invalid_argument if [tau < 0], [domains < 1], or a
+    [checkpoint] with [resume:true] names a journal that is corrupt or
+    was written by a different dataset/configuration.  [index_mode]
     defaults to the sound {!Two_layer_index.Two_sided} windows; with
     {!Two_layer_index.Paper_rank} the join is faster but may miss result
     pairs (see {!Two_layer_index}).  [domains] (default 1) runs the whole
@@ -80,9 +113,11 @@ val join :
     with the cascade on or off; [cascade:false] restores the seed
     verifier (banded preorder-SED prefilter + τ-banded kernel) for
     before/after benchmarking.  Per-stage decisions are reported in
-    [stats.cascade]; the counters partition the candidate set.  In the
-    reported stats, preprocessing is charged to verification (as before)
-    and pipelined task times are attributed to their phase. *)
+    [stats.cascade]; the counters (including [quarantined]) partition the
+    candidate set.  [budget] enables the resilience limits and
+    [checkpoint] the progress journal described above.  In the reported
+    stats, preprocessing is charged to verification (as before) and
+    pipelined task times are attributed to their phase. *)
 
 type probe_stats = {
   n_probed : int;        (** subgraphs returned by index probes *)
@@ -98,6 +133,8 @@ val join_with_probe_stats :
   ?bounded_verify:bool ->
   ?cascade:bool ->
   ?metric:Tsj_join.Sweep.metric ->
+  ?budget:Tsj_join.Budget.t ->
+  ?checkpoint:Tsj_join.Checkpoint.config ->
   ?on_phases:(phase_times -> unit) ->
   trees:Tsj_tree.Tree.t array ->
   tau:int ->

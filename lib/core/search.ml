@@ -174,6 +174,7 @@ let join_with ?tau t probes =
   in
   {
     Types.pairs;
+    quarantined = [];
     stats =
       {
         Types.n_trees = Array.length t.trees + Array.length probes;

@@ -513,6 +513,64 @@ let streaming config =
     ~align:[ Table.Right; Right; Right ]
     (List.rev !rows)
 
+(* --- resilience: kill-and-resume and graceful degradation --- *)
+
+let resilience config =
+  Table.heading ~out:config.out
+    "Extension — resilient execution (checkpoint/resume, per-pair budgets)";
+  let profile = Profiles.synthetic in
+  let n = cardinality config profile in
+  let trees = dataset config profile n in
+  let tau = 3 in
+  (* Kill-and-resume: crash between two blocks, resume from the journal,
+     demand bit-identical pairs, quarantine and deterministic counters —
+     at one domain and at the configured parallel count. *)
+  let rec_domains = Tsj_join.Parallel.recommended_domains () in
+  let domain_counts =
+    List.sort_uniq compare
+      [ 1; (if config.domains > 1 then config.domains else min 4 rec_domains) ]
+  in
+  let rows =
+    List.map
+      (fun domains ->
+        let r, dt =
+          Tsj_util.Timer.wall (fun () ->
+              Faults.run_kill_and_resume ~domains ~kill_at_block:1 ~trees ~tau ())
+        in
+        let identical = Types.equal_deterministic r.Faults.uninterrupted r.Faults.resumed in
+        if not identical then
+          failwith
+            (Printf.sprintf
+               "Experiments.resilience: resumed output differs at %d domain(s)" domains);
+        [
+          string_of_int domains;
+          (if r.Faults.killed then "yes" else "no (too few blocks)");
+          Table.count (List.length r.Faults.resumed.Types.pairs);
+          (if identical then "yes" else "NO");
+          Table.seconds dt;
+        ])
+      domain_counts
+  in
+  printf config "\n  (tau = %d, %d trees, crash injected at block 1, journal every block)\n"
+    tau n;
+  Table.print ~out:config.out
+    ~header:[ "domains"; "crashed"; "pairs"; "resume identical"; "scenario time" ]
+    ~align:[ Table.Right; Left; Right; Left; Right ]
+    rows;
+  (* Graceful degradation: a tiny per-pair budget must cost results only
+     to the quarantine record, never invent pairs or lose one silently. *)
+  let r = Faults.run_budgeted ~domains:config.domains ~pair_cost_limit:1 ~trees ~tau () in
+  if r.Faults.false_positives <> [] then
+    failwith "Experiments.resilience: budgeted join reported a false positive";
+  if r.Faults.unaccounted <> [] then
+    failwith "Experiments.resilience: budgeted join lost a pair without quarantining it";
+  printf config
+    "\n  per-pair budget 1: %d/%d pairs reported, %d quarantined, 0 false positives, \
+     0 unaccounted\n"
+    (List.length r.Faults.budgeted.Types.pairs)
+    (List.length r.Faults.truth.Types.pairs)
+    (List.length r.Faults.budgeted.Types.quarantined)
+
 let run_all config =
   fig10_11 config;
   fig12_13 config;
@@ -520,4 +578,5 @@ let run_all config =
   ablation config;
   parallel config;
   perf config;
-  streaming config
+  streaming config;
+  resilience config

@@ -57,5 +57,14 @@ val streaming : config -> unit
 (** Extension bench: cumulative throughput of the incremental
     (streaming) join as the history grows. *)
 
+val resilience : config -> unit
+(** Extension bench: the resilient-execution scenarios.  Runs a
+    kill-and-resume (injected crash between blocks, checkpoint journal
+    every block) at one domain and at the configured parallel count,
+    asserting the resumed output bit-identical to an uninterrupted run;
+    then a tiny per-pair budget, asserting no false positives and
+    completeness up to the quarantined set.
+    @raise Failure on any violation. *)
+
 val run_all : config -> unit
 (** Everything above, in paper order, extensions last. *)

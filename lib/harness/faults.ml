@@ -1,0 +1,81 @@
+module Types = Tsj_join.Types
+module Fault = Tsj_util.Fault_inject
+module Checkpoint = Tsj_join.Checkpoint
+module Budget = Tsj_join.Budget
+
+type kill_report = {
+  killed : bool;
+  uninterrupted : Types.output;
+  resumed : Types.output;
+}
+
+let fresh_journal () =
+  let path = Filename.temp_file "tsj_ckpt" ".journal" in
+  Sys.remove path;
+  path
+
+let run_kill_and_resume ?(domains = 1) ?(kill_at_block = 1) ?journal ~trees ~tau () =
+  let path = match journal with Some p -> p | None -> fresh_journal () in
+  if Sys.file_exists path then Sys.remove path;
+  let uninterrupted = Tsj_core.Partsj.join ~domains ~trees ~tau () in
+  (* Crash run: the injected raise fires at the top of block
+     [kill_at_block], after the previous block's journal entry — the
+     worst case a real kill can leave behind. *)
+  let killed =
+    match
+      Fault.with_armed "partsj.block" ~at:kill_at_block (fun () ->
+          Tsj_core.Partsj.join ~domains
+            ~checkpoint:(Checkpoint.config path)
+            ~trees ~tau ())
+    with
+    | _ -> false (* too few blocks to reach the kill point *)
+    | exception Fault.Injected _ -> true
+  in
+  let resumed =
+    Tsj_core.Partsj.join ~domains
+      ~checkpoint:(Checkpoint.config ~resume:true path)
+      ~trees ~tau ()
+  in
+  if journal = None && Sys.file_exists path then Sys.remove path;
+  { killed; uninterrupted; resumed }
+
+type budget_report = {
+  truth : Types.output;
+  budgeted : Types.output;
+  false_positives : Types.pair list;
+  unaccounted : Types.pair list;
+}
+
+let quarantined_ids out =
+  List.fold_left
+    (fun acc q ->
+      match q.Types.q_j with
+      | None -> (q.Types.q_i, q.Types.q_i) :: acc
+      | Some j -> (min q.Types.q_i j, max q.Types.q_i j) :: acc)
+    [] out.Types.quarantined
+
+let covered out p =
+  let i = min p.Types.i p.Types.j and j = max p.Types.i p.Types.j in
+  List.exists
+    (fun (a, b) -> (a = b && (a = i || a = j)) || (a = i && b = j))
+    (quarantined_ids out)
+
+let run_budgeted ?(domains = 1) ~pair_cost_limit ~trees ~tau () =
+  let truth = Tsj_core.Partsj.join ~domains ~trees ~tau () in
+  let budget = Budget.create ~pair_cost_limit () in
+  let budgeted = Tsj_core.Partsj.join ~domains ~budget ~trees ~tau () in
+  let false_positives =
+    List.filter (fun p -> not (List.mem p truth.Types.pairs)) budgeted.Types.pairs
+  in
+  let unaccounted =
+    List.filter
+      (fun p -> (not (List.mem p budgeted.Types.pairs)) && not (covered budgeted p))
+      truth.Types.pairs
+  in
+  { truth; budgeted; false_positives; unaccounted }
+
+let truncate_file path ~keep_bytes =
+  let contents = In_channel.with_open_bin path In_channel.input_all in
+  let keep = min keep_bytes (String.length contents) in
+  Out_channel.with_open_bin path (fun oc ->
+      Out_channel.output_string oc (String.sub contents 0 keep))

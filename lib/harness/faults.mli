@@ -1,0 +1,57 @@
+(** Fault-injection scenario drivers for the resilient PartSJ execution.
+
+    Each driver runs a complete scenario against {!Tsj_core.Partsj} using
+    the {!Tsj_util.Fault_inject} hit points and returns the raw outputs
+    for the caller (tests, {!Experiments.resilience}) to assert on.  All
+    drivers disarm their injections on every exit path. *)
+
+type kill_report = {
+  killed : bool;
+      (** the injected crash actually fired (false when the collection
+          has too few blocks to reach the kill point) *)
+  uninterrupted : Tsj_join.Types.output;  (** reference run, no checkpoint *)
+  resumed : Tsj_join.Types.output;        (** run resumed from the crash journal *)
+}
+
+val run_kill_and_resume :
+  ?domains:int ->
+  ?kill_at_block:int ->
+  ?journal:string ->
+  trees:Tsj_tree.Tree.t array ->
+  tau:int ->
+  unit ->
+  kill_report
+(** Runs the join uninterrupted; reruns it with a block-granular
+    checkpoint journal and an injected crash at the top of block
+    [kill_at_block] (default 1); resumes from the journal.  A correct
+    implementation yields
+    [Types.equal_deterministic uninterrupted resumed = true].
+    [journal] defaults to a fresh temp path, removed afterwards. *)
+
+type budget_report = {
+  truth : Tsj_join.Types.output;     (** unbudgeted reference run *)
+  budgeted : Tsj_join.Types.output;  (** run under the per-pair budget *)
+  false_positives : Tsj_join.Types.pair list;
+      (** budgeted pairs absent from the truth — must be [[]] *)
+  unaccounted : Tsj_join.Types.pair list;
+      (** truth pairs neither reported nor covered by a quarantine
+          record — must be [[]] (completeness up to the quarantined
+          set) *)
+}
+
+val run_budgeted :
+  ?domains:int ->
+  pair_cost_limit:int ->
+  trees:Tsj_tree.Tree.t array ->
+  tau:int ->
+  unit ->
+  budget_report
+(** Soundness scenario for graceful degradation under a per-pair
+    verification budget. *)
+
+val truncate_file : string -> keep_bytes:int -> unit
+(** Truncates a file in place — corrupts a checkpoint journal for the
+    torn-journal scenarios. *)
+
+val fresh_journal : unit -> string
+(** A fresh non-existent temp path for a checkpoint journal. *)

@@ -25,8 +25,20 @@ val all : t list
 val paper_methods : t list
 (** [STR; SET; PRT] — the three lines of every figure. *)
 
+val supports_resilience : t -> bool
+(** Whether {!run}'s [budget]/[checkpoint] options have any effect:
+    [true] for the PartSJ variants, [false] for the baselines. *)
+
 val run :
-  ?domains:int -> t -> trees:Tsj_tree.Tree.t array -> tau:int -> Tsj_join.Types.output
+  ?domains:int ->
+  ?budget:Tsj_join.Budget.t ->
+  ?checkpoint:Tsj_join.Checkpoint.config ->
+  t ->
+  trees:Tsj_tree.Tree.t array ->
+  tau:int ->
+  Tsj_join.Types.output
 (** [domains] (default 1) is forwarded to the PartSJ variants, which run
     their whole pipeline on that many OCaml domains; the baselines are
-    sequential and ignore it. *)
+    sequential and ignore it.  [budget] and [checkpoint] enable the
+    resilient execution of {!Tsj_core.Partsj} and are likewise
+    PartSJ-only (see {!supports_resilience}). *)

@@ -1,0 +1,44 @@
+type t = {
+  deadline : float option; (* absolute Timer.now () instant *)
+  pair_cost_limit : int option;
+  stop : bool Atomic.t;
+}
+
+let create ?time_budget_s ?pair_cost_limit () =
+  (match time_budget_s with
+  | Some s when s < 0.0 -> invalid_arg "Budget.create: negative time budget"
+  | _ -> ());
+  (match pair_cost_limit with
+  | Some l when l < 0 -> invalid_arg "Budget.create: negative pair cost limit"
+  | _ -> ());
+  {
+    deadline = Option.map (fun s -> Tsj_util.Timer.now () +. s) time_budget_s;
+    pair_cost_limit;
+    stop = Atomic.make false;
+  }
+
+let cancel t = Atomic.set t.stop true
+
+let stop_flag t = t.stop
+
+let stopped t = Atomic.get t.stop
+
+let live t =
+  if Atomic.get t.stop then false
+  else begin
+    Tsj_util.Fault_inject.hit "budget.live" 0;
+    match t.deadline with
+    | Some d when Tsj_util.Timer.now () > d ->
+      (* Latch: once over the deadline every worker sees the stop flag
+         without re-reading the clock. *)
+      Atomic.set t.stop true;
+      false
+    | _ -> true
+  end
+
+let pair_cost size_a size_b = size_a * size_b
+
+let pair_within t ~cost =
+  match t.pair_cost_limit with None -> true | Some limit -> cost <= limit
+
+let has_pair_limit t = t.pair_cost_limit <> None

@@ -1,0 +1,50 @@
+(** Cooperative execution budgets for long-running joins.
+
+    A budget couples two limits with one atomic stop flag:
+
+    - a {b wall-clock budget} ([time_budget_s], anchored at {!create}):
+      once exceeded, {!live} latches the stop flag, the {!Pool}
+      schedulers stop claiming chunks (every pool entry point accepts
+      [?stop]), the join drains promptly, and all unprocessed work is
+      diverted to the quarantine record of the output — the pool itself
+      stays reusable;
+    - a {b per-pair verification budget} ([pair_cost_limit], in
+      deterministic cost units, see {!pair_cost}): a candidate pair
+      whose exact-kernel cost estimate exceeds the limit is quarantined
+      with its bound sandwich instead of being verified.  Because the
+      cost model is a pure function of the pair, budgeted joins remain
+      bit-identical at every domain count.
+
+    {!cancel} sets the same stop flag directly — cooperative
+    cancellation from another domain or a signal handler. *)
+
+type t
+
+val create : ?time_budget_s:float -> ?pair_cost_limit:int -> unit -> t
+(** Anchors the wall clock at the call.  Omitted limits are unlimited.
+    @raise Invalid_argument on a negative limit. *)
+
+val cancel : t -> unit
+(** Request cooperative cancellation: sets the stop flag; workers stop
+    at the next chunk/task boundary. *)
+
+val live : t -> bool
+(** Poll: [false] once cancelled or past the deadline (latching the stop
+    flag on the first expired poll).  Checked by the join at block,
+    task and chunk boundaries. *)
+
+val stopped : t -> bool
+(** The stop flag, without consulting the clock. *)
+
+val stop_flag : t -> bool Atomic.t
+(** The raw flag, to thread into {!Pool.for_} / {!Pool.run_tasks}. *)
+
+val pair_cost : int -> int -> int
+(** [pair_cost n1 n2 = n1 * n2] — the deterministic per-pair cost model
+    (the Zhang–Shasha kernel is [O(n1 n2)] per relevant-subproblem pair,
+    so the node product tracks its worst case). *)
+
+val pair_within : t -> cost:int -> bool
+(** Whether a pair of this cost may run the exact kernel. *)
+
+val has_pair_limit : t -> bool

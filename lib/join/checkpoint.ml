@@ -1,0 +1,228 @@
+type config = { path : string; every : int; resume : bool }
+
+let config ?(every = 1) ?(resume = false) path =
+  if every < 1 then invalid_arg "Checkpoint.config: every must be >= 1";
+  { path; every; resume }
+
+type state = {
+  fingerprint : string;
+  blocks_done : int;
+  pairs : Types.pair list;
+  quarantined : Types.quarantined list;
+  n_candidates : int;
+  stage_counts : int array;
+  n_probed : int;
+  n_matched : int;
+  n_small_hits : int;
+  n_indexed : int;
+}
+
+let magic = "tsjckpt 1"
+
+(* --- serialization --- *)
+
+(* Messages are stored as a single whitespace-free token: OCaml-lexer
+   escapes plus [\032] for the spaces [String.escaped] leaves alone, so
+   [Scanf.unescaped] round-trips them. *)
+let escape_msg msg =
+  String.concat "\\032" (String.split_on_char ' ' (String.escaped msg))
+
+let quarantined_line q =
+  let b = Buffer.create 32 in
+  Buffer.add_string b "q ";
+  (match (q.Types.q_j, q.Types.q_reason) with
+  | Some j, Types.Pair_budget { lower; upper } ->
+    Buffer.add_string b (Printf.sprintf "pair_budget %d %d %d %d" q.Types.q_i j lower upper)
+  | Some j, Types.Verify_failed msg ->
+    Buffer.add_string b
+      (Printf.sprintf "verify_failed %d %d %s" q.Types.q_i j (escape_msg msg))
+  | Some j, Types.Deadline ->
+    Buffer.add_string b (Printf.sprintf "deadline_pair %d %d" q.Types.q_i j)
+  | None, Types.Deadline -> Buffer.add_string b (Printf.sprintf "deadline_tree %d" q.Types.q_i)
+  | None, Types.Preprocess_failed msg ->
+    Buffer.add_string b (Printf.sprintf "prep %d %s" q.Types.q_i (escape_msg msg))
+  | _, Types.Malformed { line; col; message } ->
+    Buffer.add_string b
+      (Printf.sprintf "malformed %d %d %d %s" q.Types.q_i line col (escape_msg message))
+  | Some j, Types.Preprocess_failed msg ->
+    (* Shouldn't occur (prep is per-tree), but keep the journal total. *)
+    Buffer.add_string b
+      (Printf.sprintf "verify_failed %d %d %s" q.Types.q_i j (escape_msg msg))
+  | None, (Types.Pair_budget _ | Types.Verify_failed _) ->
+    Buffer.add_string b (Printf.sprintf "deadline_tree %d" q.Types.q_i));
+  Buffer.contents b
+
+let parse_quarantined_line line =
+  match String.split_on_char ' ' line with
+  | "q" :: "pair_budget" :: i :: j :: lower :: upper :: [] ->
+    Some
+      {
+        Types.q_i = int_of_string i;
+        q_j = Some (int_of_string j);
+        q_reason =
+          Types.Pair_budget { lower = int_of_string lower; upper = int_of_string upper };
+      }
+  | "q" :: "verify_failed" :: i :: j :: [ msg ] ->
+    Some
+      {
+        Types.q_i = int_of_string i;
+        q_j = Some (int_of_string j);
+        q_reason = Types.Verify_failed (Scanf.unescaped msg);
+      }
+  | "q" :: "deadline_pair" :: i :: j :: [] ->
+    Some
+      { Types.q_i = int_of_string i; q_j = Some (int_of_string j); q_reason = Types.Deadline }
+  | "q" :: "deadline_tree" :: i :: [] ->
+    Some { Types.q_i = int_of_string i; q_j = None; q_reason = Types.Deadline }
+  | "q" :: "prep" :: i :: [ msg ] ->
+    Some
+      {
+        Types.q_i = int_of_string i;
+        q_j = None;
+        q_reason = Types.Preprocess_failed (Scanf.unescaped msg);
+      }
+  | "q" :: "malformed" :: i :: line_ :: col :: [ msg ] ->
+    Some
+      {
+        Types.q_i = int_of_string i;
+        q_j = None;
+        q_reason =
+          Types.Malformed
+            {
+              line = int_of_string line_;
+              col = int_of_string col;
+              message = Scanf.unescaped msg;
+            };
+      }
+  | _ -> None
+
+let body_of_state st =
+  let b = Buffer.create 1024 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string b s; Buffer.add_char b '\n') fmt in
+  line "%s" magic;
+  line "fingerprint %s" st.fingerprint;
+  line "blocks %d" st.blocks_done;
+  line "counters %d %d %d %d %d" st.n_candidates st.n_probed st.n_matched st.n_small_hits
+    st.n_indexed;
+  line "stages %d %s" (Array.length st.stage_counts)
+    (String.concat " " (Array.to_list (Array.map string_of_int st.stage_counts)));
+  line "pairs %d" (List.length st.pairs);
+  List.iter (fun p -> line "p %d %d %d" p.Types.i p.Types.j p.Types.distance) st.pairs;
+  line "quarantine %d" (List.length st.quarantined);
+  List.iter (fun q -> line "%s" (quarantined_line q)) st.quarantined;
+  Buffer.contents b
+
+let save ~path st =
+  let body = body_of_state st in
+  let crc = Tsj_util.Text.fnv1a64_hex body in
+  let tmp = path ^ ".tmp" in
+  Out_channel.with_open_bin tmp (fun oc ->
+      Out_channel.output_string oc body;
+      Out_channel.output_string oc ("end " ^ crc ^ "\n"));
+  (* Atomic publication: a kill mid-save leaves either the previous valid
+     journal or a stray .tmp, never a torn journal at [path]. *)
+  Sys.rename tmp path
+
+(* --- deserialization --- *)
+
+exception Bad of string
+
+let load path =
+  if not (Sys.file_exists path) then Ok None
+  else
+    match In_channel.with_open_bin path In_channel.input_all with
+    | exception Sys_error msg -> Error msg
+    | contents -> (
+      try
+        (* Split off the trailer and check the body checksum first: any
+           truncation or bit-rot is reported as corruption, not as a
+           confusing parse error. *)
+        let body, trailer =
+          match String.rindex_opt (String.trim contents) '\n' with
+          | None -> raise (Bad "truncated journal (no trailer)")
+          | Some _ ->
+            let lines = String.split_on_char '\n' contents in
+            let lines = List.filter (fun l -> l <> "") lines in
+            (match List.rev lines with
+            | last :: rev_body when String.length last > 4 && String.sub last 0 4 = "end " ->
+              ( String.concat "\n" (List.rev rev_body) ^ "\n",
+                String.sub last 4 (String.length last - 4) )
+            | _ -> raise (Bad "truncated journal (missing end marker)"))
+        in
+        if Tsj_util.Text.fnv1a64_hex body <> String.trim trailer then
+          raise (Bad "checksum mismatch (corrupt or truncated journal)");
+        let lines = ref (String.split_on_char '\n' (String.trim body)) in
+        let next () =
+          match !lines with
+          | [] -> raise (Bad "unexpected end of journal")
+          | l :: rest ->
+            lines := rest;
+            l
+        in
+        let expect_prefix prefix =
+          let l = next () in
+          let n = String.length prefix in
+          if String.length l < n || String.sub l 0 n <> prefix then
+            raise (Bad (Printf.sprintf "expected %S, found %S" prefix l));
+          String.trim (String.sub l n (String.length l - n))
+        in
+        let ints s = List.map int_of_string (String.split_on_char ' ' (String.trim s)) in
+        if next () <> magic then raise (Bad "not a tsj checkpoint journal");
+        let fingerprint = expect_prefix "fingerprint " in
+        let blocks_done = int_of_string (expect_prefix "blocks ") in
+        let n_candidates, n_probed, n_matched, n_small_hits, n_indexed =
+          match ints (expect_prefix "counters ") with
+          | [ a; b; c; d; e ] -> (a, b, c, d, e)
+          | _ -> raise (Bad "bad counters line")
+        in
+        let stage_counts =
+          match ints (expect_prefix "stages ") with
+          | k :: rest when List.length rest = k -> Array.of_list rest
+          | _ -> raise (Bad "bad stages line")
+        in
+        let n_pairs = int_of_string (expect_prefix "pairs ") in
+        let pairs =
+          List.init n_pairs (fun _ ->
+              match ints (expect_prefix "p ") with
+              | [ i; j; d ] -> { Types.i; j; distance = d }
+              | _ -> raise (Bad "bad pair line"))
+        in
+        let n_quar = int_of_string (expect_prefix "quarantine ") in
+        let quarantined =
+          List.init n_quar (fun _ ->
+              match parse_quarantined_line (next ()) with
+              | Some q -> q
+              | None -> raise (Bad "bad quarantine line"))
+        in
+        Ok
+          (Some
+             {
+               fingerprint;
+               blocks_done;
+               pairs;
+               quarantined;
+               n_candidates;
+               stage_counts;
+               n_probed;
+               n_matched;
+               n_small_hits;
+               n_indexed;
+             })
+      with
+      | Bad msg -> Error msg
+      | Failure _ | Scanf.Scan_failure _ -> Error "malformed journal field")
+
+let fingerprint ~tau ~params trees =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b (string_of_int (Array.length trees));
+  Buffer.add_char b '\n';
+  Buffer.add_string b (string_of_int tau);
+  Buffer.add_char b '\n';
+  Buffer.add_string b params;
+  Buffer.add_char b '\n';
+  Array.iter
+    (fun t ->
+      Buffer.add_string b (Tsj_tree.Bracket.to_string t);
+      Buffer.add_char b '\n')
+    trees;
+  Tsj_util.Text.fnv1a64_hex (Buffer.contents b)

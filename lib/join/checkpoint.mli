@@ -1,0 +1,58 @@
+(** Progress journal for long-running joins.
+
+    The PartSJ sweep processes trees in ascending-size blocks and is
+    deterministic (the only randomness, the [Random] partitioning seed,
+    is replayed); a checkpoint therefore only needs the {e outputs}
+    accumulated so far — emitted pairs, quarantine records, the
+    deterministic counters — plus the number of completed blocks.  On
+    resume the join rebuilds the in-memory index by replaying the
+    indexing (not the probing or verification) of the completed blocks
+    and continues mid-sweep, producing bit-identical final output to an
+    uninterrupted run.
+
+    The journal is a line-oriented text file finished by an
+    [end <fnv64>] trailer over the body; {!save} writes to a temp file
+    and renames, so a kill mid-save can never tear the journal, and
+    {!load} reports any truncated or bit-rotten file as an [Error]
+    rather than resuming from a lie. *)
+
+type config = {
+  path : string;   (** journal location *)
+  every : int;     (** checkpoint every [every] completed blocks *)
+  resume : bool;   (** load [path] and continue from it if it exists *)
+}
+
+val config : ?every:int -> ?resume:bool -> string -> config
+(** [every] defaults to 1 (journal after every block — the sweep then
+    drains its pipelined verification batch at each block boundary so
+    the journal never names unverified candidates).
+    @raise Invalid_argument if [every < 1]. *)
+
+type state = {
+  fingerprint : string;
+      (** hash of the input collection and join parameters; a resumed
+          join refuses a journal whose fingerprint differs *)
+  blocks_done : int;
+  pairs : Types.pair list;            (** in emission order *)
+  quarantined : Types.quarantined list;
+      (** sweep-emitted quarantine records only — preprocessing
+          quarantine is deterministic and regenerated on resume *)
+  n_candidates : int;
+  stage_counts : int array;
+  n_probed : int;
+  n_matched : int;
+  n_small_hits : int;
+  n_indexed : int;
+}
+
+val save : path:string -> state -> unit
+(** Atomic (write + rename) journal write. *)
+
+val load : string -> (state option, string) result
+(** [Ok None] when the file does not exist (fresh start); [Error msg]
+    when it exists but is truncated, checksum-corrupt or malformed. *)
+
+val fingerprint : tau:int -> params:string -> Tsj_tree.Tree.t array -> string
+(** Dataset + parameter fingerprint stored in (and checked against) the
+    journal.  [params] encodes every option that changes the sweep
+    (partitioning, index mode, metric, verifier flags). *)

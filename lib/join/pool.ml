@@ -128,20 +128,28 @@ let run t ?(width = max_int) body =
    every index is claimed by exactly one worker no matter who drains the
    region.  The cursor may overshoot [hi] (failed claims), which only
    signals dryness. *)
-let for_ t ?(chunk = 0) ?(width = max_int) n f =
+let for_ t ?(chunk = 0) ?stop ?(width = max_int) n f =
   if n < 0 then invalid_arg "Pool.for_: negative range";
   let width = max 1 (min (min width t.size) n) in
+  let stopped () = match stop with None -> false | Some s -> Atomic.get s in
   if n = 0 then ()
-  else if width = 1 || t.size = 1 then
-    for i = 0 to n - 1 do
-      f i
+  else if width = 1 || t.size = 1 then begin
+    let i = ref 0 in
+    while !i < n && not (stopped ()) do
+      f !i;
+      incr i
     done
+  end
   else begin
     let chunk = if chunk > 0 then chunk else max 1 (min 128 (n / (width * 8))) in
     let lo = Array.init width (fun r -> r * n / width) in
     let hi = Array.init width (fun r -> (r + 1) * n / width) in
     let cursor = Array.init width (fun r -> Atomic.make lo.(r)) in
     let failed = Atomic.make false in
+    (* A halted job (first exception, or the caller's cooperative stop
+       flag) claims no further chunks; started chunks run to completion,
+       so halting never tears a running [f] mid-index. *)
+    let halted () = Atomic.get failed || stopped () in
     let claim r =
       let pos = Atomic.fetch_and_add cursor.(r) chunk in
       if pos >= hi.(r) then None else Some (pos, min hi.(r) (pos + chunk))
@@ -159,13 +167,13 @@ let for_ t ?(chunk = 0) ?(width = max_int) n f =
       (* Drain the worker's own region first (locality), then steal from
          the region with the most unclaimed work left. *)
       let exhausted = ref false in
-      while (not !exhausted) && not (Atomic.get failed) do
+      while (not !exhausted) && not (halted ()) do
         match claim slot with
         | Some range -> run_range range
         | None -> exhausted := true
       done;
       let dry = ref false in
-      while (not !dry) && not (Atomic.get failed) do
+      while (not !dry) && not (halted ()) do
         let victim = ref (-1) and best = ref 0 in
         for r = 0 to width - 1 do
           let left = hi.(r) - Atomic.get cursor.(r) in
@@ -184,7 +192,8 @@ let for_ t ?(chunk = 0) ?(width = max_int) n f =
     run t ~width body
   end
 
-let run_tasks t ?width tasks = for_ t ?width ~chunk:1 (Array.length tasks) (fun i -> tasks.(i) ())
+let run_tasks t ?stop ?width tasks =
+  for_ t ?stop ?width ~chunk:1 (Array.length tasks) (fun i -> tasks.(i) ())
 
 let map t ?chunk ?width f xs =
   let n = Array.length xs in

@@ -36,17 +36,24 @@ val run : t -> ?width:int -> (int -> unit) -> unit
     after the job completes.  @raise Invalid_argument on a nested job or a
     shut-down pool. *)
 
-val for_ : t -> ?chunk:int -> ?width:int -> int -> (int -> unit) -> unit
-(** [for_ t n f] calls [f i] exactly once for every [i] in [0 .. n - 1],
-    in parallel with dynamic chunk stealing.  [chunk] is the claiming
-    granularity (default: an automatic size targeting several chunks per
-    worker, capped at 128).  After an exception, remaining chunks are
-    abandoned (every started chunk still runs to completion or failure). *)
+val for_ : t -> ?chunk:int -> ?stop:bool Atomic.t -> ?width:int -> int -> (int -> unit) -> unit
+(** [for_ t n f] calls [f i] at most once for every [i] in [0 .. n - 1]
+    — exactly once unless the job halts — in parallel with dynamic chunk
+    stealing.  [chunk] is the claiming granularity (default: an
+    automatic size targeting several chunks per worker, capped at 128).
+    [stop] is a cooperative cancellation flag (see {!Budget}): once it
+    reads [true], no further chunks are claimed, every started chunk
+    still runs to completion, and [for_] returns normally — the caller
+    is responsible for knowing (via the flag) that the range may be
+    incomplete.  After an exception, remaining chunks are likewise
+    abandoned and the first exception is re-raised; the pool stays
+    usable either way. *)
 
-val run_tasks : t -> ?width:int -> (unit -> unit) array -> unit
+val run_tasks : t -> ?stop:bool Atomic.t -> ?width:int -> (unit -> unit) array -> unit
 (** [run_tasks t tasks] runs every closure exactly once, claimed one task
     at a time — the right granularity for heterogeneous task batches
-    (e.g. index probes mixed with deferred verifications). *)
+    (e.g. index probes mixed with deferred verifications).  [stop] as in
+    {!for_}: a stopped batch skips unclaimed tasks. *)
 
 val map : t -> ?chunk:int -> ?width:int -> ('a -> 'b) -> 'a array -> 'b array
 (** Parallel [Array.map].  The output buffer is seeded with the image of

@@ -72,6 +72,7 @@ let windowed_join ?(metric = Ted) ~trees ~tau ~setup ~filter () =
   let pairs = List.rev !results in
   {
     Types.pairs;
+    quarantined = [];
     stats =
       {
         Types.n_trees = n;

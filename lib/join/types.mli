@@ -6,13 +6,51 @@
     mirrors the paper's evaluation: the number of candidate pairs sent to
     exact TED verification (Figures 11/13) and the runtime split between
     candidate generation and TED computation (the stacked bars of
-    Figures 10/12). *)
+    Figures 10/12).
+
+    {b Quarantine.}  Resilient joins never abort on a pathological
+    record: work that cannot be completed (a tree whose preprocessing
+    raises, a pair whose verification exceeds the per-pair budget, work
+    left when the wall-clock budget expires) is diverted to the
+    [quarantined] list of the output with a machine-readable reason.
+    The soundness contract is: [pairs] contains no false positives, and
+    the join is complete up to the quarantined set — every true result
+    pair not in [pairs] involves a quarantined tree or is itself a
+    quarantined pair. *)
 
 type pair = {
   i : int;       (** index of the first tree in the input array *)
   j : int;       (** index of the second tree; [i < j] *)
   distance : int;(** their exact tree edit distance, [<= τ] *)
 }
+
+(** Why a record was quarantined instead of processed. *)
+type quarantine_reason =
+  | Malformed of { line : int; col : int; message : string }
+      (** an input record that failed to parse under [--skip-malformed];
+          the index is the 0-based record ordinal in the input file, not
+          a tree index *)
+  | Preprocess_failed of string
+      (** preprocessing (TED prep, LC-RS transform, bound compilation)
+          raised; the tree takes part in no pair *)
+  | Pair_budget of { lower : int; upper : int }
+      (** the pair's exact-kernel cost estimate exceeded the per-pair
+          budget; [lower]/[upper] are the TED bounds established before
+          quarantining ([lower <= TED <= upper]) *)
+  | Verify_failed of string  (** the verifier raised on this pair *)
+  | Deadline
+      (** the wall-clock budget expired (or the join was cancelled)
+          before this tree/pair was processed *)
+
+type quarantined = {
+  q_i : int;           (** tree index (or first of the pair, [q_i < q_j]) *)
+  q_j : int option;    (** [Some j] for a pair, [None] for a whole tree *)
+  q_reason : quarantine_reason;
+}
+
+val pp_quarantine_reason : Format.formatter -> quarantine_reason -> unit
+
+val pp_quarantined : Format.formatter -> quarantined -> unit
 
 type cascade = {
   pruned_size : int;  (** rejected by the size lower bound *)
@@ -22,6 +60,10 @@ type cascade = {
   early_accepted : int;
       (** admitted without a kernel run: the lower and upper bounds met *)
   kernel_verified : int;  (** decided by the exact (banded) DP kernel *)
+  quarantined : int;
+      (** candidate pairs diverted to quarantine (budget, verifier
+          failure, deadline) — counted here so the stage counters still
+          partition the candidate set *)
 }
 (** Per-stage counters of the verification filter cascade.  For every
     join they partition the candidate set:
@@ -49,7 +91,13 @@ type stats = {
       (** how the verifier decided the candidates, stage by stage *)
 }
 
-type output = { pairs : pair list; stats : stats }
+type output = {
+  pairs : pair list;
+  quarantined : quarantined list;
+      (** records/trees/pairs skipped by the resilience layer (empty for
+          non-resilient methods and for clean runs) *)
+  stats : stats;
+}
 
 val total_time_s : stats -> float
 
@@ -59,5 +107,11 @@ val pair_set : output -> (int * int) list
 
 val equal_results : output -> output -> bool
 (** Same set of pairs (distances included). *)
+
+val equal_deterministic : output -> output -> bool
+(** {!equal_results} plus the quarantine set and every deterministic
+    counter (candidates, results, cascade stages) — the equality the
+    checkpoint/resume and cross-domain-count guarantees are stated in
+    (wall-clock timings excluded). *)
 
 val pp_stats : Format.formatter -> stats -> unit

@@ -23,12 +23,17 @@ let to_string t =
   go t;
   Buffer.contents b
 
-exception Parse_error of string
+(* Parse errors carry the byte offset of the offending character; the
+   public entry points format it as a 1-based line/column so callers can
+   point the user at the record, not a raw byte offset. *)
+exception Parse_error of int * string
 
 type cursor = { input : string; mutable pos : int }
 
-let error cur msg =
-  raise (Parse_error (Printf.sprintf "at offset %d: %s" cur.pos msg))
+let error cur msg = raise (Parse_error (cur.pos, msg))
+
+let describe input pos msg =
+  Printf.sprintf "%s: %s" (Tsj_util.Text.describe_pos input pos) msg
 
 let peek cur =
   if cur.pos < String.length cur.input then Some cur.input.[cur.pos] else None
@@ -108,7 +113,7 @@ let of_string s =
     t
   with
   | t -> Ok t
-  | exception Parse_error msg -> Error msg
+  | exception Parse_error (pos, msg) -> Error (describe s pos msg)
 
 let of_string_exn s =
   match of_string s with
@@ -131,11 +136,51 @@ let forest_of_string s =
     List.rev !acc
   with
   | ts -> Ok ts
-  | exception Parse_error msg -> Error msg
+  | exception Parse_error (pos, msg) -> Error (describe s pos msg)
+
+(* Lenient forest parse: on a malformed record, report its 1-based
+   line/column and resynchronize at the start of the next line.  Records
+   spanning multiple lines lose the spilled lines too — acceptable for
+   the record-per-line corpora this serves. *)
+let forest_of_string_lenient s =
+  let cur = { input = s; pos = 0 } in
+  let trees = ref [] in
+  let errors = ref [] in
+  let resync_next_line from =
+    let next =
+      match String.index_from_opt s from '\n' with
+      | Some nl -> nl + 1
+      | None -> String.length s
+    in
+    (* Always make progress, even on an error at a line boundary. *)
+    cur.pos <- max next (from + 1)
+  in
+  let rec go () =
+    skip_ws cur;
+    match peek cur with
+    | None -> ()
+    | Some _ -> (
+      match parse_tree cur with
+      | t ->
+        trees := t :: !trees;
+        go ()
+      | exception Parse_error (pos, msg) ->
+        let line, col = Tsj_util.Text.line_col s pos in
+        errors := (line, col, msg) :: !errors;
+        resync_next_line pos;
+        if cur.pos < String.length s then go ())
+  in
+  go ();
+  (List.rev !trees, List.rev !errors)
 
 let load_file path =
   match In_channel.with_open_text path In_channel.input_all with
   | contents -> forest_of_string contents
+  | exception Sys_error msg -> Error msg
+
+let load_file_lenient path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | contents -> Ok (forest_of_string_lenient contents)
   | exception Sys_error msg -> Error msg
 
 let save_file path trees =

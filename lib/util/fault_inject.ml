@@ -1,0 +1,73 @@
+exception Injected of string
+
+(* Fast path: a single atomic load when nothing is armed, so the hit
+   points sprinkled through the join hot paths cost nothing in
+   production.  The registry itself is mutex-protected because hits can
+   fire concurrently from worker domains. *)
+let armed_count = Atomic.make 0
+
+type action = Raise_at of int option | Call of (int -> unit)
+
+let registry : (string, action) Hashtbl.t = Hashtbl.create 8
+
+let mutex = Mutex.create ()
+
+let with_lock f =
+  Mutex.lock mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock mutex) f
+
+let counters : (string, int Atomic.t) Hashtbl.t = Hashtbl.create 8
+
+let counter key =
+  with_lock (fun () ->
+      match Hashtbl.find_opt counters key with
+      | Some c -> c
+      | None ->
+        let c = Atomic.make 0 in
+        Hashtbl.add counters key c;
+        c)
+
+let arm key ?at () =
+  with_lock (fun () ->
+      if not (Hashtbl.mem registry key) then Atomic.incr armed_count;
+      Hashtbl.replace registry key (Raise_at at))
+
+let arm_action key f =
+  with_lock (fun () ->
+      if not (Hashtbl.mem registry key) then Atomic.incr armed_count;
+      Hashtbl.replace registry key (Call f))
+
+let disarm key =
+  with_lock (fun () ->
+      if Hashtbl.mem registry key then begin
+        Hashtbl.remove registry key;
+        Atomic.decr armed_count
+      end)
+
+let disarm_all () =
+  with_lock (fun () ->
+      Hashtbl.reset registry;
+      Atomic.set armed_count 0)
+
+let hits key =
+  match with_lock (fun () -> Hashtbl.find_opt counters key) with
+  | Some c -> Atomic.get c
+  | None -> 0
+
+let hit key payload =
+  if Atomic.get armed_count > 0 then begin
+    (* Look up under the lock, act outside it: actions raise. *)
+    let action = with_lock (fun () -> Hashtbl.find_opt registry key) in
+    match action with
+    | None -> ()
+    | Some a -> (
+      Atomic.incr (counter key);
+      match a with
+      | Raise_at None -> raise (Injected key)
+      | Raise_at (Some at) -> if payload = at then raise (Injected key)
+      | Call f -> f payload)
+  end
+
+let with_armed key ?at f =
+  arm key ?at ();
+  Fun.protect ~finally:(fun () -> disarm key) f

@@ -1,0 +1,38 @@
+(** Fault-injection registry for resilience testing.
+
+    Library code marks interesting failure points with
+    [Fault_inject.hit "some.point" payload]; tests arm a point to make
+    that call raise {!Injected} (or run an arbitrary action, e.g. cancel
+    a budget) and then assert that the surrounding machinery degrades
+    gracefully — quarantines the work item, keeps the domain pool
+    usable, resumes from a checkpoint, and so on.
+
+    When nothing is armed a hit is one atomic load, so the hooks are
+    free in production.  Hits may fire concurrently from worker domains;
+    arming/disarming is meant to happen from the test driver only. *)
+
+exception Injected of string
+(** Raised by an armed {!hit}; carries the point's key. *)
+
+val hit : string -> int -> unit
+(** [hit key payload] does nothing unless [key] is armed.  The payload
+    identifies the work item (block index, tree id, batch slot) so a
+    test can target e.g. "the third block" precisely. *)
+
+val arm : string -> ?at:int -> unit -> unit
+(** Arm [key] to raise [Injected key]: on every hit, or only when the
+    hit's payload equals [at]. *)
+
+val arm_action : string -> (int -> unit) -> unit
+(** Arm [key] to run an arbitrary action with the hit's payload (e.g.
+    [fun _ -> Budget.cancel b] to simulate budget exhaustion mid-run). *)
+
+val disarm : string -> unit
+
+val disarm_all : unit -> unit
+
+val hits : string -> int
+(** Number of times [key] was hit while armed (since process start). *)
+
+val with_armed : string -> ?at:int -> (unit -> 'a) -> 'a
+(** [with_armed key ?at f] arms, runs [f], and always disarms. *)

@@ -1,0 +1,27 @@
+let line_col s pos =
+  let pos = max 0 (min pos (String.length s)) in
+  let line = ref 1 and bol = ref 0 in
+  for i = 0 to pos - 1 do
+    if s.[i] = '\n' then begin
+      incr line;
+      bol := i + 1
+    end
+  done;
+  (!line, pos - !bol + 1)
+
+let describe_pos s pos =
+  let line, col = line_col s pos in
+  Printf.sprintf "line %d, column %d" line col
+
+(* FNV-1a, 64-bit.  Used for checkpoint integrity and dataset
+   fingerprints: collision resistance against accidental corruption and
+   accidental dataset swaps, not against adversaries. *)
+let fnv1a64 s =
+  let prime = 0x100000001B3L in
+  let h = ref 0xCBF29CE484222325L in
+  String.iter
+    (fun c -> h := Int64.mul (Int64.logxor !h (Int64.of_int (Char.code c))) prime)
+    s;
+  !h
+
+let fnv1a64_hex s = Printf.sprintf "%016Lx" (fnv1a64 s)

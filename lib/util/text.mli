@@ -1,0 +1,17 @@
+(** Small text utilities shared by the parsers and the checkpoint
+    journal. *)
+
+val line_col : string -> int -> int * int
+(** [line_col s pos] is the 1-based (line, column) of byte offset [pos]
+    in [s].  [pos] is clamped to [0 .. length s]. *)
+
+val describe_pos : string -> int -> string
+(** ["line L, column C"] for {!line_col} — the format every parser error
+    message uses. *)
+
+val fnv1a64 : string -> int64
+(** FNV-1a 64-bit hash — checksums for corruption detection, not
+    cryptography. *)
+
+val fnv1a64_hex : string -> string
+(** {!fnv1a64} as a 16-digit lowercase hex string. *)

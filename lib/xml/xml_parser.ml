@@ -1,8 +1,13 @@
-exception Error of string
+(* Parse errors carry the byte offset of the offending character; the
+   public entry points format it as a 1-based line/column. *)
+exception Error of int * string
 
 type cursor = { input : string; mutable pos : int }
 
-let fail cur msg = raise (Error (Printf.sprintf "at offset %d: %s" cur.pos msg))
+let fail cur msg = raise (Error (cur.pos, msg))
+
+let describe input pos msg =
+  Printf.sprintf "%s: %s" (Tsj_util.Text.describe_pos input pos) msg
 
 let eof cur = cur.pos >= String.length cur.input
 
@@ -236,7 +241,7 @@ let parse s =
     doc
   with
   | doc -> Ok doc
-  | exception Error msg -> Error msg
+  | exception Error (pos, msg) -> Error (describe s pos msg)
 
 let parse_exn s =
   match parse s with
@@ -258,7 +263,46 @@ let parse_fragments s =
     List.rev !acc
   with
   | docs -> Ok docs
-  | exception Error msg -> Error msg
+  | exception Error (pos, msg) -> Error (describe s pos msg)
+
+(* Lenient fragment stream: on a malformed element, report its 1-based
+   line/column and resynchronize at the next '<' at or past the error
+   position.  Progress is guaranteed: an element fails at its own start
+   only when that character is not '<', so the found '<' always lies
+   strictly past where the element began. *)
+let parse_fragments_lenient s =
+  let cur = { input = s; pos = 0 } in
+  let docs = ref [] in
+  let errors = ref [] in
+  let resync from =
+    let next =
+      match String.index_from_opt s (min from (String.length s)) '<' with
+      | Some i -> i
+      | None -> String.length s
+    in
+    cur.pos <- next
+  in
+  let rec go () =
+    (match parse_prolog cur with
+    | () -> ()
+    | exception Error (pos, _) ->
+      (* An unterminated comment/PI/DOCTYPE swallows the rest of the
+         input; treat the remainder as unusable but keep what we have. *)
+      let line, col = Tsj_util.Text.line_col s pos in
+      errors := (line, col, "unterminated prolog construct") :: !errors;
+      cur.pos <- String.length s);
+    if not (eof cur) then begin
+      (match parse_element cur with
+      | doc -> docs := doc :: !docs
+      | exception Error (pos, msg) ->
+        let line, col = Tsj_util.Text.line_col s pos in
+        errors := (line, col, msg) :: !errors;
+        resync pos);
+      go ()
+    end
+  in
+  go ();
+  (List.rev !docs, List.rev !errors)
 
 let load_file path =
   match In_channel.with_open_bin path In_channel.input_all with

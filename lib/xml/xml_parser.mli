@@ -5,7 +5,8 @@
     entities ([&lt; &gt; &amp; &quot; &apos;]) and decimal/hex character
     references, attributes in single or double quotes, and self-closing
     tags.  Tag mismatches, unterminated constructs and stray markup are
-    reported with byte offsets. *)
+    reported with the 1-based line and column of the offending
+    character. *)
 
 val parse : string -> (Xml.t, string) result
 (** Parse a document with exactly one root element.  Leading/trailing
@@ -16,6 +17,13 @@ val parse_exn : string -> Xml.t
 
 val parse_fragments : string -> (Xml.t list, string) result
 (** Parse a sequence of root-level elements — handy for record-per-line
-    corpora (e.g. a concatenation of Swissprot entries). *)
+    corpora (e.g. a concatenation of Swissprot entries).  Fails on the
+    first malformed element, with its line/column. *)
+
+val parse_fragments_lenient : string -> Xml.t list * (int * int * string) list
+(** Best-effort fragment stream for dirty corpora: a malformed element is
+    skipped and reported as [(line, column, message)] (1-based) instead of
+    failing the whole load; the parser resynchronizes at the next ['<']
+    past the error.  The error list is in input order. *)
 
 val load_file : string -> (Xml.t, string) result

@@ -9,6 +9,7 @@
      dune exec test/fuzz/fuzz_main.exe -- windows 2000000 42
      dune exec test/fuzz/fuzz_main.exe -- join 20000 42
      dune exec test/fuzz/fuzz_main.exe -- ted 200000 42
+     dune exec test/fuzz/fuzz_main.exe -- xml 200000 42
 
    Modes:
    - lemma2: after <= tau random edits, some subgraph of the balanced
@@ -21,7 +22,10 @@
      clustered datasets (expected: 0);
    - ted: Zhang-Shasha left/right/hybrid must agree, match the naive
      reference on small inputs, and every bound must lower-bound it
-     (expected: 0). *)
+     (expected: 0);
+   - xml: the XML parser on truncated/garbled/token-soup inputs must
+     return [Ok]/[Error] without ever raising, and the lenient fragment
+     parser must terminate (expected: 0). *)
 
 module Tree = Tsj_tree.Tree
 module BT = Tsj_tree.Binary_tree
@@ -187,6 +191,55 @@ let fuzz_ted iterations rng =
   done;
   !failures
 
+(* XML parser robustness: truncated, garbled and token-soup inputs must
+   only ever produce [Ok _] or [Error _] — never an escaping exception —
+   and the lenient fragment parser must additionally terminate and never
+   raise on the same inputs. *)
+let fuzz_xml iterations rng =
+  let failures = ref 0 in
+  let tokens =
+    [| "<"; ">"; "</"; "/>"; "<!--"; "-->"; "<?"; "?>"; "<![CDATA["; "]]>"; "&"; ";";
+       "&amp;"; "&#x41;"; "&#junk;"; "="; "\""; "'"; "a"; "tag"; "xml:ns"; " "; "\n";
+       "\t"; "text"; "<!DOCTYPE"; "\x00"; "\xFF" |]
+  in
+  let random_input () =
+    match Prng.int rng 3 with
+    | 0 ->
+      (* valid document, truncated at a random byte *)
+      let t = random_tree rng (1 + Prng.int rng 10) in
+      let s = Tsj_xml.Xml.to_string (Tsj_xml.Xml.of_tree t) in
+      String.sub s 0 (Prng.int rng (String.length s + 1))
+    | 1 ->
+      (* valid document with random byte mutations *)
+      let t = random_tree rng (1 + Prng.int rng 10) in
+      let s = Bytes.of_string (Tsj_xml.Xml.to_string (Tsj_xml.Xml.of_tree t)) in
+      for _ = 0 to Prng.int rng 4 do
+        if Bytes.length s > 0 then
+          Bytes.set s (Prng.int rng (Bytes.length s)) (Char.chr (Prng.int rng 256))
+      done;
+      Bytes.to_string s
+    | _ ->
+      (* markup token soup *)
+      String.concat "" (List.init (Prng.int rng 30) (fun _ -> Prng.choice rng tokens))
+  in
+  for i = 1 to iterations do
+    let input = random_input () in
+    let check what f =
+      match f () with
+      | _ -> ()
+      | exception exn ->
+        incr failures;
+        if !failures <= 5 then
+          report "xml" i
+            (Printf.sprintf "%s raised %s on %S" what (Printexc.to_string exn) input)
+    in
+    check "parse" (fun () -> ignore (Tsj_xml.Xml_parser.parse input));
+    check "parse_fragments" (fun () -> ignore (Tsj_xml.Xml_parser.parse_fragments input));
+    check "parse_fragments_lenient" (fun () ->
+        ignore (Tsj_xml.Xml_parser.parse_fragments_lenient input))
+  done;
+  !failures
+
 let () =
   let mode, iterations, seed =
     match Array.to_list Sys.argv with
@@ -194,7 +247,7 @@ let () =
     | [ _; mode; iters ] -> (mode, int_of_string iters, 42)
     | [ _; mode; iters; seed ] -> (mode, int_of_string iters, int_of_string seed)
     | _ ->
-      prerr_endline "usage: fuzz_main (lemma2|windows|join|ted) [iterations] [seed]";
+      prerr_endline "usage: fuzz_main (lemma2|windows|join|ted|xml) [iterations] [seed]";
       exit 2
   in
   let rng = Prng.create seed in
@@ -204,6 +257,7 @@ let () =
     | "windows" -> fuzz_windows iterations rng
     | "join" -> fuzz_join iterations rng
     | "ted" -> fuzz_ted iterations rng
+    | "xml" -> fuzz_xml iterations rng
     | other ->
       Printf.eprintf "unknown mode %S\n" other;
       exit 2

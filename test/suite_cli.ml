@@ -92,6 +92,53 @@ let test_sexp_format () =
       check_exit "sexp join" 0 (code, out);
       Alcotest.(check bool) "duplicate found" true (contains out "results=1"))
 
+let test_skip_malformed () =
+  let path = Filename.temp_file "tsjcli" ".bad" in
+  Fun.protect ~finally:(fun () -> Sys.remove path) (fun () ->
+      Out_channel.with_open_text path (fun oc ->
+          output_string oc "{a{b}{c}}\n}{x}\n{a{b}{x}}\n{a{b}{c}}\n");
+      (* strict parse refuses the file and points at the bad record *)
+      let code, out = run [ "join"; path; "--tau"; "1"; "-m"; "PRT" ] in
+      check_exit "strict malformed" 2 (code, out);
+      Alcotest.(check bool) "location reported" true (contains out "line 2");
+      (* lenient mode quarantines it and joins the rest *)
+      let code, out =
+        run [ "join"; path; "--tau"; "1"; "-m"; "PRT"; "--skip-malformed"; "--pairs" ]
+      in
+      check_exit "skip-malformed" 0 (code, out);
+      Alcotest.(check bool) "skip count reported" true (contains out "skipped 1 malformed");
+      Alcotest.(check bool) "quarantine counted" true (contains out "quarantined: 1");
+      Alcotest.(check bool) "remaining trees joined" true (contains out "results=3"))
+
+let test_checkpoint_resume () =
+  with_dataset (fun path ->
+      let journal = Filename.temp_file "tsjcli" ".ckpt" in
+      Sys.remove journal;
+      Fun.protect ~finally:(fun () -> if Sys.file_exists journal then Sys.remove journal)
+        (fun () ->
+          (* --resume without --checkpoint is a usage error *)
+          let code, _ = run [ "join"; path; "--tau"; "1"; "-m"; "PRT"; "--resume" ] in
+          Alcotest.(check int) "resume needs checkpoint" 2 code;
+          (* resilience flags require a PartSJ method *)
+          let code, _ =
+            run [ "join"; path; "--tau"; "1"; "-m"; "NL"; "--checkpoint"; journal ]
+          in
+          Alcotest.(check int) "NL refuses checkpoint" 2 code;
+          let code, out =
+            run [ "join"; path; "--tau"; "1"; "-m"; "PRT"; "--checkpoint"; journal ]
+          in
+          check_exit "checkpointed join" 0 (code, out);
+          Alcotest.(check bool) "journal written" true (Sys.file_exists journal);
+          Alcotest.(check bool) "checkpointed results" true (contains out "results=3");
+          let code, out' =
+            run
+              [ "join"; path; "--tau"; "1"; "-m"; "PRT"; "--checkpoint"; journal;
+                "--resume" ]
+          in
+          check_exit "resumed join" 0 (code, out');
+          Alcotest.(check bool) "resumed results identical" true
+            (contains out' "results=3")))
+
 let test_errors () =
   let code, _ = run [ "join"; "/nonexistent-file"; "--tau"; "1" ] in
   Alcotest.(check bool) "missing file" true (code <> 0);
@@ -105,5 +152,7 @@ let suite =
     Alcotest.test_case "cli search" `Slow test_search;
     Alcotest.test_case "cli gen/partition" `Slow test_gen_and_partition;
     Alcotest.test_case "cli sexp format" `Slow test_sexp_format;
+    Alcotest.test_case "cli skip-malformed" `Slow test_skip_malformed;
+    Alcotest.test_case "cli checkpoint/resume" `Slow test_checkpoint_resume;
     Alcotest.test_case "cli errors" `Slow test_errors;
   ]

@@ -185,7 +185,7 @@ let test_types_helpers () =
       cascade = { Types.empty_cascade with Types.kernel_verified = 2 };
     }
   in
-  let out = { Types.pairs = [ p2; p1 ]; stats } in
+  let out = { Types.pairs = [ p2; p1 ]; quarantined = []; stats } in
   Alcotest.(check (float 1e-9)) "total time" 0.75 (Types.total_time_s stats);
   Alcotest.(check (list (pair int int))) "pair_set sorted" [ (0, 1); (2, 3) ]
     (Types.pair_set out);

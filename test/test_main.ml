@@ -14,6 +14,7 @@ let () =
       ("streaming", Suite_streaming.suite);
       ("cascade", Suite_cascade.suite);
       ("parallel", Suite_parallel.suite);
+      ("faults", Suite_faults.suite);
       ("formats", Suite_formats.suite);
       ("cli", Suite_cli.suite);
     ]
