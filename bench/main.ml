@@ -168,18 +168,22 @@ let () =
       ("parallel", fun () -> Experiments.parallel config);
       ("perf", fun () -> Experiments.perf config);
       ("resilience", fun () -> Experiments.resilience config);
+      ("serving", fun () -> Experiments.serving config);
       ( "smoke",
-        (* Tiny-scale perf + resilience run — the dune runtest hook.
-           Exercises the whole parallel pipeline (pool, block sweep,
-           pipelined verify, JSON emission), fails on any cross-domain
-           mismatch, and runs one kill-and-resume scenario asserting the
-           resumed output bit-identical to an uninterrupted run. *)
+        (* Tiny-scale perf + resilience + serving run — the dune runtest
+           hook.  Exercises the whole parallel pipeline (pool, block
+           sweep, pipelined verify, JSON emission), fails on any
+           cross-domain mismatch, runs one kill-and-resume scenario
+           asserting the resumed output bit-identical to an
+           uninterrupted run, and drives the similarity-search service
+           end-to-end (burst, shed accounting, drain, crash replay). *)
         fun () ->
           let tiny =
             { config with Experiments.scale = Float.min config.Experiments.scale 0.0625 }
           in
           Experiments.perf tiny;
-          Experiments.resilience tiny );
+          Experiments.resilience tiny;
+          Experiments.serving tiny );
       ("micro", micro);
       ( "all",
         fun () ->

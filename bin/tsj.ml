@@ -5,6 +5,9 @@
      join       similarity self-join over a file of bracket trees
      gen        generate a synthetic dataset to a file
      partition  show the delta-partitioning of a tree
+     search     similarity search / top-k over an indexed collection
+     serve      run the fault-tolerant similarity-search service
+     query      query (or administer) a running serve instance
      bench      run the paper-figure experiments *)
 
 open Cmdliner
@@ -394,6 +397,194 @@ let search_cmd =
     (Cmd.info "search" ~doc:"Similarity search / top-k over an indexed collection")
     Term.(const run $ file $ query $ tau $ top $ format_arg)
 
+(* --- serve --- *)
+
+let addr_conv =
+  let parse s =
+    match Tsj_server.Protocol.addr_of_string s with
+    | Ok a -> Ok a
+    | Error msg -> Error (`Msg msg)
+  in
+  Arg.conv (parse, fun fmt a ->
+      Format.pp_print_string fmt (Tsj_server.Protocol.addr_to_string a))
+
+let serve_cmd =
+  let addr =
+    Arg.(required & pos 0 (some addr_conv) None & info [] ~docv:"ADDR"
+           ~doc:"Listen address: a Unix socket path or host:port.")
+  in
+  let tau = Arg.(value & opt int 2 & info [ "tau"; "t" ] ~doc:"Index TED threshold.") in
+  let dir =
+    Arg.(value & opt (some string) None
+         & info [ "dir" ] ~docv:"DIR"
+             ~doc:"State directory (snapshot + journal); without it the index \
+                   is ephemeral.  An existing snapshot's tau overrides --tau.")
+  in
+  let jobs =
+    Arg.(value & opt int 1 & info [ "jobs"; "j" ]
+           ~doc:"OCaml domains for per-query verification.")
+  in
+  let max_inflight =
+    Arg.(value & opt int 64
+         & info [ "max-inflight" ]
+             ~doc:"Admission watermark: work-bearing requests beyond it are \
+                   shed with BUSY.")
+  in
+  let deadline =
+    Arg.(value & opt (some float) None
+         & info [ "deadline" ] ~docv:"SECS"
+             ~doc:"Per-request deadline; an over-deadline query returns a \
+                   partial (degraded) answer with bound sandwiches.")
+  in
+  let drain_budget =
+    Arg.(value & opt float 5.0
+         & info [ "drain-budget" ] ~docv:"SECS"
+             ~doc:"How long a drain (DRAIN request or SIGTERM) waits for \
+                   inflight work before cancelling it.")
+  in
+  let preload =
+    Arg.(value & opt (some file) None
+         & info [ "preload" ] ~docv:"FILE"
+             ~doc:"Seed the index with a file of bracket trees before serving.")
+  in
+  let run addr tau dir jobs max_inflight deadline drain_budget preload format =
+    if tau < 0 then begin
+      Printf.eprintf "tsj: tau must be non-negative\n";
+      exit 2
+    end;
+    if jobs < 1 then begin
+      Printf.eprintf "tsj: -j must be >= 1\n";
+      exit 2
+    end;
+    let config =
+      { (Tsj_server.Server.default_config addr ~tau) with
+        Tsj_server.Server.dir;
+        domains = jobs;
+        max_inflight;
+        deadline_s = deadline;
+        drain_budget_s = drain_budget;
+        handle_sigterm = true;
+      }
+    in
+    match Tsj_server.Server.create config with
+    | Error msg ->
+      Printf.eprintf "tsj: cannot start server: %s\n" msg;
+      exit 2
+    | Ok server ->
+      (match preload with
+      | None -> ()
+      | Some file ->
+        let trees = load_trees ~format file in
+        Array.iter
+          (fun t -> ignore (Tsj_server.Store.add (Tsj_server.Server.store server) t))
+          trees;
+        Printf.printf "preloaded %d trees\n%!" (Array.length trees));
+      Printf.printf "tsj: serving on %s (tau=%d%s)\n%!"
+        (Tsj_server.Protocol.addr_to_string addr)
+        (Tsj_server.Store.tau (Tsj_server.Server.store server))
+        (match dir with Some d -> ", dir=" ^ d | None -> ", ephemeral");
+      Tsj_server.Server.start server;
+      Tsj_server.Server.wait server;
+      let s = Tsj_server.Server.stats server in
+      Printf.printf
+        "tsj: drained (queries=%d adds=%d shed=%d degraded=%d errors=%d quarantined=%d)\n"
+        s.Tsj_server.Protocol.queries s.Tsj_server.Protocol.adds
+        s.Tsj_server.Protocol.shed s.Tsj_server.Protocol.degraded
+        s.Tsj_server.Protocol.errors s.Tsj_server.Protocol.quarantined
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Run the fault-tolerant similarity-search service")
+    Term.(const run $ addr $ tau $ dir $ jobs $ max_inflight $ deadline
+          $ drain_budget $ preload $ format_arg)
+
+(* --- query (remote) --- *)
+
+let query_cmd =
+  let remote =
+    Arg.(required & opt (some addr_conv) None
+         & info [ "remote"; "r" ] ~docv:"ADDR"
+             ~doc:"Server address: a Unix socket path or host:port.")
+  in
+  let tree =
+    Arg.(value & pos 0 (some string) None & info [] ~docv:"TREE"
+           ~doc:"Tree in bracket notation (or @file); required unless \
+                 --stats, --health or --drain.")
+  in
+  let tau = Arg.(value & opt int 0 & info [ "tau"; "t" ] ~doc:"Query TED threshold.") in
+  let top =
+    Arg.(value & opt (some int) None
+         & info [ "top"; "k" ] ~doc:"Top-k search instead of a threshold query.")
+  in
+  let add = Arg.(value & flag & info [ "add" ] ~doc:"ADD the tree instead of querying.") in
+  let stats = Arg.(value & flag & info [ "stats" ] ~doc:"Fetch server statistics.") in
+  let health = Arg.(value & flag & info [ "health" ] ~doc:"Health check.") in
+  let drain = Arg.(value & flag & info [ "drain" ] ~doc:"Ask the server to drain and exit.") in
+  let timeout =
+    Arg.(value & opt float 10.0
+         & info [ "timeout" ] ~docv:"SECS" ~doc:"Socket send/receive timeout.")
+  in
+  let retries =
+    Arg.(value & opt int 4
+         & info [ "retries" ]
+             ~doc:"Attempts on transport failure or BUSY (exponential backoff \
+                   with jitter).")
+  in
+  let seed =
+    Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Seed of the backoff jitter PRNG.")
+  in
+  let run remote tree tau top add stats health drain timeout retries seed =
+    let request =
+      if stats then Tsj_server.Protocol.Stats
+      else if health then Tsj_server.Protocol.Health
+      else if drain then Tsj_server.Protocol.Drain
+      else
+        match tree with
+        | None ->
+          Printf.eprintf "tsj: a TREE argument is required (or --stats/--health/--drain)\n";
+          exit 2
+        | Some s ->
+          let t = parse_tree_arg s in
+          if add then Tsj_server.Protocol.Add t
+          else (
+            match top with
+            | Some k -> Tsj_server.Protocol.Knn { k; tree = t }
+            | None -> Tsj_server.Protocol.Query { tau; tree = t })
+    in
+    let rng = Tsj_util.Prng.create seed in
+    match
+      Tsj_server.Client.request_with_retries ~attempts:retries ~timeout_s:timeout ~rng
+        remote request
+    with
+    | Error msg ->
+      Printf.eprintf "tsj: %s\n" msg;
+      exit 1
+    | Ok (Tsj_server.Protocol.Err reason) ->
+      Printf.eprintf "tsj: server error: %s\n" reason;
+      exit 1
+    | Ok Tsj_server.Protocol.Busy ->
+      Printf.eprintf "tsj: server busy (request shed after %d attempts)\n" retries;
+      exit 3
+    | Ok (Tsj_server.Protocol.Hits { degraded; hits; unverified }) ->
+      List.iter (fun (i, d) -> Printf.printf "%d\t%d\n" i d) hits;
+      List.iter
+        (fun (i, lo, hi) -> Printf.printf "%d\t%d..%d\tunverified\n" i lo hi)
+        unverified;
+      if degraded then
+        Printf.eprintf "tsj: degraded answer (deadline expired; %d candidates unverified)\n"
+          (List.length unverified)
+    | Ok (Tsj_server.Protocol.Added { id; partners }) ->
+      Printf.printf "added %d (%d partners)\n" id (List.length partners);
+      List.iter (fun (i, d) -> Printf.printf "%d\t%d\n" i d) partners
+    | Ok (Tsj_server.Protocol.Stats_reply _ as r) | Ok (Tsj_server.Protocol.Health_reply _ as r)
+    | Ok (Tsj_server.Protocol.Drained as r) ->
+      print_endline (Tsj_server.Protocol.render_response r)
+  in
+  Cmd.v
+    (Cmd.info "query" ~doc:"Query (or administer) a running tsj serve instance")
+    Term.(const run $ remote $ tree $ tau $ top $ add $ stats $ health $ drain
+          $ timeout $ retries $ seed)
+
 (* --- bench --- *)
 
 let bench_cmd =
@@ -407,7 +598,8 @@ let bench_cmd =
   in
   let what =
     Arg.(value & pos_all string [ "all" ] & info [] ~docv:"EXPERIMENT"
-           ~doc:"fig10, fig12, fig14, ablation, parallel, perf, streaming or all.")
+           ~doc:"fig10, fig12, fig14, ablation, parallel, perf, streaming, \
+                 serving or all.")
   in
   let run scale seed jobs what =
     if jobs < 1 then begin
@@ -428,6 +620,7 @@ let bench_cmd =
         | "parallel" -> Tsj_harness.Experiments.parallel config
         | "perf" -> Tsj_harness.Experiments.perf config
         | "streaming" -> Tsj_harness.Experiments.streaming config
+        | "serving" -> Tsj_harness.Experiments.serving config
         | "all" -> Tsj_harness.Experiments.run_all config
         | other ->
           Printf.eprintf "tsj: unknown experiment %S\n" other;
@@ -441,4 +634,8 @@ let bench_cmd =
 let () =
   let doc = "similarity joins over tree-structured data (PartSJ, VLDB 2015)" in
   let info = Cmd.info "tsj" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval (Cmd.group info [ ted_cmd; join_cmd; gen_cmd; partition_cmd; search_cmd; bench_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ ted_cmd; join_cmd; gen_cmd; partition_cmd; search_cmd; serve_cmd;
+            query_cmd; bench_cmd ]))

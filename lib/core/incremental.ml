@@ -67,20 +67,18 @@ let entry_for t size =
     Hashtbl.add t.entries size e;
     e
 
-let add t tree =
-  grow t;
-  let id = t.count in
-  t.trees.(id) <- tree;
-  t.count <- t.count + 1;
-  let btree = Binary_tree.of_tree tree in
+(* Candidate ids among the already-inserted trees for a probe of shape
+   [btree], over the [size ± tau] band.  One cursor serves every size in
+   the band (the twig keys depend only on the probed tree); it is built
+   lazily so a probe whose whole band is empty — common in streams with
+   disparate tree sizes — costs only the band scan.  A band entry left
+   with no subgraphs and no small trees is skipped without probing. *)
+let band_candidates t ~tau btree =
   let size = btree.Binary_tree.size in
-  (* 1. Probe: candidates among all previously inserted trees in the
-     size band, in either direction.  One cursor serves every size in
-     the band (the twig keys depend only on the probed tree). *)
-  let cursor = Two_layer_index.cursor btree in
+  let cursor = lazy (Two_layer_index.cursor btree) in
   let checked = Hashtbl.create 16 in
   let pending = ref [] in
-  for other_size = max 1 (size - t.tau) to size + t.tau do
+  for other_size = max 1 (size - tau) to size + tau do
     match Hashtbl.find_opt t.entries other_size with
     | None -> ()
     | Some entry ->
@@ -91,16 +89,31 @@ let add t tree =
             pending := tj :: !pending
           end)
         entry.small;
-      for v = 0 to size - 1 do
-        Two_layer_index.probe_cursor entry.index cursor v (fun s ->
-            let tj = s.Subgraph.tree_id in
-            if not (Hashtbl.mem checked tj) then
-              if Subgraph.matches s btree v then begin
-                Hashtbl.add checked tj ();
-                pending := tj :: !pending
-              end)
-      done
+      if Two_layer_index.n_subgraphs entry.index > 0 then begin
+        let cursor = Lazy.force cursor in
+        for v = 0 to size - 1 do
+          Two_layer_index.probe_cursor entry.index cursor v (fun s ->
+              let tj = s.Subgraph.tree_id in
+              if not (Hashtbl.mem checked tj) then
+                if Subgraph.matches s btree v then begin
+                  Hashtbl.add checked tj ();
+                  pending := tj :: !pending
+                end)
+        done
+      end
   done;
+  !pending
+
+let add t tree =
+  grow t;
+  let id = t.count in
+  t.trees.(id) <- tree;
+  t.count <- t.count + 1;
+  let btree = Binary_tree.of_tree tree in
+  let size = btree.Binary_tree.size in
+  (* 1. Probe: candidates among all previously inserted trees in the
+     size band, in either direction. *)
+  let pending = band_candidates t ~tau:t.tau btree in
   (* 2. Verify. *)
   let my_prep = prep t id in
   let results =
@@ -109,7 +122,7 @@ let add t tree =
         t.n_candidates <- t.n_candidates + 1;
         let d = Ted.bounded_distance_prep my_prep (prep t tj) t.tau in
         if d <= t.tau then Some (tj, d) else None)
-      !pending
+      pending
     |> List.sort compare
   in
   (* 3. Index the new tree. *)
@@ -124,3 +137,109 @@ let add t tree =
       (Subgraph.of_partition ~tree_id:id part)
   end;
   results
+
+(* --- non-mutating queries (the serving path) --- *)
+
+type query_result = {
+  hits : (int * int) list;
+  degraded : bool;
+  unverified : (int * int * int) list;
+}
+
+(* Verification runs in chunks so a per-request budget is polled at a
+   bounded interval even when the chunk itself fans out over domains.
+   Chunks must clear [Parallel.map]'s small-input cutoff (64) or the
+   [domains] knob would silently do nothing. *)
+let verify_chunk_size = 128
+
+let query ?budget ?(domains = 1) ?tau t q =
+  let tau = Option.value tau ~default:t.tau in
+  if tau > t.tau then
+    invalid_arg
+      (Printf.sprintf "Incremental.query: tau = %d exceeds the index threshold %d" tau
+         t.tau);
+  if tau < 0 then invalid_arg "Incremental.query: negative threshold";
+  if domains < 1 then invalid_arg "Incremental.query: domains must be >= 1";
+  let qb = Binary_tree.of_tree q in
+  let cands = Array.of_list (List.sort compare (band_candidates t ~tau qb)) in
+  let qprep = Ted.preprocess q in
+  let n = Array.length cands in
+  let hits = ref [] in
+  let unverified = ref [] in
+  let degraded = ref false in
+  let live () =
+    match budget with None -> true | Some b -> Tsj_join.Budget.live b
+  in
+  let chunk_from lo =
+    let hi = min n (lo + verify_chunk_size) in
+    let ds =
+      Tsj_join.Parallel.map ~domains
+        (fun tj -> Ted.bounded_distance_prep qprep (prep t tj) tau)
+        (Array.sub cands lo (hi - lo))
+    in
+    Array.iteri
+      (fun k d -> if d <= tau then hits := (cands.(lo + k), d) :: !hits)
+      ds;
+    hi
+  in
+  let rec go lo =
+    if lo < n then
+      if live () then go (chunk_from lo)
+      else begin
+        (* Over budget: the remaining candidates are reported with their
+           bound sandwich instead of hanging on the exact kernel.  A
+           candidate whose cheap lower bound already exceeds τ is
+           discarded — it is provably not a result. *)
+        degraded := true;
+        for k = lo to n - 1 do
+          let tj = cands.(k) in
+          let other = t.trees.(tj) in
+          let lower = Tsj_ted.Bounds.best q other in
+          if lower <= tau then begin
+            let upper = Tsj_ted.Bounds.upper q other in
+            unverified := (tj, lower, upper) :: !unverified
+          end
+        done
+      end
+  in
+  go 0;
+  {
+    hits =
+      List.sort
+        (fun (i1, d1) (i2, d2) -> if d1 <> d2 then compare d1 d2 else compare i1 i2)
+        !hits;
+    degraded = !degraded;
+    unverified = List.sort compare !unverified;
+  }
+
+let nearest ~k t q =
+  if k < 0 then invalid_arg "Incremental.nearest: negative k";
+  if k = 0 then []
+  else begin
+    let qprep = Ted.preprocess q in
+    let qb = Binary_tree.of_tree q in
+    let dist_cache : (int, int) Hashtbl.t = Hashtbl.create 64 in
+    let dist tj =
+      match Hashtbl.find_opt dist_cache tj with
+      | Some d -> d
+      | None ->
+        let d = Ted.bounded_distance_prep qprep (prep t tj) t.tau in
+        Hashtbl.add dist_cache tj d;
+        d
+    in
+    let sorted_hits tau' =
+      Hashtbl.fold (fun tj d acc -> if d <= tau' then (tj, d) :: acc else acc) dist_cache []
+      |> List.sort (fun (i1, d1) (i2, d2) ->
+             if d1 <> d2 then compare d1 d2 else compare i1 i2)
+    in
+    (* Expand the radius until k trees are within it (see Search.nearest:
+       every tree within radius tau' is found by the radius-tau' candidate
+       set, so once hits >= k the closest k are final). *)
+    let rec expand tau' =
+      List.iter (fun tj -> ignore (dist tj)) (band_candidates t ~tau:tau' qb);
+      let hits = sorted_hits tau' in
+      if List.length hits >= k || tau' = t.tau then hits else expand (tau' + 1)
+    in
+    let hits = expand 0 in
+    List.filteri (fun i _ -> i < k) hits
+  end

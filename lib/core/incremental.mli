@@ -33,3 +33,38 @@ val tree : t -> int -> Tsj_tree.Tree.t
 
 val stats : t -> int * int
 (** [(candidates verified, subgraphs indexed)] so far. *)
+
+type query_result = {
+  hits : (int * int) list;
+      (** [(id, distance)] for every verified tree within [τ], sorted by
+          distance then id *)
+  degraded : bool;
+      (** the budget expired before every candidate was verified *)
+  unverified : (int * int * int) list;
+      (** when degraded: [(id, lower, upper)] bound sandwiches
+          ([lower <= TED <= upper]) of the candidates left unverified,
+          minus those whose lower bound already exceeds [τ] (provably
+          not results); sorted by id *)
+}
+
+val query :
+  ?budget:Tsj_join.Budget.t ->
+  ?domains:int ->
+  ?tau:int ->
+  t ->
+  Tsj_tree.Tree.t ->
+  query_result
+(** Non-mutating similarity search over everything inserted so far —
+    the serving path of the streaming index.  [tau] defaults to the
+    index threshold and may be any [τ' <= τ] (the probe band shrinks
+    with it).  Verification runs in chunks of candidates (fanned over
+    [domains] when > 1) and polls [budget] between chunks: an expired
+    budget degrades the answer instead of hanging — see
+    {!type:query_result}.  With no budget the result is exact and
+    bit-identical at every domain count.
+    @raise Invalid_argument if [tau] exceeds the index threshold, is
+    negative, or [domains < 1]. *)
+
+val nearest : k:int -> t -> Tsj_tree.Tree.t -> (int * int) list
+(** Top-k within the index threshold, by expanding radius (see
+    {!Search.nearest}).  @raise Invalid_argument if [k < 0]. *)

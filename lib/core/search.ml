@@ -79,32 +79,90 @@ let query ?tau t q =
 
 let format_line = "tsj-search-index v1"
 
-let save t path =
-  Out_channel.with_open_text path (fun oc ->
-      Printf.fprintf oc "# %s\n# tau %d\n" format_line t.tau;
+(* Also the snapshot format of the server store (Tsj_server.Store):
+   publication is atomic (tmp + rename) so a crash mid-save leaves
+   either the previous complete file or a stray .tmp, never a torn
+   collection. *)
+let save_collection ~tau trees path =
+  let tmp = path ^ ".tmp" in
+  Out_channel.with_open_text tmp (fun oc ->
+      Printf.fprintf oc "# %s\n# tau %d\n" format_line tau;
       Array.iter
         (fun tree ->
           Out_channel.output_string oc (Tsj_tree.Bracket.to_string tree);
           Out_channel.output_char oc '\n')
-        t.trees)
+        trees);
+  Sys.rename tmp path
 
-let load path =
+let save t path = save_collection ~tau:t.tau t.trees path
+
+(* One record per line, parsed line by line so every diagnostic carries
+   the 1-based file line (the header occupies lines 1-2).  The error
+   strings match the lenient bracket parser's ["line L, column C"]
+   convention. *)
+let read_collection ?(allow_duplicates = false) path =
   match In_channel.with_open_text path In_channel.input_all with
   | exception Sys_error msg -> Error msg
-  | contents ->
-    let lines = String.split_on_char '\n' contents in
-    (match lines with
-    | header :: tau_line :: rest when header = "# " ^ format_line ->
-      (match String.split_on_char ' ' tau_line with
-      | [ "#"; "tau"; tau_s ] ->
-        (match int_of_string_opt tau_s with
-        | Some tau when tau >= 0 ->
-          (match Tsj_tree.Bracket.forest_of_string (String.concat "\n" rest) with
-          | Ok trees -> Ok (build ~tau (Array.of_list trees))
-          | Error msg -> Error msg)
-        | Some _ | None -> Error "corrupt tau header")
-      | _ -> Error "corrupt tau header")
+  | contents -> (
+    match String.split_on_char '\n' contents with
+    | header :: tau_line :: body when header = "# " ^ format_line -> (
+      let located line msg = Error (Printf.sprintf "line %d: %s" line msg) in
+      match String.split_on_char ' ' tau_line with
+      | [ "#"; "tau"; tau_s ] -> (
+        match int_of_string_opt tau_s with
+        | None -> located 2 (Printf.sprintf "corrupt tau header %S" tau_s)
+        | Some tau when tau < 0 ->
+          located 2 (Printf.sprintf "negative threshold tau = %d in header" tau)
+        | Some tau ->
+          let n_body = List.length body in
+          let seen = Hashtbl.create 64 in
+          let is_blank s = String.trim s = "" in
+          let is_comment s =
+            let s = String.trim s in
+            String.length s > 0 && s.[0] = '#'
+          in
+          let rec records k acc = function
+            | [] -> Ok (tau, Array.of_list (List.rev acc))
+            | line :: rest ->
+              let lineno = k + 3 (* header is lines 1-2 *) in
+              if is_blank line then
+                if k = n_body - 1 then
+                  (* the virtual segment after the final newline *)
+                  records (k + 1) acc rest
+                else located lineno "empty record"
+              else if is_comment line then records (k + 1) acc rest
+              else (
+                match Tsj_tree.Bracket.of_string line with
+                | Error msg ->
+                  (* [of_string] saw a single line, so its location prefix
+                     is always "line 1, "; splice in the file line. *)
+                  let msg =
+                    let prefix = "line 1, " in
+                    let n = String.length prefix in
+                    if String.length msg >= n && String.sub msg 0 n = prefix then
+                      Printf.sprintf "line %d, %s" lineno
+                        (String.sub msg n (String.length msg - n))
+                    else Printf.sprintf "line %d: %s" lineno msg
+                  in
+                  Error msg
+                | Ok tree ->
+                  let key = Tsj_tree.Bracket.to_string tree in
+                  (match Hashtbl.find_opt seen key with
+                  | Some first when not allow_duplicates ->
+                    located lineno
+                      (Printf.sprintf "duplicate record (identical to line %d)" first)
+                  | Some _ | None ->
+                    if not (Hashtbl.mem seen key) then Hashtbl.add seen key lineno;
+                    records (k + 1) (tree :: acc) rest))
+          in
+          records 0 [] body)
+      | _ -> located 2 "corrupt tau header")
     | _ -> Error "not a tsj search index file")
+
+let load path =
+  match read_collection path with
+  | Error _ as e -> e
+  | Ok (tau, trees) -> Ok (build ~tau trees)
 
 let nearest ~k t q =
   if k < 0 then invalid_arg "Search.nearest: negative k";

@@ -28,13 +28,31 @@ val query : ?tau:int -> t -> Tsj_tree.Tree.t -> (int * int) list
 
 val save : t -> string -> unit
 (** Persist the indexed collection to a file: a small header (format
-    version, τ) followed by the trees in bracket notation.  Interned label
-    ids are process-local, so the index structure itself is not
-    serialized; {!load} re-derives it, which is fast (microseconds per
-    tree) and keeps the format human-readable and stable. *)
+    version, τ) followed by the trees in bracket notation, one per line.
+    Interned label ids are process-local, so the index structure itself
+    is not serialized; {!load} re-derives it, which is fast (microseconds
+    per tree) and keeps the format human-readable and stable.
+    Publication is atomic (tmp + rename). *)
 
 val load : string -> (t, string) result
-(** Rebuild an index previously written by {!save}. *)
+(** Rebuild an index previously written by {!save}.  Strict: a negative
+    header τ, a corrupt header, an empty record line or a duplicate
+    record is rejected with a located diagnostic ([Error "line L: ..."]
+    or ["line L, column C: ..."], matching the lenient bracket parser's
+    convention) instead of producing a malformed index. *)
+
+val save_collection : tau:int -> Tsj_tree.Tree.t array -> string -> unit
+(** The persistence primitive behind {!save} — also the snapshot writer
+    of the server store.  Atomic (tmp + rename). *)
+
+val read_collection :
+  ?allow_duplicates:bool -> string -> (int * Tsj_tree.Tree.t array, string) result
+(** Parse a file written by {!save_collection} back into [(τ, trees)]
+    without building the index.  [allow_duplicates] (default [false])
+    admits repeated records — the server store's snapshots may
+    legitimately hold duplicates inserted by clients.  Comment lines
+    ([#]) are allowed in the body; blank interior lines are rejected as
+    empty records. *)
 
 val nearest : k:int -> t -> Tsj_tree.Tree.t -> (int * int) list
 (** Top-k search within the index's threshold: the [k] collection trees

@@ -571,6 +571,197 @@ let resilience config =
     (List.length r.Faults.truth.Types.pairs)
     (List.length r.Faults.budgeted.Types.quarantined)
 
+(* --- serving: the fault-tolerant similarity-search service --- *)
+
+let percentile sorted p =
+  let n = Array.length sorted in
+  if n = 0 then 0.0
+  else sorted.(min (n - 1) (int_of_float ((p *. float_of_int (n - 1)) +. 0.5)))
+
+let serving config =
+  Table.heading ~out:config.out
+    "Extension — fault-tolerant serving (deadlines, shedding, drain, crash-safe journal)";
+  let module Server = Tsj_server.Server in
+  let module Store = Tsj_server.Store in
+  let module Client = Tsj_server.Client in
+  let module Protocol = Tsj_server.Protocol in
+  let profile = Profiles.swissprot in
+  let n = max 20 (int_of_float (240.0 *. config.scale)) in
+  let trees = Profiles.instantiate profile ~seed:config.seed ~n in
+  let tau = 2 in
+  let preload = n / 2 in
+  let tmp = Filename.temp_file "tsj_serving" "" in
+  Sys.remove tmp;
+  Unix.mkdir tmp 0o755;
+  let addr = Protocol.Unix_path (Filename.concat tmp "sock") in
+  let dir = Filename.concat tmp "store" in
+  let server_config =
+    { (Server.default_config addr ~tau) with
+      Server.dir = Some dir;
+      domains = config.domains;
+      max_inflight = 4;
+      deadline_s = Some 0.5;
+    }
+  in
+  let fail msg = failwith ("Experiments.serving: " ^ msg) in
+  let ok_or_fail = function Ok v -> v | Error msg -> fail msg in
+  let server = ok_or_fail (Server.create server_config) in
+  let store = Server.store server in
+  for i = 0 to preload - 1 do
+    ignore (Store.add store trees.(i))
+  done;
+  Server.start server;
+  (* Concurrent burst: every client holds one connection and fires a
+     mixed ADD/QUERY sequence.  The overload contract under test: every
+     single request gets an answer — a result, a degraded result or an
+     explicit BUSY — never a silent drop. *)
+  let n_clients = 6 in
+  (* enough requests that the burst both streams in the second half of
+     the dataset (ADDs) and then queries it at least as many times *)
+  let per_client = max 20 ((n - preload) * 2 / n_clients) in
+  let mutex = Mutex.create () in
+  let latencies = ref [] in
+  let answered = ref 0 and busy = ref 0 and errs = ref 0 in
+  let failures = ref [] in
+  let next_add = Atomic.make preload in
+  let client_thread c =
+    match Client.connect addr with
+    | Error msg -> Mutex.protect mutex (fun () -> failures := msg :: !failures)
+    | Ok conn ->
+      let rng = Tsj_util.Prng.create (config.seed + c) in
+      let local = ref [] and a = ref 0 and b = ref 0 and e = ref 0 in
+      for _ = 1 to per_client do
+        let req =
+          let k = Atomic.fetch_and_add next_add 1 in
+          if k < n then Protocol.Add trees.(k)
+          else Protocol.Query { tau; tree = trees.(Tsj_util.Prng.int rng n) }
+        in
+        let t0 = Tsj_util.Timer.now () in
+        (match Client.request conn req with
+        | Ok resp ->
+          incr a;
+          (match resp with
+          | Protocol.Busy -> incr b
+          | Protocol.Err _ -> incr e
+          | _ -> ())
+        | Error msg ->
+          Mutex.protect mutex (fun () -> failures := ("request: " ^ msg) :: !failures));
+        local := (Tsj_util.Timer.now () -. t0) :: !local
+      done;
+      Client.close conn;
+      Mutex.protect mutex (fun () ->
+          latencies := !local @ !latencies;
+          answered := !answered + !a;
+          busy := !busy + !b;
+          errs := !errs + !e)
+  in
+  let (), burst_wall =
+    Tsj_util.Timer.wall (fun () ->
+        let threads = List.init n_clients (Thread.create client_thread) in
+        List.iter Thread.join threads)
+  in
+  (match !failures with msg :: _ -> fail msg | [] -> ());
+  let sent = n_clients * per_client in
+  if !answered <> sent then
+    fail (Printf.sprintf "%d of %d requests went unanswered" (sent - !answered) sent);
+  if !errs > 0 then fail "a well-formed request was answered ERR";
+  let stats =
+    let conn = ok_or_fail (Client.connect addr) in
+    let s =
+      match Client.request conn Protocol.Stats with
+      | Ok (Protocol.Stats_reply s) -> s
+      | Ok _ | Error _ -> fail "STATS request failed"
+    in
+    (* Graceful drain over the wire; flushes snapshot + journal. *)
+    (match Client.request conn Protocol.Drain with
+    | Ok Protocol.Drained -> ()
+    | Ok _ | Error _ -> fail "DRAIN request failed");
+    Client.close conn;
+    s
+  in
+  Server.wait server;
+  if not (Server.drained server) then fail "server did not finish draining";
+  (* A cold start after the drain must see the full index and an empty
+     journal. *)
+  let reopened = ok_or_fail (Store.open_ ~dir ~tau ()) in
+  if Store.n_trees reopened <> stats.Protocol.trees then
+    fail "cold start after drain lost trees";
+  if Store.journal_records reopened <> 0 then
+    fail "drain left journal records behind";
+  Store.close reopened;
+  (* Crash-safety scenario: kill mid-add, restart, compare answers. *)
+  let kill =
+    Faults.run_server_kill_and_restart ~domains:config.domains
+      ~kill_at_add:(preload / 2)
+      ~trees:(Array.sub trees 0 preload)
+      ~queries:(Array.sub trees 0 (min 5 preload))
+      ~tau ()
+  in
+  if not kill.Faults.answers_match then
+    fail "restarted store answers differently from the acknowledged prefix";
+  let sorted = Array.of_list !latencies in
+  Array.sort compare sorted;
+  let ms p = percentile sorted p *. 1000.0 in
+  printf config
+    "\n  (%s profile, %d trees preloaded + %d streamed, tau = %d, %d clients x %d \
+     requests,\n   max_inflight = %d, deadline = %.1fs)\n"
+    profile.Profiles.name preload (n - preload) tau n_clients per_client
+    server_config.Server.max_inflight
+    (Option.value server_config.Server.deadline_s ~default:0.0);
+  Table.print ~out:config.out
+    ~header:[ "metric"; "value" ]
+    ~align:[ Table.Left; Table.Right ]
+    [
+      [ "requests answered"; Printf.sprintf "%d / %d" !answered sent ];
+      [ "shed (BUSY)"; string_of_int stats.Protocol.shed ];
+      [ "degraded answers"; string_of_int stats.Protocol.degraded ];
+      [ "trees served"; string_of_int stats.Protocol.trees ];
+      [ "throughput"; Printf.sprintf "%.0f req/s" (float_of_int sent /. burst_wall) ];
+      [ "latency p50"; Printf.sprintf "%.2f ms" (ms 0.50) ];
+      [ "latency p95"; Printf.sprintf "%.2f ms" (ms 0.95) ];
+      [ "latency p99"; Printf.sprintf "%.2f ms" (ms 0.99) ];
+      [ "kill-and-restart"; (if kill.Faults.answers_match then "bit-identical" else "NO") ];
+    ];
+  let oc = open_out "BENCH_serving.json" in
+  Printf.fprintf oc
+    "{\n\
+    \  \"benchmark\": \"tsj_serving\",\n\
+    \  \"dataset\": \"%s\",\n\
+    \  \"n_trees\": %d,\n\
+    \  \"preloaded\": %d,\n\
+    \  \"tau\": %d,\n\
+    \  \"seed\": %d,\n\
+    \  \"domains\": %d,\n\
+    \  \"clients\": %d,\n\
+    \  \"requests\": %d,\n\
+    \  \"answered\": %d,\n\
+    \  \"shed\": %d,\n\
+    \  \"degraded\": %d,\n\
+    \  \"errors\": %d,\n\
+    \  \"throughput_rps\": %.1f,\n\
+    \  \"latency_p50_ms\": %.3f,\n\
+    \  \"latency_p95_ms\": %.3f,\n\
+    \  \"latency_p99_ms\": %.3f,\n\
+    \  \"kill_restart_identical\": %b,\n\
+    \  \"drain_clean\": true\n\
+     }\n"
+    profile.Profiles.name n preload tau config.seed config.domains n_clients sent
+    !answered stats.Protocol.shed stats.Protocol.degraded !errs
+    (float_of_int sent /. burst_wall)
+    (ms 0.50) (ms 0.95) (ms 0.99) kill.Faults.answers_match;
+  close_out oc;
+  printf config "  wrote BENCH_serving.json\n";
+  (* Tidy the socket/store temp dir. *)
+  let rec rm path =
+    if Sys.file_exists path then
+      if Sys.is_directory path then begin
+        Array.iter (fun f -> rm (Filename.concat path f)) (Sys.readdir path);
+        (try Unix.rmdir path with Unix.Unix_error _ -> ())
+      end
+      else try Sys.remove path with Sys_error _ -> ()
+  in
+  rm tmp
+
 let run_all config =
   fig10_11 config;
   fig12_13 config;
@@ -579,4 +770,5 @@ let run_all config =
   parallel config;
   perf config;
   streaming config;
-  resilience config
+  resilience config;
+  serving config

@@ -66,5 +66,17 @@ val resilience : config -> unit
     completeness up to the quarantined set.
     @raise Failure on any violation. *)
 
+val serving : config -> unit
+(** Extension bench: the fault-tolerant similarity-search service.
+    Runs an in-process [tsj serve] instance over a temp Unix socket,
+    fires a concurrent mixed ADD/QUERY burst against a low admission
+    watermark, and asserts the overload contract — every request
+    answered (result, degraded result or explicit [BUSY]); then drains
+    over the wire and asserts the cold start sees the full index with
+    an empty journal; then runs a kill-and-restart crash scenario
+    asserting bit-identical answers.  Prints latency percentiles and
+    shed counts, and writes [BENCH_serving.json].
+    @raise Failure on any violation. *)
+
 val run_all : config -> unit
 (** Everything above, in paper order, extensions last. *)

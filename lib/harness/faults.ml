@@ -79,3 +79,90 @@ let truncate_file path ~keep_bytes =
   let keep = min keep_bytes (String.length contents) in
   Out_channel.with_open_bin path (fun oc ->
       Out_channel.output_string oc (String.sub contents 0 keep))
+
+(* --- server store kill-and-restart --- *)
+
+type server_kill_report = {
+  server_killed : bool;
+  acked : int;
+  expected : int;
+  replayed : int;
+  answers_match : bool;
+}
+
+let fresh_store_dir () =
+  let path = Filename.temp_file "tsj_store" "" in
+  Sys.remove path;
+  path
+
+let remove_store_dir dir =
+  if Sys.file_exists dir && Sys.is_directory dir then begin
+    Array.iter
+      (fun f -> try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
+      (Sys.readdir dir);
+    try Unix.rmdir dir with Unix.Unix_error _ -> ()
+  end
+
+let store_of_exn = function Ok s -> s | Error msg -> failwith msg
+
+(* The crash-safety scenario of the service ADD path: feed [trees] into
+   a journaled {!Tsj_server.Store}, kill it (injected raise at the
+   [server.journal] hit point, store abandoned without close — the
+   in-memory index is simply lost) at add number [kill_at_add], then
+   restart from the on-disk state and compare query answers against a
+   reference store fed exactly the acknowledged prefix.
+
+   [tear_tail] additionally chops bytes off the journal's final record
+   before the restart — a partial disk write from a crash mid-append.
+   The torn record was never acknowledged-durable, so the expected
+   surviving prefix shrinks by one. *)
+let run_server_kill_and_restart ?(domains = 1) ?(kill_at_add = 1) ?(tear_tail = false)
+    ~trees ~queries ~tau () =
+  let dir = fresh_store_dir () in
+  let acked = ref 0 in
+  let server_killed =
+    match
+      Fault.with_armed "server.journal" ~at:kill_at_add (fun () ->
+          let store = store_of_exn (Tsj_server.Store.open_ ~dir ~domains ~tau ()) in
+          Array.iter
+            (fun t ->
+              ignore (Tsj_server.Store.add store t);
+              incr acked)
+            trees;
+          Tsj_server.Store.close store)
+    with
+    | () -> false (* too few adds to reach the kill point *)
+    | exception Fault.Injected _ -> true
+  in
+  let torn =
+    if tear_tail && server_killed && !acked > 0 then begin
+      let journal = Filename.concat dir "journal" in
+      let len = (Unix.stat journal).Unix.st_size in
+      (* Losing the trailing newline plus two checksum characters makes
+         the final record undecodable — a torn tail, not mid-file
+         corruption. *)
+      truncate_file journal ~keep_bytes:(max 0 (len - 3));
+      true
+    end
+    else false
+  in
+  let expected = if torn then !acked - 1 else !acked in
+  let replayed_store = store_of_exn (Tsj_server.Store.open_ ~dir ~domains ~tau ()) in
+  let reference = store_of_exn (Tsj_server.Store.open_ ~domains ~tau ()) in
+  for i = 0 to expected - 1 do
+    ignore (Tsj_server.Store.add reference trees.(i))
+  done;
+  let answers_match =
+    Tsj_server.Store.n_trees replayed_store = expected
+    && Array.for_all
+         (fun q ->
+           let a = Tsj_server.Store.query replayed_store q in
+           let b = Tsj_server.Store.query reference q in
+           a.Tsj_core.Incremental.hits = b.Tsj_core.Incremental.hits
+           && (not a.degraded) && (not b.degraded))
+         queries
+  in
+  let replayed = Tsj_server.Store.n_trees replayed_store in
+  Tsj_server.Store.close replayed_store;
+  remove_store_dir dir;
+  { server_killed; acked = !acked; expected; replayed; answers_match }

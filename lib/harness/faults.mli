@@ -55,3 +55,36 @@ val truncate_file : string -> keep_bytes:int -> unit
 
 val fresh_journal : unit -> string
 (** A fresh non-existent temp path for a checkpoint journal. *)
+
+type server_kill_report = {
+  server_killed : bool;
+      (** the injected crash fired (false when there are fewer adds than
+          the kill point) *)
+  acked : int;  (** adds acknowledged before the crash *)
+  expected : int;
+      (** adds that must survive the restart: [acked], minus one when the
+          journal tail was torn (that record was a partial write) *)
+  replayed : int;  (** trees in the restarted store *)
+  answers_match : bool;
+      (** the restarted store answers every probe query bit-identically
+          to a store fed exactly the expected prefix, and
+          [replayed = expected] *)
+}
+
+val run_server_kill_and_restart :
+  ?domains:int ->
+  ?kill_at_add:int ->
+  ?tear_tail:bool ->
+  trees:Tsj_tree.Tree.t array ->
+  queries:Tsj_tree.Tree.t array ->
+  tau:int ->
+  unit ->
+  server_kill_report
+(** Crash-safety scenario for the service's journaled ADD path: feed
+    [trees] into a {!Tsj_server.Store}, crash it via the
+    [server.journal] hit point at add [kill_at_add] (default 1,
+    abandoning the store without a close), optionally tear the last
+    journal record ([tear_tail]), restart from disk and compare query
+    answers against a reference store fed the surviving prefix.  A
+    correct implementation yields [answers_match = true].  The temp
+    store directory is removed afterwards. *)

@@ -1,0 +1,104 @@
+module Prng = Tsj_util.Prng
+
+type t = { fd : Unix.file_descr; ic : in_channel; oc : out_channel }
+
+(* A request written to a server that already hung up must surface as
+   EPIPE (an [Error] from {!request}) — never as a process-killing
+   SIGPIPE.  Not available on Windows, hence the guard. *)
+let ignore_sigpipe () =
+  try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+  with Invalid_argument _ | Sys_error _ -> ()
+
+let connect ?timeout_s addr =
+  ignore_sigpipe ();
+  let sock_addr, domain =
+    match addr with
+    | Protocol.Unix_path path -> (Unix.ADDR_UNIX path, Unix.PF_UNIX)
+    | Protocol.Tcp (host, port) ->
+      let inet =
+        try Unix.inet_addr_of_string host
+        with Failure _ -> (Unix.gethostbyname host).Unix.h_addr_list.(0)
+      in
+      (Unix.ADDR_INET (inet, port), Unix.PF_INET)
+  in
+  match Unix.socket domain Unix.SOCK_STREAM 0 with
+  | exception Unix.Unix_error (e, _, _) -> Error (Unix.error_message e)
+  | fd -> (
+    (match timeout_s with
+    | Some s when s > 0.0 ->
+      (* Socket-level timeouts so a hung server cannot hang the client:
+         a late reply surfaces as a transport error and the retry layer
+         takes over. *)
+      Unix.setsockopt_float fd Unix.SO_RCVTIMEO s;
+      Unix.setsockopt_float fd Unix.SO_SNDTIMEO s
+    | _ -> ());
+    match Unix.connect fd sock_addr with
+    | exception Unix.Unix_error (e, _, _) ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      Error
+        (Printf.sprintf "connect %s: %s" (Protocol.addr_to_string addr)
+           (Unix.error_message e))
+    | () ->
+      Ok { fd; ic = Unix.in_channel_of_descr fd; oc = Unix.out_channel_of_descr fd })
+
+let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()
+
+let request t req =
+  match
+    output_string t.oc (Protocol.render_request req);
+    output_char t.oc '\n';
+    flush t.oc;
+    input_line t.ic
+  with
+  | exception End_of_file -> Error "connection closed by server"
+  | exception Sys_error msg -> Error msg
+  | exception Unix.Unix_error (e, _, _) -> Error (Unix.error_message e)
+  | line -> Protocol.parse_response line
+
+(* Full-jitter exponential backoff: attempt [i] sleeps a uniform draw
+   from [cap/2, cap] with cap = base * 2^i clamped to [max_delay_s].
+   The jitter source is an explicit SplitMix64 state and the sleep is
+   injectable, so tests replay the exact schedule deterministically. *)
+let backoff_delay ~base_delay_s ~max_delay_s ~rng attempt =
+  let cap = Float.min max_delay_s (base_delay_s *. Float.pow 2.0 (float_of_int attempt)) in
+  cap *. (0.5 +. 0.5 *. Prng.float rng)
+
+let with_retries ?(attempts = 4) ?(base_delay_s = 0.05) ?(max_delay_s = 2.0)
+    ?(sleep = Unix.sleepf) ~rng f =
+  if attempts < 1 then invalid_arg "Client.with_retries: attempts must be >= 1";
+  let rec go attempt =
+    match f () with
+    | Ok _ as r -> r
+    | Error _ as e ->
+      if attempt + 1 >= attempts then e
+      else begin
+        sleep (backoff_delay ~base_delay_s ~max_delay_s ~rng attempt);
+        go (attempt + 1)
+      end
+  in
+  go 0
+
+(* One-shot request with reconnect-and-retry.  [BUSY] counts as a
+   retryable failure (the shedding server asked us to back off), but is
+   returned as-is once attempts are exhausted rather than masked as an
+   error. *)
+let request_with_retries ?attempts ?base_delay_s ?max_delay_s ?sleep ?timeout_s ~rng
+    addr req =
+  let last_busy = ref false in
+  let result =
+    with_retries ?attempts ?base_delay_s ?max_delay_s ?sleep ~rng (fun () ->
+        last_busy := false;
+        match connect ?timeout_s addr with
+        | Error _ as e -> e
+        | Ok conn ->
+          let r = request conn req in
+          close conn;
+          (match r with
+          | Ok Protocol.Busy ->
+            last_busy := true;
+            Error "busy"
+          | _ -> r))
+  in
+  match result with
+  | Error _ when !last_busy -> Ok Protocol.Busy
+  | r -> r

@@ -1,0 +1,54 @@
+(** Client side of the similarity-search service.
+
+    Thin line-protocol client with the robustness conventions the server
+    expects of callers: socket-level timeouts (a hung server surfaces as
+    a transport error, never a hang) and retry with full-jitter
+    exponential backoff whose randomness comes from an explicit
+    {!Tsj_util.Prng} state and whose sleep is injectable — retry
+    schedules are reproducible in tests. *)
+
+type t
+
+val connect : ?timeout_s:float -> Protocol.addr -> (t, string) result
+(** [timeout_s] bounds every subsequent send and receive on the
+    connection (SO_SNDTIMEO/SO_RCVTIMEO). *)
+
+val close : t -> unit
+
+val request : t -> Protocol.request -> (Protocol.response, string) result
+(** One request/reply round trip.  [Error] means a transport or framing
+    failure; protocol-level failures arrive as [Ok (Err _)] or
+    [Ok Busy]. *)
+
+val backoff_delay :
+  base_delay_s:float -> max_delay_s:float -> rng:Tsj_util.Prng.t -> int -> float
+(** [backoff_delay ~base_delay_s ~max_delay_s ~rng attempt] draws the
+    full-jitter delay for the given 0-based attempt: uniform in
+    [cap/2, cap] with [cap = min max_delay_s (base * 2^attempt)]. *)
+
+val with_retries :
+  ?attempts:int ->
+  ?base_delay_s:float ->
+  ?max_delay_s:float ->
+  ?sleep:(float -> unit) ->
+  rng:Tsj_util.Prng.t ->
+  (unit -> ('a, string) result) ->
+  ('a, string) result
+(** Run [f] up to [attempts] times (default 4), sleeping a
+    {!backoff_delay} between failures.  @raise Invalid_argument if
+    [attempts < 1]. *)
+
+val request_with_retries :
+  ?attempts:int ->
+  ?base_delay_s:float ->
+  ?max_delay_s:float ->
+  ?sleep:(float -> unit) ->
+  ?timeout_s:float ->
+  rng:Tsj_util.Prng.t ->
+  Protocol.addr ->
+  Protocol.request ->
+  (Protocol.response, string) result
+(** Connect, send, receive, close — retrying (with a fresh connection)
+    on transport failures and on [BUSY].  A final [BUSY] after all
+    attempts is returned as [Ok Busy], not mapped to an error: shedding
+    is an explicit, well-formed answer. *)

@@ -1,0 +1,270 @@
+module Tree = Tsj_tree.Tree
+module Bracket = Tsj_tree.Bracket
+
+(* --- addresses --- *)
+
+type addr = Unix_path of string | Tcp of string * int
+
+let addr_of_string s =
+  let s = String.trim s in
+  if s = "" then Error "empty address"
+  else if String.contains s '/' || not (String.contains s ':') then Ok (Unix_path s)
+  else begin
+    let i = String.rindex s ':' in
+    let host = String.sub s 0 i in
+    let port = String.sub s (i + 1) (String.length s - i - 1) in
+    match int_of_string_opt port with
+    | Some p when p > 0 && p < 65536 ->
+      Ok (Tcp ((if host = "" then "127.0.0.1" else host), p))
+    | _ -> Error (Printf.sprintf "bad port %S in address %S" port s)
+  end
+
+let addr_to_string = function
+  | Unix_path p -> p
+  | Tcp (h, p) -> Printf.sprintf "%s:%d" h p
+
+(* --- requests --- *)
+
+type request =
+  | Query of { tau : int; tree : Tree.t }
+  | Knn of { k : int; tree : Tree.t }
+  | Add of Tree.t
+  | Stats
+  | Health
+  | Drain
+
+let split_first_word s =
+  let s = String.trim s in
+  match String.index_opt s ' ' with
+  | None -> (s, "")
+  | Some i ->
+    (String.sub s 0 i, String.trim (String.sub s (i + 1) (String.length s - i - 1)))
+
+(* A request whose integer argument fails to parse, whose tree is
+   malformed (diagnosed by the located bracket parser) or whose verb is
+   unknown yields [Error reason] — never an exception.  The server turns
+   the reason into an [ERR] reply. *)
+let parse_request line =
+  let int_and_tree what raw k =
+    let arg, rest = split_first_word raw in
+    match int_of_string_opt arg with
+    | None -> Error (Printf.sprintf "%s: expected an integer, found %S" what arg)
+    | Some n -> (
+      if rest = "" then Error (Printf.sprintf "%s: missing tree" what)
+      else
+        match Bracket.of_string rest with
+        | Error msg -> Error (Printf.sprintf "%s: %s" what msg)
+        | Ok tree -> k n tree)
+  in
+  let verb, rest = split_first_word line in
+  match String.uppercase_ascii verb with
+  | "QUERY" ->
+    int_and_tree "QUERY" rest (fun tau tree ->
+        if tau < 0 then Error "QUERY: negative threshold"
+        else Ok (Query { tau; tree }))
+  | "KNN" ->
+    int_and_tree "KNN" rest (fun k tree ->
+        if k < 0 then Error "KNN: negative k" else Ok (Knn { k; tree }))
+  | "ADD" -> (
+    if rest = "" then Error "ADD: missing tree"
+    else
+      match Bracket.of_string rest with
+      | Error msg -> Error (Printf.sprintf "ADD: %s" msg)
+      | Ok tree -> Ok (Add tree))
+  | "STATS" when rest = "" -> Ok Stats
+  | "HEALTH" when rest = "" -> Ok Health
+  | "DRAIN" when rest = "" -> Ok Drain
+  | ("STATS" | "HEALTH" | "DRAIN") as v ->
+    Error (Printf.sprintf "%s takes no arguments" v)
+  | "" -> Error "empty request"
+  | other ->
+    Error
+      (Printf.sprintf "unknown command %S (expected QUERY, KNN, ADD, STATS, HEALTH or DRAIN)"
+         other)
+
+let render_request = function
+  | Query { tau; tree } -> Printf.sprintf "QUERY %d %s" tau (Bracket.to_string tree)
+  | Knn { k; tree } -> Printf.sprintf "KNN %d %s" k (Bracket.to_string tree)
+  | Add tree -> "ADD " ^ Bracket.to_string tree
+  | Stats -> "STATS"
+  | Health -> "HEALTH"
+  | Drain -> "DRAIN"
+
+(* --- responses --- *)
+
+type stats_reply = {
+  trees : int;
+  tau : int;
+  queries : int;
+  adds : int;
+  shed : int;
+  degraded : int;
+  errors : int;
+  quarantined : int;
+  inflight : int;
+  draining : bool;
+  journal_records : int;
+}
+
+type response =
+  | Hits of {
+      degraded : bool;
+      hits : (int * int) list;  (** [(id, distance)] *)
+      unverified : (int * int * int) list;  (** [(id, lower, upper)] *)
+    }
+  | Added of { id : int; partners : (int * int) list }
+  | Stats_reply of stats_reply
+  | Health_reply of { draining : bool }
+  | Drained
+  | Busy
+  | Err of string
+
+(* Replies are single lines; strip any newline an error message smuggled
+   in so the framing survives arbitrary reasons. *)
+let one_line s =
+  String.map (fun c -> if c = '\n' || c = '\r' then ' ' else c) s
+
+let render_response r =
+  let b = Buffer.create 64 in
+  (match r with
+  | Hits { degraded; hits; unverified } ->
+    Buffer.add_string b
+      (Printf.sprintf "HITS %d %d %d" (Bool.to_int degraded) (List.length hits)
+         (List.length unverified));
+    List.iter (fun (i, d) -> Buffer.add_string b (Printf.sprintf " %d:%d" i d)) hits;
+    List.iter
+      (fun (i, lo, hi) -> Buffer.add_string b (Printf.sprintf " %d:%d:%d" i lo hi))
+      unverified
+  | Added { id; partners } ->
+    Buffer.add_string b (Printf.sprintf "ADDED %d %d" id (List.length partners));
+    List.iter (fun (i, d) -> Buffer.add_string b (Printf.sprintf " %d:%d" i d)) partners
+  | Stats_reply s ->
+    Buffer.add_string b
+      (Printf.sprintf
+         "STATS trees=%d tau=%d queries=%d adds=%d shed=%d degraded=%d errors=%d \
+          quarantined=%d inflight=%d draining=%d journal=%d"
+         s.trees s.tau s.queries s.adds s.shed s.degraded s.errors s.quarantined
+         s.inflight (Bool.to_int s.draining) s.journal_records)
+  | Health_reply { draining } ->
+    Buffer.add_string b (if draining then "OK draining" else "OK serving")
+  | Drained -> Buffer.add_string b "OK drained"
+  | Busy -> Buffer.add_string b "BUSY"
+  | Err reason -> Buffer.add_string b ("ERR " ^ one_line reason));
+  Buffer.contents b
+
+let parse_pair s =
+  match String.split_on_char ':' s with
+  | [ i; d ] -> (
+    match (int_of_string_opt i, int_of_string_opt d) with
+    | Some i, Some d -> Some (i, d)
+    | _ -> None)
+  | _ -> None
+
+let parse_triple s =
+  match String.split_on_char ':' s with
+  | [ i; lo; hi ] -> (
+    match (int_of_string_opt i, int_of_string_opt lo, int_of_string_opt hi) with
+    | Some i, Some lo, Some hi -> Some (i, lo, hi)
+    | _ -> None)
+  | _ -> None
+
+let rec take_map f n = function
+  | rest when n = 0 -> Some ([], rest)
+  | [] -> None
+  | x :: rest -> (
+    match f x with
+    | None -> None
+    | Some y -> (
+      match take_map f (n - 1) rest with
+      | None -> None
+      | Some (ys, rest) -> Some (y :: ys, rest)))
+
+let parse_response line =
+  let fail () = Error (Printf.sprintf "malformed reply %S" line) in
+  let words =
+    List.filter (fun w -> w <> "") (String.split_on_char ' ' (String.trim line))
+  in
+  match words with
+  | "HITS" :: deg :: nh :: nu :: rest -> (
+    match (int_of_string_opt deg, int_of_string_opt nh, int_of_string_opt nu) with
+    | Some deg, Some nh, Some nu when (deg = 0 || deg = 1) && nh >= 0 && nu >= 0 -> (
+      match take_map parse_pair nh rest with
+      | None -> fail ()
+      | Some (hits, rest) -> (
+        match take_map parse_triple nu rest with
+        | Some (unverified, []) -> Ok (Hits { degraded = deg = 1; hits; unverified })
+        | _ -> fail ()))
+    | _ -> fail ())
+  | "ADDED" :: id :: np :: rest -> (
+    match (int_of_string_opt id, int_of_string_opt np) with
+    | Some id, Some np when np >= 0 -> (
+      match take_map parse_pair np rest with
+      | Some (partners, []) -> Ok (Added { id; partners })
+      | _ -> fail ())
+    | _ -> fail ())
+  | "STATS" :: fields -> (
+    let tbl = Hashtbl.create 16 in
+    let ok =
+      List.for_all
+        (fun f ->
+          match String.index_opt f '=' with
+          | None -> false
+          | Some i -> (
+            match int_of_string_opt (String.sub f (i + 1) (String.length f - i - 1)) with
+            | None -> false
+            | Some v ->
+              Hashtbl.replace tbl (String.sub f 0 i) v;
+              true))
+        fields
+    in
+    let get k = Hashtbl.find_opt tbl k in
+    match
+      ( ok,
+        get "trees",
+        get "tau",
+        get "queries",
+        get "adds",
+        get "shed",
+        get "degraded",
+        get "errors",
+        get "quarantined",
+        get "inflight",
+        get "draining",
+        get "journal" )
+    with
+    | ( true,
+        Some trees,
+        Some tau,
+        Some queries,
+        Some adds,
+        Some shed,
+        Some degraded,
+        Some errors,
+        Some quarantined,
+        Some inflight,
+        Some draining,
+        Some journal_records ) ->
+      Ok
+        (Stats_reply
+           {
+             trees;
+             tau;
+             queries;
+             adds;
+             shed;
+             degraded;
+             errors;
+             quarantined;
+             inflight;
+             draining = draining = 1;
+             journal_records;
+           })
+    | _ -> fail ())
+  | [ "OK"; "serving" ] -> Ok (Health_reply { draining = false })
+  | [ "OK"; "draining" ] -> Ok (Health_reply { draining = true })
+  | [ "OK"; "drained" ] -> Ok Drained
+  | [ "BUSY" ] -> Ok Busy
+  | "ERR" :: _ ->
+    let raw = String.trim line in
+    Ok (Err (String.trim (String.sub raw 3 (String.length raw - 3))))
+  | _ -> fail ()

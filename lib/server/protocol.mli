@@ -1,0 +1,78 @@
+(** Wire protocol of the similarity-search service: line-delimited text,
+    one request line in, one reply line out.
+
+    Grammar (one request per line; a tree is bracket notation, which
+    cannot contain a newline when it arrived on a line):
+    {v
+    request  := "QUERY" SP tau SP tree        similarity search at τ' <= index τ
+              | "KNN" SP k SP tree            top-k within the index τ
+              | "ADD" SP tree                 journal + index a tree
+              | "STATS" | "HEALTH" | "DRAIN"
+    reply    := "HITS" SP degraded(0|1) SP nh SP nu {SP id":"dist}*nh {SP id":"lo":"hi}*nu
+              | "ADDED" SP id SP np {SP id":"dist}*np
+              | "STATS" SP key"="int ...
+              | "OK" SP ("serving"|"draining"|"drained")
+              | "BUSY"                        shed by admission control
+              | "ERR" SP reason               never a silent drop
+    v}
+
+    Parsers on both sides are lenient: any malformed input yields
+    [Error reason], never an exception, and tree diagnostics carry the
+    bracket parser's ["line L, column C"] location. *)
+
+(** Server address: a Unix-domain socket path or a TCP endpoint. *)
+type addr = Unix_path of string | Tcp of string * int
+
+val addr_of_string : string -> (addr, string) result
+(** ["host:port"] (or [":port"], defaulting to 127.0.0.1) parses as TCP;
+    anything containing a [/] or no [:] is a Unix socket path. *)
+
+val addr_to_string : addr -> string
+
+type request =
+  | Query of { tau : int; tree : Tsj_tree.Tree.t }
+  | Knn of { k : int; tree : Tsj_tree.Tree.t }
+  | Add of Tsj_tree.Tree.t
+  | Stats
+  | Health
+  | Drain
+
+val parse_request : string -> (request, string) result
+
+val render_request : request -> string
+
+(** The counters of a [STATS] reply (all monotonic since server start,
+    except [trees], [inflight], [draining] and [journal_records]). *)
+type stats_reply = {
+  trees : int;
+  tau : int;
+  queries : int;
+  adds : int;
+  shed : int;  (** requests answered [BUSY] by admission control *)
+  degraded : int;  (** queries that returned a partial answer *)
+  errors : int;  (** requests answered [ERR] *)
+  quarantined : int;  (** connections quarantined by a fault/disconnect *)
+  inflight : int;
+  draining : bool;
+  journal_records : int;
+}
+
+type response =
+  | Hits of {
+      degraded : bool;
+      hits : (int * int) list;  (** [(id, distance)], distance then id *)
+      unverified : (int * int * int) list;
+          (** [(id, lower, upper)] bound sandwiches of candidates left
+              unverified when the request deadline expired *)
+    }
+  | Added of { id : int; partners : (int * int) list }
+  | Stats_reply of stats_reply
+  | Health_reply of { draining : bool }
+  | Drained
+  | Busy
+  | Err of string
+
+val render_response : response -> string
+(** Always a single line: newlines inside error reasons are replaced. *)
+
+val parse_response : string -> (response, string) result

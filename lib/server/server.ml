@@ -1,0 +1,388 @@
+module Fault = Tsj_util.Fault_inject
+module Budget = Tsj_join.Budget
+module Types = Tsj_join.Types
+
+type config = {
+  addr : Protocol.addr;
+  tau : int;
+  dir : string option;  (** journal/snapshot directory; [None] = ephemeral *)
+  domains : int;  (** verification parallelism per query *)
+  max_inflight : int;  (** admission watermark; beyond it, [BUSY] *)
+  deadline_s : float option;  (** per-request deadline *)
+  drain_budget_s : float;  (** how long drain waits for inflight work *)
+  max_line_bytes : int;  (** request lines longer than this are rejected *)
+  handle_sigterm : bool;  (** install a SIGTERM -> drain handler *)
+}
+
+let default_config addr ~tau =
+  {
+    addr;
+    tau;
+    dir = None;
+    domains = 1;
+    max_inflight = 64;
+    deadline_s = None;
+    drain_budget_s = 5.0;
+    max_line_bytes = 1 lsl 20;
+    handle_sigterm = false;
+  }
+
+type counters = {
+  queries : int Atomic.t;
+  adds : int Atomic.t;
+  shed : int Atomic.t;
+  degraded : int Atomic.t;
+  errors : int Atomic.t;
+  inflight : int Atomic.t;
+}
+
+type t = {
+  config : config;
+  store : Store.t;
+  listener : Unix.file_descr;
+  store_mutex : Mutex.t;
+  counters : counters;
+  draining : bool Atomic.t;
+  drained : bool Atomic.t;
+  quarantined : Types.quarantined list Atomic.t;
+  (* live budgets by connection id, cancelled when the drain deadline
+     passes so a stuck request cannot outlive the drain window *)
+  budgets : (int, Budget.t) Hashtbl.t;
+  budgets_mutex : Mutex.t;
+  conns : (int, Unix.file_descr) Hashtbl.t;
+  conns_mutex : Mutex.t;
+  mutable accept_thread : Thread.t option;
+  mutable conn_threads : Thread.t list;
+  mutable next_conn : int;
+}
+
+let quarantine t ~conn_id reason =
+  let record = { Types.q_i = conn_id; q_j = None; q_reason = reason } in
+  let rec loop () =
+    let old = Atomic.get t.quarantined in
+    if not (Atomic.compare_and_set t.quarantined old (record :: old)) then loop ()
+  in
+  loop ()
+
+let register_budget t conn_id budget =
+  Mutex.protect t.budgets_mutex (fun () -> Hashtbl.replace t.budgets conn_id budget)
+
+let unregister_budget t conn_id =
+  Mutex.protect t.budgets_mutex (fun () -> Hashtbl.remove t.budgets conn_id)
+
+let stats t =
+  {
+    Protocol.trees = Store.n_trees t.store;
+    tau = Store.tau t.store;
+    queries = Atomic.get t.counters.queries;
+    adds = Atomic.get t.counters.adds;
+    shed = Atomic.get t.counters.shed;
+    degraded = Atomic.get t.counters.degraded;
+    errors = Atomic.get t.counters.errors;
+    quarantined = List.length (Atomic.get t.quarantined);
+    inflight = Atomic.get t.counters.inflight;
+    draining = Atomic.get t.draining;
+    journal_records = Store.journal_records t.store;
+  }
+
+(* --- request execution --- *)
+
+(* Execute one parsed request.  Work-bearing requests pass admission
+   control first: the inflight counter is bumped optimistically and the
+   request is shed with an explicit [BUSY] if the watermark was already
+   reached — deterministic, never a silent drop.  Each admitted request
+   gets its own [Budget] (carrying the configured deadline) registered
+   under the connection id so drain can cancel it. *)
+let execute t ~conn_id (request : Protocol.request) : Protocol.response * bool =
+  match request with
+  | Stats -> (Stats_reply (stats t), false)
+  | Health -> (Health_reply { draining = Atomic.get t.draining }, false)
+  | Drain -> (Drained, true)
+  | Query _ | Knn _ | Add _ ->
+    let inflight = Atomic.fetch_and_add t.counters.inflight 1 in
+    if inflight >= t.config.max_inflight || Atomic.get t.draining then begin
+      ignore (Atomic.fetch_and_add t.counters.inflight (-1));
+      if inflight >= t.config.max_inflight then begin
+        ignore (Atomic.fetch_and_add t.counters.shed 1);
+        (Busy, false)
+      end
+      else (Err "draining: not accepting new work", false)
+    end
+    else begin
+      let budget = Budget.create ?time_budget_s:t.config.deadline_s () in
+      register_budget t conn_id budget;
+      let response =
+        try
+          match request with
+          | Stats | Health | Drain -> assert false
+          | Query { tau; tree } ->
+            if tau > Store.tau t.store then
+              Error
+                (Printf.sprintf "QUERY: tau %d exceeds the index threshold %d" tau
+                   (Store.tau t.store))
+            else begin
+              let r = Mutex.protect t.store_mutex (fun () -> Store.query ~budget ~tau t.store tree) in
+              ignore (Atomic.fetch_and_add t.counters.queries 1);
+              if r.Tsj_core.Incremental.degraded then
+                ignore (Atomic.fetch_and_add t.counters.degraded 1);
+              Ok
+                (Protocol.Hits
+                   { degraded = r.degraded; hits = r.hits; unverified = r.unverified })
+            end
+          | Knn { k; tree } ->
+            let hits = Mutex.protect t.store_mutex (fun () -> Store.nearest ~k t.store tree) in
+            ignore (Atomic.fetch_and_add t.counters.queries 1);
+            Ok (Protocol.Hits { degraded = false; hits; unverified = [] })
+          | Add tree ->
+            let id, partners =
+              Mutex.protect t.store_mutex (fun () -> Store.add t.store tree)
+            in
+            ignore (Atomic.fetch_and_add t.counters.adds 1);
+            Ok (Protocol.Added { id; partners })
+        with e -> Error (Printexc.to_string e)
+      in
+      unregister_budget t conn_id;
+      ignore (Atomic.fetch_and_add t.counters.inflight (-1));
+      match response with
+      | Ok r -> (r, false)
+      | Error reason ->
+        ignore (Atomic.fetch_and_add t.counters.errors 1);
+        (Err reason, false)
+    end
+
+(* --- connection handling --- *)
+
+(* Read one line with a hard byte cap so a client streaming an endless
+   line cannot exhaust memory; over-long lines are consumed to the next
+   newline and answered [ERR]. *)
+let read_line_bounded ic ~max_bytes =
+  let b = Buffer.create 256 in
+  let rec loop overflow =
+    match input_char ic with
+    | exception End_of_file -> if Buffer.length b = 0 && not overflow then None else Some (Buffer.contents b, overflow)
+    | '\n' -> Some (Buffer.contents b, overflow)
+    | c ->
+      if Buffer.length b >= max_bytes then loop true
+      else begin
+        Buffer.add_char b c;
+        loop overflow
+      end
+  in
+  loop false
+
+let trim_cr s =
+  let n = String.length s in
+  if n > 0 && s.[n - 1] = '\r' then String.sub s 0 (n - 1) else s
+
+let rec do_drain t =
+  (* Idempotent: the first caller wins; later calls (second DRAIN,
+     SIGTERM after DRAIN) are no-ops. *)
+  if not (Atomic.exchange t.draining true) then begin
+    (* Stop accepting.  [shutdown] (not just [close]) is what actually
+       wakes a thread blocked in [accept] on Linux. *)
+    (try Unix.shutdown t.listener Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ());
+    (try Unix.close t.listener with Unix.Unix_error _ -> ());
+    (match t.config.addr with
+    | Protocol.Unix_path p -> ( try Sys.remove p with Sys_error _ -> ())
+    | Protocol.Tcp _ -> ());
+    (* Let inflight work finish within the drain budget... *)
+    let deadline = Tsj_util.Timer.now () +. t.config.drain_budget_s in
+    let rec wait () =
+      if Atomic.get t.counters.inflight > 0 && Tsj_util.Timer.now () < deadline then begin
+        Thread.yield ();
+        wait ()
+      end
+    in
+    wait ();
+    (* ...then shed what remains: cancel every live budget so budgeted
+       work degrades and returns instead of running past the drain. *)
+    Mutex.protect t.budgets_mutex (fun () ->
+        Hashtbl.iter (fun _ b -> Budget.cancel b) t.budgets);
+    let rec wait_cancelled () =
+      if Atomic.get t.counters.inflight > 0 && Tsj_util.Timer.now () < deadline +. 1.0
+      then begin
+        Thread.yield ();
+        wait_cancelled ()
+      end
+    in
+    wait_cancelled ();
+    (* Nudge idle connections out of their blocking read. *)
+    Mutex.protect t.conns_mutex (fun () ->
+        Hashtbl.iter
+          (fun _ fd -> try Unix.shutdown fd Unix.SHUTDOWN_RECEIVE with Unix.Unix_error _ -> ())
+          t.conns);
+    (* Flush: snapshot + empty journal, so a cold start is clean. *)
+    Mutex.protect t.store_mutex (fun () -> Store.close t.store);
+    Atomic.set t.drained true
+  end
+
+and handle_connection t conn_id fd =
+  let ic = Unix.in_channel_of_descr fd in
+  let oc = Unix.out_channel_of_descr fd in
+  let reply r =
+    output_string oc (Protocol.render_response r);
+    output_char oc '\n';
+    flush oc
+  in
+  let close () =
+    Mutex.protect t.conns_mutex (fun () -> Hashtbl.remove t.conns conn_id);
+    try Unix.close fd with Unix.Unix_error _ -> ()
+  in
+  let rec serve request_no =
+    match read_line_bounded ic ~max_bytes:t.config.max_line_bytes with
+    | None -> close ()
+    | Some (line, overflow) ->
+      (* The per-request fault point: an [Injected] raise here models a
+         request handler crash and must quarantine only this connection. *)
+      Fault.hit "server.request" request_no;
+      let continue =
+        if overflow then begin
+          ignore (Atomic.fetch_and_add t.counters.errors 1);
+          reply (Err (Printf.sprintf "request line exceeds %d bytes" t.config.max_line_bytes));
+          true
+        end
+        else
+          let line = trim_cr line in
+          if String.trim line = "" then true (* ignore blank lines *)
+          else
+            match Protocol.parse_request line with
+            | Error reason ->
+              (* Malformed input is this client's problem only: answer
+                 [ERR] and keep the connection. *)
+              ignore (Atomic.fetch_and_add t.counters.errors 1);
+              reply (Err reason);
+              true
+            | Ok request ->
+              let response, drain_requested = execute t ~conn_id request in
+              reply response;
+              if drain_requested then do_drain t;
+              not drain_requested
+      in
+      if continue && not (Atomic.get t.draining) then serve (request_no + 1)
+      else close ()
+  in
+  try serve 0 with
+  | Fault.Injected msg ->
+    quarantine t ~conn_id (Types.Verify_failed ("server.request: " ^ msg));
+    unregister_budget t conn_id;
+    close ()
+  | End_of_file | Sys_error _ | Unix.Unix_error _ ->
+    (* Client went away mid-request; nothing shared is poisoned. *)
+    quarantine t ~conn_id (Types.Preprocess_failed "connection lost");
+    unregister_budget t conn_id;
+    close ()
+  | e ->
+    quarantine t ~conn_id (Types.Verify_failed (Printexc.to_string e));
+    unregister_budget t conn_id;
+    close ()
+
+let accept_loop t =
+  let rec loop () =
+    if not (Atomic.get t.draining) then begin
+      match Unix.accept t.listener with
+      | exception Unix.Unix_error _ -> if not (Atomic.get t.draining) then loop ()
+      | fd, _ ->
+        let conn_id = t.next_conn in
+        t.next_conn <- conn_id + 1;
+        (match Fault.hit "server.accept" conn_id with
+        | exception Fault.Injected msg ->
+          (* An injected accept-path fault drops this connection only. *)
+          quarantine t ~conn_id (Types.Preprocess_failed ("server.accept: " ^ msg));
+          (try Unix.close fd with Unix.Unix_error _ -> ())
+        | () ->
+          Mutex.protect t.conns_mutex (fun () -> Hashtbl.replace t.conns conn_id fd);
+          let th = Thread.create (fun () -> handle_connection t conn_id fd) () in
+          t.conn_threads <- th :: t.conn_threads);
+        loop ()
+    end
+  in
+  loop ()
+
+(* --- lifecycle --- *)
+
+(* A reply written to a connection the client just closed must surface
+   as EPIPE (quarantining that connection) — never as a process-killing
+   SIGPIPE.  Not available on Windows, hence the guard. *)
+let ignore_sigpipe () =
+  try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+  with Invalid_argument _ | Sys_error _ -> ()
+
+let bind_listener addr =
+  match addr with
+  | Protocol.Unix_path path ->
+    if Sys.file_exists path then Sys.remove path;
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    Unix.bind fd (Unix.ADDR_UNIX path);
+    Unix.listen fd 64;
+    fd
+  | Protocol.Tcp (host, port) ->
+    let inet =
+      try Unix.inet_addr_of_string host
+      with Failure _ -> (Unix.gethostbyname host).Unix.h_addr_list.(0)
+    in
+    let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+    Unix.setsockopt fd Unix.SO_REUSEADDR true;
+    Unix.bind fd (Unix.ADDR_INET (inet, port));
+    Unix.listen fd 64;
+    fd
+
+let create config =
+  if config.tau < 0 then Error "negative threshold"
+  else if config.domains < 1 then Error "domains must be >= 1"
+  else if config.max_inflight < 0 then Error "max_inflight must be >= 0"
+  else if config.drain_budget_s < 0.0 then Error "negative drain budget"
+  else
+    match Store.open_ ?dir:config.dir ~domains:config.domains ~tau:config.tau () with
+    | Error m -> Error m
+    | Ok store -> (
+      match bind_listener config.addr with
+      | exception Unix.Unix_error (e, _, arg) ->
+        Error (Printf.sprintf "bind %s: %s (%s)" (Protocol.addr_to_string config.addr)
+                 (Unix.error_message e) arg)
+      | listener ->
+        Ok
+          {
+            config;
+            store;
+            listener;
+            store_mutex = Mutex.create ();
+            counters =
+              {
+                queries = Atomic.make 0;
+                adds = Atomic.make 0;
+                shed = Atomic.make 0;
+                degraded = Atomic.make 0;
+                errors = Atomic.make 0;
+                inflight = Atomic.make 0;
+              };
+            draining = Atomic.make false;
+            drained = Atomic.make false;
+            quarantined = Atomic.make [];
+            budgets = Hashtbl.create 16;
+            budgets_mutex = Mutex.create ();
+            conns = Hashtbl.create 16;
+            conns_mutex = Mutex.create ();
+            accept_thread = None;
+            conn_threads = [];
+            next_conn = 0;
+          })
+
+let start t =
+  ignore_sigpipe ();
+  if t.config.handle_sigterm then
+    Sys.set_signal Sys.sigterm
+      (Sys.Signal_handle
+         (fun _ -> ignore (Thread.create (fun () -> do_drain t) ())));
+  t.accept_thread <- Some (Thread.create (fun () -> accept_loop t) ())
+
+let drain t = do_drain t
+
+let drained t = Atomic.get t.drained
+
+let wait t =
+  (match t.accept_thread with Some th -> Thread.join th | None -> ());
+  List.iter Thread.join t.conn_threads
+
+let store t = t.store
+
+let quarantined t = List.rev (Atomic.get t.quarantined)

@@ -1,0 +1,76 @@
+(** The fault-tolerant similarity-search service.
+
+    A server owns a {!Store.t} (streaming PartSJ index + crash-safe
+    journal) and serves the {!Protocol} over a Unix-domain or TCP
+    socket: one accept thread, one thread per connection, requests
+    executed inline under a store mutex.
+
+    Robustness properties:
+
+    - {b deadlines}: every admitted request gets a {!Tsj_join.Budget}
+      carrying [deadline_s]; an over-deadline query returns a partial
+      answer with bound sandwiches and the [degraded] flag rather than
+      blocking the server;
+    - {b admission control}: at most [max_inflight] work-bearing
+      requests run at once; beyond the watermark, requests are shed with
+      an explicit [BUSY] — deterministic, never a silent drop;
+    - {b isolation}: a malformed request, an injected handler fault or a
+      client disconnect quarantines that one connection (recorded with a
+      {!Tsj_join.Types.quarantined} reason) and leaves every other
+      connection untouched;
+    - {b graceful drain}: [DRAIN]/SIGTERM stops accepting, lets inflight
+      requests finish within [drain_budget_s] (then cancels their
+      budgets), flushes the store (snapshot + empty journal) and exits
+      cleanly;
+    - {b crash safety}: [ADD] is journaled before it is indexed
+      (see {!Store}), so killing the server at any point and restarting
+      yields an index equal to the acknowledged prefix.
+
+    Fault-injection hit points (see {!Tsj_util.Fault_inject}):
+    [server.accept] (payload = connection id), [server.request]
+    (payload = request ordinal on the connection), [server.journal]
+    (payload = sequence number, fired in {!Store.add}). *)
+
+type config = {
+  addr : Protocol.addr;
+  tau : int;
+  dir : string option;  (** journal/snapshot directory; [None] = ephemeral *)
+  domains : int;  (** verification parallelism per query *)
+  max_inflight : int;  (** admission watermark; beyond it, [BUSY] *)
+  deadline_s : float option;  (** per-request deadline *)
+  drain_budget_s : float;  (** how long drain waits for inflight work *)
+  max_line_bytes : int;  (** request lines longer than this are rejected *)
+  handle_sigterm : bool;  (** install a SIGTERM -> drain handler *)
+}
+
+val default_config : Protocol.addr -> tau:int -> config
+(** Ephemeral store, 1 domain, watermark 64, no deadline, 5 s drain
+    budget, 1 MiB line cap, no signal handler. *)
+
+type t
+
+val create : config -> (t, string) result
+(** Open the store (replaying any journal) and bind the listener.  The
+    server does not accept connections until {!start}. *)
+
+val start : t -> unit
+(** Spawn the accept thread (and the SIGTERM handler if configured). *)
+
+val drain : t -> unit
+(** Trigger a graceful drain (idempotent; also reachable via the
+    [DRAIN] request and SIGTERM).  Blocks until the store is flushed. *)
+
+val drained : t -> bool
+(** Whether a drain has completed (store flushed, listener closed). *)
+
+val wait : t -> unit
+(** Join the accept thread and every connection thread.  Returns once
+    the server has fully stopped (i.e. after a drain). *)
+
+val stats : t -> Protocol.stats_reply
+
+val store : t -> Store.t
+
+val quarantined : t -> Tsj_join.Types.quarantined list
+(** Connections quarantined so far (oldest first); [q_i] is the
+    connection id. *)

@@ -1,0 +1,224 @@
+module Bracket = Tsj_tree.Bracket
+module Incremental = Tsj_core.Incremental
+module Search = Tsj_core.Search
+module Fault = Tsj_util.Fault_inject
+module Text = Tsj_util.Text
+
+type t = {
+  dir : string option;
+  tau : int;
+  domains : int;
+  inc : Incremental.t;
+  mutable journal : out_channel option;
+  mutable journal_records : int;
+}
+
+let snapshot_path dir = Filename.concat dir "snapshot"
+
+let journal_path dir = Filename.concat dir "journal"
+
+(* One WAL record per acknowledged ADD:
+
+     add <seq> <bracket-tree> <fnv1a64-of-the-rest>
+
+   [seq] is the tree id the record creates, which makes replay
+   idempotent across the snapshot boundary: a crash between the snapshot
+   rename and the journal reset leaves both holding the same adds, and
+   replay skips every record whose seq is already covered by the
+   snapshot.  The checksum covers the whole payload, so a torn tail
+   (partial final write) is detected and dropped — exactly the adds
+   that were never acknowledged. *)
+let record_line ~seq tree =
+  let payload = Printf.sprintf "add %d %s" seq (Bracket.to_string tree) in
+  payload ^ " " ^ Text.fnv1a64_hex payload
+
+let parse_record line =
+  match String.rindex_opt line ' ' with
+  | None -> None
+  | Some i ->
+    let payload = String.sub line 0 i in
+    let crc = String.sub line (i + 1) (String.length line - i - 1) in
+    if Text.fnv1a64_hex payload <> crc then None
+    else if not (String.length payload > 4 && String.sub payload 0 4 = "add ") then None
+    else begin
+      let rest = String.sub payload 4 (String.length payload - 4) in
+      match String.index_opt rest ' ' with
+      | None -> None
+      | Some j -> (
+        match int_of_string_opt (String.sub rest 0 j) with
+        | None -> None
+        | Some seq when seq < 0 -> None
+        | Some seq -> (
+          match Bracket.of_string (String.sub rest (j + 1) (String.length rest - j - 1)) with
+          | Error _ -> None
+          | Ok tree -> Some (seq, tree)))
+    end
+
+let reopen_journal_for_append dir =
+  open_out_gen [ Open_append; Open_creat; Open_wronly ] 0o644 (journal_path dir)
+
+(* Replay the journal against [inc].  The valid prefix is applied; a
+   torn tail (first undecodable record with nothing valid after it) is
+   discarded and the file rewritten to the prefix, so appends continue
+   from a clean line boundary.  An undecodable record in the *middle* is
+   real corruption and rejected. *)
+let replay_journal inc dir =
+  let path = journal_path dir in
+  if not (Sys.file_exists path) then Ok 0
+  else
+    match In_channel.with_open_text path In_channel.input_all with
+    | exception Sys_error msg -> Error msg
+    | contents ->
+      let lines = String.split_on_char '\n' contents in
+      let lines = List.filteri (fun _ l -> String.trim l <> "") lines in
+      let parsed = List.map (fun l -> (l, parse_record l)) lines in
+      let rec split_valid acc = function
+        | [] -> Ok (List.rev acc, false)
+        | (_, Some r) :: rest -> split_valid (r :: acc) rest
+        | (_, None) :: rest ->
+          if List.exists (fun (_, r) -> r <> None) rest then
+            Error
+              (Printf.sprintf "journal record %d is corrupt (not at the tail)"
+                 (List.length acc + 1))
+          else Ok (List.rev acc, true)
+      in
+      (match split_valid [] parsed with
+      | Error _ as e -> e
+      | Ok (records, torn) -> (
+        let apply () =
+          List.fold_left
+            (fun r (seq, tree) ->
+              match r with
+              | Error _ as e -> e
+              | Ok n ->
+                let count = Incremental.n_trees inc in
+                if seq < count then Ok n (* already covered by the snapshot *)
+                else if seq = count then begin
+                  ignore (Incremental.add inc tree);
+                  Ok (n + 1)
+                end
+                else
+                  Error
+                    (Printf.sprintf
+                       "journal gap: record seq %d but only %d trees known" seq count))
+            (Ok 0) records
+        in
+        match apply () with
+        | Error _ as e -> e
+        | Ok applied ->
+          if torn then begin
+            (* Rewrite atomically so the next append starts on a clean
+               line; the torn bytes belonged to an unacknowledged add. *)
+            let tmp = path ^ ".tmp" in
+            Out_channel.with_open_text tmp (fun oc ->
+                List.iter
+                  (fun (seq, tree) ->
+                    output_string oc (record_line ~seq tree);
+                    output_char oc '\n')
+                  records);
+            Sys.rename tmp path
+          end;
+          ignore applied;
+          Ok (List.length records)))
+
+let open_ ?dir ?(domains = 1) ~tau () =
+  if tau < 0 then Error "Store.open_: negative threshold"
+  else if domains < 1 then Error "Store.open_: domains must be >= 1"
+  else
+    match dir with
+    | None ->
+      Ok
+        {
+          dir = None;
+          tau;
+          domains;
+          inc = Incremental.create ~tau ();
+          journal = None;
+          journal_records = 0;
+        }
+    | Some dir -> (
+      match
+        if Sys.file_exists dir then if Sys.is_directory dir then Ok () else Error (dir ^ " is not a directory")
+        else (
+          Unix.mkdir dir 0o755;
+          Ok ())
+      with
+      | exception Unix.Unix_error (e, _, _) -> Error (Unix.error_message e)
+      | Error _ as e -> e
+      | Ok () -> (
+        (* A snapshot's τ wins over the requested one: restart must
+           reproduce the pre-crash index exactly, and the partitioning
+           grain δ = 2τ + 1 is baked into it. *)
+        let snapshot = snapshot_path dir in
+        let loaded =
+          if Sys.file_exists snapshot then
+            Search.read_collection ~allow_duplicates:true snapshot
+          else Ok (tau, [||])
+        in
+        match loaded with
+        | Error msg -> Error ("snapshot: " ^ msg)
+        | Ok (tau, trees) -> (
+          let inc = Incremental.create ~tau () in
+          Array.iter (fun tree -> ignore (Incremental.add inc tree)) trees;
+          match replay_journal inc dir with
+          | Error msg -> Error ("journal: " ^ msg)
+          | Ok journal_records ->
+            Ok
+              {
+                dir = Some dir;
+                tau;
+                domains;
+                inc;
+                journal = Some (reopen_journal_for_append dir);
+                journal_records;
+              })))
+
+let tau t = t.tau
+
+let n_trees t = Incremental.n_trees t.inc
+
+let journal_records t = t.journal_records
+
+let tree t id = Incremental.tree t.inc id
+
+(* Durability before visibility: the WAL record is written and flushed
+   before the tree enters the index, so an acknowledged ADD survives a
+   kill at any later point, and a kill before the flush loses only an
+   unacknowledged request.  The [server.journal] hit point (payload =
+   seq) injects exactly that crash. *)
+let add t tree =
+  let seq = Incremental.n_trees t.inc in
+  (match t.journal with
+  | None -> ()
+  | Some oc ->
+    Fault.hit "server.journal" seq;
+    output_string oc (record_line ~seq tree);
+    output_char oc '\n';
+    flush oc;
+    t.journal_records <- t.journal_records + 1);
+  let partners = Incremental.add t.inc tree in
+  (seq, partners)
+
+let query ?budget ?tau t q = Incremental.query ?budget ~domains:t.domains ?tau t.inc q
+
+let nearest ~k t q = Incremental.nearest ~k t.inc q
+
+(* Snapshot, then reset the journal.  Both steps are individually
+   crash-safe: the snapshot rename is atomic, and a crash between it and
+   the reset only leaves redundant journal records that replay skips by
+   seq. *)
+let flush t =
+  match t.dir with
+  | None -> ()
+  | Some dir ->
+    let trees = Array.init (Incremental.n_trees t.inc) (Incremental.tree t.inc) in
+    Search.save_collection ~tau:t.tau trees (snapshot_path dir);
+    (match t.journal with Some oc -> close_out_noerr oc | None -> ());
+    Out_channel.with_open_text (journal_path dir) (fun _ -> ());
+    t.journal <- Some (reopen_journal_for_append dir);
+    t.journal_records <- 0
+
+let close t =
+  flush t;
+  (match t.journal with Some oc -> close_out_noerr oc | None -> ());
+  t.journal <- None

@@ -1,0 +1,65 @@
+(** Durable state of the similarity-search service: a streaming
+    {!Tsj_core.Incremental} index plus a crash-safe persistence pair —
+    an atomic snapshot and an append-only, checksummed journal (WAL).
+
+    Write path of {!add}: the record
+
+    {v add <seq> <bracket-tree> <fnv1a64-checksum> v}
+
+    is appended and flushed {e before} the tree enters the in-memory
+    index ([seq] = the tree id it creates), so an acknowledged [ADD]
+    survives a crash at any later point.  {!flush} writes a fresh
+    snapshot (atomic tmp + rename, {!Tsj_core.Search.save_collection}
+    format) and then truncates the journal; a crash between the two
+    steps only leaves journal records the snapshot already covers, which
+    replay skips by [seq].  {!open_} replays the journal over the
+    snapshot: a torn tail (an undecodable final record — a partial
+    write from a crash mid-append) is dropped and the journal rewritten
+    to its valid prefix, while an undecodable record {e followed by}
+    valid ones is real corruption and fails the open.
+
+    The [server.journal] fault-injection point fires in {!add} just
+    before the journal write (payload = [seq]): arming it models a
+    crash that loses exactly the unacknowledged add. *)
+
+type t
+
+val open_ : ?dir:string -> ?domains:int -> tau:int -> unit -> (t, string) result
+(** [open_ ~dir ~tau ()] loads (or initialises) the store rooted at
+    [dir] — [dir/snapshot] and [dir/journal], creating the directory if
+    needed.  An existing snapshot's τ overrides the requested one: a
+    restart must reproduce the pre-crash index, and the partitioning
+    grain δ = 2τ + 1 is baked into it.  Without [dir] the store is
+    ephemeral (no journal, no snapshot).  [domains] (default 1) is the
+    verification parallelism used by {!query}. *)
+
+val tau : t -> int
+
+val n_trees : t -> int
+
+val journal_records : t -> int
+(** Records currently in the journal (0 right after {!flush}). *)
+
+val tree : t -> int -> Tsj_tree.Tree.t
+
+val add : t -> Tsj_tree.Tree.t -> int * (int * int) list
+(** Journal (durably), then index.  Returns the new tree's id and its
+    join partners, as {!Tsj_core.Incremental.add}. *)
+
+val query :
+  ?budget:Tsj_join.Budget.t ->
+  ?tau:int ->
+  t ->
+  Tsj_tree.Tree.t ->
+  Tsj_core.Incremental.query_result
+(** Similarity search at [tau] (default: store τ), fanned over the
+    store's [domains]; see {!Tsj_core.Incremental.query}. *)
+
+val nearest : k:int -> t -> Tsj_tree.Tree.t -> (int * int) list
+
+val flush : t -> unit
+(** Snapshot atomically, then reset the journal.  No-op for an
+    ephemeral store. *)
+
+val close : t -> unit
+(** {!flush} and release the journal handle. *)

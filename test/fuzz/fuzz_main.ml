@@ -10,6 +10,7 @@
      dune exec test/fuzz/fuzz_main.exe -- join 20000 42
      dune exec test/fuzz/fuzz_main.exe -- ted 200000 42
      dune exec test/fuzz/fuzz_main.exe -- xml 200000 42
+     dune exec test/fuzz/fuzz_main.exe -- server 20000 42
 
    Modes:
    - lemma2: after <= tau random edits, some subgraph of the balanced
@@ -25,7 +26,12 @@
      (expected: 0);
    - xml: the XML parser on truncated/garbled/token-soup inputs must
      return [Ok]/[Error] without ever raising, and the lenient fragment
-     parser must terminate (expected: 0). *)
+     parser must terminate (expected: 0);
+   - server: a live tsj server fed truncated, byte-mutated, token-soup
+     and split-across-writes request lines over loopback connections
+     must answer every non-blank line with exactly one well-formed
+     reply (ERR/BUSY included), never kill an innocent connection, and
+     end the run healthy with zero inflight requests (expected: 0). *)
 
 module Tree = Tsj_tree.Tree
 module BT = Tsj_tree.Binary_tree
@@ -240,6 +246,175 @@ let fuzz_xml iterations rng =
   done;
   !failures
 
+(* Service robustness: a live server must survive arbitrary bytes on the
+   wire.  Every non-blank request line — valid, truncated, mutated or
+   soup — must be answered by exactly one reply that parses under the
+   wire protocol; blank lines get no reply; abrupt disconnects must only
+   ever cost the disconnecting client its own connection. *)
+let fuzz_server iterations rng =
+  let module Protocol = Tsj_server.Protocol in
+  let module Server = Tsj_server.Server in
+  let failures = ref 0 in
+  let sock = Filename.temp_file "tsj_fuzz" ".sock" in
+  Sys.remove sock;
+  let addr = Protocol.Unix_path sock in
+  let config =
+    { (Server.default_config addr ~tau:2) with
+      Server.deadline_s = Some 0.01; max_line_bytes = 4096 }
+  in
+  let server =
+    match Server.create config with
+    | Ok s -> s
+    | Error msg ->
+      Printf.eprintf "server: cannot start: %s\n" msg;
+      exit 2
+  in
+  Server.start server;
+  let connect () =
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    Unix.connect fd (Unix.ADDR_UNIX sock);
+    Unix.setsockopt_float fd Unix.SO_RCVTIMEO 10.0;
+    (fd, Unix.in_channel_of_descr fd, Unix.out_channel_of_descr fd)
+  in
+  let close_conn (fd, _, _) = try Unix.close fd with Unix.Unix_error _ -> () in
+  let conns = Array.init 4 (fun _ -> connect ()) in
+  let verbs = [| "QUERY"; "KNN"; "ADD"; "STATS"; "HEALTH"; "query"; "Knn" |] in
+  let soup_tokens =
+    [| "QUERY"; "ADD"; "{"; "}"; "{a}"; "{a{b}}"; "}{"; "-1"; "0"; "2"; "99999999999";
+       "x"; " "; "\t"; "\255"; "\000"; "{a{b}{c"; "DRAIN?"; "=" |]
+  in
+  let random_line () =
+    match Prng.int rng 10 with
+    | 0 | 1 | 2 ->
+      (* well-formed request over a small random tree *)
+      let tree = random_tree rng (1 + Prng.int rng 10) in
+      let s = Tsj_tree.Bracket.to_string tree in
+      (match Prng.int rng 6 with
+      | 0 -> "ADD " ^ s
+      | 1 | 2 -> Printf.sprintf "QUERY %d %s" (Prng.int rng 3) s
+      | 3 -> Printf.sprintf "KNN %d %s" (Prng.int rng 4) s
+      | 4 -> "STATS"
+      | _ -> "HEALTH")
+    | 3 | 4 ->
+      (* well-formed request, truncated at a random byte *)
+      let tree = random_tree rng (1 + Prng.int rng 10) in
+      let line = Printf.sprintf "QUERY 2 %s" (Tsj_tree.Bracket.to_string tree) in
+      String.sub line 0 (Prng.int rng (String.length line + 1))
+    | 5 | 6 ->
+      (* well-formed request with byte mutations *)
+      let tree = random_tree rng (1 + Prng.int rng 10) in
+      let verb = Prng.choice rng verbs in
+      let b =
+        Bytes.of_string
+          (Printf.sprintf "%s %d %s" verb (Prng.int rng 3)
+             (Tsj_tree.Bracket.to_string tree))
+      in
+      for _ = 0 to Prng.int rng 4 do
+        if Bytes.length b > 0 then
+          Bytes.set b (Prng.int rng (Bytes.length b)) (Char.chr (Prng.int rng 256))
+      done;
+      Bytes.to_string b
+    | 7 ->
+      (* oversized line: must be answered with ERR, not a hang *)
+      "QUERY 2 " ^ String.make (4096 + Prng.int rng 2048) '{'
+    | _ ->
+      (* token soup *)
+      String.concat " "
+        (List.init (Prng.int rng 12) (fun _ -> Prng.choice rng soup_tokens))
+  in
+  (* the server frames on '\n' and ignores lines that trim to "" *)
+  let sanitize line =
+    String.map (fun c -> if c = '\n' then '.' else c) line
+  in
+  let expects_reply line =
+    let line =
+      if String.length line > 0 && line.[String.length line - 1] = '\r' then
+        String.sub line 0 (String.length line - 1)
+      else line
+    in
+    String.trim line <> ""
+  in
+  for i = 1 to iterations do
+    let slot = Prng.int rng (Array.length conns) in
+    let _, ic, oc = conns.(slot) in
+    match
+      if Prng.int rng 200 = 0 then begin
+        (* abrupt disconnect mid-line: only this connection may suffer *)
+        output_string oc "QUERY 2 {a";
+        flush oc;
+        close_conn conns.(slot);
+        conns.(slot) <- connect ();
+        Ok ()
+      end
+      else begin
+        let line = sanitize (random_line ()) in
+        (* sometimes split the write to exercise partial-read framing *)
+        if String.length line > 1 && Prng.int rng 4 = 0 then begin
+          let cut = 1 + Prng.int rng (String.length line - 1) in
+          output_string oc (String.sub line 0 cut);
+          flush oc;
+          Thread.yield ();
+          output_string oc (String.sub line cut (String.length line - cut))
+        end
+        else output_string oc line;
+        output_char oc '\n';
+        flush oc;
+        if expects_reply line then begin
+          let reply = input_line ic in
+          match Protocol.parse_response reply with
+          | Ok _ -> Ok ()
+          | Error msg -> Error (Printf.sprintf "unparseable reply %S (%s)" reply msg)
+        end
+        else Ok ()
+      end
+    with
+    | Ok () -> ()
+    | Error detail | (exception Failure detail) ->
+      incr failures;
+      if !failures <= 5 then report "server" i detail
+    | exception End_of_file ->
+      incr failures;
+      if !failures <= 5 then report "server" i "server closed an innocent connection";
+      close_conn conns.(slot);
+      conns.(slot) <- connect ()
+    | exception exn ->
+      incr failures;
+      if !failures <= 5 then report "server" i (Printexc.to_string exn);
+      close_conn conns.(slot);
+      conns.(slot) <- connect ()
+  done;
+  (* the run must end with a healthy, idle server *)
+  let admin = connect () in
+  let _, ic, oc = admin in
+  output_string oc "STATS\n";
+  flush oc;
+  (match Protocol.parse_response (input_line ic) with
+  | Ok (Protocol.Stats_reply s) ->
+    if s.Protocol.inflight <> 0 then begin
+      incr failures;
+      report "server" iterations
+        (Printf.sprintf "leaked %d inflight requests" s.Protocol.inflight)
+    end;
+    Printf.printf
+      "server: trees=%d queries=%d adds=%d shed=%d degraded=%d errors=%d quarantined=%d\n"
+      s.Protocol.trees s.Protocol.queries s.Protocol.adds s.Protocol.shed
+      s.Protocol.degraded s.Protocol.errors s.Protocol.quarantined
+  | Ok r ->
+    incr failures;
+    report "server" iterations ("bad STATS reply " ^ Protocol.render_response r)
+  | Error msg | (exception Failure msg) ->
+    incr failures;
+    report "server" iterations ("unparseable STATS reply: " ^ msg)
+  | exception End_of_file ->
+    incr failures;
+    report "server" iterations "server dead at end of run");
+  close_conn admin;
+  Array.iter close_conn conns;
+  Server.drain server;
+  Server.wait server;
+  if Sys.file_exists sock then Sys.remove sock;
+  !failures
+
 let () =
   let mode, iterations, seed =
     match Array.to_list Sys.argv with
@@ -247,7 +422,8 @@ let () =
     | [ _; mode; iters ] -> (mode, int_of_string iters, 42)
     | [ _; mode; iters; seed ] -> (mode, int_of_string iters, int_of_string seed)
     | _ ->
-      prerr_endline "usage: fuzz_main (lemma2|windows|join|ted|xml) [iterations] [seed]";
+      prerr_endline
+        "usage: fuzz_main (lemma2|windows|join|ted|xml|server) [iterations] [seed]";
       exit 2
   in
   let rng = Prng.create seed in
@@ -258,6 +434,7 @@ let () =
     | "join" -> fuzz_join iterations rng
     | "ted" -> fuzz_ted iterations rng
     | "xml" -> fuzz_xml iterations rng
+    | "server" -> fuzz_server iterations rng
     | other ->
       Printf.eprintf "unknown mode %S\n" other;
       exit 2

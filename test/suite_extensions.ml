@@ -199,7 +199,21 @@ let test_join_with_non_self () =
     (out.Types.stats.Types.n_candidates >= out.Types.stats.Types.n_results)
 
 let test_search_save_load () =
-  let trees = collection 13 20 in
+  (* [Search.load] is strict about duplicate records, so round-trip a
+     duplicate-free collection (the 1-edit copies in [collection] can
+     occasionally undo themselves into exact duplicates) *)
+  let trees =
+    let seen = Hashtbl.create 32 in
+    collection 13 24 |> Array.to_list
+    |> List.filter (fun t ->
+           let key = Tsj_tree.Bracket.to_string t in
+           if Hashtbl.mem seen key then false
+           else begin
+             Hashtbl.add seen key ();
+             true
+           end)
+    |> Array.of_list
+  in
   let idx = Search.build ~tau:2 trees in
   let path = Filename.temp_file "tsj" ".idx" in
   Search.save idx path;
@@ -207,7 +221,7 @@ let test_search_save_load () =
   | Error e -> Alcotest.fail e
   | Ok idx' ->
     Alcotest.(check int) "tau restored" 2 (Search.tau idx');
-    Alcotest.(check int) "trees restored" 20 (Search.n_trees idx');
+    Alcotest.(check int) "trees restored" (Array.length trees) (Search.n_trees idx');
     let rng = Prng.create 2 in
     for _ = 1 to 8 do
       let q = Gen.random_tree rng (4 + Prng.int rng 12) in
@@ -225,6 +239,66 @@ let test_search_save_load () =
   match Search.load "/nonexistent/definitely/missing" with
   | Ok _ -> Alcotest.fail "expected missing-file failure"
   | Error _ -> ()
+
+(* Strict collection parsing: every rejection names the offending file
+   line, in the same "line L[, column C]" convention as the lenient
+   bracket parser. *)
+let test_search_load_located_errors () =
+  let write lines =
+    let p = Filename.temp_file "tsj" ".idx" in
+    Out_channel.with_open_text p (fun oc ->
+        List.iter
+          (fun l ->
+            output_string oc l;
+            output_char oc '\n')
+          lines);
+    p
+  in
+  let contains msg sub =
+    let n = String.length sub in
+    let rec scan i =
+      i + n <= String.length msg && (String.sub msg i n = sub || scan (i + 1))
+    in
+    scan 0
+  in
+  let expect_err sub lines =
+    let p = write lines in
+    (match Search.load p with
+    | Ok _ -> Alcotest.failf "expected rejection mentioning %S" sub
+    | Error msg ->
+      if not (contains msg sub) then
+        Alcotest.failf "error %S does not mention %S" msg sub);
+    Sys.remove p
+  in
+  let header = "# tsj-search-index v1" in
+  expect_err "line 2: negative threshold tau = -3" [ header; "# tau -3"; "{a}" ];
+  expect_err "line 2: corrupt tau header \"x\"" [ header; "# tau x"; "{a}" ];
+  expect_err "line 2: corrupt tau header" [ header; "# tau" ];
+  expect_err "line 4: empty record" [ header; "# tau 2"; "{a}"; ""; "{b}" ];
+  expect_err "line 4: duplicate record (identical to line 3)"
+    [ header; "# tau 2"; "{a{b}}"; "{a{b}}" ];
+  expect_err "line 3, column" [ header; "# tau 2"; "{a{b}" ];
+  (* comments in the body are fine; the line accounting must still point
+     at the real file line *)
+  expect_err "line 5: duplicate record (identical to line 3)"
+    [ header; "# tau 2"; "{a{b}}"; "# interlude"; "{a{b}}" ];
+  (* the lenient reader admits duplicates (server snapshots may hold
+     client-inserted repeats) but keeps every other check *)
+  let p = write [ header; "# tau 2"; "{a{b}}"; "{a{b}}" ] in
+  (match Search.read_collection ~allow_duplicates:true p with
+  | Error e -> Alcotest.fail e
+  | Ok (tau, trees) ->
+    Alcotest.(check int) "tau kept" 2 tau;
+    Alcotest.(check int) "both records kept" 2 (Array.length trees));
+  Sys.remove p;
+  (* a well-formed file with comments round-trips *)
+  let p = write [ header; "# tau 1"; "{a}"; "# note"; "{b}" ] in
+  (match Search.load p with
+  | Error e -> Alcotest.fail e
+  | Ok idx ->
+    Alcotest.(check int) "trees loaded" 2 (Search.n_trees idx);
+    Alcotest.(check int) "tau loaded" 1 (Search.tau idx));
+  Sys.remove p
 
 let test_join_with_disjoint_sizes () =
   (* All probe trees are far bigger than indexed ones: zero candidates. *)
@@ -249,6 +323,7 @@ let suite =
     Alcotest.test_case "search tau too big" `Quick test_search_tau_too_big;
     Alcotest.test_case "search empty collection" `Quick test_search_empty_collection;
     Alcotest.test_case "search save/load" `Quick test_search_save_load;
+    Alcotest.test_case "search load located errors" `Quick test_search_load_located_errors;
     Alcotest.test_case "non-self join = brute force" `Quick test_join_with_non_self;
     Alcotest.test_case "non-self join disjoint sizes" `Quick test_join_with_disjoint_sizes;
   ]

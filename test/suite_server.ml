@@ -1,0 +1,639 @@
+(* Tests for the similarity-search service: protocol, journaled store,
+   kill-and-restart crash safety, the socket server (admission control,
+   per-connection isolation, drain) and the retrying client. *)
+
+module Tree = Tsj_tree.Tree
+module Bracket = Tsj_tree.Bracket
+module Prng = Tsj_util.Prng
+module Fault = Tsj_util.Fault_inject
+module Protocol = Tsj_server.Protocol
+module Store = Tsj_server.Store
+module Server = Tsj_server.Server
+module Client = Tsj_server.Client
+module Faults = Tsj_harness.Faults
+module Incremental = Tsj_core.Incremental
+
+let t s = Bracket.of_string_exn s
+
+let ok_or_fail = function Ok v -> v | Error msg -> Alcotest.fail msg
+
+(* --- protocol --- *)
+
+let test_addr_parse () =
+  let check s expected =
+    match (Protocol.addr_of_string s, expected) with
+    | Ok a, Some e ->
+      Alcotest.(check string) s (Protocol.addr_to_string e) (Protocol.addr_to_string a)
+    | Error _, None -> ()
+    | Ok a, None -> Alcotest.failf "%s parsed as %s" s (Protocol.addr_to_string a)
+    | Error msg, Some _ -> Alcotest.failf "%s rejected: %s" s msg
+  in
+  check "/tmp/tsj.sock" (Some (Protocol.Unix_path "/tmp/tsj.sock"));
+  check "relative.sock" (Some (Protocol.Unix_path "relative.sock"));
+  check "localhost:7070" (Some (Protocol.Tcp ("localhost", 7070)));
+  check ":7070" (Some (Protocol.Tcp ("127.0.0.1", 7070)));
+  check "10.0.0.1:1" (Some (Protocol.Tcp ("10.0.0.1", 1)));
+  check "host:0" None;
+  check "host:65536" None;
+  check "host:notaport" None;
+  check "" None
+
+let test_request_roundtrip () =
+  let reqs =
+    [
+      Protocol.Query { tau = 2; tree = t "{a{b}{c}}" };
+      Protocol.Knn { k = 5; tree = t "{a}" };
+      Protocol.Add (t "{x{y{z}}}");
+      Protocol.Stats;
+      Protocol.Health;
+      Protocol.Drain;
+    ]
+  in
+  List.iter
+    (fun req ->
+      let line = Protocol.render_request req in
+      match Protocol.parse_request line with
+      | Error msg -> Alcotest.failf "round trip of %S failed: %s" line msg
+      | Ok req' ->
+        Alcotest.(check string) ("round trip " ^ line) line
+          (Protocol.render_request req'))
+    reqs;
+  (* leniency and diagnostics *)
+  let err line =
+    match Protocol.parse_request line with
+    | Error msg -> msg
+    | Ok _ -> Alcotest.failf "%S unexpectedly parsed" line
+  in
+  Alcotest.(check bool) "unknown verb lists commands" true
+    (String.length (err "FROB {a}") > 20);
+  ignore (err "QUERY x {a}");
+  ignore (err "QUERY 2");
+  ignore (err "QUERY -1 {a}");
+  ignore (err "KNN -2 {a}");
+  ignore (err "ADD");
+  ignore (err "ADD {a");
+  ignore (err "STATS now");
+  ignore (err "");
+  (* located tree diagnostics survive *)
+  let msg = err "QUERY 1 {a{b}" in
+  Alcotest.(check bool) ("has location: " ^ msg) true
+    (String.length msg > 10 && String.sub msg 0 6 = "QUERY:");
+  (* case-insensitive verb *)
+  (match Protocol.parse_request "query 1 {a}" with
+  | Ok (Protocol.Query { tau = 1; _ }) -> ()
+  | _ -> Alcotest.fail "lowercase verb rejected")
+
+let test_response_roundtrip () =
+  let resps =
+    [
+      Protocol.Hits { degraded = false; hits = [ (0, 1); (3, 2) ]; unverified = [] };
+      Protocol.Hits
+        { degraded = true; hits = [ (1, 0) ]; unverified = [ (4, 1, 3); (9, 0, 2) ] };
+      Protocol.Hits { degraded = false; hits = []; unverified = [] };
+      Protocol.Added { id = 7; partners = [ (1, 2); (3, 0) ] };
+      Protocol.Added { id = 0; partners = [] };
+      Protocol.Stats_reply
+        {
+          trees = 10; tau = 2; queries = 5; adds = 10; shed = 1; degraded = 2;
+          errors = 3; quarantined = 1; inflight = 0; draining = false;
+          journal_records = 4;
+        };
+      Protocol.Health_reply { draining = false };
+      Protocol.Health_reply { draining = true };
+      Protocol.Drained;
+      Protocol.Busy;
+      Protocol.Err "something went wrong";
+    ]
+  in
+  List.iter
+    (fun r ->
+      let line = Protocol.render_response r in
+      Alcotest.(check bool) ("single line: " ^ line) false (String.contains line '\n');
+      match Protocol.parse_response line with
+      | Error msg -> Alcotest.failf "round trip of %S failed: %s" line msg
+      | Ok r' ->
+        Alcotest.(check string) ("round trip " ^ line) line
+          (Protocol.render_response r'))
+    resps;
+  (* a newline smuggled into an error reason cannot break framing *)
+  let line = Protocol.render_response (Protocol.Err "multi\nline\treason") in
+  Alcotest.(check bool) "newline stripped" false (String.contains line '\n');
+  (* malformed replies are rejected, not raised *)
+  List.iter
+    (fun s ->
+      match Protocol.parse_response s with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "%S unexpectedly parsed" s)
+    [ "HITS 0 2 0 1:2"; "HITS 2 0 0"; "ADDED x 0"; "STATS trees=1"; "OK"; "nonsense" ]
+
+(* --- store --- *)
+
+let trees_of seed n =
+  let rng = Prng.create seed in
+  Array.init n (fun _ -> Gen.random_tree rng (3 + Prng.int rng 10))
+
+let with_store_dir f =
+  let dir = Filename.temp_file "tsj_store" "" in
+  Sys.remove dir;
+  Fun.protect
+    ~finally:(fun () ->
+      if Sys.file_exists dir && Sys.is_directory dir then begin
+        Array.iter
+          (fun x -> try Sys.remove (Filename.concat dir x) with Sys_error _ -> ())
+          (Sys.readdir dir);
+        try Unix.rmdir dir with Unix.Unix_error _ -> ()
+      end)
+    (fun () -> f dir)
+
+let test_store_persistence () =
+  with_store_dir (fun dir ->
+      let trees = trees_of 51 12 in
+      let store = ok_or_fail (Store.open_ ~dir ~tau:2 ()) in
+      Array.iteri
+        (fun i tree ->
+          let id, _ = Store.add store tree in
+          Alcotest.(check int) "sequential ids" i id)
+        trees;
+      Alcotest.(check int) "journal grows" 12 (Store.journal_records store);
+      (* reopen WITHOUT close: pure journal replay *)
+      let replayed = ok_or_fail (Store.open_ ~dir ~tau:2 ()) in
+      Alcotest.(check int) "replayed all" 12 (Store.n_trees replayed);
+      Array.iteri
+        (fun i tree ->
+          Alcotest.(check bool) (Printf.sprintf "tree %d back" i) true
+            (Tree.equal tree (Store.tree replayed i)))
+        trees;
+      (* flush resets the journal but keeps the trees via the snapshot *)
+      Store.flush replayed;
+      Alcotest.(check int) "journal empty after flush" 0
+        (Store.journal_records replayed);
+      let id, _ = Store.add replayed (t "{q{r}}") in
+      Alcotest.(check int) "adds continue after flush" 12 id;
+      Store.close replayed;
+      let reopened = ok_or_fail (Store.open_ ~dir ~tau:2 ()) in
+      Alcotest.(check int) "snapshot + tail" 13 (Store.n_trees reopened);
+      Alcotest.(check int) "clean close emptied journal" 0
+        (Store.journal_records reopened);
+      (* stored tau wins over the requested one *)
+      let reopened2 = ok_or_fail (Store.open_ ~dir ~tau:5 ()) in
+      Alcotest.(check int) "snapshot tau wins" 2 (Store.tau reopened2);
+      Store.close reopened;
+      Store.close reopened2)
+
+let test_store_corrupt_journal_rejected () =
+  with_store_dir (fun dir ->
+      let store = ok_or_fail (Store.open_ ~dir ~tau:1 ()) in
+      ignore (Store.add store (t "{a}"));
+      ignore (Store.add store (t "{b}"));
+      ignore (Store.add store (t "{c}"));
+      (* no close: journal holds 3 records *)
+      let journal = Filename.concat dir "journal" in
+      let lines =
+        In_channel.with_open_text journal In_channel.input_lines
+      in
+      (* corrupt the MIDDLE record: that is real corruption, not a torn
+         tail, and must fail the open *)
+      (match lines with
+      | [ l1; _l2; l3 ] ->
+        Out_channel.with_open_text journal (fun oc ->
+            List.iter
+              (fun l -> Printf.fprintf oc "%s\n" l)
+              [ l1; "add 1 {b} deadbeefdeadbeef"; l3 ])
+      | _ -> Alcotest.fail "expected 3 journal records");
+      (match Store.open_ ~dir ~tau:1 () with
+      | Ok _ -> Alcotest.fail "mid-journal corruption accepted"
+      | Error msg ->
+        Alcotest.(check bool) ("diagnostic: " ^ msg) true
+          (String.length msg > 10)))
+
+let test_store_seq_gap_rejected () =
+  with_store_dir (fun dir ->
+      let store = ok_or_fail (Store.open_ ~dir ~tau:1 ()) in
+      ignore (Store.add store (t "{a}"));
+      let journal = Filename.concat dir "journal" in
+      (* append a record whose seq skips ahead — a lost record *)
+      let payload = "add 5 {z}" in
+      let crc = Tsj_util.Text.fnv1a64_hex payload in
+      Out_channel.with_open_gen [ Open_append ] 0o644 journal (fun oc ->
+          Printf.fprintf oc "%s %s\n" payload crc);
+      match Store.open_ ~dir ~tau:1 () with
+      | Ok _ -> Alcotest.fail "seq gap accepted"
+      | Error msg ->
+        Alcotest.(check bool) ("mentions gap: " ^ msg) true
+          (String.length msg > 5))
+
+(* --- kill-and-restart (the acceptance scenario) --- *)
+
+let test_kill_and_restart () =
+  let trees = trees_of 61 14 in
+  let queries = trees_of 62 4 in
+  List.iter
+    (fun domains ->
+      List.iter
+        (fun kill_at ->
+          let r =
+            Faults.run_server_kill_and_restart ~domains ~kill_at_add:kill_at
+              ~trees ~queries ~tau:2 ()
+          in
+          Alcotest.(check bool)
+            (Printf.sprintf "killed (domains=%d kill_at=%d)" domains kill_at)
+            true r.Faults.server_killed;
+          Alcotest.(check int) "acked = kill point" kill_at r.Faults.acked;
+          Alcotest.(check bool)
+            (Printf.sprintf "bit-identical after restart (domains=%d kill_at=%d)"
+               domains kill_at)
+            true r.Faults.answers_match)
+        (* seq numbers are 0-based: 13 kills just before the final add *)
+        [ 1; 7; 13 ])
+    [ 1; 4 ]
+
+let test_kill_and_restart_torn_tail () =
+  let trees = trees_of 63 10 in
+  let queries = trees_of 64 4 in
+  List.iter
+    (fun domains ->
+      let r =
+        Faults.run_server_kill_and_restart ~domains ~kill_at_add:5 ~tear_tail:true
+          ~trees ~queries ~tau:2 ()
+      in
+      Alcotest.(check bool) "killed" true r.Faults.server_killed;
+      Alcotest.(check int) "acked" 5 r.Faults.acked;
+      Alcotest.(check int) "torn tail loses exactly one" 4 r.Faults.expected;
+      Alcotest.(check bool)
+        (Printf.sprintf "bit-identical after torn-tail restart (domains=%d)" domains)
+        true r.Faults.answers_match)
+    [ 1; 4 ]
+
+(* Property (qcheck): ANY interleaving of ADD/QUERY with a kill at an
+   arbitrary point replays to an index answering bit-identically to one
+   fed the surviving prefix — with and without a torn journal tail. *)
+let prop_restart_deterministic =
+  Gen.qtest ~count:25 "journal replay deterministic under random kills"
+    QCheck.(triple (int_bound 1000) (int_bound 12) bool)
+    (fun (seed, kill_raw, tear_tail) ->
+      let rng = Prng.create (7000 + seed) in
+      let n = 4 + Prng.int rng 10 in
+      let trees = Array.init n (fun _ -> Gen.random_tree rng (3 + Prng.int rng 9)) in
+      let queries =
+        Array.init 3 (fun k ->
+            (* mix member and fresh probes *)
+            if k = 0 then trees.(Prng.int rng n)
+            else Gen.random_tree rng (3 + Prng.int rng 9))
+      in
+      let kill_at = kill_raw mod n in
+      let r =
+        Faults.run_server_kill_and_restart ~kill_at_add:kill_at ~tear_tail ~trees
+          ~queries ~tau:2 ()
+      in
+      r.Faults.answers_match)
+
+(* --- socket server end-to-end --- *)
+
+let with_server ?(tau = 2) ?dir ?(max_inflight = 64) ?deadline_s ?(domains = 1) f =
+  let sock = Filename.temp_file "tsj_sock" "" in
+  Sys.remove sock;
+  let addr = Protocol.Unix_path sock in
+  let config =
+    { (Server.default_config addr ~tau) with
+      Server.dir; domains; max_inflight; deadline_s; drain_budget_s = 5.0 }
+  in
+  let server = ok_or_fail (Server.create config) in
+  Server.start server;
+  Fun.protect
+    ~finally:(fun () ->
+      Server.drain server;
+      Server.wait server;
+      if Sys.file_exists sock then Sys.remove sock)
+    (fun () -> f addr server)
+
+let request conn req = ok_or_fail (Client.request conn req)
+
+(* A raw line client, for sending bytes the typed client never would. *)
+let raw_connect addr =
+  match addr with
+  | Protocol.Unix_path p ->
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    Unix.connect fd (Unix.ADDR_UNIX p);
+    (fd, Unix.in_channel_of_descr fd, Unix.out_channel_of_descr fd)
+  | Protocol.Tcp _ -> Alcotest.fail "raw_connect: unix sockets only in tests"
+
+let raw_request (_, ic, oc) line =
+  output_string oc line;
+  output_char oc '\n';
+  flush oc;
+  input_line ic
+
+let test_server_end_to_end () =
+  with_server (fun addr server ->
+      let conn = ok_or_fail (Client.connect addr) in
+      (* health first *)
+      (match request conn Protocol.Health with
+      | Protocol.Health_reply { draining = false } -> ()
+      | r -> Alcotest.failf "bad health reply %s" (Protocol.render_response r));
+      (* build a tiny index over the wire *)
+      let added =
+        List.map
+          (fun s ->
+            match request conn (Protocol.Add (t s)) with
+            | Protocol.Added { id; partners } -> (id, partners)
+            | r -> Alcotest.failf "bad add reply %s" (Protocol.render_response r))
+          [ "{a{b}{c}}"; "{a{b}{d}}"; "{x{y{z}}}" ]
+      in
+      Alcotest.(check (list int)) "ids sequential" [ 0; 1; 2 ]
+        (List.map fst added);
+      Alcotest.(check (list (pair int int))) "partners of the near-duplicate"
+        [ (0, 1) ]
+        (snd (List.nth added 1));
+      (* threshold query *)
+      (match request conn (Protocol.Query { tau = 1; tree = t "{a{b}{c}}" }) with
+      | Protocol.Hits { degraded = false; hits; unverified = [] } ->
+        Alcotest.(check (list (pair int int))) "query hits" [ (0, 0); (1, 1) ] hits
+      | r -> Alcotest.failf "bad query reply %s" (Protocol.render_response r));
+      (* top-k *)
+      (match request conn (Protocol.Knn { k = 1; tree = t "{a{b}{c}}" }) with
+      | Protocol.Hits { hits = [ (0, 0) ]; _ } -> ()
+      | r -> Alcotest.failf "bad knn reply %s" (Protocol.render_response r));
+      (* a query over the index threshold is an ERR, not a crash *)
+      (match request conn (Protocol.Query { tau = 9; tree = t "{a}" }) with
+      | Protocol.Err _ -> ()
+      | r -> Alcotest.failf "expected ERR, got %s" (Protocol.render_response r));
+      (* stats reflect everything *)
+      (match request conn Protocol.Stats with
+      | Protocol.Stats_reply s ->
+        Alcotest.(check int) "trees" 3 s.Protocol.trees;
+        Alcotest.(check int) "adds" 3 s.Protocol.adds;
+        Alcotest.(check int) "queries" 2 s.Protocol.queries;
+        Alcotest.(check int) "errors" 1 s.Protocol.errors;
+        Alcotest.(check bool) "not draining" false s.Protocol.draining
+      | r -> Alcotest.failf "bad stats reply %s" (Protocol.render_response r));
+      Client.close conn;
+      ignore server)
+
+let test_server_malformed_isolation () =
+  with_server (fun addr server ->
+      (* connection A misbehaves; connection B must be untouched *)
+      let a = raw_connect addr in
+      let b = ok_or_fail (Client.connect addr) in
+      (match request b (Protocol.Add (t "{a{b}}")) with
+      | Protocol.Added _ -> ()
+      | r -> Alcotest.failf "B add failed: %s" (Protocol.render_response r));
+      List.iter
+        (fun bad ->
+          let reply = raw_request a bad in
+          Alcotest.(check bool)
+            (Printf.sprintf "%S answered ERR (got %S)" bad reply)
+            true
+            (String.length reply >= 3 && String.sub reply 0 3 = "ERR"))
+        [ "FROB"; "QUERY"; "QUERY x {a}"; "ADD {a"; "ADD {a{b}"; "QUERY 1 }{";
+          "STATS please"; "\007\255garbage" ];
+      (* blank lines are ignored (no reply) and the connection survives:
+         send a blank line followed by a bad verb — the single reply we
+         read back belongs to the bad verb *)
+      (match a with
+      | _, ic, oc ->
+        output_string oc "  \r\nFROB\n";
+        flush oc;
+        let reply = input_line ic in
+        Alcotest.(check bool) "blank line skipped, FROB answered" true
+          (String.length reply >= 3 && String.sub reply 0 3 = "ERR"));
+      (match a with fd, _, _ -> (try Unix.close fd with Unix.Unix_error _ -> ()));
+      (* B still works after A's abuse *)
+      (match request b (Protocol.Query { tau = 1; tree = t "{a{b}}" }) with
+      | Protocol.Hits { hits = [ (0, 0) ]; _ } -> ()
+      | r -> Alcotest.failf "B poisoned by A: %s" (Protocol.render_response r));
+      Client.close b;
+      ignore server)
+
+let test_server_injected_request_fault_isolation () =
+  with_server (fun addr server ->
+      let a = ok_or_fail (Client.connect addr) in
+      (match request a (Protocol.Add (t "{a{b}}")) with
+      | Protocol.Added _ -> ()
+      | r -> Alcotest.failf "setup add failed: %s" (Protocol.render_response r));
+      (* arm the per-request fault point at request #1: connection A's
+         second request raises inside the handler, while connection B's
+         first request (numbered 0) is untouched.  Only A may die; the
+         server and other connections keep serving. *)
+      Fault.with_armed "server.request" ~at:1 (fun () ->
+          (match Client.request a (Protocol.Query { tau = 1; tree = t "{a{b}}" }) with
+          | Ok r ->
+            Alcotest.failf "expected connection death, got %s"
+              (Protocol.render_response r)
+          | Error _ -> ());
+          (* the victim connection is quarantined, with a reason *)
+          let rec wait_quarantine n =
+            if n = 0 then Alcotest.fail "no quarantine record for the killed connection"
+            else if Server.quarantined server = [] then begin
+              Thread.yield ();
+              wait_quarantine (n - 1)
+            end
+          in
+          wait_quarantine 10_000;
+          (* a fresh connection is served normally *)
+          let b = ok_or_fail (Client.connect addr) in
+          (match request b (Protocol.Query { tau = 1; tree = t "{a{b}}" }) with
+          | Protocol.Hits { hits = [ (0, 0) ]; _ } -> ()
+          | r -> Alcotest.failf "server poisoned: %s" (Protocol.render_response r));
+          Client.close b);
+      Client.close a;
+      (match Server.quarantined server with
+      | [ q ] ->
+        Alcotest.(check bool) "reason is the injected fault" true
+          (match q.Tsj_join.Types.q_reason with
+          | Tsj_join.Types.Verify_failed msg ->
+            String.length msg >= 14 && String.sub msg 0 14 = "server.request"
+          | _ -> false)
+      | qs -> Alcotest.failf "expected 1 quarantine record, got %d" (List.length qs)))
+
+let test_server_admission_busy () =
+  (* watermark 0: every work-bearing request is shed, deterministically,
+     with an explicit BUSY — control requests still pass *)
+  with_server ~max_inflight:0 (fun addr server ->
+      let conn = ok_or_fail (Client.connect addr) in
+      (match request conn (Protocol.Add (t "{a}")) with
+      | Protocol.Busy -> ()
+      | r -> Alcotest.failf "expected BUSY, got %s" (Protocol.render_response r));
+      (match request conn (Protocol.Query { tau = 1; tree = t "{a}" }) with
+      | Protocol.Busy -> ()
+      | r -> Alcotest.failf "expected BUSY, got %s" (Protocol.render_response r));
+      (match request conn Protocol.Health with
+      | Protocol.Health_reply _ -> ()
+      | r -> Alcotest.failf "control request shed: %s" (Protocol.render_response r));
+      (match request conn Protocol.Stats with
+      | Protocol.Stats_reply s ->
+        Alcotest.(check int) "both sheds counted" 2 s.Protocol.shed;
+        Alcotest.(check int) "nothing admitted" 0 s.Protocol.adds
+      | r -> Alcotest.failf "bad stats: %s" (Protocol.render_response r));
+      Client.close conn;
+      ignore server)
+
+let test_server_deadline_degrades () =
+  (* a deadline that has always already expired: the query must still
+     answer — degraded, with the exact duplicate surfaced as a bound
+     sandwich (lower = 0), never a hang or a drop *)
+  with_server ~deadline_s:1e-9 (fun addr server ->
+      let conn = ok_or_fail (Client.connect addr) in
+      let dup = t "{a{b}{c}{d}}" in
+      (match request conn (Protocol.Add dup) with
+      | Protocol.Added { id = 0; _ } -> ()
+      | r -> Alcotest.failf "add failed: %s" (Protocol.render_response r));
+      (match request conn (Protocol.Query { tau = 2; tree = dup }) with
+      | Protocol.Hits { degraded = true; hits; unverified } ->
+        let covered =
+          List.mem_assoc 0 hits
+          || List.exists (fun (i, lo, _) -> i = 0 && lo = 0) unverified
+        in
+        Alcotest.(check bool) "duplicate surfaced in the degraded answer" true covered
+      | r -> Alcotest.failf "expected degraded HITS, got %s" (Protocol.render_response r));
+      (match request conn Protocol.Stats with
+      | Protocol.Stats_reply s -> Alcotest.(check int) "degraded counted" 1 s.Protocol.degraded
+      | r -> Alcotest.failf "bad stats: %s" (Protocol.render_response r));
+      Client.close conn;
+      ignore server)
+
+let test_server_drain_flushes () =
+  with_store_dir (fun dir ->
+      with_server ~dir (fun addr server ->
+          let conn = ok_or_fail (Client.connect addr) in
+          List.iter
+            (fun s -> ignore (request conn (Protocol.Add (t s))))
+            [ "{a{b}}"; "{c{d}{e}}"; "{f}" ];
+          (match request conn Protocol.Drain with
+          | Protocol.Drained -> ()
+          | r -> Alcotest.failf "bad drain reply %s" (Protocol.render_response r));
+          Server.wait server;
+          Alcotest.(check bool) "drained" true (Server.drained server);
+          (* new connections are refused after the drain *)
+          (match Client.connect addr with
+          | Error _ -> ()
+          | Ok c ->
+            (* accepting is stopped; at worst the connect succeeds against
+               a dead socket and the request fails *)
+            (match Client.request c (Protocol.Query { tau = 1; tree = t "{a}" }) with
+            | Error _ -> ()
+            | Ok r ->
+              Alcotest.failf "served after drain: %s" (Protocol.render_response r));
+            Client.close c));
+      (* the drain left a complete snapshot and an empty journal: a cold
+         start sees everything without replay *)
+      let store = ok_or_fail (Store.open_ ~dir ~tau:2 ()) in
+      Alcotest.(check int) "cold start sees all trees" 3 (Store.n_trees store);
+      Alcotest.(check int) "journal empty" 0 (Store.journal_records store);
+      let r = Store.query store (t "{a{b}}") in
+      Alcotest.(check (list (pair int int))) "cold index answers"
+        [ (0, 0); (2, 2) ] r.Incremental.hits;
+      Store.close store)
+
+let test_server_accept_fault_drops_one_connection () =
+  with_server (fun addr server ->
+      (* the injected accept fault must drop exactly that connection *)
+      Fault.with_armed "server.accept" (fun () ->
+          let victim = ok_or_fail (Client.connect addr) in
+          (* the server closes it without serving; our request fails *)
+          (match Client.request victim (Protocol.Health) with
+          | Error _ -> ()
+          | Ok r ->
+            Alcotest.failf "victim served despite accept fault: %s"
+              (Protocol.render_response r));
+          Client.close victim);
+      let survivor = ok_or_fail (Client.connect addr) in
+      (match request survivor Protocol.Health with
+      | Protocol.Health_reply _ -> ()
+      | r -> Alcotest.failf "server dead after accept fault: %s"
+               (Protocol.render_response r));
+      Client.close survivor;
+      Alcotest.(check int) "accept fault quarantined" 1
+        (List.length (Server.quarantined server)))
+
+(* --- client retry / backoff --- *)
+
+let test_client_backoff_deterministic () =
+  (* same seed -> same jittered schedule; bounds respected *)
+  let schedule seed =
+    let rng = Prng.create seed in
+    List.init 6 (fun i ->
+        Client.backoff_delay ~base_delay_s:0.05 ~max_delay_s:2.0 ~rng i)
+  in
+  Alcotest.(check (list (float 1e-12))) "reproducible" (schedule 7) (schedule 7);
+  List.iteri
+    (fun i d ->
+      let cap = Float.min 2.0 (0.05 *. Float.pow 2.0 (float_of_int i)) in
+      Alcotest.(check bool)
+        (Printf.sprintf "attempt %d in [cap/2, cap]" i)
+        true
+        (d >= (cap /. 2.0) -. 1e-12 && d <= cap +. 1e-12))
+    (schedule 11)
+
+let test_client_with_retries () =
+  let slept = ref [] in
+  let sleep d = slept := d :: !slept in
+  let rng = Prng.create 3 in
+  let calls = ref 0 in
+  let flaky () =
+    incr calls;
+    if !calls < 3 then Error "transient" else Ok !calls
+  in
+  (match Client.with_retries ~attempts:5 ~sleep ~rng flaky with
+  | Ok 3 -> ()
+  | Ok n -> Alcotest.failf "returned after %d calls" n
+  | Error e -> Alcotest.fail e);
+  Alcotest.(check int) "slept between attempts" 2 (List.length !slept);
+  (* exhaustion returns the last error and sleeps attempts-1 times *)
+  let slept2 = ref 0 in
+  (match
+     Client.with_retries ~attempts:3 ~sleep:(fun _ -> incr slept2)
+       ~rng:(Prng.create 4) (fun () -> Error "always")
+   with
+  | Error "always" -> ()
+  | Error e -> Alcotest.failf "wrong error %s" e
+  | Ok _ -> Alcotest.fail "expected failure");
+  Alcotest.(check int) "attempts-1 sleeps" 2 !slept2;
+  Alcotest.check_raises "attempts >= 1"
+    (Invalid_argument "Client.with_retries: attempts must be >= 1") (fun () ->
+      ignore (Client.with_retries ~attempts:0 ~rng:(Prng.create 1) (fun () -> Ok ())))
+
+let test_client_retries_busy_preserved () =
+  (* a persistently shedding server: the retrying client must surface
+     BUSY as BUSY (an explicit answer), not as a transport error *)
+  with_server ~max_inflight:0 (fun addr server ->
+      let rng = Prng.create 5 in
+      (match
+         Client.request_with_retries ~attempts:3 ~sleep:(fun _ -> ()) ~rng addr
+           (Protocol.Add (t "{a}"))
+       with
+      | Ok Protocol.Busy -> ()
+      | Ok r -> Alcotest.failf "expected BUSY, got %s" (Protocol.render_response r)
+      | Error e -> Alcotest.failf "BUSY masked as error: %s" e);
+      ignore server)
+
+let suite =
+  [
+    Alcotest.test_case "addr parse" `Quick test_addr_parse;
+    Alcotest.test_case "request round trip" `Quick test_request_roundtrip;
+    Alcotest.test_case "response round trip" `Quick test_response_roundtrip;
+    Alcotest.test_case "store persistence" `Quick test_store_persistence;
+    Alcotest.test_case "store rejects mid-journal corruption" `Quick
+      test_store_corrupt_journal_rejected;
+    Alcotest.test_case "store rejects seq gaps" `Quick test_store_seq_gap_rejected;
+    Alcotest.test_case "kill and restart (1 and 4 domains)" `Quick test_kill_and_restart;
+    Alcotest.test_case "kill and restart with torn tail" `Quick
+      test_kill_and_restart_torn_tail;
+    prop_restart_deterministic;
+    Alcotest.test_case "server end to end" `Quick test_server_end_to_end;
+    Alcotest.test_case "server isolates malformed connections" `Quick
+      test_server_malformed_isolation;
+    Alcotest.test_case "server isolates injected request faults" `Quick
+      test_server_injected_request_fault_isolation;
+    Alcotest.test_case "server sheds with BUSY at the watermark" `Quick
+      test_server_admission_busy;
+    Alcotest.test_case "server degrades over-deadline queries" `Quick
+      test_server_deadline_degrades;
+    Alcotest.test_case "server drain flushes snapshot + journal" `Quick
+      test_server_drain_flushes;
+    Alcotest.test_case "server survives accept faults" `Quick
+      test_server_accept_fault_drops_one_connection;
+    Alcotest.test_case "client backoff deterministic" `Quick
+      test_client_backoff_deterministic;
+    Alcotest.test_case "client with_retries" `Quick test_client_with_retries;
+    Alcotest.test_case "client preserves BUSY" `Quick test_client_retries_busy_preserved;
+  ]

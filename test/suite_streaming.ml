@@ -100,6 +100,133 @@ let test_incremental_rejects_negative () =
     (Invalid_argument "Incremental.create: negative threshold") (fun () ->
       ignore (Incremental.create ~tau:(-1) ()))
 
+(* Regression for the empty-band early-exit in the probe: a stream of
+   wildly disparate sizes (most probe bands empty) must produce exactly
+   the same pairs as the batch join — the short-circuit can only skip
+   work, never candidates. *)
+let test_incremental_disparate_sizes_early_exit () =
+  let rng = Prng.create 57 in
+  let acc = ref [] in
+  for i = 0 to 23 do
+    (* sizes 3, ~30, ~60, 3, ... — adjacent arrivals never share a band *)
+    let size = 3 + (i mod 3 * 27) + Prng.int rng 3 in
+    acc := Gen.random_tree rng size :: !acc
+  done;
+  let trees = Array.of_list !acc in
+  let order = Array.init (Array.length trees) (fun i -> i) in
+  List.iter
+    (fun tau ->
+      Alcotest.(check (list (triple int int int)))
+        (Printf.sprintf "tau=%d disparate sizes" tau)
+        (batch_triples trees tau)
+        (stream_join trees order tau))
+    [ 1; 2; 3 ]
+
+(* --- incremental query / nearest (the serving path) --- *)
+
+let brute_force trees q tau =
+  Array.to_list trees
+  |> List.mapi (fun i t -> (i, Tsj_ted.Zhang_shasha.distance q t))
+  |> List.filter (fun (_, d) -> d <= tau)
+  |> List.sort (fun (i1, d1) (i2, d2) ->
+         if d1 <> d2 then compare d1 d2 else compare i1 i2)
+
+let test_incremental_query_matches_search () =
+  let trees = clustered 41 30 in
+  let tau = 2 in
+  let inc = Incremental.create ~tau () in
+  Array.iter (fun t -> ignore (Incremental.add inc t)) trees;
+  let rng = Prng.create 5 in
+  for _ = 1 to 12 do
+    let q =
+      if Prng.bool rng then trees.(Prng.int rng (Array.length trees))
+      else Gen.random_tree rng (3 + Prng.int rng 14)
+    in
+    List.iter
+      (fun tau' ->
+        let expected = brute_force trees q tau' in
+        List.iter
+          (fun domains ->
+            let r = Incremental.query ~domains ~tau:tau' inc q in
+            Alcotest.(check bool)
+              (Printf.sprintf "not degraded (tau=%d domains=%d)" tau' domains)
+              false r.Incremental.degraded;
+            Alcotest.(check (list (triple int int int))) "no unverified" []
+              r.Incremental.unverified;
+            Alcotest.(check (list (pair int int)))
+              (Printf.sprintf "query = brute force (tau=%d domains=%d)" tau' domains)
+              expected r.Incremental.hits)
+          [ 1; 4 ])
+      [ 0; 1; 2 ]
+  done
+
+let test_incremental_query_validation () =
+  let inc = Incremental.create ~tau:1 () in
+  let q = Gen.random_tree (Prng.create 3) 5 in
+  Alcotest.check_raises "tau too big"
+    (Invalid_argument "Incremental.query: tau = 2 exceeds the index threshold 1")
+    (fun () -> ignore (Incremental.query ~tau:2 inc q));
+  Alcotest.check_raises "negative tau"
+    (Invalid_argument "Incremental.query: negative threshold") (fun () ->
+      ignore (Incremental.query ~tau:(-1) inc q));
+  Alcotest.check_raises "bad domains"
+    (Invalid_argument "Incremental.query: domains must be >= 1") (fun () ->
+      ignore (Incremental.query ~domains:0 inc q))
+
+let test_incremental_query_degraded_sound () =
+  (* An already-expired budget forces the fully degraded path: no hit may
+     be invented, and every true hit must appear either in [hits] or as
+     an unverified bound sandwich with lower <= d <= upper. *)
+  let trees = clustered 42 30 in
+  let tau = 2 in
+  let inc = Incremental.create ~tau () in
+  Array.iter (fun t -> ignore (Incremental.add inc t)) trees;
+  let rng = Prng.create 11 in
+  for _ = 1 to 8 do
+    let q = trees.(Prng.int rng (Array.length trees)) in
+    let budget = Tsj_join.Budget.create () in
+    Tsj_join.Budget.cancel budget;
+    let r = Incremental.query ~budget inc q in
+    let truth = brute_force trees q tau in
+    List.iter
+      (fun (id, d) ->
+        Alcotest.(check bool) "reported hit is true" true (List.mem_assoc id truth);
+        Alcotest.(check int) "distance exact" (List.assoc id truth) d)
+      r.Incremental.hits;
+    List.iter
+      (fun (id, d) ->
+        let in_hits = List.mem_assoc id r.Incremental.hits in
+        let sandwiched =
+          List.exists
+            (fun (i, lo, hi) -> i = id && lo <= d && d <= hi)
+            r.Incremental.unverified
+        in
+        if not (in_hits || sandwiched) then
+          Alcotest.failf "true hit %d (d=%d) lost by the degraded answer" id d)
+      truth
+  done
+
+let test_incremental_nearest () =
+  let trees = clustered 43 26 in
+  let tau = 3 in
+  let inc = Incremental.create ~tau () in
+  Array.iter (fun t -> ignore (Incremental.add inc t)) trees;
+  let idx = Tsj_core.Search.build ~tau trees in
+  let rng = Prng.create 23 in
+  for _ = 1 to 10 do
+    let q = Gen.random_tree rng (3 + Prng.int rng 14) in
+    List.iter
+      (fun k ->
+        Alcotest.(check (list (pair int int)))
+          (Printf.sprintf "nearest k=%d = Search.nearest" k)
+          (Tsj_core.Search.nearest ~k idx q)
+          (Incremental.nearest ~k inc q))
+      [ 0; 1; 3; 7 ]
+  done;
+  Alcotest.check_raises "negative k"
+    (Invalid_argument "Incremental.nearest: negative k") (fun () ->
+      ignore (Incremental.nearest ~k:(-1) inc (Gen.random_tree rng 4)))
+
 (* --- parallel map / parallel verification --- *)
 
 let test_parallel_map_matches_sequential () =
@@ -153,6 +280,16 @@ let suite =
       test_incremental_descending_sizes;
     Alcotest.test_case "incremental accessors" `Quick test_incremental_accessors;
     Alcotest.test_case "incremental validation" `Quick test_incremental_rejects_negative;
+    Alcotest.test_case "incremental disparate sizes (early exit)" `Quick
+      test_incremental_disparate_sizes_early_exit;
+    Alcotest.test_case "incremental query = brute force" `Quick
+      test_incremental_query_matches_search;
+    Alcotest.test_case "incremental query validation" `Quick
+      test_incremental_query_validation;
+    Alcotest.test_case "incremental query degraded soundness" `Quick
+      test_incremental_query_degraded_sound;
+    Alcotest.test_case "incremental nearest = search nearest" `Quick
+      test_incremental_nearest;
     Alcotest.test_case "parallel map = sequential" `Quick test_parallel_map_matches_sequential;
     Alcotest.test_case "parallel map short/empty" `Quick test_parallel_map_short_array;
     Alcotest.test_case "parallel map validation" `Quick test_parallel_map_validation;

@@ -17,4 +17,5 @@ let () =
       ("faults", Suite_faults.suite);
       ("formats", Suite_formats.suite);
       ("cli", Suite_cli.suite);
+      ("server", Suite_server.suite);
     ]
