@@ -169,21 +169,25 @@ let () =
       ("perf", fun () -> Experiments.perf config);
       ("resilience", fun () -> Experiments.resilience config);
       ("serving", fun () -> Experiments.serving config);
+      ("replication", fun () -> Experiments.replication config);
       ( "smoke",
-        (* Tiny-scale perf + resilience + serving run — the dune runtest
-           hook.  Exercises the whole parallel pipeline (pool, block
-           sweep, pipelined verify, JSON emission), fails on any
-           cross-domain mismatch, runs one kill-and-resume scenario
-           asserting the resumed output bit-identical to an
-           uninterrupted run, and drives the similarity-search service
-           end-to-end (burst, shed accounting, drain, crash replay). *)
+        (* Tiny-scale perf + resilience + serving + replication run —
+           the dune runtest hook.  Exercises the whole parallel pipeline
+           (pool, block sweep, pipelined verify, JSON emission), fails
+           on any cross-domain mismatch, runs one kill-and-resume
+           scenario asserting the resumed output bit-identical to an
+           uninterrupted run, drives the similarity-search service
+           end-to-end (burst, shed accounting, drain, crash replay),
+           and runs the replicated cluster through a primary kill,
+           promotion and the randomized failover storm. *)
         fun () ->
           let tiny =
             { config with Experiments.scale = Float.min config.Experiments.scale 0.0625 }
           in
           Experiments.perf tiny;
           Experiments.resilience tiny;
-          Experiments.serving tiny );
+          Experiments.serving tiny;
+          Experiments.replication tiny );
       ("micro", micro);
       ( "all",
         fun () ->

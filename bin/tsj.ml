@@ -447,13 +447,31 @@ let serve_cmd =
          & info [ "preload" ] ~docv:"FILE"
              ~doc:"Seed the index with a file of bracket trees before serving.")
   in
-  let run addr tau dir jobs max_inflight deadline drain_budget preload format =
+  let replica_of =
+    Arg.(value & opt_all addr_conv []
+         & info [ "replica-of" ] ~docv:"ADDR"
+             ~doc:"Start as a replica streaming the journal from this primary \
+                   (repeatable; peers are tried in order with backoff).  A \
+                   replica refuses writes with FENCED until promoted.")
+  in
+  let quorum =
+    Arg.(value & opt int 1
+         & info [ "quorum" ] ~docv:"N"
+             ~doc:"Durable copies (including the own journal) required before \
+                   an ADD is acknowledged; 1 means single-node semantics.")
+  in
+  let run addr tau dir jobs max_inflight deadline drain_budget preload replica_of
+      quorum format =
     if tau < 0 then begin
       Printf.eprintf "tsj: tau must be non-negative\n";
       exit 2
     end;
     if jobs < 1 then begin
       Printf.eprintf "tsj: -j must be >= 1\n";
+      exit 2
+    end;
+    if quorum < 1 then begin
+      Printf.eprintf "tsj: --quorum must be >= 1\n";
       exit 2
     end;
     let config =
@@ -464,6 +482,9 @@ let serve_cmd =
         deadline_s = deadline;
         drain_budget_s = drain_budget;
         handle_sigterm = true;
+        quorum;
+        sync_from = replica_of;
+        primary = replica_of = [];
       }
     in
     match Tsj_server.Server.create config with
@@ -479,10 +500,12 @@ let serve_cmd =
           (fun t -> ignore (Tsj_server.Store.add (Tsj_server.Server.store server) t))
           trees;
         Printf.printf "preloaded %d trees\n%!" (Array.length trees));
-      Printf.printf "tsj: serving on %s (tau=%d%s)\n%!"
+      Printf.printf "tsj: serving on %s (tau=%d%s, %s, quorum=%d)\n%!"
         (Tsj_server.Protocol.addr_to_string addr)
         (Tsj_server.Store.tau (Tsj_server.Server.store server))
-        (match dir with Some d -> ", dir=" ^ d | None -> ", ephemeral");
+        (match dir with Some d -> ", dir=" ^ d | None -> ", ephemeral")
+        (if replica_of = [] then "primary" else "replica")
+        quorum;
       Tsj_server.Server.start server;
       Tsj_server.Server.wait server;
       let s = Tsj_server.Server.stats server in
@@ -496,7 +519,45 @@ let serve_cmd =
     (Cmd.info "serve"
        ~doc:"Run the fault-tolerant similarity-search service")
     Term.(const run $ addr $ tau $ dir $ jobs $ max_inflight $ deadline
-          $ drain_budget $ preload $ format_arg)
+          $ drain_budget $ preload $ replica_of $ quorum $ format_arg)
+
+(* --- promote --- *)
+
+let promote_cmd =
+  let remote =
+    Arg.(required & pos 0 (some addr_conv) None & info [] ~docv:"ADDR"
+           ~doc:"Replica to promote: a Unix socket path or host:port.")
+  in
+  let timeout =
+    Arg.(value & opt float 10.0
+         & info [ "timeout" ] ~docv:"SECS" ~doc:"Socket send/receive timeout.")
+  in
+  let run remote timeout =
+    match Tsj_server.Client.connect ~timeout_s:timeout remote with
+    | Error msg ->
+      Printf.eprintf "tsj: cannot connect: %s\n" msg;
+      exit 3
+    | Ok conn ->
+      let result = Tsj_server.Client.request conn Tsj_server.Protocol.Promote in
+      Tsj_server.Client.close conn;
+      (match result with
+      | Ok (Tsj_server.Protocol.Promoted epoch) ->
+        Printf.printf "promoted: epoch %d\n" epoch
+      | Ok (Tsj_server.Protocol.Err msg) ->
+        Printf.eprintf "tsj: promote refused: %s\n" msg;
+        exit 1
+      | Ok other ->
+        Printf.eprintf "tsj: unexpected reply: %s\n"
+          (Tsj_server.Protocol.render_response other);
+        exit 1
+      | Error msg ->
+        Printf.eprintf "tsj: promote failed: %s\n" msg;
+        exit 3)
+  in
+  Cmd.v
+    (Cmd.info "promote"
+       ~doc:"Promote a replica to primary (bumps the fencing epoch)")
+    Term.(const run $ remote $ timeout)
 
 (* --- query (remote) --- *)
 
@@ -545,7 +606,7 @@ let query_cmd =
           exit 2
         | Some s ->
           let t = parse_tree_arg s in
-          if add then Tsj_server.Protocol.Add t
+          if add then Tsj_server.Protocol.Add { seq = None; tree = t }
           else (
             match top with
             | Some k -> Tsj_server.Protocol.Knn { k; tree = t }
@@ -576,8 +637,12 @@ let query_cmd =
     | Ok (Tsj_server.Protocol.Added { id; partners }) ->
       Printf.printf "added %d (%d partners)\n" id (List.length partners);
       List.iter (fun (i, d) -> Printf.printf "%d\t%d\n" i d) partners
+    | Ok (Tsj_server.Protocol.Fenced epoch) ->
+      Printf.eprintf "tsj: write refused: a primary at epoch %d exists (FENCED)\n" epoch;
+      exit 4
     | Ok (Tsj_server.Protocol.Stats_reply _ as r) | Ok (Tsj_server.Protocol.Health_reply _ as r)
-    | Ok (Tsj_server.Protocol.Drained as r) ->
+    | Ok (Tsj_server.Protocol.Drained as r) | Ok (Tsj_server.Protocol.Promoted _ as r)
+    | Ok ((Tsj_server.Protocol.Sync_stream _ | Tsj_server.Protocol.Record _) as r) ->
       print_endline (Tsj_server.Protocol.render_response r)
   in
   Cmd.v
@@ -599,7 +664,7 @@ let bench_cmd =
   let what =
     Arg.(value & pos_all string [ "all" ] & info [] ~docv:"EXPERIMENT"
            ~doc:"fig10, fig12, fig14, ablation, parallel, perf, streaming, \
-                 serving or all.")
+                 resilience, serving, replication or all.")
   in
   let run scale seed jobs what =
     if jobs < 1 then begin
@@ -620,7 +685,9 @@ let bench_cmd =
         | "parallel" -> Tsj_harness.Experiments.parallel config
         | "perf" -> Tsj_harness.Experiments.perf config
         | "streaming" -> Tsj_harness.Experiments.streaming config
+        | "resilience" -> Tsj_harness.Experiments.resilience config
         | "serving" -> Tsj_harness.Experiments.serving config
+        | "replication" -> Tsj_harness.Experiments.replication config
         | "all" -> Tsj_harness.Experiments.run_all config
         | other ->
           Printf.eprintf "tsj: unknown experiment %S\n" other;
@@ -638,4 +705,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ ted_cmd; join_cmd; gen_cmd; partition_cmd; search_cmd; serve_cmd;
-            query_cmd; bench_cmd ]))
+            promote_cmd; query_cmd; bench_cmd ]))

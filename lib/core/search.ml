@@ -80,9 +80,9 @@ let query ?tau t q =
 let format_line = "tsj-search-index v1"
 
 (* Also the snapshot format of the server store (Tsj_server.Store):
-   publication is atomic (tmp + rename) so a crash mid-save leaves
-   either the previous complete file or a stray .tmp, never a torn
-   collection. *)
+   publication is atomic (tmp + rename, directory fsynced so the rename
+   survives a machine crash) so a crash mid-save leaves either the
+   previous complete file or a stray .tmp, never a torn collection. *)
 let save_collection ~tau trees path =
   let tmp = path ^ ".tmp" in
   Out_channel.with_open_text tmp (fun oc ->
@@ -92,7 +92,7 @@ let save_collection ~tau trees path =
           Out_channel.output_string oc (Tsj_tree.Bracket.to_string tree);
           Out_channel.output_char oc '\n')
         trees);
-  Sys.rename tmp path
+  Tsj_util.Durable.rename tmp path
 
 let save t path = save_collection ~tau:t.tau t.trees path
 

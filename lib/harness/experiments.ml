@@ -633,7 +633,7 @@ let serving config =
       for _ = 1 to per_client do
         let req =
           let k = Atomic.fetch_and_add next_add 1 in
-          if k < n then Protocol.Add trees.(k)
+          if k < n then Protocol.Add { seq = None; tree = trees.(k) }
           else Protocol.Query { tau; tree = trees.(Tsj_util.Prng.int rng n) }
         in
         let t0 = Tsj_util.Timer.now () in
@@ -762,6 +762,220 @@ let serving config =
   in
   rm tmp
 
+(* --- replication: journal streaming, quorum ACKs, epoch-fenced
+   failover --- *)
+
+let replication config =
+  Table.heading ~out:config.out
+    "Extension — replicated serving (journal streaming, quorum ACKs, epoch-fenced \
+     failover)";
+  let module Server = Tsj_server.Server in
+  let module Store = Tsj_server.Store in
+  let module Client = Tsj_server.Client in
+  let module Protocol = Tsj_server.Protocol in
+  let fail msg = failwith ("Experiments.replication: " ^ msg) in
+  let ok_or_fail = function Ok v -> v | Error msg -> fail msg in
+  let profile = Profiles.swissprot in
+  let n = max 24 (int_of_float (160.0 *. config.scale)) in
+  let trees = Profiles.instantiate profile ~seed:config.seed ~n in
+  let tau = 2 in
+  let tmp = Filename.temp_file "tsj_repl" "" in
+  Sys.remove tmp;
+  Unix.mkdir tmp 0o755;
+  let addr i = Protocol.Unix_path (Filename.concat tmp (Printf.sprintf "sock%d" i)) in
+  let dir i = Filename.concat tmp (Printf.sprintf "store%d" i) in
+  let mk ~primary ~sync_from i =
+    let config' =
+      { (Server.default_config (addr i) ~tau) with
+        Server.dir = Some (dir i);
+        domains = config.domains;
+        quorum = 2;
+        sync_from;
+        primary;
+      }
+    in
+    let server = ok_or_fail (Server.create config') in
+    Server.start server;
+    server
+  in
+  (* one primary, two journal-streaming followers; every ADD is
+     acknowledged only once durable on two of the three nodes *)
+  let p0 = mk ~primary:true ~sync_from:[] 0 in
+  let r1 = mk ~primary:false ~sync_from:[ addr 0 ] 1 in
+  let r2 = mk ~primary:false ~sync_from:[ addr 0; addr 1 ] 2 in
+  let rng = Tsj_util.Prng.create (config.seed + 99) in
+  let fo =
+    Client.Failover.create ~timeout_s:2.0 ~rng [ addr 0; addr 1; addr 2 ]
+  in
+  (* the client-side safe-retry ADD; "quorum not reached" while a
+     follower is still registering is retried here *)
+  let add_acked tree =
+    let deadline = Tsj_util.Timer.now () +. 30.0 in
+    let rec go () =
+      match Client.Failover.add fo tree with
+      | Ok (Protocol.Added { id; _ }) -> id
+      | (Ok (Protocol.Err _) | Ok (Protocol.Fenced _) | Error _)
+        when Tsj_util.Timer.now () < deadline ->
+        Unix.sleepf 0.02;
+        go ()
+      | Ok r -> fail ("ADD not acknowledged: " ^ Protocol.render_response r)
+      | Error msg -> fail ("ADD failed: " ^ msg)
+    in
+    go ()
+  in
+  let preload = n / 2 in
+  (* phase 1: quorum-acked writes into the healthy cluster *)
+  ignore (add_acked trees.(0));
+  let (), pre_wall =
+    Tsj_util.Timer.wall (fun () ->
+        for i = 1 to preload - 1 do
+          ignore (add_acked trees.(i))
+        done)
+  in
+  let pre_rps = float_of_int (preload - 1) /. Float.max 1e-9 pre_wall in
+  (* phase 2: kill -9 the primary mid-service, promote a replica over
+     the wire, and measure abort -> first acknowledged ADD *)
+  Server.abort p0;
+  let t0 = Tsj_util.Timer.now () in
+  (let conn = ok_or_fail (Client.connect (addr 1)) in
+   (match Client.request conn Protocol.Promote with
+   | Ok (Protocol.Promoted e) ->
+     if e <> 1 then fail (Printf.sprintf "promotion at epoch %d, expected 1" e)
+   | Ok r -> fail ("PROMOTE failed: " ^ Protocol.render_response r)
+   | Error msg -> fail ("PROMOTE failed: " ^ msg));
+   Client.close conn);
+  let first_id = add_acked trees.(preload) in
+  let failover_latency = Tsj_util.Timer.now () -. t0 in
+  if first_id <> preload then
+    fail (Printf.sprintf "post-failover ADD got seq %d, expected %d" first_id preload);
+  (* phase 3: post-failover throughput on the surviving pair *)
+  let (), post_wall =
+    Tsj_util.Timer.wall (fun () ->
+        for i = preload + 1 to n - 1 do
+          ignore (add_acked trees.(i))
+        done)
+  in
+  let post_rps = float_of_int (n - preload - 1) /. Float.max 1e-9 post_wall in
+  (* phase 4: both survivors must answer queries bit-identically to a
+     single-node store that never failed *)
+  let reference = ok_or_fail (Store.open_ ~domains:config.domains ~tau ()) in
+  Array.iter (fun tree -> ignore (Store.add reference tree)) trees;
+  let conn1 = ok_or_fail (Client.connect (addr 1)) in
+  let conn2 = ok_or_fail (Client.connect (addr 2)) in
+  let wait_trees conn label =
+    let deadline = Tsj_util.Timer.now () +. 30.0 in
+    let rec go () =
+      match Client.request conn Protocol.Stats with
+      | Ok (Protocol.Stats_reply s) when s.Protocol.trees = n && s.Protocol.epoch = 1 ->
+        ()
+      | Ok _ when Tsj_util.Timer.now () < deadline ->
+        Unix.sleepf 0.02;
+        go ()
+      | Ok _ -> fail (label ^ " never converged")
+      | Error msg -> fail (label ^ " stats failed: " ^ msg)
+    in
+    go ()
+  in
+  wait_trees conn1 "promoted primary";
+  wait_trees conn2 "surviving replica";
+  let queries = Array.init (min 6 n) (fun k -> trees.(k * (n / min 6 n))) in
+  let survivors_identical =
+    Array.for_all
+      (fun q ->
+        let expected = (Store.query reference q).Tsj_core.Incremental.hits in
+        List.for_all
+          (fun conn ->
+            match Client.request conn (Protocol.Query { tau; tree = q }) with
+            | Ok (Protocol.Hits { degraded = false; hits; _ }) -> hits = expected
+            | Ok _ | Error _ -> false)
+          [ conn1; conn2 ])
+      queries
+  in
+  Store.close reference;
+  if not survivors_identical then
+    fail "a survivor answers differently from the unfailed reference";
+  Client.close conn1;
+  Client.close conn2;
+  List.iter
+    (fun s ->
+      (try Server.drain s with _ -> ());
+      try Server.wait s with _ -> ())
+    [ r1; r2; p0 ];
+  (* phase 5: the randomized kill/partition storm, in process *)
+  let storm_trees = Array.sub trees 0 (min 24 n) in
+  let storm =
+    Faults.run_failover_storm ~domains:config.domains ~seed:config.seed ~rounds:30
+      ~trees:storm_trees
+      ~queries:(Array.sub storm_trees 0 (min 4 (Array.length storm_trees)))
+      ~tau ()
+  in
+  if not storm.Faults.acked_preserved then fail "storm lost an acknowledged ADD";
+  if not storm.Faults.single_writer then fail "storm saw two writers in one epoch";
+  if not (storm.Faults.converged && storm.Faults.cluster_answers_match) then
+    fail "storm cluster did not converge to the unfailed reference";
+  printf config
+    "\n  (%s profile, %d trees, tau = %d, quorum 2/3, primary killed at %d adds,\n\
+    \   storm: %d rounds, %d chaos points, %d failovers)\n"
+    profile.Profiles.name n tau preload storm.Faults.storm_rounds
+    storm.Faults.chaos_points storm.Faults.failovers;
+  Table.print ~out:config.out
+    ~header:[ "metric"; "value" ]
+    ~align:[ Table.Left; Table.Right ]
+    [
+      [ "quorum-acked ADD rate (healthy)"; Printf.sprintf "%.0f add/s" pre_rps ];
+      [ "failover latency (abort -> acked ADD)";
+        Printf.sprintf "%.1f ms" (failover_latency *. 1000.0) ];
+      [ "quorum-acked ADD rate (post-failover)"; Printf.sprintf "%.0f add/s" post_rps ];
+      [ "survivors vs unfailed reference";
+        (if survivors_identical then "bit-identical" else "NO") ];
+      [ "storm acked ADDs lost";
+        (if storm.Faults.acked_preserved then "0" else "SOME") ];
+      [ "storm writers per epoch"; (if storm.Faults.single_writer then "1" else ">1") ];
+      [ "storm acked / failed ADDs";
+        Printf.sprintf "%d / %d" storm.Faults.acked_adds storm.Faults.failed_adds ];
+    ];
+  let oc = open_out "BENCH_replication.json" in
+  Printf.fprintf oc
+    "{\n\
+    \  \"benchmark\": \"tsj_replication\",\n\
+    \  \"dataset\": \"%s\",\n\
+    \  \"n_trees\": %d,\n\
+    \  \"tau\": %d,\n\
+    \  \"seed\": %d,\n\
+    \  \"domains\": %d,\n\
+    \  \"quorum\": 2,\n\
+    \  \"replicas\": 3,\n\
+    \  \"pre_failover_add_rps\": %.1f,\n\
+    \  \"failover_latency_ms\": %.2f,\n\
+    \  \"post_failover_add_rps\": %.1f,\n\
+    \  \"survivors_identical\": %b,\n\
+    \  \"storm_rounds\": %d,\n\
+    \  \"storm_chaos_points\": %d,\n\
+    \  \"storm_failovers\": %d,\n\
+    \  \"storm_acked_adds\": %d,\n\
+    \  \"storm_acked_preserved\": %b,\n\
+    \  \"storm_single_writer\": %b,\n\
+    \  \"storm_converged\": %b,\n\
+    \  \"storm_answers_match\": %b\n\
+     }\n"
+    profile.Profiles.name n tau config.seed config.domains pre_rps
+    (failover_latency *. 1000.0)
+    post_rps survivors_identical storm.Faults.storm_rounds storm.Faults.chaos_points
+    storm.Faults.failovers storm.Faults.acked_adds storm.Faults.acked_preserved
+    storm.Faults.single_writer storm.Faults.converged
+    storm.Faults.cluster_answers_match;
+  close_out oc;
+  printf config "  wrote BENCH_replication.json\n";
+  let rec rm path =
+    if Sys.file_exists path then
+      if Sys.is_directory path then begin
+        Array.iter (fun f -> rm (Filename.concat path f)) (Sys.readdir path);
+        (try Unix.rmdir path with Unix.Unix_error _ -> ())
+      end
+      else try Sys.remove path with Sys_error _ -> ()
+  in
+  rm tmp
+
 let run_all config =
   fig10_11 config;
   fig12_13 config;
@@ -771,4 +985,5 @@ let run_all config =
   perf config;
   streaming config;
   resilience config;
-  serving config
+  serving config;
+  replication config

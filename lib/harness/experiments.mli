@@ -78,5 +78,19 @@ val serving : config -> unit
     shed counts, and writes [BENCH_serving.json].
     @raise Failure on any violation. *)
 
+val replication : config -> unit
+(** Extension bench: the replicated service.  Starts a
+    primary-plus-two-replica cluster over temp Unix sockets (quorum 2,
+    journal streaming), drives quorum-acked ADDs through the failover
+    client, then [abort]s the primary (kill -9 semantics), promotes a
+    replica over the wire and measures the failover latency (abort to
+    first acknowledged ADD) and post-failover throughput; asserts both
+    survivors answer bit-identically to a single-node store that never
+    failed.  Finishes with the in-process
+    {!Faults.run_failover_storm} (randomized kills and partitions),
+    asserting zero acknowledged ADDs lost and one writer per epoch.
+    Writes [BENCH_replication.json].
+    @raise Failure on any violation. *)
+
 val run_all : config -> unit
 (** Everything above, in paper order, extensions last. *)

@@ -166,3 +166,412 @@ let run_server_kill_and_restart ?(domains = 1) ?(kill_at_add = 1) ?(tear_tail = 
   Tsj_server.Store.close replayed_store;
   remove_store_dir dir;
   { server_killed; acked = !acked; expected; replayed; answers_match }
+
+(* --- replicated-cluster failover storm --- *)
+
+module Sstore = Tsj_server.Store
+module Replica = Tsj_server.Replica
+module Cluster = Tsj_server.Cluster
+module Sproto = Tsj_server.Protocol
+module Prng = Tsj_util.Prng
+
+type failover_report = {
+  storm_rounds : int;
+  chaos_points : int;
+  acked_adds : int;
+  failed_adds : int;
+  failovers : int;
+  final_epoch : int;
+  acked_preserved : bool;
+  single_writer : bool;
+  converged : bool;
+  cluster_answers_match : bool;
+}
+
+type storm_node = {
+  sn_idx : int;
+  sn_dir : string;
+  mutable sn_store : Sstore.t;
+  mutable sn_replica : Replica.t;
+  mutable sn_cluster : Cluster.t;
+  mutable sn_dead : bool;
+  mutable sn_partitioned : bool;
+  mutable sn_stream_gen : int;
+      (* bumped whenever the node (re)starts a replication stream; links
+         created under an older generation fail like a closed socket *)
+}
+
+(* A three-node cluster driven entirely in process: real journaled
+   stores in temp directories, the real {!Replica}/{!Cluster} state
+   machines, and an in-memory transport whose send and recv legs both
+   check for partitions — so a record can be durably applied on the
+   follower while its ack is lost, the ambiguous half of every
+   replication protocol.
+
+   The driver plays both the client (safe-retry ADDs with a sticky
+   sequence number) and the operator (heal partitions, restart crashed
+   nodes as followers, promote the reachable node with the highest
+   (epoch, n_trees) when the primary is gone).  One chaos event fires
+   per round against an otherwise healed cluster — quorum 2-of-3
+   tolerates exactly one failure, so that is the envelope worth
+   asserting in. *)
+let run_failover_storm ?(domains = 1) ?(seed = 0xC1A05) ?(rounds = 40) ?(quorum = 2)
+    ~trees ~queries ~tau () =
+  let rng = Prng.create seed in
+  let restart_store dir = store_of_exn (Sstore.open_ ~dir ~domains ~tau ()) in
+  let fresh_node idx =
+    let dir = fresh_store_dir () in
+    let store = restart_store dir in
+    {
+      sn_idx = idx;
+      sn_dir = dir;
+      sn_store = store;
+      sn_replica = Replica.create ~primary:(idx = 0) store;
+      sn_cluster = Cluster.create ~quorum ();
+      sn_dead = false;
+      sn_partitioned = false;
+      sn_stream_gen = 0;
+    }
+  in
+  let nodes = Array.init 3 fresh_node in
+  let chaos_points = ref 0
+  and acked : (int * Tsj_tree.Tree.t) list ref = ref []
+  and acked_adds = ref 0
+  and failed_adds = ref 0
+  and failovers = ref 0
+  and single_writer = ref true
+  and current_feeding = ref (-1) in
+  let writers : (int, int) Hashtbl.t = Hashtbl.create 8 in
+  let record_writer node =
+    let e = Sstore.epoch node.sn_store in
+    match Hashtbl.find_opt writers e with
+    | None -> Hashtbl.add writers e node.sn_idx
+    | Some w -> if w <> node.sn_idx then single_writer := false
+  in
+  let record_for node s = Sstore.record_for node.sn_store s in
+  (* The transport: [send] delivers a pushed line straight into the
+     follower's {!Replica.feed} and stashes the reaction; [recv] hands
+     it back.  Both legs fail when either endpoint is dead or
+     partitioned — a partition hit on the recv leg loses an ack the
+     follower already made durable. *)
+  let link pnode fnode =
+    let gen = fnode.sn_stream_gen in
+    let pending = ref None in
+    let check leg =
+      if
+        pnode.sn_dead || fnode.sn_dead || pnode.sn_partitioned || fnode.sn_partitioned
+        || fnode.sn_stream_gen <> gen
+      then failwith ("replication link down (" ^ leg ^ ")")
+    in
+    let send line =
+      check "send";
+      current_feeding := fnode.sn_idx;
+      let reaction =
+        Fun.protect
+          ~finally:(fun () -> current_feeding := -1)
+          (fun () -> Replica.feed fnode.sn_replica line)
+      in
+      match reaction with
+      | Replica.Reply r | Replica.Final r -> pending := Some r
+      | Replica.Stop reason -> failwith ("stream stopped: " ^ reason)
+    in
+    let recv () =
+      check "recv";
+      match !pending with
+      | Some r ->
+        pending := None;
+        r
+      | None -> failwith "no reply pending"
+    in
+    (send, recv, fun () -> ())
+  in
+  (* Re-attach [fnode] as a follower of [pnode]: the follower's [SYNC]
+     hello, the primary's {!Cluster.serve_sync} handshake, catch-up and
+     registration — exactly the server's wire path, minus the socket. *)
+  let resync pnode fnode =
+    if
+      fnode == pnode || fnode.sn_dead || fnode.sn_partitioned || pnode.sn_dead
+      || pnode.sn_partitioned
+    then false
+    else begin
+      if Replica.is_primary fnode.sn_replica then Replica.demote fnode.sn_replica;
+      fnode.sn_stream_gen <- fnode.sn_stream_gen + 1;
+      match Sproto.parse_request (Replica.hello fnode.sn_replica) with
+      | Ok (Sproto.Sync { epoch = f_epoch; from_seq = _ }) -> (
+        let send, recv, close = link pnode fnode in
+        match
+          Cluster.serve_sync pnode.sn_cluster
+            ~epoch:(fun () -> Sstore.epoch pnode.sn_store)
+            ~base:(fun () -> Sstore.epoch_base pnode.sn_store)
+            ~n_trees:(fun () -> Sstore.n_trees pnode.sn_store)
+            ~record_for:(record_for pnode)
+            ~primary:(fun () -> Replica.is_primary pnode.sn_replica)
+            ~peer_id:(Printf.sprintf "node-%d" fnode.sn_idx)
+            ~f_epoch ~send ~recv ~close
+        with
+        | `Streaming -> true
+        | `Fenced _ | `Refused _ -> false)
+      | _ -> false
+    end
+  in
+  (* Of the nodes still claiming the mandate, the one at the highest
+     epoch is the real primary — a healed stale claimant sorts below it
+     and is demoted when it re-syncs. *)
+  let current_primary () =
+    let best = ref None in
+    Array.iter
+      (fun node ->
+        if (not node.sn_dead) && Replica.is_primary node.sn_replica then
+          match !best with
+          | Some b when Sstore.epoch b.sn_store >= Sstore.epoch node.sn_store -> ()
+          | _ -> best := Some node)
+      nodes;
+    !best
+  in
+  let reachable_primary () =
+    match current_primary () with
+    | Some p when not p.sn_partitioned -> Some p
+    | _ -> None
+  in
+  (* The operator's promotion rule: the reachable node with the highest
+     (epoch, n_trees).  The stream is sequential, so among same-epoch
+     nodes the longest one holds a superset — in particular every add
+     that ever reached quorum. *)
+  let failover () =
+    let best = ref None in
+    Array.iter
+      (fun node ->
+        if (not node.sn_dead) && not node.sn_partitioned then begin
+          let key = (Sstore.epoch node.sn_store, Sstore.n_trees node.sn_store) in
+          match !best with
+          | Some (k, _) when k >= key -> ()
+          | _ -> best := Some (key, node)
+        end)
+      nodes;
+    match !best with
+    | None -> None
+    | Some (_, node) ->
+      if not (Replica.is_primary node.sn_replica) then begin
+        ignore (Replica.promote node.sn_replica);
+        node.sn_cluster <- Cluster.create ~quorum ();
+        Cluster.set_acked_high node.sn_cluster (Sstore.n_trees node.sn_store);
+        incr failovers
+      end;
+      Some node
+  in
+  let recover () =
+    match failover () with
+    | None -> false
+    | Some p ->
+      Array.iter (fun node -> if node != p then ignore (resync p node)) nodes;
+      true
+  in
+  let restart node =
+    node.sn_dead <- false;
+    node.sn_partitioned <- false;
+    node.sn_stream_gen <- node.sn_stream_gen + 1;
+    (* kill -9 semantics: the old store object is abandoned unflushed;
+       recovery must come from the journal alone *)
+    let store = restart_store node.sn_dir in
+    node.sn_store <- store;
+    node.sn_replica <- Replica.create ~primary:false store;
+    node.sn_cluster <- Cluster.create ~quorum ();
+    Cluster.set_acked_high node.sn_cluster (Sstore.n_trees store)
+  in
+  let heal_and_stabilise () =
+    Array.iter (fun node -> node.sn_partitioned <- false) nodes;
+    Array.iter (fun node -> if node.sn_dead then restart node) nodes;
+    let p =
+      match current_primary () with
+      | Some p -> p
+      | None -> (
+        match failover () with
+        | Some p -> p
+        | None -> failwith "storm: no promotable node")
+    in
+    Array.iter (fun node -> if node != p then ignore (resync p node)) nodes;
+    p
+  in
+  (* The server's execute path for a replicated ADD, verbatim: local
+     journaled add and quorum replication under one write lock, dup
+     acks below the acked high-water mark, demotion on FENCED. *)
+  let do_add node ~seq tree =
+    Cluster.with_write node.sn_cluster (fun () ->
+        match Sstore.add_seq node.sn_store ~seq tree with
+        | Error reason -> `Err reason
+        | Ok (id, _partners) ->
+          if id + 1 <= Cluster.acked_high node.sn_cluster then `Acked_dup
+          else (
+            match Cluster.replicate node.sn_cluster ~record_for:(record_for node) ~seq:id with
+            | Cluster.Acks _ -> `Acked
+            | Cluster.No_quorum _ -> `No_quorum
+            | Cluster.Fenced_off e ->
+              Replica.demote node.sn_replica;
+              `Fenced_off e))
+  in
+  (* The client's safe-retry ADD: learn a sequence number once, then
+     retry with the {e same} seq across failures and failovers — the
+     idempotency contract.  An ack computed by a node that died before
+     answering is treated as lost (the ambiguous case); the retry
+     resolves it via the new primary's dup ack. *)
+  let client_add tree =
+    let rec go attempts seq_opt =
+      if attempts <= 0 then begin
+        incr failed_adds;
+        false
+      end
+      else
+        match reachable_primary () with
+        | None ->
+          ignore (recover ());
+          go (attempts - 1) seq_opt
+        | Some node -> (
+          let seq =
+            match seq_opt with Some s -> s | None -> Sstore.n_trees node.sn_store
+          in
+          let outcome = do_add node ~seq tree in
+          let ack_delivered = (not node.sn_dead) && not node.sn_partitioned in
+          match outcome with
+          | (`Acked | `Acked_dup) when ack_delivered ->
+            (match outcome with `Acked -> record_writer node | _ -> ());
+            acked := (seq, tree) :: !acked;
+            incr acked_adds;
+            true
+          | `Acked | `Acked_dup | `No_quorum | `Fenced_off _ ->
+            go (attempts - 1) (Some seq)
+          | `Err _ -> go (attempts - 1) None)
+    in
+    go 8 None
+  in
+  (* One chaos event per round, against an otherwise healed cluster. *)
+  let inject_chaos () =
+    match current_primary () with
+    | None -> ()
+    | Some p ->
+      let followers =
+        Array.to_list nodes |> List.filter (fun x -> x != p && not x.sn_dead)
+      in
+      let pick_follower () = List.nth followers (Prng.int rng (List.length followers)) in
+      incr chaos_points;
+      let one_shot body =
+        let fired = ref false in
+        fun payload ->
+          if not !fired then begin
+            match body payload with
+            | `Skip -> ()
+            | `Fire key ->
+              fired := true;
+              raise (Fault.Injected key)
+          end
+      in
+      (match Prng.int rng 6 with
+      | 0 -> (pick_follower ()).sn_partitioned <- true
+      | 1 -> p.sn_partitioned <- true
+      | 2 -> p.sn_dead <- true
+      | 3 ->
+        (* kill the primary mid-quorum: after [k] of its peers have the
+           record but before the client is answered *)
+        let k = Prng.int rng 2 in
+        Fault.arm_action "cluster.partition"
+          (one_shot (fun idx ->
+               if idx = k then begin
+                 p.sn_dead <- true;
+                 `Fire "cluster.partition"
+               end
+               else `Skip))
+      | 4 ->
+        (* kill a follower just before it applies a pushed record: the
+           record is lost there, the primary sees no ack *)
+        let f = pick_follower () in
+        Fault.arm_action "replica.stream"
+          (one_shot (fun _seq ->
+               if !current_feeding = f.sn_idx then begin
+                 f.sn_dead <- true;
+                 `Fire "replica.stream"
+               end
+               else `Skip))
+      | _ ->
+        (* kill a follower after the durable apply but before the ack —
+           the ambiguous case: durable yet unacknowledged *)
+        let f = pick_follower () in
+        Fault.arm_action "replica.ack"
+          (one_shot (fun _seq ->
+               if !current_feeding = f.sn_idx then begin
+                 f.sn_dead <- true;
+                 `Fire "replica.ack"
+               end
+               else `Skip)))
+  in
+  let cleanup () =
+    Fault.disarm_all ();
+    Array.iter
+      (fun node ->
+        (try Sstore.close node.sn_store with _ -> ());
+        remove_store_dir node.sn_dir)
+      nodes
+  in
+  Fun.protect ~finally:cleanup (fun () ->
+      for _round = 1 to rounds do
+        ignore (heal_and_stabilise ());
+        inject_chaos ();
+        let adds = 1 + Prng.int rng 3 in
+        for _ = 1 to adds do
+          ignore (client_add (Prng.choice rng trees))
+        done;
+        Fault.disarm_all ()
+      done;
+      (* final heal: everyone back, converged, one more acked write *)
+      let primary = heal_and_stabilise () in
+      for _ = 1 to 3 do
+        ignore (client_add (Prng.choice rng trees))
+      done;
+      Array.iter (fun node -> if node != primary then ignore (resync primary node)) nodes;
+      let n = Sstore.n_trees primary.sn_store in
+      let tree_str node i = Tsj_tree.Bracket.to_string (Sstore.tree node.sn_store i) in
+      let converged =
+        Array.for_all
+          (fun node ->
+            Sstore.n_trees node.sn_store = n
+            && Sstore.epoch node.sn_store = Sstore.epoch primary.sn_store
+            &&
+            let ok = ref true in
+            for i = 0 to n - 1 do
+              if tree_str node i <> tree_str primary i then ok := false
+            done;
+            !ok)
+          nodes
+      in
+      let acked_preserved =
+        List.for_all
+          (fun (seq, tree) ->
+            seq < n && tree_str primary seq = Tsj_tree.Bracket.to_string tree)
+          !acked
+      in
+      (* every surviving node must answer bit-identically to a
+         single-node store that never failed, fed the same sequence *)
+      let reference = store_of_exn (Sstore.open_ ~domains ~tau ()) in
+      for i = 0 to n - 1 do
+        ignore (Sstore.add reference (Sstore.tree primary.sn_store i))
+      done;
+      let node_matches node =
+        Array.for_all
+          (fun q ->
+            let a = Sstore.query node.sn_store q in
+            let b = Sstore.query reference q in
+            a.Tsj_core.Incremental.hits = b.Tsj_core.Incremental.hits
+            && (not a.degraded) && not b.degraded)
+          queries
+      in
+      let cluster_answers_match = Array.for_all node_matches nodes in
+      {
+        storm_rounds = rounds;
+        chaos_points = !chaos_points;
+        acked_adds = !acked_adds;
+        failed_adds = !failed_adds;
+        failovers = !failovers;
+        final_epoch = Sstore.epoch primary.sn_store;
+        acked_preserved;
+        single_writer = !single_writer;
+        converged;
+        cluster_answers_match;
+      })

@@ -88,3 +88,53 @@ val run_server_kill_and_restart :
     answers against a reference store fed the surviving prefix.  A
     correct implementation yields [answers_match = true].  The temp
     store directory is removed afterwards. *)
+
+type failover_report = {
+  storm_rounds : int;
+  chaos_points : int;
+      (** kill/partition events injected (one per round) *)
+  acked_adds : int;  (** ADDs the client saw acknowledged *)
+  failed_adds : int;
+      (** ADDs the client gave up on — never acknowledged, so allowed
+          (but not required) to be lost *)
+  failovers : int;  (** promotions performed by the driver-as-operator *)
+  final_epoch : int;
+  acked_preserved : bool;
+      (** every acknowledged (seq, tree) is present, bit-identical, at
+          [seq] in the healed cluster — the "zero acked ADDs lost"
+          invariant *)
+  single_writer : bool;
+      (** no epoch had acknowledged writes accepted by two different
+          nodes — the fencing invariant *)
+  converged : bool;
+      (** after the final heal, every node holds the same trees at the
+          same epoch *)
+  cluster_answers_match : bool;
+      (** every node answers the probe queries bit-identically to a
+          single-node store that never failed, fed the same sequence *)
+}
+
+val run_failover_storm :
+  ?domains:int ->
+  ?seed:int ->
+  ?rounds:int ->
+  ?quorum:int ->
+  trees:Tsj_tree.Tree.t array ->
+  queries:Tsj_tree.Tree.t array ->
+  tau:int ->
+  unit ->
+  failover_report
+(** Chaos scenario for the replicated service: a three-node in-process
+    cluster (real journaled stores in temp directories, the real
+    {!Tsj_server.Replica}/{!Tsj_server.Cluster} machinery, an in-memory
+    transport that can drop either the record leg or the ack leg of the
+    stream).  Each of [rounds] (default 40) rounds heals the cluster,
+    injects one randomized chaos event — partition a node, kill a node
+    outright, kill the primary mid-quorum via [cluster.partition], or
+    kill a follower before/after a durable apply via
+    [replica.stream]/[replica.ack] — then drives safe-retry client
+    ADDs, failing over (promote the reachable node with the highest
+    (epoch, n_trees)) whenever the primary is gone.  A correct
+    implementation yields [acked_preserved && single_writer &&
+    converged && cluster_answers_match].  All temp stores are removed
+    afterwards. *)

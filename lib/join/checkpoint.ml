@@ -120,8 +120,9 @@ let save ~path st =
       Out_channel.output_string oc body;
       Out_channel.output_string oc ("end " ^ crc ^ "\n"));
   (* Atomic publication: a kill mid-save leaves either the previous valid
-     journal or a stray .tmp, never a torn journal at [path]. *)
-  Sys.rename tmp path
+     journal or a stray .tmp, never a torn journal at [path].  The
+     directory fsync makes the rename itself survive a machine crash. *)
+  Tsj_util.Durable.rename tmp path
 
 (* --- deserialization --- *)
 

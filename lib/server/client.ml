@@ -43,6 +43,10 @@ let connect ?timeout_s addr =
 
 let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()
 
+let channels t = (t.ic, t.oc)
+
+let fd t = t.fd
+
 let request t req =
   match
     output_string t.oc (Protocol.render_request req);
@@ -102,3 +106,99 @@ let request_with_retries ?attempts ?base_delay_s ?max_delay_s ?sleep ?timeout_s 
   match result with
   | Error _ when !last_busy -> Ok Protocol.Busy
   | r -> r
+
+(* --- failover across a server list --- *)
+
+let contains ~sub s =
+  let n = String.length sub and m = String.length s in
+  let rec at i = i + n <= m && (String.sub s i n = sub || at (i + 1)) in
+  n = 0 || at 0
+
+module Failover = struct
+  type nonrec t = {
+    servers : Protocol.addr array;
+    mutable current : int;
+    timeout_s : float option;
+    attempts : int;
+    base_delay_s : float;
+    max_delay_s : float;
+    sleep : float -> unit;
+    rng : Prng.t;
+  }
+
+  let create ?(attempts = 8) ?(base_delay_s = 0.02) ?(max_delay_s = 1.0)
+      ?(sleep = Unix.sleepf) ?timeout_s ~rng servers =
+    if servers = [] then invalid_arg "Client.Failover.create: empty server list";
+    {
+      servers = Array.of_list servers;
+      current = 0;
+      timeout_s;
+      attempts;
+      base_delay_s;
+      max_delay_s;
+      sleep;
+      rng;
+    }
+
+  let current t = t.servers.(t.current)
+
+  let rotate t = t.current <- (t.current + 1) mod Array.length t.servers
+
+  (* Replies that mean "this server cannot take the request, another
+     one might": a fenced (demoted or never-primary) node, admission
+     shedding, and a drain in progress. *)
+  let retryable = function
+    | Protocol.Fenced _ | Protocol.Busy -> true
+    | Protocol.Err reason -> contains ~sub:"draining" reason
+    | _ -> false
+
+  let request t req =
+    let rec go attempt =
+      let result =
+        match connect ?timeout_s:t.timeout_s (current t) with
+        | Error _ as e -> e
+        | Ok conn ->
+          let r = request conn req in
+          close conn;
+          r
+      in
+      let retry last =
+        if attempt + 1 >= t.attempts then last
+        else begin
+          rotate t;
+          t.sleep
+            (backoff_delay ~base_delay_s:t.base_delay_s ~max_delay_s:t.max_delay_s
+               ~rng:t.rng attempt);
+          go (attempt + 1)
+        end
+      in
+      match result with
+      | Error _ as e -> retry e
+      | Ok resp when retryable resp -> retry result
+      | r -> r
+    in
+    go 0
+
+  (* The safe-retry ADD of the idempotency contract: learn the next
+     sequence number from the server's STATS, attach it, and keep
+     retrying {e with the same seq} across transport failures and
+     failovers — the store's seq-skip answers duplicates, and a seq
+     bound to a different tree (a competing writer, or a stale read
+     from a lagging replica) refetches and tries again. *)
+  let add ?(seq_retries = 4) t tree =
+    let rec go tries =
+      if tries <= 0 then Error "ADD: seq negotiation attempts exhausted"
+      else
+        match request t Protocol.Stats with
+        | Error _ as e -> e
+        | Ok (Protocol.Stats_reply s) -> (
+          match request t (Protocol.Add { seq = Some s.trees; tree }) with
+          | Ok (Protocol.Err reason)
+            when contains ~sub:"already bound" reason
+                 || contains ~sub:"seq gap" reason ->
+            go (tries - 1)
+          | r -> r)
+        | Ok other -> Ok other
+    in
+    go seq_retries
+end

@@ -15,6 +15,12 @@ val connect : ?timeout_s:float -> Protocol.addr -> (t, string) result
 
 val close : t -> unit
 
+val channels : t -> in_channel * out_channel
+(** The raw line channels — for callers that speak a streaming exchange
+    (the replication follower) rather than request/reply. *)
+
+val fd : t -> Unix.file_descr
+
 val request : t -> Protocol.request -> (Protocol.response, string) result
 (** One request/reply round trip.  [Error] means a transport or framing
     failure; protocol-level failures arrive as [Ok (Err _)] or
@@ -52,3 +58,39 @@ val request_with_retries :
     on transport failures and on [BUSY].  A final [BUSY] after all
     attempts is returned as [Ok Busy], not mapped to an error: shedding
     is an explicit, well-formed answer. *)
+
+(** Failover across a replicated server list.  Each request starts at
+    the last server that answered; a transport failure, a [FENCED]
+    reply (the node lost — or never had — the write mandate), a [BUSY]
+    or a drain in progress rotates to the next server with the same
+    full-jitter backoff as {!with_retries}.  The final answer after all
+    attempts is returned as-is. *)
+module Failover : sig
+  type t
+
+  val create :
+    ?attempts:int ->
+    ?base_delay_s:float ->
+    ?max_delay_s:float ->
+    ?sleep:(float -> unit) ->
+    ?timeout_s:float ->
+    rng:Tsj_util.Prng.t ->
+    Protocol.addr list ->
+    t
+  (** [attempts] (default 8) bounds total tries across the whole list.
+      @raise Invalid_argument on an empty list. *)
+
+  val current : t -> Protocol.addr
+  (** The server the next request will try first. *)
+
+  val request : t -> Protocol.request -> (Protocol.response, string) result
+
+  val add :
+    ?seq_retries:int -> t -> Tsj_tree.Tree.t -> (Protocol.response, string) result
+  (** The safe-retry [ADD]: learns the next sequence number from
+      [STATS], sends [ADD <seq> <tree>], and retries with the {e same}
+      seq across failures and failovers, so an ambiguous timeout can
+      never double-apply (the idempotency contract in {!Protocol}).  A
+      seq that turns out stale (competing writer, lagging replica) is
+      refetched up to [seq_retries] times. *)
+end

@@ -28,10 +28,13 @@ let addr_to_string = function
 type request =
   | Query of { tau : int; tree : Tree.t }
   | Knn of { k : int; tree : Tree.t }
-  | Add of Tree.t
+  | Add of { seq : int option; tree : Tree.t }
   | Stats
   | Health
   | Drain
+  | Sync of { epoch : int; from_seq : int }
+  | Ack of int
+  | Promote
 
 let split_first_word s =
   let s = String.trim s in
@@ -68,27 +71,60 @@ let parse_request line =
   | "ADD" -> (
     if rest = "" then Error "ADD: missing tree"
     else
-      match Bracket.of_string rest with
-      | Error msg -> Error (Printf.sprintf "ADD: %s" msg)
-      | Ok tree -> Ok (Add tree))
+      (* An optional client-chosen sequence number precedes the tree; a
+         bracket tree cannot start with a digit, so the forms are
+         unambiguous.  See the idempotency contract in the interface. *)
+      let arg, after = split_first_word rest in
+      match int_of_string_opt arg with
+      | Some seq when seq < 0 -> Error "ADD: negative sequence number"
+      | Some seq -> (
+        if after = "" then Error "ADD: missing tree"
+        else
+          match Bracket.of_string after with
+          | Error msg -> Error (Printf.sprintf "ADD: %s" msg)
+          | Ok tree -> Ok (Add { seq = Some seq; tree }))
+      | None -> (
+        match Bracket.of_string rest with
+        | Error msg -> Error (Printf.sprintf "ADD: %s" msg)
+        | Ok tree -> Ok (Add { seq = None; tree })))
+  | "SYNC" -> (
+    match String.split_on_char ' ' rest with
+    | [ e; s ] -> (
+      match (int_of_string_opt e, int_of_string_opt s) with
+      | Some epoch, Some from_seq when epoch >= 0 && from_seq >= 0 ->
+        Ok (Sync { epoch; from_seq })
+      | _ -> Error "SYNC: expected two non-negative integers")
+    | _ -> Error "SYNC: expected <epoch> <from_seq>")
+  | "ACKED" -> (
+    match int_of_string_opt rest with
+    | Some seq when seq >= 0 -> Ok (Ack seq)
+    | _ -> Error "ACKED: expected a non-negative integer")
   | "STATS" when rest = "" -> Ok Stats
   | "HEALTH" when rest = "" -> Ok Health
   | "DRAIN" when rest = "" -> Ok Drain
-  | ("STATS" | "HEALTH" | "DRAIN") as v ->
+  | "PROMOTE" when rest = "" -> Ok Promote
+  | ("STATS" | "HEALTH" | "DRAIN" | "PROMOTE") as v ->
     Error (Printf.sprintf "%s takes no arguments" v)
   | "" -> Error "empty request"
   | other ->
     Error
-      (Printf.sprintf "unknown command %S (expected QUERY, KNN, ADD, STATS, HEALTH or DRAIN)"
+      (Printf.sprintf
+         "unknown command %S (expected QUERY, KNN, ADD, STATS, HEALTH, DRAIN, SYNC, ACKED \
+          or PROMOTE)"
          other)
 
 let render_request = function
   | Query { tau; tree } -> Printf.sprintf "QUERY %d %s" tau (Bracket.to_string tree)
   | Knn { k; tree } -> Printf.sprintf "KNN %d %s" k (Bracket.to_string tree)
-  | Add tree -> "ADD " ^ Bracket.to_string tree
+  | Add { seq = None; tree } -> "ADD " ^ Bracket.to_string tree
+  | Add { seq = Some seq; tree } ->
+    Printf.sprintf "ADD %d %s" seq (Bracket.to_string tree)
   | Stats -> "STATS"
   | Health -> "HEALTH"
   | Drain -> "DRAIN"
+  | Sync { epoch; from_seq } -> Printf.sprintf "SYNC %d %d" epoch from_seq
+  | Ack seq -> Printf.sprintf "ACKED %d" seq
+  | Promote -> "PROMOTE"
 
 (* --- responses --- *)
 
@@ -104,6 +140,8 @@ type stats_reply = {
   inflight : int;
   draining : bool;
   journal_records : int;
+  epoch : int;
+  primary : bool;
 }
 
 type response =
@@ -118,6 +156,10 @@ type response =
   | Drained
   | Busy
   | Err of string
+  | Sync_stream of { epoch : int; base : int }
+  | Record of string
+  | Fenced of int
+  | Promoted of int
 
 (* Replies are single lines; strip any newline an error message smuggled
    in so the framing survives arbitrary reasons. *)
@@ -142,14 +184,19 @@ let render_response r =
     Buffer.add_string b
       (Printf.sprintf
          "STATS trees=%d tau=%d queries=%d adds=%d shed=%d degraded=%d errors=%d \
-          quarantined=%d inflight=%d draining=%d journal=%d"
+          quarantined=%d inflight=%d draining=%d journal=%d epoch=%d primary=%d"
          s.trees s.tau s.queries s.adds s.shed s.degraded s.errors s.quarantined
-         s.inflight (Bool.to_int s.draining) s.journal_records)
+         s.inflight (Bool.to_int s.draining) s.journal_records s.epoch
+         (Bool.to_int s.primary))
   | Health_reply { draining } ->
     Buffer.add_string b (if draining then "OK draining" else "OK serving")
   | Drained -> Buffer.add_string b "OK drained"
   | Busy -> Buffer.add_string b "BUSY"
-  | Err reason -> Buffer.add_string b ("ERR " ^ one_line reason));
+  | Err reason -> Buffer.add_string b ("ERR " ^ one_line reason)
+  | Sync_stream { epoch; base } -> Buffer.add_string b (Printf.sprintf "SYNC %d %d" epoch base)
+  | Record line -> Buffer.add_string b ("RECORD " ^ one_line line)
+  | Fenced epoch -> Buffer.add_string b (Printf.sprintf "FENCED %d" epoch)
+  | Promoted epoch -> Buffer.add_string b (Printf.sprintf "PROMOTED %d" epoch));
   Buffer.contents b
 
 let parse_pair s =
@@ -181,8 +228,14 @@ let rec take_map f n = function
 
 let parse_response line =
   let fail () = Error (Printf.sprintf "malformed reply %S" line) in
+  let raw = String.trim line in
+  (* RECORD carries a raw journal line whose spacing must survive the
+     round trip, so it is split off before the word-based dispatch. *)
+  if String.length raw > 7 && String.uppercase_ascii (String.sub raw 0 7) = "RECORD " then
+    Ok (Record (String.trim (String.sub raw 7 (String.length raw - 7))))
+  else
   let words =
-    List.filter (fun w -> w <> "") (String.split_on_char ' ' (String.trim line))
+    List.filter (fun w -> w <> "") (String.split_on_char ' ' raw)
   in
   match words with
   | "HITS" :: deg :: nh :: nu :: rest -> (
@@ -230,7 +283,9 @@ let parse_response line =
         get "quarantined",
         get "inflight",
         get "draining",
-        get "journal" )
+        get "journal",
+        get "epoch",
+        get "primary" )
     with
     | ( true,
         Some trees,
@@ -243,7 +298,9 @@ let parse_response line =
         Some quarantined,
         Some inflight,
         Some draining,
-        Some journal_records ) ->
+        Some journal_records,
+        Some epoch,
+        Some primary ) ->
       Ok
         (Stats_reply
            {
@@ -258,13 +315,26 @@ let parse_response line =
              inflight;
              draining = draining = 1;
              journal_records;
+             epoch;
+             primary = primary = 1;
            })
     | _ -> fail ())
   | [ "OK"; "serving" ] -> Ok (Health_reply { draining = false })
   | [ "OK"; "draining" ] -> Ok (Health_reply { draining = true })
   | [ "OK"; "drained" ] -> Ok Drained
   | [ "BUSY" ] -> Ok Busy
-  | "ERR" :: _ ->
-    let raw = String.trim line in
-    Ok (Err (String.trim (String.sub raw 3 (String.length raw - 3))))
+  | [ "SYNC"; e; b ] -> (
+    match (int_of_string_opt e, int_of_string_opt b) with
+    | Some epoch, Some base when epoch >= 0 && base >= 0 ->
+      Ok (Sync_stream { epoch; base })
+    | _ -> fail ())
+  | [ "FENCED"; e ] -> (
+    match int_of_string_opt e with
+    | Some epoch when epoch >= 0 -> Ok (Fenced epoch)
+    | _ -> fail ())
+  | [ "PROMOTED"; e ] -> (
+    match int_of_string_opt e with
+    | Some epoch when epoch >= 0 -> Ok (Promoted epoch)
+    | _ -> fail ())
+  | "ERR" :: _ -> Ok (Err (String.trim (String.sub raw 3 (String.length raw - 3))))
   | _ -> fail ()

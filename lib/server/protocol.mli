@@ -6,15 +6,45 @@
     {v
     request  := "QUERY" SP tau SP tree        similarity search at τ' <= index τ
               | "KNN" SP k SP tree            top-k within the index τ
-              | "ADD" SP tree                 journal + index a tree
-              | "STATS" | "HEALTH" | "DRAIN"
+              | "ADD" SP [seq SP] tree        journal + index a tree (seq: see below)
+              | "STATS" | "HEALTH" | "DRAIN" | "PROMOTE"
+              | "SYNC" SP epoch SP from_seq   replica joins: stream me from from_seq
+              | "ACKED" SP seq                replica has durably applied up to seq
     reply    := "HITS" SP degraded(0|1) SP nh SP nu {SP id":"dist}*nh {SP id":"lo":"hi}*nu
               | "ADDED" SP id SP np {SP id":"dist}*np
               | "STATS" SP key"="int ...
               | "OK" SP ("serving"|"draining"|"drained")
               | "BUSY"                        shed by admission control
               | "ERR" SP reason               never a silent drop
+              | "SYNC" SP epoch SP base       stream header (primary -> replica)
+              | "RECORD" SP journal-line      one checksummed journal record pushed
+              | "FENCED" SP epoch             refused: a higher epoch exists
+              | "PROMOTED" SP epoch           this node is now primary at epoch
     v}
+
+    {b Replication stream.}  A replica connects and sends
+    [SYNC <epoch> <from_seq>].  The primary answers with the stream
+    header [SYNC <epoch> <base>] (its epoch and the first sequence
+    number of that epoch); from then on the roles invert on that
+    connection: the primary pushes [RECORD <journal-line>] and the
+    replica answers each with [ACKED <n>] ([n] = its new tree count,
+    i.e. the next sequence it needs) only {e after} the record is
+    flushed to its own journal.  A node that sees evidence of a higher
+    epoch answers [FENCED <epoch>] instead and the stream ends.
+
+    {b Idempotency contract of [ADD].}  [ADD <seq> <tree>] binds [tree]
+    to sequence number [seq] exactly once: if [seq] equals the store's
+    next sequence the tree is journaled and indexed; if [seq] is already
+    bound {e to the same tree} the reply is the original
+    [ADDED <seq> ...] (recomputed, bit-identical) and nothing is
+    written; if [seq] is bound to a {e different} tree or is beyond the
+    next sequence, the reply is [ERR].  A client that timed out after
+    the request may have been executed must therefore retry {e with the
+    same seq} — the retry is then safe whether or not the original
+    arrived, including across a failover to a server the record was
+    replicated to.  Bare [ADD <tree>] (no seq) keeps the PR-4 semantics
+    (server assigns the next sequence) and is {e not} safe to retry
+    blind; {!Client} always attaches a seq.
 
     Parsers on both sides are lenient: any malformed input yields
     [Error reason], never an exception, and tree diagnostics carry the
@@ -32,10 +62,19 @@ val addr_to_string : addr -> string
 type request =
   | Query of { tau : int; tree : Tsj_tree.Tree.t }
   | Knn of { k : int; tree : Tsj_tree.Tree.t }
-  | Add of Tsj_tree.Tree.t
+  | Add of { seq : int option; tree : Tsj_tree.Tree.t }
+      (** [seq]: client-chosen sequence number enabling safe retries
+          (see the idempotency contract above). *)
   | Stats
   | Health
   | Drain
+  | Sync of { epoch : int; from_seq : int }
+      (** Replica join: "stream me every record from [from_seq]; my
+          journal header says epoch [epoch]". *)
+  | Ack of int  (** [ACKED n]: the replica durably holds [n] trees. *)
+  | Promote
+      (** Make this node primary: bump the epoch (persisted in the
+          journal header) and start accepting writes. *)
 
 val parse_request : string -> (request, string) result
 
@@ -55,6 +94,8 @@ type stats_reply = {
   inflight : int;
   draining : bool;
   journal_records : int;
+  epoch : int;  (** replication epoch persisted in the journal header *)
+  primary : bool;  (** whether this node currently accepts writes *)
 }
 
 type response =
@@ -71,6 +112,14 @@ type response =
   | Drained
   | Busy
   | Err of string
+  | Sync_stream of { epoch : int; base : int }
+      (** Stream header: the primary's epoch and that epoch's first
+          sequence number (the promotion point). *)
+  | Record of string  (** One raw journal record line, pushed verbatim. *)
+  | Fenced of int
+      (** Write/stream refused: a primary at the given (higher) epoch
+          exists; the receiver must demote or fail over. *)
+  | Promoted of int  (** Reply to [PROMOTE]: the new epoch. *)
 
 val render_response : response -> string
 (** Always a single line: newlines inside error reasons are replaced. *)

@@ -1,0 +1,85 @@
+module Fault = Tsj_util.Fault_inject
+
+type t = {
+  store : Store.t;
+  mutable primary : bool;
+  mutable synced : bool;  (* stream header received on the current stream *)
+}
+
+let create ?(primary = false) store = { store; primary; synced = false }
+
+let store t = t.store
+
+let is_primary t = t.primary
+
+let epoch t = Store.epoch t.store
+
+let hello t =
+  t.synced <- false;
+  Protocol.render_request
+    (Protocol.Sync { epoch = Store.epoch t.store; from_seq = Store.n_trees t.store })
+
+type reaction = Reply of string | Final of string | Stop of string
+
+let ack t = Reply (Protocol.render_request (Protocol.Ack (Store.n_trees t.store)))
+
+let fenced t = Protocol.render_response (Protocol.Fenced (Store.epoch t.store))
+
+(* One pushed line in, one reaction out — the whole follower-side state
+   machine.  A primary (or freshly promoted) node answers every push
+   with [FENCED <its epoch>]: that is how a stale primary that streams
+   to us learns it lost its mandate. *)
+let feed t line =
+  if t.primary then Final (fenced t)
+  else
+    match Protocol.parse_response line with
+    | Error msg -> Stop ("stream: " ^ msg)
+    | Ok (Protocol.Sync_stream { epoch = p_epoch; base }) ->
+      let my = Store.epoch t.store in
+      if p_epoch < my then Final (fenced t)
+      else begin
+        if p_epoch > my then begin
+          (* Adopting a newer epoch discards our unacked suffix.  One
+             epoch behind: everything below the promotion point [base]
+             is provably the cluster-wide common prefix, so cut there.
+             Further behind we cannot bound the divergence from the
+             header alone — full resync (the primary regenerates every
+             record, so this is the snapshot-transfer path). *)
+          let n = Store.n_trees t.store in
+          let cut = if p_epoch = my + 1 then min n base else 0 in
+          if cut < n then Store.truncate_to t.store cut;
+          Store.set_epoch t.store ~epoch:p_epoch ~base
+        end;
+        t.synced <- true;
+        ack t
+      end
+    | Ok (Protocol.Record record) ->
+      if not t.synced then Stop "stream: RECORD before the SYNC header"
+      else begin
+        (* [replica.stream] fires before the durable apply (a kill here
+           loses the record; the primary sees no ack), [replica.ack]
+           after it but before the ack is sent (a kill here is the
+           ambiguous case: the record is durable but unacknowledged). *)
+        Fault.hit "replica.stream" (Store.n_trees t.store);
+        match Store.apply_record t.store record with
+        | Error msg -> Stop ("stream: " ^ msg)
+        | Ok n ->
+          Fault.hit "replica.ack" (n - 1);
+          ack t
+      end
+    | Ok (Protocol.Fenced e) -> Stop (Printf.sprintf "fenced at epoch %d" e)
+    | Ok _ -> Stop "stream: unexpected reply from the primary"
+
+let promote t =
+  if t.primary then Store.epoch t.store
+  else begin
+    let epoch = Store.epoch t.store + 1 in
+    Store.set_epoch t.store ~epoch ~base:(Store.n_trees t.store);
+    t.primary <- true;
+    t.synced <- false;
+    epoch
+  end
+
+let demote t =
+  t.primary <- false;
+  t.synced <- false

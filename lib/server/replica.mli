@@ -1,0 +1,59 @@
+(** Follower side of journal-streaming replication: a {!Store.t} plus
+    the one-line-in/one-reaction-out state machine that consumes a
+    primary's stream.
+
+    A replica opens a connection to its primary, sends {!hello}
+    ([SYNC <epoch> <n_trees>]) and then {!feed}s it every line the
+    primary pushes: the [SYNC <epoch> <base>] stream header (adopting a
+    newer epoch — discarding its unacked suffix first, see the epoch
+    rules in DESIGN.md), then one [RECORD <journal-line>] per add, each
+    answered with [ACKED <n>] only after the record is durably in the
+    replica's own journal.  {!promote} turns the replica into a primary
+    at a bumped epoch (persisted in the journal header before the flag
+    flips); once primary, every pushed line is answered [FENCED] — the
+    structural impossibility of split-brain.
+
+    Fault-injection hit points: [replica.stream] (payload = seq about to
+    be applied — a raise models a kill before durability) and
+    [replica.ack] (payload = seq just applied — a raise models the
+    ambiguous kill after durability but before the ack).
+
+    Thread safety: callers serialize {!feed}/{!promote} with any other
+    access to the underlying store (the server wraps them in its store
+    mutex). *)
+
+type t
+
+val create : ?primary:bool -> Store.t -> t
+(** Wrap a store.  [primary] (default [false]) is the node's initial
+    write-mandate flag. *)
+
+val store : t -> Store.t
+
+val is_primary : t -> bool
+
+val epoch : t -> int
+
+val hello : t -> string
+(** The [SYNC <epoch> <from_seq>] request line opening a stream, and a
+    reset of the per-stream state (a new {!hello} starts a new
+    stream). *)
+
+type reaction =
+  | Reply of string  (** send this line, keep streaming *)
+  | Final of string  (** send this line, then close the stream *)
+  | Stop of string  (** close the stream; the payload is the reason *)
+
+val feed : t -> string -> reaction
+(** Consume one line pushed by the primary.  May raise
+    {!Tsj_util.Fault_inject.Injected} when a replica fault point is
+    armed; the store is consistent whenever it raises. *)
+
+val promote : t -> int
+(** Become primary at epoch + 1 (persisted before the flag flips);
+    idempotent — promoting a primary returns its current epoch. *)
+
+val demote : t -> unit
+(** Drop the write mandate (on [FENCED] evidence of a higher epoch).
+    The store is untouched: the unacked suffix is discarded when the
+    node re-syncs and adopts the newer epoch. *)

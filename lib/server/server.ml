@@ -12,6 +12,10 @@ type config = {
   drain_budget_s : float;  (** how long drain waits for inflight work *)
   max_line_bytes : int;  (** request lines longer than this are rejected *)
   handle_sigterm : bool;  (** install a SIGTERM -> drain handler *)
+  quorum : int;  (** durable copies (incl. own journal) before ADDED *)
+  sync_from : Protocol.addr list;  (** peers to stream from when not primary *)
+  primary : bool;  (** start with the write mandate *)
+  peer_timeout_s : float;  (** replica-stream socket timeout on the primary *)
 }
 
 let default_config addr ~tau =
@@ -25,6 +29,10 @@ let default_config addr ~tau =
     drain_budget_s = 5.0;
     max_line_bytes = 1 lsl 20;
     handle_sigterm = false;
+    quorum = 1;
+    sync_from = [];
+    primary = true;
+    peer_timeout_s = 5.0;
   }
 
 type counters = {
@@ -39,6 +47,8 @@ type counters = {
 type t = {
   config : config;
   store : Store.t;
+  replica : Replica.t;
+  cluster : Cluster.t;
   listener : Unix.file_descr;
   store_mutex : Mutex.t;
   counters : counters;
@@ -53,6 +63,8 @@ type t = {
   conns_mutex : Mutex.t;
   mutable accept_thread : Thread.t option;
   mutable conn_threads : Thread.t list;
+  mutable follower_thread : Thread.t option;
+  mutable follower_fd : Unix.file_descr option;
   mutable next_conn : int;
 }
 
@@ -83,6 +95,8 @@ let stats t =
     inflight = Atomic.get t.counters.inflight;
     draining = Atomic.get t.draining;
     journal_records = Store.journal_records t.store;
+    epoch = Store.epoch t.store;
+    primary = Replica.is_primary t.replica;
   }
 
 (* --- request execution --- *)
@@ -98,6 +112,23 @@ let execute t ~conn_id (request : Protocol.request) : Protocol.response * bool =
   | Stats -> (Stats_reply (stats t), false)
   | Health -> (Health_reply { draining = Atomic.get t.draining }, false)
   | Drain -> (Drained, true)
+  | Sync _ -> (Err "SYNC is handled at the connection layer", false)
+  | Ack _ -> (Err "ACKED outside a sync stream", false)
+  | Promote ->
+    (* Persist the bumped epoch (journal header) before the mandate
+       flips, then treat the promoted node's whole state as acked: it
+       was chosen as the most advanced surviving replica. *)
+    let epoch, n =
+      Mutex.protect t.store_mutex (fun () ->
+          (Replica.promote t.replica, Store.n_trees t.store))
+    in
+    Cluster.set_acked_high t.cluster n;
+    (Promoted epoch, false)
+  | Add _ when not (Replica.is_primary t.replica) ->
+    (* A node without the write mandate never accepts a write: the
+       client fails over.  Split-brain is refused structurally, before
+       any journal touch. *)
+    (Fenced (Store.epoch t.store), false)
   | Query _ | Knn _ | Add _ ->
     let inflight = Atomic.fetch_and_add t.counters.inflight 1 in
     if inflight >= t.config.max_inflight || Atomic.get t.draining then begin
@@ -114,7 +145,7 @@ let execute t ~conn_id (request : Protocol.request) : Protocol.response * bool =
       let response =
         try
           match request with
-          | Stats | Health | Drain -> assert false
+          | Stats | Health | Drain | Sync _ | Ack _ | Promote -> assert false
           | Query { tau; tree } ->
             if tau > Store.tau t.store then
               Error
@@ -133,12 +164,41 @@ let execute t ~conn_id (request : Protocol.request) : Protocol.response * bool =
             let hits = Mutex.protect t.store_mutex (fun () -> Store.nearest ~k t.store tree) in
             ignore (Atomic.fetch_and_add t.counters.queries 1);
             Ok (Protocol.Hits { degraded = false; hits; unverified = [] })
-          | Add tree ->
-            let id, partners =
-              Mutex.protect t.store_mutex (fun () -> Store.add t.store tree)
-            in
-            ignore (Atomic.fetch_and_add t.counters.adds 1);
-            Ok (Protocol.Added { id; partners })
+          | Add { seq; tree } ->
+            (* The write path: local durable add, then lock-step quorum
+               replication — both under the cluster write lock so the
+               stream stays in sequence order.  An idempotent replay of
+               an already-acked seq skips replication: every replica
+               holding fewer copies will skip it by seq anyway. *)
+            Cluster.with_write t.cluster (fun () ->
+                match
+                  Mutex.protect t.store_mutex (fun () -> Store.add_seq t.store ?seq tree)
+                with
+                | Error reason -> Error reason
+                | Ok (id, partners) ->
+                  if id + 1 <= Cluster.acked_high t.cluster then begin
+                    ignore (Atomic.fetch_and_add t.counters.adds 1);
+                    Ok (Protocol.Added { id; partners })
+                  end
+                  else begin
+                    let record_for i =
+                      Mutex.protect t.store_mutex (fun () -> Store.record_for t.store i)
+                    in
+                    match Cluster.replicate t.cluster ~record_for ~seq:id with
+                    | Cluster.Acks _ ->
+                      ignore (Atomic.fetch_and_add t.counters.adds 1);
+                      Ok (Protocol.Added { id; partners })
+                    | Cluster.No_quorum copies ->
+                      Error
+                        (Printf.sprintf "%s: %d/%d durable copies"
+                           (if Cluster.sealed t.cluster then
+                              "draining: quorum abandoned"
+                            else "quorum not reached")
+                           copies (Cluster.quorum t.cluster))
+                    | Cluster.Fenced_off epoch ->
+                      Replica.demote t.replica;
+                      Ok (Protocol.Fenced epoch)
+                  end)
         with e -> Error (Printexc.to_string e)
       in
       unregister_budget t conn_id;
@@ -211,10 +271,73 @@ let rec do_drain t =
         Hashtbl.iter
           (fun _ fd -> try Unix.shutdown fd Unix.SHUTDOWN_RECEIVE with Unix.Unix_error _ -> ())
           t.conns);
-    (* Flush: snapshot + empty journal, so a cold start is clean. *)
-    Mutex.protect t.store_mutex (fun () -> Store.close t.store);
+    (match t.follower_fd with
+    | Some fd -> (try Unix.shutdown fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ())
+    | None -> ());
+    (* Seal replication: waits out any quorum write still in flight (by
+       taking the write lock) and makes later ones fail with an explicit
+       ERR instead of being half-replicated under a closing server. *)
+    Cluster.seal t.cluster;
+    (* Flush: snapshot + header-only journal, so a cold start is clean.
+       A primary first discards any suffix that never reached quorum —
+       the snapshot must not contain adds no client was acknowledged —
+       and bumps the epoch so a replica still holding that suffix
+       re-syncs by truncation instead of diverging. *)
+    Mutex.protect t.store_mutex (fun () ->
+        let acked = Cluster.acked_high t.cluster in
+        if Replica.is_primary t.replica && acked < Store.n_trees t.store then begin
+          Store.truncate_to t.store acked;
+          Store.set_epoch t.store ~epoch:(Store.epoch t.store + 1) ~base:acked
+        end;
+        Store.close t.store);
     Atomic.set t.drained true
   end
+
+and handle_sync t ~conn_id ~fd ~ic ~oc ~reply ~f_epoch =
+  (* Upgrade this connection into a replication stream.  A hung replica
+     must not hang the primary's write path: the stream socket gets a
+     receive timeout, and a timed-out peer is dropped (it re-syncs). *)
+  (try Unix.setsockopt_float fd Unix.SO_RCVTIMEO t.config.peer_timeout_s
+   with Unix.Unix_error _ | Invalid_argument _ -> ());
+  let send line =
+    output_string oc line;
+    output_char oc '\n';
+    flush oc
+  in
+  let recv () =
+    match read_line_bounded ic ~max_bytes:t.config.max_line_bytes with
+    | Some (line, false) -> trim_cr line
+    | Some (_, true) | None -> raise End_of_file
+  in
+  let close_fd () =
+    Mutex.protect t.conns_mutex (fun () -> Hashtbl.remove t.conns conn_id);
+    try Unix.close fd with Unix.Unix_error _ -> ()
+  in
+  let locked f = Mutex.protect t.store_mutex f in
+  match
+    Cluster.serve_sync t.cluster
+      ~epoch:(fun () -> locked (fun () -> Store.epoch t.store))
+      ~base:(fun () -> locked (fun () -> Store.epoch_base t.store))
+      ~n_trees:(fun () -> locked (fun () -> Store.n_trees t.store))
+      ~record_for:(fun i -> locked (fun () -> Store.record_for t.store i))
+      ~primary:(fun () -> Replica.is_primary t.replica)
+      ~peer_id:(Printf.sprintf "conn-%d" conn_id)
+      ~f_epoch ~send ~recv ~close:close_fd
+  with
+  | `Streaming ->
+    (* The fd now belongs to the cluster (closed by seal/drop). *)
+    Mutex.protect t.conns_mutex (fun () -> Hashtbl.remove t.conns conn_id);
+    `Handoff
+  | `Fenced epoch ->
+    (* The requester holds a higher epoch than ours: we lost the write
+       mandate somewhere along the way. *)
+    Replica.demote t.replica;
+    reply (Protocol.Fenced epoch);
+    `Close
+  | `Refused reason ->
+    ignore (Atomic.fetch_and_add t.counters.errors 1);
+    reply (Protocol.Err ("sync refused: " ^ reason));
+    `Close
 
 and handle_connection t conn_id fd =
   let ic = Unix.in_channel_of_descr fd in
@@ -239,11 +362,11 @@ and handle_connection t conn_id fd =
         if overflow then begin
           ignore (Atomic.fetch_and_add t.counters.errors 1);
           reply (Err (Printf.sprintf "request line exceeds %d bytes" t.config.max_line_bytes));
-          true
+          `Continue
         end
         else
           let line = trim_cr line in
-          if String.trim line = "" then true (* ignore blank lines *)
+          if String.trim line = "" then `Continue (* ignore blank lines *)
           else
             match Protocol.parse_request line with
             | Error reason ->
@@ -251,15 +374,19 @@ and handle_connection t conn_id fd =
                  [ERR] and keep the connection. *)
               ignore (Atomic.fetch_and_add t.counters.errors 1);
               reply (Err reason);
-              true
+              `Continue
+            | Ok (Protocol.Sync { epoch = f_epoch; from_seq = _ }) ->
+              handle_sync t ~conn_id ~fd ~ic ~oc ~reply ~f_epoch
             | Ok request ->
               let response, drain_requested = execute t ~conn_id request in
               reply response;
               if drain_requested then do_drain t;
-              not drain_requested
+              if drain_requested then `Close else `Continue
       in
-      if continue && not (Atomic.get t.draining) then serve (request_no + 1)
-      else close ()
+      match continue with
+      | `Continue when not (Atomic.get t.draining) -> serve (request_no + 1)
+      | `Continue | `Close -> close ()
+      | `Handoff -> () (* the cluster owns the fd now *)
   in
   try serve 0 with
   | Fault.Injected msg ->
@@ -298,6 +425,63 @@ let accept_loop t =
   in
   loop ()
 
+(* --- follower side --- *)
+
+(* While this node lacks the write mandate, keep a stream open from
+   whichever peer in [sync_from] currently is the primary: send the
+   SYNC hello, then feed every pushed line to the replica state machine
+   under the store mutex.  A refused/broken stream rotates to the next
+   address with a capped backoff; promotion or drain ends the loop. *)
+let follower_loop t =
+  let delay = ref 0.02 in
+  let stream_from addr =
+    match Client.connect addr with
+    | Error _ -> ()
+    | Ok conn ->
+      let ic, oc = Client.channels conn in
+      t.follower_fd <- Some (Client.fd conn);
+      let send line =
+        output_string oc line;
+        output_char oc '\n';
+        flush oc
+      in
+      (try
+         send (Mutex.protect t.store_mutex (fun () -> Replica.hello t.replica));
+         let rec go () =
+           let line = input_line ic in
+           if not (Atomic.get t.draining) then begin
+             match Mutex.protect t.store_mutex (fun () -> Replica.feed t.replica line) with
+             | Replica.Reply r ->
+               send r;
+               delay := 0.02;
+               go ()
+             | Replica.Final r -> send r
+             | Replica.Stop _ -> ()
+           end
+         in
+         go ()
+       with
+      | End_of_file | Sys_error _ | Unix.Unix_error _ -> ()
+      | Fault.Injected _ -> ());
+      t.follower_fd <- None;
+      Client.close conn
+  in
+  let rec loop () =
+    if not (Atomic.get t.draining || Replica.is_primary t.replica) then begin
+      List.iter
+        (fun addr ->
+          if not (Atomic.get t.draining || Replica.is_primary t.replica) then
+            stream_from addr)
+        t.config.sync_from;
+      if not (Atomic.get t.draining || Replica.is_primary t.replica) then begin
+        Thread.delay !delay;
+        delay := Float.min 0.5 (!delay *. 2.0)
+      end;
+      loop ()
+    end
+  in
+  loop ()
+
 (* --- lifecycle --- *)
 
 (* A reply written to a connection the client just closed must surface
@@ -331,6 +515,7 @@ let create config =
   else if config.domains < 1 then Error "domains must be >= 1"
   else if config.max_inflight < 0 then Error "max_inflight must be >= 0"
   else if config.drain_budget_s < 0.0 then Error "negative drain budget"
+  else if config.quorum < 1 then Error "quorum must be >= 1"
   else
     match Store.open_ ?dir:config.dir ~domains:config.domains ~tau:config.tau () with
     | Error m -> Error m
@@ -340,10 +525,16 @@ let create config =
         Error (Printf.sprintf "bind %s: %s (%s)" (Protocol.addr_to_string config.addr)
                  (Unix.error_message e) arg)
       | listener ->
+        let cluster = Cluster.create ~quorum:config.quorum () in
+        (* Everything restored from disk was acknowledged (or became
+           canon through promotion) in a previous life. *)
+        Cluster.set_acked_high cluster (Store.n_trees store);
         Ok
           {
             config;
             store;
+            replica = Replica.create ~primary:config.primary store;
+            cluster;
             listener;
             store_mutex = Mutex.create ();
             counters =
@@ -364,6 +555,8 @@ let create config =
             conns_mutex = Mutex.create ();
             accept_thread = None;
             conn_threads = [];
+            follower_thread = None;
+            follower_fd = None;
             next_conn = 0;
           })
 
@@ -373,16 +566,40 @@ let start t =
     Sys.set_signal Sys.sigterm
       (Sys.Signal_handle
          (fun _ -> ignore (Thread.create (fun () -> do_drain t) ())));
-  t.accept_thread <- Some (Thread.create (fun () -> accept_loop t) ())
+  t.accept_thread <- Some (Thread.create (fun () -> accept_loop t) ());
+  if t.config.sync_from <> [] && not (Replica.is_primary t.replica) then
+    t.follower_thread <- Some (Thread.create (fun () -> follower_loop t) ())
 
 let drain t = do_drain t
 
 let drained t = Atomic.get t.drained
 
+(* Test hook modelling [kill -9] in-process: sever every fd and stop
+   every loop without flushing, truncating or snapshotting anything —
+   recovery must come from the journal alone. *)
+let abort t =
+  Atomic.set t.draining true;
+  (try Unix.shutdown t.listener Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ());
+  (try Unix.close t.listener with Unix.Unix_error _ -> ());
+  (match t.config.addr with
+  | Protocol.Unix_path p -> ( try Sys.remove p with Sys_error _ -> ())
+  | Protocol.Tcp _ -> ());
+  (match t.follower_fd with
+  | Some fd -> (try Unix.shutdown fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ())
+  | None -> ());
+  Mutex.protect t.conns_mutex (fun () ->
+      Hashtbl.iter
+        (fun _ fd -> try Unix.shutdown fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ())
+        t.conns);
+  Cluster.seal t.cluster
+
 let wait t =
   (match t.accept_thread with Some th -> Thread.join th | None -> ());
+  (match t.follower_thread with Some th -> Thread.join th | None -> ());
   List.iter Thread.join t.conn_threads
 
 let store t = t.store
+
+let replica t = t.replica
 
 let quarantined t = List.rev (Atomic.get t.quarantined)

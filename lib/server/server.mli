@@ -26,10 +26,20 @@
       (see {!Store}), so killing the server at any point and restarting
       yields an index equal to the acknowledged prefix.
 
+    - {b replication}: with [quorum] > 1 an [ADD] is acknowledged only
+      after that many nodes (self included) flushed the record;
+      replicas ([primary = false]) stream the journal from [sync_from],
+      refuse writes with [FENCED], and take over via [PROMOTE] behind
+      an epoch persisted in the journal header — see {!Replica},
+      {!Cluster} and the "Replication" section of DESIGN.md.
+
     Fault-injection hit points (see {!Tsj_util.Fault_inject}):
     [server.accept] (payload = connection id), [server.request]
     (payload = request ordinal on the connection), [server.journal]
-    (payload = sequence number, fired in {!Store.add}). *)
+    (payload = sequence number, fired in {!Store.add}), plus the
+    replication points [replica.stream]/[replica.ack] (in
+    {!Replica.feed}) and [cluster.partition] (in
+    {!Cluster.replicate}). *)
 
 type config = {
   addr : Protocol.addr;
@@ -41,11 +51,22 @@ type config = {
   drain_budget_s : float;  (** how long drain waits for inflight work *)
   max_line_bytes : int;  (** request lines longer than this are rejected *)
   handle_sigterm : bool;  (** install a SIGTERM -> drain handler *)
+  quorum : int;
+      (** durable copies (incl. the own journal) required before an
+          [ADD] is acknowledged; 1 = single-node semantics *)
+  sync_from : Protocol.addr list;
+      (** peers to stream the journal from while not primary (the
+          [--replica-of] list); tried in order, with backoff *)
+  primary : bool;  (** start holding the write mandate *)
+  peer_timeout_s : float;
+      (** receive timeout on replica streams: a hung replica is dropped
+          (and re-syncs) instead of hanging the write path *)
 }
 
 val default_config : Protocol.addr -> tau:int -> config
 (** Ephemeral store, 1 domain, watermark 64, no deadline, 5 s drain
-    budget, 1 MiB line cap, no signal handler. *)
+    budget, 1 MiB line cap, no signal handler; quorum 1, no sync peers,
+    primary, 5 s peer timeout. *)
 
 type t
 
@@ -54,7 +75,15 @@ val create : config -> (t, string) result
     server does not accept connections until {!start}. *)
 
 val start : t -> unit
-(** Spawn the accept thread (and the SIGTERM handler if configured). *)
+(** Spawn the accept thread (and the SIGTERM handler if configured);
+    a non-primary with a [sync_from] list also spawns the follower
+    thread that keeps a replication stream open. *)
+
+val abort : t -> unit
+(** Test hook modelling [kill -9] in-process: sever the listener, every
+    connection and any replication stream, and stop every loop {e
+    without} flushing or snapshotting — recovery must come from the
+    journal alone.  Use {!drain} for a graceful stop. *)
 
 val drain : t -> unit
 (** Trigger a graceful drain (idempotent; also reachable via the
@@ -70,6 +99,9 @@ val wait : t -> unit
 val stats : t -> Protocol.stats_reply
 
 val store : t -> Store.t
+
+val replica : t -> Replica.t
+(** The node's replication state machine (primary flag, epoch). *)
 
 val quarantined : t -> Tsj_join.Types.quarantined list
 (** Connections quarantined so far (oldest first); [q_i] is the

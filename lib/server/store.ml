@@ -1,6 +1,7 @@
 module Bracket = Tsj_tree.Bracket
 module Incremental = Tsj_core.Incremental
 module Search = Tsj_core.Search
+module Durable = Tsj_util.Durable
 module Fault = Tsj_util.Fault_inject
 module Text = Tsj_util.Text
 
@@ -8,9 +9,11 @@ type t = {
   dir : string option;
   tau : int;
   domains : int;
-  inc : Incremental.t;
+  mutable inc : Incremental.t;
   mutable journal : out_channel option;
   mutable journal_records : int;
+  mutable epoch : int;
+  mutable epoch_base : int;
 }
 
 let snapshot_path dir = Filename.concat dir "snapshot"
@@ -54,6 +57,34 @@ let parse_record line =
           | Ok tree -> Some (seq, tree)))
     end
 
+(* The journal's first line is the replication epoch header:
+
+     epoch <e> <base> <fnv1a64-of-the-rest>
+
+   [e] is the monotonic failover epoch and [base] the first sequence
+   number of that epoch (the promotion point).  The header is only ever
+   (re)written by an atomic whole-file rename, so it cannot be torn by
+   an append crash; journals from before replication have no header and
+   read as epoch 0, base 0. *)
+let epoch_line ~epoch ~base =
+  let payload = Printf.sprintf "epoch %d %d" epoch base in
+  payload ^ " " ^ Text.fnv1a64_hex payload
+
+let parse_epoch_line line =
+  match String.rindex_opt line ' ' with
+  | None -> None
+  | Some i ->
+    let payload = String.sub line 0 i in
+    let crc = String.sub line (i + 1) (String.length line - i - 1) in
+    if Text.fnv1a64_hex payload <> crc then None
+    else
+      match String.split_on_char ' ' payload with
+      | [ "epoch"; e; b ] -> (
+        match (int_of_string_opt e, int_of_string_opt b) with
+        | Some epoch, Some base when epoch >= 0 && base >= 0 -> Some (epoch, base)
+        | _ -> None)
+      | _ -> None
+
 let reopen_journal_for_append dir =
   open_out_gen [ Open_append; Open_creat; Open_wronly ] 0o644 (journal_path dir)
 
@@ -61,65 +92,98 @@ let reopen_journal_for_append dir =
    torn tail (first undecodable record with nothing valid after it) is
    discarded and the file rewritten to the prefix, so appends continue
    from a clean line boundary.  An undecodable record in the *middle* is
-   real corruption and rejected. *)
+   real corruption and rejected.  Returns the epoch header (if the
+   journal has one) and the number of surviving records. *)
 let replay_journal inc dir =
   let path = journal_path dir in
-  if not (Sys.file_exists path) then Ok 0
+  if not (Sys.file_exists path) then Ok (None, 0)
   else
     match In_channel.with_open_text path In_channel.input_all with
     | exception Sys_error msg -> Error msg
     | contents ->
       let lines = String.split_on_char '\n' contents in
       let lines = List.filteri (fun _ l -> String.trim l <> "") lines in
-      let parsed = List.map (fun l -> (l, parse_record l)) lines in
-      let rec split_valid acc = function
-        | [] -> Ok (List.rev acc, false)
-        | (_, Some r) :: rest -> split_valid (r :: acc) rest
-        | (_, None) :: rest ->
-          if List.exists (fun (_, r) -> r <> None) rest then
-            Error
-              (Printf.sprintf "journal record %d is corrupt (not at the tail)"
-                 (List.length acc + 1))
-          else Ok (List.rev acc, true)
+      let header, lines =
+        match lines with
+        | first :: rest when String.length first >= 6 && String.sub first 0 6 = "epoch " -> (
+          match parse_epoch_line first with
+          | Some hdr -> (Ok (Some hdr), rest)
+          | None -> (Error "journal epoch header is corrupt", rest))
+        | _ -> (Ok None, lines)
       in
-      (match split_valid [] parsed with
+      (match header with
       | Error _ as e -> e
-      | Ok (records, torn) -> (
-        let apply () =
-          List.fold_left
-            (fun r (seq, tree) ->
-              match r with
-              | Error _ as e -> e
-              | Ok n ->
-                let count = Incremental.n_trees inc in
-                if seq < count then Ok n (* already covered by the snapshot *)
-                else if seq = count then begin
-                  ignore (Incremental.add inc tree);
-                  Ok (n + 1)
-                end
-                else
-                  Error
-                    (Printf.sprintf
-                       "journal gap: record seq %d but only %d trees known" seq count))
-            (Ok 0) records
+      | Ok header -> (
+        let parsed = List.map (fun l -> (l, parse_record l)) lines in
+        let rec split_valid acc = function
+          | [] -> Ok (List.rev acc, false)
+          | (_, Some r) :: rest -> split_valid (r :: acc) rest
+          | (_, None) :: rest ->
+            if List.exists (fun (_, r) -> r <> None) rest then
+              Error
+                (Printf.sprintf "journal record %d is corrupt (not at the tail)"
+                   (List.length acc + 1))
+            else Ok (List.rev acc, true)
         in
-        match apply () with
+        match split_valid [] parsed with
         | Error _ as e -> e
-        | Ok applied ->
-          if torn then begin
-            (* Rewrite atomically so the next append starts on a clean
-               line; the torn bytes belonged to an unacknowledged add. *)
-            let tmp = path ^ ".tmp" in
-            Out_channel.with_open_text tmp (fun oc ->
-                List.iter
-                  (fun (seq, tree) ->
-                    output_string oc (record_line ~seq tree);
-                    output_char oc '\n')
-                  records);
-            Sys.rename tmp path
-          end;
-          ignore applied;
-          Ok (List.length records)))
+        | Ok (records, torn) -> (
+          let apply () =
+            List.fold_left
+              (fun r (seq, tree) ->
+                match r with
+                | Error _ as e -> e
+                | Ok n ->
+                  let count = Incremental.n_trees inc in
+                  if seq < count then Ok n (* already covered by the snapshot *)
+                  else if seq = count then begin
+                    ignore (Incremental.add inc tree);
+                    Ok (n + 1)
+                  end
+                  else
+                    Error
+                      (Printf.sprintf
+                         "journal gap: record seq %d but only %d trees known" seq count))
+              (Ok 0) records
+          in
+          match apply () with
+          | Error _ as e -> e
+          | Ok applied ->
+            if torn then begin
+              (* Rewrite atomically so the next append starts on a clean
+                 line; the torn bytes belonged to an unacknowledged add.
+                 The directory fsync in [Durable.rename] makes the
+                 rewrite survive a machine crash too. *)
+              let tmp = path ^ ".tmp" in
+              Out_channel.with_open_text tmp (fun oc ->
+                  (match header with
+                  | Some (epoch, base) ->
+                    output_string oc (epoch_line ~epoch ~base);
+                    output_char oc '\n'
+                  | None -> ());
+                  List.iter
+                    (fun (seq, tree) ->
+                      output_string oc (record_line ~seq tree);
+                      output_char oc '\n')
+                    records);
+              Durable.rename tmp path
+            end;
+            ignore applied;
+            Ok (header, List.length records))))
+
+(* Atomically replace the journal with a header-only file carrying the
+   store's current epoch.  Always a whole-file rename (never an
+   in-place truncate) so the header's presence is crash-atomic. *)
+let reset_journal t dir =
+  (match t.journal with Some oc -> close_out_noerr oc | None -> ());
+  let path = journal_path dir in
+  let tmp = path ^ ".tmp" in
+  Out_channel.with_open_text tmp (fun oc ->
+      output_string oc (epoch_line ~epoch:t.epoch ~base:t.epoch_base);
+      output_char oc '\n');
+  Durable.rename tmp path;
+  t.journal <- Some (reopen_journal_for_append dir);
+  t.journal_records <- 0
 
 let open_ ?dir ?(domains = 1) ~tau () =
   if tau < 0 then Error "Store.open_: negative threshold"
@@ -135,6 +199,8 @@ let open_ ?dir ?(domains = 1) ~tau () =
           inc = Incremental.create ~tau ();
           journal = None;
           journal_records = 0;
+          epoch = 0;
+          epoch_base = 0;
         }
     | Some dir -> (
       match
@@ -160,18 +226,28 @@ let open_ ?dir ?(domains = 1) ~tau () =
         | Ok (tau, trees) -> (
           let inc = Incremental.create ~tau () in
           Array.iter (fun tree -> ignore (Incremental.add inc tree)) trees;
+          let fresh = not (Sys.file_exists (journal_path dir)) in
           match replay_journal inc dir with
           | Error msg -> Error ("journal: " ^ msg)
-          | Ok journal_records ->
-            Ok
+          | Ok (header, journal_records) ->
+            let epoch, epoch_base =
+              match header with Some h -> h | None -> (0, 0)
+            in
+            let t =
               {
                 dir = Some dir;
                 tau;
                 domains;
                 inc;
-                journal = Some (reopen_journal_for_append dir);
+                journal = None;
                 journal_records;
-              })))
+                epoch;
+                epoch_base;
+              }
+            in
+            if fresh then reset_journal t dir
+            else t.journal <- Some (reopen_journal_for_append dir);
+            Ok t)))
 
 let tau t = t.tau
 
@@ -179,7 +255,13 @@ let n_trees t = Incremental.n_trees t.inc
 
 let journal_records t = t.journal_records
 
+let epoch t = t.epoch
+
+let epoch_base t = t.epoch_base
+
 let tree t id = Incremental.tree t.inc id
+
+let record_for t seq = record_line ~seq (Incremental.tree t.inc seq)
 
 (* Durability before visibility: the WAL record is written and flushed
    before the tree enters the index, so an acknowledged ADD survives a
@@ -199,24 +281,90 @@ let add t tree =
   let partners = Incremental.add t.inc tree in
   (seq, partners)
 
+(* Partners of the tree at [seq] as {!Incremental.add} originally
+   returned them: every earlier tree within τ, sorted by id.  Recomputed
+   from an unbudgeted (fully verified) query, so an idempotent ADD
+   replay answers bit-identically to the original acknowledgement. *)
+let partners_of t seq tree =
+  let r = Incremental.query ~domains:t.domains t.inc tree in
+  r.Incremental.hits
+  |> List.filter (fun (id, _) -> id < seq)
+  |> List.sort (fun (i1, _) (i2, _) -> compare i1 i2)
+
+let add_seq t ?seq tree =
+  let n = Incremental.n_trees t.inc in
+  match seq with
+  | None -> Ok (add t tree)
+  | Some seq ->
+    if seq = n then Ok (add t tree)
+    else if seq > n then
+      Error (Printf.sprintf "seq gap: ADD seq %d but only %d trees known" seq n)
+    else begin
+      let existing = Incremental.tree t.inc seq in
+      if Bracket.to_string existing <> Bracket.to_string tree then
+        Error (Printf.sprintf "seq %d is already bound to a different tree" seq)
+      else Ok (seq, partners_of t seq tree)
+    end
+
+(* Apply one raw journal record pushed over a replication stream.  The
+   checksum is re-verified here — a flipped bit in transit must not
+   reach the journal.  Durability before ack: the record is appended
+   and flushed before it enters the index, exactly as {!add}. *)
+let apply_record t line =
+  match parse_record line with
+  | None -> Error "record is corrupt (bad checksum or syntax)"
+  | Some (seq, tree) ->
+    let n = Incremental.n_trees t.inc in
+    if seq < n then Ok n (* idempotent skip: already applied *)
+    else if seq > n then
+      Error (Printf.sprintf "record gap: seq %d but only %d trees known" seq n)
+    else begin
+      (match t.journal with
+      | None -> ()
+      | Some oc ->
+        output_string oc line;
+        output_char oc '\n';
+        flush oc;
+        t.journal_records <- t.journal_records + 1);
+      ignore (Incremental.add t.inc tree);
+      Ok (n + 1)
+    end
+
 let query ?budget ?tau t q = Incremental.query ?budget ~domains:t.domains ?tau t.inc q
 
 let nearest ~k t q = Incremental.nearest ~k t.inc q
 
 (* Snapshot, then reset the journal.  Both steps are individually
-   crash-safe: the snapshot rename is atomic, and a crash between it and
-   the reset only leaves redundant journal records that replay skips by
-   seq. *)
+   crash-safe: the snapshot rename is atomic (and the directory fsynced,
+   so the rename itself survives a machine crash), and a crash between
+   it and the reset only leaves redundant journal records that replay
+   skips by seq. *)
 let flush t =
   match t.dir with
   | None -> ()
   | Some dir ->
     let trees = Array.init (Incremental.n_trees t.inc) (Incremental.tree t.inc) in
     Search.save_collection ~tau:t.tau trees (snapshot_path dir);
-    (match t.journal with Some oc -> close_out_noerr oc | None -> ());
-    Out_channel.with_open_text (journal_path dir) (fun _ -> ());
-    t.journal <- Some (reopen_journal_for_append dir);
-    t.journal_records <- 0
+    reset_journal t dir
+
+let set_epoch t ~epoch ~base =
+  t.epoch <- epoch;
+  t.epoch_base <- base;
+  (* Snapshot first, then publish the new header: a crash between the
+     two leaves the old epoch and no data loss — the caller's promotion
+     or adoption simply did not happen. *)
+  flush t
+
+let truncate_to t n =
+  let cur = Incremental.n_trees t.inc in
+  if n < 0 then invalid_arg "Store.truncate_to: negative length"
+  else if n < cur then begin
+    let trees = Array.init n (Incremental.tree t.inc) in
+    let inc = Incremental.create ~tau:t.tau () in
+    Array.iter (fun tr -> ignore (Incremental.add inc tr)) trees;
+    t.inc <- inc;
+    flush t
+  end
 
 let close t =
   flush t;

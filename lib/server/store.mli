@@ -20,7 +20,21 @@
 
     The [server.journal] fault-injection point fires in {!add} just
     before the journal write (payload = [seq]): arming it models a
-    crash that loses exactly the unacknowledged add. *)
+    crash that loses exactly the unacknowledged add.
+
+    {b Replication state.}  The journal's first line is the epoch
+    header [epoch <e> <base> <crc>]: [e] is the monotonic failover
+    epoch and [base] the first sequence number of that epoch (the
+    promotion point).  The header is only written by whole-file atomic
+    renames ({!flush}, {!set_epoch}, the torn-tail rewrite), never by
+    appends, so it cannot be torn; pre-replication journals have no
+    header and read as epoch 0, base 0.  {!apply_record} and
+    {!record_for} are the two halves of journal streaming: a primary
+    regenerates any record from its in-memory trees (so a replica can
+    catch up from an arbitrary seq even after the primary's journal was
+    truncated into its snapshot — a snapshot transfer is just streaming
+    from 0), and a replica applies pushed records with the same
+    durability-before-visibility discipline as {!add}. *)
 
 type t
 
@@ -42,9 +56,47 @@ val journal_records : t -> int
 
 val tree : t -> int -> Tsj_tree.Tree.t
 
+val epoch : t -> int
+(** The replication epoch from the journal header (0 for a store that
+    never saw a failover). *)
+
+val epoch_base : t -> int
+(** First sequence number of the current epoch (the promotion point). *)
+
 val add : t -> Tsj_tree.Tree.t -> int * (int * int) list
 (** Journal (durably), then index.  Returns the new tree's id and its
     join partners, as {!Tsj_core.Incremental.add}. *)
+
+val add_seq :
+  t -> ?seq:int -> Tsj_tree.Tree.t -> (int * (int * int) list, string) result
+(** {!add} with the wire protocol's idempotency contract: without [seq]
+    it is exactly {!add}; with [seq] equal to the next sequence it adds;
+    with [seq] already bound to the {e same} tree it re-answers the
+    original acknowledgement (recomputed partners, bit-identical, no
+    write); a different tree at [seq] or a gap is an [Error]. *)
+
+val apply_record : t -> string -> (int, string) result
+(** Apply one raw journal record line pushed over a replication stream:
+    re-verify the checksum, journal + flush {e before} indexing, skip
+    idempotently if already applied.  Returns the store's new tree
+    count ([ACKED] payload); [Error] on corruption or a sequence gap. *)
+
+val record_for : t -> int -> string
+(** The journal record line for the tree at [seq], regenerated from the
+    in-memory index — valid even after the journal was truncated into a
+    snapshot.  @raise Invalid_argument if [seq] is out of range. *)
+
+val set_epoch : t -> epoch:int -> base:int -> unit
+(** Adopt (or create, on promotion) an epoch: snapshot, then atomically
+    rewrite the journal to a header-only file carrying [epoch]/[base].
+    A crash between the two steps keeps the old epoch and loses no
+    data. *)
+
+val truncate_to : t -> int -> unit
+(** Discard every tree with id >= [n] (a demoted primary's unacked
+    suffix), rebuild the index from the surviving prefix and persist it
+    (snapshot + header-only journal).  No-op if the store holds at most
+    [n] trees. *)
 
 val query :
   ?budget:Tsj_join.Budget.t ->

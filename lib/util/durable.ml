@@ -1,0 +1,15 @@
+(* A tmp+rename is only atomic *in the namespace*: the rename itself
+   lives in the parent directory's metadata and can be lost by a power
+   cut unless the directory is fsynced.  Failures are swallowed — some
+   filesystems (and all of Windows) refuse fsync on a directory fd, and
+   a failed fsync must not turn a successful save into an error. *)
+let fsync_dir dir =
+  match Unix.openfile dir [ Unix.O_RDONLY ] 0 with
+  | exception Unix.Unix_error _ -> ()
+  | fd ->
+    (try Unix.fsync fd with Unix.Unix_error _ -> ());
+    (try Unix.close fd with Unix.Unix_error _ -> ())
+
+let rename src dst =
+  Sys.rename src dst;
+  fsync_dir (Filename.dirname dst)

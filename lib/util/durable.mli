@@ -1,0 +1,17 @@
+(** Crash-durable filesystem operations.
+
+    A tmp-write + [Sys.rename] makes a save {e atomic} (readers see the
+    old or the new file, never a torn one) but not {e durable}: the
+    rename is directory metadata, and a machine crash shortly after can
+    roll it back, silently losing the "committed" file.  Durability
+    requires fsyncing the parent directory after the rename — that is
+    the one step this module adds. *)
+
+val fsync_dir : string -> unit
+(** Fsync a directory so a preceding rename/create/unlink inside it
+    survives a machine crash.  Never raises: on filesystems that refuse
+    to fsync a directory fd this degrades to the pre-fix behaviour. *)
+
+val rename : string -> string -> unit
+(** [rename src dst]: [Sys.rename] followed by {!fsync_dir} on [dst]'s
+    parent.  Raises as [Sys.rename] does if the rename itself fails. *)

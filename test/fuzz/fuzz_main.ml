@@ -278,13 +278,17 @@ let fuzz_server iterations rng =
   in
   let close_conn (fd, _, _) = try Unix.close fd with Unix.Unix_error _ -> () in
   let conns = Array.init 4 (fun _ -> connect ()) in
-  let verbs = [| "QUERY"; "KNN"; "ADD"; "STATS"; "HEALTH"; "query"; "Knn" |] in
+  let verbs =
+    [| "QUERY"; "KNN"; "ADD"; "STATS"; "HEALTH"; "query"; "Knn"; "SYNC";
+       "ACKED"; "RECORD"; "PROMOTE" |]
+  in
   let soup_tokens =
     [| "QUERY"; "ADD"; "{"; "}"; "{a}"; "{a{b}}"; "}{"; "-1"; "0"; "2"; "99999999999";
-       "x"; " "; "\t"; "\255"; "\000"; "{a{b}{c"; "DRAIN?"; "=" |]
+       "x"; " "; "\t"; "\255"; "\000"; "{a{b}{c"; "DRAIN?"; "=";
+       "SYNC"; "ACKED"; "RECORD"; "PROMOTE"; "1" |]
   in
   let random_line () =
-    match Prng.int rng 10 with
+    match Prng.int rng 12 with
     | 0 | 1 | 2 ->
       (* well-formed request over a small random tree *)
       let tree = random_tree rng (1 + Prng.int rng 10) in
@@ -317,6 +321,17 @@ let fuzz_server iterations rng =
     | 7 ->
       (* oversized line: must be answered with ERR, not a hang *)
       "QUERY 2 " ^ String.make (4096 + Prng.int rng 2048) '{'
+    | 8 ->
+      (* replication verbs: PROMOTE flips the write mandate, ACKED
+         outside a stream gets ERR, RECORD is not a request verb, a
+         valid SYNC hijacks the connection (the caller recycles it) *)
+      (match Prng.int rng 6 with
+      | 0 -> "PROMOTE"
+      | 1 -> Printf.sprintf "ACKED %d" (Prng.int rng 6 - 1)
+      | 2 -> Printf.sprintf "SYNC %d %d" (Prng.int rng 3) (Prng.int rng 6)
+      | 3 -> "SYNC 0"
+      | 4 -> Printf.sprintf "RECORD add %d {a}" (Prng.int rng 3)
+      | _ -> "ACKED x")
     | _ ->
       (* token soup *)
       String.concat " "
@@ -334,7 +349,53 @@ let fuzz_server iterations rng =
     in
     String.trim line <> ""
   in
+  (* Dedicated stream-mode conversation on a throwaway connection: join
+     as a replica with a random (epoch, from_seq), check that the header
+     and every pushed record parse under the response grammar, answer a
+     few ACKs (valid, stale or garbage) and hang up mid-stream.  The
+     server must shrug all of it off. *)
+  let fuzz_sync_stream i =
+    let (fd, ic, oc) as conn = connect () in
+    (try Unix.setsockopt_float fd Unix.SO_RCVTIMEO 0.25
+     with Unix.Unix_error _ | Invalid_argument _ -> ());
+    (try
+       Printf.fprintf oc "SYNC %d %d\n" (Prng.int rng 3) (Prng.int rng 8);
+       flush oc;
+       let header = input_line ic in
+       match Protocol.parse_response header with
+       | Error msg ->
+         failwith (Printf.sprintf "unparseable sync header %S (%s)" header msg)
+       | Ok (Protocol.Sync_stream _) ->
+         (try
+            for _ = 1 to Prng.int rng 6 do
+              let line = input_line ic in
+              (match Protocol.parse_response line with
+              | Ok _ -> ()
+              | Error msg ->
+                failwith
+                  (Printf.sprintf "unparseable stream line %S (%s)" line msg));
+              let ack =
+                match Prng.int rng 4 with
+                | 0 -> "ACKED x"
+                | 1 -> Printf.sprintf "ACKED %d" (Prng.int rng 3)
+                | _ -> Printf.sprintf "ACKED %d" (Prng.int rng 1000)
+              in
+              output_string oc ack;
+              output_char oc '\n';
+              flush oc
+            done
+          with End_of_file | Sys_error _ | Sys_blocked_io | Unix.Unix_error _ ->
+            (* link dropped (garbage ack) or nothing left to push *) ())
+       | Ok _ -> (* FENCED or ERR: the stream never started *) ()
+     with
+    | Failure detail ->
+      incr failures;
+      if !failures <= 5 then report "server" i detail
+    | End_of_file | Sys_error _ | Sys_blocked_io | Unix.Unix_error _ -> ());
+    close_conn conn
+  in
   for i = 1 to iterations do
+    if Prng.int rng 64 = 0 then fuzz_sync_stream i;
     let slot = Prng.int rng (Array.length conns) in
     let _, ic, oc = conns.(slot) in
     match
@@ -362,7 +423,16 @@ let fuzz_server iterations rng =
         if expects_reply line then begin
           let reply = input_line ic in
           match Protocol.parse_response reply with
-          | Ok _ -> Ok ()
+          | Ok _ ->
+            (* A valid SYNC hands the fd to the cluster (or the server
+               closes it after FENCED/ERR): either way it no longer
+               serves plain requests, so recycle the slot. *)
+            (match Protocol.parse_request line with
+            | Ok (Protocol.Sync _) ->
+              close_conn conns.(slot);
+              conns.(slot) <- connect ()
+            | _ -> ());
+            Ok ()
           | Error msg -> Error (Printf.sprintf "unparseable reply %S (%s)" reply msg)
         end
         else Ok ()

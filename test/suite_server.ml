@@ -43,7 +43,7 @@ let test_request_roundtrip () =
     [
       Protocol.Query { tau = 2; tree = t "{a{b}{c}}" };
       Protocol.Knn { k = 5; tree = t "{a}" };
-      Protocol.Add (t "{x{y{z}}}");
+      Protocol.Add { seq = None; tree = t "{x{y{z}}}" };
       Protocol.Stats;
       Protocol.Health;
       Protocol.Drain;
@@ -96,7 +96,7 @@ let test_response_roundtrip () =
         {
           trees = 10; tau = 2; queries = 5; adds = 10; shed = 1; degraded = 2;
           errors = 3; quarantined = 1; inflight = 0; draining = false;
-          journal_records = 4;
+          journal_records = 4; epoch = 2; primary = true;
         };
       Protocol.Health_reply { draining = false };
       Protocol.Health_reply { draining = true };
@@ -192,14 +192,15 @@ let test_store_corrupt_journal_rejected () =
         In_channel.with_open_text journal In_channel.input_lines
       in
       (* corrupt the MIDDLE record: that is real corruption, not a torn
-         tail, and must fail the open *)
+         tail, and must fail the open.  The first line is the epoch
+         header, then one record per add. *)
       (match lines with
-      | [ l1; _l2; l3 ] ->
+      | [ header; l1; _l2; l3 ] ->
         Out_channel.with_open_text journal (fun oc ->
             List.iter
               (fun l -> Printf.fprintf oc "%s\n" l)
-              [ l1; "add 1 {b} deadbeefdeadbeef"; l3 ])
-      | _ -> Alcotest.fail "expected 3 journal records");
+              [ header; l1; "add 1 {b} deadbeefdeadbeef"; l3 ])
+      | _ -> Alcotest.fail "expected epoch header + 3 journal records");
       (match Store.open_ ~dir ~tau:1 () with
       | Ok _ -> Alcotest.fail "mid-journal corruption accepted"
       | Error msg ->
@@ -334,7 +335,7 @@ let test_server_end_to_end () =
       let added =
         List.map
           (fun s ->
-            match request conn (Protocol.Add (t s)) with
+            match request conn (Protocol.Add { seq = None; tree = t s }) with
             | Protocol.Added { id; partners } -> (id, partners)
             | r -> Alcotest.failf "bad add reply %s" (Protocol.render_response r))
           [ "{a{b}{c}}"; "{a{b}{d}}"; "{x{y{z}}}" ]
@@ -374,7 +375,7 @@ let test_server_malformed_isolation () =
       (* connection A misbehaves; connection B must be untouched *)
       let a = raw_connect addr in
       let b = ok_or_fail (Client.connect addr) in
-      (match request b (Protocol.Add (t "{a{b}}")) with
+      (match request b (Protocol.Add { seq = None; tree = t "{a{b}}" }) with
       | Protocol.Added _ -> ()
       | r -> Alcotest.failf "B add failed: %s" (Protocol.render_response r));
       List.iter
@@ -407,7 +408,7 @@ let test_server_malformed_isolation () =
 let test_server_injected_request_fault_isolation () =
   with_server (fun addr server ->
       let a = ok_or_fail (Client.connect addr) in
-      (match request a (Protocol.Add (t "{a{b}}")) with
+      (match request a (Protocol.Add { seq = None; tree = t "{a{b}}" }) with
       | Protocol.Added _ -> ()
       | r -> Alcotest.failf "setup add failed: %s" (Protocol.render_response r));
       (* arm the per-request fault point at request #1: connection A's
@@ -450,7 +451,7 @@ let test_server_admission_busy () =
      with an explicit BUSY — control requests still pass *)
   with_server ~max_inflight:0 (fun addr server ->
       let conn = ok_or_fail (Client.connect addr) in
-      (match request conn (Protocol.Add (t "{a}")) with
+      (match request conn (Protocol.Add { seq = None; tree = t "{a}" }) with
       | Protocol.Busy -> ()
       | r -> Alcotest.failf "expected BUSY, got %s" (Protocol.render_response r));
       (match request conn (Protocol.Query { tau = 1; tree = t "{a}" }) with
@@ -474,7 +475,7 @@ let test_server_deadline_degrades () =
   with_server ~deadline_s:1e-9 (fun addr server ->
       let conn = ok_or_fail (Client.connect addr) in
       let dup = t "{a{b}{c}{d}}" in
-      (match request conn (Protocol.Add dup) with
+      (match request conn (Protocol.Add { seq = None; tree = dup }) with
       | Protocol.Added { id = 0; _ } -> ()
       | r -> Alcotest.failf "add failed: %s" (Protocol.render_response r));
       (match request conn (Protocol.Query { tau = 2; tree = dup }) with
@@ -496,7 +497,7 @@ let test_server_drain_flushes () =
       with_server ~dir (fun addr server ->
           let conn = ok_or_fail (Client.connect addr) in
           List.iter
-            (fun s -> ignore (request conn (Protocol.Add (t s))))
+            (fun s -> ignore (request conn (Protocol.Add { seq = None; tree = t s })))
             [ "{a{b}}"; "{c{d}{e}}"; "{f}" ];
           (match request conn Protocol.Drain with
           | Protocol.Drained -> ()
@@ -544,6 +545,287 @@ let test_server_accept_fault_drops_one_connection () =
       Client.close survivor;
       Alcotest.(check int) "accept fault quarantined" 1
         (List.length (Server.quarantined server)))
+
+(* --- replication: protocol, cluster end-to-end, torn-tail catch-up,
+   failover storm --- *)
+
+let test_replication_protocol_roundtrip () =
+  let reqs =
+    [
+      Protocol.Add { seq = Some 5; tree = t "{x{y}}" };
+      Protocol.Add { seq = Some 0; tree = t "{a}" };
+      Protocol.Sync { epoch = 3; from_seq = 17 };
+      Protocol.Sync { epoch = 0; from_seq = 0 };
+      Protocol.Ack 9;
+      Protocol.Promote;
+    ]
+  in
+  List.iter
+    (fun req ->
+      let line = Protocol.render_request req in
+      match Protocol.parse_request line with
+      | Error msg -> Alcotest.failf "round trip of %S failed: %s" line msg
+      | Ok req' ->
+        Alcotest.(check string) ("round trip " ^ line) line
+          (Protocol.render_request req'))
+    reqs;
+  List.iter
+    (fun bad ->
+      match Protocol.parse_request bad with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "%S unexpectedly parsed" bad)
+    [ "ADD -1 {a}"; "SYNC 1"; "SYNC -1 0"; "SYNC 1 -2"; "ACKED"; "ACKED x";
+      "PROMOTE now" ];
+  let resps =
+    [
+      Protocol.Sync_stream { epoch = 2; base = 11 };
+      Protocol.Record "add 3 {a{b}} 0123456789abcdef";
+      Protocol.Fenced 4;
+      Protocol.Promoted 1;
+    ]
+  in
+  List.iter
+    (fun r ->
+      let line = Protocol.render_response r in
+      match Protocol.parse_response line with
+      | Error msg -> Alcotest.failf "round trip of %S failed: %s" line msg
+      | Ok r' ->
+        Alcotest.(check string) ("round trip " ^ line) line
+          (Protocol.render_response r'))
+    resps;
+  (* a RECORD payload travels verbatim — no word-splitting damage *)
+  (match Protocol.parse_response "RECORD add 0 {A{b}}  weird  payload" with
+  | Ok (Protocol.Record r) ->
+    Alcotest.(check string) "payload verbatim" "add 0 {A{b}}  weird  payload" r
+  | _ -> Alcotest.fail "RECORD payload mangled")
+
+let rec eventually ?(tries = 500) msg f =
+  if f () then ()
+  else if tries = 0 then Alcotest.fail ("timeout waiting for " ^ msg)
+  else begin
+    Thread.delay 0.01;
+    eventually ~tries:(tries - 1) msg f
+  end
+
+(* ADD with an explicit seq, retried until quorum is reachable (the
+   followers register asynchronously after start). *)
+let rec add_acked ?(tries = 500) conn ~seq tree =
+  match request conn (Protocol.Add { seq = Some seq; tree }) with
+  | Protocol.Added { id; _ } -> id
+  | Protocol.Err _ when tries > 0 ->
+    Thread.delay 0.01;
+    add_acked ~tries:(tries - 1) conn ~seq tree
+  | r -> Alcotest.failf "add seq %d never acknowledged: %s" seq
+           (Protocol.render_response r)
+
+let stats_of conn =
+  match request conn Protocol.Stats with
+  | Protocol.Stats_reply s -> s
+  | r -> Alcotest.failf "bad stats reply %s" (Protocol.render_response r)
+
+let test_replicated_cluster_end_to_end () =
+  let socks = Array.init 3 (fun _ ->
+      let p = Filename.temp_file "tsj_repl" ".sock" in
+      Sys.remove p;
+      p)
+  in
+  let addr i = Protocol.Unix_path socks.(i) in
+  let mk ~primary ~sync_from i =
+    let config =
+      { (Server.default_config (addr i) ~tau:2) with
+        Server.quorum = 2; sync_from; primary }
+    in
+    let server = ok_or_fail (Server.create config) in
+    Server.start server;
+    server
+  in
+  let p0 = mk ~primary:true ~sync_from:[] 0 in
+  let r1 = mk ~primary:false ~sync_from:[ addr 0 ] 1 in
+  let r2 = mk ~primary:false ~sync_from:[ addr 0; addr 1 ] 2 in
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter
+        (fun s ->
+          (try Server.drain s with _ -> ());
+          try Server.wait s with _ -> ())
+        [ p0; r1; r2 ];
+      Array.iter (fun p -> if Sys.file_exists p then Sys.remove p) socks)
+    (fun () ->
+      let trees =
+        [| t "{a{b}{c}}"; t "{a{b}{d}}"; t "{x{y{z}}}"; t "{p{q}}" |]
+      in
+      let conn0 = ok_or_fail (Client.connect (addr 0)) in
+      (* quorum-acked writes: the first ADD blocks on a follower having
+         registered, then each one is durable on two nodes before OK *)
+      Array.iteri
+        (fun i tree ->
+          Alcotest.(check int) "sequential ids" i (add_acked conn0 ~seq:i tree))
+        trees;
+      let conn1 = ok_or_fail (Client.connect (addr 1)) in
+      let conn2 = ok_or_fail (Client.connect (addr 2)) in
+      eventually "replicas caught up" (fun () ->
+          (stats_of conn1).Protocol.trees = 4 && (stats_of conn2).Protocol.trees = 4);
+      (* replicas serve reads; writes on a non-primary are fenced *)
+      (match request conn1 (Protocol.Query { tau = 1; tree = trees.(0) }) with
+      | Protocol.Hits { hits; _ } ->
+        Alcotest.(check (list (pair int int))) "replica read" [ (0, 0); (1, 1) ] hits
+      | r -> Alcotest.failf "replica query failed: %s" (Protocol.render_response r));
+      (match request conn1 (Protocol.Add { seq = Some 4; tree = trees.(0) }) with
+      | Protocol.Fenced 0 -> ()
+      | r -> Alcotest.failf "replica accepted a write: %s" (Protocol.render_response r));
+      (* failover: promote r1, which bumps the epoch *)
+      (match request conn1 Protocol.Promote with
+      | Protocol.Promoted 1 -> ()
+      | r -> Alcotest.failf "promote failed: %s" (Protocol.render_response r));
+      let s1 = stats_of conn1 in
+      Alcotest.(check bool) "r1 is primary" true s1.Protocol.primary;
+      Alcotest.(check int) "r1 epoch bumped" 1 s1.Protocol.epoch;
+      (* the stale primary is fenced off on its next replicated write *)
+      (match request conn0 (Protocol.Add { seq = Some 4; tree = trees.(0) }) with
+      | Protocol.Fenced 1 -> ()
+      | r ->
+        Alcotest.failf "stale primary not fenced: %s" (Protocol.render_response r));
+      let s0 = stats_of conn0 in
+      Alcotest.(check bool) "p0 demoted" false s0.Protocol.primary;
+      Client.close conn0;
+      (* stop the old primary; r2's stream rotates to the new one *)
+      Server.drain p0;
+      Server.wait p0;
+      (* a post-failover quorum write through the new primary *)
+      let id = add_acked conn1 ~seq:4 (t "{n{e}{w}}") in
+      Alcotest.(check int) "post-failover id" 4 id;
+      eventually "r2 adopted the new epoch" (fun () ->
+          let s = stats_of conn2 in
+          s.Protocol.trees = 5 && s.Protocol.epoch = 1);
+      (* both survivors answer identically *)
+      let hits_on conn =
+        match request conn (Protocol.Query { tau = 2; tree = t "{n{e}{w}}" }) with
+        | Protocol.Hits { hits; _ } -> hits
+        | r -> Alcotest.failf "query failed: %s" (Protocol.render_response r)
+      in
+      Alcotest.(check (list (pair int int))) "survivors agree" (hits_on conn1)
+        (hits_on conn2);
+      Client.close conn1;
+      Client.close conn2)
+
+(* A replica that crashes with a torn journal tail must heal on
+   re-sync: the torn record is dropped on reopen and re-streamed by the
+   primary's catch-up. *)
+let test_replica_torn_tail_catchup () =
+  let module Replica = Tsj_server.Replica in
+  let module Cluster = Tsj_server.Cluster in
+  with_store_dir (fun dir ->
+      let primary_store = ok_or_fail (Store.open_ ~tau:2 ()) in
+      let primary = Replica.create ~primary:true primary_store in
+      let cluster = Cluster.create ~quorum:1 () in
+      let record_for s = Store.record_for primary_store s in
+      let follower_store = ref (ok_or_fail (Store.open_ ~dir ~tau:2 ())) in
+      let follower = ref (Replica.create !follower_store) in
+      let resync () =
+        let pending = ref None in
+        let send line =
+          match Replica.feed !follower line with
+          | Replica.Reply r | Replica.Final r -> pending := Some r
+          | Replica.Stop reason -> failwith ("stream stopped: " ^ reason)
+        in
+        let recv () =
+          match !pending with
+          | Some r ->
+            pending := None;
+            r
+          | None -> failwith "no reply pending"
+        in
+        let f_epoch =
+          match Protocol.parse_request (Replica.hello !follower) with
+          | Ok (Protocol.Sync { epoch; _ }) -> epoch
+          | _ -> Alcotest.fail "malformed hello"
+        in
+        match
+          Cluster.serve_sync cluster
+            ~epoch:(fun () -> Store.epoch primary_store)
+            ~base:(fun () -> Store.epoch_base primary_store)
+            ~n_trees:(fun () -> Store.n_trees primary_store)
+            ~record_for
+            ~primary:(fun () -> Replica.is_primary primary)
+            ~peer_id:"follower" ~f_epoch ~send ~recv
+            ~close:(fun () -> ())
+        with
+        | `Streaming -> ()
+        | `Fenced e -> Alcotest.failf "unexpected fence at %d" e
+        | `Refused msg -> Alcotest.failf "sync refused: %s" msg
+      in
+      resync ();
+      let trees = trees_of 71 6 in
+      Array.iter
+        (fun tree ->
+          Cluster.with_write cluster (fun () ->
+              let id, _ = ok_or_fail (Store.add_seq primary_store tree) in
+              match Cluster.replicate cluster ~record_for ~seq:id with
+              | Cluster.Acks _ -> ()
+              | Cluster.No_quorum _ | Cluster.Fenced_off _ ->
+                Alcotest.fail "replication failed"))
+        trees;
+      Alcotest.(check int) "follower current" 6 (Store.n_trees !follower_store);
+      (* crash the follower with a torn tail: abandon the store object
+         and chop the final journal record mid-write *)
+      let journal = Filename.concat dir "journal" in
+      let len = (Unix.stat journal).Unix.st_size in
+      Faults.truncate_file journal ~keep_bytes:(len - 3);
+      follower_store := ok_or_fail (Store.open_ ~dir ~tau:2 ());
+      Alcotest.(check int) "torn record dropped on reopen" 5
+        (Store.n_trees !follower_store);
+      follower := Replica.create !follower_store;
+      (* catch-up from seq 5 re-streams the lost record *)
+      resync ();
+      Alcotest.(check int) "caught up" 6 (Store.n_trees !follower_store);
+      Array.iteri
+        (fun i tree ->
+          Alcotest.(check bool) (Printf.sprintf "tree %d identical" i) true
+            (Tree.equal tree (Store.tree !follower_store i)))
+        trees;
+      Store.close !follower_store;
+      Store.close primary_store)
+
+let check_storm name (r : Faults.failover_report) =
+  Alcotest.(check bool) (name ^ ": no acked ADD lost") true r.Faults.acked_preserved;
+  Alcotest.(check bool) (name ^ ": one writer per epoch") true r.Faults.single_writer;
+  Alcotest.(check bool) (name ^ ": cluster converged") true r.Faults.converged;
+  Alcotest.(check bool)
+    (name ^ ": answers bit-identical to an unfailed node")
+    true r.Faults.cluster_answers_match
+
+let test_failover_storm () =
+  let trees = trees_of 81 24 in
+  let queries = trees_of 82 4 in
+  (* 60 randomized kill/partition points at each domain count *)
+  List.iter
+    (fun (domains, seed) ->
+      let r =
+        Faults.run_failover_storm ~domains ~seed ~rounds:60 ~trees ~queries ~tau:2 ()
+      in
+      let name = Printf.sprintf "storm (domains=%d)" domains in
+      Alcotest.(check int) (name ^ ": one chaos point per round") 60
+        r.Faults.chaos_points;
+      Alcotest.(check bool) (name ^ ": writes got through") true
+        (r.Faults.acked_adds > 60);
+      Alcotest.(check bool) (name ^ ": failovers exercised") true
+        (r.Faults.failovers > 0);
+      check_storm name r)
+    [ (1, 901); (4, 902) ]
+
+(* Property (qcheck): at ANY random kill/partition schedule, the
+   replicated cluster loses no acknowledged ADD and never has two
+   writers in one epoch. *)
+let prop_failover_storm =
+  Gen.qtest ~count:10 "failover storm invariants under random seeds"
+    QCheck.(int_bound 100_000)
+    (fun seed ->
+      let rng = Prng.create (9100 + seed) in
+      let trees = Array.init 12 (fun _ -> Gen.random_tree rng (3 + Prng.int rng 8)) in
+      let queries = Array.init 2 (fun _ -> Gen.random_tree rng (3 + Prng.int rng 8)) in
+      let r = Faults.run_failover_storm ~seed ~rounds:6 ~trees ~queries ~tau:2 () in
+      r.Faults.acked_preserved && r.Faults.single_writer && r.Faults.converged
+      && r.Faults.cluster_answers_match)
 
 (* --- client retry / backoff --- *)
 
@@ -599,7 +881,7 @@ let test_client_retries_busy_preserved () =
       let rng = Prng.create 5 in
       (match
          Client.request_with_retries ~attempts:3 ~sleep:(fun _ -> ()) ~rng addr
-           (Protocol.Add (t "{a}"))
+           (Protocol.Add { seq = None; tree = t "{a}" })
        with
       | Ok Protocol.Busy -> ()
       | Ok r -> Alcotest.failf "expected BUSY, got %s" (Protocol.render_response r)
@@ -632,6 +914,14 @@ let suite =
       test_server_drain_flushes;
     Alcotest.test_case "server survives accept faults" `Quick
       test_server_accept_fault_drops_one_connection;
+    Alcotest.test_case "replication protocol round trip" `Quick
+      test_replication_protocol_roundtrip;
+    Alcotest.test_case "replicated cluster end to end" `Quick
+      test_replicated_cluster_end_to_end;
+    Alcotest.test_case "replica torn-tail catch-up" `Quick
+      test_replica_torn_tail_catchup;
+    Alcotest.test_case "failover storm (1 and 4 domains)" `Quick test_failover_storm;
+    prop_failover_storm;
     Alcotest.test_case "client backoff deterministic" `Quick
       test_client_backoff_deterministic;
     Alcotest.test_case "client with_retries" `Quick test_client_with_retries;
