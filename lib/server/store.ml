@@ -12,6 +12,7 @@ type t = {
   mutable inc : Incremental.t;
   mutable journal : out_channel option;
   mutable journal_records : int;
+  mutable fsyncs : int;
   mutable epoch : int;
   mutable epoch_base : int;
 }
@@ -199,6 +200,7 @@ let open_ ?dir ?(domains = 1) ~tau () =
           inc = Incremental.create ~tau ();
           journal = None;
           journal_records = 0;
+          fsyncs = 0;
           epoch = 0;
           epoch_base = 0;
         }
@@ -241,6 +243,7 @@ let open_ ?dir ?(domains = 1) ~tau () =
                 inc;
                 journal = None;
                 journal_records;
+                fsyncs = 0;
                 epoch;
                 epoch_base;
               }
@@ -255,6 +258,8 @@ let n_trees t = Incremental.n_trees t.inc
 
 let journal_records t = t.journal_records
 
+let fsyncs t = t.fsyncs
+
 let epoch t = t.epoch
 
 let epoch_base t = t.epoch_base
@@ -262,24 +267,6 @@ let epoch_base t = t.epoch_base
 let tree t id = Incremental.tree t.inc id
 
 let record_for t seq = record_line ~seq (Incremental.tree t.inc seq)
-
-(* Durability before visibility: the WAL record is written and flushed
-   before the tree enters the index, so an acknowledged ADD survives a
-   kill at any later point, and a kill before the flush loses only an
-   unacknowledged request.  The [server.journal] hit point (payload =
-   seq) injects exactly that crash. *)
-let add t tree =
-  let seq = Incremental.n_trees t.inc in
-  (match t.journal with
-  | None -> ()
-  | Some oc ->
-    Fault.hit "server.journal" seq;
-    output_string oc (record_line ~seq tree);
-    output_char oc '\n';
-    flush oc;
-    t.journal_records <- t.journal_records + 1);
-  let partners = Incremental.add t.inc tree in
-  (seq, partners)
 
 (* Partners of the tree at [seq] as {!Incremental.add} originally
    returned them: every earlier tree within τ, sorted by id.  Recomputed
@@ -291,20 +278,111 @@ let partners_of t seq tree =
   |> List.filter (fun (id, _) -> id < seq)
   |> List.sort (fun (i1, _) (i2, _) -> compare i1 i2)
 
-let add_seq t ?seq tree =
-  let n = Incremental.n_trees t.inc in
-  match seq with
-  | None -> Ok (add t tree)
-  | Some seq ->
-    if seq = n then Ok (add t tree)
-    else if seq > n then
-      Error (Printf.sprintf "seq gap: ADD seq %d but only %d trees known" seq n)
-    else begin
-      let existing = Incremental.tree t.inc seq in
-      if Bracket.to_string existing <> Bracket.to_string tree then
-        Error (Printf.sprintf "seq %d is already bound to a different tree" seq)
-      else Ok (seq, partners_of t seq tree)
-    end
+(* Group commit, in three phases so a caller can drop its read lock for
+   the slow one: {!stage_batch} classifies the whole batch against a
+   simulated running sequence count (so the result array is exactly what
+   applying the items one at a time would have produced) without
+   touching disk or index; {!journal_staged} appends every fresh record
+   and forces durability with ONE flush for the whole batch — that is
+   the point of batching ({!fsyncs} counts these forces) and the only
+   phase that blocks on the filesystem; {!index_staged} makes the batch
+   visible.  Durability before visibility still holds batch-wide:
+   nothing enters the index until the batch's records are on disk, and
+   the [server.journal] hit point (payload = the first fresh seq of the
+   batch) fires before the first byte is written, modelling a crash that
+   loses the entire — wholly unacknowledged — batch.  The phases carry
+   staged sequence numbers, so between stage and index no other writer
+   may touch the store (the server serializes writers on a dedicated
+   commit lock); readers are unaffected. *)
+type staged = {
+  st_cls : [ `Fresh of int * Tsj_tree.Tree.t | `Replay of int * Tsj_tree.Tree.t | `Bad of string ] array;
+  st_first_fresh : int option;
+}
+
+let stage_batch t items =
+  let n = Array.length items in
+  let n0 = Incremental.n_trees t.inc in
+  let count = ref n0 in
+  (* seq -> tree for items fresh in this batch, so a pipelined replay of
+     a not-yet-indexed seq still validates against the right tree *)
+  let fresh_trees = Hashtbl.create (max 8 n) in
+  let cls =
+    Array.map
+      (fun (seq_opt, tree) ->
+        let fresh () =
+          let s = !count in
+          incr count;
+          Hashtbl.replace fresh_trees s tree;
+          `Fresh (s, tree)
+        in
+        match seq_opt with
+        | None -> fresh ()
+        | Some s when s = !count -> fresh ()
+        | Some s when s > !count ->
+          `Bad (Printf.sprintf "seq gap: ADD seq %d but only %d trees known" s !count)
+        | Some s ->
+          let bound =
+            if s < n0 then Incremental.tree t.inc s else Hashtbl.find fresh_trees s
+          in
+          if Bracket.to_string bound <> Bracket.to_string tree then
+            `Bad (Printf.sprintf "seq %d is already bound to a different tree" s)
+          else `Replay (s, tree))
+      items
+  in
+  let first_fresh =
+    Array.fold_left
+      (fun acc c ->
+        match (acc, c) with None, `Fresh (s, _) -> Some s | _ -> acc)
+      None cls
+  in
+  { st_cls = cls; st_first_fresh = first_fresh }
+
+let journal_staged t staged =
+  match (t.journal, staged.st_first_fresh) with
+  | Some oc, Some s0 ->
+    Fault.hit "server.journal" s0;
+    Array.iter
+      (function
+        | `Fresh (s, tree) ->
+          output_string oc (record_line ~seq:s tree);
+          output_char oc '\n';
+          t.journal_records <- t.journal_records + 1
+        | _ -> ())
+      staged.st_cls;
+    flush oc;
+    t.fsyncs <- t.fsyncs + 1
+  | _ -> ()
+
+let index_staged t staged =
+  let cls = staged.st_cls in
+  let results = Array.make (Array.length cls) (Error "unprocessed") in
+  (* Index fresh trees in seq order first, then answer replays: a replay
+     of a seq fresh in this same batch needs it indexed to recompute the
+     original partner list. *)
+  Array.iteri
+    (fun i c ->
+      match c with `Fresh (s, tree) -> results.(i) <- Ok (s, Incremental.add t.inc tree) | _ -> ())
+    cls;
+  Array.iteri
+    (fun i c ->
+      match c with
+      | `Replay (s, tree) -> results.(i) <- Ok (s, partners_of t s tree)
+      | `Bad msg -> results.(i) <- Error msg
+      | `Fresh _ -> ())
+    cls;
+  results
+
+let add_batch t items =
+  let staged = stage_batch t items in
+  journal_staged t staged;
+  index_staged t staged
+
+let add_seq t ?seq tree = (add_batch t [| (seq, tree) |]).(0)
+
+let add t tree =
+  match (add_batch t [| (None, tree) |]).(0) with
+  | Ok r -> r
+  | Error msg -> failwith msg (* unreachable: a seq-less add cannot conflict *)
 
 (* Apply one raw journal record pushed over a replication stream.  The
    checksum is re-verified here — a flipped bit in transit must not
@@ -325,6 +403,7 @@ let apply_record t line =
         output_string oc line;
         output_char oc '\n';
         flush oc;
+        t.fsyncs <- t.fsyncs + 1;
         t.journal_records <- t.journal_records + 1);
       ignore (Incremental.add t.inc tree);
       Ok (n + 1)

@@ -18,9 +18,13 @@
     to its valid prefix, while an undecodable record {e followed by}
     valid ones is real corruption and fails the open.
 
-    The [server.journal] fault-injection point fires in {!add} just
-    before the journal write (payload = [seq]): arming it models a
-    crash that loses exactly the unacknowledged add.
+    The [server.journal] fault-injection point fires once per journal
+    write batch, just before the first byte is written (payload = the
+    first fresh [seq] of the batch; for a single {!add} that is the
+    add's own seq): arming it models a crash that loses exactly the
+    unacknowledged batch.  While armed, its hit count equals the number
+    of durability forces, which is how the group-commit tests count
+    fsyncs per acked ADD.
 
     {b Replication state.}  The journal's first line is the epoch
     header [epoch <e> <base> <crc>]: [e] is the monotonic failover
@@ -54,6 +58,12 @@ val n_trees : t -> int
 val journal_records : t -> int
 (** Records currently in the journal (0 right after {!flush}). *)
 
+val fsyncs : t -> int
+(** Durability forces (journal flushes) since open — one per {!add},
+    one per {!add_batch} with at least one fresh record, one per
+    {!apply_record}.  [fsyncs / adds] is the group-commit amortization
+    the serving bench reports. *)
+
 val tree : t -> int -> Tsj_tree.Tree.t
 
 val epoch : t -> int
@@ -74,6 +84,44 @@ val add_seq :
     with [seq] already bound to the {e same} tree it re-answers the
     original acknowledgement (recomputed partners, bit-identical, no
     write); a different tree at [seq] or a gap is an [Error]. *)
+
+val add_batch :
+  t ->
+  (int option * Tsj_tree.Tree.t) array ->
+  (int * (int * int) list, string) result array
+(** Group commit: apply a batch of [(seq, tree)] items with the same
+    per-item semantics as {!add_seq} applied left to right — the result
+    array is positionally identical — but with {e one} journal flush
+    for all fresh records of the batch.  Nothing enters the index until
+    the whole batch is durable, so a crash during the flush loses an
+    all-unacknowledged batch and an acked record never precedes a lost
+    one.  A replay item may reference a seq fresh in the same batch. *)
+
+type staged
+(** A classified batch between {!stage_batch} and {!index_staged}:
+    sequence numbers are assigned but nothing is journaled or visible
+    yet. *)
+
+val stage_batch : t -> (int option * Tsj_tree.Tree.t) array -> staged
+(** Phase 1 of {!add_batch}: classify the batch (fresh / replay / bad)
+    and reserve sequence numbers against the current index.  Reads the
+    index, writes nothing — call it under the same lock as {!query}. *)
+
+val journal_staged : t -> staged -> unit
+(** Phase 2: append the staged fresh records and force durability with
+    one flush (the [server.journal] hit point fires first).  Touches
+    only the journal, never the index, so a caller may run it {e
+    without} holding its read lock — the whole point of the split: the
+    flush is the phase with unbounded filesystem latency, and holding
+    the read lock across it would stall every concurrent query behind
+    one slow disk write.  Callers must serialize writers themselves
+    (stage → journal → index sequences must not interleave). *)
+
+val index_staged : t -> staged -> (int * (int * int) list, string) result array
+(** Phase 3: make the batch visible (index fresh trees, answer replays)
+    and return the positional results, as {!add_batch}.  Call it under
+    the read lock, after {!journal_staged} returned — durability before
+    visibility. *)
 
 val apply_record : t -> string -> (int, string) result
 (** Apply one raw journal record line pushed over a replication stream:

@@ -1,0 +1,70 @@
+type t = { mutable buf : Bytes.t; mutable off : int; mutable len : int }
+
+let create ?(capacity = 4096) () = { buf = Bytes.create (max 16 capacity); off = 0; len = 0 }
+
+let length t = t.len
+
+let is_empty t = t.len = 0
+
+let clear t =
+  t.off <- 0;
+  t.len <- 0
+
+(* Make room for [n] more bytes: first slide the live region back to the
+   start (reclaiming consumed space), then grow geometrically if that is
+   still not enough.  Amortized O(1) per byte through the buffer. *)
+let reserve t n =
+  let cap = Bytes.length t.buf in
+  if t.off + t.len + n > cap then begin
+    if t.len > 0 && t.off > 0 then Bytes.blit t.buf t.off t.buf 0 t.len;
+    t.off <- 0;
+    if t.len + n > cap then begin
+      let cap' = ref (max 16 cap) in
+      while t.len + n > !cap' do
+        cap' := !cap' * 2
+      done;
+      let buf' = Bytes.create !cap' in
+      Bytes.blit t.buf 0 buf' 0 t.len;
+      t.buf <- buf'
+    end
+  end
+
+let add_subbytes t src pos n =
+  reserve t n;
+  Bytes.blit src pos t.buf (t.off + t.len) n;
+  t.len <- t.len + n
+
+let add_string t s =
+  let n = String.length s in
+  reserve t n;
+  Bytes.blit_string s 0 t.buf (t.off + t.len) n;
+  t.len <- t.len + n
+
+let add_char t c =
+  reserve t 1;
+  Bytes.set t.buf (t.off + t.len) c;
+  t.len <- t.len + 1
+
+let peek t = (t.buf, t.off, t.len)
+
+let consume t n =
+  if n < 0 || n > t.len then invalid_arg "Netbuf.consume";
+  t.off <- t.off + n;
+  t.len <- t.len - n;
+  if t.len = 0 then t.off <- 0
+
+let get t i =
+  if i < 0 || i >= t.len then invalid_arg "Netbuf.get";
+  Bytes.get t.buf (t.off + i)
+
+let index t c =
+  let rec go i = if i >= t.len then None else if get t i = c then Some i else go (i + 1) in
+  go 0
+
+let sub_string t ~pos ~len =
+  if pos < 0 || len < 0 || pos + len > t.len then invalid_arg "Netbuf.sub_string";
+  Bytes.sub_string t.buf (t.off + pos) len
+
+let u32_be t pos =
+  if pos < 0 || pos + 4 > t.len then invalid_arg "Netbuf.u32_be";
+  Int32.to_int (Bytes.get_int32_be t.buf (t.off + pos)) land 0xFFFFFFFF

@@ -1,0 +1,51 @@
+(** Growable byte FIFO for event-loop connection buffers.
+
+    One [t] per direction per connection: bytes read off a nonblocking
+    socket are appended at the tail, complete lines/frames are parsed
+    off the head and {!consume}d; likewise rendered replies are appended
+    and whatever [write(2)] accepted is consumed.  Consumed space is
+    reclaimed by sliding (not reallocating) whenever the next append
+    needs it, so a long-lived connection settles into a steady-state
+    buffer with no per-request allocation.
+
+    Not thread-safe; callers (the server's event loop and its worker
+    threads) serialize access per buffer. *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+
+val length : t -> int
+
+val is_empty : t -> bool
+
+val clear : t -> unit
+
+val add_subbytes : t -> Bytes.t -> int -> int -> unit
+(** [add_subbytes t src pos n] appends [src[pos .. pos+n-1]]. *)
+
+val add_string : t -> string -> unit
+
+val add_char : t -> char -> unit
+
+val peek : t -> Bytes.t * int * int
+(** [(buf, off, len)]: a view of the buffered bytes, valid only until
+    the next mutation of [t].  Pair with {!consume} after a write. *)
+
+val consume : t -> int -> unit
+(** Drop [n] bytes off the head.  @raise Invalid_argument if [n]
+    exceeds {!length}. *)
+
+val get : t -> int -> char
+(** Byte at offset [i] from the head (no consumption). *)
+
+val index : t -> char -> int option
+(** Offset of the first occurrence of a byte, e.g. the newline ending a
+    complete request line. *)
+
+val sub_string : t -> pos:int -> len:int -> string
+(** Copy of a region, without consuming it. *)
+
+val u32_be : t -> int -> int
+(** Big-endian unsigned 32-bit integer at offset [pos] — the length and
+    request-id fields of a binary frame header. *)

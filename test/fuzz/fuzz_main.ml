@@ -31,7 +31,11 @@
      and split-across-writes request lines over loopback connections
      must answer every non-blank line with exactly one well-formed
      reply (ERR/BUSY included), never kill an innocent connection, and
-     end the run healthy with zero inflight requests (expected: 0). *)
+     end the run healthy with zero inflight requests; interleaved
+     binary-protocol episodes (HELLO negotiation, pipelined frames with
+     gapped ids, oversized/truncated/short-length frames, unknown
+     opcodes, drops mid-frame) must never crash the server or
+     misattribute a response id (expected: 0). *)
 
 module Tree = Tsj_tree.Tree
 module BT = Tsj_tree.Binary_tree
@@ -394,8 +398,196 @@ let fuzz_server iterations rng =
     | End_of_file | Sys_error _ | Sys_blocked_io | Unix.Unix_error _ -> ());
     close_conn conn
   in
+  (* Binary-protocol conversation on a throwaway connection: negotiate
+     [HELLO BIN], pipeline batches of framed requests with gapped ids
+     and check that every reply frame decodes and answers a pending id
+     with a response kind the request could produce (a STATS payload on
+     a QUERY id would be a misattributed reply), then optionally poison
+     the stream — an oversized frame, an unknown opcode, a length below
+     the header minimum, a frame truncated by hangup, garbage bytes —
+     and check the documented recovery: rejected by id with the stream
+     still usable, or ERR to id 0 followed by a clean close. *)
+  let fuzz_binary_episode i =
+    let (fd, ic, oc) as conn = connect () in
+    (try Unix.setsockopt_float fd Unix.SO_RCVTIMEO 5.0
+     with Unix.Unix_error _ | Invalid_argument _ -> ());
+    let read_frame () =
+      let flen = Protocol.Binary.get_u32 (really_input_string ic 4) 0 in
+      if flen < 5 then failwith (Printf.sprintf "server sent a frame with len %d" flen)
+      else begin
+        let rest = really_input_string ic flen in
+        (Protocol.Binary.get_u32 rest 0, Char.code rest.[4], String.sub rest 5 (flen - 5))
+      end
+    in
+    let next_id = ref (Prng.int rng 1_000_000) in
+    let fresh_id () =
+      let id = !next_id in
+      next_id := id + 1 + Prng.int rng 5;
+      id
+    in
+    (* One pipelined batch: write every frame, then collect every reply. *)
+    let batch () =
+      let n = 1 + Prng.int rng 6 in
+      let pending = Hashtbl.create 8 in
+      let buf = Buffer.create 256 in
+      for _ = 1 to n do
+        let id = fresh_id () in
+        let req, kind =
+          match Prng.int rng 10 with
+          | 0 | 1 | 2 ->
+            ( Protocol.Query
+                { tau = Prng.int rng 3; tree = random_tree rng (1 + Prng.int rng 8) },
+              `Read )
+          | 3 | 4 ->
+            ( Protocol.Knn
+                { k = 1 + Prng.int rng 3; tree = random_tree rng (1 + Prng.int rng 8) },
+              `Read )
+          | 5 | 6 ->
+            (Protocol.Add { seq = None; tree = random_tree rng (1 + Prng.int rng 8) }, `Add)
+          | 7 -> (Protocol.Stats, `Stats)
+          | 8 -> (Protocol.Health, `Health)
+          | _ -> (Protocol.Promote, `Promote)
+        in
+        let max_lag =
+          match kind with
+          | `Read when Prng.int rng 2 = 0 -> Some (Prng.int rng 5)
+          | _ -> None
+        in
+        Protocol.Binary.encode_request buf ~id ?max_lag req;
+        Hashtbl.replace pending id kind
+      done;
+      output_string oc (Buffer.contents buf);
+      flush oc;
+      for _ = 1 to n do
+        let id, op, body = read_frame () in
+        match Hashtbl.find_opt pending id with
+        | None ->
+          failwith (Printf.sprintf "reply to unknown or already-answered id %d" id)
+        | Some kind -> (
+          Hashtbl.remove pending id;
+          match Protocol.Binary.decode_response ~op ~body with
+          | Error msg -> failwith (Printf.sprintf "undecodable reply (op 0x%02x): %s" op msg)
+          | Ok resp ->
+            let plausible =
+              match (resp, kind) with
+              | (Protocol.Err _ | Protocol.Busy), _ -> true
+              | (Protocol.Hits _ | Protocol.Redirect _), `Read -> true
+              | (Protocol.Added _ | Protocol.Fenced _), `Add -> true
+              | Protocol.Stats_reply _, `Stats -> true
+              | Protocol.Health_reply _, `Health -> true
+              | Protocol.Promoted _, `Promote -> true
+              | _ -> false
+            in
+            if not plausible then
+              failwith
+                (Printf.sprintf "reply %s misattributed to id %d"
+                   (Protocol.render_response resp) id))
+      done
+    in
+    let expect_err ~rid what =
+      let id, op, body = read_frame () in
+      if id <> rid then
+        failwith (Printf.sprintf "%s answered to id %d, wanted %d" what id rid)
+      else
+        match Protocol.Binary.decode_response ~op ~body with
+        | Ok (Protocol.Err _) -> ()
+        | Ok r ->
+          failwith
+            (Printf.sprintf "%s answered %s, wanted ERR" what (Protocol.render_response r))
+        | Error msg -> failwith (Printf.sprintf "%s answered undecodably: %s" what msg)
+    in
+    (try
+       let v = 1 + Prng.int rng 3 in
+       Printf.fprintf oc "HELLO BIN %d\n" v;
+       flush oc;
+       (match Protocol.parse_response (input_line ic) with
+       | Ok (Protocol.Hello_reply w) when w >= 1 && w <= v -> ()
+       | Ok r -> failwith ("bad HELLO reply " ^ Protocol.render_response r)
+       | Error msg -> failwith ("unparseable HELLO reply: " ^ msg));
+       for _ = 1 to 1 + Prng.int rng 3 do
+         batch ()
+       done;
+       match Prng.int rng 6 with
+       | 0 ->
+         (* oversized frame: rejected by id, body skipped, stream usable *)
+         let rid = fresh_id () in
+         let b = Buffer.create 5000 in
+         Protocol.Binary.frame b ~id:rid ~op:0x01
+           (String.make (4097 + Prng.int rng 256) 'x');
+         output_string oc (Buffer.contents b);
+         flush oc;
+         expect_err ~rid "oversized frame";
+         batch ()
+       | 1 ->
+         (* unknown opcode: ERR by id, stream usable *)
+         let rid = fresh_id () in
+         let b = Buffer.create 32 in
+         Protocol.Binary.frame b ~id:rid ~op:(0x20 + Prng.int rng 0x60)
+           (String.make (Prng.int rng 8) 'z');
+         output_string oc (Buffer.contents b);
+         flush oc;
+         expect_err ~rid "unknown opcode";
+         batch ()
+       | 2 ->
+         (* length below the frame minimum: ERR to id 0, then close *)
+         let b = Buffer.create 4 in
+         Buffer.add_int32_be b (Int32.of_int (Prng.int rng 5));
+         output_string oc (Buffer.contents b);
+         flush oc;
+         expect_err ~rid:0 "short-length frame";
+         (match read_frame () with
+         | exception End_of_file -> ()
+         | exception (Sys_error _ | Sys_blocked_io | Unix.Unix_error _) -> ()
+         | _ -> failwith "stream survived a length below the frame minimum")
+       | 3 ->
+         (* frame truncated by hangup: no reply owed, server must shrug *)
+         let b = Buffer.create 16 in
+         Protocol.Binary.frame b ~id:(fresh_id ()) ~op:0x01 (String.make 64 'y');
+         let s = Buffer.contents b in
+         output_string oc (String.sub s 0 (4 + Prng.int rng (String.length s - 4)));
+         flush oc
+       | 4 ->
+         (* garbage bytes, then hang up without reading *)
+         let n = 1 + Prng.int rng 64 in
+         let g = Bytes.init n (fun _ -> Char.chr (Prng.int rng 256)) in
+         output_string oc (Bytes.to_string g);
+         flush oc
+       | _ ->
+         (* a valid frame split across writes mid-frame *)
+         let id = fresh_id () in
+         let b = Buffer.create 64 in
+         Protocol.Binary.encode_request b ~id Protocol.Stats;
+         let s = Buffer.contents b in
+         let cut = 1 + Prng.int rng (String.length s - 1) in
+         output_string oc (String.sub s 0 cut);
+         flush oc;
+         Thread.yield ();
+         output_string oc (String.sub s cut (String.length s - cut));
+         flush oc;
+         let rid, op, body = read_frame () in
+         if rid <> id then
+           failwith (Printf.sprintf "split frame answered to id %d, wanted %d" rid id)
+         else
+           match Protocol.Binary.decode_response ~op ~body with
+           | Ok (Protocol.Stats_reply _) -> ()
+           | Ok r ->
+             failwith ("split STATS frame answered " ^ Protocol.render_response r)
+           | Error msg -> failwith ("split STATS frame answered undecodably: " ^ msg)
+     with
+    | Failure detail ->
+      incr failures;
+      if !failures <= 5 then report "server" i detail
+    | End_of_file ->
+      incr failures;
+      if !failures <= 5 then report "server" i "server hung up a binary connection"
+    | Sys_error _ | Sys_blocked_io | Unix.Unix_error _ ->
+      incr failures;
+      if !failures <= 5 then report "server" i "binary connection transport error");
+    close_conn conn
+  in
   for i = 1 to iterations do
     if Prng.int rng 64 = 0 then fuzz_sync_stream i;
+    if Prng.int rng 48 = 0 then fuzz_binary_episode i;
     let slot = Prng.int rng (Array.length conns) in
     let _, ic, oc = conns.(slot) in
     match

@@ -290,13 +290,14 @@ let prop_restart_deterministic =
 
 (* --- socket server end-to-end --- *)
 
-let with_server ?(tau = 2) ?dir ?(max_inflight = 64) ?deadline_s ?(domains = 1) f =
+let with_server ?(tau = 2) ?dir ?(max_inflight = 64) ?deadline_s ?(domains = 1)
+    ?(max_batch = 64) f =
   let sock = Filename.temp_file "tsj_sock" "" in
   Sys.remove sock;
   let addr = Protocol.Unix_path sock in
   let config =
     { (Server.default_config addr ~tau) with
-      Server.dir; domains; max_inflight; deadline_s; drain_budget_s = 5.0 }
+      Server.dir; domains; max_inflight; deadline_s; max_batch; drain_budget_s = 5.0 }
   in
   let server = ok_or_fail (Server.create config) in
   Server.start server;
@@ -578,7 +579,7 @@ let test_replication_protocol_roundtrip () =
       "PROMOTE now" ];
   let resps =
     [
-      Protocol.Sync_stream { epoch = 2; base = 11 };
+      Protocol.Sync_stream { epoch = 2; base = 11; high = 13 };
       Protocol.Record "add 3 {a{b}} 0123456789abcdef";
       Protocol.Fenced 4;
       Protocol.Promoted 1;
@@ -827,6 +828,342 @@ let prop_failover_storm =
       r.Faults.acked_preserved && r.Faults.single_writer && r.Faults.converged
       && r.Faults.cluster_answers_match)
 
+(* --- binary protocol: negotiation, pipelining, group commit,
+   bounded-staleness reads --- *)
+
+let bin_connect addr = ok_or_fail (Client.Bin.connect ~timeout_s:10.0 addr)
+
+let test_binary_hello_and_pipelining () =
+  with_server (fun addr server ->
+      (* text first, then HELLO upgrades the very same connection *)
+      let ((fd, ic, oc) as raw) = raw_connect addr in
+      (match Protocol.parse_response (raw_request raw "ADD {a{b}}") with
+      | Ok (Protocol.Added { id = 0; _ }) -> ()
+      | _ -> Alcotest.fail "text ADD before HELLO failed");
+      (match Protocol.parse_response (raw_request raw "HELLO BIN 7") with
+      | Ok (Protocol.Hello_reply 1) -> ()
+      | Ok r -> Alcotest.failf "HELLO answered %s" (Protocol.render_response r)
+      | Error msg -> Alcotest.failf "HELLO reply unparseable: %s" msg);
+      (* from here the connection speaks frames; the id is echoed *)
+      let b = Buffer.create 64 in
+      Protocol.Binary.encode_request b ~id:42 Protocol.Stats;
+      output_string oc (Buffer.contents b);
+      flush oc;
+      let flen = Protocol.Binary.get_u32 (really_input_string ic 4) 0 in
+      let rest = really_input_string ic flen in
+      Alcotest.(check int) "request id echoed" 42 (Protocol.Binary.get_u32 rest 0);
+      (match
+         Protocol.Binary.decode_response ~op:(Char.code rest.[4])
+           ~body:(String.sub rest 5 (flen - 5))
+       with
+      | Ok (Protocol.Stats_reply s) ->
+        Alcotest.(check int) "binary STATS sees the text-mode add" 1 s.Protocol.trees
+      | Ok r -> Alcotest.failf "binary STATS answered %s" (Protocol.render_response r)
+      | Error msg -> Alcotest.failf "binary STATS undecodable: %s" msg);
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      (* pipelining through the Bin client: many ids outstanding at once,
+         every reply matched to the request that owns it, exactly once *)
+      let bin = bin_connect addr in
+      let add_ids =
+        List.map
+          (fun s -> Client.Bin.send bin (Protocol.Add { seq = None; tree = t s }))
+          [ "{p{q}}"; "{p{r}}"; "{s}" ]
+      in
+      let qid = Client.Bin.send bin (Protocol.Query { tau = 1; tree = t "{a{b}}" }) in
+      let sid = Client.Bin.send bin Protocol.Stats in
+      Client.Bin.flush bin;
+      let replies = Hashtbl.create 8 in
+      for _ = 1 to 5 do
+        match Client.Bin.recv bin with
+        | Ok (id, resp) ->
+          Alcotest.(check bool) "no duplicate reply id" false (Hashtbl.mem replies id);
+          Hashtbl.replace replies id resp
+        | Error e -> Alcotest.fail e
+      done;
+      (* the committer assigns tree ids in pipeline order *)
+      List.iteri
+        (fun i id ->
+          match Hashtbl.find_opt replies id with
+          | Some (Protocol.Added { id = tree_id; _ }) ->
+            Alcotest.(check int) "pipelined adds keep send order" (1 + i) tree_id
+          | Some r ->
+            Alcotest.failf "add id %d misattributed: %s" id
+              (Protocol.render_response r)
+          | None -> Alcotest.failf "add id %d unanswered" id)
+        add_ids;
+      (match Hashtbl.find_opt replies qid with
+      | Some (Protocol.Hits { hits; _ }) ->
+        Alcotest.(check bool) "pipelined query found the acked tree" true
+          (List.mem_assoc 0 hits)
+      | Some r ->
+        Alcotest.failf "query misattributed: %s" (Protocol.render_response r)
+      | None -> Alcotest.fail "pipelined query unanswered");
+      (match Hashtbl.find_opt replies sid with
+      | Some (Protocol.Stats_reply _) -> ()
+      | Some r ->
+        Alcotest.failf "stats misattributed: %s" (Protocol.render_response r)
+      | None -> Alcotest.fail "pipelined stats unanswered");
+      Client.Bin.close bin;
+      ignore server)
+
+let test_binary_group_commit_fsyncs () =
+  with_store_dir (fun dir ->
+      with_server ~dir ~max_batch:4 (fun addr server ->
+          let bin = bin_connect addr in
+          (* lock-step warm-up so the committer is known idle afterwards *)
+          (match
+             ok_or_fail
+               (Client.Bin.request bin (Protocol.Add { seq = None; tree = t "{w}" }))
+           with
+          | Protocol.Added { id = 0; _ } -> ()
+          | r -> Alcotest.failf "warm-up add failed: %s" (Protocol.render_response r));
+          let store = Server.store server in
+          let f0 = Store.fsyncs store in
+          let h0 = Fault.hits "server.journal" in
+          (* count journal flushes while the committer is stalled at the
+             batch fault point, so the pipelined ADDs pile into full
+             group commits *)
+          Fault.arm_action "server.journal" (fun _ -> ());
+          let gate = Atomic.make false in
+          Fault.arm_action "server.batch" (fun _ ->
+              while not (Atomic.get gate) do
+                Thread.delay 0.001
+              done);
+          Fun.protect
+            ~finally:(fun () ->
+              Atomic.set gate true;
+              Fault.disarm_all ())
+            (fun () ->
+              let n = 8 in
+              let rng = Prng.create 97 in
+              let ids =
+                List.init n (fun _ ->
+                    Client.Bin.send bin
+                      (Protocol.Add
+                         { seq = None; tree = Gen.random_tree rng (3 + Prng.int rng 6) }))
+              in
+              Client.Bin.flush bin;
+              eventually "all adds admitted" (fun () ->
+                  (Server.stats server).Protocol.inflight = n);
+              Thread.delay 0.05;
+              Atomic.set gate true;
+              let answered = Hashtbl.create 8 in
+              List.iter
+                (fun _ ->
+                  match Client.Bin.recv bin with
+                  | Ok (id, Protocol.Added { id = tree_id; _ }) ->
+                    Hashtbl.replace answered id tree_id
+                  | Ok (id, r) ->
+                    Alcotest.failf "add %d answered %s" id (Protocol.render_response r)
+                  | Error e -> Alcotest.fail e)
+                ids;
+              List.iteri
+                (fun i id ->
+                  match Hashtbl.find_opt answered id with
+                  | Some tree_id ->
+                    Alcotest.(check int) "batched adds keep queue order" (1 + i) tree_id
+                  | None -> Alcotest.failf "add id %d unanswered" id)
+                ids;
+              let batches = Fault.hits "server.journal" - h0 in
+              let fsyncs = Store.fsyncs store - f0 in
+              (* 8 concurrent ADDs with max_batch = 4: ceil(8/4) = 2
+                 journal appends, one fsync each — not 8 *)
+              Alcotest.(check int) "group commits = ceil(N / max_batch)" 2 batches;
+              Alcotest.(check int) "one fsync per group commit" batches fsyncs);
+          Client.Bin.close bin))
+
+let test_group_commit_crash_recovers_acked_prefix () =
+  with_store_dir (fun dir ->
+      let sock = Filename.temp_file "tsj_sock" "" in
+      Sys.remove sock;
+      let addr = Protocol.Unix_path sock in
+      let config =
+        { (Server.default_config addr ~tau:2) with Server.dir = Some dir; max_batch = 4 }
+      in
+      let server = ok_or_fail (Server.create config) in
+      Server.start server;
+      let acked = ref [] in
+      Fun.protect
+        ~finally:(fun () ->
+          Fault.disarm_all ();
+          if Sys.file_exists sock then Sys.remove sock)
+        (fun () ->
+          let bin = bin_connect addr in
+          let rng = Prng.create 98 in
+          for i = 0 to 4 do
+            let tree = Gen.random_tree rng (3 + Prng.int rng 6) in
+            match
+              ok_or_fail (Client.Bin.request bin (Protocol.Add { seq = None; tree }))
+            with
+            | Protocol.Added { id; _ } when id = i -> acked := tree :: !acked
+            | r -> Alcotest.failf "add %d failed: %s" i (Protocol.render_response r)
+          done;
+          (* an injected journal fault fails the whole batch atomically:
+             every ADD in it is answered ERR, nothing is indexed and
+             nothing reaches the journal *)
+          let before = Store.journal_records (Server.store server) in
+          Fault.arm "server.journal" ();
+          let ids =
+            List.init 3 (fun _ ->
+                Client.Bin.send bin
+                  (Protocol.Add
+                     { seq = None; tree = Gen.random_tree rng (3 + Prng.int rng 6) }))
+          in
+          Client.Bin.flush bin;
+          List.iter
+            (fun _ ->
+              match Client.Bin.recv bin with
+              | Ok (id, Protocol.Err _) when List.mem id ids -> ()
+              | Ok (id, r) ->
+                Alcotest.failf "faulted add %d answered %s" id
+                  (Protocol.render_response r)
+              | Error e -> Alcotest.fail e)
+            ids;
+          Fault.disarm "server.journal";
+          Alcotest.(check int) "journal untouched by the failed batch" before
+            (Store.journal_records (Server.store server));
+          Alcotest.(check int) "nothing from the failed batch indexed" 5
+            (Store.n_trees (Server.store server));
+          (* the sequence continues with no gap *)
+          (match
+             ok_or_fail
+               (Client.Bin.request bin (Protocol.Add { seq = None; tree = t "{g{h}}" }))
+           with
+          | Protocol.Added { id = 5; _ } -> acked := t "{g{h}}" :: !acked
+          | r -> Alcotest.failf "post-fault add failed: %s" (Protocol.render_response r));
+          (* crash (kill -9) with a stalled, never-acked batch in flight:
+             recovery from the journal must see exactly the acked prefix *)
+          let gate = Atomic.make false in
+          Fault.arm_action "server.batch" (fun _ ->
+              while not (Atomic.get gate) do
+                Thread.delay 0.001
+              done);
+          ignore
+            (List.init 3 (fun _ ->
+                 Client.Bin.send bin
+                   (Protocol.Add
+                      { seq = None; tree = Gen.random_tree rng (3 + Prng.int rng 6) })));
+          Client.Bin.flush bin;
+          eventually "stalled batch admitted" (fun () ->
+              (Server.stats server).Protocol.inflight = 3);
+          Server.abort server;
+          Atomic.set gate true;
+          Server.wait server;
+          Client.Bin.close bin;
+          Fault.disarm_all ();
+          let store = ok_or_fail (Store.open_ ~dir ~tau:2 ()) in
+          Alcotest.(check int) "recovered exactly the acked prefix" 6
+            (Store.n_trees store);
+          List.iteri
+            (fun i tree ->
+              let idx = 5 - i in
+              Alcotest.(check bool) (Printf.sprintf "acked tree %d survives" idx) true
+                (Tree.equal tree (Store.tree store idx)))
+            !acked;
+          Store.close store))
+
+let test_bounded_staleness_reads () =
+  let socks =
+    Array.init 2 (fun _ ->
+        let p = Filename.temp_file "tsj_stale" ".sock" in
+        Sys.remove p;
+        p)
+  in
+  let addr i = Protocol.Unix_path socks.(i) in
+  let mk ~primary ~sync_from i =
+    let config =
+      { (Server.default_config (addr i) ~tau:2) with Server.quorum = 2; sync_from; primary }
+    in
+    let server = ok_or_fail (Server.create config) in
+    Server.start server;
+    server
+  in
+  let p0 = mk ~primary:true ~sync_from:[] 0 in
+  let r1 = mk ~primary:false ~sync_from:[ addr 0 ] 1 in
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter
+        (fun s ->
+          (try Server.drain s with _ -> ());
+          try Server.wait s with _ -> ())
+        [ p0; r1 ];
+      Array.iter (fun p -> if Sys.file_exists p then Sys.remove p) socks)
+    (fun () ->
+      let trees = [| t "{a{b}{c}}"; t "{a{b}{d}}" |] in
+      let conn0 = ok_or_fail (Client.connect (addr 0)) in
+      Array.iteri (fun i tree -> ignore (add_acked conn0 ~seq:i tree)) trees;
+      Client.close conn0;
+      let conn1 = ok_or_fail (Client.connect (addr 1)) in
+      eventually "replica caught up" (fun () -> (stats_of conn1).Protocol.trees = 2);
+      Client.close conn1;
+      (* the primary always answers a bounded read: its lag is zero *)
+      let bin0 = bin_connect (addr 0) in
+      (match
+         ok_or_fail
+           (Client.Bin.request bin0 ~max_lag:0
+              (Protocol.Query { tau = 1; tree = trees.(0) }))
+       with
+      | Protocol.Hits { hits; _ } ->
+        Alcotest.(check (list (pair int int))) "primary bounded read" [ (0, 0); (1, 1) ]
+          hits
+      | r -> Alcotest.failf "primary bounded read: %s" (Protocol.render_response r));
+      Client.Bin.close bin0;
+      (* a synced replica within the bound answers locally *)
+      let bin1 = bin_connect (addr 1) in
+      (match
+         ok_or_fail
+           (Client.Bin.request bin1 ~max_lag:1
+              (Protocol.Query { tau = 1; tree = trees.(0) }))
+       with
+      | Protocol.Hits { hits; _ } ->
+        Alcotest.(check (list (pair int int))) "synced replica bounded read"
+          [ (0, 0); (1, 1) ] hits
+      | r -> Alcotest.failf "replica bounded read: %s" (Protocol.render_response r));
+      (* kill the primary: the replica's lag becomes unknown, so bounded
+         reads redirect to its last known upstream while unbounded reads
+         keep answering from what it has *)
+      Server.drain p0;
+      Server.wait p0;
+      eventually "stream loss surfaces as REDIRECT" (fun () ->
+          match
+            Client.Bin.request bin1 ~max_lag:0
+              (Protocol.Query { tau = 1; tree = trees.(0) })
+          with
+          | Ok (Protocol.Redirect a) -> a = Protocol.addr_to_string (addr 0)
+          | _ -> false);
+      (match
+         ok_or_fail (Client.Bin.request bin1 (Protocol.Query { tau = 1; tree = trees.(0) }))
+       with
+      | Protocol.Hits { hits; _ } ->
+        Alcotest.(check bool) "unbounded read still answers" true
+          (List.mem_assoc 0 hits)
+      | r -> Alcotest.failf "unbounded read refused: %s" (Protocol.render_response r));
+      Client.Bin.close bin1;
+      (* a replica that never had an upstream answers ERR, not a hang *)
+      let sock2 = Filename.temp_file "tsj_stale" ".sock" in
+      Sys.remove sock2;
+      let addr2 = Protocol.Unix_path sock2 in
+      let r2 =
+        ok_or_fail
+          (Server.create
+             { (Server.default_config addr2 ~tau:2) with Server.primary = false })
+      in
+      Server.start r2;
+      let bin2 = bin_connect addr2 in
+      (match
+         ok_or_fail
+           (Client.Bin.request bin2 ~max_lag:3
+              (Protocol.Query { tau = 1; tree = trees.(0) }))
+       with
+      | Protocol.Err reason ->
+        Alcotest.(check bool) ("names the problem: " ^ reason) true
+          (String.length reason > 5)
+      | r -> Alcotest.failf "upstream-less replica: %s" (Protocol.render_response r));
+      Client.Bin.close bin2;
+      Server.drain r2;
+      Server.wait r2;
+      if Sys.file_exists sock2 then Sys.remove sock2)
+
 (* --- client retry / backoff --- *)
 
 let test_client_backoff_deterministic () =
@@ -873,6 +1210,80 @@ let test_client_with_retries () =
   Alcotest.check_raises "attempts >= 1"
     (Invalid_argument "Client.with_retries: attempts must be >= 1") (fun () ->
       ignore (Client.with_retries ~attempts:0 ~rng:(Prng.create 1) (fun () -> Ok ())))
+
+let test_client_backoff_deadline_cap () =
+  (* an injected clock that advances exactly by what was slept: the
+     total backoff wait can never exceed the caller's deadline *)
+  let run ~attempts ~deadline_s =
+    let clock = ref 0.0 in
+    let slept = ref [] in
+    let sleep d =
+      slept := d :: !slept;
+      clock := !clock +. d
+    in
+    let calls = ref 0 in
+    let r =
+      Client.with_retries ~attempts ~base_delay_s:1.0 ~max_delay_s:8.0 ~sleep
+        ~deadline_s
+        ~now:(fun () -> !clock)
+        ~rng:(Prng.create 13)
+        (fun () ->
+          incr calls;
+          Error "down")
+    in
+    (r, List.rev !slept, !calls)
+  in
+  (match run ~attempts:10 ~deadline_s:2.5 with
+  | Error "down", slept, calls ->
+    let total = List.fold_left ( +. ) 0.0 slept in
+    (* the schedule grows past the deadline, so the final sleep is
+       clamped to exactly the time remaining and retrying stops *)
+    Alcotest.(check (float 1e-9)) "total wait = deadline exactly" 2.5 total;
+    Alcotest.(check bool)
+      (Printf.sprintf "stopped before exhausting attempts (%d calls)" calls)
+      true (calls < 10);
+    List.iter
+      (fun d -> Alcotest.(check bool) "every sleep positive" true (d > 0.0))
+      slept
+  | Error e, _, _ -> Alcotest.failf "wrong error %s" e
+  | Ok _, _, _ -> Alcotest.fail "expected failure");
+  (* a deadline that already passed: one attempt, zero sleeps *)
+  (match run ~attempts:10 ~deadline_s:0.0 with
+  | Error "down", [], 1 -> ()
+  | _, slept, calls ->
+    Alcotest.failf "expired deadline still waited (%d sleeps, %d calls)"
+      (List.length slept) calls);
+  (* without a deadline the full schedule runs: attempts-1 sleeps *)
+  (match
+     let slept = ref 0 in
+     let r =
+       Client.with_retries ~attempts:4 ~base_delay_s:1.0 ~max_delay_s:8.0
+         ~sleep:(fun _ -> incr slept)
+         ~rng:(Prng.create 13)
+         (fun () -> Error "down")
+     in
+     (r, !slept)
+   with
+  | Error "down", 3 -> ()
+  | _, n -> Alcotest.failf "expected 3 sleeps without a deadline, got %d" n);
+  (* the failover client obeys the same cap across server rotations *)
+  let clock = ref 0.0 in
+  let total = ref 0.0 in
+  let sleep d =
+    total := !total +. d;
+    clock := !clock +. d
+  in
+  let fo =
+    Client.Failover.create ~attempts:12 ~base_delay_s:1.0 ~max_delay_s:8.0 ~sleep
+      ~deadline_s:1.5
+      ~now:(fun () -> !clock)
+      ~rng:(Prng.create 17)
+      [ Protocol.Unix_path "/nonexistent/a.sock"; Protocol.Unix_path "/nonexistent/b.sock" ]
+  in
+  (match Client.Failover.request fo Protocol.Stats with
+  | Error _ -> ()
+  | Ok r -> Alcotest.failf "unexpected reply %s" (Protocol.render_response r));
+  Alcotest.(check (float 1e-9)) "failover total wait = deadline exactly" 1.5 !total
 
 let test_client_retries_busy_preserved () =
   (* a persistently shedding server: the retrying client must surface
@@ -922,8 +1333,18 @@ let suite =
       test_replica_torn_tail_catchup;
     Alcotest.test_case "failover storm (1 and 4 domains)" `Quick test_failover_storm;
     prop_failover_storm;
+    Alcotest.test_case "binary HELLO negotiation and pipelining" `Quick
+      test_binary_hello_and_pipelining;
+    Alcotest.test_case "binary ADDs group-commit into batched fsyncs" `Quick
+      test_binary_group_commit_fsyncs;
+    Alcotest.test_case "group-commit crash recovers the acked prefix" `Quick
+      test_group_commit_crash_recovers_acked_prefix;
+    Alcotest.test_case "bounded-staleness reads answer or redirect" `Quick
+      test_bounded_staleness_reads;
     Alcotest.test_case "client backoff deterministic" `Quick
       test_client_backoff_deterministic;
+    Alcotest.test_case "client backoff capped by the deadline" `Quick
+      test_client_backoff_deadline_cap;
     Alcotest.test_case "client with_retries" `Quick test_client_with_retries;
     Alcotest.test_case "client preserves BUSY" `Quick test_client_retries_busy_preserved;
   ]
