@@ -167,15 +167,18 @@ let () =
       ("ablation", fun () -> Experiments.ablation config);
       ("parallel", fun () -> Experiments.parallel config);
       ("perf", fun () -> Experiments.perf config);
+      ("dag", fun () -> Experiments.dag config);
       ("resilience", fun () -> Experiments.resilience config);
       ("serving", fun () -> Experiments.serving config);
       ("replication", fun () -> Experiments.replication config);
       ( "smoke",
-        (* Tiny-scale perf + resilience + serving + replication run —
-           the dune runtest hook.  Exercises the whole parallel pipeline
-           (pool, block sweep, pipelined verify, JSON emission), fails
-           on any cross-domain mismatch, runs one kill-and-resume
-           scenario asserting the resumed output bit-identical to an
+        (* Tiny-scale perf + dag + resilience + serving + replication
+           run — the dune runtest hook.  Exercises the whole parallel
+           pipeline (pool, block sweep, pipelined verify, JSON
+           emission), fails on any cross-domain mismatch, asserts the
+           consed join bit-identical with a non-zero memo hit rate on
+           the redundant profile, runs one kill-and-resume scenario
+           asserting the resumed output bit-identical to an
            uninterrupted run, drives the similarity-search service
            end-to-end (burst, shed accounting, drain, crash replay),
            and runs the replicated cluster through a primary kill,
@@ -185,6 +188,7 @@ let () =
             { config with Experiments.scale = Float.min config.Experiments.scale 0.0625 }
           in
           Experiments.perf tiny;
+          Experiments.dag tiny;
           Experiments.resilience tiny;
           Experiments.serving tiny;
           Experiments.replication tiny );

@@ -187,8 +187,15 @@ let join_cmd =
                    column) instead of aborting; each skipped record is listed \
                    in the quarantine summary.")
   in
+  let no_consing =
+    Arg.(value & flag
+         & info [ "no-consing" ]
+             ~doc:"Disable subtree hash-consing and the cross-pair TED memo \
+                   cache (PRT methods; ablation switch — the output is \
+                   bit-identical either way).")
+  in
   let run file tau method_ show_pairs format metric jobs time_budget pair_budget
-      checkpoint_file resume skip_malformed =
+      checkpoint_file resume skip_malformed no_consing =
     if tau < 0 then begin
       Printf.eprintf "tsj: tau must be non-negative\n";
       exit 2
@@ -237,11 +244,14 @@ let join_cmd =
       match
         match (metric, method_) with
         | Tsj_join.Sweep.Ted, m ->
-          Tsj_harness.Methods.run ~domains ?budget ?checkpoint m ~trees ~tau
+          Tsj_harness.Methods.run ~domains ?budget ?checkpoint
+            ~consing:(not no_consing) m ~trees ~tau
         | metric, Tsj_harness.Methods.Nl -> Tsj_join.Nested_loop.join ~metric ~trees ~tau ()
         | metric, Tsj_harness.Methods.Str -> Tsj_baselines.Str_join.join ~metric ~trees ~tau ()
         | metric, Tsj_harness.Methods.Set -> Tsj_baselines.Set_join.join ~metric ~trees ~tau ()
-        | metric, _ -> Tsj_core.Partsj.join ~domains ~metric ?budget ?checkpoint ~trees ~tau ()
+        | metric, _ ->
+          Tsj_core.Partsj.join ~domains ~metric ?budget ?checkpoint
+            ~consing:(not no_consing) ~trees ~tau ()
       with
       | out -> out
       | exception Invalid_argument msg ->
@@ -268,7 +278,8 @@ let join_cmd =
   Cmd.v
     (Cmd.info "join" ~doc:"Similarity self-join over a tree collection")
     Term.(const run $ file $ tau $ method_ $ show_pairs $ format_arg $ metric $ jobs
-          $ time_budget $ pair_budget $ checkpoint_file $ resume $ skip_malformed)
+          $ time_budget $ pair_budget $ checkpoint_file $ resume $ skip_malformed
+          $ no_consing)
 
 (* --- gen --- *)
 
@@ -467,8 +478,16 @@ let serve_cmd =
                    batches of up to N sharing one journal append, one fsync \
                    and one quorum round.  1 disables batching.")
   in
+  let dedup =
+    Arg.(value & flag
+         & info [ "dedup" ]
+             ~doc:"Whole-tree deduplication: a seq-less ADD of a tree the store \
+                   already holds is answered as the original tree's id and is \
+                   neither journaled nor indexed.  STATS reports the \
+                   suppressed count as dedup=.")
+  in
   let run addr tau dir jobs max_inflight deadline drain_budget preload replica_of
-      quorum max_batch format =
+      quorum max_batch dedup format =
     if tau < 0 then begin
       Printf.eprintf "tsj: tau must be non-negative\n";
       exit 2
@@ -495,6 +514,7 @@ let serve_cmd =
         handle_sigterm = true;
         quorum;
         max_batch;
+        dedup;
         sync_from = replica_of;
         primary = replica_of = [];
       }
@@ -531,7 +551,8 @@ let serve_cmd =
     (Cmd.info "serve"
        ~doc:"Run the fault-tolerant similarity-search service")
     Term.(const run $ addr $ tau $ dir $ jobs $ max_inflight $ deadline
-          $ drain_budget $ preload $ replica_of $ quorum $ max_batch $ format_arg)
+          $ drain_budget $ preload $ replica_of $ quorum $ max_batch $ dedup
+          $ format_arg)
 
 (* --- promote --- *)
 
@@ -679,10 +700,10 @@ let bench_cmd =
   in
   let what =
     Arg.(value & pos_all string [ "all" ] & info [] ~docv:"EXPERIMENT"
-           ~doc:"fig10, fig12, fig14, ablation, parallel, perf, streaming, \
-                 resilience, serving, serving-soak, replication or all \
-                 (serving-soak is a minute-long sustained-load bench and is \
-                 not part of all).")
+           ~doc:"fig10, fig12, fig14, ablation, parallel, perf, dag, \
+                 streaming, resilience, serving, serving-soak, replication \
+                 or all (serving-soak is a minute-long sustained-load bench \
+                 and is not part of all).")
   in
   let run scale seed jobs what =
     if jobs < 1 then begin
@@ -702,6 +723,7 @@ let bench_cmd =
         | "ablation" -> Tsj_harness.Experiments.ablation config
         | "parallel" -> Tsj_harness.Experiments.parallel config
         | "perf" -> Tsj_harness.Experiments.perf config
+        | "dag" -> Tsj_harness.Experiments.dag config
         | "streaming" -> Tsj_harness.Experiments.streaming config
         | "resilience" -> Tsj_harness.Experiments.resilience config
         | "serving" -> Tsj_harness.Experiments.serving config

@@ -16,11 +16,18 @@ type t = {
       (* structural hash -> ids, newest first; collisions are resolved
          by [Tree.equal].  Serves tau = 0 point queries without probing
          or TED: distance 0 is exactly structural equality. *)
+  dag : Tsj_tree.Dag.t option;
+      (* hash-consing store shared by every inserted tree.  [add] (the
+         only mutator, and like every index mutation single-writer)
+         interns there; the stored tree becomes the shared structural
+         view, so repeated subtrees across the stream cost one node and
+         the consed preps unlock the kernels' equal-subtree fast path
+         and the cross-pair memo cache. *)
   mutable n_candidates : int;
   mutable n_indexed : int;
 }
 
-let create ?(mode = Two_layer_index.Two_sided) ~tau () =
+let create ?(mode = Two_layer_index.Two_sided) ?(consing = true) ~tau () =
   if tau < 0 then invalid_arg "Incremental.create: negative threshold";
   {
     tau;
@@ -31,6 +38,7 @@ let create ?(mode = Two_layer_index.Two_sided) ~tau () =
     count = 0;
     entries = Hashtbl.create 64;
     exact = Hashtbl.create 64;
+    dag = (if consing then Some (Tsj_tree.Dag.create ()) else None);
     n_candidates = 0;
     n_indexed = 0;
   }
@@ -61,6 +69,10 @@ let grow t =
     t.preps <- preps
   end
 
+(* Lazy fallback for trees whose consing failed (or consing off).  It
+   must stay UNconsed: [prep] is called from inside [query]'s parallel
+   verification chunks, and interning from a worker would race on the
+   store — consed preps are built eagerly in [add] instead. *)
 let prep t id =
   match t.preps.(id) with
   | Some p -> p
@@ -114,9 +126,32 @@ let band_candidates t ~tau btree =
   done;
   !pending
 
+let find_equal t q =
+  Option.value (Hashtbl.find_opt t.exact (tree_key q)) ~default:[]
+  |> List.filter (fun id -> Tree.equal t.trees.(id) q)
+  |> function
+  | [] -> None
+  | ids -> Some (List.fold_left min max_int ids)
+
 let add t tree =
   grow t;
   let id = t.count in
+  let tree =
+    (* Intern first so the stored slot is the shared structural view:
+       a duplicate of an earlier tree is then physically equal to it,
+       and the eager consed prep carries DAG ids for the kernels.
+       Consing is an optimisation — if it raises on a pathological
+       shape, fall back to storing the tree as given (lazy unconsed
+       prep). *)
+    match t.dag with
+    | None -> tree
+    | Some dag -> (
+      match Ted.cons dag tree with
+      | c ->
+        t.preps.(id) <- Some (Ted.preprocess_consed c);
+        Ted.consed_tree c
+      | exception _ -> tree)
+  in
   t.trees.(id) <- tree;
   t.count <- t.count + 1;
   (let key = tree_key tree in

@@ -15,8 +15,15 @@
 
 type t
 
-val create : ?mode:Two_layer_index.mode -> tau:int -> unit -> t
-(** @raise Invalid_argument if [tau < 0]. *)
+val create : ?mode:Two_layer_index.mode -> ?consing:bool -> tau:int -> unit -> t
+(** @raise Invalid_argument if [tau < 0].  [consing] (default [true])
+    hash-conses every inserted tree into a per-index {!Tsj_tree.Dag}
+    store: repeated subtrees across the stream are stored once ({!tree}
+    returns the shared structural view), and insert-time verification
+    uses DAG-annotated preps — equal trees are answered without running
+    the DP, and the τ-banded kernel shares keyroot subproblems across
+    pairs through {!Tsj_ted.Memo}.  Results are bit-identical with
+    consing on or off. *)
 
 val tau : t -> int
 
@@ -30,6 +37,11 @@ val add : t -> Tsj_tree.Tree.t -> (int * int) list
 
 val tree : t -> int -> Tsj_tree.Tree.t
 (** @raise Invalid_argument on an unknown id. *)
+
+val find_equal : t -> Tsj_tree.Tree.t -> int option
+(** The smallest id whose tree is structurally equal to the argument
+    (distance 0), if any — an O(1) hash probe, no TED.  This is the
+    whole-tree dedup primitive of the serving store. *)
 
 val stats : t -> int * int
 (** [(candidates verified, subgraphs indexed)] so far. *)

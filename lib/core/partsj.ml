@@ -91,11 +91,15 @@ type verdict = { v_dist : int; v_stage : int; v_reason : Types.quarantine_reason
 
 let join_with_probe_stats ?(partitioning = Balanced)
     ?(index_mode = Two_layer_index.Two_sided) ?(domains = 1)
-    ?(bounded_verify = true) ?(cascade = true) ?metric ?budget ?checkpoint ?on_phases
-    ~trees ~tau () =
+    ?(bounded_verify = true) ?(cascade = true) ?(consing = true) ?metric ?budget
+    ?checkpoint ?on_phases ~trees ~tau () =
   if tau < 0 then invalid_arg "Partsj.join: negative threshold";
   if domains < 1 then invalid_arg "Partsj.join: domains must be >= 1";
   let n = Array.length trees in
+  (* Memo traffic attributable to this join: the per-domain caches and
+     their counters outlive any single run, so report deltas. *)
+  let memo_hits0 = Atomic.get Tsj_ted.Memo.hits in
+  let memo_misses0 = Atomic.get Tsj_ted.Memo.misses in
   let delta = (2 * tau) + 1 in
   let total_t0 = Timer.now () in
   let cand_timer = Timer.create () in
@@ -142,6 +146,24 @@ let join_with_probe_stats ?(partitioning = Balanced)
       d_bounds = Bounds.Compiled.of_tree leaf;
     }
   in
+  (* Hash-consing pass: sequential (interning mutates the store, and like
+     label interning it must not run on workers), so it happens here on
+     the caller before the fan-out.  The per-tree [consed] handles are
+     then expanded into preps by the pure [preprocess_consed] inside the
+     parallel map.  A tree whose interning raises falls back to plain
+     preprocessing — consing is an optimisation, never a gate. *)
+  let consed_slots : Ted.consed option array = Array.make (max n 1) None in
+  let (), cons_wall =
+    Timer.wall (fun () ->
+        if consing then begin
+          let dag = Tsj_tree.Dag.create () in
+          for i = 0 to n - 1 do
+            match Ted.cons dag trees.(i) with
+            | c -> consed_slots.(i) <- Some c
+            | exception _ -> ()
+          done
+        end)
+  in
   let data, prep_wall =
     Timer.wall (fun () ->
         Tsj_join.Parallel.map ~domains
@@ -150,8 +172,13 @@ let join_with_probe_stats ?(partitioning = Balanced)
               Fault.hit "partsj.prep" i;
               let tree = trees.(i) in
               let btree = Binary_tree.of_tree tree in
+              let prep =
+                match consed_slots.(i) with
+                | Some c -> Ted.preprocess_consed c
+                | None -> Ted.preprocess tree
+              in
               {
-                d_prep = Ted.preprocess tree;
+                d_prep = prep;
                 d_btree = btree;
                 d_cursor = Two_layer_index.cursor btree;
                 d_bounds = Bounds.Compiled.of_tree tree;
@@ -165,7 +192,7 @@ let join_with_probe_stats ?(partitioning = Balanced)
               placeholder)
           (Array.init n Fun.id))
   in
-  verify_attr := !verify_attr +. prep_wall;
+  verify_attr := !verify_attr +. cons_wall +. prep_wall;
   let excluded i = prep_failures.(i) <> None in
   let quarantine_prep = ref [] in
   Array.iteri
@@ -392,7 +419,8 @@ let join_with_probe_stats ?(partitioning = Balanced)
     | None -> ""
     | Some _ ->
       let params =
-        Printf.sprintf "v1|block=%d|part=%s|index=%s|metric=%s|bounded=%b|cascade=%b"
+        Printf.sprintf
+          "v2|block=%d|part=%s|index=%s|metric=%s|bounded=%b|cascade=%b|cons=%b"
           block_size
           (match partitioning with
           | Balanced -> "balanced"
@@ -404,7 +432,7 @@ let join_with_probe_stats ?(partitioning = Balanced)
           (match metric with
           | None | Some Tsj_join.Sweep.Ted -> "ted"
           | Some Tsj_join.Sweep.Constrained -> "constrained")
-          bounded_verify cascade
+          bounded_verify cascade consing
       in
       Checkpoint.fingerprint ~tau ~params trees
   in
@@ -694,6 +722,8 @@ let join_with_probe_stats ?(partitioning = Balanced)
               early_accepted = stage_counts.(stage_early);
               kernel_verified = stage_counts.(stage_kernel);
               quarantined = stage_counts.(stage_quarantined);
+              memo_hits = Atomic.get Tsj_ted.Memo.hits - memo_hits0;
+              memo_misses = Atomic.get Tsj_ted.Memo.misses - memo_misses0;
             };
         };
     },
@@ -704,8 +734,8 @@ let join_with_probe_stats ?(partitioning = Balanced)
       n_subgraphs_indexed = !n_indexed;
     } )
 
-let join ?partitioning ?index_mode ?domains ?bounded_verify ?cascade ?metric ?budget
-    ?checkpoint ?on_phases ~trees ~tau () =
+let join ?partitioning ?index_mode ?domains ?bounded_verify ?cascade ?consing ?metric
+    ?budget ?checkpoint ?on_phases ~trees ~tau () =
   fst
     (join_with_probe_stats ?partitioning ?index_mode ?domains ?bounded_verify ?cascade
-       ?metric ?budget ?checkpoint ?on_phases ~trees ~tau ())
+       ?consing ?metric ?budget ?checkpoint ?on_phases ~trees ~tau ())

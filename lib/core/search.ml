@@ -37,7 +37,7 @@ let build ?(mode = Two_layer_index.Two_sided) ~tau trees =
           (Subgraph.of_partition ~tree_id:id part)
       end)
     trees;
-  { tau; trees; preps = Array.map Ted.preprocess trees; entries }
+  { tau; trees; preps = Array.map (fun t -> Ted.preprocess t) trees; entries }
 
 let tau t = t.tau
 

@@ -8,7 +8,10 @@ type t = {
   mothers_per_1000 : int;
   dup_rate : float;
   dup_dz : float;
+  dup_exact : float;
   default_cardinality : int;
+  fragment_pool : int;
+  fragment_depth : int;
 }
 
 let swissprot =
@@ -26,7 +29,10 @@ let swissprot =
     mothers_per_1000 = 0;
     dup_rate = 0.4;
     dup_dz = 0.02;
+    dup_exact = 0.0;
     default_cardinality = 100_000;
+    fragment_pool = 0;
+    fragment_depth = 0;
   }
 
 let treebank =
@@ -44,7 +50,10 @@ let treebank =
     mothers_per_1000 = 0;
     dup_rate = 0.4;
     dup_dz = 0.03;
+    dup_exact = 0.0;
     default_cardinality = 50_000;
+    fragment_pool = 0;
+    fragment_depth = 0;
   }
 
 let sentiment =
@@ -62,7 +71,10 @@ let sentiment =
     mothers_per_1000 = 0;
     dup_rate = 0.4;
     dup_dz = 0.04;
+    dup_exact = 0.0;
     default_cardinality = 10_000;
+    fragment_pool = 0;
+    fragment_depth = 0;
   }
 
 let synthetic =
@@ -73,10 +85,35 @@ let synthetic =
     mothers_per_1000 = 0;
     dup_rate = 0.4;
     dup_dz = 0.02;
+    dup_exact = 0.0;
     default_cardinality = 10_000;
+    fragment_pool = 0;
+    fragment_depth = 0;
   }
 
-let all = [ swissprot; treebank; sentiment; synthetic ]
+let redundant =
+  {
+    name = "redundant";
+    params =
+      {
+        (* fragment shape: small bushy subtrees, a narrow alphabet *)
+        Generator.max_fanout = 4;
+        max_depth = 4;
+        n_labels = 16;
+        avg_size = 20;
+        size_jitter = 0.3;
+      };
+    dz = 0.02;
+    mothers_per_1000 = 0;
+    dup_rate = 0.3;
+    dup_dz = 0.02;
+    dup_exact = 0.5;
+    default_cardinality = 10_000;
+    fragment_pool = 32;
+    fragment_depth = 2;
+  }
+
+let all = [ swissprot; treebank; sentiment; synthetic; redundant ]
 
 let find name =
   let lname = String.lowercase_ascii name in
@@ -99,11 +136,30 @@ let instantiate profile ~seed ~n =
     Array.init n_mothers (fun _ -> Generator.Mother.create rng profile.params)
   in
   let labels = Generator.alphabet profile.params in
+  (* Shared fragment pool (fragment-composed profiles): every fresh tree
+     is a shallow random "glue" scaffold whose leaves are drawn from this
+     fixed pool of subtrees, referenced physically — the same fragment
+     value appears in many trees, which is the subtree repetition the
+     hash-consing layer and the cross-pair TED memo exploit. *)
+  let fragments =
+    Array.init profile.fragment_pool (fun _ ->
+        Generator.random_tree rng profile.params)
+  in
+  let rec glue depth =
+    if depth = 0 then fragments.(Prng.int rng (Array.length fragments))
+    else begin
+      let fanout = 1 + Prng.int rng 3 in
+      Tree.node
+        labels.(Prng.int rng (Array.length labels))
+        (List.init fanout (fun _ -> glue (depth - 1)))
+    end
+  in
   (* A fresh (non-duplicate) entry: either an independent random tree, or
      — when the profile uses mother templates — a decayed sample of a
      random mother (schema-shared corpora). *)
   let fresh () =
-    if n_mothers = 0 then Generator.random_tree rng profile.params
+    if profile.fragment_pool > 0 then glue profile.fragment_depth
+    else if n_mothers = 0 then Generator.random_tree rng profile.params
     else begin
       let mother = mothers.(Prng.int rng n_mothers) in
       let target =
@@ -124,9 +180,16 @@ let instantiate profile ~seed ~n =
        similarity clusters), otherwise a fresh mother sample. *)
     if i > 0 && Prng.float rng < profile.dup_rate then begin
       let src = out.(Prng.int rng i) in
-      let k = binomial rng (Tsj_tree.Tree.size src) profile.dup_dz in
-      let _, copy = Tsj_tree.Edit_op.random_script rng ~labels k src in
-      out.(i) <- copy
+      (* An exact re-submission ([dup_exact] share of the duplicates;
+         the extra draw is gated so profiles without exact duplicates
+         keep their historical random stream) or a lightly edited copy. *)
+      if profile.dup_exact > 0.0 && Prng.float rng < profile.dup_exact then
+        out.(i) <- src
+      else begin
+        let k = binomial rng (Tsj_tree.Tree.size src) profile.dup_dz in
+        let _, copy = Tsj_tree.Edit_op.random_script rng ~labels k src in
+        out.(i) <- copy
+      end
     end
     else out.(i) <- fresh ()
   done;

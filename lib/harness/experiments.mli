@@ -53,6 +53,17 @@ val perf : config -> unit
     [config.bench_json].
     @raise Failure if the two runs disagree. *)
 
+val dag : config -> unit
+(** DAG-compression benchmark on the subtree-repetition-heavy
+    [redundant] profile at τ = 3: measures the resident-set reduction of
+    hash-consing the collection (deep-copied baseline vs interned shared
+    views), runs the PartSJ join with consing off/on at 1 and
+    [config.domains] domains, reports the verify-time change and the
+    cross-pair memo hit rate, and writes [BENCH_dag.json].
+    @raise Failure if consing changes the join output, the output
+    differs across domain counts, the memo never hits, or (at
+    [scale >= 1.0]) interning saves less than 2x memory. *)
+
 val streaming : config -> unit
 (** Extension bench: cumulative throughput of the incremental
     (streaming) join as the history grows. *)

@@ -142,6 +142,7 @@ type stats_reply = {
   journal_records : int;
   epoch : int;
   primary : bool;
+  dedup : int;
 }
 
 type response =
@@ -186,10 +187,11 @@ let render_response r =
     Buffer.add_string b
       (Printf.sprintf
          "STATS trees=%d tau=%d queries=%d adds=%d shed=%d degraded=%d errors=%d \
-          quarantined=%d inflight=%d draining=%d journal=%d epoch=%d primary=%d"
+          quarantined=%d inflight=%d draining=%d journal=%d epoch=%d primary=%d \
+          dedup=%d"
          s.trees s.tau s.queries s.adds s.shed s.degraded s.errors s.quarantined
          s.inflight (Bool.to_int s.draining) s.journal_records s.epoch
-         (Bool.to_int s.primary))
+         (Bool.to_int s.primary) s.dedup)
   | Health_reply { draining } ->
     Buffer.add_string b (if draining then "OK draining" else "OK serving")
   | Drained -> Buffer.add_string b "OK drained"
@@ -322,6 +324,8 @@ let parse_response line =
              journal_records;
              epoch;
              primary = primary = 1;
+             (* absent in replies from pre-dedup servers *)
+             dedup = Option.value (get "dedup") ~default:0;
            })
     | _ -> fail ())
   | [ "OK"; "serving" ] -> Ok (Health_reply { draining = false })
@@ -492,7 +496,7 @@ module Binary = struct
         List.iter (u32 body)
           [ s.trees; s.tau; s.queries; s.adds; s.shed; s.degraded; s.errors;
             s.quarantined; s.inflight; Bool.to_int s.draining; s.journal_records;
-            s.epoch; Bool.to_int s.primary ];
+            s.epoch; Bool.to_int s.primary; s.dedup ];
         op_stats_reply
       | Health_reply { draining } ->
         Buffer.add_char body (if draining then '\001' else '\000');
@@ -550,7 +554,8 @@ module Binary = struct
           Ok (Added { id; partners })
     end
     else if op = op_stats_reply then begin
-      if len <> 52 then fail "STATS"
+      (* 52 bytes: pre-dedup frame (13 u32s); 56: current (14). *)
+      if len <> 52 && len <> 56 then fail "STATS"
       else
         let f i = get_u32 body (4 * i) in
         Ok
@@ -569,6 +574,7 @@ module Binary = struct
                journal_records = f 10;
                epoch = f 11;
                primary = f 12 = 1;
+               dedup = (if len = 56 then f 13 else 0);
              })
     end
     else if op = op_health_reply then begin

@@ -150,6 +150,9 @@ type stats_reply = {
   journal_records : int;
   epoch : int;  (** replication epoch persisted in the journal header *)
   primary : bool;  (** whether this node currently accepts writes *)
+  dedup : int;
+      (** duplicate ADDs suppressed by the store's dedup layer (0 when
+          dedup is off; parses as 0 from pre-dedup servers) *)
 }
 
 type response =

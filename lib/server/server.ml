@@ -18,6 +18,7 @@ type config = {
   primary : bool;  (** start with the write mandate *)
   peer_timeout_s : float;  (** replica-stream socket timeout on the primary *)
   max_batch : int;  (** largest number of ADDs in one group commit *)
+  dedup : bool;  (** suppress duplicate seq-less ADDs (see {!Store.open_}) *)
 }
 
 let default_config addr ~tau =
@@ -36,6 +37,7 @@ let default_config addr ~tau =
     primary = true;
     peer_timeout_s = 5.0;
     max_batch = 64;
+    dedup = false;
   }
 
 type counters = {
@@ -174,6 +176,7 @@ let stats t =
     journal_records = Store.journal_records t.store;
     epoch = Store.epoch t.store;
     primary = Replica.is_primary t.replica;
+    dedup = Store.dedups t.store;
   }
 
 (* --- event-loop plumbing --- *)
@@ -1161,7 +1164,10 @@ let create config =
   else if config.quorum < 1 then Error "quorum must be >= 1"
   else if config.max_batch < 1 then Error "max_batch must be >= 1"
   else
-    match Store.open_ ?dir:config.dir ~domains:config.domains ~tau:config.tau () with
+    match
+      Store.open_ ?dir:config.dir ~domains:config.domains ~dedup:config.dedup
+        ~tau:config.tau ()
+    with
     | Error m -> Error m
     | Ok store -> (
       match bind_listener config.addr with

@@ -90,12 +90,16 @@ type config = {
   max_batch : int;
       (** largest number of concurrent [ADD]s coalesced into one group
           commit (one journal flush + one quorum round) *)
+  dedup : bool;
+      (** answer a duplicate seq-less [ADD] as the original tree's id,
+          without journaling or indexing it (see {!Store.open_});
+          [STATS] reports the suppressed count as [dedup=] *)
 }
 
 val default_config : Protocol.addr -> tau:int -> config
 (** Ephemeral store, 1 domain, watermark 64, no deadline, 5 s drain
     budget, 1 MiB line cap, no signal handler; quorum 1, no sync peers,
-    primary, 5 s peer timeout, group commits of up to 64. *)
+    primary, 5 s peer timeout, group commits of up to 64, dedup off. *)
 
 type t
 

@@ -9,10 +9,12 @@ type t = {
   dir : string option;
   tau : int;
   domains : int;
+  dedup : bool;
   mutable inc : Incremental.t;
   mutable journal : out_channel option;
   mutable journal_records : int;
   mutable fsyncs : int;
+  mutable dedups : int;
   mutable epoch : int;
   mutable epoch_base : int;
 }
@@ -186,7 +188,7 @@ let reset_journal t dir =
   t.journal <- Some (reopen_journal_for_append dir);
   t.journal_records <- 0
 
-let open_ ?dir ?(domains = 1) ~tau () =
+let open_ ?dir ?(domains = 1) ?(dedup = false) ~tau () =
   if tau < 0 then Error "Store.open_: negative threshold"
   else if domains < 1 then Error "Store.open_: domains must be >= 1"
   else
@@ -197,10 +199,12 @@ let open_ ?dir ?(domains = 1) ~tau () =
           dir = None;
           tau;
           domains;
+          dedup;
           inc = Incremental.create ~tau ();
           journal = None;
           journal_records = 0;
           fsyncs = 0;
+          dedups = 0;
           epoch = 0;
           epoch_base = 0;
         }
@@ -240,10 +244,12 @@ let open_ ?dir ?(domains = 1) ~tau () =
                 dir = Some dir;
                 tau;
                 domains;
+                dedup;
                 inc;
                 journal = None;
                 journal_records;
                 fsyncs = 0;
+                dedups = 0;
                 epoch;
                 epoch_base;
               }
@@ -259,6 +265,8 @@ let n_trees t = Incremental.n_trees t.inc
 let journal_records t = t.journal_records
 
 let fsyncs t = t.fsyncs
+
+let dedups t = t.dedups
 
 let epoch t = t.epoch
 
@@ -295,7 +303,12 @@ let partners_of t seq tree =
    may touch the store (the server serializes writers on a dedicated
    commit lock); readers are unaffected. *)
 type staged = {
-  st_cls : [ `Fresh of int * Tsj_tree.Tree.t | `Replay of int * Tsj_tree.Tree.t | `Bad of string ] array;
+  st_cls :
+    [ `Fresh of int * Tsj_tree.Tree.t
+    | `Replay of int * Tsj_tree.Tree.t
+    | `Dedup of int * Tsj_tree.Tree.t
+    | `Bad of string ]
+    array;
   st_first_fresh : int option;
 }
 
@@ -306,14 +319,36 @@ let stage_batch t items =
   (* seq -> tree for items fresh in this batch, so a pipelined replay of
      a not-yet-indexed seq still validates against the right tree *)
   let fresh_trees = Hashtbl.create (max 8 n) in
+  (* bracket string -> staged seq, for dedup against trees fresh in this
+     same batch (not yet in the index's exact-match hash) *)
+  let fresh_brackets = Hashtbl.create (max 8 n) in
   let cls =
     Array.map
       (fun (seq_opt, tree) ->
         let fresh () =
-          let s = !count in
-          incr count;
-          Hashtbl.replace fresh_trees s tree;
-          `Fresh (s, tree)
+          (* Whole-tree dedup (opt-in): a seq-less ADD of a tree the
+             store already holds is answered as the original sequence
+             number with the original partner list, and never journaled.
+             Explicit-seq adds are exempt — their seq binding is part of
+             the retry contract. *)
+          let equal_existing () =
+            if not t.dedup then None
+            else
+              match Incremental.find_equal t.inc tree with
+              | Some s -> Some s
+              | None -> Hashtbl.find_opt fresh_brackets (Bracket.to_string tree)
+          in
+          match (seq_opt, equal_existing ()) with
+          | None, Some s -> `Dedup (s, tree)
+          | _ ->
+            let s = !count in
+            incr count;
+            Hashtbl.replace fresh_trees s tree;
+            if t.dedup then
+              (let key = Bracket.to_string tree in
+               if not (Hashtbl.mem fresh_brackets key) then
+                 Hashtbl.add fresh_brackets key s);
+            `Fresh (s, tree)
         in
         match seq_opt with
         | None -> fresh ()
@@ -367,6 +402,12 @@ let index_staged t staged =
     (fun i c ->
       match c with
       | `Replay (s, tree) -> results.(i) <- Ok (s, partners_of t s tree)
+      | `Dedup (s, tree) ->
+        (* Answered exactly like an idempotent replay of the original
+           ADD: its seq and its partner list.  Nothing was journaled, so
+           replicas see nothing — the answer is derived state. *)
+        t.dedups <- t.dedups + 1;
+        results.(i) <- Ok (s, partners_of t s tree)
       | `Bad msg -> results.(i) <- Error msg
       | `Fresh _ -> ())
     cls;

@@ -42,14 +42,22 @@
 
 type t
 
-val open_ : ?dir:string -> ?domains:int -> tau:int -> unit -> (t, string) result
+val open_ :
+  ?dir:string -> ?domains:int -> ?dedup:bool -> tau:int -> unit -> (t, string) result
 (** [open_ ~dir ~tau ()] loads (or initialises) the store rooted at
     [dir] — [dir/snapshot] and [dir/journal], creating the directory if
     needed.  An existing snapshot's τ overrides the requested one: a
     restart must reproduce the pre-crash index, and the partitioning
     grain δ = 2τ + 1 is baked into it.  Without [dir] the store is
     ephemeral (no journal, no snapshot).  [domains] (default 1) is the
-    verification parallelism used by {!query}. *)
+    verification parallelism used by {!query}.  [dedup] (default
+    [false]) enables whole-tree deduplication: a seq-less ADD of a tree
+    the store already holds is answered as the original tree's id with
+    the original partner list — bit-identical to an idempotent replay —
+    and is neither journaled nor indexed, so duplicates cost no disk
+    write, no index growth, and nothing on the replication stream.
+    Explicit-seq adds keep their retry semantics unchanged.  {!dedups}
+    counts the suppressed duplicates. *)
 
 val tau : t -> int
 
@@ -63,6 +71,10 @@ val fsyncs : t -> int
     one per {!add_batch} with at least one fresh record, one per
     {!apply_record}.  [fsyncs / adds] is the group-commit amortization
     the serving bench reports. *)
+
+val dedups : t -> int
+(** Duplicate ADDs suppressed by the dedup layer since open (0 unless
+    the store was opened with [~dedup:true]). *)
 
 val tree : t -> int -> Tsj_tree.Tree.t
 
@@ -103,9 +115,10 @@ type staged
     yet. *)
 
 val stage_batch : t -> (int option * Tsj_tree.Tree.t) array -> staged
-(** Phase 1 of {!add_batch}: classify the batch (fresh / replay / bad)
-    and reserve sequence numbers against the current index.  Reads the
-    index, writes nothing — call it under the same lock as {!query}. *)
+(** Phase 1 of {!add_batch}: classify the batch (fresh / replay /
+    dedup / bad) and reserve sequence numbers against the current
+    index.  Reads the index, writes nothing — call it under the same
+    lock as {!query}. *)
 
 val journal_staged : t -> staged -> unit
 (** Phase 2: append the staged fresh records and force durability with

@@ -47,13 +47,31 @@ let get () = Domain.DLS.get key
 
 let reserve_matrices a n1 n2 =
   if n1 + 1 > a.rows || n2 + 1 > a.cols then begin
-    let rows = max (n1 + 1) (2 * a.rows) in
-    let cols = max (n2 + 1) (2 * a.cols) in
-    a.td <- Array.make (rows * cols) 0;
-    a.td_stamp <- Array.make (rows * cols) 0;
-    a.fd <- Array.make (rows * cols) 0;
-    a.rows <- rows;
-    a.cols <- cols
+    let cap = Array.length a.td in
+    if (n1 + 1) * (n2 + 1) <= cap then begin
+      (* The slabs are big enough, only the shape is wrong (e.g. a
+         taller-but-narrower pair after a short-and-wide one): reshape
+         in place instead of reallocating all three slabs.  With
+         [cols = cap / (n1 + 1)] we get [cols >= n2 + 1] (because
+         [(n1 + 1) * (n2 + 1) <= cap]) and [rows = cap / cols >= n1 + 1]
+         (because [cols * (n1 + 1) <= cap]), and [rows * cols <= cap]
+         keeps every flat offset within the existing arrays.  The stamp
+         protocol survives the stride change: [serial] is never reset,
+         so every cell written under the old shape carries a stamp
+         strictly below the next call's id and reads as stale. *)
+      let cols = cap / (n1 + 1) in
+      a.cols <- cols;
+      a.rows <- cap / cols
+    end
+    else begin
+      let rows = max (n1 + 1) (2 * a.rows) in
+      let cols = max (n2 + 1) (2 * a.cols) in
+      a.td <- Array.make (rows * cols) 0;
+      a.td_stamp <- Array.make (rows * cols) 0;
+      a.fd <- Array.make (rows * cols) 0;
+      a.rows <- rows;
+      a.cols <- cols
+    end
   end
 
 let next_serial a =

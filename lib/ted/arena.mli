@@ -22,7 +22,12 @@ val get : unit -> t
 (** The calling domain's arena (created on first use). *)
 
 val reserve_matrices : t -> int -> int -> unit
-(** [reserve_matrices a n1 n2] ensures [a.rows > n1] and [a.cols > n2]. *)
+(** [reserve_matrices a n1 n2] ensures [a.rows > n1] and [a.cols > n2].
+    When the existing slabs already hold [(n1 + 1) * (n2 + 1)] cells the
+    matrices are reshaped in place (the row stride changes, nothing is
+    reallocated); otherwise all three slabs grow by doubling.  Either
+    way previously written cells are stale — the serial counter is never
+    reset, so the stamp protocol stays sound across both paths. *)
 
 val next_serial : t -> int
 (** Fresh per-call serial for the [td_stamp] protocol. *)

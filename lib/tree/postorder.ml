@@ -4,7 +4,19 @@ type t = {
   lld : int array;
   parent : int array;
   keyroots : int array;
+  dag : int array;
 }
+
+(* A node is an LR-keyroot iff no proper ancestor shares its lld; i.e. it
+   is the highest node of its left path.  Equivalently: the root, plus
+   every node that is not the leftmost child of its parent. *)
+let keyroots_of n lld parent =
+  let acc = Tsj_util.Vec_int.create () in
+  for i = 0 to n - 1 do
+    let p = parent.(i) in
+    if p = -1 || lld.(p) <> lld.(i) then Tsj_util.Vec_int.push acc i
+  done;
+  Tsj_util.Vec_int.to_array acc
 
 let of_tree tree =
   let n = Tree.size tree in
@@ -25,18 +37,35 @@ let of_tree tree =
     (me, my_lld)
   in
   ignore (go tree);
-  (* A node is an LR-keyroot iff no proper ancestor shares its lld; i.e. it
-     is the highest node of its left path.  Equivalently: the root, plus
-     every node that is not the leftmost child of its parent. *)
-  let keyroots =
-    let acc = Tsj_util.Vec_int.create () in
-    for i = 0 to n - 1 do
-      let p = parent.(i) in
-      if p = -1 || lld.(p) <> lld.(i) then Tsj_util.Vec_int.push acc i
+  { size = n; labels; lld; parent; keyroots = keyroots_of n lld parent; dag = [||] }
+
+let of_dag (root : Dag.node) =
+  let n = Dag.size root in
+  let labels = Array.make n 0 in
+  let lld = Array.make n 0 in
+  let parent = Array.make n (-1) in
+  let dag = Array.make n 0 in
+  let counter = ref 0 in
+  let rec go (node : Dag.node) =
+    let k = Array.length node.Dag.children in
+    let first_lld = ref (-1) in
+    let child_ids = Array.make k 0 in
+    for c = 0 to k - 1 do
+      let cid, clld = go node.Dag.children.(c) in
+      child_ids.(c) <- cid;
+      if c = 0 then first_lld := clld
     done;
-    Tsj_util.Vec_int.to_array acc
+    let me = !counter in
+    incr counter;
+    labels.(me) <- node.Dag.label;
+    dag.(me) <- node.Dag.id;
+    Array.iter (fun c -> parent.(c) <- me) child_ids;
+    let my_lld = if k = 0 then me else !first_lld in
+    lld.(me) <- my_lld;
+    (me, my_lld)
   in
-  { size = n; labels; lld; parent; keyroots }
+  ignore (go root);
+  { size = n; labels; lld; parent; keyroots = keyroots_of n lld parent; dag }
 
 let n_leaves t =
   let count = ref 0 in

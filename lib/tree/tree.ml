@@ -17,12 +17,17 @@ let label_set t =
   let rec go acc t = List.fold_left go (S.add t.label acc) t.children in
   S.elements (go S.empty t)
 
+(* Physical equality short-circuits both: trees interned through [Dag]
+   share substructure, so equal subtrees of a consed collection compare
+   in O(1) instead of O(size). *)
 let rec equal a b =
-  a.label = b.label && List.equal equal a.children b.children
+  a == b || (a.label = b.label && List.equal equal a.children b.children)
 
 let rec compare a b =
-  let c = Stdlib.compare a.label b.label in
-  if c <> 0 then c else List.compare compare a.children b.children
+  if a == b then 0
+  else
+    let c = Stdlib.compare a.label b.label in
+    if c <> 0 then c else List.compare compare a.children b.children
 
 let rec hash t =
   List.fold_left (fun acc c -> (acc * 1000003) + hash c) (t.label + 17) t.children

@@ -11,6 +11,7 @@
      dune exec test/fuzz/fuzz_main.exe -- ted 200000 42
      dune exec test/fuzz/fuzz_main.exe -- xml 200000 42
      dune exec test/fuzz/fuzz_main.exe -- server 20000 42
+     dune exec test/fuzz/fuzz_main.exe -- dag 20000 42
 
    Modes:
    - lemma2: after <= tau random edits, some subgraph of the balanced
@@ -677,6 +678,155 @@ let fuzz_server iterations rng =
   if Sys.file_exists sock then Sys.remove sock;
   !failures
 
+(* Hash-consing soundness hunt.  Kernel half: a random batch (salted
+   with exact duplicates and near-duplicate copies) is interned into a
+   fresh Dag store, and the bounded/unbounded kernels on the consed
+   preps — equal-subtree fast path, cross-pair memo replay, whole-pair
+   result cache all firing — must return exactly what the unconsed
+   preps return for random pairs and clamps.  Wire half: a live server
+   opened with dedup on is fed duplicate and near-duplicate ADDs; a
+   duplicate ADD must be acked with the original tree's id, a
+   near-duplicate must mint a fresh id, and the STATS dedup counter
+   must track the suppressed count exactly. *)
+let fuzz_dag iterations rng =
+  let module Protocol = Tsj_server.Protocol in
+  let module Server = Tsj_server.Server in
+  let failures = ref 0 in
+  let sock = Filename.temp_file "tsj_fuzz_dag" ".sock" in
+  Sys.remove sock;
+  let addr = Protocol.Unix_path sock in
+  let config = { (Server.default_config addr ~tau:2) with Server.dedup = true } in
+  let server =
+    match Server.create config with
+    | Ok s -> s
+    | Error msg ->
+      Printf.eprintf "server: cannot start: %s\n" msg;
+      exit 2
+  in
+  Server.start server;
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_UNIX sock);
+  Unix.setsockopt_float fd Unix.SO_RCVTIMEO 10.0;
+  let ic = Unix.in_channel_of_descr fd and oc = Unix.out_channel_of_descr fd in
+  let request line =
+    output_string oc line;
+    output_char oc '\n';
+    flush oc;
+    Protocol.parse_response (input_line ic)
+  in
+  (* bracket string -> id of the first ADD, mirroring the dedup layer *)
+  let known : (string, int) Hashtbl.t = Hashtbl.create 64 in
+  let expected_dedups = ref 0 in
+  for i = 1 to iterations do
+    (* --- kernel half: consed = unconsed on a random batch --- *)
+    let base = Array.init (2 + Prng.int rng 5) (fun _ -> random_tree rng (1 + Prng.int rng 10)) in
+    let batch =
+      Array.init (Array.length base + 3) (fun j ->
+          if j < Array.length base then base.(j)
+          else begin
+            let src = base.(Prng.int rng (Array.length base)) in
+            if Prng.int rng 2 = 0 then src
+            else
+              snd
+                (Tsj_tree.Edit_op.random_script rng ~labels
+                   (1 + Prng.int rng 2) src)
+          end)
+    in
+    let dag = Tsj_tree.Dag.create () in
+    let plain = Array.map (fun t -> Tsj_ted.Ted.preprocess t) batch in
+    let consed = Array.map (fun t -> Tsj_ted.Ted.preprocess_consed (Tsj_ted.Ted.cons dag t)) batch in
+    let n = Array.length batch in
+    for _ = 1 to 6 do
+      let a = Prng.int rng n and b = Prng.int rng n in
+      let k = Prng.int rng 4 in
+      let du = Tsj_ted.Ted.bounded_distance_prep plain.(a) plain.(b) k in
+      let dc = Tsj_ted.Ted.bounded_distance_prep consed.(a) consed.(b) k in
+      if du <> dc then begin
+        incr failures;
+        if !failures <= 5 then
+          report "dag" i
+            (Printf.sprintf "bounded k=%d: consed %d <> unconsed %d on %s vs %s" k
+               dc du
+               (Tsj_tree.Bracket.to_string batch.(a))
+               (Tsj_tree.Bracket.to_string batch.(b)))
+      end;
+      if Prng.int rng 4 = 0 then begin
+        let du = Tsj_ted.Ted.distance_prep plain.(a) plain.(b) in
+        let dc = Tsj_ted.Ted.distance_prep consed.(a) consed.(b) in
+        if du <> dc then begin
+          incr failures;
+          if !failures <= 5 then
+            report "dag" i
+              (Printf.sprintf "unbounded: consed %d <> unconsed %d" dc du)
+        end
+      end
+    done;
+    (* --- wire half: duplicate and near-duplicate ADDs --- *)
+    (try
+       let tree =
+         if Hashtbl.length known > 0 && Prng.int rng 2 = 0 then begin
+           (* re-submit a tree the server has already acked *)
+           let keys = Hashtbl.fold (fun k _ acc -> k :: acc) known [] in
+           List.nth keys (Prng.int rng (List.length keys))
+         end
+         else Tsj_tree.Bracket.to_string (random_tree rng (1 + Prng.int rng 8))
+       in
+       match request ("ADD " ^ tree) with
+       | Ok (Protocol.Added { id; _ }) ->
+         (match Hashtbl.find_opt known tree with
+         | Some first ->
+           incr expected_dedups;
+           if id <> first then begin
+             incr failures;
+             if !failures <= 5 then
+               report "dag" i
+                 (Printf.sprintf "duplicate ADD acked %d, original was %d" id first)
+           end
+         | None -> Hashtbl.replace known tree id)
+       | Ok r ->
+         incr failures;
+         if !failures <= 5 then
+           report "dag" i ("bad ADD reply " ^ Protocol.render_response r)
+       | Error msg ->
+         incr failures;
+         if !failures <= 5 then report "dag" i ("unparseable ADD reply: " ^ msg)
+     with
+    | End_of_file ->
+      incr failures;
+      report "dag" i "server closed the connection";
+      exit 1
+    | exn ->
+      incr failures;
+      if !failures <= 5 then report "dag" i (Printexc.to_string exn))
+  done;
+  (* the dedup counter must equal the duplicates we actually sent *)
+  (match request "STATS" with
+  | Ok (Protocol.Stats_reply s) ->
+    if s.Protocol.dedup <> !expected_dedups then begin
+      incr failures;
+      report "dag" iterations
+        (Printf.sprintf "STATS dedup=%d, expected %d" s.Protocol.dedup
+           !expected_dedups)
+    end;
+    if s.Protocol.trees <> Hashtbl.length known then begin
+      incr failures;
+      report "dag" iterations
+        (Printf.sprintf "STATS trees=%d, expected %d distinct" s.Protocol.trees
+           (Hashtbl.length known))
+    end
+  | Ok r -> incr failures; report "dag" iterations ("bad STATS reply " ^ Protocol.render_response r)
+  | Error msg | (exception Failure msg) ->
+    incr failures;
+    report "dag" iterations ("unparseable STATS reply: " ^ msg)
+  | exception End_of_file ->
+    incr failures;
+    report "dag" iterations "server dead at end of run");
+  (try Unix.close fd with Unix.Unix_error _ -> ());
+  Server.drain server;
+  Server.wait server;
+  if Sys.file_exists sock then Sys.remove sock;
+  !failures
+
 let () =
   let mode, iterations, seed =
     match Array.to_list Sys.argv with
@@ -685,7 +835,7 @@ let () =
     | [ _; mode; iters; seed ] -> (mode, int_of_string iters, int_of_string seed)
     | _ ->
       prerr_endline
-        "usage: fuzz_main (lemma2|windows|join|ted|xml|server) [iterations] [seed]";
+        "usage: fuzz_main (lemma2|windows|join|ted|xml|server|dag) [iterations] [seed]";
       exit 2
   in
   let rng = Prng.create seed in
@@ -697,6 +847,7 @@ let () =
     | "ted" -> fuzz_ted iterations rng
     | "xml" -> fuzz_xml iterations rng
     | "server" -> fuzz_server iterations rng
+    | "dag" -> fuzz_dag iterations rng
     | other ->
       Printf.eprintf "unknown mode %S\n" other;
       exit 2

@@ -120,8 +120,9 @@ let test_decay_validation () =
     (fun () -> ignore (Decay.perturb (Prng.create 0) ~dz:0.5 ~labels:[||] t))
 
 let test_profiles_registry () =
-  Alcotest.(check int) "four profiles" 4 (List.length Profiles.all);
+  Alcotest.(check int) "five profiles" 5 (List.length Profiles.all);
   Alcotest.(check bool) "find swissprot" true (Profiles.find "SwissProt" <> None);
+  Alcotest.(check bool) "find redundant" true (Profiles.find "redundant" <> None);
   Alcotest.(check bool) "find unknown" true (Profiles.find "nope" = None)
 
 let test_profiles_deterministic () =

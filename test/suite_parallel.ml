@@ -107,8 +107,11 @@ let check_deterministic ?(domains = 4) ~name trees tau =
       Alcotest.(check bool) (label "pairs") true (Types.equal_results o1 oN);
       Alcotest.(check int) (label "candidates")
         o1.Types.stats.Types.n_candidates oN.Types.stats.Types.n_candidates;
+      (* equal_cascade: the memo hit/miss split depends on which domain
+         verified which pair first, so it is normalized away. *)
       Alcotest.(check bool) (label "cascade counters") true
-        (o1.Types.stats.Types.cascade = oN.Types.stats.Types.cascade);
+        (Types.equal_cascade o1.Types.stats.Types.cascade
+           oN.Types.stats.Types.cascade);
       Alcotest.(check int) (label "cascade partitions candidates")
         o1.Types.stats.Types.n_candidates
         (Types.cascade_total o1.Types.stats.Types.cascade);

@@ -96,7 +96,7 @@ let test_response_roundtrip () =
         {
           trees = 10; tau = 2; queries = 5; adds = 10; shed = 1; degraded = 2;
           errors = 3; quarantined = 1; inflight = 0; draining = false;
-          journal_records = 4; epoch = 2; primary = true;
+          journal_records = 4; epoch = 2; primary = true; dedup = 6;
         };
       Protocol.Health_reply { draining = false };
       Protocol.Health_reply { draining = true };
