@@ -171,6 +171,7 @@ let () =
       ("resilience", fun () -> Experiments.resilience config);
       ("serving", fun () -> Experiments.serving config);
       ("replication", fun () -> Experiments.replication config);
+      ("sharding", fun () -> Experiments.sharding config);
       ( "smoke",
         (* Tiny-scale perf + dag + resilience + serving + replication
            run — the dune runtest hook.  Exercises the whole parallel
@@ -182,7 +183,10 @@ let () =
            uninterrupted run, drives the similarity-search service
            end-to-end (burst, shed accounting, drain, crash replay),
            and runs the replicated cluster through a primary kill,
-           promotion and the randomized failover storm. *)
+           promotion and the randomized failover storm, then the
+           sharded cluster (band-key router over 8 shards, a
+           journal-streaming migration, a killed shard degrading
+           soundly) through the randomized sharded storm. *)
         fun () ->
           let tiny =
             { config with Experiments.scale = Float.min config.Experiments.scale 0.0625 }
@@ -191,7 +195,8 @@ let () =
           Experiments.dag tiny;
           Experiments.resilience tiny;
           Experiments.serving tiny;
-          Experiments.replication tiny );
+          Experiments.replication tiny;
+          Experiments.sharding tiny );
       ("micro", micro);
       ( "all",
         fun () ->

@@ -419,6 +419,30 @@ let addr_conv =
   Arg.conv (parse, fun fmt a ->
       Format.pp_print_string fmt (Tsj_server.Protocol.addr_to_string a))
 
+let group_conv =
+  let parse s =
+    let parts =
+      String.split_on_char ',' s |> List.map String.trim
+      |> List.filter (fun p -> p <> "")
+    in
+    if parts = [] then Error (`Msg "empty shard group")
+    else
+      let rec go acc = function
+        | [] -> Ok (List.rev acc)
+        | p :: rest -> (
+          match Tsj_server.Protocol.addr_of_string p with
+          | Ok a -> go (a :: acc) rest
+          | Error msg -> Error (`Msg msg))
+      in
+      go [] parts
+  in
+  Arg.conv
+    ( parse,
+      fun fmt addrs ->
+        Format.pp_print_string fmt
+          (String.concat "," (List.map Tsj_server.Protocol.addr_to_string addrs))
+    )
+
 let serve_cmd =
   let addr =
     Arg.(required & pos 0 (some addr_conv) None & info [] ~docv:"ADDR"
@@ -486,12 +510,106 @@ let serve_cmd =
                    neither journaled nor indexed.  STATS reports the \
                    suppressed count as dedup=.")
   in
+  let router =
+    Arg.(value & flag
+         & info [ "router" ]
+             ~doc:"Run a scatter-gather router over --shard-group replica \
+                   groups instead of a single-node server.  The router speaks \
+                   the same wire grammar, so existing clients are unchanged.")
+  in
+  let shard_group =
+    Arg.(value & opt_all group_conv []
+         & info [ "shard-group" ] ~docv:"ADDRS"
+             ~doc:"Replica group serving the next shard: comma-separated \
+                   addresses, primary first (repeatable; the i-th option \
+                   serves shard i).  Implies --router.")
+  in
+  let shards =
+    Arg.(value & opt (some int) None
+         & info [ "shards" ] ~docv:"N"
+             ~doc:"Sanity check: fail unless exactly N --shard-group options \
+                   were given.")
+  in
+  let band =
+    Arg.(value & opt (some int) None
+         & info [ "band" ] ~docv:"W"
+             ~doc:"Size-band width of the shard map (router mode); defaults \
+                   to 2*tau + 1 — one probe window per band.")
+  in
+  let ledger =
+    Arg.(value & opt (some string) None
+         & info [ "ledger" ] ~docv:"FILE"
+             ~doc:"Router ledger journal (gid -> shard bindings, checksummed); \
+                   without it the gid space restarts empty and is rebuilt by \
+                   reconciliation.")
+  in
+  let run_router addr tau shard_groups shards band ledger deadline =
+    if shard_groups = [] then begin
+      Printf.eprintf "tsj: --router needs at least one --shard-group\n";
+      exit 2
+    end;
+    (match shards with
+    | Some n when n <> List.length shard_groups ->
+      Printf.eprintf "tsj: --shards %d but %d --shard-group options given\n" n
+        (List.length shard_groups);
+      exit 2
+    | _ -> ());
+    let groups = Array.of_list shard_groups in
+    let map =
+      try Tsj_server.Shard.create ~shards:(Array.length groups) ?band ~tau ()
+      with Invalid_argument msg ->
+        Printf.eprintf "tsj: %s\n" msg;
+        exit 2
+    in
+    let config =
+      { Tsj_server.Router.map; tau; groups;
+        timeout_s = Option.value deadline ~default:2.0;
+        attempts = 3; ledger; seed = 42 }
+    in
+    match Tsj_server.Router.create config with
+    | Error msg ->
+      Printf.eprintf "tsj: cannot start router: %s\n" msg;
+      exit 2
+    | Ok router -> (
+      match Tsj_server.Router.start_front router addr with
+      | Error msg ->
+        Tsj_server.Router.close router;
+        Printf.eprintf "tsj: cannot bind router front-end: %s\n" msg;
+        exit 2
+      | Ok front ->
+        Printf.printf
+          "tsj: routing %d shards on %s (tau=%d, band=%d, %s, deadline=%.1fs)\n%!"
+          (Array.length groups)
+          (Tsj_server.Protocol.addr_to_string addr)
+          tau map.Tsj_server.Shard.band
+          (match ledger with Some f -> "ledger=" ^ f | None -> "no ledger")
+          config.Tsj_server.Router.timeout_s;
+        let stop = Atomic.make false in
+        let on_signal _ = Atomic.set stop true in
+        Sys.set_signal Sys.sigterm (Sys.Signal_handle on_signal);
+        Sys.set_signal Sys.sigint (Sys.Signal_handle on_signal);
+        while not (Atomic.get stop) do
+          Unix.sleepf 0.2
+        done;
+        Tsj_server.Router.stop_front front;
+        let s = Tsj_server.Router.stats router in
+        Tsj_server.Router.close router;
+        Printf.printf
+          "tsj: router stopped (trees=%d queries=%d adds=%d degraded=%d \
+           errors=%d)\n"
+          s.Tsj_server.Protocol.trees s.Tsj_server.Protocol.queries
+          s.Tsj_server.Protocol.adds s.Tsj_server.Protocol.degraded
+          s.Tsj_server.Protocol.errors)
+  in
   let run addr tau dir jobs max_inflight deadline drain_budget preload replica_of
-      quorum max_batch dedup format =
+      quorum max_batch dedup router shard_groups shards band ledger format =
     if tau < 0 then begin
       Printf.eprintf "tsj: tau must be non-negative\n";
       exit 2
     end;
+    if router || shard_groups <> [] then
+      run_router addr tau shard_groups shards band ledger deadline
+    else begin
     if jobs < 1 then begin
       Printf.eprintf "tsj: -j must be >= 1\n";
       exit 2
@@ -546,13 +664,15 @@ let serve_cmd =
         s.Tsj_server.Protocol.queries s.Tsj_server.Protocol.adds
         s.Tsj_server.Protocol.shed s.Tsj_server.Protocol.degraded
         s.Tsj_server.Protocol.errors s.Tsj_server.Protocol.quarantined
+    end
   in
   Cmd.v
     (Cmd.info "serve"
-       ~doc:"Run the fault-tolerant similarity-search service")
+       ~doc:"Run the fault-tolerant similarity-search service or, with \
+             --router, the scatter-gather router of a sharded cluster")
     Term.(const run $ addr $ tau $ dir $ jobs $ max_inflight $ deadline
           $ drain_budget $ preload $ replica_of $ quorum $ max_batch $ dedup
-          $ format_arg)
+          $ router $ shard_group $ shards $ band $ ledger $ format_arg)
 
 (* --- promote --- *)
 
@@ -679,6 +799,7 @@ let query_cmd =
     | Ok (Tsj_server.Protocol.Stats_reply _ as r) | Ok (Tsj_server.Protocol.Health_reply _ as r)
     | Ok (Tsj_server.Protocol.Drained as r) | Ok (Tsj_server.Protocol.Promoted _ as r)
     | Ok ((Tsj_server.Protocol.Sync_stream _ | Tsj_server.Protocol.Record _) as r)
+    | Ok (Tsj_server.Protocol.Tree_reply _ as r)
     | Ok (Tsj_server.Protocol.Hello_reply _ as r) ->
       print_endline (Tsj_server.Protocol.render_response r)
   in
@@ -701,9 +822,9 @@ let bench_cmd =
   let what =
     Arg.(value & pos_all string [ "all" ] & info [] ~docv:"EXPERIMENT"
            ~doc:"fig10, fig12, fig14, ablation, parallel, perf, dag, \
-                 streaming, resilience, serving, serving-soak, replication \
-                 or all (serving-soak is a minute-long sustained-load bench \
-                 and is not part of all).")
+                 streaming, resilience, serving, serving-soak, replication, \
+                 sharding or all (serving-soak is a minute-long \
+                 sustained-load bench and is not part of all).")
   in
   let run scale seed jobs what =
     if jobs < 1 then begin
@@ -729,6 +850,7 @@ let bench_cmd =
         | "serving" -> Tsj_harness.Experiments.serving config
         | "serving-soak" -> Tsj_harness.Experiments.serving_soak config
         | "replication" -> Tsj_harness.Experiments.replication config
+        | "sharding" -> Tsj_harness.Experiments.sharding config
         | "all" -> Tsj_harness.Experiments.run_all config
         | other ->
           Printf.eprintf "tsj: unknown experiment %S\n" other;

@@ -1667,6 +1667,240 @@ let replication config =
   in
   rm tmp
 
+let sharding config =
+  Table.heading ~out:config.out
+    "Extension — sharded serving (band-key routing, scatter-gather degradation, \
+     journal-streaming migration)";
+  let module Server = Tsj_server.Server in
+  let module Store = Tsj_server.Store in
+  let module Protocol = Tsj_server.Protocol in
+  let module Shard = Tsj_server.Shard in
+  let module Router = Tsj_server.Router in
+  let fail msg = failwith ("Experiments.sharding: " ^ msg) in
+  let ok_or_fail = function Ok v -> v | Error msg -> fail msg in
+  let profile = Profiles.swissprot in
+  let n = max 48 (int_of_float (240.0 *. config.scale)) in
+  let trees = Profiles.instantiate profile ~seed:config.seed ~n in
+  let tau = 2 in
+  let shards = 8 in
+  let tmp = Filename.temp_file "tsj_shard" "" in
+  Sys.remove tmp;
+  Unix.mkdir tmp 0o755;
+  let addr i = Protocol.Unix_path (Filename.concat tmp (Printf.sprintf "sock%d" i)) in
+  let dir i = Filename.concat tmp (Printf.sprintf "store%d" i) in
+  let mk ?(primary = true) ?(sync_from = []) i =
+    let config' =
+      { (Server.default_config (addr i) ~tau) with
+        Server.dir = Some (dir i);
+        domains = config.domains;
+        sync_from;
+        primary;
+      }
+    in
+    let server = ok_or_fail (Server.create config') in
+    Server.start server;
+    server
+  in
+  let servers = Array.init shards (fun i -> mk i) in
+  let map = Shard.create ~shards ~tau () in
+  let router =
+    ok_or_fail
+      (Router.create
+         {
+           Router.map;
+           tau;
+           groups = Array.init shards (fun i -> [ addr i ]);
+           timeout_s = 2.0;
+           attempts = 3;
+           ledger = Some (Filename.concat tmp "router.ledger");
+           seed = config.seed;
+         })
+  in
+  (* phase 1: load through the router — every ADD is a single-shard
+     write; gids come back dense *)
+  let (), add_wall =
+    Tsj_util.Timer.wall (fun () ->
+        Array.iteri
+          (fun i tree ->
+            let gid, _ = ok_or_fail (Router.add router tree) in
+            if gid <> i then fail (Printf.sprintf "gid %d for add %d" gid i))
+          trees)
+  in
+  let add_rps = float_of_int n /. Float.max 1e-9 add_wall in
+  let residents = Array.make shards 0 in
+  for gid = 0 to n - 1 do
+    match Router.locate router gid with
+    | Some (s, _, _) -> residents.(s) <- residents.(s) + 1
+    | None -> fail (Printf.sprintf "gid %d unbound" gid)
+  done;
+  (* phase 2: reads — the band window bounds the scatter to a constant
+     shard subset; answers must be bit-identical to one unsharded store *)
+  let reference = ok_or_fail (Store.open_ ~domains:config.domains ~tau ()) in
+  Array.iter (fun tree -> ignore (Store.add reference tree)) trees;
+  let nq = min 8 n in
+  let queries = Array.init nq (fun k -> trees.(k * (n / nq))) in
+  let touched = ref 0 and scanned = ref 0 in
+  Array.iter
+    (fun q ->
+      let window = Shard.shards_for map ~tau (Tsj_tree.Tree.size q) in
+      touched := !touched + List.length window;
+      List.iter (fun s -> scanned := !scanned + residents.(s)) window)
+    queries;
+  let avg_shards_touched = float_of_int !touched /. float_of_int nq in
+  let scan_fraction = float_of_int !scanned /. float_of_int (nq * n) in
+  let check_identical label =
+    Array.iter
+      (fun q ->
+        let m = Router.query router ~tau q in
+        let r = Store.query reference q in
+        if m.Router.a_degraded || m.Router.a_hits <> r.Tsj_core.Incremental.hits then
+          fail (label ^ ": sharded answer differs from the unsharded reference");
+        let mk = Router.knn router ~k:3 q in
+        if mk.Router.a_hits <> Store.nearest ~k:3 reference q then
+          fail (label ^ ": sharded knn differs from the unsharded reference"))
+      queries
+  in
+  let (), unsharded_wall =
+    Tsj_util.Timer.wall (fun () ->
+        Array.iter (fun q -> ignore (Store.query reference q)) queries)
+  in
+  let (), sharded_wall =
+    Tsj_util.Timer.wall (fun () ->
+        Array.iter (fun q -> ignore (Router.query router ~tau q)) queries)
+  in
+  check_identical "healthy";
+  (* phase 3: migrate the fullest shard to a fresh node by journal
+     streaming (SYNC from 0), then re-check bit-identity *)
+  let victim = ref 0 in
+  Array.iteri (fun s c -> if c > residents.(!victim) then victim := s) residents;
+  let target = mk ~primary:false ~sync_from:[ addr !victim ] shards in
+  ok_or_fail (Router.migrate router ~shard:!victim ~target:[ addr shards ]);
+  check_identical "post-migration";
+  (try Server.drain servers.(!victim) with _ -> ());
+  (try Server.wait servers.(!victim) with _ -> ());
+  check_identical "post-migration, source retired";
+  (* phase 4: kill a shard outright — queries whose window includes it
+     must degrade soundly (sandwiches covering every true hit), not fail *)
+  let second = ref (if !victim = 0 then 1 else 0) in
+  Array.iteri
+    (fun s c -> if s <> !victim && c > residents.(!second) then second := s)
+    residents;
+  Server.abort servers.(!second);
+  Server.wait servers.(!second);
+  let degraded_count = ref 0 in
+  let degraded_sound =
+    Array.for_all
+      (fun q ->
+        let m = Router.query router ~tau q in
+        let truth = (Store.query reference q).Tsj_core.Incremental.hits in
+        if m.Router.a_degraded then incr degraded_count;
+        List.for_all
+          (fun (gid, d) ->
+            List.mem (gid, d) m.Router.a_hits
+            || List.exists
+                 (fun (g, lo, hi) -> g = gid && lo <= d && d <= hi)
+                 m.Router.a_unverified)
+          truth
+        && List.for_all (fun h -> List.mem h truth) m.Router.a_hits)
+      queries
+  in
+  if not degraded_sound then fail "a degraded answer lost or invented a hit";
+  Store.close reference;
+  (* phase 5: the sharded kill/partition/migration storm, in process *)
+  let storm_trees = Array.sub trees 0 (min 24 n) in
+  let storm =
+    Faults.run_sharded_storm ~domains:config.domains ~seed:config.seed ~rounds:32
+      ~shards:3 ~trees:storm_trees
+      ~queries:(Array.sub storm_trees 0 (min 4 (Array.length storm_trees)))
+      ~tau ()
+  in
+  if not storm.Faults.sh_acked_preserved then fail "storm lost an acknowledged ADD";
+  if not storm.Faults.sh_single_writer then
+    fail "storm saw two writers in one epoch on one shard";
+  if not storm.Faults.sh_degraded_sound then fail "storm served an unsound degraded answer";
+  if not (storm.Faults.sh_converged && storm.Faults.sh_answers_match) then
+    fail "storm cluster did not converge to the unsharded reference";
+  let row label value = [ label; value ] in
+  Table.print ~out:config.out
+    ~header:[ "sharded serving"; "value" ]
+    ~align:[ Table.Left; Table.Right ]
+    [
+      row "shards x trees" (Printf.sprintf "%d x %d" shards n);
+      row "band width (2tau+1)" (string_of_int map.Shard.band);
+      row "add throughput" (Printf.sprintf "%.0f add/s" add_rps);
+      row "avg shards touched per query"
+        (Printf.sprintf "%.2f of %d" avg_shards_touched shards);
+      row "scan fraction vs unsharded" (Printf.sprintf "%.3f" scan_fraction);
+      row "query latency (unsharded lib)"
+        (Printf.sprintf "%.2f ms" (1000.0 *. unsharded_wall /. float_of_int nq));
+      row "query latency (router, wire)"
+        (Printf.sprintf "%.2f ms" (1000.0 *. sharded_wall /. float_of_int nq));
+      row "migration (journal streaming)" "ok";
+      row "degraded answers (1 shard down)"
+        (Printf.sprintf "%d/%d sound" !degraded_count nq);
+      row "storm"
+        (Printf.sprintf "%d rounds, %d acked, %d migrations, all invariants held"
+           storm.Faults.sh_rounds storm.Faults.sh_acked_adds storm.Faults.sh_migrations);
+    ];
+  let oc = open_out "BENCH_sharding.json" in
+  Printf.fprintf oc
+    "{\n\
+    \  \"dataset\": \"%s\",\n\
+    \  \"n_trees\": %d,\n\
+    \  \"tau\": %d,\n\
+    \  \"seed\": %d,\n\
+    \  \"domains\": %d,\n\
+    \  \"shards\": %d,\n\
+    \  \"band\": %d,\n\
+    \  \"add_rps\": %.1f,\n\
+    \  \"avg_shards_touched\": %.3f,\n\
+    \  \"scan_fraction\": %.4f,\n\
+    \  \"unsharded_query_ms\": %.3f,\n\
+    \  \"sharded_query_ms\": %.3f,\n\
+    \  \"migration_ok\": true,\n\
+    \  \"degraded_sound\": %b,\n\
+    \  \"storm_rounds\": %d,\n\
+    \  \"storm_shards\": %d,\n\
+    \  \"storm_acked_adds\": %d,\n\
+    \  \"storm_failovers\": %d,\n\
+    \  \"storm_migrations\": %d,\n\
+    \  \"storm_acked_preserved\": %b,\n\
+    \  \"storm_single_writer\": %b,\n\
+    \  \"storm_converged\": %b,\n\
+    \  \"storm_degraded_sound\": %b,\n\
+    \  \"storm_answers_match\": %b\n\
+     }\n"
+    profile.Profiles.name n tau config.seed config.domains shards map.Shard.band add_rps
+    avg_shards_touched scan_fraction
+    (1000.0 *. unsharded_wall /. float_of_int nq)
+    (1000.0 *. sharded_wall /. float_of_int nq)
+    degraded_sound storm.Faults.sh_rounds storm.Faults.sh_shards
+    storm.Faults.sh_acked_adds storm.Faults.sh_failovers storm.Faults.sh_migrations
+    storm.Faults.sh_acked_preserved storm.Faults.sh_single_writer
+    storm.Faults.sh_converged storm.Faults.sh_degraded_sound
+    storm.Faults.sh_answers_match;
+  close_out oc;
+  printf config "  wrote BENCH_sharding.json\n";
+  Router.close router;
+  Array.iteri
+    (fun i s ->
+      if i <> !second && i <> !victim then begin
+        (try Server.drain s with _ -> ());
+        try Server.wait s with _ -> ()
+      end)
+    servers;
+  (try Server.drain target with _ -> ());
+  (try Server.wait target with _ -> ());
+  let rec rm path =
+    if Sys.file_exists path then
+      if Sys.is_directory path then begin
+        Array.iter (fun f -> rm (Filename.concat path f)) (Sys.readdir path);
+        (try Unix.rmdir path with Unix.Unix_error _ -> ())
+      end
+      else try Sys.remove path with Sys_error _ -> ()
+  in
+  rm tmp
+
 let run_all config =
   fig10_11 config;
   fig12_13 config;
@@ -1678,4 +1912,5 @@ let run_all config =
   streaming config;
   resilience config;
   serving config;
-  replication config
+  replication config;
+  sharding config

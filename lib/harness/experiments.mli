@@ -116,5 +116,23 @@ val replication : config -> unit
     Writes [BENCH_replication.json].
     @raise Failure on any violation. *)
 
+val sharding : config -> unit
+(** Extension bench: the sharded service.  Starts 8 single-node shard
+    servers over temp Unix sockets and a real {!Tsj_server.Router} with
+    a checksummed ledger, loads the dataset through the router (dense
+    gids), and measures: band-window fan-out (average shards touched
+    per query — at most 2 with the default band width), the scanned
+    fraction versus one unsharded store (the sub-linear per-shard query
+    cost), and wire-level query latency, asserting every QUERY/KNN
+    answer bit-identical to an unsharded reference.  Then migrates the
+    fullest shard to a fresh node by journal streaming and re-checks
+    bit-identity; kills another shard outright and checks every
+    degraded answer is sound (no hit lost outside its [lo, hi] sandwich,
+    none invented); finishes with the in-process
+    {!Faults.run_sharded_storm} (randomized kills, partitions,
+    sabotaged migrations and router crashes).  Writes
+    [BENCH_sharding.json].
+    @raise Failure on any violation. *)
+
 val run_all : config -> unit
 (** Everything above, in paper order, extensions last. *)

@@ -173,6 +173,8 @@ module Sstore = Tsj_server.Store
 module Replica = Tsj_server.Replica
 module Cluster = Tsj_server.Cluster
 module Sproto = Tsj_server.Protocol
+module Sshard = Tsj_server.Shard
+module Srouter = Tsj_server.Router
 module Prng = Tsj_util.Prng
 
 type failover_report = {
@@ -201,319 +203,431 @@ type storm_node = {
          created under an older generation fail like a closed socket *)
 }
 
-(* A three-node cluster driven entirely in process: real journaled
-   stores in temp directories, the real {!Replica}/{!Cluster} state
-   machines, and an in-memory transport whose send and recv legs both
-   check for partitions — so a record can be durably applied on the
-   follower while its ack is lost, the ambiguous half of every
-   replication protocol.
+(* One replica group driven entirely in process: real journaled stores
+   in temp directories, the real {!Replica}/{!Cluster} state machines,
+   and an in-memory transport whose send and recv legs both check for
+   partitions — so a record can be durably applied on the follower
+   while its ack is lost, the ambiguous half of every replication
+   protocol.  The unsharded failover storm runs one group; the sharded
+   storm runs one per shard, sharing the [sg_active] ref so a targeted
+   fault action can recognise which group is doing the work that
+   tripped a hit point. *)
+type storm_group = {
+  sg_id : int;
+  sg_quorum : int;
+  sg_domains : int;
+  sg_tau : int;
+  sg_nodes : storm_node array;
+  sg_feeding : int ref;  (* sn_idx of the follower currently being fed *)
+  sg_active : int ref;  (* shared: sg_id of the group currently writing *)
+  sg_failovers : int ref;
+  sg_writers : (int, int) Hashtbl.t;  (* epoch -> the one writer's sn_idx *)
+  sg_single_writer : bool ref;
+  mutable sg_next_idx : int;  (* source of unique sn_idx (migration targets) *)
+  mutable sg_graveyard : storm_node list;  (* retired nodes, closed at cleanup *)
+}
 
-   The driver plays both the client (safe-retry ADDs with a sticky
-   sequence number) and the operator (heal partitions, restart crashed
-   nodes as followers, promote the reachable node with the highest
-   (epoch, n_trees) when the primary is gone).  One chaos event fires
-   per round against an otherwise healed cluster — quorum 2-of-3
-   tolerates exactly one failure, so that is the envelope worth
-   asserting in. *)
+let group_fresh_node g ~primary =
+  let idx = g.sg_next_idx in
+  g.sg_next_idx <- idx + 1;
+  let dir = fresh_store_dir () in
+  let store = store_of_exn (Sstore.open_ ~dir ~domains:g.sg_domains ~tau:g.sg_tau ()) in
+  {
+    sn_idx = idx;
+    sn_dir = dir;
+    sn_store = store;
+    sn_replica = Replica.create ~primary store;
+    sn_cluster = Cluster.create ~quorum:g.sg_quorum ();
+    sn_dead = false;
+    sn_partitioned = false;
+    sn_stream_gen = 0;
+  }
+
+let group_create ~id ~active ~quorum ~domains ~tau ~replicas =
+  let g =
+    {
+      sg_id = id;
+      sg_quorum = quorum;
+      sg_domains = domains;
+      sg_tau = tau;
+      sg_nodes = [||];
+      sg_feeding = ref (-1);
+      sg_active = active;
+      sg_failovers = ref 0;
+      sg_writers = Hashtbl.create 8;
+      sg_single_writer = ref true;
+      sg_next_idx = 0;
+      sg_graveyard = [];
+    }
+  in
+  let nodes = Array.init replicas (fun i -> group_fresh_node g ~primary:(i = 0)) in
+  { g with sg_nodes = nodes }
+
+let group_record_writer g node =
+  let e = Sstore.epoch node.sn_store in
+  match Hashtbl.find_opt g.sg_writers e with
+  | None -> Hashtbl.add g.sg_writers e node.sn_idx
+  | Some w -> if w <> node.sn_idx then g.sg_single_writer := false
+
+let node_record_for node s = Sstore.record_for node.sn_store s
+
+(* The transport: [send] delivers a pushed line straight into the
+   follower's {!Replica.feed} and stashes the reaction; [recv] hands
+   it back.  Both legs fail when either endpoint is dead or
+   partitioned — a partition hit on the recv leg loses an ack the
+   follower already made durable. *)
+let group_link g pnode fnode =
+  let gen = fnode.sn_stream_gen in
+  let pending = ref None in
+  let check leg =
+    if
+      pnode.sn_dead || fnode.sn_dead || pnode.sn_partitioned || fnode.sn_partitioned
+      || fnode.sn_stream_gen <> gen
+    then failwith ("replication link down (" ^ leg ^ ")")
+  in
+  let send line =
+    check "send";
+    g.sg_feeding := fnode.sn_idx;
+    let reaction =
+      Fun.protect
+        ~finally:(fun () -> g.sg_feeding := -1)
+        (fun () -> Replica.feed fnode.sn_replica line)
+    in
+    match reaction with
+    | Replica.Reply r | Replica.Final r -> pending := Some r
+    | Replica.Stop reason -> failwith ("stream stopped: " ^ reason)
+  in
+  let recv () =
+    check "recv";
+    match !pending with
+    | Some r ->
+      pending := None;
+      r
+    | None -> failwith "no reply pending"
+  in
+  (send, recv, fun () -> ())
+
+(* Re-attach [fnode] as a follower of [pnode]: the follower's [SYNC]
+   hello, the primary's {!Cluster.serve_sync} handshake, catch-up and
+   registration — exactly the server's wire path, minus the socket.
+   A fresh [fnode] syncs from sequence 0: the full-snapshot stream a
+   shard migration rides. *)
+let group_resync g pnode fnode =
+  if
+    fnode == pnode || fnode.sn_dead || fnode.sn_partitioned || pnode.sn_dead
+    || pnode.sn_partitioned
+  then false
+  else begin
+    if Replica.is_primary fnode.sn_replica then Replica.demote fnode.sn_replica;
+    fnode.sn_stream_gen <- fnode.sn_stream_gen + 1;
+    match Sproto.parse_request (Replica.hello fnode.sn_replica) with
+    | Ok (Sproto.Sync { epoch = f_epoch; from_seq = _ }) -> (
+      let send, recv, close = group_link g pnode fnode in
+      match
+        Cluster.serve_sync pnode.sn_cluster
+          ~epoch:(fun () -> Sstore.epoch pnode.sn_store)
+          ~base:(fun () -> Sstore.epoch_base pnode.sn_store)
+          ~n_trees:(fun () -> Sstore.n_trees pnode.sn_store)
+          ~record_for:(node_record_for pnode)
+          ~primary:(fun () -> Replica.is_primary pnode.sn_replica)
+          ~peer_id:(Printf.sprintf "node-%d-%d" g.sg_id fnode.sn_idx)
+          ~f_epoch ~send ~recv ~close
+      with
+      | `Streaming -> true
+      | `Fenced _ | `Refused _ -> false)
+    | _ -> false
+  end
+
+(* Of the nodes still claiming the mandate, the one at the highest
+   epoch is the real primary — a healed stale claimant sorts below it
+   and is demoted when it re-syncs. *)
+let group_current_primary g =
+  let best = ref None in
+  Array.iter
+    (fun node ->
+      if (not node.sn_dead) && Replica.is_primary node.sn_replica then
+        match !best with
+        | Some b when Sstore.epoch b.sn_store >= Sstore.epoch node.sn_store -> ()
+        | _ -> best := Some node)
+    g.sg_nodes;
+  !best
+
+let group_reachable_primary g =
+  match group_current_primary g with
+  | Some p when not p.sn_partitioned -> Some p
+  | _ -> None
+
+(* The operator's promotion rule: the reachable node with the highest
+   (epoch, n_trees).  The stream is sequential, so among same-epoch
+   nodes the longest one holds a superset — in particular every add
+   that ever reached quorum. *)
+let group_failover g =
+  let best = ref None in
+  Array.iter
+    (fun node ->
+      if (not node.sn_dead) && not node.sn_partitioned then begin
+        let key = (Sstore.epoch node.sn_store, Sstore.n_trees node.sn_store) in
+        match !best with
+        | Some (k, _) when k >= key -> ()
+        | _ -> best := Some (key, node)
+      end)
+    g.sg_nodes;
+  match !best with
+  | None -> None
+  | Some (_, node) ->
+    if not (Replica.is_primary node.sn_replica) then begin
+      ignore (Replica.promote node.sn_replica);
+      node.sn_cluster <- Cluster.create ~quorum:g.sg_quorum ();
+      Cluster.set_acked_high node.sn_cluster (Sstore.n_trees node.sn_store);
+      incr g.sg_failovers
+    end;
+    Some node
+
+let group_recover g =
+  match group_failover g with
+  | None -> false
+  | Some p ->
+    Array.iter (fun node -> if node != p then ignore (group_resync g p node)) g.sg_nodes;
+    true
+
+let group_restart g node =
+  node.sn_dead <- false;
+  node.sn_partitioned <- false;
+  node.sn_stream_gen <- node.sn_stream_gen + 1;
+  (* kill -9 semantics: the old store object is abandoned unflushed;
+     recovery must come from the journal alone *)
+  let store = store_of_exn (Sstore.open_ ~dir:node.sn_dir ~domains:g.sg_domains ~tau:g.sg_tau ()) in
+  node.sn_store <- store;
+  node.sn_replica <- Replica.create ~primary:false store;
+  node.sn_cluster <- Cluster.create ~quorum:g.sg_quorum ();
+  Cluster.set_acked_high node.sn_cluster (Sstore.n_trees store)
+
+let group_heal g =
+  Array.iter (fun node -> node.sn_partitioned <- false) g.sg_nodes;
+  Array.iter (fun node -> if node.sn_dead then group_restart g node) g.sg_nodes;
+  let p =
+    match group_current_primary g with
+    | Some p -> p
+    | None -> (
+      match group_failover g with
+      | Some p -> p
+      | None -> failwith "storm: no promotable node")
+  in
+  Array.iter (fun node -> if node != p then ignore (group_resync g p node)) g.sg_nodes;
+  p
+
+(* The server's execute path for a replicated ADD, verbatim: local
+   journaled add and quorum replication under one write lock, dup
+   acks below the acked high-water mark, demotion on FENCED. *)
+let group_do_add g node ~seq tree =
+  let prev = !(g.sg_active) in
+  g.sg_active := g.sg_id;
+  Fun.protect
+    ~finally:(fun () -> g.sg_active := prev)
+    (fun () ->
+      Cluster.with_write node.sn_cluster (fun () ->
+          match Sstore.add_seq node.sn_store ~seq tree with
+          | Error reason -> `Err reason
+          | Ok (id, _partners) ->
+            if id + 1 <= Cluster.acked_high node.sn_cluster then `Acked_dup
+            else (
+              match
+                Cluster.replicate node.sn_cluster ~record_for:(node_record_for node) ~seq:id
+              with
+              | Cluster.Acks _ -> `Acked
+              | Cluster.No_quorum _ -> `No_quorum
+              | Cluster.Fenced_off e ->
+                Replica.demote node.sn_replica;
+                `Fenced_off e)))
+
+(* The client's safe-retry ADD: learn a sequence number once, then
+   retry with the {e same} seq across failures and failovers — the
+   idempotency contract.  An ack computed by a node that died before
+   answering is treated as lost (the ambiguous case); the retry
+   resolves it via the new primary's dup ack.  [Some (seq, node)] on a
+   delivered ack. *)
+let group_client_add g tree =
+  let rec go attempts seq_opt =
+    if attempts <= 0 then None
+    else
+      match group_reachable_primary g with
+      | None ->
+        ignore (group_recover g);
+        go (attempts - 1) seq_opt
+      | Some node -> (
+        let seq =
+          match seq_opt with Some s -> s | None -> Sstore.n_trees node.sn_store
+        in
+        let outcome = group_do_add g node ~seq tree in
+        let ack_delivered = (not node.sn_dead) && not node.sn_partitioned in
+        match outcome with
+        | (`Acked | `Acked_dup) when ack_delivered ->
+          (match outcome with `Acked -> group_record_writer g node | _ -> ());
+          Some (seq, node)
+        | `Acked | `Acked_dup | `No_quorum | `Fenced_off _ -> go (attempts - 1) (Some seq)
+        | `Err _ -> go (attempts - 1) None)
+  in
+  go 8 None
+
+let one_shot body =
+  let fired = ref false in
+  fun payload ->
+    if not !fired then begin
+      match body payload with
+      | `Skip -> ()
+      | `Fire key ->
+        fired := true;
+        raise (Fault.Injected key)
+    end
+
+(* One chaos event against an otherwise healed group; [true] iff an
+   event was injected (there was a primary to aim at). *)
+let group_inject_chaos g rng =
+  match group_current_primary g with
+  | None -> false
+  | Some p ->
+    let followers =
+      Array.to_list g.sg_nodes |> List.filter (fun x -> x != p && not x.sn_dead)
+    in
+    let pick_follower () = List.nth followers (Prng.int rng (List.length followers)) in
+    (match Prng.int rng 6 with
+    | 0 -> (pick_follower ()).sn_partitioned <- true
+    | 1 -> p.sn_partitioned <- true
+    | 2 -> p.sn_dead <- true
+    | 3 ->
+      (* kill the primary mid-quorum: after [k] of its peers have the
+         record but before the client is answered *)
+      let k = Prng.int rng 2 in
+      Fault.arm_action "cluster.partition"
+        (one_shot (fun idx ->
+             if idx = k && !(g.sg_active) = g.sg_id then begin
+               p.sn_dead <- true;
+               `Fire "cluster.partition"
+             end
+             else `Skip))
+    | 4 ->
+      (* kill a follower just before it applies a pushed record: the
+         record is lost there, the primary sees no ack *)
+      let f = pick_follower () in
+      Fault.arm_action "replica.stream"
+        (one_shot (fun _seq ->
+             if !(g.sg_feeding) = f.sn_idx then begin
+               f.sn_dead <- true;
+               `Fire "replica.stream"
+             end
+             else `Skip))
+    | _ ->
+      (* kill a follower after the durable apply but before the ack —
+         the ambiguous case: durable yet unacknowledged *)
+      let f = pick_follower () in
+      Fault.arm_action "replica.ack"
+        (one_shot (fun _seq ->
+             if !(g.sg_feeding) = f.sn_idx then begin
+               f.sn_dead <- true;
+               `Fire "replica.ack"
+             end
+             else `Skip)));
+    true
+
+(* Journal-streaming shard migration: a brand-new node syncs from the
+   source primary starting at sequence 0 (the full snapshot — SYNC
+   verbatim), and once caught up is promoted, fencing the source via
+   the epoch bump; the new node replaces the old primary's slot.  With
+   [sabotage], a one-shot kill is armed against the stream (target or
+   source dies mid-migration) and the cutover must abort cleanly: the
+   half-synced target is discarded and the source keeps the shard. *)
+let group_migrate g rng ~sabotage =
+  match group_reachable_primary g with
+  | None -> false
+  | Some p ->
+    let fresh = group_fresh_node g ~primary:false in
+    if sabotage then begin
+      let kill_target = Prng.bool rng in
+      Fault.arm_action
+        (if Prng.bool rng then "replica.stream" else "replica.ack")
+        (one_shot (fun _seq ->
+             if !(g.sg_feeding) = fresh.sn_idx then begin
+               (if kill_target then fresh.sn_dead <- true else p.sn_dead <- true);
+               `Fire "migration"
+             end
+             else `Skip))
+    end;
+    let streamed = group_resync g p fresh in
+    let caught_up =
+      streamed && (not fresh.sn_dead) && (not p.sn_dead)
+      && Sstore.n_trees fresh.sn_store = Sstore.n_trees p.sn_store
+    in
+    if caught_up then begin
+      ignore (Replica.promote fresh.sn_replica);
+      Cluster.set_acked_high fresh.sn_cluster (Sstore.n_trees fresh.sn_store);
+      let slot = ref (-1) in
+      Array.iteri (fun i node -> if node == p then slot := i) g.sg_nodes;
+      g.sg_graveyard <- p :: g.sg_graveyard;
+      g.sg_nodes.(!slot) <- fresh;
+      true
+    end
+    else begin
+      (* aborted mid-migration: discard the target, keep the source *)
+      fresh.sn_dead <- true;
+      g.sg_graveyard <- fresh :: g.sg_graveyard;
+      false
+    end
+
+let group_cleanup g =
+  let close_node node =
+    (try Sstore.close node.sn_store with _ -> ());
+    remove_store_dir node.sn_dir
+  in
+  Array.iter close_node g.sg_nodes;
+  List.iter close_node g.sg_graveyard
+
+let tree_str node i = Tsj_tree.Bracket.to_string (Sstore.tree node.sn_store i)
+
+let group_converged g primary =
+  let n = Sstore.n_trees primary.sn_store in
+  Array.for_all
+    (fun node ->
+      Sstore.n_trees node.sn_store = n
+      && Sstore.epoch node.sn_store = Sstore.epoch primary.sn_store
+      &&
+      let ok = ref true in
+      for i = 0 to n - 1 do
+        if tree_str node i <> tree_str primary i then ok := false
+      done;
+      !ok)
+    g.sg_nodes
+
+(* The unsharded storm: one 3-node group, one chaos event per round —
+   quorum 2-of-3 tolerates exactly one failure, so that is the
+   envelope worth asserting in.  The driver plays both the client
+   (safe-retry ADDs) and the operator (heal, restart, promote the
+   reachable node with the highest (epoch, n_trees)). *)
 let run_failover_storm ?(domains = 1) ?(seed = 0xC1A05) ?(rounds = 40) ?(quorum = 2)
     ~trees ~queries ~tau () =
   let rng = Prng.create seed in
-  let restart_store dir = store_of_exn (Sstore.open_ ~dir ~domains ~tau ()) in
-  let fresh_node idx =
-    let dir = fresh_store_dir () in
-    let store = restart_store dir in
-    {
-      sn_idx = idx;
-      sn_dir = dir;
-      sn_store = store;
-      sn_replica = Replica.create ~primary:(idx = 0) store;
-      sn_cluster = Cluster.create ~quorum ();
-      sn_dead = false;
-      sn_partitioned = false;
-      sn_stream_gen = 0;
-    }
-  in
-  let nodes = Array.init 3 fresh_node in
+  let g = group_create ~id:0 ~active:(ref (-1)) ~quorum ~domains ~tau ~replicas:3 in
   let chaos_points = ref 0
   and acked : (int * Tsj_tree.Tree.t) list ref = ref []
   and acked_adds = ref 0
-  and failed_adds = ref 0
-  and failovers = ref 0
-  and single_writer = ref true
-  and current_feeding = ref (-1) in
-  let writers : (int, int) Hashtbl.t = Hashtbl.create 8 in
-  let record_writer node =
-    let e = Sstore.epoch node.sn_store in
-    match Hashtbl.find_opt writers e with
-    | None -> Hashtbl.add writers e node.sn_idx
-    | Some w -> if w <> node.sn_idx then single_writer := false
-  in
-  let record_for node s = Sstore.record_for node.sn_store s in
-  (* The transport: [send] delivers a pushed line straight into the
-     follower's {!Replica.feed} and stashes the reaction; [recv] hands
-     it back.  Both legs fail when either endpoint is dead or
-     partitioned — a partition hit on the recv leg loses an ack the
-     follower already made durable. *)
-  let link pnode fnode =
-    let gen = fnode.sn_stream_gen in
-    let pending = ref None in
-    let check leg =
-      if
-        pnode.sn_dead || fnode.sn_dead || pnode.sn_partitioned || fnode.sn_partitioned
-        || fnode.sn_stream_gen <> gen
-      then failwith ("replication link down (" ^ leg ^ ")")
-    in
-    let send line =
-      check "send";
-      current_feeding := fnode.sn_idx;
-      let reaction =
-        Fun.protect
-          ~finally:(fun () -> current_feeding := -1)
-          (fun () -> Replica.feed fnode.sn_replica line)
-      in
-      match reaction with
-      | Replica.Reply r | Replica.Final r -> pending := Some r
-      | Replica.Stop reason -> failwith ("stream stopped: " ^ reason)
-    in
-    let recv () =
-      check "recv";
-      match !pending with
-      | Some r ->
-        pending := None;
-        r
-      | None -> failwith "no reply pending"
-    in
-    (send, recv, fun () -> ())
-  in
-  (* Re-attach [fnode] as a follower of [pnode]: the follower's [SYNC]
-     hello, the primary's {!Cluster.serve_sync} handshake, catch-up and
-     registration — exactly the server's wire path, minus the socket. *)
-  let resync pnode fnode =
-    if
-      fnode == pnode || fnode.sn_dead || fnode.sn_partitioned || pnode.sn_dead
-      || pnode.sn_partitioned
-    then false
-    else begin
-      if Replica.is_primary fnode.sn_replica then Replica.demote fnode.sn_replica;
-      fnode.sn_stream_gen <- fnode.sn_stream_gen + 1;
-      match Sproto.parse_request (Replica.hello fnode.sn_replica) with
-      | Ok (Sproto.Sync { epoch = f_epoch; from_seq = _ }) -> (
-        let send, recv, close = link pnode fnode in
-        match
-          Cluster.serve_sync pnode.sn_cluster
-            ~epoch:(fun () -> Sstore.epoch pnode.sn_store)
-            ~base:(fun () -> Sstore.epoch_base pnode.sn_store)
-            ~n_trees:(fun () -> Sstore.n_trees pnode.sn_store)
-            ~record_for:(record_for pnode)
-            ~primary:(fun () -> Replica.is_primary pnode.sn_replica)
-            ~peer_id:(Printf.sprintf "node-%d" fnode.sn_idx)
-            ~f_epoch ~send ~recv ~close
-        with
-        | `Streaming -> true
-        | `Fenced _ | `Refused _ -> false)
-      | _ -> false
-    end
-  in
-  (* Of the nodes still claiming the mandate, the one at the highest
-     epoch is the real primary — a healed stale claimant sorts below it
-     and is demoted when it re-syncs. *)
-  let current_primary () =
-    let best = ref None in
-    Array.iter
-      (fun node ->
-        if (not node.sn_dead) && Replica.is_primary node.sn_replica then
-          match !best with
-          | Some b when Sstore.epoch b.sn_store >= Sstore.epoch node.sn_store -> ()
-          | _ -> best := Some node)
-      nodes;
-    !best
-  in
-  let reachable_primary () =
-    match current_primary () with
-    | Some p when not p.sn_partitioned -> Some p
-    | _ -> None
-  in
-  (* The operator's promotion rule: the reachable node with the highest
-     (epoch, n_trees).  The stream is sequential, so among same-epoch
-     nodes the longest one holds a superset — in particular every add
-     that ever reached quorum. *)
-  let failover () =
-    let best = ref None in
-    Array.iter
-      (fun node ->
-        if (not node.sn_dead) && not node.sn_partitioned then begin
-          let key = (Sstore.epoch node.sn_store, Sstore.n_trees node.sn_store) in
-          match !best with
-          | Some (k, _) when k >= key -> ()
-          | _ -> best := Some (key, node)
-        end)
-      nodes;
-    match !best with
-    | None -> None
-    | Some (_, node) ->
-      if not (Replica.is_primary node.sn_replica) then begin
-        ignore (Replica.promote node.sn_replica);
-        node.sn_cluster <- Cluster.create ~quorum ();
-        Cluster.set_acked_high node.sn_cluster (Sstore.n_trees node.sn_store);
-        incr failovers
-      end;
-      Some node
-  in
-  let recover () =
-    match failover () with
-    | None -> false
-    | Some p ->
-      Array.iter (fun node -> if node != p then ignore (resync p node)) nodes;
-      true
-  in
-  let restart node =
-    node.sn_dead <- false;
-    node.sn_partitioned <- false;
-    node.sn_stream_gen <- node.sn_stream_gen + 1;
-    (* kill -9 semantics: the old store object is abandoned unflushed;
-       recovery must come from the journal alone *)
-    let store = restart_store node.sn_dir in
-    node.sn_store <- store;
-    node.sn_replica <- Replica.create ~primary:false store;
-    node.sn_cluster <- Cluster.create ~quorum ();
-    Cluster.set_acked_high node.sn_cluster (Sstore.n_trees store)
-  in
-  let heal_and_stabilise () =
-    Array.iter (fun node -> node.sn_partitioned <- false) nodes;
-    Array.iter (fun node -> if node.sn_dead then restart node) nodes;
-    let p =
-      match current_primary () with
-      | Some p -> p
-      | None -> (
-        match failover () with
-        | Some p -> p
-        | None -> failwith "storm: no promotable node")
-    in
-    Array.iter (fun node -> if node != p then ignore (resync p node)) nodes;
-    p
-  in
-  (* The server's execute path for a replicated ADD, verbatim: local
-     journaled add and quorum replication under one write lock, dup
-     acks below the acked high-water mark, demotion on FENCED. *)
-  let do_add node ~seq tree =
-    Cluster.with_write node.sn_cluster (fun () ->
-        match Sstore.add_seq node.sn_store ~seq tree with
-        | Error reason -> `Err reason
-        | Ok (id, _partners) ->
-          if id + 1 <= Cluster.acked_high node.sn_cluster then `Acked_dup
-          else (
-            match Cluster.replicate node.sn_cluster ~record_for:(record_for node) ~seq:id with
-            | Cluster.Acks _ -> `Acked
-            | Cluster.No_quorum _ -> `No_quorum
-            | Cluster.Fenced_off e ->
-              Replica.demote node.sn_replica;
-              `Fenced_off e))
-  in
-  (* The client's safe-retry ADD: learn a sequence number once, then
-     retry with the {e same} seq across failures and failovers — the
-     idempotency contract.  An ack computed by a node that died before
-     answering is treated as lost (the ambiguous case); the retry
-     resolves it via the new primary's dup ack. *)
+  and failed_adds = ref 0 in
   let client_add tree =
-    let rec go attempts seq_opt =
-      if attempts <= 0 then begin
-        incr failed_adds;
-        false
-      end
-      else
-        match reachable_primary () with
-        | None ->
-          ignore (recover ());
-          go (attempts - 1) seq_opt
-        | Some node -> (
-          let seq =
-            match seq_opt with Some s -> s | None -> Sstore.n_trees node.sn_store
-          in
-          let outcome = do_add node ~seq tree in
-          let ack_delivered = (not node.sn_dead) && not node.sn_partitioned in
-          match outcome with
-          | (`Acked | `Acked_dup) when ack_delivered ->
-            (match outcome with `Acked -> record_writer node | _ -> ());
-            acked := (seq, tree) :: !acked;
-            incr acked_adds;
-            true
-          | `Acked | `Acked_dup | `No_quorum | `Fenced_off _ ->
-            go (attempts - 1) (Some seq)
-          | `Err _ -> go (attempts - 1) None)
-    in
-    go 8 None
-  in
-  (* One chaos event per round, against an otherwise healed cluster. *)
-  let inject_chaos () =
-    match current_primary () with
-    | None -> ()
-    | Some p ->
-      let followers =
-        Array.to_list nodes |> List.filter (fun x -> x != p && not x.sn_dead)
-      in
-      let pick_follower () = List.nth followers (Prng.int rng (List.length followers)) in
-      incr chaos_points;
-      let one_shot body =
-        let fired = ref false in
-        fun payload ->
-          if not !fired then begin
-            match body payload with
-            | `Skip -> ()
-            | `Fire key ->
-              fired := true;
-              raise (Fault.Injected key)
-          end
-      in
-      (match Prng.int rng 6 with
-      | 0 -> (pick_follower ()).sn_partitioned <- true
-      | 1 -> p.sn_partitioned <- true
-      | 2 -> p.sn_dead <- true
-      | 3 ->
-        (* kill the primary mid-quorum: after [k] of its peers have the
-           record but before the client is answered *)
-        let k = Prng.int rng 2 in
-        Fault.arm_action "cluster.partition"
-          (one_shot (fun idx ->
-               if idx = k then begin
-                 p.sn_dead <- true;
-                 `Fire "cluster.partition"
-               end
-               else `Skip))
-      | 4 ->
-        (* kill a follower just before it applies a pushed record: the
-           record is lost there, the primary sees no ack *)
-        let f = pick_follower () in
-        Fault.arm_action "replica.stream"
-          (one_shot (fun _seq ->
-               if !current_feeding = f.sn_idx then begin
-                 f.sn_dead <- true;
-                 `Fire "replica.stream"
-               end
-               else `Skip))
-      | _ ->
-        (* kill a follower after the durable apply but before the ack —
-           the ambiguous case: durable yet unacknowledged *)
-        let f = pick_follower () in
-        Fault.arm_action "replica.ack"
-          (one_shot (fun _seq ->
-               if !current_feeding = f.sn_idx then begin
-                 f.sn_dead <- true;
-                 `Fire "replica.ack"
-               end
-               else `Skip)))
+    match group_client_add g tree with
+    | Some (seq, _node) ->
+      acked := (seq, tree) :: !acked;
+      incr acked_adds;
+      true
+    | None ->
+      incr failed_adds;
+      false
   in
   let cleanup () =
     Fault.disarm_all ();
-    Array.iter
-      (fun node ->
-        (try Sstore.close node.sn_store with _ -> ());
-        remove_store_dir node.sn_dir)
-      nodes
+    group_cleanup g
   in
   Fun.protect ~finally:cleanup (fun () ->
       for _round = 1 to rounds do
-        ignore (heal_and_stabilise ());
-        inject_chaos ();
+        ignore (group_heal g);
+        if group_inject_chaos g rng then incr chaos_points;
         let adds = 1 + Prng.int rng 3 in
         for _ = 1 to adds do
           ignore (client_add (Prng.choice rng trees))
@@ -521,26 +635,15 @@ let run_failover_storm ?(domains = 1) ?(seed = 0xC1A05) ?(rounds = 40) ?(quorum 
         Fault.disarm_all ()
       done;
       (* final heal: everyone back, converged, one more acked write *)
-      let primary = heal_and_stabilise () in
+      let primary = group_heal g in
       for _ = 1 to 3 do
         ignore (client_add (Prng.choice rng trees))
       done;
-      Array.iter (fun node -> if node != primary then ignore (resync primary node)) nodes;
+      Array.iter
+        (fun node -> if node != primary then ignore (group_resync g primary node))
+        g.sg_nodes;
       let n = Sstore.n_trees primary.sn_store in
-      let tree_str node i = Tsj_tree.Bracket.to_string (Sstore.tree node.sn_store i) in
-      let converged =
-        Array.for_all
-          (fun node ->
-            Sstore.n_trees node.sn_store = n
-            && Sstore.epoch node.sn_store = Sstore.epoch primary.sn_store
-            &&
-            let ok = ref true in
-            for i = 0 to n - 1 do
-              if tree_str node i <> tree_str primary i then ok := false
-            done;
-            !ok)
-          nodes
-      in
+      let converged = group_converged g primary in
       let acked_preserved =
         List.for_all
           (fun (seq, tree) ->
@@ -562,16 +665,285 @@ let run_failover_storm ?(domains = 1) ?(seed = 0xC1A05) ?(rounds = 40) ?(quorum 
             && (not a.degraded) && not b.degraded)
           queries
       in
-      let cluster_answers_match = Array.for_all node_matches nodes in
+      let cluster_answers_match = Array.for_all node_matches g.sg_nodes in
       {
         storm_rounds = rounds;
         chaos_points = !chaos_points;
         acked_adds = !acked_adds;
         failed_adds = !failed_adds;
-        failovers = !failovers;
+        failovers = !(g.sg_failovers);
         final_epoch = Sstore.epoch primary.sn_store;
         acked_preserved;
-        single_writer = !single_writer;
+        single_writer = !(g.sg_single_writer);
         converged;
         cluster_answers_match;
+      })
+
+(* --- sharded-cluster storm --- *)
+
+type sharded_report = {
+  sh_rounds : int;
+  sh_shards : int;
+  sh_chaos_points : int;
+  sh_acked_adds : int;
+  sh_failed_adds : int;
+  sh_failovers : int;
+  sh_migrations : int;
+  sh_acked_preserved : bool;
+  sh_single_writer : bool;
+  sh_converged : bool;
+  sh_degraded_sound : bool;
+  sh_answers_match : bool;
+}
+
+(* The sharded storm: one replica group per shard, band-key routing by
+   {!Tsj_server.Shard}, the driver playing the router — sticky-seq
+   writes to the owning shard, a gid ledger appended only on delivered
+   acks, orphan adoption (shard-acked, router-unacked trees picked up
+   in lseq order), scatter-gather reads merged by the {e real}
+   {!Tsj_server.Router.Merge}, and a router crash modelled by
+   rebuilding the ledger from the reachable shards.  Chaos per round:
+   the six per-group kinds, a mid-quorum/mid-migration kill, a
+   journal-streaming migration, or a router-to-shard partition (the
+   shard is healthy but the router must degrade around it).
+
+   Mid-storm, every probe query's merged answer is checked {e sound}
+   against a reference store fed the acked trees in gid order: each
+   reference hit appears exactly or inside a sandwich, and no exact
+   hit is invented.  After the final heal the merged QUERY and KNN
+   answers must be bit-identical to the reference. *)
+let run_sharded_storm ?(domains = 1) ?(seed = 0x5AAD) ?(rounds = 40) ?(shards = 3)
+    ?(replicas = 3) ?(quorum = 2) ~trees ~queries ~tau () =
+  if Array.length queries = 0 then invalid_arg "run_sharded_storm: no probe queries";
+  let rng = Prng.create seed in
+  let map = Sshard.create ~shards ~tau () in
+  let active = ref (-1) in
+  let groups =
+    Array.init shards (fun s -> group_create ~id:s ~active ~quorum ~domains ~tau ~replicas)
+  in
+  let chaos_points = ref 0
+  and acked : (int * int * Tsj_tree.Tree.t) list ref = ref []  (* (shard, lseq, tree) *)
+  and acked_adds = ref 0
+  and failed_adds = ref 0
+  and migrations = ref 0
+  and degraded_sound = ref true in
+  let router_cut = Array.make shards false in
+  (* the router's ledger: (shard, lseq) -> gid, per-shard residents and
+     a reference store fed the bound trees in gid order (gid = its id) *)
+  let lseq2gid : (int * int, int) Hashtbl.t = Hashtbl.create 256 in
+  let next_lseq = Array.make shards 0 in
+  let res : (int * int) list ref array = Array.init shards (fun _ -> ref []) in
+  let n_gids = ref 0 in
+  let ref_store = ref (store_of_exn (Sstore.open_ ~domains ~tau ())) in
+  let bind s lseq tree =
+    assert (lseq = next_lseq.(s));
+    Hashtbl.replace lseq2gid (s, lseq) !n_gids;
+    res.(s) := (!n_gids, Tsj_tree.Tree.size tree) :: !(res.(s));
+    ignore (Sstore.add !ref_store tree);
+    incr n_gids;
+    next_lseq.(s) <- lseq + 1
+  in
+  (* adopt every shard-acked tree below [upto] the ledger doesn't know *)
+  let adopt s node ~upto =
+    for l = next_lseq.(s) to upto - 1 do
+      bind s l (Sstore.tree node.sn_store l)
+    done
+  in
+  let router_add tree =
+    let s = Sshard.shard_of_tree map tree in
+    if router_cut.(s) then incr failed_adds
+    else
+      match group_client_add groups.(s) tree with
+      | None -> incr failed_adds
+      | Some (lseq, node) ->
+        incr acked_adds;
+        acked := (s, lseq, tree) :: !acked;
+        if lseq >= next_lseq.(s) then begin
+          adopt s node ~upto:lseq;
+          bind s lseq tree
+        end
+  in
+  (* the router dies: every in-memory mapping is lost and rebuilt from
+     the reachable shards, shard-ascending, lseq-ascending — the same
+     deterministic adoption order the real router's reconciliation
+     uses.  Unreachable shards are adopted when next heard from. *)
+  let router_restart () =
+    Hashtbl.reset lseq2gid;
+    Array.fill next_lseq 0 shards 0;
+    Array.iter (fun r -> r := []) res;
+    n_gids := 0;
+    (try Sstore.close !ref_store with _ -> ());
+    ref_store := store_of_exn (Sstore.open_ ~domains ~tau ());
+    Array.iteri
+      (fun s g ->
+        if not router_cut.(s) then
+          match group_reachable_primary g with
+          | Some p -> adopt s p ~upto:(Sstore.n_trees p.sn_store)
+          | None -> ())
+      groups
+  in
+  let to_gid ~shard lid = Hashtbl.find_opt lseq2gid (shard, lid) in
+  let resident ~shard = !(res.(shard)) in
+  let merged_query q =
+    let query_size = Tsj_tree.Tree.size q in
+    let subset = Sshard.shards_for map ~tau query_size in
+    let answers =
+      List.map
+        (fun s ->
+          if router_cut.(s) then (s, Srouter.Merge.Unreachable)
+          else
+            match group_reachable_primary groups.(s) with
+            | Some p ->
+              let r = Sstore.query p.sn_store q in
+              ( s,
+                Srouter.Merge.Answer
+                  {
+                    degraded = r.Tsj_core.Incremental.degraded;
+                    hits = r.Tsj_core.Incremental.hits;
+                    unverified = r.Tsj_core.Incremental.unverified;
+                  } )
+            | None -> (s, Srouter.Merge.Unreachable))
+        subset
+    in
+    Srouter.Merge.query ~query_size ~tau ~to_gid ~resident answers
+  in
+  let merged_knn ~k q =
+    let query_size = Tsj_tree.Tree.size q in
+    let subset = Sshard.shards_for map ~tau query_size in
+    let answers =
+      List.map
+        (fun s ->
+          if router_cut.(s) then (s, Srouter.Merge.Unreachable)
+          else
+            match group_reachable_primary groups.(s) with
+            | Some p ->
+              let hits = Sstore.nearest ~k p.sn_store q in
+              (s, Srouter.Merge.Answer { degraded = false; hits; unverified = [] })
+            | None -> (s, Srouter.Merge.Unreachable))
+        subset
+    in
+    Srouter.Merge.knn ~k ~query_size ~tau ~to_gid ~resident answers
+  in
+  (* Soundness of a (possibly degraded) merged answer against the
+     reference over the bound trees: every reference hit must surface
+     exactly or inside its sandwich, and no exact hit may be invented. *)
+  let check_sound q =
+    let merged = merged_query q in
+    let rref = Sstore.query !ref_store q in
+    List.iter
+      (fun (gid, d) ->
+        let ok =
+          List.mem (gid, d) merged.Srouter.a_hits
+          || List.exists
+               (fun (g', lo, hi) -> g' = gid && lo <= d && d <= hi)
+               merged.Srouter.a_unverified
+        in
+        if not ok then degraded_sound := false)
+      rref.Tsj_core.Incremental.hits;
+    List.iter
+      (fun (gid, d) ->
+        if not (List.mem (gid, d) rref.Tsj_core.Incremental.hits) then
+          degraded_sound := false)
+      merged.Srouter.a_hits
+  in
+  let heal_all () =
+    Array.fill router_cut 0 shards false;
+    Array.iter (fun g -> ignore (group_heal g)) groups
+  in
+  let inject_chaos () =
+    let s = Prng.int rng shards in
+    let g = groups.(s) in
+    match Prng.int rng 8 with
+    | 6 ->
+      incr chaos_points;
+      if group_migrate g rng ~sabotage:(Prng.bool rng) then incr migrations
+    | 7 ->
+      (* the router loses the shard, not the shard its quorum: queries
+         must degrade around it, writes to it fail without acking *)
+      incr chaos_points;
+      router_cut.(s) <- true
+    | _ -> if group_inject_chaos g rng then incr chaos_points
+  in
+  let cleanup () =
+    Fault.disarm_all ();
+    Array.iter group_cleanup groups;
+    try Sstore.close !ref_store with _ -> ()
+  in
+  Fun.protect ~finally:cleanup (fun () ->
+      for round = 1 to rounds do
+        heal_all ();
+        inject_chaos ();
+        let adds = 1 + Prng.int rng 3 in
+        for _ = 1 to adds do
+          router_add (Prng.choice rng trees)
+        done;
+        check_sound queries.(round mod Array.length queries);
+        (* now and then the router itself crashes mid-storm *)
+        if Prng.int rng 8 = 0 then router_restart ();
+        Fault.disarm_all ()
+      done;
+      (* final heal: every shard back, a full reconciliation pass, and
+         three more acked writes through the router *)
+      heal_all ();
+      for _ = 1 to 3 do
+        router_add (Prng.choice rng trees)
+      done;
+      Array.iteri
+        (fun s g ->
+          match group_reachable_primary g with
+          | Some p -> adopt s p ~upto:(Sstore.n_trees p.sn_store)
+          | None -> ())
+        groups;
+      let primaries =
+        Array.map
+          (fun g ->
+            match group_current_primary g with
+            | Some p -> p
+            | None -> failwith "sharded storm: shard lost its primary after heal")
+          groups
+      in
+      let converged =
+        Array.for_all2 (fun g p -> group_converged g p) groups primaries
+      in
+      let acked_preserved =
+        List.for_all
+          (fun (s, lseq, tree) ->
+            lseq < Sstore.n_trees primaries.(s).sn_store
+            && tree_str primaries.(s) lseq = Tsj_tree.Bracket.to_string tree)
+          !acked
+      in
+      let single_writer =
+        Array.for_all (fun g -> !(g.sg_single_writer)) groups
+      in
+      (* bit-identity on the healed cluster: merged QUERY and KNN equal
+         the reference exactly, nothing degraded *)
+      let k = 5 in
+      let answers_match =
+        Array.for_all
+          (fun q ->
+            let mq = merged_query q in
+            let rq = Sstore.query !ref_store q in
+            let mk = merged_knn ~k q in
+            let rk = Sstore.nearest ~k !ref_store q in
+            (not mq.Srouter.a_degraded)
+            && mq.Srouter.a_hits = rq.Tsj_core.Incremental.hits
+            && mq.Srouter.a_unverified = []
+            && (not rq.Tsj_core.Incremental.degraded)
+            && (not mk.Srouter.a_degraded)
+            && mk.Srouter.a_hits = rk)
+          queries
+      in
+      {
+        sh_rounds = rounds;
+        sh_shards = shards;
+        sh_chaos_points = !chaos_points;
+        sh_acked_adds = !acked_adds;
+        sh_failed_adds = !failed_adds;
+        sh_failovers = Array.fold_left (fun a g -> a + !(g.sg_failovers)) 0 groups;
+        sh_migrations = !migrations;
+        sh_acked_preserved = acked_preserved;
+        sh_single_writer = single_writer;
+        sh_converged = converged;
+        sh_degraded_sound = !degraded_sound;
+        sh_answers_match = answers_match;
       })

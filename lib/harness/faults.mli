@@ -138,3 +138,62 @@ val run_failover_storm :
     implementation yields [acked_preserved && single_writer &&
     converged && cluster_answers_match].  All temp stores are removed
     afterwards. *)
+
+type sharded_report = {
+  sh_rounds : int;
+  sh_shards : int;
+  sh_chaos_points : int;  (** chaos events injected (one per round) *)
+  sh_acked_adds : int;  (** router-acked ADDs across all shards *)
+  sh_failed_adds : int;
+      (** ADDs the router gave up on (shard unreachable from the router,
+          or no quorum) — never acknowledged, so allowed to be lost *)
+  sh_failovers : int;  (** per-shard promotions, summed *)
+  sh_migrations : int;
+      (** completed journal-streaming shard migrations (sabotaged ones
+          abort and do not count) *)
+  sh_acked_preserved : bool;
+      (** every router-acked (shard, lseq, tree) is present,
+          bit-identical, on the healed shard — zero acked ADDs lost *)
+  sh_single_writer : bool;
+      (** the fencing invariant holds in every shard's replica group:
+          one writer per epoch per shard *)
+  sh_converged : bool;  (** every shard's replicas converged after heal *)
+  sh_degraded_sound : bool;
+      (** every mid-storm merged answer was sound against the reference:
+          each true hit surfaced exactly or inside its [lo, hi]
+          sandwich, and no exact hit was invented *)
+  sh_answers_match : bool;
+      (** after the final heal, merged QUERY and KNN answers are
+          bit-identical to an unsharded reference store fed the acked
+          trees in gid order *)
+}
+
+val run_sharded_storm :
+  ?domains:int ->
+  ?seed:int ->
+  ?rounds:int ->
+  ?shards:int ->
+  ?replicas:int ->
+  ?quorum:int ->
+  trees:Tsj_tree.Tree.t array ->
+  queries:Tsj_tree.Tree.t array ->
+  tau:int ->
+  unit ->
+  sharded_report
+(** Chaos scenario for the {e sharded} service: one in-process replica
+    group per shard (default 3 shards × 3 replicas, quorum 2), band-key
+    routing by {!Tsj_server.Shard}, and the driver playing the router —
+    sticky-seq writes to the owning shard, a gid ledger appended only
+    on delivered acks, orphan adoption in lseq order, and reads merged
+    by the real {!Tsj_server.Router.Merge}.  Each of [rounds] (default
+    40) rounds heals everything and injects one chaos event: the six
+    per-group kinds of {!run_failover_storm} (including mid-quorum
+    kills), a journal-streaming migration — sometimes sabotaged by a
+    one-shot kill of the stream's source or target mid-migration, which
+    must abort the cutover cleanly — or a router-side event (the router
+    loses one shard, or crashes outright and rebuilds its ledger from
+    the reachable shards).  Every round also probes one query and
+    checks the merged, possibly degraded, answer is sound against an
+    unsharded reference.  A correct implementation yields
+    [sh_acked_preserved && sh_single_writer && sh_converged &&
+    sh_degraded_sound && sh_answers_match]. *)

@@ -116,9 +116,18 @@ let save ~path st =
   let body = body_of_state st in
   let crc = Tsj_util.Text.fnv1a64_hex body in
   let tmp = path ^ ".tmp" in
-  Out_channel.with_open_bin tmp (fun oc ->
-      Out_channel.output_string oc body;
-      Out_channel.output_string oc ("end " ^ crc ^ "\n"));
+  (match
+     Out_channel.with_open_bin tmp (fun oc ->
+         Out_channel.output_string oc body;
+         Out_channel.output_string oc ("end " ^ crc ^ "\n"))
+   with
+  | () -> ()
+  | exception Sys_error msg ->
+    (* surface the same typed fault as the rename path, never a raw
+       [Sys_error] *)
+    raise
+      (Tsj_util.Durable.Disk_fault
+         { Tsj_util.Durable.f_op = `Write; f_path = tmp; f_detail = msg }));
   (* Atomic publication: a kill mid-save leaves either the previous valid
      journal or a stray .tmp, never a torn journal at [path].  The
      directory fsync makes the rename itself survive a machine crash. *)

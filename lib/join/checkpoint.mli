@@ -46,7 +46,10 @@ type state = {
 }
 
 val save : path:string -> state -> unit
-(** Atomic (write + rename) journal write. *)
+(** Atomic (write + rename) journal write.
+    @raise Tsj_util.Durable.Disk_fault on a failing disk (write, flush
+    or rename) — always the typed fault, never a raw [Sys_error] or
+    [Unix.Unix_error]. *)
 
 val load : string -> (state option, string) result
 (** [Ok None] when the file does not exist (fresh start); [Error msg]

@@ -56,6 +56,7 @@ let request t req =
   with
   | exception End_of_file -> Error "connection closed by server"
   | exception Sys_error msg -> Error msg
+  | exception Sys_blocked_io -> Error "receive timeout"
   | exception Unix.Unix_error (e, _, _) -> Error (Unix.error_message e)
   | line -> Protocol.parse_response line
 
@@ -189,7 +190,14 @@ module Failover = struct
     let remaining () =
       match t.deadline_s with None -> infinity | Some d -> d -. (t.now () -. t0)
     in
-    let rec go attempt =
+    (* [attempt] bounds the total tries; [backoff] is the exponent of
+       the next delay and is tracked separately so it can RESET once a
+       rotation reaches a server that answers at all.  A well-formed
+       reply — even FENCED or BUSY — is proof the cluster is back:
+       probing the remaining servers at the accumulated max-backoff
+       cadence would make a recovered cluster look seconds slower than
+       it is.  Only transport failures keep growing the exponent. *)
+    let rec go attempt backoff =
       let result =
         match connect ?timeout_s:t.timeout_s (current t) with
         | Error _ as e -> e
@@ -198,36 +206,36 @@ module Failover = struct
           close conn;
           r
       in
-      let retry last =
+      let retry ~backoff last =
         if attempt + 1 >= t.attempts then last
         else begin
           rotate t;
           let delay =
             backoff_delay ~base_delay_s:t.base_delay_s ~max_delay_s:t.max_delay_s
-              ~rng:t.rng attempt
+              ~rng:t.rng backoff
           in
           let left = remaining () in
           if left <= 0.0 then last
           else begin
             t.sleep (Float.min delay left);
-            go (attempt + 1)
+            go (attempt + 1) (backoff + 1)
           end
         end
       in
       match result with
-      | Error _ as e -> retry e
+      | Error _ as e -> retry ~backoff e
       | Ok (Protocol.Redirect addr) ->
         (* No backoff: the redirect names a live primary.  Attempts and
            the deadline still bound the chase. *)
         if attempt + 1 >= t.attempts || remaining () <= 0.0 then result
         else begin
           follow_redirect t addr;
-          go (attempt + 1)
+          go (attempt + 1) 0
         end
-      | Ok resp when retryable resp -> retry result
+      | Ok resp when retryable resp -> retry ~backoff:0 result
       | r -> r
     in
-    go 0
+    go 0 0
 
   (* The safe-retry ADD of the idempotency contract: learn the next
      sequence number from the server's STATS, attach it, and keep
@@ -271,6 +279,7 @@ module Bin = struct
     with
     | exception End_of_file -> Error "connection closed during HELLO"
     | exception Sys_error msg -> Error msg
+    | exception Sys_blocked_io -> Error "receive timeout"
     | exception Unix.Unix_error (e, _, _) -> Error (Unix.error_message e)
     | line -> (
       match Protocol.parse_response line with
@@ -316,6 +325,7 @@ module Bin = struct
     with
     | exception End_of_file -> Error "connection closed by server"
     | exception Sys_error msg -> Error msg
+    | exception Sys_blocked_io -> Error "receive timeout"
     | exception Unix.Unix_error (e, _, _) -> Error (Unix.error_message e)
     | exception Failure msg -> Error msg
     | id, op, body -> (

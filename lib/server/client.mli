@@ -76,8 +76,13 @@ val request_with_retries :
     or a drain in progress rotates to the next server with the same
     full-jitter backoff as {!with_retries}; a [REDIRECT] (bounded-
     staleness read refused by a stale replica) jumps straight to the
-    named primary without backoff.  The final answer after all attempts
-    is returned as-is. *)
+    named primary without backoff.  The backoff exponent grows only
+    across consecutive {e transport} failures and resets as soon as a
+    rotation reaches a server that answers at all (even [FENCED] or
+    [BUSY]): a cluster that just recovered is probed at the base
+    cadence again, not at the max-backoff cadence accumulated while it
+    was down.  The final answer after all attempts is returned
+    as-is. *)
 module Failover : sig
   type t
 

@@ -34,6 +34,7 @@ type request =
   | Drain
   | Sync of { epoch : int; from_seq : int }
   | Ack of int
+  | Get of int
   | Promote
 
 let split_first_word s =
@@ -99,6 +100,10 @@ let parse_request line =
     match int_of_string_opt rest with
     | Some seq when seq >= 0 -> Ok (Ack seq)
     | _ -> Error "ACKED: expected a non-negative integer")
+  | "GET" -> (
+    match int_of_string_opt rest with
+    | Some seq when seq >= 0 -> Ok (Get seq)
+    | _ -> Error "GET: expected a non-negative sequence number")
   | "STATS" when rest = "" -> Ok Stats
   | "HEALTH" when rest = "" -> Ok Health
   | "DRAIN" when rest = "" -> Ok Drain
@@ -109,8 +114,8 @@ let parse_request line =
   | other ->
     Error
       (Printf.sprintf
-         "unknown command %S (expected QUERY, KNN, ADD, STATS, HEALTH, DRAIN, SYNC, ACKED \
-          or PROMOTE)"
+         "unknown command %S (expected QUERY, KNN, ADD, GET, STATS, HEALTH, DRAIN, SYNC, \
+          ACKED or PROMOTE)"
          other)
 
 let render_request = function
@@ -124,6 +129,7 @@ let render_request = function
   | Drain -> "DRAIN"
   | Sync { epoch; from_seq } -> Printf.sprintf "SYNC %d %d" epoch from_seq
   | Ack seq -> Printf.sprintf "ACKED %d" seq
+  | Get seq -> Printf.sprintf "GET %d" seq
   | Promote -> "PROMOTE"
 
 (* --- responses --- *)
@@ -152,6 +158,7 @@ type response =
       unverified : (int * int * int) list;  (** [(id, lower, upper)] *)
     }
   | Added of { id : int; partners : (int * int) list }
+  | Tree_reply of { seq : int; tree : Tsj_tree.Tree.t }
   | Stats_reply of stats_reply
   | Health_reply of { draining : bool }
   | Drained
@@ -183,6 +190,8 @@ let render_response r =
   | Added { id; partners } ->
     Buffer.add_string b (Printf.sprintf "ADDED %d %d" id (List.length partners));
     List.iter (fun (i, d) -> Buffer.add_string b (Printf.sprintf " %d:%d" i d)) partners
+  | Tree_reply { seq; tree } ->
+    Buffer.add_string b (Printf.sprintf "TREE %d %s" seq (Bracket.to_string tree))
   | Stats_reply s ->
     Buffer.add_string b
       (Printf.sprintf
@@ -240,6 +249,21 @@ let parse_response line =
      round trip, so it is split off before the word-based dispatch. *)
   if String.length raw > 7 && String.uppercase_ascii (String.sub raw 0 7) = "RECORD " then
     Ok (Record (String.trim (String.sub raw 7 (String.length raw - 7))))
+  else if String.length raw > 5 && String.uppercase_ascii (String.sub raw 0 5) = "TREE " then begin
+    (* Like RECORD, the payload is "<seq> <bracket-tree>" where the tree
+       must keep its exact bytes — split it off before the word-based
+       dispatch. *)
+    let rest = String.trim (String.sub raw 5 (String.length raw - 5)) in
+    match String.index_opt rest ' ' with
+    | None -> fail ()
+    | Some i -> (
+      match
+        ( int_of_string_opt (String.sub rest 0 i),
+          Bracket.of_string (String.sub rest (i + 1) (String.length rest - i - 1)) )
+      with
+      | Some seq, Ok tree when seq >= 0 -> Ok (Tree_reply { seq; tree })
+      | _ -> fail ())
+  end
   else
   let words =
     List.filter (fun w -> w <> "") (String.split_on_char ' ' raw)
@@ -432,8 +456,8 @@ module Binary = struct
       | Health -> op_health
       | Drain -> op_drain
       | Promote -> op_promote
-      | Sync _ | Ack _ ->
-        invalid_arg "Binary.encode_request: replication verbs are text-only"
+      | Sync _ | Ack _ | Get _ ->
+        invalid_arg "Binary.encode_request: replication/ledger verbs are text-only"
     in
     frame b ~id ~op (Buffer.contents body)
 
@@ -515,7 +539,7 @@ module Binary = struct
       | Redirect addr ->
         Buffer.add_string body addr;
         op_redirect
-      | Sync_stream _ | Record _ | Hello_reply _ ->
+      | Sync_stream _ | Record _ | Hello_reply _ | Tree_reply _ ->
         invalid_arg "Binary.encode_response: text-only response"
     in
     frame b ~id ~op (Buffer.contents body)

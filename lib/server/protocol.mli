@@ -7,11 +7,13 @@
     request  := "QUERY" SP tau SP tree        similarity search at τ' <= index τ
               | "KNN" SP k SP tree            top-k within the index τ
               | "ADD" SP [seq SP] tree        journal + index a tree (seq: see below)
+              | "GET" SP seq                  fetch the tree bound to a sequence number
               | "STATS" | "HEALTH" | "DRAIN" | "PROMOTE"
               | "SYNC" SP epoch SP from_seq   replica joins: stream me from from_seq
               | "ACKED" SP seq                replica has durably applied up to seq
     reply    := "HITS" SP degraded(0|1) SP nh SP nu {SP id":"dist}*nh {SP id":"lo":"hi}*nu
               | "ADDED" SP id SP np {SP id":"dist}*np
+              | "TREE" SP seq SP tree         reply to GET
               | "STATS" SP key"="int ...
               | "OK" SP ("serving"|"draining"|"drained")
               | "BUSY"                        shed by admission control
@@ -126,6 +128,11 @@ type request =
       (** Replica join: "stream me every record from [from_seq]; my
           journal header says epoch [epoch]". *)
   | Ack of int  (** [ACKED n]: the replica durably holds [n] trees. *)
+  | Get of int
+      (** [GET seq]: fetch the tree bound to a sequence number — the
+          sharded router's ledger-recovery and migration-verification
+          primitive.  Answered [TREE seq tree], or [ERR] when [seq] is
+          unbound.  Text-only, like the replication verbs. *)
   | Promote
       (** Make this node primary: bump the epoch (persisted in the
           journal header) and start accepting writes. *)
@@ -164,6 +171,8 @@ type response =
               unverified when the request deadline expired *)
     }
   | Added of { id : int; partners : (int * int) list }
+  | Tree_reply of { seq : int; tree : Tsj_tree.Tree.t }
+      (** Reply to [GET]: the tree bound to [seq], verbatim. *)
   | Stats_reply of stats_reply
   | Health_reply of { draining : bool }
   | Drained

@@ -395,8 +395,14 @@ let commit_batch t (jobs : add_job array) =
                   let staged =
                     Mutex.protect t.store_mutex (fun () -> Store.stage_batch t.store items)
                   in
-                  Store.journal_staged t.store staged;
-                  Mutex.protect t.store_mutex (fun () -> Store.index_staged t.store staged))
+                  match Store.journal_staged t.store staged with
+                  | Ok () ->
+                    Mutex.protect t.store_mutex (fun () -> Store.index_staged t.store staged)
+                  | Error reason ->
+                    (* disk fault: the journal refused the batch (and was
+                       repaired to its valid prefix); nothing is visible,
+                       every item fails with the typed error *)
+                    Array.map (fun _ -> Error reason) items)
             in
             let high =
               Array.fold_left
@@ -641,6 +647,18 @@ let rec dispatch t c ~rid ~lag (request : Protocol.request) =
     ignore (Thread.create (fun () -> do_drain t) ())
   | Protocol.Sync _ -> respond t c ~rid (Protocol.Err "SYNC is handled at the connection layer")
   | Protocol.Ack _ -> respond t c ~rid (Protocol.Err "ACKED outside a sync stream")
+  | Protocol.Get seq ->
+    (* Ledger recovery / migration verification: answered inline — a
+       point read of an immutable binding, no admission or staleness
+       machinery involved. *)
+    let tree =
+      Mutex.protect t.store_mutex (fun () ->
+          if seq >= 0 && seq < Store.n_trees t.store then Some (Store.tree t.store seq)
+          else None)
+    in
+    (match tree with
+    | Some tree -> respond t c ~rid (Protocol.Tree_reply { seq; tree })
+    | None -> respond t c ~rid (Protocol.Err (Printf.sprintf "GET %d: unbound sequence" seq)))
   | Protocol.Promote ->
     (* Persist the bumped epoch (journal header) before the mandate
        flips, then treat the promoted node's whole state as acked: it

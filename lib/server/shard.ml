@@ -1,0 +1,21 @@
+type map = { shards : int; band : int }
+
+let create ~shards ?band ~tau () =
+  if shards < 1 then invalid_arg "Shard.create: shards must be >= 1";
+  if tau < 0 then invalid_arg "Shard.create: negative threshold";
+  let band = match band with Some b -> b | None -> (2 * tau) + 1 in
+  if band < 1 then invalid_arg "Shard.create: band must be >= 1";
+  { shards; band }
+
+let shard_of_size m size = size / m.band mod m.shards
+
+let shard_of_tree m tree = shard_of_size m (Tsj_tree.Tree.size tree)
+
+let shards_for m ~tau size =
+  if tau < 0 then invalid_arg "Shard.shards_for: negative threshold";
+  let b0 = max 0 (size - tau) / m.band in
+  let b1 = (size + tau) / m.band in
+  let rec collect b acc = if b > b1 then acc else collect (b + 1) (b mod m.shards :: acc) in
+  List.sort_uniq compare (collect b0 [])
+
+let sandwich ~query_size size = (abs (size - query_size), size + query_size)

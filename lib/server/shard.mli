@@ -1,0 +1,49 @@
+(** Shard placement by tree-size band — the horizontal-partitioning key
+    of the sharded service.
+
+    The streaming index already groups trees by postorder size: a query
+    at threshold τ' probes exactly the sizes in [size ± τ'] (Lemma 2 of
+    the paper makes the direction of the size difference irrelevant, and
+    |size difference| > τ' already implies TED > τ').  Sharding by a
+    {e size band} therefore gives every query a {e bounded shard
+    subset}: with band width [w], the window [size ± τ'] spans at most
+    [2τ'/w + 2] bands, so with the default [w = 2τ + 1] (the
+    partitioning grain δ) a full-threshold query touches at most {b 2}
+    shards no matter how many shards the cluster runs — that is what
+    makes per-shard deadlines meaningful and per-shard query cost
+    sub-linear in the collection size.
+
+    The key is {e stable}: it depends only on the tree (its node count)
+    and the map parameters, never on arrival order or cluster state, so
+    the router, a restarted router and the storm harness all compute
+    the same placement. *)
+
+type map = private { shards : int; band : int }
+(** [shards] ≥ 1 shard slots; [band] ≥ 1 is the size-band width.  Band
+    [b] (sizes [b*band .. b*band + band - 1]) lives on shard
+    [b mod shards]. *)
+
+val create : shards:int -> ?band:int -> tau:int -> unit -> map
+(** [band] defaults to [2τ + 1] — one probe window per band.
+    @raise Invalid_argument if [shards < 1], [band < 1] or [tau < 0]. *)
+
+val shard_of_size : map -> int -> int
+(** The shard owning the band of the given tree size — the routing key
+    of an [ADD]. *)
+
+val shard_of_tree : map -> Tsj_tree.Tree.t -> int
+
+val shards_for : map -> tau:int -> int -> int list
+(** [shards_for m ~tau size]: the shards a query of the given tree size
+    at threshold [tau] must consult — the owners of every band
+    intersecting [max 0 (size - tau) .. size + tau], sorted,
+    deduplicated.  Its length is bounded by
+    [min shards (2 tau / band + 2)]. *)
+
+val sandwich : query_size:int -> int -> int * int
+(** [sandwich ~query_size size] is a sound [lo, hi] TED bound for a
+    tree known only by its size — the degraded answer the router emits
+    for every in-window resident of a shard that is dead, partitioned
+    or over its deadline: [lo = |size - query_size|] (size difference
+    lower-bounds TED) and [hi = size + query_size] (delete one tree,
+    insert the other).  The exact distance always lies inside. *)

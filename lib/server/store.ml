@@ -91,6 +91,35 @@ let parse_epoch_line line =
 let reopen_journal_for_append dir =
   open_out_gen [ Open_append; Open_creat; Open_wronly ] 0o644 (journal_path dir)
 
+(* After a failed (possibly short) journal append the file may end
+   mid-line: appending more would glue the next record onto the torn
+   prefix and turn a recoverable torn tail into mid-file corruption.
+   Rewrite the journal to its true contents — the epoch header plus the
+   records it held before the failed batch, regenerated from the
+   in-memory index (which the failed batch never reached) — with the
+   same atomic whole-file rename as {!reset_journal}.  The caller must
+   have restored [journal_records] to its pre-fault value first.
+   @raise Durable.Disk_fault if the rewrite itself fails; the journal
+   channel is then left closed and every later write is refused. *)
+let repair_journal t =
+  match t.dir with
+  | None -> ()
+  | Some dir ->
+    (match t.journal with Some oc -> close_out_noerr oc | None -> ());
+    t.journal <- None;
+    let path = journal_path dir in
+    let tmp = path ^ ".tmp" in
+    let n = Incremental.n_trees t.inc in
+    Out_channel.with_open_text tmp (fun oc ->
+        output_string oc (epoch_line ~epoch:t.epoch ~base:t.epoch_base);
+        output_char oc '\n';
+        for seq = n - t.journal_records to n - 1 do
+          output_string oc (record_line ~seq (Incremental.tree t.inc seq));
+          output_char oc '\n'
+        done);
+    Durable.rename tmp path;
+    t.journal <- Some (reopen_journal_for_append dir)
+
 (* Replay the journal against [inc].  The valid prefix is applied; a
    torn tail (first undecodable record with nothing valid after it) is
    discarded and the file rewritten to the prefix, so appends continue
@@ -373,20 +402,36 @@ let stage_batch t items =
   { st_cls = cls; st_first_fresh = first_fresh }
 
 let journal_staged t staged =
-  match (t.journal, staged.st_first_fresh) with
-  | Some oc, Some s0 ->
+  match (t.dir, t.journal, staged.st_first_fresh) with
+  | None, _, _ | _, _, None -> Ok ()
+  | Some _, None, Some _ ->
+    (* a previous repair failed and closed the channel: refuse rather
+       than silently acknowledge unjournaled writes *)
+    Error "journal unavailable after a disk fault"
+  | Some dir, Some oc, Some s0 -> (
     Fault.hit "server.journal" s0;
-    Array.iter
-      (function
-        | `Fresh (s, tree) ->
-          output_string oc (record_line ~seq:s tree);
-          output_char oc '\n';
-          t.journal_records <- t.journal_records + 1
-        | _ -> ())
-      staged.st_cls;
-    flush oc;
-    t.fsyncs <- t.fsyncs + 1
-  | _ -> ()
+    let path = journal_path dir in
+    let before = t.journal_records in
+    match
+      Array.iter
+        (function
+          | `Fresh (s, tree) ->
+            Durable.append_line ~path oc (record_line ~seq:s tree);
+            t.journal_records <- t.journal_records + 1
+          | _ -> ())
+        staged.st_cls;
+      Durable.flush_channel ~path oc
+    with
+    | () ->
+      t.fsyncs <- t.fsyncs + 1;
+      Ok ()
+    | exception Durable.Disk_fault f ->
+      (* Nothing of the batch is durable or visible.  Restore the record
+         count and rewrite the journal to its valid prefix so the next
+         append starts on a clean line boundary. *)
+      t.journal_records <- before;
+      repair_journal t;
+      Error (Durable.fault_to_string f))
 
 let index_staged t staged =
   let cls = staged.st_cls in
@@ -415,8 +460,14 @@ let index_staged t staged =
 
 let add_batch t items =
   let staged = stage_batch t items in
-  journal_staged t staged;
-  index_staged t staged
+  match journal_staged t staged with
+  | Ok () -> index_staged t staged
+  | Error reason ->
+    (* The batch never reached the disk: answer every item with the
+       typed disk-fault error (a replay that could have been re-answered
+       from the index alone is refused too — the caller cannot tell the
+       classes apart, and a uniform refusal is the conservative one). *)
+    Array.map (fun _ -> Error reason) items
 
 let add_seq t ?seq tree = (add_batch t [| (seq, tree) |]).(0)
 
@@ -438,16 +489,31 @@ let apply_record t line =
     else if seq > n then
       Error (Printf.sprintf "record gap: seq %d but only %d trees known" seq n)
     else begin
-      (match t.journal with
-      | None -> ()
-      | Some oc ->
-        output_string oc line;
-        output_char oc '\n';
-        flush oc;
-        t.fsyncs <- t.fsyncs + 1;
-        t.journal_records <- t.journal_records + 1);
-      ignore (Incremental.add t.inc tree);
-      Ok (n + 1)
+      let journaled =
+        match (t.dir, t.journal) with
+        | None, _ -> Ok ()
+        | Some _, None -> Error "journal unavailable after a disk fault"
+        | Some dir, Some oc -> (
+          let path = journal_path dir in
+          let before = t.journal_records in
+          match
+            Durable.append_line ~path oc line;
+            Durable.flush_channel ~path oc
+          with
+          | () ->
+            t.fsyncs <- t.fsyncs + 1;
+            t.journal_records <- before + 1;
+            Ok ()
+          | exception Durable.Disk_fault f ->
+            t.journal_records <- before;
+            repair_journal t;
+            Error (Durable.fault_to_string f))
+      in
+      match journaled with
+      | Error _ as e -> e
+      | Ok () ->
+        ignore (Incremental.add t.inc tree);
+        Ok (n + 1)
     end
 
 let query ?budget ?tau t q = Incremental.query ?budget ~domains:t.domains ?tau t.inc q

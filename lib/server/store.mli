@@ -107,7 +107,10 @@ val add_batch :
     for all fresh records of the batch.  Nothing enters the index until
     the whole batch is durable, so a crash during the flush loses an
     all-unacknowledged batch and an acked record never precedes a lost
-    one.  A replay item may reference a seq fresh in the same batch. *)
+    one.  A replay item may reference a seq fresh in the same batch.
+    A disk fault during the journal phase fails {e every} item of the
+    batch with the typed error text (see {!journal_staged}); the store
+    itself stays consistent and continues serving. *)
 
 type staged
 (** A classified batch between {!stage_batch} and {!index_staged}:
@@ -120,7 +123,7 @@ val stage_batch : t -> (int option * Tsj_tree.Tree.t) array -> staged
     index.  Reads the index, writes nothing — call it under the same
     lock as {!query}. *)
 
-val journal_staged : t -> staged -> unit
+val journal_staged : t -> staged -> (unit, string) result
 (** Phase 2: append the staged fresh records and force durability with
     one flush (the [server.journal] hit point fires first).  Touches
     only the journal, never the index, so a caller may run it {e
@@ -128,7 +131,16 @@ val journal_staged : t -> staged -> unit
     flush is the phase with unbounded filesystem latency, and holding
     the read lock across it would stall every concurrent query behind
     one slow disk write.  Callers must serialize writers themselves
-    (stage → journal → index sequences must not interleave). *)
+    (stage → journal → index sequences must not interleave).
+
+    A disk fault ({!Tsj_util.Durable.Disk_fault} from a short write or
+    a failed flush — see the [durable.*] hit points) is surfaced as
+    [Error]: nothing of the batch is durable or visible, the journal is
+    rewritten to its valid prefix (so the torn bytes of a short write
+    cannot corrupt the next append), and the caller must {e not} call
+    {!index_staged}.  An armed [server.journal] raise
+    ({!Tsj_util.Fault_inject.Injected}) still propagates — that models
+    a crash, not a surviving I/O error. *)
 
 val index_staged : t -> staged -> (int * (int * int) list, string) result array
 (** Phase 3: make the batch visible (index fresh trees, answer replays)

@@ -1,9 +1,26 @@
+type fault = {
+  f_op : [ `Write | `Fsync | `Rename ];
+  f_path : string;
+  f_detail : string;
+}
+
+exception Disk_fault of fault
+
+let fault_to_string f =
+  let op =
+    match f.f_op with `Write -> "write" | `Fsync -> "fsync" | `Rename -> "rename"
+  in
+  Printf.sprintf "disk fault: %s %s: %s" op f.f_path f.f_detail
+
 (* A tmp+rename is only atomic *in the namespace*: the rename itself
    lives in the parent directory's metadata and can be lost by a power
-   cut unless the directory is fsynced.  Failures are swallowed — some
-   filesystems (and all of Windows) refuse fsync on a directory fd, and
-   a failed fsync must not turn a successful save into an error. *)
+   cut unless the directory is fsynced.  Real failures are swallowed —
+   some filesystems (and all of Windows) refuse fsync on a directory fd,
+   and a failed fsync must not turn a successful save into an error.
+   The injected [durable.fsync] fault is the exception: it models a disk
+   that reported the failure, and propagates. *)
 let fsync_dir dir =
+  Fault_inject.hit "durable.fsync" 0;
   match Unix.openfile dir [ Unix.O_RDONLY ] 0 with
   | exception Unix.Unix_error _ -> ()
   | fd ->
@@ -11,5 +28,33 @@ let fsync_dir dir =
     (try Unix.close fd with Unix.Unix_error _ -> ())
 
 let rename src dst =
-  Sys.rename src dst;
+  (match Sys.rename src dst with
+  | () -> ()
+  | exception Sys_error msg ->
+    raise (Disk_fault { f_op = `Rename; f_path = dst; f_detail = msg })
+  | exception Unix.Unix_error (e, _, _) ->
+    raise (Disk_fault { f_op = `Rename; f_path = dst; f_detail = Unix.error_message e }));
   fsync_dir (Filename.dirname dst)
+
+(* The write is split around the hit point so an armed fault observes a
+   true short write: the first half is already buffered (and is forced
+   to the file before the fault propagates — a reopening reader must see
+   the torn bytes, exactly as after a power cut mid-append), the second
+   half never happens. *)
+let append_line ~path oc line =
+  let n = String.length line in
+  let k = n / 2 in
+  try
+    output_string oc (String.sub line 0 k);
+    (try Fault_inject.hit "durable.write" n
+     with e ->
+       (try flush oc with Sys_error _ -> ());
+       raise e);
+    output_string oc (String.sub line k (n - k));
+    output_char oc '\n'
+  with Sys_error msg -> raise (Disk_fault { f_op = `Write; f_path = path; f_detail = msg })
+
+let flush_channel ~path oc =
+  Fault_inject.hit "durable.fsync" 0;
+  try flush oc
+  with Sys_error msg -> raise (Disk_fault { f_op = `Fsync; f_path = path; f_detail = msg })

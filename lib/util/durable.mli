@@ -5,13 +5,63 @@
     rename is directory metadata, and a machine crash shortly after can
     roll it back, silently losing the "committed" file.  Durability
     requires fsyncing the parent directory after the rename — that is
-    the one step this module adds. *)
+    the one step this module adds.
+
+    {b Typed disk faults.}  Every operation that can observe a failing
+    disk reports it as {!Disk_fault} — never a raw [Unix.Unix_error] or
+    [Sys_error] — so callers ({!Tsj_server.Store},
+    {!Tsj_join.Checkpoint}) can match on the one exception that means
+    "the storage layer failed" and turn it into their own typed error.
+
+    {b Fault injection.}  Two {!Tsj_util.Fault_inject} hit points model
+    the classic disk failures:
+
+    - [durable.write] fires once per {!append_line}, {e between} the
+      first and second half of the payload (payload = line length).  An
+      armed action that raises models a {b short write}: the prefix is
+      already in the channel buffer (and is pushed to the file before
+      the exception propagates), the suffix is lost — exactly the torn
+      journal tail a power cut leaves behind.  Raise
+      {!Tsj_util.Fault_inject.Injected} to model a crash, or
+      {!Disk_fault} to model an I/O error the process survives.
+    - [durable.fsync] fires once per {!flush_channel} and once per
+      {!fsync_dir}, before the flush/fsync (payload = 0).  An armed
+      action raising {!Disk_fault} models [EIO] on fsync — the
+      "fsyncgate" failure where the kernel reports lost writes. *)
+
+type fault = {
+  f_op : [ `Write | `Fsync | `Rename ];
+  f_path : string;  (** the file (or directory) the operation targeted *)
+  f_detail : string;  (** the underlying error text *)
+}
+
+exception Disk_fault of fault
+
+val fault_to_string : fault -> string
+(** ["disk fault: <op> <path>: <detail>"] — the error text callers embed
+    in their own [Error] results. *)
 
 val fsync_dir : string -> unit
 (** Fsync a directory so a preceding rename/create/unlink inside it
-    survives a machine crash.  Never raises: on filesystems that refuse
-    to fsync a directory fd this degrades to the pre-fix behaviour. *)
+    survives a machine crash.  Real filesystem refusals are swallowed
+    (some filesystems refuse to fsync a directory fd, and a failed
+    directory fsync must not turn a successful save into an error), but
+    an injected [durable.fsync] fault propagates — tests model a disk
+    that {e reported} the failure. *)
 
 val rename : string -> string -> unit
 (** [rename src dst]: [Sys.rename] followed by {!fsync_dir} on [dst]'s
-    parent.  Raises as [Sys.rename] does if the rename itself fails. *)
+    parent.  @raise Disk_fault if the rename itself fails (or an
+    injected fsync fault fires). *)
+
+val append_line : path:string -> out_channel -> string -> unit
+(** Append [line ^ "\n"] to a channel opened on [path].  The
+    [durable.write] hit point fires mid-payload (see above); on an
+    injected fault the prefix already written is flushed to the file
+    first, so the torn bytes are observable by a reopening reader.
+    @raise Disk_fault on a write error. *)
+
+val flush_channel : path:string -> out_channel -> unit
+(** Force the channel's buffer to the file — the durability point of a
+    journal append.  The [durable.fsync] hit point fires first.
+    @raise Disk_fault on a flush error. *)

@@ -12,6 +12,7 @@
      dune exec test/fuzz/fuzz_main.exe -- xml 200000 42
      dune exec test/fuzz/fuzz_main.exe -- server 20000 42
      dune exec test/fuzz/fuzz_main.exe -- dag 20000 42
+     dune exec test/fuzz/fuzz_main.exe -- router 20000 42
 
    Modes:
    - lemma2: after <= tau random edits, some subgraph of the balanced
@@ -36,7 +37,13 @@
      binary-protocol episodes (HELLO negotiation, pipelined frames with
      gapped ids, oversized/truncated/short-length frames, unknown
      opcodes, drops mid-frame) must never crash the server or
-     misattribute a response id (expected: 0). *)
+     misattribute a response id (expected: 0);
+   - router: the scatter-gather merge under byzantine per-shard answers
+     (garbage ids, out-of-range distances, inverted sandwiches) and a
+     live router whose shards reply with silence, garbage, truncated
+     lines, duplicate acks and cross-epoch FENCED: every answer must
+     stay well-formed and sound-shaped, and no call may raise or hang
+     (expected: 0). *)
 
 module Tree = Tsj_tree.Tree
 module BT = Tsj_tree.Binary_tree
@@ -827,6 +834,294 @@ let fuzz_dag iterations rng =
   if Sys.file_exists sock then Sys.remove sock;
   !failures
 
+(* Scatter-gather robustness hunt.  Pure half: Merge.query/knn under
+   byzantine shard answers — random out-of-range shard-local ids,
+   negative/over-threshold distances, inverted sandwiches, Unreachable
+   shards — must never raise and must always produce a well-formed
+   answer: exact hits unique per gid, sorted by (distance, gid) and
+   inside [0, tau]; sandwiches unique per gid, sorted, [0 <= lo <= hi],
+   lo <= tau, disjoint from the exact set; an all-Unreachable cluster
+   answers degraded with no exact hit (a malformed reply can remove
+   precision but never invent a result).  Live half: a real Router whose
+   "shards" are shady listener threads replying with silence, slammed
+   doors, garbage bytes, truncated lines, duplicate acks, cross-epoch
+   FENCED, wrong-verb replies and random-id trees: every add/query/knn/
+   stats/reconcile call must return (no exception, no hang beyond the
+   per-shard deadline) and every answer must pass the same shape
+   checks. *)
+let fuzz_router iterations rng =
+  let module Protocol = Tsj_server.Protocol in
+  let module Router = Tsj_server.Router in
+  let module Shard = Tsj_server.Shard in
+  let failures = ref 0 in
+  let fail i detail =
+    incr failures;
+    if !failures <= 5 then report "router" i detail
+  in
+  (* shape invariants every merged answer must satisfy *)
+  let check_answer ~tau (a : Router.answer) =
+    let rec hits_ok = function
+      | (g1, d1) :: ((g2, d2) :: _ as rest) ->
+        if compare (d1, g1) (d2, g2) >= 0 then
+          Some "exact hits out of order or duplicated"
+        else hits_ok rest
+      | _ -> None
+    in
+    let rec unv_ok = function
+      | (g1, _, _) :: ((g2, _, _) :: _ as rest) ->
+        if g1 >= g2 then Some "sandwiches out of order or duplicated"
+        else unv_ok rest
+      | _ -> None
+    in
+    match (hits_ok a.Router.a_hits, unv_ok a.Router.a_unverified) with
+    | Some e, _ | _, Some e -> Some e
+    | None, None -> (
+      match List.find_opt (fun (_, d) -> d < 0 || d > tau) a.Router.a_hits with
+      | Some (g, d) ->
+        Some (Printf.sprintf "exact hit gid %d distance %d outside [0,%d]" g d tau)
+      | None -> (
+        match
+          List.find_opt
+            (fun (_, lo, hi) -> lo < 0 || lo > hi || lo > tau)
+            a.Router.a_unverified
+        with
+        | Some (g, lo, hi) ->
+          Some (Printf.sprintf "malformed sandwich gid %d [%d,%d]" g lo hi)
+        | None ->
+          if
+            List.exists
+              (fun (g, _, _) -> List.mem_assoc g a.Router.a_hits)
+              a.Router.a_unverified
+          then Some "gid both exact and unverified"
+          else if a.Router.a_unverified <> [] && not a.Router.a_degraded then
+            Some "sandwiches in an answer not marked degraded"
+          else None))
+  in
+  (* --- pure half: byzantine answers through the merge --- *)
+  let merge_case i =
+    let tau = Prng.int rng 4 in
+    let query_size = 1 + Prng.int rng 30 in
+    let shards = 1 + Prng.int rng 4 in
+    (* the trusted side (the router's own ledger): per-shard residents,
+       gid = global position, lseq = position within the shard *)
+    let residents = Array.make shards [] in
+    let n_res = Prng.int rng 12 in
+    for g = 0 to n_res - 1 do
+      let s = Prng.int rng shards in
+      residents.(s) <- residents.(s) @ [ (g, Prng.int rng 40) ]
+    done;
+    let resident ~shard = residents.(shard) in
+    let to_gid ~shard lseq =
+      if lseq < 0 then None
+      else Option.map fst (List.nth_opt residents.(shard) lseq)
+    in
+    let random_answer () =
+      if Prng.int rng 4 = 0 then Router.Merge.Unreachable
+      else
+        Router.Merge.Answer
+          {
+            degraded = Prng.int rng 3 = 0;
+            hits =
+              List.init (Prng.int rng 5) (fun _ ->
+                  (Prng.int rng 16 - 2, Prng.int rng (tau + 4) - 2));
+            unverified =
+              List.init (Prng.int rng 4) (fun _ ->
+                  (Prng.int rng 16 - 2, Prng.int rng 10 - 2, Prng.int rng 14 - 2));
+          }
+    in
+    let answers = List.init shards (fun s -> (s, random_answer ())) in
+    (match Router.Merge.query ~query_size ~tau ~to_gid ~resident answers with
+    | a ->
+      (match check_answer ~tau a with
+      | Some e -> fail i ("merge.query: " ^ e)
+      | None -> ());
+      if
+        List.for_all (fun (_, x) -> x = Router.Merge.Unreachable) answers
+        && (a.Router.a_hits <> [] || not a.Router.a_degraded)
+      then fail i "merge.query: all-unreachable invented hits or hid degradation"
+    | exception exn -> fail i ("merge.query raised " ^ Printexc.to_string exn));
+    let k = Prng.int rng 5 in
+    match Router.Merge.knn ~k ~query_size ~tau ~to_gid ~resident answers with
+    | a ->
+      (match check_answer ~tau a with
+      | Some e -> fail i ("merge.knn: " ^ e)
+      | None -> ());
+      if List.length a.Router.a_hits > k then
+        fail i (Printf.sprintf "merge.knn: %d hits for k=%d"
+                  (List.length a.Router.a_hits) k)
+    | exception exn -> fail i ("merge.knn raised " ^ Printexc.to_string exn)
+  in
+  (* --- live half: a real router over shady shard listeners --- *)
+  let stop = Atomic.make false in
+  let conn_seed = Atomic.make 0 in
+  let socks =
+    Array.init 2 (fun i ->
+        let f = Filename.temp_file (Printf.sprintf "tsj_fuzz_rt%d" i) ".sock" in
+        Sys.remove f;
+        f)
+  in
+  let render r = Protocol.render_response r in
+  let shady_stats rng =
+    Protocol.Stats_reply
+      {
+        Protocol.trees = Prng.int rng 4; tau = 2; queries = 0; adds = 0;
+        shed = 0; degraded = 0; errors = 0; quarantined = 0; inflight = 0;
+        draining = false; journal_records = Prng.int rng 4;
+        epoch = Prng.int rng 50; primary = Prng.int rng 4 <> 0; dedup = 0;
+      }
+  in
+  let handle_conn fd =
+    let rng = Prng.create (0x5AD0 + Atomic.fetch_and_add conn_seed 1) in
+    let ic = Unix.in_channel_of_descr fd and oc = Unix.out_channel_of_descr fd in
+    (try
+       let continue = ref true in
+       while !continue do
+         let (_ : string) = input_line ic in
+         match Prng.int rng 12 with
+         | 0 -> () (* silence: the router's per-shard deadline must fire *)
+         | 1 -> continue := false (* slam the door mid-request *)
+         | 2 ->
+           output_string oc "\255\000 garbage }{ \127\n";
+           flush oc
+         | 3 ->
+           (* truncated reply, then hangup *)
+           output_string oc "HITS 3 tru";
+           flush oc;
+           continue := false
+         | 4 ->
+           (* cross-epoch response *)
+           output_string oc (render (Protocol.Fenced (Prng.int rng 1000)) ^ "\n");
+           flush oc
+         | 5 ->
+           (* duplicate shard ack: two replies to one request — the
+              second desynchronizes the lock-step conversation *)
+           let id = Prng.int rng 20 in
+           output_string oc (render (Protocol.Added { id; partners = [] }) ^ "\n");
+           output_string oc
+             (render (Protocol.Added { id = id + 1; partners = [] }) ^ "\n");
+           flush oc
+         | 6 ->
+           output_string oc (render Protocol.Busy ^ "\n");
+           flush oc
+         | 7 | 8 ->
+           (* parseable reply, wrong verb or random ids *)
+           let r =
+             match Prng.int rng 5 with
+             | 0 ->
+               Protocol.Hits
+                 {
+                   degraded = Prng.int rng 2 = 0;
+                   hits =
+                     List.init (Prng.int rng 4) (fun _ ->
+                         (Prng.int rng 50, Prng.int rng 6));
+                   unverified =
+                     List.init (Prng.int rng 3) (fun _ ->
+                         (Prng.int rng 50, Prng.int rng 5, Prng.int rng 9));
+                 }
+             | 1 ->
+               Protocol.Added
+                 { id = Prng.int rng 50;
+                   partners = [ (Prng.int rng 9, Prng.int rng 3) ] }
+             | 2 -> shady_stats rng
+             | 3 ->
+               Protocol.Tree_reply
+                 { seq = Prng.int rng 50; tree = random_tree rng (1 + Prng.int rng 6) }
+             | _ -> Protocol.Promoted (Prng.int rng 100)
+           in
+           output_string oc (render r ^ "\n");
+           flush oc
+         | 9 ->
+           output_string oc (render (Protocol.Err "shady shard") ^ "\n");
+           flush oc
+         | _ ->
+           (* behave for once, so later lines on this connection reach
+              the nastier arms *)
+           output_string oc
+             (render (Protocol.Hits { degraded = false; hits = []; unverified = [] })
+             ^ "\n");
+           flush oc
+       done
+     with End_of_file | Sys_error _ | Sys_blocked_io | Unix.Unix_error _ -> ());
+    try Unix.close fd with Unix.Unix_error _ -> ()
+  in
+  let listeners =
+    Array.map
+      (fun sock ->
+        let lfd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+        Unix.bind lfd (Unix.ADDR_UNIX sock);
+        Unix.listen lfd 16;
+        Thread.create
+          (fun () ->
+            while not (Atomic.get stop) do
+              match Unix.select [ lfd ] [] [] 0.1 with
+              | [], _, _ -> ()
+              | _ -> (
+                match Unix.accept lfd with
+                | fd, _ -> ignore (Thread.create handle_conn fd)
+                | exception Unix.Unix_error _ -> ())
+            done;
+            try Unix.close lfd with Unix.Unix_error _ -> ())
+          ())
+      socks
+  in
+  let router =
+    let map = Shard.create ~shards:(Array.length socks) ~tau:2 () in
+    let config =
+      { Router.map; tau = 2;
+        groups = Array.map (fun s -> [ Protocol.Unix_path s ]) socks;
+        timeout_s = 0.05; attempts = 2; ledger = None; seed = 7 }
+    in
+    match Router.create config with
+    | Ok r -> r
+    | Error msg ->
+      Printf.eprintf "router: cannot start against shady shards: %s\n" msg;
+      exit 2
+  in
+  let live_ops = ref 0 in
+  let live_episode i =
+    incr live_ops;
+    match Prng.int rng 6 with
+    | 0 | 1 -> (
+      match Router.add router (random_tree rng (1 + Prng.int rng 10)) with
+      | Ok _ | Error _ -> ()
+      | exception exn -> fail i ("router.add raised " ^ Printexc.to_string exn))
+    | 2 | 3 -> (
+      let tq = Prng.int rng 3 in
+      match Router.query router ~tau:tq (random_tree rng (1 + Prng.int rng 10)) with
+      | a -> (
+        match check_answer ~tau:tq a with
+        | Some e -> fail i ("router.query: " ^ e)
+        | None -> ())
+      | exception exn -> fail i ("router.query raised " ^ Printexc.to_string exn))
+    | 4 -> (
+      match Router.knn router ~k:(Prng.int rng 4) (random_tree rng (1 + Prng.int rng 10)) with
+      | a -> (
+        match check_answer ~tau:(Router.tau router) a with
+        | Some e -> fail i ("router.knn: " ^ e)
+        | None -> ())
+      | exception exn -> fail i ("router.knn raised " ^ Printexc.to_string exn))
+    | _ -> (
+      (match Router.stats router with
+      | (_ : Protocol.stats_reply) -> ()
+      | exception exn -> fail i ("router.stats raised " ^ Printexc.to_string exn));
+      if Prng.int rng 4 = 0 then
+        match Router.reconcile router with
+        | (_ : int) -> ()
+        | exception exn ->
+          fail i ("router.reconcile raised " ^ Printexc.to_string exn))
+  in
+  for i = 1 to iterations do
+    merge_case i;
+    if Prng.int rng 50 = 0 then live_episode i
+  done;
+  Atomic.set stop true;
+  Array.iter Thread.join listeners;
+  Router.close router;
+  Array.iter (fun s -> if Sys.file_exists s then Sys.remove s) socks;
+  Printf.printf "router: %d merge cases, %d live calls against shady shards\n"
+    iterations !live_ops;
+  !failures
+
 let () =
   let mode, iterations, seed =
     match Array.to_list Sys.argv with
@@ -835,7 +1130,7 @@ let () =
     | [ _; mode; iters; seed ] -> (mode, int_of_string iters, int_of_string seed)
     | _ ->
       prerr_endline
-        "usage: fuzz_main (lemma2|windows|join|ted|xml|server|dag) [iterations] [seed]";
+        "usage: fuzz_main (lemma2|windows|join|ted|xml|server|dag|router) [iterations] [seed]";
       exit 2
   in
   let rng = Prng.create seed in
@@ -848,6 +1143,7 @@ let () =
     | "xml" -> fuzz_xml iterations rng
     | "server" -> fuzz_server iterations rng
     | "dag" -> fuzz_dag iterations rng
+    | "router" -> fuzz_router iterations rng
     | other ->
       Printf.eprintf "unknown mode %S\n" other;
       exit 2

@@ -1,0 +1,477 @@
+(* Tests for the sharded serving layer: band-key placement, the pure
+   scatter-gather merge (qcheck soundness of degraded sandwiches), the
+   router end-to-end over real sockets — including a shard killed
+   mid-query degrading the answer instead of failing it — ledger
+   recovery with orphan adoption, and the sharded kill/partition storm
+   with journal-streaming migrations. *)
+
+module Tree = Tsj_tree.Tree
+module Bracket = Tsj_tree.Bracket
+module Prng = Tsj_util.Prng
+module Protocol = Tsj_server.Protocol
+module Store = Tsj_server.Store
+module Server = Tsj_server.Server
+module Client = Tsj_server.Client
+module Shard = Tsj_server.Shard
+module Router = Tsj_server.Router
+module Faults = Tsj_harness.Faults
+module Incremental = Tsj_core.Incremental
+
+let t s = Bracket.of_string_exn s
+let ok_or_fail = function Ok v -> v | Error msg -> Alcotest.fail msg
+
+let trees_of seed n =
+  let rng = Prng.create seed in
+  Array.init n (fun _ -> Gen.random_tree rng (3 + Prng.int rng 10))
+
+(* --- band-key placement --- *)
+
+let test_band_routing () =
+  let tau = 2 in
+  let m = Shard.create ~shards:4 ~tau () in
+  Alcotest.(check int) "default band width is 2tau+1" 5 m.Shard.band;
+  (* placement is a pure function of the size *)
+  for size = 0 to 200 do
+    Alcotest.(check int)
+      (Printf.sprintf "stable placement of size %d" size)
+      (Shard.shard_of_size m size)
+      (Shard.shard_of_size m size);
+    let s = Shard.shard_of_size m size in
+    Alcotest.(check bool) "in range" true (s >= 0 && s < 4);
+    (* the window covers every size that could be within tau *)
+    let window = Shard.shards_for m ~tau size in
+    for d = -tau to tau do
+      if size + d >= 0 then
+        Alcotest.(check bool)
+          (Printf.sprintf "size %d covers %d" size (size + d))
+          true
+          (List.mem (Shard.shard_of_size m (size + d)) window)
+    done;
+    (* with the default band width a window never needs > 2 shards *)
+    Alcotest.(check bool) "window spans at most 2 shards" true
+      (List.length window <= 2);
+    Alcotest.(check bool) "window contains own shard" true (List.mem s window)
+  done;
+  (* a tree routes like its size *)
+  let tree = t "{a{b}{c{d}}}" in
+  Alcotest.(check int) "tree routes by size"
+    (Shard.shard_of_size m (Tree.size tree))
+    (Shard.shard_of_tree m tree);
+  (* sandwich: |s1 - s2| <= TED <= s1 + s2 *)
+  let lo, hi = Shard.sandwich ~query_size:7 4 in
+  Alcotest.(check (pair int int)) "sandwich bounds" (3, 11) (lo, hi);
+  (match Shard.create ~shards:0 ~tau () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "shards=0 accepted")
+
+(* --- qcheck: degraded-merge soundness against the unsharded truth --- *)
+
+(* Build the reference store and the per-shard stores over one forest;
+   answer the query from a random subset of shards (the rest
+   Unreachable) and check the merged answer never loses a true hit:
+   exact when the owning shard answered, inside its [lo, hi] sandwich
+   when it did not — and never invents one. *)
+let prop_merge_sound seed =
+  let rng = Prng.create (0xD156E + seed) in
+  let tau = 1 + (seed mod 3) in
+  let shards = 2 + (seed mod 3) in
+  let map = Shard.create ~shards ~tau () in
+  let trees = Array.init 10 (fun _ -> Gen.random_tree rng (3 + Prng.int rng 8)) in
+  let reference = ok_or_fail (Store.open_ ~tau ()) in
+  let stores = Array.init shards (fun _ -> ok_or_fail (Store.open_ ~tau ())) in
+  let lseq2gid : (int * int, int) Hashtbl.t = Hashtbl.create 32 in
+  let res = Array.make shards [] in
+  Array.iteri
+    (fun gid tree ->
+      ignore (Store.add reference tree);
+      let s = Shard.shard_of_tree map tree in
+      let lseq, _ = Store.add stores.(s) tree in
+      Hashtbl.replace lseq2gid (s, lseq) gid;
+      res.(s) <- (gid, Tree.size tree) :: res.(s))
+    trees;
+  let finally () =
+    Store.close reference;
+    Array.iter Store.close stores
+  in
+  Fun.protect ~finally (fun () ->
+      let q = Gen.random_tree rng (3 + Prng.int rng 8) in
+      let query_size = Tree.size q in
+      let reachable = Array.init shards (fun _ -> Prng.int rng 3 > 0) in
+      let answers =
+        List.map
+          (fun s ->
+            if not reachable.(s) then (s, Router.Merge.Unreachable)
+            else
+              let r = Store.query ~tau stores.(s) q in
+              ( s,
+                Router.Merge.Answer
+                  {
+                    degraded = r.Incremental.degraded;
+                    hits = r.Incremental.hits;
+                    unverified = r.Incremental.unverified;
+                  } ))
+          (Shard.shards_for map ~tau query_size)
+      in
+      let merged =
+        Router.Merge.query ~query_size ~tau
+          ~to_gid:(fun ~shard lid -> Hashtbl.find_opt lseq2gid (shard, lid))
+          ~resident:(fun ~shard -> res.(shard))
+          answers
+      in
+      let truth = (Store.query ~tau reference q).Incremental.hits in
+      List.iter
+        (fun (gid, d) ->
+          let s = Shard.shard_of_tree map trees.(gid) in
+          if reachable.(s) then begin
+            if not (List.mem (gid, d) merged.Router.a_hits) then
+              QCheck.Test.fail_reportf
+                "hit (%d, %d) lost though shard %d answered (seed=%d)" gid d s seed
+          end
+          else if
+            not
+              (List.exists
+                 (fun (g, lo, hi) -> g = gid && lo <= d && d <= hi)
+                 merged.Router.a_unverified)
+          then
+            QCheck.Test.fail_reportf
+              "hit (%d, %d) of silent shard %d not sandwiched (seed=%d)" gid d s seed)
+        truth;
+      List.iter
+        (fun (gid, d) ->
+          if not (List.mem (gid, d) truth) then
+            QCheck.Test.fail_reportf "invented hit (%d, %d) (seed=%d)" gid d seed)
+        merged.Router.a_hits;
+      (* with every shard reachable the merge is the truth, bit for bit *)
+      if Array.for_all (fun b -> b) reachable then begin
+        if merged.Router.a_hits <> truth || merged.Router.a_unverified <> [] then
+          QCheck.Test.fail_reportf "healthy merge not bit-identical (seed=%d)" seed;
+        if merged.Router.a_degraded then
+          QCheck.Test.fail_reportf "healthy merge marked degraded (seed=%d)" seed
+      end;
+      true)
+
+let prop_merge_sandwich =
+  Gen.qtest ~count:60 "merged sandwiches always contain the true distance"
+    QCheck.(int_bound 1_000_000)
+    prop_merge_sound
+
+(* --- router end-to-end over real sockets --- *)
+
+let with_shard_servers ?(tau = 2) n f =
+  let socks =
+    Array.init n (fun _ ->
+        let p = Filename.temp_file "tsj_shard" ".sock" in
+        Sys.remove p;
+        p)
+  in
+  let addrs = Array.map (fun p -> Protocol.Unix_path p) socks in
+  let servers =
+    Array.map
+      (fun addr -> ok_or_fail (Server.create (Server.default_config addr ~tau)))
+      addrs
+  in
+  Array.iter Server.start servers;
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iteri
+        (fun i srv ->
+          (try Server.drain srv with _ -> ());
+          (try Server.wait srv with _ -> ());
+          if Sys.file_exists socks.(i) then Sys.remove socks.(i))
+        servers)
+    (fun () -> f addrs servers)
+
+let test_router_end_to_end () =
+  let tau = 2 in
+  with_shard_servers ~tau 2 (fun addrs servers ->
+      let cfg =
+        {
+          Router.map = Shard.create ~shards:2 ~tau ();
+          tau;
+          groups = Array.map (fun a -> [ a ]) addrs;
+          timeout_s = 2.0;
+          attempts = 2;
+          ledger = None;
+          seed = 9000;
+        }
+      in
+      let router = ok_or_fail (Router.create cfg) in
+      let reference = ok_or_fail (Store.open_ ~tau ()) in
+      Fun.protect
+        ~finally:(fun () ->
+          Router.close router;
+          Store.close reference)
+        (fun () ->
+          let trees = trees_of 4242 14 in
+          Array.iteri
+            (fun gid tree ->
+              let rid, rpartners = ok_or_fail (Router.add router tree) in
+              Alcotest.(check int) "router gids are dense" gid rid;
+              let _, refpartners = Store.add reference tree in
+              (* same-shard partners, translated to gids, are a sub-list
+                 of the reference partners (cross-shard ones are not on
+                 the single-shard ADD path) *)
+              List.iter
+                (fun (g, d) ->
+                  Alcotest.(check bool)
+                    (Printf.sprintf "partner (%d, %d) of %d is true" g d gid)
+                    true
+                    (List.mem (g, d) refpartners))
+                rpartners)
+            trees;
+          Alcotest.(check int) "all bound" (Array.length trees) (Router.n_trees router);
+          (* both shards got trees (sizes span several bands) *)
+          let shard_of gid =
+            match Router.locate router gid with
+            | Some (s, _, _) -> s
+            | None -> Alcotest.failf "gid %d unbound" gid
+          in
+          let shards_used =
+            List.sort_uniq compare
+              (List.init (Array.length trees) shard_of)
+          in
+          Alcotest.(check (list int)) "both shards populated" [ 0; 1 ] shards_used;
+          (* healthy cluster: QUERY and KNN bit-identical to unsharded *)
+          let queries = trees_of 4243 5 in
+          Array.iter
+            (fun q ->
+              let m = Router.query router ~tau q in
+              let r = Store.query ~tau reference q in
+              Alcotest.(check bool) "healthy query not degraded" false m.Router.a_degraded;
+              Alcotest.(check (list (pair int int))) "query bit-identical"
+                r.Incremental.hits m.Router.a_hits;
+              Alcotest.(check int) "no sandwiches" 0 (List.length m.Router.a_unverified);
+              let mk = Router.knn router ~k:3 q in
+              Alcotest.(check (list (pair int int))) "knn bit-identical"
+                (Store.nearest ~k:3 reference q)
+                mk.Router.a_hits)
+            queries;
+          (* stats aggregate across shards *)
+          (match Router.stats router with
+          | { Protocol.trees = n; primary = true; _ } ->
+            Alcotest.(check int) "stats trees = gids" (Array.length trees) n
+          | _ -> Alcotest.fail "router stats not primary");
+          (* kill shard 1 mid-flight: queries must degrade, not fail *)
+          Server.abort servers.(1);
+          Server.wait servers.(1);
+          let q = queries.(0) in
+          let m = Router.query router ~tau q in
+          let r = Store.query ~tau reference q in
+          (* exact hits that survive come only from shard 0 and are true *)
+          List.iter
+            (fun (gid, d) ->
+              Alcotest.(check bool)
+                (Printf.sprintf "surviving hit (%d, %d) is true" gid d)
+                true
+                (List.mem (gid, d) r.Incremental.hits))
+            m.Router.a_hits;
+          (* every true hit on the dead shard is sandwiched soundly *)
+          List.iter
+            (fun (gid, d) ->
+              if shard_of gid = 1 then begin
+                Alcotest.(check bool)
+                  (Printf.sprintf "dead shard answer degraded for hit %d" gid)
+                  true m.Router.a_degraded;
+                Alcotest.(check bool)
+                  (Printf.sprintf "hit (%d, %d) sandwiched" gid d)
+                  true
+                  (List.exists
+                     (fun (g, lo, hi) -> g = gid && lo <= d && d <= hi)
+                     m.Router.a_unverified)
+              end)
+            r.Incremental.hits))
+
+let test_router_front_wire () =
+  let tau = 2 in
+  with_shard_servers ~tau 2 (fun addrs _servers ->
+      let cfg =
+        {
+          Router.map = Shard.create ~shards:2 ~tau ();
+          tau;
+          groups = Array.map (fun a -> [ a ]) addrs;
+          timeout_s = 2.0;
+          attempts = 2;
+          ledger = None;
+          seed = 777;
+        }
+      in
+      let router = ok_or_fail (Router.create cfg) in
+      let fsock = Filename.temp_file "tsj_front" ".sock" in
+      Sys.remove fsock;
+      let faddr = Protocol.Unix_path fsock in
+      let front = ok_or_fail (Router.start_front router faddr) in
+      Fun.protect
+        ~finally:(fun () ->
+          Router.stop_front front;
+          Router.close router;
+          if Sys.file_exists fsock then Sys.remove fsock)
+        (fun () ->
+          (* the sharded cluster speaks the single-node grammar: the
+             stock client needs no changes *)
+          let conn = ok_or_fail (Client.connect faddr) in
+          let add s =
+            match ok_or_fail (Client.request conn (Protocol.Add { seq = None; tree = t s })) with
+            | Protocol.Added { id; _ } -> id
+            | r -> Alcotest.failf "bad add reply %s" (Protocol.render_response r)
+          in
+          Alcotest.(check int) "first gid" 0 (add "{a{b}{c}}");
+          Alcotest.(check int) "second gid" 1 (add "{a{b}{d}}");
+          Alcotest.(check int) "third gid" 2 (add "{x{y{z{w{v}}}}}");
+          (* idempotent replay of a bound gid *)
+          (match
+             ok_or_fail
+               (Client.request conn (Protocol.Add { seq = Some 1; tree = t "{a{b}{d}}" }))
+           with
+          | Protocol.Added { id = 1; _ } -> ()
+          | r -> Alcotest.failf "replay answered %s" (Protocol.render_response r));
+          (* a seq gap is refused before touching any shard *)
+          (match
+             ok_or_fail
+               (Client.request conn (Protocol.Add { seq = Some 9; tree = t "{g}" }))
+           with
+          | Protocol.Err msg ->
+            Alcotest.(check bool) "gap named" true
+              (String.length msg >= 7 && String.sub msg 0 7 = "seq gap")
+          | r -> Alcotest.failf "gap answered %s" (Protocol.render_response r));
+          (* QUERY over the wire matches the library answer *)
+          (match ok_or_fail (Client.request conn (Protocol.Query { tau = 1; tree = t "{a{b}{c}}" })) with
+          | Protocol.Hits { degraded = false; hits; _ } ->
+            Alcotest.(check (list (pair int int))) "wire query" [ (0, 0); (1, 1) ] hits
+          | r -> Alcotest.failf "bad query reply %s" (Protocol.render_response r));
+          (* GET resolves a gid through the ledger to the owning shard *)
+          (match ok_or_fail (Client.request conn (Protocol.Get 2)) with
+          | Protocol.Tree_reply { seq = 2; tree } ->
+            Alcotest.(check string) "GET returns the bound tree" "{x{y{z{w{v}}}}}"
+              (Bracket.to_string tree)
+          | r -> Alcotest.failf "bad GET reply %s" (Protocol.render_response r));
+          (match ok_or_fail (Client.request conn (Protocol.Get 99)) with
+          | Protocol.Err _ -> ()
+          | r -> Alcotest.failf "unbound GET answered %s" (Protocol.render_response r));
+          (* STATS advertises the gid count, so Failover.add's seq
+             discovery works against a router front-end too *)
+          (match ok_or_fail (Client.request conn Protocol.Stats) with
+          | Protocol.Stats_reply { trees = 3; _ } -> ()
+          | r -> Alcotest.failf "bad stats %s" (Protocol.render_response r));
+          Client.close conn))
+
+(* --- ledger recovery and orphan adoption --- *)
+
+let test_router_ledger_recovery () =
+  let tau = 2 in
+  with_shard_servers ~tau 2 (fun addrs _servers ->
+      let ledger = Filename.temp_file "tsj_ledger" ".journal" in
+      let cfg map_seed =
+        {
+          Router.map = Shard.create ~shards:2 ~tau ();
+          tau;
+          groups = Array.map (fun a -> [ a ]) addrs;
+          timeout_s = 2.0;
+          attempts = 2;
+          ledger = Some ledger;
+          seed = map_seed;
+        }
+      in
+      Fun.protect
+        ~finally:(fun () -> if Sys.file_exists ledger then Sys.remove ledger)
+        (fun () ->
+          let trees = trees_of 5151 8 in
+          let r1 = ok_or_fail (Router.create (cfg 1)) in
+          Array.iter (fun tree -> ignore (ok_or_fail (Router.add r1 tree))) trees;
+          let bindings =
+            List.init (Array.length trees) (fun g -> Router.locate r1 g)
+          in
+          Router.close r1;
+          (* restart: the ledger replays every binding, bit-identical *)
+          let r2 = ok_or_fail (Router.create (cfg 2)) in
+          Alcotest.(check int) "gids survive restart" (Array.length trees)
+            (Router.n_trees r2);
+          List.iteri
+            (fun g b ->
+              if Router.locate r2 g <> b then Alcotest.failf "binding %d changed" g)
+            bindings;
+          Alcotest.(check int) "nothing to adopt" 0 (Router.reconcile r2);
+          (* a write that reached its shard but missed the ledger (the
+             router died in between) is adopted on reconcile *)
+          let orphan = t "{orphan{x}{y}}" in
+          let s = Shard.shard_of_tree (Router.map r2) orphan in
+          let direct = ok_or_fail (Client.connect addrs.(s)) in
+          (match ok_or_fail (Client.request direct (Protocol.Add { seq = None; tree = orphan })) with
+          | Protocol.Added _ -> ()
+          | r -> Alcotest.failf "direct add failed: %s" (Protocol.render_response r));
+          Client.close direct;
+          Alcotest.(check int) "one orphan adopted" 1 (Router.reconcile r2);
+          let gid = Router.n_trees r2 - 1 in
+          (match Router.locate r2 gid with
+          | Some (s', _, size) ->
+            Alcotest.(check int) "adopted on its shard" s s';
+            Alcotest.(check int) "adopted size" (Tree.size orphan) size
+          | None -> Alcotest.fail "orphan not bound");
+          Router.close r2))
+
+(* --- the sharded chaos storm --- *)
+
+let check_sharded name (r : Faults.sharded_report) =
+  Alcotest.(check bool) (name ^ ": no acked ADD lost") true r.Faults.sh_acked_preserved;
+  Alcotest.(check bool) (name ^ ": one writer per epoch per shard") true
+    r.Faults.sh_single_writer;
+  Alcotest.(check bool) (name ^ ": every shard converged") true r.Faults.sh_converged;
+  Alcotest.(check bool) (name ^ ": degraded answers sound") true
+    r.Faults.sh_degraded_sound;
+  Alcotest.(check bool) (name ^ ": healed answers bit-identical") true
+    r.Faults.sh_answers_match
+
+let test_sharded_storm () =
+  let trees = trees_of 91 24 in
+  let queries = trees_of 92 4 in
+  List.iter
+    (fun seed ->
+      let r =
+        Faults.run_sharded_storm ~seed ~rounds:32 ~shards:3 ~trees ~queries ~tau:2 ()
+      in
+      let name = Printf.sprintf "sharded storm (seed=%d)" seed in
+      Alcotest.(check int) (name ^ ": one chaos point per round") 32
+        r.Faults.sh_chaos_points;
+      Alcotest.(check bool) (name ^ ": writes got through") true
+        (r.Faults.sh_acked_adds > 32);
+      check_sharded name r)
+    [ 1101; 1102 ]
+
+let test_sharded_storm_migrations () =
+  (* a seed chosen to hit the migration and router-crash chaos kinds *)
+  let trees = trees_of 93 24 in
+  let queries = trees_of 94 4 in
+  let r =
+    Faults.run_sharded_storm ~seed:7 ~rounds:48 ~shards:3 ~trees ~queries ~tau:2 ()
+  in
+  Alcotest.(check bool) "migrations completed mid-storm" true (r.Faults.sh_migrations > 0);
+  Alcotest.(check bool) "failovers exercised" true (r.Faults.sh_failovers > 0);
+  check_sharded "migration storm" r
+
+let prop_sharded_storm =
+  Gen.qtest ~count:6 "sharded storm invariants under random seeds"
+    QCheck.(int_bound 100_000)
+    (fun seed ->
+      let rng = Prng.create (7300 + seed) in
+      let trees = Array.init 12 (fun _ -> Gen.random_tree rng (3 + Prng.int rng 8)) in
+      let queries = Array.init 2 (fun _ -> Gen.random_tree rng (3 + Prng.int rng 8)) in
+      let r =
+        Faults.run_sharded_storm ~seed ~rounds:6 ~shards:2 ~trees ~queries ~tau:2 ()
+      in
+      r.Faults.sh_acked_preserved && r.Faults.sh_single_writer && r.Faults.sh_converged
+      && r.Faults.sh_degraded_sound && r.Faults.sh_answers_match)
+
+let suite =
+  [
+    Alcotest.test_case "band-key placement and windows" `Quick test_band_routing;
+    prop_merge_sandwich;
+    Alcotest.test_case "router end-to-end vs unsharded reference" `Quick
+      test_router_end_to_end;
+    Alcotest.test_case "router front-end speaks the node grammar" `Quick
+      test_router_front_wire;
+    Alcotest.test_case "ledger recovery and orphan adoption" `Quick
+      test_router_ledger_recovery;
+    Alcotest.test_case "sharded storm" `Slow test_sharded_storm;
+    Alcotest.test_case "sharded storm with migrations" `Slow
+      test_sharded_storm_migrations;
+    prop_sharded_storm;
+  ]

@@ -1285,6 +1285,143 @@ let test_client_backoff_deadline_cap () =
   | Ok r -> Alcotest.failf "unexpected reply %s" (Protocol.render_response r));
   Alcotest.(check (float 1e-9)) "failover total wait = deadline exactly" 1.5 !total
 
+(* --- disk faults on the durability path --- *)
+
+let contains haystack needle =
+  let n = String.length needle in
+  let rec go i =
+    i + n <= String.length haystack && (String.sub haystack i n = needle || go (i + 1))
+  in
+  go 0
+
+let test_short_write_crash_recovers () =
+  (* A crash in the middle of a journal append — through the real
+     [durable.write] hit point, so the torn bytes are the genuine
+     half-written record, not an artificial truncation.  The restart
+     must drop the torn tail, keep every completed record, and reuse
+     the torn sequence number for the retry. *)
+  with_store_dir (fun dir ->
+      let trees = trees_of 61 6 in
+      let store = ok_or_fail (Store.open_ ~dir ~tau:2 ()) in
+      Array.iter (fun tree -> ignore (Store.add store tree)) (Array.sub trees 0 5);
+      (match Fault.with_armed "durable.write" (fun () -> Store.add store trees.(5)) with
+      | exception Fault.Injected _ -> ()
+      | _ -> Alcotest.fail "short-write crash did not fire");
+      (* kill -9 semantics: no close; reopen from the torn journal *)
+      let store2 = ok_or_fail (Store.open_ ~dir ~tau:2 ()) in
+      Alcotest.(check int) "torn record dropped, acked prefix kept" 5
+        (Store.n_trees store2);
+      Array.iteri
+        (fun i tree ->
+          if i < 5 then
+            Alcotest.(check bool) (Printf.sprintf "tree %d survives" i) true
+              (Tree.equal tree (Store.tree store2 i)))
+        trees;
+      (* the retry lands on the seq the torn record wanted *)
+      (match Store.add_seq store2 trees.(5) with
+      | Ok (5, _) -> ()
+      | Ok (id, _) -> Alcotest.failf "retry bound at %d" id
+      | Error msg -> Alcotest.fail msg);
+      Store.close store2;
+      let store3 = ok_or_fail (Store.open_ ~dir ~tau:2 ()) in
+      Alcotest.(check int) "all six after the retry" 6 (Store.n_trees store3);
+      Alcotest.(check bool) "retried tree durable" true
+        (Tree.equal trees.(5) (Store.tree store3 5));
+      Store.close store3)
+
+let test_fsync_eio_typed_error () =
+  (* An EIO reported by fsync (the "fsyncgate" failure): the add must
+     come back as the typed disk-fault error — never a silent ack — and
+     the store must stay consistent and writable once the disk heals. *)
+  with_store_dir (fun dir ->
+      let store = ok_or_fail (Store.open_ ~dir ~tau:2 ()) in
+      ignore (Store.add store (t "{a{b}}"));
+      let fired = ref false in
+      Fault.arm_action "durable.fsync" (fun _ ->
+          if not !fired then begin
+            fired := true;
+            raise
+              (Tsj_util.Durable.Disk_fault
+                 { Tsj_util.Durable.f_op = `Fsync; f_path = "journal"; f_detail = "EIO" })
+          end);
+      let r =
+        Fun.protect
+          ~finally:(fun () -> Fault.disarm "durable.fsync")
+          (fun () -> Store.add_seq store ~seq:1 (t "{a{c}}"))
+      in
+      (match r with
+      | Error msg ->
+        Alcotest.(check bool) ("typed fault surfaced: " ^ msg) true
+          (contains msg "disk fault" && contains msg "fsync")
+      | Ok _ -> Alcotest.fail "EIO on fsync was acked");
+      Alcotest.(check int) "failed add not visible" 1 (Store.n_trees store);
+      (* the journal was repaired in place: the same seq commits now *)
+      (match Store.add_seq store ~seq:1 (t "{a{c}}") with
+      | Ok (1, _) -> ()
+      | Ok (id, _) -> Alcotest.failf "retry bound at %d" id
+      | Error msg -> Alcotest.failf "store unusable after repair: %s" msg);
+      Store.close store;
+      let store2 = ok_or_fail (Store.open_ ~dir ~tau:2 ()) in
+      Alcotest.(check int) "both adds durable" 2 (Store.n_trees store2);
+      Store.close store2);
+  (* the checkpoint writer speaks the same typed error *)
+  let st =
+    {
+      Tsj_join.Checkpoint.fingerprint = "00";
+      blocks_done = 0;
+      pairs = [];
+      quarantined = [];
+      n_candidates = 0;
+      stage_counts = [||];
+      n_probed = 0;
+      n_matched = 0;
+      n_small_hits = 0;
+      n_indexed = 0;
+    }
+  in
+  match Tsj_join.Checkpoint.save ~path:"/nonexistent/dir/cp.journal" st with
+  | exception Tsj_util.Durable.Disk_fault { Tsj_util.Durable.f_op = `Write; _ } -> ()
+  | exception e -> Alcotest.failf "untyped checkpoint failure: %s" (Printexc.to_string e)
+  | () -> Alcotest.fail "checkpoint saved into a nonexistent directory"
+
+let test_failover_backoff_resets_after_rotation () =
+  (* Two dead sockets and one live (shedding) server: transport
+     failures grow the backoff exponent, but the moment a rotation
+     reaches a server that answers at all — even with BUSY — the
+     schedule must reset to the base delay instead of keeping the
+     accumulated exponent.  With base 0.1 the ranges are disjoint:
+     exponent 0 sleeps in [0.05, 0.1], exponent 2 in [0.2, 0.4]. *)
+  with_server ~max_inflight:0 (fun addr server ->
+      let slept = ref [] in
+      let sleep d = slept := d :: !slept in
+      let fo =
+        Client.Failover.create ~attempts:4 ~base_delay_s:0.1 ~max_delay_s:8.0 ~sleep
+          ~rng:(Prng.create 23)
+          [
+            Protocol.Unix_path "/nonexistent/a.sock";
+            Protocol.Unix_path "/nonexistent/b.sock";
+            addr;
+          ]
+      in
+      (match Client.Failover.request fo (Protocol.Add { seq = None; tree = t "{a}" }) with
+      | Ok Protocol.Busy | Error _ -> ()
+      | Ok r -> Alcotest.failf "unexpected reply %s" (Protocol.render_response r));
+      (match List.rev !slept with
+      | [ s0; s1; s2 ] ->
+        let in_range name lo hi d =
+          Alcotest.(check bool)
+            (Printf.sprintf "%s = %.3f in [%.2f, %.2f]" name d lo hi)
+            true
+            (d >= lo -. 1e-9 && d <= hi +. 1e-9)
+        in
+        in_range "first (exponent 0)" 0.05 0.1 s0;
+        in_range "second (exponent 1)" 0.1 0.2 s1;
+        (* the BUSY answer from the live server resets the schedule:
+           without the reset this sleep would be in [0.2, 0.4] *)
+        in_range "after a well-formed reply (reset)" 0.05 0.1 s2
+      | l -> Alcotest.failf "expected 3 sleeps, got %d" (List.length l));
+      ignore server)
+
 let test_client_retries_busy_preserved () =
   (* a persistently shedding server: the retrying client must surface
      BUSY as BUSY (an explicit answer), not as a transport error *)
@@ -1347,4 +1484,10 @@ let suite =
       test_client_backoff_deadline_cap;
     Alcotest.test_case "client with_retries" `Quick test_client_with_retries;
     Alcotest.test_case "client preserves BUSY" `Quick test_client_retries_busy_preserved;
+    Alcotest.test_case "short-write crash recovers the acked prefix" `Quick
+      test_short_write_crash_recovers;
+    Alcotest.test_case "fsync EIO surfaces as a typed disk fault" `Quick
+      test_fsync_eio_typed_error;
+    Alcotest.test_case "failover backoff resets after a live rotation" `Quick
+      test_failover_backoff_resets_after_rotation;
   ]

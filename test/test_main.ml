@@ -19,4 +19,5 @@ let () =
       ("formats", Suite_formats.suite);
       ("cli", Suite_cli.suite);
       ("server", Suite_server.suite);
+      ("router", Suite_router.suite);
     ]
