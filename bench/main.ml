@@ -172,6 +172,7 @@ let () =
       ("serving", fun () -> Experiments.serving config);
       ("replication", fun () -> Experiments.replication config);
       ("sharding", fun () -> Experiments.sharding config);
+      ("integrity", fun () -> Experiments.integrity config);
       ( "smoke",
         (* Tiny-scale perf + dag + resilience + serving + replication
            run — the dune runtest hook.  Exercises the whole parallel
@@ -186,7 +187,9 @@ let () =
            promotion and the randomized failover storm, then the
            sharded cluster (band-key router over 8 shards, a
            journal-streaming migration, a killed shard degrading
-           soundly) through the randomized sharded storm. *)
+           soundly) through the randomized sharded storm, and the
+           integrity machinery (scrub overhead, offline full pass,
+           the randomized bit-rot storm). *)
         fun () ->
           let tiny =
             { config with Experiments.scale = Float.min config.Experiments.scale 0.0625 }
@@ -196,7 +199,8 @@ let () =
           Experiments.resilience tiny;
           Experiments.serving tiny;
           Experiments.replication tiny;
-          Experiments.sharding tiny );
+          Experiments.sharding tiny;
+          Experiments.integrity tiny );
       ("micro", micro);
       ( "all",
         fun () ->

@@ -8,6 +8,7 @@
      search     similarity search / top-k over an indexed collection
      serve      run the fault-tolerant similarity-search service
      query      query (or administer) a running serve instance
+     fsck       verify (and optionally repair) a state directory offline
      bench      run the paper-figure experiments *)
 
 open Cmdliner
@@ -510,6 +511,27 @@ let serve_cmd =
                    neither journaled nor indexed.  STATS reports the \
                    suppressed count as dedup=.")
   in
+  let scrub_interval =
+    Arg.(value & opt float 0.0
+         & info [ "scrub-interval" ] ~docv:"SECS"
+             ~doc:"Background integrity scrub period: every tick re-verifies a \
+                   slice of the journal (checksums, seals, content vs the \
+                   in-memory index) and repairs disk-level rot by converging \
+                   disk to memory.  0 (the default) disables the scrubber.")
+  in
+  let scrub_budget =
+    Arg.(value & opt int 128
+         & info [ "scrub-budget" ] ~docv:"N"
+             ~doc:"Journal records re-verified per scrub tick.")
+  in
+  let quarantine =
+    Arg.(value & flag
+         & info [ "quarantine" ]
+             ~doc:"Open degraded instead of refusing when startup finds \
+                   unhealable corruption: the rotted journal suffix or \
+                   snapshot is moved aside (.quarantine), counted in STATS, \
+                   and the surviving prefix is served.")
+  in
   let router =
     Arg.(value & flag
          & info [ "router" ]
@@ -602,9 +624,14 @@ let serve_cmd =
           s.Tsj_server.Protocol.errors)
   in
   let run addr tau dir jobs max_inflight deadline drain_budget preload replica_of
-      quorum max_batch dedup router shard_groups shards band ledger format =
+      quorum max_batch dedup scrub_interval scrub_budget quarantine router
+      shard_groups shards band ledger format =
     if tau < 0 then begin
       Printf.eprintf "tsj: tau must be non-negative\n";
+      exit 2
+    end;
+    if scrub_interval < 0.0 then begin
+      Printf.eprintf "tsj: --scrub-interval must be >= 0\n";
       exit 2
     end;
     if router || shard_groups <> [] then
@@ -635,6 +662,10 @@ let serve_cmd =
         dedup;
         sync_from = replica_of;
         primary = replica_of = [];
+        scrub_interval_s =
+          (if scrub_interval > 0.0 then Some scrub_interval else None);
+        scrub_budget;
+        quarantine;
       }
     in
     match Tsj_server.Server.create config with
@@ -672,6 +703,7 @@ let serve_cmd =
              --router, the scatter-gather router of a sharded cluster")
     Term.(const run $ addr $ tau $ dir $ jobs $ max_inflight $ deadline
           $ drain_budget $ preload $ replica_of $ quorum $ max_batch $ dedup
+          $ scrub_interval $ scrub_budget $ quarantine
           $ router $ shard_group $ shards $ band $ ledger $ format_arg)
 
 (* --- promote --- *)
@@ -800,6 +832,7 @@ let query_cmd =
     | Ok (Tsj_server.Protocol.Drained as r) | Ok (Tsj_server.Protocol.Promoted _ as r)
     | Ok ((Tsj_server.Protocol.Sync_stream _ | Tsj_server.Protocol.Record _) as r)
     | Ok (Tsj_server.Protocol.Tree_reply _ as r)
+    | Ok (Tsj_server.Protocol.Digest_reply _ as r)
     | Ok (Tsj_server.Protocol.Hello_reply _ as r) ->
       print_endline (Tsj_server.Protocol.render_response r)
   in
@@ -807,6 +840,215 @@ let query_cmd =
     (Cmd.info "query" ~doc:"Query (or administer) a running tsj serve instance")
     Term.(const run $ remote $ tree $ tau $ top $ add $ stats $ health $ drain
           $ timeout $ retries $ seed)
+
+(* --- fsck --- *)
+
+let fsck_cmd =
+  let dir =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"DIR"
+           ~doc:"State directory of a tsj serve instance (snapshot + journal).")
+  in
+  let ledger =
+    Arg.(value & opt (some string) None
+         & info [ "ledger" ] ~docv:"FILE"
+             ~doc:"Also verify a router ledger journal.")
+  in
+  let repair =
+    Arg.(value & flag
+         & info [ "repair" ]
+             ~doc:"Repair instead of just reporting: unrepairable journal \
+                   records and ledger suffixes are moved aside (.quarantine), \
+                   the surviving state is rewritten and resealed.")
+  in
+  let tau =
+    Arg.(value & opt int 2
+         & info [ "tau"; "t" ]
+             ~doc:"TED threshold used when the directory has no snapshot to \
+                   read it from (an existing snapshot's tau wins).")
+  in
+  (* CRC-checked line: "<payload> <fnv1a64(payload)>" *)
+  let line_crc_ok line =
+    match String.rindex_opt line ' ' with
+    | None -> false
+    | Some i ->
+      Tsj_util.Text.fnv1a64_hex (String.sub line 0 i)
+      = String.sub line (i + 1) (String.length line - i - 1)
+  in
+  let read_lines path =
+    In_channel.with_open_bin path In_channel.input_all
+    |> String.split_on_char '\n'
+    |> List.filter (fun l -> String.trim l <> "")
+  in
+  let check_seal name path findings =
+    match Tsj_server.Integrity.check_seal path with
+    | Ok 0 -> Printf.printf "%-18s never sealed\n" name
+    | Ok bytes -> Printf.printf "%-18s seal ok (%d bytes covered)\n" name bytes
+    | Error detail ->
+      Printf.printf "%-18s SEAL MISMATCH: %s\n" name detail;
+      incr findings
+    | exception Tsj_util.Durable.Disk_fault f ->
+      Printf.printf "%-18s READ FAULT: %s\n" name (Tsj_util.Durable.fault_to_string f);
+      incr findings
+  in
+  let run dir ledger repair tau =
+    if not (Sys.file_exists dir && Sys.is_directory dir) then begin
+      Printf.eprintf "tsj: %s is not a directory\n" dir;
+      exit 2
+    end;
+    let findings = ref 0 and torn = ref 0 in
+    (* journal: per-record CRCs; an invalid line with valid lines after
+       it is corruption, an invalid final line is a torn tail (a crashed
+       append, dropped benignly at the next open) *)
+    let journal = Filename.concat dir "journal" in
+    if Sys.file_exists journal then begin
+      let lines = read_lines journal in
+      let records =
+        match lines with
+        | first :: rest
+          when String.length first >= 6 && String.sub first 0 6 = "epoch " ->
+          if line_crc_ok first then
+            Printf.printf "%-18s header ok\n" "journal"
+          else begin
+            Printf.printf "%-18s HEADER CORRUPT\n" "journal";
+            incr findings
+          end;
+          rest
+        | l -> l
+      in
+      let n = List.length records in
+      let bad = List.filter (fun l -> not (line_crc_ok l)) records in
+      let last_bad = match records with
+        | [] -> false
+        | l -> not (line_crc_ok (List.nth l (n - 1)))
+      in
+      (match List.length bad with
+      | 0 -> Printf.printf "%-18s %d records, every checksum ok\n" "journal" n
+      | 1 when last_bad ->
+        incr torn;
+        Printf.printf
+          "%-18s %d records, torn tail (1 partial append; dropped at next open)\n"
+          "journal" n
+      | k ->
+        findings := !findings + (if last_bad then k - 1 else k);
+        if last_bad then incr torn;
+        Printf.printf "%-18s %d records, %d CORRUPT mid-file\n" "journal" n
+          (if last_bad then k - 1 else k));
+      check_seal "journal.seal" journal findings
+    end
+    else Printf.printf "%-18s missing (nothing journaled)\n" "journal";
+    (* snapshot: the seal is its only integrity cover, but it must also
+       still parse *)
+    let snapshot = Filename.concat dir "snapshot" in
+    if Sys.file_exists snapshot then begin
+      (match
+         Tsj_core.Search.collection_of_string ~allow_duplicates:true
+           (In_channel.with_open_bin snapshot In_channel.input_all)
+       with
+      | Ok (stau, trees) ->
+        Printf.printf "%-18s %d trees, tau=%d, parses ok\n" "snapshot"
+          (Array.length trees) stau
+      | Error msg ->
+        Printf.printf "%-18s UNPARSEABLE: %s\n" "snapshot" msg;
+        incr findings);
+      check_seal "snapshot.seal" snapshot findings
+    end
+    else Printf.printf "%-18s missing (journal-only store)\n" "snapshot";
+    (* optional router ledger: line CRCs, dense gids, seal *)
+    (match ledger with
+    | None -> ()
+    | Some path when not (Sys.file_exists path) ->
+      Printf.printf "%-18s missing\n" "ledger"
+    | Some path ->
+      let lines = read_lines path in
+      let n = List.length lines in
+      (* the longest valid dense prefix; anything after the first bad
+         line is untrusted *)
+      let rec prefix acc gid = function
+        | [] -> (List.rev acc, [])
+        | l :: rest ->
+          let ok =
+            line_crc_ok l
+            && (match String.split_on_char ' ' l with
+               | "map" :: g :: _ -> int_of_string_opt g = Some gid
+               | _ -> false)
+          in
+          if ok then prefix (l :: acc) (gid + 1) rest
+          else (List.rev acc, l :: rest)
+      in
+      let good, rest = prefix [] 0 lines in
+      (match rest with
+      | [] -> Printf.printf "%-18s %d bindings, every checksum ok\n" "ledger" n
+      | [ _ ] ->
+        incr torn;
+        Printf.printf "%-18s %d bindings, torn tail (1 partial append)\n"
+          "ledger" (List.length good)
+      | _ ->
+        findings := !findings + List.length rest;
+        Printf.printf "%-18s %d bindings, %d CORRUPT/untrusted from line %d\n"
+          "ledger" n (List.length rest) (List.length good));
+      check_seal "ledger.seal" path findings;
+      if repair && rest <> [] then begin
+        Out_channel.with_open_gen
+          [ Open_append; Open_creat ] 0o644 (path ^ ".quarantine")
+          (fun oc -> List.iter (fun l -> Printf.fprintf oc "%s\n" l) rest);
+        let tmp = path ^ ".tmp" in
+        Out_channel.with_open_bin tmp (fun oc ->
+            List.iter (fun l -> Printf.fprintf oc "%s\n" l) good);
+        Tsj_util.Durable.rename tmp path;
+        Tsj_server.Integrity.write_seal path;
+        Printf.printf
+          "%-18s repaired: %d bindings kept, %d moved to %s.quarantine\n"
+          "ledger" (List.length good) (List.length rest) path
+      end);
+    if repair then begin
+      (* converge disk to the best recoverable state: quarantine what
+         cannot be replayed, splice nothing (no heal source offline),
+         then flush a fresh sealed snapshot + empty journal *)
+      match Tsj_server.Store.open_ ~dir ~quarantine:true ~tau () with
+      | Error msg ->
+        Printf.eprintf "tsj: unrepairable: %s\n" msg;
+        exit 2
+      | Ok store ->
+        Tsj_server.Store.flush store;
+        let _, crc_failures, repaired, quarantined =
+          Tsj_server.Store.scrub_counters store
+        in
+        Printf.printf
+          "repaired: %d trees survive (crc_failures=%d repaired=%d \
+           quarantined=%d), merkle root %s\n"
+          (Tsj_server.Store.n_trees store)
+          crc_failures repaired quarantined
+          (Tsj_server.Store.merkle_root store)
+        (* no close: a close would be a second (redundant) flush *)
+    end
+    else if !findings > 0 then begin
+      Printf.printf "%d corruption finding(s); rerun with --repair to quarantine\n"
+        !findings;
+      exit 2
+    end
+    else begin
+      (* clean (modulo a torn tail the next open drops): report the
+         authoritative identity of the store without mutating anything *)
+      if !torn = 0 then begin
+        match Tsj_server.Store.open_ ~dir ~tau () with
+        | Ok store ->
+          Printf.printf "clean: %d trees, merkle root %s\n"
+            (Tsj_server.Store.n_trees store)
+            (Tsj_server.Store.merkle_root store)
+          (* abandoned without close on purpose: fsck must not rewrite *)
+        | Error msg ->
+          Printf.printf "CHECKSUMS CLEAN BUT UNREPLAYABLE: %s\n" msg;
+          exit 2
+      end
+      else Printf.printf "clean apart from the torn tail\n"
+    end
+  in
+  Cmd.v
+    (Cmd.info "fsck"
+       ~doc:"Verify the integrity of a tsj state directory offline \
+             (checksums, seals, snapshot parse; exit 2 on corruption), \
+             optionally repairing by quarantine")
+    Term.(const run $ dir $ ledger $ repair $ tau)
 
 (* --- bench --- *)
 
@@ -823,7 +1065,7 @@ let bench_cmd =
     Arg.(value & pos_all string [ "all" ] & info [] ~docv:"EXPERIMENT"
            ~doc:"fig10, fig12, fig14, ablation, parallel, perf, dag, \
                  streaming, resilience, serving, serving-soak, replication, \
-                 sharding or all (serving-soak is a minute-long \
+                 sharding, integrity or all (serving-soak is a minute-long \
                  sustained-load bench and is not part of all).")
   in
   let run scale seed jobs what =
@@ -851,6 +1093,7 @@ let bench_cmd =
         | "serving-soak" -> Tsj_harness.Experiments.serving_soak config
         | "replication" -> Tsj_harness.Experiments.replication config
         | "sharding" -> Tsj_harness.Experiments.sharding config
+        | "integrity" -> Tsj_harness.Experiments.integrity config
         | "all" -> Tsj_harness.Experiments.run_all config
         | other ->
           Printf.eprintf "tsj: unknown experiment %S\n" other;
@@ -868,4 +1111,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ ted_cmd; join_cmd; gen_cmd; partition_cmd; search_cmd; serve_cmd;
-            promote_cmd; query_cmd; bench_cmd ]))
+            promote_cmd; query_cmd; fsck_cmd; bench_cmd ]))

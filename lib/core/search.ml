@@ -100,11 +100,8 @@ let save t path = save_collection ~tau:t.tau t.trees path
    the 1-based file line (the header occupies lines 1-2).  The error
    strings match the lenient bracket parser's ["line L, column C"]
    convention. *)
-let read_collection ?(allow_duplicates = false) path =
-  match In_channel.with_open_text path In_channel.input_all with
-  | exception Sys_error msg -> Error msg
-  | contents -> (
-    match String.split_on_char '\n' contents with
+let collection_of_string ?(allow_duplicates = false) contents =
+  (match String.split_on_char '\n' contents with
     | header :: tau_line :: body when header = "# " ^ format_line -> (
       let located line msg = Error (Printf.sprintf "line %d: %s" line msg) in
       match String.split_on_char ' ' tau_line with
@@ -158,6 +155,11 @@ let read_collection ?(allow_duplicates = false) path =
           records 0 [] body)
       | _ -> located 2 "corrupt tau header")
     | _ -> Error "not a tsj search index file")
+
+let read_collection ?allow_duplicates path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | exception Sys_error msg -> Error msg
+  | contents -> collection_of_string ?allow_duplicates contents
 
 let load path =
   match read_collection path with

@@ -45,6 +45,14 @@ val save_collection : tau:int -> Tsj_tree.Tree.t array -> string -> unit
 (** The persistence primitive behind {!save} — also the snapshot writer
     of the server store.  Atomic (tmp + rename). *)
 
+val collection_of_string :
+  ?allow_duplicates:bool -> string -> (int * Tsj_tree.Tree.t array, string) result
+(** Parse the {e contents} of a file written by {!save_collection} —
+    the parsing half of {!read_collection}, for callers that read the
+    bytes themselves (the server store reads snapshots through
+    {!Tsj_util.Durable.read_file} so read-side fault injection reaches
+    them). *)
+
 val read_collection :
   ?allow_duplicates:bool -> string -> (int * Tsj_tree.Tree.t array, string) result
 (** Parse a file written by {!save_collection} back into [(τ, trees)]

@@ -1901,6 +1901,239 @@ let sharding config =
   in
   rm tmp
 
+(* --- integrity: scrub overhead under load, bit-rot storm, Merkle
+   anti-entropy frugality --- *)
+
+let integrity config =
+  Table.heading ~out:config.out
+    "Extension — end-to-end integrity (background scrub, Merkle anti-entropy, \
+     self-healing repair)";
+  let module Server = Tsj_server.Server in
+  let module Store = Tsj_server.Store in
+  let module Client = Tsj_server.Client in
+  let module Protocol = Tsj_server.Protocol in
+  let profile = Profiles.swissprot in
+  let n = max 24 (int_of_float (240.0 *. config.scale)) in
+  let trees = Profiles.instantiate profile ~seed:config.seed ~n in
+  let tau = 2 in
+  let fail msg = failwith ("Experiments.integrity: " ^ msg) in
+  let ok_or_fail = function Ok v -> v | Error msg -> fail msg in
+  let rec rm path =
+    if Sys.file_exists path then
+      if Sys.is_directory path then begin
+        Array.iter (fun f -> rm (Filename.concat path f)) (Sys.readdir path);
+        (try Unix.rmdir path with Unix.Unix_error _ -> ())
+      end
+      else try Sys.remove path with Sys_error _ -> ()
+  in
+  (* Phase 1 — scrub overhead: the soak workload (pipelined binary
+     queries over fixed connections) against the same preloaded server,
+     once with the scrubber off and once with it re-verifying the
+     whole journal about four times a second (250 ms ticks, budget
+     covering every record — far hotter than a production cadence of
+     tens of seconds, yet the overhead bound must still hold). *)
+  let rung_s = 10.0 *. min 1.0 config.scale in
+  let conns = 4 in
+  let window = 16 in
+  let run_soak ~scrub =
+    let tmp = Filename.temp_file "tsj_integrity" "" in
+    Sys.remove tmp;
+    Unix.mkdir tmp 0o755;
+    let addr = Protocol.Unix_path (Filename.concat tmp "sock") in
+    let server =
+      ok_or_fail
+        (Server.create
+           { (Server.default_config addr ~tau) with
+             Server.dir = Some (Filename.concat tmp "store");
+             domains = config.domains;
+             max_inflight = 1024;
+             deadline_s = Some 0.5;
+             scrub_interval_s = (if scrub then Some 0.25 else None);
+             scrub_budget = 256;
+           })
+    in
+    let store = Server.store server in
+    Array.iter (fun t -> ignore (Store.add store t)) trees;
+    Server.start server;
+    let worker c conn =
+      let rng = Tsj_util.Prng.create (config.seed + 900 + c) in
+      let pending = Hashtbl.create (2 * window) in
+      let sent = ref 0 and bad = ref 0 in
+      let deadline = Tsj_util.Timer.now () +. rung_s in
+      let live () = Tsj_util.Timer.now () < deadline in
+      while live () || Hashtbl.length pending > 0 do
+        while live () && Hashtbl.length pending < window do
+          let req =
+            Protocol.Query { tau = 0; tree = trees.(Tsj_util.Prng.int rng n) }
+          in
+          Hashtbl.replace pending (Client.Bin.send conn req) ();
+          incr sent
+        done;
+        Client.Bin.flush conn;
+        if Hashtbl.length pending > 0 then
+          match Client.Bin.recv conn with
+          | Error msg -> failwith ("integrity soak recv: " ^ msg)
+          | Ok (id, resp) ->
+            Hashtbl.remove pending id;
+            (match resp with Protocol.Hits _ -> () | _ -> incr bad)
+      done;
+      Client.Bin.close conn;
+      (!sent, !bad)
+    in
+    let sockets = Array.init conns (fun _ -> ok_or_fail (Client.Bin.connect addr)) in
+    let results, wall =
+      Tsj_util.Timer.wall (fun () ->
+          Array.mapi (fun c conn -> Domain.spawn (fun () -> worker c conn)) sockets
+          |> Array.map Domain.join)
+    in
+    let sent = Array.fold_left (fun acc (s, _) -> acc + s) 0 results in
+    let bad = Array.fold_left (fun acc (_, b) -> acc + b) 0 results in
+    if bad > 0 then fail (Printf.sprintf "%d soak replies were BUSY/ERR" bad);
+    let stats =
+      let conn = ok_or_fail (Client.connect addr) in
+      let s =
+        match Client.request conn Protocol.Stats with
+        | Ok (Protocol.Stats_reply s) -> s
+        | Ok _ | Error _ -> fail "STATS request failed"
+      in
+      (match Client.request conn Protocol.Drain with
+      | Ok Protocol.Drained -> ()
+      | Ok _ | Error _ -> fail "DRAIN request failed");
+      Client.close conn;
+      s
+    in
+    Server.wait server;
+    rm tmp;
+    (float_of_int sent /. wall, stats)
+  in
+  let rps_off, _ = run_soak ~scrub:false in
+  let rps_on, stats_on = run_soak ~scrub:true in
+  if stats_on.Protocol.scrubbed = 0 then
+    fail "the background scrubber never ran during the scrub-on soak";
+  if stats_on.Protocol.crc_failures > 0 then
+    fail "scrub reported corruption on a healthy store";
+  let overhead_pct = 100.0 *. (rps_off -. rps_on) /. rps_off in
+  (* The < 5% bound only means something once the rungs are long enough
+     to average out scheduler noise. *)
+  if config.scale >= 1.0 && overhead_pct >= 5.0 then
+    fail
+      (Printf.sprintf "background scrub costs %.1f%% of soak throughput (>= 5%%)"
+         overhead_pct);
+  (* Phase 2 — full-pass scrub cost offline: re-verify every record,
+     the epoch header and both seals on a store nobody is querying. *)
+  let scrub_pass_ms =
+    let tmp = Filename.temp_file "tsj_integrity" "" in
+    Sys.remove tmp;
+    Unix.mkdir tmp 0o755;
+    let store = ok_or_fail (Store.open_ ~dir:tmp ~tau ()) in
+    Array.iter (fun t -> ignore (Store.add store t)) trees;
+    let budget = n + 1 in
+    let (), wall =
+      Tsj_util.Timer.wall (fun () ->
+          let a = Store.scrub_step ~budget store in
+          let b = Store.scrub_step ~budget store in
+          if a.Store.sc_findings <> [] || b.Store.sc_findings <> [] then
+            fail "offline scrub found corruption on a healthy store")
+    in
+    Store.close store;
+    rm tmp;
+    1000.0 *. wall
+  in
+  (* Phase 3 — the bit-rot storm: random bit flips in live files,
+     mid-journal rot before restarts, grafted divergence, injected read
+     faults; every corruption must be detected, answers never wrong,
+     anti-entropy must move only the differing ranges. *)
+  let storm =
+    let storm_trees = Profiles.instantiate profile ~seed:(config.seed + 31) ~n:24 in
+    Faults.run_scrub_storm ~domains:config.domains ~seed:config.seed ~rounds:30
+      ~trees:storm_trees
+      ~queries:(Array.sub storm_trees 0 8)
+      ~tau ()
+  in
+  if not storm.Faults.sb_all_detected then
+    fail
+      (Printf.sprintf "scrub storm: %d of %d injected corruptions went undetected"
+         (storm.Faults.sb_flips + storm.Faults.sb_read_faults - storm.Faults.sb_detected)
+         (storm.Faults.sb_flips + storm.Faults.sb_read_faults));
+  if storm.Faults.sb_wrong_answers > 0 then
+    fail (Printf.sprintf "scrub storm: %d wrong answers" storm.Faults.sb_wrong_answers);
+  if not storm.Faults.sb_converged then fail "scrub storm: stores did not converge";
+  if not storm.Faults.sb_transfer_frugal then
+    fail
+      (Printf.sprintf
+         "scrub storm: anti-entropy moved %d records (expected %d, full re-syncs \
+          would move %d)"
+         storm.Faults.sb_transferred storm.Faults.sb_transfer_expected
+         storm.Faults.sb_full_resync_cost);
+  printf config
+    "\n  (%s profile, %d trees preloaded, tau = %d; %.0f s per soak rung, %d \
+     connections, window %d)\n"
+    profile.Profiles.name n tau rung_s conns window;
+  Table.print ~out:config.out
+    ~header:[ "metric"; "value" ]
+    ~align:[ Table.Left; Table.Right ]
+    [
+      [ "soak throughput, scrub off"; Printf.sprintf "%.0f req/s" rps_off ];
+      [ "soak throughput, scrub on (250 ms ticks)"; Printf.sprintf "%.0f req/s" rps_on ];
+      [ "scrub overhead"; Printf.sprintf "%.1f %%" overhead_pct ];
+      [ "records scrubbed during soak"; string_of_int stats_on.Protocol.scrubbed ];
+      [ "full scrub pass (offline)"; Printf.sprintf "%.1f ms" scrub_pass_ms ];
+      [ "storm rounds"; string_of_int storm.Faults.sb_rounds ];
+      [ "storm bit flips / read faults";
+        Printf.sprintf "%d / %d" storm.Faults.sb_flips storm.Faults.sb_read_faults ];
+      [ "storm corruptions detected";
+        Printf.sprintf "%d (all: %b)" storm.Faults.sb_detected storm.Faults.sb_all_detected ];
+      [ "storm scrub repairs / healed / quarantined";
+        Printf.sprintf "%d / %d / %d" storm.Faults.sb_scrub_repairs storm.Faults.sb_healed
+          storm.Faults.sb_quarantined ];
+      [ "anti-entropy records transferred";
+        Printf.sprintf "%d (minimum %d, full re-sync %d)" storm.Faults.sb_transferred
+          storm.Faults.sb_transfer_expected storm.Faults.sb_full_resync_cost ];
+      [ "storm wrong answers"; string_of_int storm.Faults.sb_wrong_answers ];
+      [ "storm converged"; string_of_bool storm.Faults.sb_converged ];
+    ];
+  let oc = open_out "BENCH_integrity.json" in
+  Printf.fprintf oc
+    "{\n\
+    \  \"benchmark\": \"tsj_integrity\",\n\
+    \  \"dataset\": \"%s\",\n\
+    \  \"preloaded\": %d,\n\
+    \  \"tau\": %d,\n\
+    \  \"seed\": %d,\n\
+    \  \"rung_seconds\": %.1f,\n\
+    \  \"connections\": %d,\n\
+    \  \"throughput_scrub_off_rps\": %.1f,\n\
+    \  \"throughput_scrub_on_rps\": %.1f,\n\
+    \  \"scrub_overhead_pct\": %.2f,\n\
+    \  \"scrubbed_during_soak\": %d,\n\
+    \  \"full_scrub_pass_ms\": %.2f,\n\
+    \  \"storm_rounds\": %d,\n\
+    \  \"storm_flips\": %d,\n\
+    \  \"storm_read_faults\": %d,\n\
+    \  \"storm_detected\": %d,\n\
+    \  \"storm_all_detected\": %b,\n\
+    \  \"storm_scrub_repairs\": %d,\n\
+    \  \"storm_healed\": %d,\n\
+    \  \"storm_quarantined\": %d,\n\
+    \  \"storm_divergences\": %d,\n\
+    \  \"storm_transferred\": %d,\n\
+    \  \"storm_transfer_expected\": %d,\n\
+    \  \"storm_full_resync_cost\": %d,\n\
+    \  \"storm_transfer_frugal\": %b,\n\
+    \  \"storm_wrong_answers\": %d,\n\
+    \  \"storm_converged\": %b\n\
+     }\n"
+    profile.Profiles.name n tau config.seed rung_s conns rps_off rps_on overhead_pct
+    stats_on.Protocol.scrubbed scrub_pass_ms storm.Faults.sb_rounds storm.Faults.sb_flips
+    storm.Faults.sb_read_faults storm.Faults.sb_detected storm.Faults.sb_all_detected
+    storm.Faults.sb_scrub_repairs storm.Faults.sb_healed storm.Faults.sb_quarantined
+    storm.Faults.sb_divergences storm.Faults.sb_transferred
+    storm.Faults.sb_transfer_expected storm.Faults.sb_full_resync_cost
+    storm.Faults.sb_transfer_frugal storm.Faults.sb_wrong_answers
+    storm.Faults.sb_converged;
+  close_out oc;
+  printf config "  wrote BENCH_integrity.json\n"
+
 let run_all config =
   fig10_11 config;
   fig12_13 config;
@@ -1913,4 +2146,5 @@ let run_all config =
   resilience config;
   serving config;
   replication config;
-  sharding config
+  sharding config;
+  integrity config

@@ -134,5 +134,22 @@ val sharding : config -> unit
     [BENCH_sharding.json].
     @raise Failure on any violation. *)
 
+val integrity : config -> unit
+(** Extension bench: end-to-end integrity.  Measures the background
+    scrubber's cost under load — the soak workload (pipelined binary
+    queries over 4 connections) against the same preloaded server with
+    the scrubber off and then re-verifying the journal on 10 ms ticks,
+    asserting (at [scale >= 1.0]) the throughput overhead stays below
+    5%% — and the wall time of one full offline scrub pass (every
+    record, the epoch header, both seals).  Finishes with the
+    in-process {!Faults.run_scrub_storm} (random bit flips in live
+    journal/snapshot/seal files, mid-journal rot before restarts,
+    grafted divergent histories, injected read faults), asserting every
+    injected corruption detected, zero wrong answers, convergence after
+    repair, and that Merkle anti-entropy transferred exactly the
+    differing ranges (≪ full re-sync cost).  Writes
+    [BENCH_integrity.json].
+    @raise Failure on any violation. *)
+
 val run_all : config -> unit
 (** Everything above, in paper order, extensions last. *)

@@ -947,3 +947,326 @@ let run_sharded_storm ?(domains = 1) ?(seed = 0x5AAD) ?(rounds = 40) ?(shards = 
         sh_degraded_sound = !degraded_sound;
         sh_answers_match = answers_match;
       })
+
+(* --- bit-rot scrub storm --- *)
+
+let flip_bit path ~bit =
+  let fd = Unix.openfile path [ Unix.O_RDWR ] 0o644 in
+  Fun.protect
+    ~finally:(fun () -> Unix.close fd)
+    (fun () ->
+      let off = bit / 8 in
+      ignore (Unix.lseek fd off Unix.SEEK_SET);
+      let b = Bytes.create 1 in
+      if Unix.read fd b 0 1 <> 1 then failwith "flip_bit: short read";
+      Bytes.set b 0
+        (Char.chr (Char.code (Bytes.get b 0) lxor (1 lsl (bit mod 8))));
+      ignore (Unix.lseek fd off Unix.SEEK_SET);
+      if Unix.write fd b 0 1 <> 1 then failwith "flip_bit: short write")
+
+type scrub_storm_report = {
+  sb_rounds : int;
+  sb_flips : int;
+  sb_read_faults : int;
+  sb_detected : int;
+  sb_all_detected : bool;
+  sb_scrub_repairs : int;
+  sb_healed : int;
+  sb_quarantined : int;
+  sb_divergences : int;
+  sb_transferred : int;
+  sb_transfer_expected : int;
+  sb_full_resync_cost : int;
+  sb_transfer_frugal : bool;
+  sb_wrong_answers : int;
+  sb_converged : bool;
+}
+
+(* The bit-rot storm: a primary and a mirroring replica (real journaled
+   stores in temp directories) under steady ADD traffic, with one
+   integrity fault injected per round — a random bit flipped in a live
+   journal / snapshot / seal file (the scrubber must detect and repair
+   it), a byte rotted mid-journal before a restart (the self-healing
+   open must refetch the record from the primary, or quarantine it and
+   let anti-entropy refill the suffix), a grafted wrong-but-valid
+   record (Merkle anti-entropy must locate the divergence and transfer
+   exactly the differing suffix), or an injected EIO on the scrubber's
+   own read path (a finding, never a "repair" over a failing disk).
+   Every round probes a query against a never-corrupted reference
+   store: disk rot must never surface in answers. *)
+let run_scrub_storm ?(domains = 1) ?(seed = 0x5C12B) ?(rounds = 30) ~trees
+    ~queries ~tau () =
+  if Array.length trees = 0 then invalid_arg "run_scrub_storm: no trees";
+  if Array.length queries = 0 then invalid_arg "run_scrub_storm: no probe queries";
+  let rng = Prng.create seed in
+  let pdir = fresh_store_dir () and rdir = fresh_store_dir () in
+  let primary = ref (store_of_exn (Sstore.open_ ~dir:pdir ~domains ~tau ()))
+  and replica = ref (store_of_exn (Sstore.open_ ~dir:rdir ~domains ~tau ()))
+  and reference = store_of_exn (Sstore.open_ ~domains ~tau ()) in
+  let flips = ref 0
+  and read_faults = ref 0
+  and detected = ref 0
+  and scrub_repairs = ref 0
+  and healed = ref 0
+  and quarantined = ref 0
+  and divergences = ref 0
+  and transferred = ref 0
+  and transfer_expected = ref 0
+  and full_resync_cost = ref 0
+  and wrong = ref 0
+  and repair_clean = ref true in
+  let add tree =
+    ignore (Sstore.add !primary tree);
+    let seq = Sstore.n_trees !primary - 1 in
+    (match Sstore.apply_record !replica (Sstore.record_for !primary seq) with
+    | Ok _ -> ()
+    | Error m -> failwith ("scrub storm: replica apply: " ^ m));
+    ignore (Sstore.add reference tree)
+  in
+  (* disk rot must never reach an answer: both stores serve from the
+     in-memory index, which is checked bit-identical to the reference *)
+  let probe () =
+    let q = Prng.choice rng queries in
+    let want = (Sstore.query reference q).Tsj_core.Incremental.hits in
+    let check st =
+      if (Sstore.query st q).Tsj_core.Incremental.hits <> want then incr wrong
+    in
+    check !primary;
+    check !replica
+  in
+  (* a full scrub cycle: two unbounded steps guarantee a cursor wrap,
+     so the epoch header, both seals and every record get re-read *)
+  let full_scrub st =
+    let budget = Sstore.journal_records st + 1 in
+    let a = Sstore.scrub_step ~budget st in
+    let b = Sstore.scrub_step ~budget st in
+    ( a.Sstore.sc_findings @ b.Sstore.sc_findings,
+      a.Sstore.sc_repaired + b.Sstore.sc_repaired )
+  in
+  let assert_clean st =
+    let clean, _ = full_scrub st in
+    if clean <> [] then repair_clean := false
+  in
+  (* durable files of [dir] that currently have bytes to rot *)
+  let rot_targets dir =
+    let j = Filename.concat dir "journal" and s = Filename.concat dir "snapshot" in
+    List.filter
+      (fun p -> Sys.file_exists p && (Unix.stat p).Unix.st_size > 0)
+      [ j; Tsj_server.Integrity.seal_path j; s; Tsj_server.Integrity.seal_path s ]
+  in
+  (* kind 0/1: flip a random bit in a live durable file; serving is
+     unaffected, the scrub cycle must detect and repair, and the cycle
+     after the repair must come back clean *)
+  let live_rot st dir =
+    match rot_targets dir with
+    | [] -> ()
+    | targets ->
+      let path = Prng.choice rng (Array.of_list targets) in
+      let bits = 8 * (Unix.stat path).Unix.st_size in
+      flip_bit path ~bit:(Prng.int rng bits);
+      incr flips;
+      probe ();
+      let findings, repaired = full_scrub !st in
+      if findings <> [] then incr detected;
+      scrub_repairs := !scrub_repairs + repaired;
+      assert_clean !st
+  in
+  (* byte offsets [(start, len)] of the journal's record lines, header
+     and trailing newlines excluded *)
+  let record_extents text =
+    let n = String.length text in
+    let rec lines acc start =
+      if start >= n then List.rev acc
+      else
+        match String.index_from_opt text start '\n' with
+        | None -> List.rev ((start, n - start) :: acc)
+        | Some nl -> lines ((start, nl - start) :: acc) (nl + 1)
+    in
+    List.filter
+      (fun (start, len) ->
+        len > 0 && not (len >= 6 && String.sub text start 6 = "epoch "))
+      (lines [] 0)
+  in
+  (* rot one byte inside a mid-file record (never the tail: a corrupt
+     last record is a torn tail, a different recovery path), leaving
+     the store object abandoned un-closed — kill -9 semantics *)
+  let rot_mid_record () =
+    let jpath = Filename.concat rdir "journal" in
+    let text = In_channel.with_open_bin jpath In_channel.input_all in
+    match record_extents text with
+    | [] | [ _ ] -> None
+    | extents ->
+      let victims = Array.of_list (List.rev (List.tl (List.rev extents))) in
+      let start, len = victims.(Prng.int rng (Array.length victims)) in
+      flip_bit jpath ~bit:(8 * (start + Prng.int rng len) + Prng.int rng 8);
+      incr flips;
+      Some ()
+  in
+  (* kind 2: restart the replica over a rotted journal with a heal
+     callback that refetches the canonical record from the primary *)
+  let reopen_heal () =
+    match rot_mid_record () with
+    | None -> live_rot replica rdir
+    | Some () -> (
+      let heal seq = Some (Sstore.record_for !primary seq) in
+      match Sstore.open_ ~dir:rdir ~domains ~heal ~tau () with
+      | Error m -> failwith ("scrub storm: healing open refused: " ^ m)
+      | Ok st ->
+        replica := st;
+        let _, crc, repaired, _ = Sstore.scrub_counters st in
+        if crc > 0 then incr detected;
+        healed := !healed + repaired;
+        if Sstore.n_trees st <> Sstore.n_trees !primary then
+          failwith "scrub storm: healed replica lost trees";
+        assert_clean st)
+  in
+  (* pure catch-up / post-divergence convergence via the Merkle digests
+     of the primary, counting transferred records against the true
+     suffix length and a full re-sync's cost *)
+  let anti_entropy ~expected =
+    let n_p = Sstore.n_trees !primary in
+    full_resync_cost := !full_resync_cost + n_p;
+    transfer_expected := !transfer_expected + expected;
+    match
+      Tsj_server.Scrub.anti_entropy ~local:!replica ~remote_n:n_p
+        ~digest:(fun ~lo ~hi -> Ok (Sstore.digest !primary ~lo ~hi))
+        ~fetch:(fun seq -> Ok (Sstore.record_for !primary seq))
+    with
+    | Error m -> failwith ("scrub storm: anti-entropy: " ^ m)
+    | Ok t -> transferred := !transferred + t
+  in
+  (* kind 3: restart the replica over a rotted journal in quarantine
+     mode — no heal source, the suffix is moved aside and served
+     degraded (fewer trees, never wrong answers), then refilled from
+     the primary by anti-entropy *)
+  let reopen_quarantine () =
+    match rot_mid_record () with
+    | None -> live_rot replica rdir
+    | Some () -> (
+      match Sstore.open_ ~dir:rdir ~domains ~quarantine:true ~tau () with
+      | Error m -> failwith ("scrub storm: quarantine open refused: " ^ m)
+      | Ok st ->
+        replica := st;
+        let _, crc, _, q = Sstore.scrub_counters st in
+        if crc > 0 || q > 0 then incr detected;
+        quarantined := !quarantined + q;
+        (* degraded but sound: no invented hits while the suffix is gone *)
+        let qr = Prng.choice rng queries in
+        let want = (Sstore.query reference qr).Tsj_core.Incremental.hits in
+        List.iter
+          (fun hit -> if not (List.mem hit want) then incr wrong)
+          (Sstore.query st qr).Tsj_core.Incremental.hits;
+        anti_entropy ~expected:(Sstore.n_trees !primary - Sstore.n_trees st);
+        assert_clean !replica)
+  in
+  (* kind 4: a genuine divergence — truncate the replica at a random
+     seq and graft a wrong-but-valid record there; the Merkle digests
+     must locate the divergence and repair exactly the suffix *)
+  let diverge () =
+    let n = Sstore.n_trees !replica in
+    if n < 2 then live_rot replica rdir
+    else begin
+      let d = 1 + Prng.int rng (n - 1) in
+      Sstore.truncate_to !replica d;
+      let truth = Tsj_tree.Bracket.to_string (Sstore.tree !primary d) in
+      let wrong_tree =
+        Array.to_seq trees
+        |> Seq.find (fun t -> Tsj_tree.Bracket.to_string t <> truth)
+      in
+      (match wrong_tree with
+      | None -> ()
+      | Some t -> (
+        match Sstore.apply_record !replica (Sstore.render_record ~seq:d t) with
+        | Ok _ -> ()
+        | Error m -> failwith ("scrub storm: graft: " ^ m)));
+      incr divergences;
+      anti_entropy ~expected:(Sstore.n_trees !primary - d)
+    end
+  in
+  (* kind 5: EIO on the scrubber's own journal read — a finding, zero
+     repairs (never "repair" over a failing disk) *)
+  let read_fault () =
+    let fired = ref false in
+    Fault.arm_action "durable.read" (fun _ ->
+        if not !fired then begin
+          fired := true;
+          raise
+            (Tsj_util.Durable.Disk_fault
+               {
+                 Tsj_util.Durable.f_op = `Read;
+                 f_path = Filename.concat pdir "journal";
+                 f_detail = "injected EIO";
+               })
+        end);
+    incr read_faults;
+    let r = Sstore.scrub_step ~budget:(Sstore.journal_records !primary + 1) !primary in
+    Fault.disarm_all ();
+    if r.Sstore.sc_findings <> [] then incr detected;
+    if r.Sstore.sc_repaired <> 0 then repair_clean := false;
+    assert_clean !primary
+  in
+  let cleanup () =
+    Fault.disarm_all ();
+    (try Sstore.close !primary with _ -> ());
+    (try Sstore.close !replica with _ -> ());
+    (try Sstore.close reference with _ -> ());
+    remove_store_dir pdir;
+    remove_store_dir rdir
+  in
+  Fun.protect ~finally:cleanup (fun () ->
+      for _round = 1 to rounds do
+        let adds = 2 + Prng.int rng 2 in
+        for _ = 1 to adds do
+          add (Prng.choice rng trees)
+        done;
+        (match Prng.int rng 6 with
+        | 0 -> live_rot primary pdir
+        | 1 -> live_rot replica rdir
+        | 2 -> reopen_heal ()
+        | 3 -> reopen_quarantine ()
+        | 4 -> diverge ()
+        | _ -> read_fault ());
+        probe ()
+      done;
+      (* final: both stores scrub clean and hold the reference's trees *)
+      assert_clean !primary;
+      assert_clean !replica;
+      let n = Sstore.n_trees reference in
+      let same st =
+        Sstore.n_trees st = n
+        && Array.for_all
+             (fun i ->
+               Tsj_tree.Bracket.to_string (Sstore.tree st i)
+               = Tsj_tree.Bracket.to_string (Sstore.tree reference i))
+             (Array.init n Fun.id)
+      in
+      let answers_match =
+        Array.for_all
+          (fun q ->
+            let want = (Sstore.query reference q).Tsj_core.Incremental.hits in
+            (Sstore.query !primary q).Tsj_core.Incremental.hits = want
+            && (Sstore.query !replica q).Tsj_core.Incremental.hits = want)
+          queries
+      in
+      let converged =
+        !repair_clean && same !primary && same !replica && answers_match
+      in
+      {
+        sb_rounds = rounds;
+        sb_flips = !flips;
+        sb_read_faults = !read_faults;
+        sb_detected = !detected;
+        sb_all_detected = !detected = !flips + !read_faults;
+        sb_scrub_repairs = !scrub_repairs;
+        sb_healed = !healed;
+        sb_quarantined = !quarantined;
+        sb_divergences = !divergences;
+        sb_transferred = !transferred;
+        sb_transfer_expected = !transfer_expected;
+        sb_full_resync_cost = !full_resync_cost;
+        sb_transfer_frugal =
+          !transferred = !transfer_expected
+          && (!full_resync_cost = 0 || !transferred < !full_resync_cost);
+        sb_wrong_answers = !wrong;
+        sb_converged = converged;
+      })

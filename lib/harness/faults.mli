@@ -197,3 +197,61 @@ val run_sharded_storm :
     unsharded reference.  A correct implementation yields
     [sh_acked_preserved && sh_single_writer && sh_converged &&
     sh_degraded_sound && sh_answers_match]. *)
+
+val flip_bit : string -> bit:int -> unit
+(** Flip one bit of a file in place (read-modify-write of a single
+    byte; any channel appending to the file is undisturbed) — injected
+    media rot for the integrity scenarios. *)
+
+type scrub_storm_report = {
+  sb_rounds : int;
+  sb_flips : int;  (** bits flipped across live files and restarts *)
+  sb_read_faults : int;  (** injected EIOs on the scrubber's read path *)
+  sb_detected : int;
+      (** injected corruptions the integrity machinery caught (scrub
+          findings, healed/quarantined records, read-fault findings) *)
+  sb_all_detected : bool;  (** [sb_detected = sb_flips + sb_read_faults] *)
+  sb_scrub_repairs : int;  (** repairs applied by live scrub cycles *)
+  sb_healed : int;  (** records refetched from the primary at reopen *)
+  sb_quarantined : int;  (** records/snapshots moved aside as unrepairable *)
+  sb_divergences : int;  (** grafted wrong-history rounds *)
+  sb_transferred : int;  (** records re-sent by Merkle anti-entropy *)
+  sb_transfer_expected : int;
+      (** summed true suffix lengths — what a perfectly targeted repair
+          transfers *)
+  sb_full_resync_cost : int;
+      (** summed store sizes at each anti-entropy call — what full
+          re-syncs would have transferred *)
+  sb_transfer_frugal : bool;
+      (** [sb_transferred = sb_transfer_expected], and strictly below
+          [sb_full_resync_cost]: repair moved only the differing range *)
+  sb_wrong_answers : int;
+      (** probe answers that differed from the never-corrupted reference
+          (degraded quarantine answers checked for invented hits) —
+          must be 0: rot never surfaces in answers *)
+  sb_converged : bool;
+      (** final state: both stores scrub clean, hold the reference's
+          trees bit-identically, and every post-repair cycle was clean *)
+}
+
+val run_scrub_storm :
+  ?domains:int ->
+  ?seed:int ->
+  ?rounds:int ->
+  trees:Tsj_tree.Tree.t array ->
+  queries:Tsj_tree.Tree.t array ->
+  tau:int ->
+  unit ->
+  scrub_storm_report
+(** The bit-rot storm: a primary and a mirroring replica (journaled
+    stores in temp directories) under steady ADD traffic, one integrity
+    fault per round (default 30) — a random bit flipped in a live
+    journal / snapshot / seal file, repaired by a full
+    {!Tsj_server.Store.scrub_step} cycle; a byte rotted mid-journal
+    before a restart, healed by the self-healing open refetching the
+    record from the primary, or quarantined and refilled by
+    {!Tsj_server.Scrub.anti_entropy}; a grafted divergent record,
+    located by Merkle digests and repaired by transferring exactly the
+    differing suffix; or an injected EIO on the scrubber's own read.
+    A correct implementation yields [sb_all_detected &&
+    sb_transfer_frugal && sb_wrong_answers = 0 && sb_converged]. *)

@@ -1,0 +1,271 @@
+(* End-to-end integrity primitives for the durable surfaces: content
+   hashes, Merkle range digests over the journal's sequence space, and
+   per-file "seal" sidecars (footer digests) for files without
+   per-record checksums.  Everything here is pure bookkeeping — the
+   scrubber (Scrub), the store and the router decide what to do with a
+   finding. *)
+
+module Text = Tsj_util.Text
+module Durable = Tsj_util.Durable
+
+(* --- typed findings --- *)
+
+type surface = Journal | Snapshot | Ledger
+
+let surface_name = function
+  | Journal -> "journal"
+  | Snapshot -> "snapshot"
+  | Ledger -> "ledger"
+
+type corrupt = {
+  c_surface : surface;
+  c_path : string;
+  c_seq : int option;
+      (* journal record seq / ledger gid, when the line is attributable *)
+  c_detail : string;
+}
+
+let corrupt_to_string c =
+  Printf.sprintf "%s %s%s: %s" (surface_name c.c_surface) c.c_path
+    (match c.c_seq with Some s -> Printf.sprintf " seq %d" s | None -> "")
+    c.c_detail
+
+(* --- Merkle range digests --- *)
+
+(* A binary hash tree over the journal's records, addressed by sequence
+   number.  Leaf [i] is the hash of the {e canonical} record line for
+   seq [i] (regenerated from the in-memory tree, not the disk bytes), so
+   two stores holding the same trees produce identical digests no matter
+   how their journals are laid out on disk — the property anti-entropy
+   needs.
+
+   Level [k] entry [i] covers leaves [i*2^k, (i+1)*2^k); a node with a
+   single child promotes the child's hash unchanged.  An append touches
+   one entry per level (O(log n)); {!range} folds the O(log n) maximal
+   aligned buckets covering [lo, hi).  Hashes are domain-separated FNV:
+   cheap, stable across processes, and already the journal's checksum
+   primitive — this is corruption detection, not an adversarial MAC. *)
+module Merkle = struct
+  type level = { mutable arr : int64 array; mutable n : int }
+
+  type t = { mutable levels : level list }
+  (* head = leaves; each deeper level halves (ceil) the previous *)
+
+  let leaf line = Text.fnv1a64 ("leaf " ^ line)
+
+  let node a b = Text.fnv1a64 (Printf.sprintf "node %016Lx %016Lx" a b)
+
+  let create () = { levels = [ { arr = Array.make 16 0L; n = 0 } ] }
+
+  let size t = match t.levels with l :: _ -> l.n | [] -> 0
+
+  let ensure_capacity l =
+    if l.n = Array.length l.arr then begin
+      let bigger = Array.make (2 * Array.length l.arr) 0L in
+      Array.blit l.arr 0 bigger 0 l.n;
+      l.arr <- bigger
+    end
+
+  let set l i v =
+    if i = l.n then begin
+      ensure_capacity l;
+      l.arr.(i) <- v;
+      l.n <- i + 1
+    end
+    else l.arr.(i) <- v
+
+  (* Recompute the parent chain of leaf-level entry [i0] after it (or a
+     sibling) changed, growing/shrinking upper levels to match. *)
+  let rec fixup levels i =
+    match levels with
+    | [] | [ _ ] -> ()
+    | child :: (parent :: _ as rest) ->
+      let pi = i / 2 in
+      let v =
+        if (2 * pi) + 1 < child.n then node child.arr.(2 * pi) child.arr.((2 * pi) + 1)
+        else child.arr.(2 * pi)
+      in
+      set parent pi v;
+      parent.n <- (child.n + 1) / 2;
+      fixup rest pi
+
+  (* The level list must be long enough that the top level has a single
+     entry (it is the root); extend/trim it to match the leaf count. *)
+  let resize_levels t =
+    let rec depth n acc = if n <= 1 then acc else depth ((n + 1) / 2) (acc + 1) in
+    let want = 1 + depth (size t) 0 in
+    let have = List.length t.levels in
+    if have < want then
+      t.levels <-
+        t.levels @ List.init (want - have) (fun _ -> { arr = Array.make 4 0L; n = 0 })
+    else if have > want then begin
+      let rec take k = function
+        | l :: rest when k > 0 -> l :: take (k - 1) rest
+        | _ -> []
+      in
+      t.levels <- take want t.levels
+    end
+
+  let push t line =
+    let leaves = List.hd t.levels in
+    set leaves leaves.n (leaf line);
+    resize_levels t;
+    fixup t.levels (leaves.n - 1)
+
+  let truncate t m =
+    let n = size t in
+    if m < 0 || m > n then invalid_arg "Merkle.truncate";
+    if m < n then begin
+      let leaves = List.hd t.levels in
+      leaves.n <- m;
+      resize_levels t;
+      if m > 0 then fixup t.levels (m - 1)
+    end
+
+  (* Entry value covering leaves [i*2^k, min((i+1)*2^k, n)). *)
+  let entry t ~level i =
+    let l = List.nth t.levels level in
+    l.arr.(i)
+
+  (* Digest of the record range [lo, hi) (half-open), as the fold of its
+     maximal aligned bucket hashes.  Both endpoints are baked into the
+     payload so distinct ranges that happen to share buckets cannot
+     collide structurally. *)
+  let range t ~lo ~hi =
+    let n = size t in
+    if lo < 0 || hi < lo || hi > n then
+      invalid_arg (Printf.sprintf "Merkle.range [%d,%d) of %d" lo hi n);
+    let b = Buffer.create 64 in
+    Buffer.add_string b (Printf.sprintf "range %d %d" lo hi);
+    let pos = ref lo in
+    while !pos < hi do
+      (* largest k with [pos] aligned to 2^k and the block inside [lo,hi) *)
+      let k = ref 0 in
+      while
+        !pos land ((1 lsl (!k + 1)) - 1) = 0 && !pos + (1 lsl (!k + 1)) <= hi
+      do
+        incr k
+      done;
+      Buffer.add_string b
+        (Printf.sprintf " %016Lx" (entry t ~level:!k (!pos lsr !k)));
+      pos := !pos + (1 lsl !k)
+    done;
+    Text.fnv1a64_hex (Buffer.contents b)
+
+  let root t = range t ~lo:0 ~hi:(size t)
+
+  (* Rebuild every level from the raw leaves — the from-scratch
+     reference the qcheck property compares the incremental updates
+     against. *)
+  let recompute t =
+    let leaves = List.hd t.levels in
+    t.levels <- [ leaves ];
+    resize_levels t;
+    let rec build = function
+      | [] | [ _ ] -> ()
+      | child :: (parent :: _ as rest) ->
+        parent.n <- 0;
+        for i = 0 to ((child.n + 1) / 2) - 1 do
+          let v =
+            if (2 * i) + 1 < child.n then node child.arr.(2 * i) child.arr.((2 * i) + 1)
+            else child.arr.(2 * i)
+          in
+          set parent i v
+        done;
+        build rest
+    in
+    build t.levels
+
+  let of_lines lines =
+    let t = create () in
+    List.iter (push t) lines;
+    t
+end
+
+(* Locate the first diverging sequence number between a local digest
+   function and a remote one, by binary search over range digests —
+   O(log n) remote probes, each one DIGEST round trip.  Precondition:
+   the full ranges differ.  [remote] may fail (a dead peer mid-search);
+   the failure propagates as [Error]. *)
+let first_divergence ~local ~remote ~lo ~hi =
+  if lo >= hi then invalid_arg "Integrity.first_divergence: empty range";
+  let rec go lo hi =
+    if hi - lo <= 1 then Ok lo
+    else begin
+      let mid = (lo + hi) / 2 in
+      match remote ~lo ~hi:mid with
+      | Error _ as e -> e
+      | Ok r -> if String.equal (local ~lo ~hi:mid) r then go mid hi else go lo mid
+    end
+  in
+  go lo hi
+
+(* --- file seals (footer digests) --- *)
+
+(* A seal is a sidecar [<file>.seal] holding one checksummed line:
+
+     seal <bytes> <fnv1a64-of-first-bytes> <crc>
+
+   It covers a byte {e prefix} of the sealed file, so it stays valid
+   under append-only growth (the journal between flushes) and is exact
+   for files only ever rewritten whole (the snapshot, the ledger after a
+   rewrite).  The snapshot has no per-record checksums at all — the seal
+   is its only integrity cover. *)
+
+let seal_path file = file ^ ".seal"
+
+let seal_line ~bytes ~digest =
+  let payload = Printf.sprintf "seal %d %s" bytes digest in
+  payload ^ " " ^ Text.fnv1a64_hex payload
+
+let parse_seal_line line =
+  match String.rindex_opt line ' ' with
+  | None -> None
+  | Some i ->
+    let payload = String.sub line 0 i in
+    let crc = String.sub line (i + 1) (String.length line - i - 1) in
+    if Text.fnv1a64_hex payload <> crc then None
+    else
+      match String.split_on_char ' ' payload with
+      | [ "seal"; b; digest ] -> (
+        match int_of_string_opt b with
+        | Some bytes when bytes >= 0 && String.length digest = 16 ->
+          Some (bytes, digest)
+        | _ -> None)
+      | _ -> None
+
+(* Seal [file] at its current length.  Atomic (tmp + rename) so a crash
+   leaves the previous seal, which still covers a valid prefix. *)
+let write_seal file =
+  let contents = Durable.read_file file in
+  let tmp = seal_path file ^ ".tmp" in
+  Out_channel.with_open_text tmp (fun oc ->
+      output_string oc
+        (seal_line ~bytes:(String.length contents)
+           ~digest:(Text.fnv1a64_hex contents));
+      output_char oc '\n');
+  Durable.rename tmp (seal_path file)
+
+let drop_seal file = try Sys.remove (seal_path file) with Sys_error _ -> ()
+
+(* Verify [file] against its seal.  [Ok covered] with the number of
+   sealed bytes ([Ok 0] when the file was never sealed — vacuously
+   clean); [Error detail] when the sealed prefix hash mismatches, the
+   file shrank below the sealed length, or the seal itself is
+   unreadable (a corrupt seal is indistinguishable from a corrupt file
+   and must surface, not pass). *)
+let check_seal file =
+  if not (Sys.file_exists (seal_path file)) then Ok 0
+  else
+    let seal = Durable.read_file (seal_path file) in
+    match parse_seal_line (String.trim seal) with
+    | None -> Error "seal sidecar is corrupt"
+    | Some (bytes, digest) ->
+      let contents = Durable.read_file file in
+      if String.length contents < bytes then
+        Error
+          (Printf.sprintf "file shrank below its seal (%d < %d bytes)"
+             (String.length contents) bytes)
+      else if Text.fnv1a64_hex (String.sub contents 0 bytes) <> digest then
+        Error (Printf.sprintf "sealed prefix digest mismatch (%d bytes)" bytes)
+      else Ok bytes

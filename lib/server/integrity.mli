@@ -1,0 +1,97 @@
+(** Integrity primitives for the durable surfaces: typed corruption
+    findings, Merkle range digests over the journal's sequence space,
+    and per-file seal sidecars (footer digests).
+
+    {b Merkle digests.}  {!Merkle} maintains a binary hash tree whose
+    leaf [i] is the hash of the canonical journal record line for seq
+    [i] — regenerated from the in-memory tree, never the disk bytes —
+    so two stores holding the same trees produce identical digests
+    regardless of journal layout.  Appends update O(log n) nodes;
+    {!Merkle.range} answers a digest for any [\[lo, hi)] in O(log n)
+    bucket folds.  {!first_divergence} turns that into anti-entropy:
+    O(log n) [DIGEST] round trips locate the first diverging seq, and
+    the repair transfers {e only} the suffix from there — no full
+    re-sync.
+
+    {b Seals.}  A seal is a sidecar [<file>.seal] with one checksummed
+    line [seal <bytes> <fnv1a64-of-prefix> <crc>] covering a byte
+    prefix of the sealed file.  Prefix coverage keeps it valid under
+    append-only growth (the journal between flushes) and exact for
+    whole-file rewrites (the snapshot — whose records carry no
+    per-line checksum, making the seal its only integrity cover). *)
+
+type surface = Journal | Snapshot | Ledger
+
+val surface_name : surface -> string
+
+type corrupt = {
+  c_surface : surface;
+  c_path : string;
+  c_seq : int option;
+      (** journal record seq / ledger gid, when the line is attributable *)
+  c_detail : string;
+}
+
+val corrupt_to_string : corrupt -> string
+
+module Merkle : sig
+  type t
+
+  val create : unit -> t
+
+  val size : t -> int
+  (** Number of leaves (= journal records covered). *)
+
+  val push : t -> string -> unit
+  (** Append the next record line as leaf [size t]; updates O(log n)
+      nodes. *)
+
+  val truncate : t -> int -> unit
+  (** Drop every leaf with index >= [m] (anti-entropy rewinds to the
+      divergence point).  @raise Invalid_argument if [m] is out of
+      range. *)
+
+  val range : t -> lo:int -> hi:int -> string
+  (** Digest of records [\[lo, hi)] — a fold of the maximal aligned
+      power-of-two buckets, with both endpoints baked in.  @raise
+      Invalid_argument if the range exceeds [size]. *)
+
+  val root : t -> string
+  (** [range ~lo:0 ~hi:(size t)]. *)
+
+  val recompute : t -> unit
+  (** Rebuild every internal level from the leaves — the from-scratch
+      reference the incremental-update property tests against. *)
+
+  val of_lines : string list -> t
+  (** Build from record lines by repeated {!push}. *)
+end
+
+val first_divergence :
+  local:(lo:int -> hi:int -> string) ->
+  remote:(lo:int -> hi:int -> (string, string) result) ->
+  lo:int ->
+  hi:int ->
+  (int, string) result
+(** Binary-search the first seq in [\[lo, hi)] where [local] and
+    [remote] range digests diverge — O(log n) [remote] probes, each
+    one wire round trip.  Precondition: the digests of the full range
+    differ.  A failing probe (dead peer) propagates as [Error]. *)
+
+val seal_path : string -> string
+(** [file ^ ".seal"]. *)
+
+val write_seal : string -> unit
+(** Seal [file] at its current length (atomic tmp + rename; reads the
+    file through {!Tsj_util.Durable.read_file}).
+    @raise Tsj_util.Durable.Disk_fault on a read/rename failure. *)
+
+val drop_seal : string -> unit
+(** Remove [file]'s seal, if any (the file is being retired). *)
+
+val check_seal : string -> (int, string) result
+(** Verify [file] against its seal: [Ok covered_bytes] ([Ok 0] when
+    never sealed — vacuously clean), [Error detail] when the sealed
+    prefix mismatches, the file shrank below the sealed length, or the
+    seal itself is corrupt.
+    @raise Tsj_util.Durable.Disk_fault on a read failure. *)

@@ -35,6 +35,7 @@ type request =
   | Sync of { epoch : int; from_seq : int }
   | Ack of int
   | Get of int
+  | Digest of { epoch : int; lo : int; hi : int }
   | Promote
 
 let split_first_word s =
@@ -104,6 +105,14 @@ let parse_request line =
     match int_of_string_opt rest with
     | Some seq when seq >= 0 -> Ok (Get seq)
     | _ -> Error "GET: expected a non-negative sequence number")
+  | "DIGEST" -> (
+    match String.split_on_char ' ' rest with
+    | [ e; lo; hi ] -> (
+      match (int_of_string_opt e, int_of_string_opt lo, int_of_string_opt hi) with
+      | Some epoch, Some lo, Some hi when epoch >= 0 && 0 <= lo && lo <= hi ->
+        Ok (Digest { epoch; lo; hi })
+      | _ -> Error "DIGEST: expected <epoch> <lo> <hi> with 0 <= lo <= hi")
+    | _ -> Error "DIGEST: expected <epoch> <lo> <hi>")
   | "STATS" when rest = "" -> Ok Stats
   | "HEALTH" when rest = "" -> Ok Health
   | "DRAIN" when rest = "" -> Ok Drain
@@ -114,8 +123,8 @@ let parse_request line =
   | other ->
     Error
       (Printf.sprintf
-         "unknown command %S (expected QUERY, KNN, ADD, GET, STATS, HEALTH, DRAIN, SYNC, \
-          ACKED or PROMOTE)"
+         "unknown command %S (expected QUERY, KNN, ADD, GET, DIGEST, STATS, HEALTH, \
+          DRAIN, SYNC, ACKED or PROMOTE)"
          other)
 
 let render_request = function
@@ -130,6 +139,7 @@ let render_request = function
   | Sync { epoch; from_seq } -> Printf.sprintf "SYNC %d %d" epoch from_seq
   | Ack seq -> Printf.sprintf "ACKED %d" seq
   | Get seq -> Printf.sprintf "GET %d" seq
+  | Digest { epoch; lo; hi } -> Printf.sprintf "DIGEST %d %d %d" epoch lo hi
   | Promote -> "PROMOTE"
 
 (* --- responses --- *)
@@ -149,6 +159,9 @@ type stats_reply = {
   epoch : int;
   primary : bool;
   dedup : int;
+  scrubbed : int;  (** records re-verified by the background scrubber *)
+  crc_failures : int;  (** checksum/seal findings (open + scrub) *)
+  repaired : int;  (** healed records, scrub repairs, anti-entropy ranges *)
 }
 
 type response =
@@ -166,6 +179,7 @@ type response =
   | Err of string
   | Sync_stream of { epoch : int; base : int; high : int }
   | Record of string
+  | Digest_reply of { epoch : int; lo : int; hi : int; digest : string }
   | Fenced of int
   | Promoted of int
   | Hello_reply of int
@@ -197,10 +211,10 @@ let render_response r =
       (Printf.sprintf
          "STATS trees=%d tau=%d queries=%d adds=%d shed=%d degraded=%d errors=%d \
           quarantined=%d inflight=%d draining=%d journal=%d epoch=%d primary=%d \
-          dedup=%d"
+          dedup=%d scrubbed=%d crc_failures=%d repaired=%d"
          s.trees s.tau s.queries s.adds s.shed s.degraded s.errors s.quarantined
          s.inflight (Bool.to_int s.draining) s.journal_records s.epoch
-         (Bool.to_int s.primary) s.dedup)
+         (Bool.to_int s.primary) s.dedup s.scrubbed s.crc_failures s.repaired)
   | Health_reply { draining } ->
     Buffer.add_string b (if draining then "OK draining" else "OK serving")
   | Drained -> Buffer.add_string b "OK drained"
@@ -209,6 +223,8 @@ let render_response r =
   | Sync_stream { epoch; base; high } ->
     Buffer.add_string b (Printf.sprintf "SYNC %d %d %d" epoch base high)
   | Record line -> Buffer.add_string b ("RECORD " ^ one_line line)
+  | Digest_reply { epoch; lo; hi; digest } ->
+    Buffer.add_string b (Printf.sprintf "DIGEST %d %d %d %s" epoch lo hi digest)
   | Fenced epoch -> Buffer.add_string b (Printf.sprintf "FENCED %d" epoch)
   | Promoted epoch -> Buffer.add_string b (Printf.sprintf "PROMOTED %d" epoch)
   | Hello_reply version -> Buffer.add_string b (Printf.sprintf "HELLO BIN %d" version)
@@ -348,8 +364,11 @@ let parse_response line =
              journal_records;
              epoch;
              primary = primary = 1;
-             (* absent in replies from pre-dedup servers *)
+             (* absent in replies from pre-dedup / pre-scrub servers *)
              dedup = Option.value (get "dedup") ~default:0;
+             scrubbed = Option.value (get "scrubbed") ~default:0;
+             crc_failures = Option.value (get "crc_failures") ~default:0;
+             repaired = Option.value (get "repaired") ~default:0;
            })
     | _ -> fail ())
   | [ "OK"; "serving" ] -> Ok (Health_reply { draining = false })
@@ -367,6 +386,12 @@ let parse_response line =
     match (int_of_string_opt e, int_of_string_opt b, int_of_string_opt h) with
     | Some epoch, Some base, Some high when epoch >= 0 && base >= 0 && high >= 0 ->
       Ok (Sync_stream { epoch; base; high = max base high })
+    | _ -> fail ())
+  | [ "DIGEST"; e; lo; hi; d ] -> (
+    match (int_of_string_opt e, int_of_string_opt lo, int_of_string_opt hi) with
+    | Some epoch, Some lo, Some hi
+      when epoch >= 0 && 0 <= lo && lo <= hi && String.length d = 16 ->
+      Ok (Digest_reply { epoch; lo; hi; digest = d })
     | _ -> fail ())
   | [ "HELLO"; "BIN"; v ] -> (
     match int_of_string_opt v with
@@ -456,8 +481,8 @@ module Binary = struct
       | Health -> op_health
       | Drain -> op_drain
       | Promote -> op_promote
-      | Sync _ | Ack _ | Get _ ->
-        invalid_arg "Binary.encode_request: replication/ledger verbs are text-only"
+      | Sync _ | Ack _ | Get _ | Digest _ ->
+        invalid_arg "Binary.encode_request: replication/integrity verbs are text-only"
     in
     frame b ~id ~op (Buffer.contents body)
 
@@ -520,7 +545,8 @@ module Binary = struct
         List.iter (u32 body)
           [ s.trees; s.tau; s.queries; s.adds; s.shed; s.degraded; s.errors;
             s.quarantined; s.inflight; Bool.to_int s.draining; s.journal_records;
-            s.epoch; Bool.to_int s.primary; s.dedup ];
+            s.epoch; Bool.to_int s.primary; s.dedup; s.scrubbed; s.crc_failures;
+            s.repaired ];
         op_stats_reply
       | Health_reply { draining } ->
         Buffer.add_char body (if draining then '\001' else '\000');
@@ -539,7 +565,7 @@ module Binary = struct
       | Redirect addr ->
         Buffer.add_string body addr;
         op_redirect
-      | Sync_stream _ | Record _ | Hello_reply _ | Tree_reply _ ->
+      | Sync_stream _ | Record _ | Hello_reply _ | Tree_reply _ | Digest_reply _ ->
         invalid_arg "Binary.encode_response: text-only response"
     in
     frame b ~id ~op (Buffer.contents body)
@@ -578,10 +604,12 @@ module Binary = struct
           Ok (Added { id; partners })
     end
     else if op = op_stats_reply then begin
-      (* 52 bytes: pre-dedup frame (13 u32s); 56: current (14). *)
-      if len <> 52 && len <> 56 then fail "STATS"
+      (* 52 bytes: pre-dedup frame (13 u32s); 56: pre-scrub (14);
+         68: current (17). *)
+      if len <> 52 && len <> 56 && len <> 68 then fail "STATS"
       else
         let f i = get_u32 body (4 * i) in
+        let opt i = if len >= 4 * (i + 1) then f i else 0 in
         Ok
           (Stats_reply
              {
@@ -598,7 +626,10 @@ module Binary = struct
                journal_records = f 10;
                epoch = f 11;
                primary = f 12 = 1;
-               dedup = (if len = 56 then f 13 else 0);
+               dedup = opt 13;
+               scrubbed = opt 14;
+               crc_failures = opt 15;
+               repaired = opt 16;
              })
     end
     else if op = op_health_reply then begin

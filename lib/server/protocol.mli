@@ -8,6 +8,7 @@
               | "KNN" SP k SP tree            top-k within the index τ
               | "ADD" SP [seq SP] tree        journal + index a tree (seq: see below)
               | "GET" SP seq                  fetch the tree bound to a sequence number
+              | "DIGEST" SP epoch SP lo SP hi Merkle digest of records [lo, hi)
               | "STATS" | "HEALTH" | "DRAIN" | "PROMOTE"
               | "SYNC" SP epoch SP from_seq   replica joins: stream me from from_seq
               | "ACKED" SP seq                replica has durably applied up to seq
@@ -20,9 +21,21 @@
               | "ERR" SP reason               never a silent drop
               | "SYNC" SP epoch SP base       stream header (primary -> replica)
               | "RECORD" SP journal-line      one checksummed journal record pushed
+              | "DIGEST" SP epoch SP lo SP hi SP hex   reply to DIGEST
               | "FENCED" SP epoch             refused: a higher epoch exists
               | "PROMOTED" SP epoch           this node is now primary at epoch
     v}
+
+    {b Anti-entropy.}  [DIGEST <epoch> <lo> <hi>] asks for the Merkle
+    digest of the canonical journal records [\[lo, hi)] (see
+    {!Integrity.Merkle}); the answer [DIGEST <epoch> <lo> <hi> <hex>]
+    echoes the range.  Two stores holding the same trees answer
+    identically, so a verifier binary-searches range digests to locate
+    the first diverging sequence in O(log n) round trips and repairs
+    {e only} the suffix from there (via [GET]/[RECORD] regeneration) —
+    no full re-sync.  A node at a different epoch answers
+    [FENCED <epoch>]; a range beyond the tree count is [ERR].  Like
+    the replication verbs, [DIGEST] is text-only.
 
     {b Replication stream.}  A replica connects and sends
     [SYNC <epoch> <from_seq>].  The primary answers with the stream
@@ -84,7 +97,8 @@
     0x81 HITS     degraded:u8 nh:u32 nu:u32 (id:u32 dist:u32)*nh
                   (id:u32 lo:u32 hi:u32)*nu
     0x82 ADDED    id:u32 np:u32 (id:u32 dist:u32)*np
-    0x83 STATS    13 x u32, in the text STATS field order
+    0x83 STATS    17 x u32, in the text STATS field order (decoders
+                  accept the 13- and 14-word frames of older builds)
     0x84 HEALTH   draining:u8
     0x85 DRAINED  0x86 BUSY                     (empty body)
     0x87 ERR      reason-bytes
@@ -133,6 +147,9 @@ type request =
           sharded router's ledger-recovery and migration-verification
           primitive.  Answered [TREE seq tree], or [ERR] when [seq] is
           unbound.  Text-only, like the replication verbs. *)
+  | Digest of { epoch : int; lo : int; hi : int }
+      (** [DIGEST epoch lo hi]: Merkle digest of the canonical records
+          [\[lo, hi)] — the anti-entropy probe.  Text-only. *)
   | Promote
       (** Make this node primary: bump the epoch (persisted in the
           journal header) and start accepting writes. *)
@@ -160,6 +177,13 @@ type stats_reply = {
   dedup : int;
       (** duplicate ADDs suppressed by the store's dedup layer (0 when
           dedup is off; parses as 0 from pre-dedup servers) *)
+  scrubbed : int;
+      (** journal records re-verified by the background scrubber (parses
+          as 0 from pre-scrub servers, like the two fields below) *)
+  crc_failures : int;  (** checksum/seal findings, at open or by scrub *)
+  repaired : int;
+      (** healed journal records + scrub repairs + anti-entropy range
+          repairs *)
 }
 
 type response =
@@ -186,6 +210,9 @@ type response =
           [SYNC <epoch> <base> <high>]; the parser also accepts the
           pre-binary two-integer form ([high] defaults to [base]). *)
   | Record of string  (** One raw journal record line, pushed verbatim. *)
+  | Digest_reply of { epoch : int; lo : int; hi : int; digest : string }
+      (** Reply to [Digest]: the range echoed plus its 16-hex-digit
+          Merkle digest. *)
   | Fenced of int
       (** Write/stream refused: a primary at the given (higher) epoch
           exists; the receiver must demote or fail over. *)

@@ -141,6 +141,11 @@ type t = {
   r_degraded : int Atomic.t;
   r_errors : int Atomic.t;
   r_draining : bool Atomic.t;
+  (* integrity telemetry, as the store's [scrub_counters] *)
+  r_scrubbed : int Atomic.t;
+  r_crc_failures : int Atomic.t;
+  r_repaired : int Atomic.t;
+  r_quarantined : int Atomic.t;
 }
 
 let failover t addrs =
@@ -187,6 +192,7 @@ let rewrite_ledger_locked t path =
         output_char oc '\n'
       done);
   Durable.rename tmp path;
+  Integrity.write_seal path;
   open_out_gen [ Open_append; Open_creat ] 0o644 path
 
 (* Called with [r_ledger_mutex] held after a [Disk_fault] mid-append:
@@ -328,28 +334,110 @@ let replay_entry t (gid, shard, lseq, size) =
     Ok ()
   end
 
+(* Dead-letter a ledger line (or a whole suffix): appended to
+   [<path>.quarantine], counted, never deleted — an operator can audit
+   what was given up on. *)
+let quarantine_ledger_lines path lines =
+  if lines <> [] then begin
+    let oc = open_out_gen [ Open_append; Open_creat ] 0o644 (path ^ ".quarantine") in
+    List.iter
+      (fun l ->
+        output_string oc l;
+        output_char oc '\n')
+      lines;
+    close_out_noerr oc
+  end
+
+(* Reconstruct the entry a corrupt mid-ledger line must have bound,
+   from the structural invariants plus shard-acked state: its gid is
+   the next dense gid; the shard it named is the one whose first
+   subsequent entry skips exactly one lseq; and the tree size — gone
+   from the ledger — is re-measured by fetching the tree from that
+   shard via [GET] (the shard acked the add, so it has it).  Returns
+   [None] when the suffix does not pin the entry down (the shard never
+   appears again, a second corrupt line intervenes, or the fetch
+   fails). *)
+let heal_ledger_entry t rest =
+  let gid = Vec_int.length t.r_shard in
+  let expected = Array.map (fun g -> Vec_int.length g.g_gids) t.r_groups in
+  let ruled_out = Array.make (Array.length t.r_groups) false in
+  let rec find = function
+    | [] -> None
+    | line :: more -> (
+      match parse_ledger_line line with
+      | None -> None
+      | Some (_, s, l, _) ->
+        if s < 0 || s >= Array.length t.r_groups then None
+        else if ruled_out.(s) then find more
+        else if l = expected.(s) + 1 then Some s
+        else if l = expected.(s) then begin
+          ruled_out.(s) <- true;
+          find more
+        end
+        else None)
+  in
+  match find rest with
+  | None -> None
+  | Some shard -> (
+    let lseq = expected.(shard) in
+    let fo = failover t t.r_groups.(shard).g_addrs in
+    match Client.Failover.request fo (Protocol.Get lseq) with
+    | Ok (Protocol.Tree_reply { tree; _ }) -> Some (gid, shard, lseq, Tree.size tree)
+    | _ -> None)
+
 let load_ledger t path =
   let lines = if Sys.file_exists path then read_lines path else [] in
-  (* A line that fails its checksum is a torn tail: drop it and
-     everything after (nothing beyond it was acked — appends are
-     flushed in order).  A line that passes its checksum but violates
-     the structural invariants is real corruption and refuses to load. *)
-  let rec replay dropped = function
-    | [] -> Ok dropped
+  (* A line that fails its checksum at the very end is a torn tail
+     (dropped — nothing beyond it was acked, appends are flushed in
+     order).  Mid-file it is bit rot over acked state: the entry is
+     healed from shard-acked state when the suffix pins it down
+     ({!heal_ledger_entry}), else the line and the suffix behind it are
+     quarantined and a later {!reconcile} re-adopts those trees under
+     fresh gids.  A line that passes its checksum but violates the
+     structural invariants is not bit rot (the checksum covers the
+     payload) and still refuses to load. *)
+  let torn = ref 0 and healed = ref 0 and quarantined = ref 0 in
+  let rec replay = function
+    | [] -> Ok ()
     | line :: rest -> (
       match parse_ledger_line line with
-      | None -> Ok (dropped + 1 + List.length rest)
       | Some entry -> (
         match replay_entry t entry with
         | Error e -> Error e
-        | Ok () -> replay dropped rest))
+        | Ok () -> replay rest)
+      | None when rest = [] ->
+        incr torn;
+        Ok ()
+      | None -> (
+        match heal_ledger_entry t rest with
+        | Some entry -> (
+          match replay_entry t entry with
+          | Error e -> Error e
+          | Ok () ->
+            incr healed;
+            quarantine_ledger_lines path [ line ];
+            replay rest)
+        | None ->
+          quarantined := 1 + List.length rest;
+          quarantine_ledger_lines path (line :: rest);
+          Ok ()))
   in
-  match replay 0 lines with
+  match replay lines with
   | Error e -> Error e
-  | Ok dropped ->
+  | Ok () ->
+    let seal_bad =
+      match Integrity.check_seal path with
+      | Ok _ -> false
+      | Error _ -> true
+      | exception Durable.Disk_fault _ -> false
+    in
+    let findings = !torn + !healed + !quarantined + Bool.to_int seal_bad in
+    Atomic.set t.r_crc_failures (Atomic.get t.r_crc_failures + findings);
+    Atomic.set t.r_repaired (Atomic.get t.r_repaired + !healed);
+    Atomic.set t.r_quarantined (Atomic.get t.r_quarantined + !quarantined);
     (try
        let oc =
-         if dropped > 0 then rewrite_ledger_locked t path
+         if findings > 0 then rewrite_ledger_locked t path
          else open_out_gen [ Open_append; Open_creat ] 0o644 path
        in
        t.r_ledger <- Some (path, oc);
@@ -393,6 +481,10 @@ let create (config : config) =
         r_degraded = Atomic.make 0;
         r_errors = Atomic.make 0;
         r_draining = Atomic.make false;
+        r_scrubbed = Atomic.make 0;
+        r_crc_failures = Atomic.make 0;
+        r_repaired = Atomic.make 0;
+        r_quarantined = Atomic.make 0;
       }
     in
     match config.ledger with
@@ -414,6 +506,77 @@ let close t =
       | Some (_, oc) ->
         close_out_noerr oc;
         t.r_ledger <- None)
+
+(* --- scrub --- *)
+
+(* One ledger scrub pass: re-read the file and verify every line
+   against the canonical line regenerated from the in-memory maps
+   (authoritative — each entry passed its checksum when applied), plus
+   the seal.  Disk-level rot is repaired by converging disk to memory
+   (an atomic rewrite + reseal); a read fault is a finding but nothing
+   to repair over.  Returns [(lines_verified, findings)]. *)
+let scrub_ledger t =
+  Mutex.protect t.r_ledger_mutex (fun () ->
+      match t.r_ledger with
+      | None -> (0, [])
+      | Some (path, _) -> (
+        match Durable.read_file path with
+        | exception Durable.Disk_fault f ->
+          let findings =
+            [ { Integrity.c_surface = Ledger; c_path = path; c_seq = None;
+                c_detail = Durable.fault_to_string f } ]
+          in
+          Atomic.incr t.r_crc_failures;
+          (0, findings)
+        | contents ->
+          let lines =
+            List.filter (fun l -> l <> "") (String.split_on_char '\n' contents)
+          in
+          let n = Vec_int.length t.r_shard in
+          let findings = ref [] in
+          let finding gid detail =
+            findings :=
+              { Integrity.c_surface = Ledger; c_path = path; c_seq = gid;
+                c_detail = detail }
+              :: !findings
+          in
+          let verified = ref 0 in
+          List.iteri
+            (fun gid line ->
+              if gid < n then begin
+                incr verified;
+                let want =
+                  ledger_line ~gid ~shard:(Vec_int.get t.r_shard gid)
+                    ~lseq:(Vec_int.get t.r_lseq gid) ~size:(Vec_int.get t.r_size gid)
+                in
+                if not (String.equal line want) then
+                  finding (Some gid) "entry diverges from the in-memory ledger"
+              end)
+            lines;
+          if List.length lines <> n then
+            finding None
+              (Printf.sprintf "%d entries on disk, %d in memory" (List.length lines) n);
+          (match Integrity.check_seal path with
+          | Ok _ -> ()
+          | Error d -> finding None d
+          | exception Durable.Disk_fault f ->
+            finding None (Durable.fault_to_string f));
+          let findings = List.rev !findings in
+          Atomic.set t.r_scrubbed (Atomic.get t.r_scrubbed + !verified);
+          Atomic.set t.r_crc_failures
+            (Atomic.get t.r_crc_failures + List.length findings);
+          if findings <> [] then begin
+            (match t.r_ledger with
+            | Some (p, oc) -> (
+              close_out_noerr oc;
+              t.r_ledger <- None;
+              try
+                t.r_ledger <- Some (p, rewrite_ledger_locked t p);
+                Atomic.incr t.r_repaired
+              with Durable.Disk_fault _ | Sys_error _ -> ())
+            | None -> ())
+          end;
+          (!verified, findings)))
 
 (* --- writes --- *)
 
@@ -578,13 +741,16 @@ let stats t =
     shed = 0;
     degraded = Atomic.get t.r_degraded;
     errors = Atomic.get t.r_errors;
-    quarantined = 0;
+    quarantined = Atomic.get t.r_quarantined;
     inflight = 0;
     draining = Atomic.get t.r_draining;
     journal_records = (if ledgered then n else 0);
     epoch = 0;
     primary = true;
     dedup = 0;
+    scrubbed = Atomic.get t.r_scrubbed;
+    crc_failures = Atomic.get t.r_crc_failures;
+    repaired = Atomic.get t.r_repaired;
   }
 
 (* --- line-protocol front-end --- *)
@@ -677,7 +843,7 @@ let handle t req =
   | Protocol.Drain ->
     Atomic.set t.r_draining true;
     Protocol.Drained
-  | Protocol.Sync _ | Protocol.Ack _ ->
+  | Protocol.Sync _ | Protocol.Ack _ | Protocol.Digest _ ->
     Protocol.Err "replication verbs are shard-internal; the router does not stream"
   | Protocol.Promote -> Protocol.Err "PROMOTE is shard-internal; use migration"
 

@@ -166,6 +166,16 @@ val knn : t -> k:int -> Tsj_tree.Tree.t -> answer
 (** Scatter a top-k to the index-τ window's shards, {!Merge.knn}.
     @raise Invalid_argument if [k < 0]. *)
 
+val scrub_ledger : t -> int * Integrity.corrupt list
+(** One ledger scrub pass: re-read the file and verify every line (and
+    the seal sidecar) against the canonical entries regenerated from
+    the in-memory maps, which are authoritative — each entry passed its
+    checksum when applied.  Disk-level rot is repaired by an atomic
+    rewrite + reseal; a read fault (EIO) is surfaced as a finding but
+    not repaired over.  Returns [(lines_verified, findings)]; counters
+    flow into {!stats} ([scrubbed], [crc_failures], [repaired]).
+    No-op [(0, \[\])] on a ledgerless router. *)
+
 val reconcile : t -> int
 (** Adopt every shard-acked tree the ledger does not know (see module
     doc); returns how many were adopted.  Unreachable shards are

@@ -1,0 +1,89 @@
+(* The background scrubber driver and the Merkle anti-entropy repair.
+
+   The scrubber is deliberately dumb: a thread that calls a step
+   closure on an interval.  What a step does (and under which locks)
+   belongs to the owner — the server wraps [Store.scrub_step] in its
+   write + store locks, the sharded harness wraps [Router.scrub_ledger].
+   The driver only guarantees the step can never kill its host: any
+   exception a step leaks is swallowed and the next tick runs. *)
+
+module Timer = Tsj_util.Timer
+
+type t = {
+  s_stop : bool Atomic.t;
+  mutable s_thread : Thread.t option;
+  s_passes : int Atomic.t;
+}
+
+let start ~interval_s step =
+  if interval_s <= 0.0 then invalid_arg "Scrub.start: interval must be positive";
+  let t = { s_stop = Atomic.make false; s_thread = None; s_passes = Atomic.make 0 } in
+  let rec loop () =
+    let deadline = Timer.now () +. interval_s in
+    while (not (Atomic.get t.s_stop)) && Timer.now () < deadline do
+      Thread.delay (min 0.02 interval_s)
+    done;
+    if not (Atomic.get t.s_stop) then begin
+      (try step () with _ -> ());
+      Atomic.incr t.s_passes;
+      loop ()
+    end
+  in
+  t.s_thread <- Some (Thread.create loop ());
+  t
+
+let passes t = Atomic.get t.s_passes
+
+let stop t =
+  Atomic.set t.s_stop true;
+  match t.s_thread with
+  | Some th ->
+    Thread.join th;
+    t.s_thread <- None
+  | None -> ()
+
+(* --- anti-entropy --- *)
+
+(* Converge [local] to a remote store holding [remote_n] records, by
+   Merkle range digests: if the common prefix digests agree the repair
+   is a pure catch-up of the missing suffix; if they diverge, an
+   O(log n) binary search ({!Integrity.first_divergence}) locates the
+   first diverging seq, the local store truncates there, and only the
+   suffix from that point is transferred — never a full re-sync.  The
+   remote is authoritative (the quorum side); [digest] and [fetch] are
+   its two probes, typically [DIGEST] and [GET]/[record_for] over a
+   wire, and both may fail (a dead peer), which propagates as [Error]
+   leaving the local store consistent (truncation and every applied
+   record are durable, so a later pass resumes where this one died). *)
+let anti_entropy ~local ~remote_n ~digest ~fetch =
+  let n = Store.n_trees local in
+  let common = min n remote_n in
+  let start =
+    if common = 0 then Ok 0
+    else
+      match digest ~lo:0 ~hi:common with
+      | Error _ as e -> e
+      | Ok r when String.equal (Store.digest local ~lo:0 ~hi:common) r -> Ok common
+      | Ok _ ->
+        Integrity.first_divergence
+          ~local:(fun ~lo ~hi -> Store.digest local ~lo ~hi)
+          ~remote:digest ~lo:0 ~hi:common
+  in
+  match start with
+  | Error _ as e -> e
+  | Ok start ->
+    let truncated = start < n in
+    if truncated then Store.truncate_to local start;
+    let rec pull seq transferred =
+      if seq >= remote_n then Ok transferred
+      else
+        match fetch seq with
+        | Error _ as e -> e
+        | Ok line -> (
+          match Store.apply_record local line with
+          | Error _ as e -> e
+          | Ok _ -> pull (seq + 1) (transferred + 1))
+    in
+    let r = pull start 0 in
+    if truncated then Store.note_repaired local 1;
+    r

@@ -1,0 +1,37 @@
+(** The background scrubber driver and Merkle anti-entropy repair.
+
+    The driver is a periodic thread around a step closure; the owner
+    decides what a step verifies and under which locks (the server
+    wraps {!Store.scrub_step}, the sharded harness
+    {!Router.scrub_ledger}).  A step that raises is swallowed — the
+    scrubber may find corruption but must never kill its host. *)
+
+type t
+
+val start : interval_s:float -> (unit -> unit) -> t
+(** Spawn the scrubber: one [step ()] call every [interval_s] seconds
+    until {!stop}.  @raise Invalid_argument if the interval is not
+    positive. *)
+
+val passes : t -> int
+(** Completed steps so far. *)
+
+val stop : t -> unit
+(** Stop and join the thread (idempotent; prompt — the sleep is
+    sliced). *)
+
+val anti_entropy :
+  local:Store.t ->
+  remote_n:int ->
+  digest:(lo:int -> hi:int -> (string, string) result) ->
+  fetch:(int -> (string, string) result) ->
+  (int, string) result
+(** Converge [local] to the authoritative remote holding [remote_n]
+    records: locate the first diverging seq by O(log n) [digest]
+    probes ({!Integrity.first_divergence}), truncate there, and
+    re-apply only the records from that point on via [fetch] —
+    [Ok transferred].  When the common prefix agrees this is a pure
+    catch-up of the missing suffix (and counts no repair); when it
+    diverged, one range repair is credited to the local store's
+    {!Store.scrub_counters}.  A failing probe propagates as [Error]
+    with the local store left consistent — a later pass resumes. *)

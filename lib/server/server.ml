@@ -19,6 +19,9 @@ type config = {
   peer_timeout_s : float;  (** replica-stream socket timeout on the primary *)
   max_batch : int;  (** largest number of ADDs in one group commit *)
   dedup : bool;  (** suppress duplicate seq-less ADDs (see {!Store.open_}) *)
+  scrub_interval_s : float option;  (** background scrub period; [None] = off *)
+  scrub_budget : int;  (** records re-verified per scrub step *)
+  quarantine : bool;  (** open degraded on unrepairable corruption *)
 }
 
 let default_config addr ~tau =
@@ -38,6 +41,9 @@ let default_config addr ~tau =
     peer_timeout_s = 5.0;
     max_batch = 64;
     dedup = false;
+    scrub_interval_s = None;
+    scrub_budget = 128;
+    quarantine = false;
   }
 
 type counters = {
@@ -144,6 +150,7 @@ type t = {
   mutable follower_fd : Unix.file_descr option;
   mutable sync_threads : Thread.t list;
   sync_mutex : Mutex.t;
+  mutable scrubber : Scrub.t option;
   mutable next_conn : int;
 }
 
@@ -162,6 +169,9 @@ let unregister_budget t token =
   Mutex.protect t.budgets_mutex (fun () -> Hashtbl.remove t.budgets token)
 
 let stats t =
+  let scrubbed, crc_failures, repaired, store_quarantined =
+    Store.scrub_counters t.store
+  in
   {
     Protocol.trees = Store.n_trees t.store;
     tau = Store.tau t.store;
@@ -170,13 +180,18 @@ let stats t =
     shed = Atomic.get t.counters.shed;
     degraded = Atomic.get t.counters.degraded;
     errors = Atomic.get t.counters.errors;
-    quarantined = List.length (Atomic.get t.quarantined);
+    (* connections quarantined by faults + store records/snapshots moved
+       aside as unrepairable — both are "kept, not trusted" *)
+    quarantined = List.length (Atomic.get t.quarantined) + store_quarantined;
     inflight = Atomic.get t.counters.inflight;
     draining = Atomic.get t.draining;
     journal_records = Store.journal_records t.store;
     epoch = Store.epoch t.store;
     primary = Replica.is_primary t.replica;
     dedup = Store.dedups t.store;
+    scrubbed;
+    crc_failures;
+    repaired;
   }
 
 (* --- event-loop plumbing --- *)
@@ -541,6 +556,13 @@ let do_drain t =
     (match t.follower_fd with
     | Some fd -> (try Unix.shutdown fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ())
     | None -> ());
+    (* The scrubber must be gone before the final flush: its repair
+       path writes the same files. *)
+    (match t.scrubber with
+    | Some s ->
+      Scrub.stop s;
+      t.scrubber <- None
+    | None -> ());
     (* Seal replication: waits out any quorum write still in flight (by
        taking the write lock) and makes later ones fail with an explicit
        ERR instead of being half-replicated under a closing server. *)
@@ -659,6 +681,22 @@ let rec dispatch t c ~rid ~lag (request : Protocol.request) =
     (match tree with
     | Some tree -> respond t c ~rid (Protocol.Tree_reply { seq; tree })
     | None -> respond t c ~rid (Protocol.Err (Printf.sprintf "GET %d: unbound sequence" seq)))
+  | Protocol.Digest { epoch; lo; hi } ->
+    (* Anti-entropy probe: a Merkle digest over canonical records is
+       only comparable between stores at the same epoch — a different
+       epoch means a different history and the peer must fail over
+       first, exactly as a SYNC would be fenced. *)
+    let reply =
+      Mutex.protect t.store_mutex (fun () ->
+          if epoch <> Store.epoch t.store then
+            Protocol.Fenced (Store.epoch t.store)
+          else if hi > Store.n_trees t.store then
+            Protocol.Err
+              (Printf.sprintf "DIGEST [%d,%d): only %d records" lo hi
+                 (Store.n_trees t.store))
+          else Protocol.Digest_reply { epoch; lo; hi; digest = Store.digest t.store ~lo ~hi })
+    in
+    respond t c ~rid reply
   | Protocol.Promote ->
     (* Persist the bumped epoch (journal header) before the mandate
        flips, then treat the promoted node's whole state as acked: it
@@ -1182,9 +1220,30 @@ let create config =
   else if config.quorum < 1 then Error "quorum must be >= 1"
   else if config.max_batch < 1 then Error "max_batch must be >= 1"
   else
+    (* Self-healing open: a journal record that rotted on disk is
+       refetched from a quorum peer (the [--replica-of] list) as a
+       tree via [GET] and re-rendered into its canonical line. *)
+    let heal =
+      match config.sync_from with
+      | [] -> None
+      | peers ->
+        Some
+          (fun seq ->
+            List.find_map
+              (fun addr ->
+                let rng = Tsj_util.Prng.create (0x4EA1 + seq) in
+                match
+                  Client.request_with_retries ~attempts:2 ~timeout_s:2.0 ~rng addr
+                    (Protocol.Get seq)
+                with
+                | Ok (Protocol.Tree_reply { tree; _ }) ->
+                  Some (Store.render_record ~seq tree)
+                | _ -> None)
+              peers)
+    in
     match
       Store.open_ ?dir:config.dir ~domains:config.domains ~dedup:config.dedup
-        ~tau:config.tau ()
+        ?heal ~quarantine:config.quarantine ~tau:config.tau ()
     with
     | Error m -> Error m
     | Ok store -> (
@@ -1249,6 +1308,7 @@ let create config =
             follower_fd = None;
             sync_threads = [];
             sync_mutex = Mutex.create ();
+            scrubber = None;
             next_conn = 0;
           })
 
@@ -1261,7 +1321,22 @@ let start t =
   t.committer_thread <- Some (Thread.create (fun () -> committer_loop t) ());
   t.query_thread <- Some (Thread.create (fun () -> query_loop t) ());
   if t.config.sync_from <> [] && not (Replica.is_primary t.replica) then
-    t.follower_thread <- Some (Thread.create (fun () -> follower_loop t) ())
+    t.follower_thread <- Some (Thread.create (fun () -> follower_loop t) ());
+  match t.config.scrub_interval_s with
+  | None -> ()
+  | Some interval_s ->
+    (* A scrub step holds the write lock (then the store lock): a
+       repair is a flush, and flushing concurrently with a group
+       commit's unlocked journal phase would corrupt the journal it is
+       trying to heal.  The IO budget keeps the stall per tick small. *)
+    t.scrubber <-
+      Some
+        (Scrub.start ~interval_s (fun () ->
+             if not (Atomic.get t.draining) then
+               ignore
+                 (Mutex.protect t.commit_mutex (fun () ->
+                      Mutex.protect t.store_mutex (fun () ->
+                          Store.scrub_step ~budget:t.config.scrub_budget t.store)))))
 
 let drain t = do_drain t
 
@@ -1274,6 +1349,15 @@ let abort t =
   Atomic.set t.aborted true;
   Atomic.set t.drain_force_at 0.0;
   Atomic.set t.draining true;
+  (* The crash model must not leave a live scrubber behind: a repair
+     flush racing a test's re-open of the same directory would rewrite
+     the files out from under it.  Steps already no-op once draining is
+     set, so the join is prompt. *)
+  (match t.scrubber with
+  | Some s ->
+    Scrub.stop s;
+    t.scrubber <- None
+  | None -> ());
   (if not (Atomic.exchange t.listener_closed true) then begin
      (try Unix.shutdown t.listener Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ());
      try Unix.close t.listener with Unix.Unix_error _ -> ()

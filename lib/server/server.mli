@@ -94,6 +94,18 @@ type config = {
       (** answer a duplicate seq-less [ADD] as the original tree's id,
           without journaling or indexing it (see {!Store.open_});
           [STATS] reports the suppressed count as [dedup=] *)
+  scrub_interval_s : float option;
+      (** background integrity scrub period; [None] (the default)
+          disables the scrubber.  Each tick re-verifies up to
+          [scrub_budget] journal records against the in-memory index
+          under the write lock (see {!Store.scrub_step}) and repairs
+          disk-level rot by converging disk to memory *)
+  scrub_budget : int;  (** records re-verified per scrub tick *)
+  quarantine : bool;
+      (** open degraded instead of refusing when corruption cannot be
+          healed: unrepairable journal records / a bad snapshot are
+          moved aside ([.quarantine]), counted in [STATS], and the
+          surviving prefix is served (see {!Store.open_}) *)
 }
 
 val default_config : Protocol.addr -> tau:int -> config

@@ -17,6 +17,15 @@ type t = {
   mutable dedups : int;
   mutable epoch : int;
   mutable epoch_base : int;
+  merkle : Integrity.Merkle.t;
+      (* leaf [seq] = hash of the canonical record line for [seq],
+         maintained incrementally on every add/apply/truncate so DIGEST
+         requests and anti-entropy never rescan the history *)
+  mutable scrubbed : int;  (* records re-verified against disk *)
+  mutable crc_failures : int;  (* corruptions detected (scrub + open) *)
+  mutable repaired : int;  (* surfaces/ranges rewritten clean *)
+  quarantined : int;  (* records moved aside as unrepairable at open *)
+  mutable scrub_cursor : int;  (* next journal position to verify *)
 }
 
 let snapshot_path dir = Filename.concat dir "snapshot"
@@ -118,20 +127,38 @@ let repair_journal t =
           output_char oc '\n'
         done);
     Durable.rename tmp path;
+    Integrity.write_seal path;
     t.journal <- Some (reopen_journal_for_append dir)
+
+(* What journal replay had to do beyond applying the valid records:
+   corruptions detected, records healed from a quorum fetch, lines
+   quarantined as unrepairable. *)
+type replay_stats = {
+  rp_crc_failures : int;
+  rp_healed : int;
+  rp_quarantined : int;
+}
+
+let no_replay_stats = { rp_crc_failures = 0; rp_healed = 0; rp_quarantined = 0 }
 
 (* Replay the journal against [inc].  The valid prefix is applied; a
    torn tail (first undecodable record with nothing valid after it) is
    discarded and the file rewritten to the prefix, so appends continue
    from a clean line boundary.  An undecodable record in the *middle* is
-   real corruption and rejected.  Returns the epoch header (if the
-   journal has one) and the number of surviving records. *)
-let replay_journal inc dir =
+   real corruption: [heal] (when given) is asked for the canonical
+   record line of the missing seq — the quorum-refetch path — and a
+   healed record is spliced in as if it had never rotted.  An unhealable
+   record ends the replayable prefix: with [quarantine] the rest of the
+   file is moved aside to [journal.quarantine] (counted, served
+   degraded), without it the open fails as before.  Returns the epoch
+   header (if the journal has one), the number of surviving records and
+   the replay stats. *)
+let replay_journal ?heal ?(quarantine = false) inc dir =
   let path = journal_path dir in
-  if not (Sys.file_exists path) then Ok (None, 0)
+  if not (Sys.file_exists path) then Ok (None, 0, no_replay_stats)
   else
-    match In_channel.with_open_text path In_channel.input_all with
-    | exception Sys_error msg -> Error msg
+    match Durable.read_file path with
+    | exception Durable.Disk_fault f -> Error (Durable.fault_to_string f)
     | contents ->
       let lines = String.split_on_char '\n' contents in
       let lines = List.filteri (fun _ l -> String.trim l <> "") lines in
@@ -147,19 +174,64 @@ let replay_journal inc dir =
       | Error _ as e -> e
       | Ok header -> (
         let parsed = List.map (fun l -> (l, parse_record l)) lines in
-        let rec split_valid acc = function
-          | [] -> Ok (List.rev acc, false)
-          | (_, Some r) :: rest -> split_valid (r :: acc) rest
-          | (_, None) :: rest ->
-            if List.exists (fun (_, r) -> r <> None) rest then
-              Error
-                (Printf.sprintf "journal record %d is corrupt (not at the tail)"
-                   (List.length acc + 1))
-            else Ok (List.rev acc, true)
+        (* Walk the lines keeping the surviving records.  [prev] is the
+           seq of the last surviving record, the anchor for inferring a
+           corrupt line's seq (records are appended in contiguous seq
+           order). *)
+        let try_heal ~prev rest =
+          let expected =
+            match prev with
+            | Some p -> Some (p + 1)
+            | None -> (
+              (* corrupt first record: anchor on the next valid one *)
+              match
+                List.find_opt (fun (_, r) -> r <> None) rest
+              with
+              | Some (_, Some (q, _)) -> Some (q - 1)
+              | _ -> None)
+          in
+          match (expected, heal) with
+          | Some seq, Some fetch when seq >= 0 -> (
+            match fetch seq with
+            | Some line -> (
+              match parse_record line with
+              | Some (s, tree) when s = seq -> Some (seq, tree)
+              | _ -> None)
+            | None -> None)
+          | _ -> None
         in
-        match split_valid [] parsed with
+        let rec walk acc prev stats = function
+          | [] -> Ok (List.rev acc, false, stats, [])
+          | (_, Some ((seq, _) as r)) :: rest ->
+            walk (r :: acc) (Some seq) stats rest
+          | (bad, None) :: rest ->
+            let stats = { stats with rp_crc_failures = stats.rp_crc_failures + 1 } in
+            if not (List.exists (fun (_, r) -> r <> None) rest) then
+              (* torn tail: the bad bytes were never acknowledged *)
+              Ok (List.rev acc, true, stats, [])
+            else (
+              match try_heal ~prev rest with
+              | Some ((seq, _) as r) ->
+                walk (r :: acc) (Some seq)
+                  { stats with rp_healed = stats.rp_healed + 1 }
+                  rest
+              | None ->
+                if quarantine then begin
+                  let dropped = bad :: List.map fst rest in
+                  Ok
+                    ( List.rev acc,
+                      true,
+                      { stats with rp_quarantined = List.length dropped },
+                      dropped )
+                end
+                else
+                  Error
+                    (Printf.sprintf "journal record %d is corrupt (not at the tail)"
+                       (List.length acc + 1)))
+        in
+        match walk [] None no_replay_stats parsed with
         | Error _ as e -> e
-        | Ok (records, torn) -> (
+        | Ok (records, rewrite, stats, dropped) -> (
           let apply () =
             List.fold_left
               (fun r (seq, tree) ->
@@ -181,7 +253,20 @@ let replay_journal inc dir =
           match apply () with
           | Error _ as e -> e
           | Ok applied ->
-            if torn then begin
+            if dropped <> [] then begin
+              (* Dead-letter the unrepairable lines: moved aside, never
+                 deleted — an operator (or a later fsck with a healthier
+                 quorum) can still recover them. *)
+              let q = journal_path dir ^ ".quarantine" in
+              Out_channel.with_open_gen
+                [ Open_append; Open_creat; Open_wronly ] 0o644 q (fun oc ->
+                  List.iter
+                    (fun l ->
+                      output_string oc l;
+                      output_char oc '\n')
+                    dropped)
+            end;
+            if rewrite || stats.rp_healed > 0 then begin
               (* Rewrite atomically so the next append starts on a clean
                  line; the torn bytes belonged to an unacknowledged add.
                  The directory fsync in [Durable.rename] makes the
@@ -198,10 +283,11 @@ let replay_journal inc dir =
                       output_string oc (record_line ~seq tree);
                       output_char oc '\n')
                     records);
-              Durable.rename tmp path
+              Durable.rename tmp path;
+              Integrity.write_seal path
             end;
             ignore applied;
-            Ok (header, List.length records))))
+            Ok (header, List.length records, stats))))
 
 (* Atomically replace the journal with a header-only file carrying the
    store's current epoch.  Always a whole-file rename (never an
@@ -214,10 +300,18 @@ let reset_journal t dir =
       output_string oc (epoch_line ~epoch:t.epoch ~base:t.epoch_base);
       output_char oc '\n');
   Durable.rename tmp path;
+  Integrity.write_seal path;
   t.journal <- Some (reopen_journal_for_append dir);
   t.journal_records <- 0
 
-let open_ ?dir ?(domains = 1) ?(dedup = false) ~tau () =
+let build_merkle inc =
+  let m = Integrity.Merkle.create () in
+  for seq = 0 to Incremental.n_trees inc - 1 do
+    Integrity.Merkle.push m (record_line ~seq (Incremental.tree inc seq))
+  done;
+  m
+
+let open_ ?dir ?(domains = 1) ?(dedup = false) ?heal ?(quarantine = false) ~tau () =
   if tau < 0 then Error "Store.open_: negative threshold"
   else if domains < 1 then Error "Store.open_: domains must be >= 1"
   else
@@ -236,6 +330,12 @@ let open_ ?dir ?(domains = 1) ?(dedup = false) ~tau () =
           dedups = 0;
           epoch = 0;
           epoch_base = 0;
+          merkle = Integrity.Merkle.create ();
+          scrubbed = 0;
+          crc_failures = 0;
+          repaired = 0;
+          quarantined = 0;
+          scrub_cursor = 0;
         }
     | Some dir -> (
       match
@@ -251,10 +351,33 @@ let open_ ?dir ?(domains = 1) ?(dedup = false) ~tau () =
            reproduce the pre-crash index exactly, and the partitioning
            grain δ = 2τ + 1 is baked into it. *)
         let snapshot = snapshot_path dir in
+        let snap_quarantined = ref 0 in
         let loaded =
-          if Sys.file_exists snapshot then
-            Search.read_collection ~allow_duplicates:true snapshot
-          else Ok (tau, [||])
+          if not (Sys.file_exists snapshot) then Ok (tau, [||])
+          else begin
+            (* The snapshot's records carry no per-line checksums — the
+               seal is its integrity cover, checked before parsing.  A
+               bad snapshot is either quarantined (moved aside; a
+               replica refills from the quorum by syncing from 0) or,
+               without [quarantine], refuses the open. *)
+            let sealed =
+              match Integrity.check_seal snapshot with
+              | r -> r
+              | exception Durable.Disk_fault f -> Error (Durable.fault_to_string f)
+            in
+            match sealed with
+            | Error detail when quarantine ->
+              incr snap_quarantined;
+              Durable.rename snapshot (snapshot ^ ".quarantine");
+              Integrity.drop_seal snapshot;
+              ignore detail;
+              Ok (tau, [||])
+            | Error detail -> Error ("integrity: " ^ detail)
+            | Ok _ -> (
+              match Durable.read_file snapshot with
+              | exception Durable.Disk_fault f -> Error (Durable.fault_to_string f)
+              | contents -> Search.collection_of_string ~allow_duplicates:true contents)
+          end
         in
         match loaded with
         | Error msg -> Error ("snapshot: " ^ msg)
@@ -262,9 +385,9 @@ let open_ ?dir ?(domains = 1) ?(dedup = false) ~tau () =
           let inc = Incremental.create ~tau () in
           Array.iter (fun tree -> ignore (Incremental.add inc tree)) trees;
           let fresh = not (Sys.file_exists (journal_path dir)) in
-          match replay_journal inc dir with
+          match replay_journal ?heal ~quarantine inc dir with
           | Error msg -> Error ("journal: " ^ msg)
-          | Ok (header, journal_records) ->
+          | Ok (header, journal_records, rp) ->
             let epoch, epoch_base =
               match header with Some h -> h | None -> (0, 0)
             in
@@ -281,6 +404,12 @@ let open_ ?dir ?(domains = 1) ?(dedup = false) ~tau () =
                 dedups = 0;
                 epoch;
                 epoch_base;
+                merkle = build_merkle inc;
+                scrubbed = 0;
+                crc_failures = rp.rp_crc_failures + !snap_quarantined;
+                repaired = rp.rp_healed;
+                quarantined = rp.rp_quarantined + !snap_quarantined;
+                scrub_cursor = 0;
               }
             in
             if fresh then reset_journal t dir
@@ -301,9 +430,22 @@ let epoch t = t.epoch
 
 let epoch_base t = t.epoch_base
 
+let scrub_counters t = (t.scrubbed, t.crc_failures, t.repaired, t.quarantined)
+
+let note_repaired t n = t.repaired <- t.repaired + n
+
+let digest t ~lo ~hi = Integrity.Merkle.range t.merkle ~lo ~hi
+
+let merkle_root t = Integrity.Merkle.root t.merkle
+
 let tree t id = Incremental.tree t.inc id
 
 let record_for t seq = record_line ~seq (Incremental.tree t.inc seq)
+
+(* The canonical record line for a tree that is not (or not yet) in any
+   store — the heal path regenerates a rotted journal record from a
+   tree fetched off a quorum peer via [GET]. *)
+let render_record ~seq tree = record_line ~seq tree
 
 (* Partners of the tree at [seq] as {!Incremental.add} originally
    returned them: every earlier tree within τ, sorted by id.  Recomputed
@@ -441,7 +583,11 @@ let index_staged t staged =
      original partner list. *)
   Array.iteri
     (fun i c ->
-      match c with `Fresh (s, tree) -> results.(i) <- Ok (s, Incremental.add t.inc tree) | _ -> ())
+      match c with
+      | `Fresh (s, tree) ->
+        results.(i) <- Ok (s, Incremental.add t.inc tree);
+        Integrity.Merkle.push t.merkle (record_line ~seq:s tree)
+      | _ -> ())
     cls;
   Array.iteri
     (fun i c ->
@@ -513,6 +659,7 @@ let apply_record t line =
       | Error _ as e -> e
       | Ok () ->
         ignore (Incremental.add t.inc tree);
+        Integrity.Merkle.push t.merkle (record_line ~seq tree);
         Ok (n + 1)
     end
 
@@ -531,6 +678,7 @@ let flush t =
   | Some dir ->
     let trees = Array.init (Incremental.n_trees t.inc) (Incremental.tree t.inc) in
     Search.save_collection ~tau:t.tau trees (snapshot_path dir);
+    Integrity.write_seal (snapshot_path dir);
     reset_journal t dir
 
 let set_epoch t ~epoch ~base =
@@ -549,8 +697,126 @@ let truncate_to t n =
     let inc = Incremental.create ~tau:t.tau () in
     Array.iter (fun tr -> ignore (Incremental.add inc tr)) trees;
     t.inc <- inc;
+    Integrity.Merkle.truncate t.merkle n;
     flush t
   end
+
+(* --- background scrub --- *)
+
+type scrub_report = {
+  sc_verified : int;  (** journal records re-read and re-verified *)
+  sc_findings : Integrity.corrupt list;  (** corruptions detected this pass *)
+  sc_repaired : int;  (** surfaces rewritten clean from memory *)
+}
+
+(* One budgeted scrub pass: re-read up to [budget] journal records from
+   disk (resuming at a rotating cursor) and verify each against the
+   canonical record regenerated from the in-memory index — strictly
+   stronger than a CRC check — plus, when the cursor wraps, the journal
+   epoch header and the snapshot seal.  Any finding is repaired by
+   rewriting the offending surface from memory (the index is
+   authoritative: every record in it passed its checksum when it was
+   applied).  Read-side disk faults surface as findings too, but skip
+   the repair — rewriting over a flaky read would be guessing. *)
+let scrub_step ?(budget = 128) t =
+  let clean = { sc_verified = 0; sc_findings = []; sc_repaired = 0 } in
+  match t.dir with
+  | None -> clean
+  | Some dir ->
+    let jpath = journal_path dir in
+    let n = Incremental.n_trees t.inc in
+    let findings = ref [] in
+    let repairable = ref false in
+    let note ?seq surface path detail =
+      findings :=
+        { Integrity.c_surface = surface; c_path = path; c_seq = seq; c_detail = detail }
+        :: !findings
+    in
+    let verified = ref 0 in
+    (match Durable.read_file jpath with
+    | exception Durable.Disk_fault f ->
+      note Integrity.Journal jpath (Durable.fault_to_string f)
+    | contents ->
+      let lines =
+        List.filter (fun l -> String.trim l <> "") (String.split_on_char '\n' contents)
+      in
+      let header, records =
+        match lines with
+        | first :: rest when String.length first >= 6 && String.sub first 0 6 = "epoch " ->
+          (Some first, rest)
+        | _ -> (None, lines)
+      in
+      let records = Array.of_list records in
+      let on_disk = Array.length records in
+      (* The disk journal holds the records since the last flush, in seq
+         order: position i is seq (n - journal_records + i). *)
+      let base = n - t.journal_records in
+      if on_disk <> t.journal_records then begin
+        note Integrity.Journal jpath
+          (Printf.sprintf "journal holds %d records, expected %d" on_disk
+             t.journal_records);
+        repairable := true
+      end
+      else begin
+        let start = if t.scrub_cursor >= on_disk then 0 else t.scrub_cursor in
+        if start = 0 then begin
+          (* cursor wrapped: also re-check the header and the seal *)
+          (match header with
+          | Some h when parse_epoch_line h <> None -> ()
+          | Some _ ->
+            note Integrity.Journal jpath "epoch header checksum mismatch";
+            repairable := true
+          | None ->
+            if t.epoch > 0 || t.epoch_base > 0 then begin
+              note Integrity.Journal jpath "epoch header missing";
+              repairable := true
+            end);
+          match Integrity.check_seal jpath with
+          | Ok _ -> ()
+          | Error detail ->
+            note Integrity.Journal jpath detail;
+            repairable := true
+          | exception Durable.Disk_fault f ->
+            note Integrity.Journal jpath (Durable.fault_to_string f)
+        end;
+        let stop = min on_disk (start + budget) in
+        for i = start to stop - 1 do
+          incr verified;
+          let seq = base + i in
+          if records.(i) <> record_line ~seq (Incremental.tree t.inc seq) then begin
+            note ~seq Integrity.Journal jpath "record differs from the indexed tree";
+            repairable := true
+          end
+        done;
+        t.scrub_cursor <- (if stop >= on_disk then 0 else stop)
+      end);
+    (* The snapshot: cheap (one seal line + one digest of the file), so
+       verify it whenever the journal cursor is at the top. *)
+    if t.scrub_cursor = 0 && Sys.file_exists (snapshot_path dir) then begin
+      match Integrity.check_seal (snapshot_path dir) with
+      | Ok _ -> ()
+      | Error detail ->
+        note Integrity.Snapshot (snapshot_path dir) detail;
+        repairable := true
+      | exception Durable.Disk_fault f ->
+        note Integrity.Snapshot (snapshot_path dir) (Durable.fault_to_string f)
+    end;
+    let repaired = ref 0 in
+    if !repairable then begin
+      (* Converge the disk to the in-memory truth: re-snapshot and
+         rewrite the journal (both atomic), then reseal.  One repair
+         covers every finding of the pass. *)
+      flush t;
+      incr repaired
+    end;
+    t.scrubbed <- t.scrubbed + !verified;
+    t.crc_failures <- t.crc_failures + List.length !findings;
+    t.repaired <- t.repaired + !repaired;
+    {
+      sc_verified = !verified;
+      sc_findings = List.rev !findings;
+      sc_repaired = !repaired;
+    }
 
 let close t =
   flush t;

@@ -43,10 +43,30 @@
 type t
 
 val open_ :
-  ?dir:string -> ?domains:int -> ?dedup:bool -> tau:int -> unit -> (t, string) result
+  ?dir:string ->
+  ?domains:int ->
+  ?dedup:bool ->
+  ?heal:(int -> string option) ->
+  ?quarantine:bool ->
+  tau:int ->
+  unit ->
+  (t, string) result
 (** [open_ ~dir ~tau ()] loads (or initialises) the store rooted at
     [dir] — [dir/snapshot] and [dir/journal], creating the directory if
-    needed.  An existing snapshot's τ overrides the requested one: a
+    needed.
+
+    {b Self-healing open.}  A journal record that fails its checksum
+    {e mid-file} (real corruption, not a torn tail) is offered to
+    [heal]: called with the missing sequence number, it may return the
+    canonical record line — the quorum-refetch path a replica uses —
+    and a healed record is spliced in as if it had never rotted.  When
+    healing fails, [quarantine] (default [false]) decides: [true] moves
+    the unrepairable suffix to [journal.quarantine] (counted in
+    {!scrub_counters}, the store opens and serves the surviving prefix
+    — degraded, never wrong), [false] refuses the open as before.  A
+    snapshot whose integrity seal fails is likewise quarantined (moved
+    aside; a replica refills from the quorum by syncing from 0) or
+    refused.  An existing snapshot's τ overrides the requested one: a
     restart must reproduce the pre-crash index, and the partitioning
     grain δ = 2τ + 1 is baked into it.  Without [dir] the store is
     ephemeral (no journal, no snapshot).  [domains] (default 1) is the
@@ -84,6 +104,45 @@ val epoch : t -> int
 
 val epoch_base : t -> int
 (** First sequence number of the current epoch (the promotion point). *)
+
+val scrub_counters : t -> int * int * int * int
+(** [(records_verified, crc_failures, ranges_repaired, quarantined)]
+    since open — the integrity telemetry surfaced through [STATS].
+    [crc_failures] counts every checksum/seal finding (at open or by
+    {!scrub_step}), [ranges_repaired] counts healed records plus scrub
+    repairs plus anti-entropy range repairs ({!note_repaired}), and
+    [quarantined] counts records and snapshots moved aside as
+    unrepairable. *)
+
+val note_repaired : t -> int -> unit
+(** Credit [n] repairs to {!scrub_counters} — the anti-entropy layer
+    calls this after transferring a diverging range. *)
+
+val digest : t -> lo:int -> hi:int -> string
+(** Merkle digest of the canonical records [\[lo, hi)] — the [DIGEST]
+    wire verb's answer.  @raise Invalid_argument if the range exceeds
+    the tree count. *)
+
+val merkle_root : t -> string
+(** [digest ~lo:0 ~hi:(n_trees t)]. *)
+
+type scrub_report = {
+  sc_verified : int;  (** records re-checked this step *)
+  sc_findings : Integrity.corrupt list;  (** corruptions detected *)
+  sc_repaired : int;  (** repairs applied (snapshot/journal rewritten) *)
+}
+
+val scrub_step : ?budget:int -> t -> scrub_report
+(** One incremental scrub pass: re-read up to [budget] (default 128)
+    journal records from disk and verify their checksums and content
+    against the in-memory index (which is authoritative — every record
+    passed its CRC when applied), rotating a cursor so successive steps
+    cover the whole journal; when the cursor wraps, also verify the
+    epoch header and the journal/snapshot seals.  Disk-level
+    corruption is repaired by converging disk to memory ({!flush} — a
+    fresh sealed snapshot and an empty journal); a read fault (EIO) is
+    surfaced as a finding but not "repaired" over.  Counters flow into
+    {!scrub_counters}. *)
 
 val add : t -> Tsj_tree.Tree.t -> int * (int * int) list
 (** Journal (durably), then index.  Returns the new tree's id and its
@@ -158,6 +217,11 @@ val record_for : t -> int -> string
 (** The journal record line for the tree at [seq], regenerated from the
     in-memory index — valid even after the journal was truncated into a
     snapshot.  @raise Invalid_argument if [seq] is out of range. *)
+
+val render_record : seq:int -> Tsj_tree.Tree.t -> string
+(** The canonical record line binding [tree] to [seq], for trees not
+    held by any local store — the [heal] path of {!open_} regenerates
+    a rotted journal record from a tree fetched off a quorum peer. *)
 
 val set_epoch : t -> epoch:int -> base:int -> unit
 (** Adopt (or create, on promotion) an epoch: snapshot, then atomically

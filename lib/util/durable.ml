@@ -1,5 +1,5 @@
 type fault = {
-  f_op : [ `Write | `Fsync | `Rename ];
+  f_op : [ `Write | `Fsync | `Rename | `Read ];
   f_path : string;
   f_detail : string;
 }
@@ -8,7 +8,11 @@ exception Disk_fault of fault
 
 let fault_to_string f =
   let op =
-    match f.f_op with `Write -> "write" | `Fsync -> "fsync" | `Rename -> "rename"
+    match f.f_op with
+    | `Write -> "write"
+    | `Fsync -> "fsync"
+    | `Rename -> "rename"
+    | `Read -> "read"
   in
   Printf.sprintf "disk fault: %s %s: %s" op f.f_path f.f_detail
 
@@ -58,3 +62,63 @@ let flush_channel ~path oc =
   Fault_inject.hit "durable.fsync" 0;
   try flush oc
   with Sys_error msg -> raise (Disk_fault { f_op = `Fsync; f_path = path; f_detail = msg })
+
+(* --- read side --- *)
+
+(* Deterministic read-side bit rot: while armed, every {!read_file}
+   flips exactly one bit of the returned contents, chosen by a SplitMix64
+   walk from the arming seed — re-arming with the same seed replays the
+   same flips in the same order.  The flip happens in the returned copy
+   only; the file on disk is untouched, which is precisely what silent
+   media corruption looks like to a reader. *)
+let bitflip_mutex = Mutex.create ()
+
+let bitflip_state : int64 option ref = ref None
+
+let arm_bitflip ~seed =
+  Mutex.lock bitflip_mutex;
+  bitflip_state := Some (Int64.of_int seed);
+  Mutex.unlock bitflip_mutex
+
+let disarm_bitflip () =
+  Mutex.lock bitflip_mutex;
+  bitflip_state := None;
+  Mutex.unlock bitflip_mutex
+
+let splitmix64 s =
+  let ( +% ) = Int64.add and ( *% ) = Int64.mul in
+  let z = s +% 0x9E3779B97F4A7C15L in
+  let z = Int64.logxor z (Int64.shift_right_logical z 30) *% 0xBF58476D1CE4E5B9L in
+  let z = Int64.logxor z (Int64.shift_right_logical z 27) *% 0x94D049BB133111EBL in
+  (z +% 0x9E3779B97F4A7C15L, Int64.logxor z (Int64.shift_right_logical z 31))
+
+let next_bitflip () =
+  Mutex.lock bitflip_mutex;
+  let r =
+    match !bitflip_state with
+    | None -> None
+    | Some s ->
+      let s', v = splitmix64 s in
+      bitflip_state := Some s';
+      Some (Int64.to_int (Int64.logand v Int64.max_int))
+  in
+  Mutex.unlock bitflip_mutex;
+  r
+
+let read_file path =
+  Fault_inject.hit "durable.read" 0;
+  let contents =
+    match In_channel.with_open_bin path In_channel.input_all with
+    | exception Sys_error msg ->
+      raise (Disk_fault { f_op = `Read; f_path = path; f_detail = msg })
+    | c -> c
+  in
+  match next_bitflip () with
+  | Some draw when String.length contents > 0 ->
+    let bit = draw mod (String.length contents * 8) in
+    Fault_inject.hit "durable.bitflip" bit;
+    let b = Bytes.of_string contents in
+    let i = bit / 8 in
+    Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor (1 lsl (bit mod 8))));
+    Bytes.unsafe_to_string b
+  | _ -> contents

@@ -27,10 +27,19 @@
     - [durable.fsync] fires once per {!flush_channel} and once per
       {!fsync_dir}, before the flush/fsync (payload = 0).  An armed
       action raising {!Disk_fault} models [EIO] on fsync — the
-      "fsyncgate" failure where the kernel reports lost writes. *)
+      "fsyncgate" failure where the kernel reports lost writes.
+    - [durable.read] fires once per {!read_file}, before the read
+      (payload = 0).  An armed action raising {!Disk_fault} models
+      [EIO] on read; a plain {!Tsj_util.Fault_inject.arm} models a
+      crash while reading.
+    - [durable.bitflip] fires once per bit actually flipped by an armed
+      {!arm_bitflip} (payload = the flipped bit's offset), so tests can
+      count or intercept the injected rot.  The flip itself is armed
+      through {!arm_bitflip}, not the registry: it must {e return
+      corrupted data}, which a raising hit point cannot. *)
 
 type fault = {
-  f_op : [ `Write | `Fsync | `Rename ];
+  f_op : [ `Write | `Fsync | `Rename | `Read ];
   f_path : string;  (** the file (or directory) the operation targeted *)
   f_detail : string;  (** the underlying error text *)
 }
@@ -65,3 +74,20 @@ val flush_channel : path:string -> out_channel -> unit
 (** Force the channel's buffer to the file — the durability point of a
     journal append.  The [durable.fsync] hit point fires first.
     @raise Disk_fault on a flush error. *)
+
+val read_file : string -> string
+(** Read a whole file through the fault-injectable path: the
+    [durable.read] hit point fires first, and an armed {!arm_bitflip}
+    corrupts exactly one bit of the {e returned} contents (the file is
+    untouched — silent media rot as a reader sees it).  Every durable
+    consumer (journal replay, ledger load, snapshot read, scrub) reads
+    through here so read-side faults reach them all.
+    @raise Disk_fault on a read error (a missing file included). *)
+
+val arm_bitflip : seed:int -> unit
+(** Arm deterministic read-side bit rot: each subsequent {!read_file}
+    flips one bit of its result, positions drawn from a SplitMix64 walk
+    seeded with [seed] — re-arming with the same seed replays the same
+    corruption sequence.  Fires [durable.bitflip] per flip. *)
+
+val disarm_bitflip : unit -> unit

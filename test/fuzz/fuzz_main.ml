@@ -13,6 +13,7 @@
      dune exec test/fuzz/fuzz_main.exe -- server 20000 42
      dune exec test/fuzz/fuzz_main.exe -- dag 20000 42
      dune exec test/fuzz/fuzz_main.exe -- router 20000 42
+     dune exec test/fuzz/fuzz_main.exe -- scrub 5000 42
 
    Modes:
    - lemma2: after <= tau random edits, some subgraph of the balanced
@@ -43,7 +44,12 @@
      live router whose shards reply with silence, garbage, truncated
      lines, duplicate acks and cross-epoch FENCED: every answer must
      stay well-formed and sound-shaped, and no call may raise or hang
-     (expected: 0). *)
+     (expected: 0);
+   - scrub: random bit flips, truncations and mid-journal rot against a
+     journaled store — the live scrubber, the self-healing reopen and
+     the quarantine reopen must detect every corruption, converge to a
+     clean state and never answer wrong; plus incremental-vs-rebuilt
+     Merkle digests on random op sequences (expected: 0). *)
 
 module Tree = Tsj_tree.Tree
 module BT = Tsj_tree.Binary_tree
@@ -968,6 +974,7 @@ let fuzz_router iterations rng =
         shed = 0; degraded = 0; errors = 0; quarantined = 0; inflight = 0;
         draining = false; journal_records = Prng.int rng 4;
         epoch = Prng.int rng 50; primary = Prng.int rng 4 <> 0; dedup = 0;
+        scrubbed = 0; crc_failures = 0; repaired = 0;
       }
   in
   let handle_conn fd =
@@ -1122,6 +1129,249 @@ let fuzz_router iterations rng =
     iterations !live_ops;
   !failures
 
+(* Integrity hunt.  Store half: each iteration builds a small journaled
+   store next to a never-corrupted ephemeral twin, rots the disk — a
+   random bit flip anywhere in the journal, snapshot or a seal sidecar,
+   a random truncation, or a mid-journal record flip before a restart —
+   and drives one of the repair paths: a live full scrub cycle, a
+   self-healing reopen refetching the record from the twin, or a
+   quarantine reopen.  The corruption must always be detected, the
+   post-repair state must scrub clean, and every query must match the
+   twin exactly (scrub/heal) or answer a sound subset (quarantine) —
+   rot may cost completeness, never a wrong answer.  Merkle half:
+   random push/truncate op sequences on the incremental digest tree
+   must agree with a from-scratch rebuild on the root and on random
+   ranges (expected: 0). *)
+let fuzz_scrub iterations rng =
+  let module Store = Tsj_server.Store in
+  let module Integrity = Tsj_server.Integrity in
+  let failures = ref 0 in
+  let fail i detail =
+    incr failures;
+    if !failures <= 5 then report "scrub" i detail
+  in
+  let fresh_dir () =
+    let d = Filename.temp_file "tsj_fuzz_scrub" "" in
+    Sys.remove d;
+    Unix.mkdir d 0o700;
+    d
+  in
+  let rec rm path =
+    if Sys.file_exists path then
+      if Sys.is_directory path then begin
+        Array.iter (fun f -> rm (Filename.concat path f)) (Sys.readdir path);
+        (try Unix.rmdir path with Unix.Unix_error _ -> ())
+      end
+      else try Sys.remove path with Sys_error _ -> ()
+  in
+  let full_scrub st =
+    let budget = Store.journal_records st + 1 in
+    let a = Store.scrub_step ~budget st in
+    let b = Store.scrub_step ~budget st in
+    (a.Store.sc_findings @ b.Store.sc_findings, a.Store.sc_repaired + b.Store.sc_repaired)
+  in
+  (* --- merkle half: incremental ops vs from-scratch rebuild --- *)
+  let merkle_case i =
+    let m = Integrity.Merkle.create () in
+    let shadow = ref [] (* newest first *) in
+    let seq = ref 0 in
+    for _ = 1 to 1 + Prng.int rng 24 do
+      if Prng.int rng 4 = 0 && !shadow <> [] then begin
+        let keep = Prng.int rng (List.length !shadow + 1) in
+        Integrity.Merkle.truncate m keep;
+        let rec drop l = if List.length l > keep then drop (List.tl l) else l in
+        shadow := drop !shadow
+      end
+      else begin
+        let line = Store.render_record ~seq:!seq (random_tree rng (1 + Prng.int rng 6)) in
+        incr seq;
+        Integrity.Merkle.push m line;
+        shadow := line :: !shadow
+      end
+    done;
+    let reference = Integrity.Merkle.of_lines (List.rev !shadow) in
+    let n = Integrity.Merkle.size m in
+    if n <> List.length !shadow then
+      fail i (Printf.sprintf "merkle size %d, shadow %d" n (List.length !shadow))
+    else begin
+      if Integrity.Merkle.root m <> Integrity.Merkle.root reference then
+        fail i "merkle root diverged from a from-scratch rebuild";
+      for _ = 1 to 3 do
+        let lo = Prng.int rng (n + 1) in
+        let hi = lo + Prng.int rng (n - lo + 1) in
+        if Integrity.Merkle.range m ~lo ~hi <> Integrity.Merkle.range reference ~lo ~hi then
+          fail i (Printf.sprintf "merkle range [%d,%d) diverged" lo hi)
+      done;
+      Integrity.Merkle.recompute m;
+      if Integrity.Merkle.root m <> Integrity.Merkle.root reference then
+        fail i "merkle recompute changed the root"
+    end
+  in
+  (* --- store half --- *)
+  let store_case i =
+    let dir = fresh_dir () in
+    let cleanup = ref [] in
+    (try
+       let tau = 1 + Prng.int rng 2 in
+       let open_or_fail what = function
+         | Ok st -> st
+         | Error msg -> failwith (Printf.sprintf "%s refused: %s" what msg)
+       in
+       let twin = open_or_fail "twin open" (Store.open_ ~tau ()) in
+       let st = ref (open_or_fail "open" (Store.open_ ~dir ~tau ())) in
+       cleanup := [ twin; !st ];
+       let trees = ref [] in
+       let feed n =
+         for _ = 1 to n do
+           let t = random_tree rng (1 + Prng.int rng 10) in
+           trees := t :: !trees;
+           ignore (Store.add twin t);
+           ignore (Store.add !st t)
+         done
+       in
+       feed (Prng.int rng 3);
+       if Prng.int rng 2 = 0 then Store.flush !st;
+       feed (3 + Prng.int rng 4);
+       let n_ref = Store.n_trees twin in
+       let probes =
+         List.filteri (fun k _ -> k < 3) !trees
+         |> List.map (fun t ->
+                (t, (Store.query ~tau twin t).Tsj_core.Incremental.hits))
+       in
+       let check_exact what =
+         if Store.n_trees !st <> n_ref then
+           failwith (Printf.sprintf "%s: %d trees, twin has %d" what
+                       (Store.n_trees !st) n_ref);
+         List.iter
+           (fun (t, expect) ->
+             let got = (Store.query ~tau !st t).Tsj_core.Incremental.hits in
+             if got <> expect then failwith (what ^ ": answers diverged from the twin"))
+           probes
+       in
+       let check_sound what =
+         List.iter
+           (fun (t, expect) ->
+             let got = (Store.query ~tau !st t).Tsj_core.Incremental.hits in
+             List.iter
+               (fun (id, d) ->
+                 if not (List.mem (id, d) expect) then
+                   failwith (Printf.sprintf "%s: invented hit (%d,%d)" what id d))
+               got)
+           probes
+       in
+       let targets () =
+         List.filter
+           (fun p -> Sys.file_exists p && (Unix.stat p).Unix.st_size > 0)
+           (List.concat_map
+              (fun f -> [ f; Integrity.seal_path f ])
+              [ Filename.concat dir "journal"; Filename.concat dir "snapshot" ])
+       in
+       let flip_in path =
+         let size = (Unix.stat path).Unix.st_size in
+         Tsj_harness.Faults.flip_bit path ~bit:(Prng.int rng (8 * size))
+       in
+       (* Corrupt a journal record that is not the last one (a rotted
+          last record is the torn-tail path, not mid-file corruption);
+          returns false when the journal is too short. *)
+       let rot_mid_record () =
+         let text =
+           In_channel.with_open_bin (Filename.concat dir "journal")
+             In_channel.input_all
+         in
+         let lines = String.split_on_char '\n' text in
+         let extents, _ =
+           List.fold_left
+             (fun (acc, off) line ->
+               let acc =
+                 if String.length line > 4 && String.sub line 0 6 <> "epoch "
+                 then (off, String.length line) :: acc
+                 else acc
+               in
+               (acc, off + String.length line + 1))
+             ([], 0) lines
+         in
+         match List.rev extents with
+         | [] | [ _ ] -> false
+         | records ->
+           let off, len =
+             List.nth records (Prng.int rng (List.length records - 1))
+           in
+           Tsj_harness.Faults.flip_bit
+             (Filename.concat dir "journal")
+             ~bit:((8 * off) + Prng.int rng (8 * len));
+           true
+       in
+       (match Prng.int rng 4 with
+       | 0 ->
+         (* live bit rot, repaired by the scrubber *)
+         flip_in (List.nth (targets ()) (Prng.int rng (List.length (targets ()))));
+         let findings, _ = full_scrub !st in
+         if findings = [] then failwith "live rot went undetected";
+         let findings, _ = full_scrub !st in
+         if findings <> [] then failwith "store still dirty after a repair cycle";
+         check_exact "live rot"
+       | 1 ->
+         (* truncation (lost suffix), repaired by the scrubber *)
+         let path = List.nth (targets ()) (Prng.int rng (List.length (targets ()))) in
+         let size = (Unix.stat path).Unix.st_size in
+         (* Two cuts are not corruption under the line-based model: an
+            empty seal sidecar means "never sealed" (vacuously clean by
+            design, keep >= 1 byte) and shaving only the trailing
+            newline leaves every logical record intact (cut at most
+            size - 2). *)
+         let floor = if Filename.check_suffix path ".seal" then 1 else 0 in
+         let fd = Unix.openfile path [ Unix.O_WRONLY ] 0o644 in
+         Unix.ftruncate fd (max floor (Prng.int rng (max 1 (size - 1))));
+         Unix.close fd;
+         let findings, _ = full_scrub !st in
+         if findings = [] then failwith "truncation went undetected";
+         let findings, _ = full_scrub !st in
+         if findings <> [] then failwith "store still dirty after a repair cycle";
+         check_exact "truncation"
+       | 2 ->
+         (* mid-journal rot before a restart, healed from the twin *)
+         if rot_mid_record () then begin
+           (* abandoned without close = kill -9; every add was flushed *)
+           st :=
+             open_or_fail "healing reopen"
+               (Store.open_ ~dir ~tau
+                  ~heal:(fun seq -> Some (Store.record_for twin seq))
+                  ());
+           cleanup := [ twin; !st ];
+           let _, _, repaired, _ = Store.scrub_counters !st in
+           if repaired = 0 then failwith "healing reopen credited no repair";
+           let findings, _ = full_scrub !st in
+           if findings <> [] then failwith "store dirty after a healing reopen";
+           check_exact "healing reopen"
+         end
+       | _ ->
+         (* mid-journal rot before a restart, quarantined *)
+         if rot_mid_record () then begin
+           st :=
+             open_or_fail "quarantine reopen"
+               (Store.open_ ~dir ~tau ~quarantine:true ());
+           cleanup := [ twin; !st ];
+           let _, _, _, quarantined = Store.scrub_counters !st in
+           if quarantined = 0 && Store.n_trees !st = n_ref then
+             failwith "quarantine reopen noticed nothing";
+           if Store.n_trees !st > n_ref then
+             failwith "quarantine reopen invented trees";
+           let findings, _ = full_scrub !st in
+           if findings <> [] then failwith "store dirty after a quarantine reopen";
+           check_sound "quarantine reopen"
+         end);
+       List.iter Store.close !cleanup
+     with
+    | Failure detail -> fail i detail
+    | exn -> fail i (Printexc.to_string exn));
+    rm dir
+  in
+  for i = 1 to iterations do
+    merkle_case i;
+    store_case i
+  done;
+  !failures
+
 let () =
   let mode, iterations, seed =
     match Array.to_list Sys.argv with
@@ -1130,7 +1380,7 @@ let () =
     | [ _; mode; iters; seed ] -> (mode, int_of_string iters, int_of_string seed)
     | _ ->
       prerr_endline
-        "usage: fuzz_main (lemma2|windows|join|ted|xml|server|dag|router) [iterations] [seed]";
+        "usage: fuzz_main (lemma2|windows|join|ted|xml|server|dag|router|scrub) [iterations] [seed]";
       exit 2
   in
   let rng = Prng.create seed in
@@ -1144,6 +1394,7 @@ let () =
     | "server" -> fuzz_server iterations rng
     | "dag" -> fuzz_dag iterations rng
     | "router" -> fuzz_router iterations rng
+    | "scrub" -> fuzz_scrub iterations rng
     | other ->
       Printf.eprintf "unknown mode %S\n" other;
       exit 2

@@ -139,6 +139,69 @@ let test_checkpoint_resume () =
           Alcotest.(check bool) "resumed results identical" true
             (contains out' "results=3")))
 
+(* fsck: clean directory passes, bit rot is reported with exit 2 and
+   without mutating anything, --repair quarantines and the repaired
+   directory then verifies clean and serves the surviving prefix. *)
+let test_fsck () =
+  let dir = Filename.temp_file "tsjcli" ".store" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o700;
+  let rec rm path =
+    if Sys.file_exists path then
+      if Sys.is_directory path then begin
+        Array.iter (fun f -> rm (Filename.concat path f)) (Sys.readdir path);
+        (try Unix.rmdir path with Unix.Unix_error _ -> ())
+      end
+      else try Sys.remove path with Sys_error _ -> ()
+  in
+  Fun.protect ~finally:(fun () -> rm dir) (fun () ->
+      let module Store = Tsj_server.Store in
+      let store =
+        match Store.open_ ~dir ~tau:1 () with
+        | Ok s -> s
+        | Error msg -> Alcotest.failf "store open: %s" msg
+      in
+      List.iter
+        (fun b ->
+          match Tsj_tree.Bracket.of_string b with
+          | Ok t -> ignore (Store.add store t)
+          | Error msg -> Alcotest.failf "bad tree %s: %s" b msg)
+        [ "{a{b}{c}}"; "{a{b}{x}}"; "{q{w}}"; "{q{w{e}}}"; "{z}"; "{z{z}}" ];
+      let root = Store.merkle_root store in
+      (* abandoned without close: every add is already durable *)
+      let code, out = run [ "fsck"; dir ] in
+      check_exit "fsck clean" 0 (code, out);
+      Alcotest.(check bool) "clean verdict" true (contains out "clean: 6 trees");
+      Alcotest.(check bool) "merkle root printed" true (contains out root);
+      (* rot a bit mid-journal: line 0 is the epoch header, so line 3 is
+         record seq 2 of 6 — mid-file, not a torn tail *)
+      let journal = Filename.concat dir "journal" in
+      let text = In_channel.with_open_bin journal In_channel.input_all in
+      let line_start n =
+        let rec go i left =
+          if left = 0 then i else go (String.index_from text i '\n' + 1) (left - 1)
+        in
+        go 0 n
+      in
+      Tsj_harness.Faults.flip_bit journal ~bit:(8 * (line_start 3 + 3));
+      let rotted = In_channel.with_open_bin journal In_channel.input_all in
+      let code, out = run [ "fsck"; dir ] in
+      check_exit "fsck corrupt" 2 (code, out);
+      Alcotest.(check bool) "corruption reported" true (contains out "CORRUPT");
+      Alcotest.(check bool) "repair suggested" true (contains out "--repair");
+      Alcotest.(check bool) "verify-only did not mutate" true
+        (In_channel.with_open_bin journal In_channel.input_all = rotted);
+      let code, out = run [ "fsck"; dir; "--repair" ] in
+      check_exit "fsck repair" 0 (code, out);
+      Alcotest.(check bool) "prefix survives" true (contains out "2 trees survive");
+      Alcotest.(check bool) "quarantine counted" true (contains out "quarantined=4");
+      Alcotest.(check bool) "suffix moved aside" true
+        (Sys.file_exists (Filename.concat dir "journal.quarantine"));
+      (* the repaired directory verifies clean and replays *)
+      let code, out = run [ "fsck"; dir ] in
+      check_exit "fsck after repair" 0 (code, out);
+      Alcotest.(check bool) "clean after repair" true (contains out "clean: 2 trees"))
+
 let test_errors () =
   let code, _ = run [ "join"; "/nonexistent-file"; "--tau"; "1" ] in
   Alcotest.(check bool) "missing file" true (code <> 0);
@@ -154,5 +217,6 @@ let suite =
     Alcotest.test_case "cli sexp format" `Slow test_sexp_format;
     Alcotest.test_case "cli skip-malformed" `Slow test_skip_malformed;
     Alcotest.test_case "cli checkpoint/resume" `Slow test_checkpoint_resume;
+    Alcotest.test_case "cli fsck" `Slow test_fsck;
     Alcotest.test_case "cli errors" `Slow test_errors;
   ]

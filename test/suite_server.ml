@@ -97,6 +97,7 @@ let test_response_roundtrip () =
           trees = 10; tau = 2; queries = 5; adds = 10; shed = 1; degraded = 2;
           errors = 3; quarantined = 1; inflight = 0; draining = false;
           journal_records = 4; epoch = 2; primary = true; dedup = 6;
+          scrubbed = 12; crc_failures = 1; repaired = 1;
         };
       Protocol.Health_reply { draining = false };
       Protocol.Health_reply { draining = true };
@@ -1436,6 +1437,393 @@ let test_client_retries_busy_preserved () =
       | Error e -> Alcotest.failf "BUSY masked as error: %s" e);
       ignore server)
 
+(* --- integrity: Merkle digests, seals, scrub, heal, anti-entropy --- *)
+
+module Integrity = Tsj_server.Integrity
+module Scrub = Tsj_server.Scrub
+
+(* Property (qcheck): under ANY interleaving of pushes and truncates,
+   the incrementally maintained Merkle tree answers root and range
+   digests identically to a from-scratch rebuild. *)
+let prop_merkle_incremental =
+  Gen.qtest ~count:60 "Merkle incremental = recompute under push/truncate"
+    QCheck.(int_bound 100_000)
+    (fun seed ->
+      let rng = Prng.create (3100 + seed) in
+      let m = Integrity.Merkle.create () in
+      let mirror = ref [] (* newest first *) in
+      let steps = 5 + Prng.int rng 40 in
+      let ok = ref true in
+      for i = 0 to steps - 1 do
+        let n = Integrity.Merkle.size m in
+        if n > 0 && Prng.int rng 4 = 0 then begin
+          let keep = Prng.int rng (n + 1) in
+          Integrity.Merkle.truncate m keep;
+          let l = List.rev !mirror in
+          mirror := List.rev (List.filteri (fun j _ -> j < keep) l)
+        end
+        else begin
+          let line = Printf.sprintf "add %d {x%d} feed" n i in
+          Integrity.Merkle.push m line;
+          mirror := line :: !mirror
+        end;
+        let reference = Integrity.Merkle.of_lines (List.rev !mirror) in
+        if Integrity.Merkle.root m <> Integrity.Merkle.root reference then
+          ok := false;
+        let sz = Integrity.Merkle.size m in
+        if sz > 0 then begin
+          let lo = Prng.int rng sz in
+          let hi = lo + 1 + Prng.int rng (sz - lo) in
+          if
+            Integrity.Merkle.range m ~lo ~hi
+            <> Integrity.Merkle.range reference ~lo ~hi
+          then ok := false
+        end;
+        (* recompute must be a no-op on a consistent tree *)
+        Integrity.Merkle.recompute m;
+        if Integrity.Merkle.root m <> Integrity.Merkle.root reference then
+          ok := false
+      done;
+      !ok)
+
+let test_seal_roundtrip () =
+  let path = Filename.temp_file "tsj_seal" ".dat" in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Sys.remove path with Sys_error _ -> ());
+      try Sys.remove (Integrity.seal_path path) with Sys_error _ -> ())
+    (fun () ->
+      Out_channel.with_open_bin path (fun oc -> output_string oc "hello line\n");
+      (* never sealed: vacuously clean *)
+      (match Integrity.check_seal path with
+      | Ok 0 -> ()
+      | _ -> Alcotest.fail "unsealed file not vacuously clean");
+      Integrity.write_seal path;
+      (match Integrity.check_seal path with
+      | Ok 11 -> ()
+      | Ok n -> Alcotest.failf "sealed %d bytes, expected 11" n
+      | Error e -> Alcotest.fail e);
+      (* append-only growth keeps the seal valid (prefix coverage) *)
+      Out_channel.with_open_gen [ Open_append ] 0o644 path (fun oc ->
+          output_string oc "appended\n");
+      (match Integrity.check_seal path with
+      | Ok 11 -> ()
+      | _ -> Alcotest.fail "append invalidated a prefix seal");
+      (* rot inside the sealed prefix is caught *)
+      Faults.flip_bit path ~bit:18;
+      (match Integrity.check_seal path with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail "rot inside the sealed prefix not caught");
+      Faults.flip_bit path ~bit:18;
+      (* rot in the seal sidecar itself is caught *)
+      Faults.flip_bit (Integrity.seal_path path) ~bit:42;
+      match Integrity.check_seal path with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail "rot in the seal sidecar not caught")
+
+(* a full scrub cycle: two unbounded steps guarantee a cursor wrap *)
+let full_scrub store =
+  let budget = Store.journal_records store + 1 in
+  let a = Store.scrub_step ~budget store in
+  let b = Store.scrub_step ~budget store in
+  (a.Store.sc_findings @ b.Store.sc_findings, a.Store.sc_repaired + b.Store.sc_repaired)
+
+let test_scrub_detects_and_repairs () =
+  with_store_dir (fun dir ->
+      let trees = trees_of 311 8 in
+      let store = ok_or_fail (Store.open_ ~dir ~tau:2 ()) in
+      Array.iter (fun tree -> ignore (Store.add store tree)) trees;
+      (* clean store: nothing to find *)
+      let clean, _ = full_scrub store in
+      Alcotest.(check int) "clean store has no findings" 0 (List.length clean);
+      (* rot one bit mid-journal: detected and repaired in one cycle *)
+      let journal = Filename.concat dir "journal" in
+      Faults.flip_bit journal ~bit:(8 * ((Unix.stat journal).Unix.st_size / 2));
+      let findings, repaired = full_scrub store in
+      Alcotest.(check bool) "journal rot detected" true (findings <> []);
+      Alcotest.(check bool) "journal rot repaired" true (repaired > 0);
+      let clean, _ = full_scrub store in
+      Alcotest.(check int) "clean after repair" 0 (List.length clean);
+      (* the repair converged disk to memory: a replay agrees *)
+      let replayed = ok_or_fail (Store.open_ ~dir ~tau:2 ()) in
+      Alcotest.(check int) "replay after repair" 8 (Store.n_trees replayed);
+      Store.close replayed;
+      (* rot the snapshot (written by the repair flush): the seal is its
+         only integrity cover *)
+      let snapshot = Filename.concat dir "snapshot" in
+      Faults.flip_bit snapshot ~bit:12;
+      let findings, repaired = full_scrub store in
+      Alcotest.(check bool) "snapshot rot detected" true (findings <> []);
+      Alcotest.(check bool) "snapshot rot repaired" true (repaired > 0);
+      (* rot the journal's seal sidecar *)
+      Faults.flip_bit (Integrity.seal_path journal) ~bit:30;
+      let findings, _ = full_scrub store in
+      Alcotest.(check bool) "seal rot detected" true (findings <> []);
+      let clean, _ = full_scrub store in
+      Alcotest.(check int) "clean again" 0 (List.length clean);
+      let verified, crc_failures, ranges_repaired, quarantined =
+        Store.scrub_counters store
+      in
+      Alcotest.(check bool) "records verified counted" true (verified > 0);
+      Alcotest.(check bool) "crc failures counted" true (crc_failures >= 3);
+      Alcotest.(check bool) "repairs counted" true (ranges_repaired >= 3);
+      Alcotest.(check int) "nothing quarantined" 0 quarantined;
+      Store.close store)
+
+let test_scrub_read_fault_is_finding_not_repair () =
+  with_store_dir (fun dir ->
+      let store = ok_or_fail (Store.open_ ~dir ~tau:2 ()) in
+      Array.iter (fun tree -> ignore (Store.add store tree)) (trees_of 313 4);
+      let fired = ref false in
+      Fault.arm_action "durable.read" (fun _ ->
+          if not !fired then begin
+            fired := true;
+            raise
+              (Tsj_util.Durable.Disk_fault
+                 {
+                   Tsj_util.Durable.f_op = `Read;
+                   f_path = Filename.concat dir "journal";
+                   f_detail = "injected EIO";
+                 })
+          end);
+      let r = Store.scrub_step ~budget:8 store in
+      Fault.disarm_all ();
+      Alcotest.(check bool) "EIO surfaces as a finding" true
+        (r.Store.sc_findings <> []);
+      Alcotest.(check int) "a failing disk is never repaired over" 0
+        r.Store.sc_repaired;
+      let clean, _ = full_scrub store in
+      Alcotest.(check int) "disk was actually fine" 0 (List.length clean);
+      Store.close store)
+
+(* corrupt the byte at [frac] of record line [i] (0-based, past the
+   epoch header) in [dir]'s journal, without touching anything else *)
+let rot_journal_record dir ~record =
+  let journal = Filename.concat dir "journal" in
+  let text = In_channel.with_open_bin journal In_channel.input_all in
+  let rec line_start idx from =
+    if idx = 0 then from
+    else
+      match String.index_from_opt text from '\n' with
+      | Some nl -> line_start (idx - 1) (nl + 1)
+      | None -> Alcotest.fail "journal shorter than expected"
+  in
+  (* line 0 is the epoch header *)
+  let start = line_start (record + 1) 0 in
+  let len =
+    match String.index_from_opt text start '\n' with
+    | Some nl -> nl - start
+    | None -> String.length text - start
+  in
+  Faults.flip_bit journal ~bit:(8 * (start + (len / 2)))
+
+let test_healing_open_refetches () =
+  with_store_dir (fun dir ->
+      let trees = trees_of 317 6 in
+      let store = ok_or_fail (Store.open_ ~dir ~tau:2 ()) in
+      Array.iter (fun tree -> ignore (Store.add store tree)) trees;
+      (* primary twin the heal callback fetches canonical records from *)
+      let twin = ok_or_fail (Store.open_ ~tau:2 ()) in
+      Array.iter (fun tree -> ignore (Store.add twin tree)) trees;
+      (* abandon without close (kill -9), rot record 2 of 6 *)
+      rot_journal_record dir ~record:2;
+      (* without a heal source the open refuses, as before *)
+      (match Store.open_ ~dir ~tau:2 () with
+      | Ok _ -> Alcotest.fail "mid-journal rot accepted without heal"
+      | Error _ -> ());
+      let heal seq = Some (Store.record_for twin seq) in
+      let healed = ok_or_fail (Store.open_ ~dir ~tau:2 ~heal ()) in
+      Alcotest.(check int) "healed open keeps every tree" 6 (Store.n_trees healed);
+      Array.iteri
+        (fun i tree ->
+          Alcotest.(check bool) (Printf.sprintf "tree %d intact" i) true
+            (Tree.equal tree (Store.tree healed i)))
+        trees;
+      let _, crc_failures, repaired, quarantined = Store.scrub_counters healed in
+      Alcotest.(check bool) "rot counted" true (crc_failures > 0);
+      Alcotest.(check bool) "heal counted as repair" true (repaired > 0);
+      Alcotest.(check int) "nothing quarantined" 0 quarantined;
+      (* the splice is durable: a plain reopen succeeds *)
+      let clean, _ = full_scrub healed in
+      Alcotest.(check int) "healed store scrubs clean" 0 (List.length clean);
+      Store.close healed;
+      let reopened = ok_or_fail (Store.open_ ~dir ~tau:2 ()) in
+      Alcotest.(check int) "plain reopen after heal" 6 (Store.n_trees reopened);
+      Store.close reopened)
+
+let test_quarantine_open_serves_prefix () =
+  with_store_dir (fun dir ->
+      let trees = trees_of 331 6 in
+      let store = ok_or_fail (Store.open_ ~dir ~tau:2 ()) in
+      Array.iter (fun tree -> ignore (Store.add store tree)) trees;
+      rot_journal_record dir ~record:3;
+      (* healing fails (no source), quarantine mode opens degraded *)
+      let heal _ = None in
+      let st = ok_or_fail (Store.open_ ~dir ~tau:2 ~heal ~quarantine:true ()) in
+      Alcotest.(check int) "surviving prefix served" 3 (Store.n_trees st);
+      let _, crc_failures, _, quarantined = Store.scrub_counters st in
+      Alcotest.(check bool) "rot counted" true (crc_failures > 0);
+      Alcotest.(check int) "rotted suffix quarantined" 3 quarantined;
+      Alcotest.(check bool) "quarantine file holds the moved-aside records"
+        true
+        (Sys.file_exists (Filename.concat dir "journal.quarantine"));
+      (* degraded is still consistent: scrubs clean, serves the prefix *)
+      let clean, _ = full_scrub st in
+      Alcotest.(check int) "quarantined store scrubs clean" 0 (List.length clean);
+      Array.iteri
+        (fun i tree ->
+          if i < 3 then
+            Alcotest.(check bool) (Printf.sprintf "tree %d intact" i) true
+              (Tree.equal tree (Store.tree st i)))
+        trees;
+      Store.close st)
+
+let test_anti_entropy_transfers_suffix () =
+  let trees = trees_of 337 10 in
+  let primary = ok_or_fail (Store.open_ ~tau:2 ()) in
+  Array.iter (fun tree -> ignore (Store.add primary tree)) trees;
+  let n = Store.n_trees primary in
+  (* replica shares records [0, 4), then its history diverges *)
+  let replica = ok_or_fail (Store.open_ ~tau:2 ()) in
+  for i = 0 to 3 do
+    ignore (Store.add replica trees.(i))
+  done;
+  ignore (ok_or_fail (Store.add_seq replica (t "{z{z}{z}}")));
+  let probes = ref 0 in
+  let digest ~lo ~hi =
+    incr probes;
+    Ok (Store.digest primary ~lo ~hi)
+  in
+  let fetch seq = Ok (Store.record_for primary seq) in
+  (match Scrub.anti_entropy ~local:replica ~remote_n:n ~digest ~fetch with
+  | Error e -> Alcotest.fail e
+  | Ok transferred ->
+    Alcotest.(check int) "transfers exactly the diverging suffix" (n - 4)
+      transferred);
+  Alcotest.(check bool)
+    (Printf.sprintf "O(log n) digest probes (%d)" !probes)
+    true
+    (!probes <= 10);
+  Alcotest.(check int) "replica converged" n (Store.n_trees replica);
+  Array.iteri
+    (fun i tree ->
+      Alcotest.(check bool) (Printf.sprintf "record %d converged" i) true
+        (Tree.equal tree (Store.tree replica i)))
+    trees;
+  Alcotest.(check string) "Merkle roots agree" (Store.merkle_root primary)
+    (Store.merkle_root replica);
+  let _, _, repaired, _ = Store.scrub_counters replica in
+  Alcotest.(check bool) "range repair credited" true (repaired > 0);
+  (* an already-converged pair transfers nothing *)
+  match Scrub.anti_entropy ~local:replica ~remote_n:n ~digest ~fetch with
+  | Ok 0 -> ()
+  | Ok k -> Alcotest.failf "idempotent repair moved %d records" k
+  | Error e -> Alcotest.fail e
+
+let test_digest_wire_verb () =
+  with_store_dir (fun dir ->
+      with_server ~dir (fun addr server ->
+          let conn = ok_or_fail (Client.connect addr) in
+          List.iter
+            (fun s -> ignore (request conn (Protocol.Add { seq = None; tree = t s })))
+            [ "{a{b}{c}}"; "{a{b}{d}}"; "{x{y{z}}}" ];
+          let store = Server.store server in
+          (match request conn (Protocol.Digest { epoch = 0; lo = 0; hi = 3 }) with
+          | Protocol.Digest_reply { epoch = 0; lo = 0; hi = 3; digest } ->
+            Alcotest.(check string) "digest matches the store's Merkle range"
+              (Store.digest store ~lo:0 ~hi:3)
+              digest
+          | r -> Alcotest.failf "bad DIGEST reply %s" (Protocol.render_response r));
+          (* a stale epoch is fenced, an overlong range is an error *)
+          (match request conn (Protocol.Digest { epoch = 7; lo = 0; hi = 1 }) with
+          | Protocol.Fenced _ -> ()
+          | r -> Alcotest.failf "stale epoch answered %s" (Protocol.render_response r));
+          (match request conn (Protocol.Digest { epoch = 0; lo = 0; hi = 99 }) with
+          | Protocol.Err _ -> ()
+          | r ->
+            Alcotest.failf "out-of-range DIGEST answered %s"
+              (Protocol.render_response r));
+          (* STATS carries the scrub counters over the wire *)
+          match request conn Protocol.Stats with
+          | Protocol.Stats_reply { crc_failures = 0; repaired = 0; _ } -> ()
+          | r -> Alcotest.failf "bad STATS %s" (Protocol.render_response r)))
+
+let test_server_background_scrubber () =
+  with_store_dir (fun dir ->
+      let sock = Filename.temp_file "tsj_sock" "" in
+      Sys.remove sock;
+      let addr = Protocol.Unix_path sock in
+      let config =
+        { (Server.default_config addr ~tau:2) with
+          Server.dir = Some dir;
+          scrub_interval_s = Some 0.05;
+          scrub_budget = 64;
+          drain_budget_s = 5.0 }
+      in
+      let server = ok_or_fail (Server.create config) in
+      Server.start server;
+      Fun.protect
+        ~finally:(fun () ->
+          Server.drain server;
+          Server.wait server;
+          if Sys.file_exists sock then Sys.remove sock)
+        (fun () ->
+          let conn = ok_or_fail (Client.connect addr) in
+          List.iter
+            (fun s -> ignore (request conn (Protocol.Add { seq = None; tree = t s })))
+            [ "{a{b}{c}}"; "{a{b}{d}}"; "{x{y{z}}}"; "{p{q}}" ];
+          (* rot the live journal under the running server: the
+             background scrubber must detect and repair it *)
+          let journal = Filename.concat dir "journal" in
+          Faults.flip_bit journal ~bit:(8 * ((Unix.stat journal).Unix.st_size / 2));
+          let deadline = Unix.gettimeofday () +. 10.0 in
+          let repaired () =
+            match request conn Protocol.Stats with
+            | Protocol.Stats_reply { crc_failures; repaired; _ } ->
+              crc_failures > 0 && repaired > 0
+            | _ -> false
+          in
+          while (not (repaired ())) && Unix.gettimeofday () < deadline do
+            Thread.delay 0.05
+          done;
+          Alcotest.(check bool) "background scrub detected and repaired rot" true
+            (repaired ());
+          (* serving was never wrong while the disk rotted *)
+          match request conn (Protocol.Query { tau = 1; tree = t "{a{b}{c}}" }) with
+          | Protocol.Hits { degraded = false; hits; _ } ->
+            Alcotest.(check (list (pair int int))) "answers unaffected by rot"
+              [ (0, 0); (1, 1) ]
+              hits
+          | r -> Alcotest.failf "bad query reply %s" (Protocol.render_response r)))
+
+let test_scrub_storm () =
+  let trees = trees_of 83 20 in
+  let queries = trees_of 84 4 in
+  let r = Faults.run_scrub_storm ~seed:911 ~rounds:30 ~trees ~queries ~tau:2 () in
+  Alcotest.(check bool) "flips injected" true (r.Faults.sb_flips > 0);
+  Alcotest.(check bool) "every corruption detected" true r.Faults.sb_all_detected;
+  Alcotest.(check int) "zero wrong answers" 0 r.Faults.sb_wrong_answers;
+  Alcotest.(check bool) "repairs applied" true
+    (r.Faults.sb_scrub_repairs + r.Faults.sb_healed + r.Faults.sb_quarantined > 0);
+  Alcotest.(check bool) "anti-entropy moved only the differing ranges" true
+    r.Faults.sb_transfer_frugal;
+  Alcotest.(check bool) "converged" true r.Faults.sb_converged
+
+(* Property (qcheck): at ANY random bit-rot schedule, every injected
+   corruption is detected, no answer is ever wrong, anti-entropy
+   transfers exactly the diverging suffixes, and the stores converge. *)
+let prop_scrub_storm =
+  Gen.qtest ~count:10 "scrub storm invariants under random seeds"
+    QCheck.(int_bound 100_000)
+    (fun seed ->
+      let rng = Prng.create (9300 + seed) in
+      let trees = Array.init 10 (fun _ -> Gen.random_tree rng (3 + Prng.int rng 8)) in
+      let queries = Array.init 2 (fun _ -> Gen.random_tree rng (3 + Prng.int rng 8)) in
+      let r = Faults.run_scrub_storm ~seed ~rounds:8 ~trees ~queries ~tau:2 () in
+      r.Faults.sb_all_detected
+      && r.Faults.sb_wrong_answers = 0
+      && r.Faults.sb_transfer_frugal && r.Faults.sb_converged)
+
 let suite =
   [
     Alcotest.test_case "addr parse" `Quick test_addr_parse;
@@ -1490,4 +1878,21 @@ let suite =
       test_fsync_eio_typed_error;
     Alcotest.test_case "failover backoff resets after a live rotation" `Quick
       test_failover_backoff_resets_after_rotation;
+    prop_merkle_incremental;
+    Alcotest.test_case "seal round trip" `Quick test_seal_roundtrip;
+    Alcotest.test_case "scrub detects and repairs rot" `Quick
+      test_scrub_detects_and_repairs;
+    Alcotest.test_case "scrub read fault is a finding, not a repair" `Quick
+      test_scrub_read_fault_is_finding_not_repair;
+    Alcotest.test_case "healing open refetches rotted records" `Quick
+      test_healing_open_refetches;
+    Alcotest.test_case "quarantine open serves the surviving prefix" `Quick
+      test_quarantine_open_serves_prefix;
+    Alcotest.test_case "anti-entropy transfers only the diverging suffix" `Quick
+      test_anti_entropy_transfers_suffix;
+    Alcotest.test_case "DIGEST wire verb" `Quick test_digest_wire_verb;
+    Alcotest.test_case "background scrubber repairs live rot" `Quick
+      test_server_background_scrubber;
+    Alcotest.test_case "scrub storm" `Quick test_scrub_storm;
+    prop_scrub_storm;
   ]
