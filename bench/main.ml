@@ -170,6 +170,7 @@ let () =
       ("dag", fun () -> Experiments.dag config);
       ("resilience", fun () -> Experiments.resilience config);
       ("serving", fun () -> Experiments.serving config);
+      ("overload", fun () -> Experiments.overload config);
       ("replication", fun () -> Experiments.replication config);
       ("sharding", fun () -> Experiments.sharding config);
       ("integrity", fun () -> Experiments.integrity config);
@@ -183,6 +184,8 @@ let () =
            asserting the resumed output bit-identical to an
            uninterrupted run, drives the similarity-search service
            end-to-end (burst, shed accounting, drain, crash replay),
+           runs a tiny overload-storm rung (fair admission, deadline
+           propagation, goodput under a greedy burst),
            and runs the replicated cluster through a primary kill,
            promotion and the randomized failover storm, then the
            sharded cluster (band-key router over 8 shards, a
@@ -198,6 +201,7 @@ let () =
           Experiments.dag tiny;
           Experiments.resilience tiny;
           Experiments.serving tiny;
+          Experiments.overload tiny;
           Experiments.replication tiny;
           Experiments.sharding tiny;
           Experiments.integrity tiny );

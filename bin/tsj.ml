@@ -532,6 +532,40 @@ let serve_cmd =
                    snapshot is moved aside (.quarantine), counted in STATS, \
                    and the surviving prefix is served.")
   in
+  let rate =
+    Arg.(value & opt (some float) None
+         & info [ "rate" ] ~docv:"RPS"
+             ~doc:"Fair admission: per-connection token bucket refilled at \
+                   RPS work requests per second.  A greedy connection \
+                   exhausts only its own bucket (its excess is shed with \
+                   BUSY and a retry-after hint); conforming connections are \
+                   untouched.  Off by default.")
+  in
+  let burst =
+    Arg.(value & opt int 32
+         & info [ "burst" ] ~docv:"N"
+             ~doc:"Token-bucket capacity: how many work requests a fresh \
+                   connection may burst before --rate pacing kicks in.")
+  in
+  let idle_timeout =
+    Arg.(value & opt (some float) None
+         & info [ "idle-timeout" ] ~docv:"SECS"
+             ~doc:"Close (and count as reaped=) connections idle for this \
+                   long with no inflight work.  Off by default.")
+  in
+  let max_conns =
+    Arg.(value & opt (some int) None
+         & info [ "max-conns" ] ~docv:"N"
+             ~doc:"Hard cap on concurrent connections; excess accepts are \
+                   closed immediately.  Unlimited by default.")
+  in
+  let hedge =
+    Arg.(value & opt (some float) None
+         & info [ "hedge" ] ~docv:"SECS"
+             ~doc:"Router mode: hedge a shard read still unanswered after \
+                   SECS with a second leg on the rotated replica list; the \
+                   first well-formed reply wins.  Off by default.")
+  in
   let router =
     Arg.(value & flag
          & info [ "router" ]
@@ -565,7 +599,7 @@ let serve_cmd =
                    without it the gid space restarts empty and is rebuilt by \
                    reconciliation.")
   in
-  let run_router addr tau shard_groups shards band ledger deadline =
+  let run_router addr tau shard_groups shards band ledger deadline hedge =
     if shard_groups = [] then begin
       Printf.eprintf "tsj: --router needs at least one --shard-group\n";
       exit 2
@@ -586,7 +620,8 @@ let serve_cmd =
     let config =
       { Tsj_server.Router.map; tau; groups;
         timeout_s = Option.value deadline ~default:2.0;
-        attempts = 3; ledger; seed = 42 }
+        attempts = 3; ledger; seed = 42;
+        hedge_s = hedge; margin_ms = 50 }
     in
     match Tsj_server.Router.create config with
     | Error msg ->
@@ -624,8 +659,8 @@ let serve_cmd =
           s.Tsj_server.Protocol.errors)
   in
   let run addr tau dir jobs max_inflight deadline drain_budget preload replica_of
-      quorum max_batch dedup scrub_interval scrub_budget quarantine router
-      shard_groups shards band ledger format =
+      quorum max_batch dedup scrub_interval scrub_budget quarantine rate burst
+      idle_timeout max_conns hedge router shard_groups shards band ledger format =
     if tau < 0 then begin
       Printf.eprintf "tsj: tau must be non-negative\n";
       exit 2
@@ -635,7 +670,7 @@ let serve_cmd =
       exit 2
     end;
     if router || shard_groups <> [] then
-      run_router addr tau shard_groups shards band ledger deadline
+      run_router addr tau shard_groups shards band ledger deadline hedge
     else begin
     if jobs < 1 then begin
       Printf.eprintf "tsj: -j must be >= 1\n";
@@ -666,6 +701,10 @@ let serve_cmd =
           (if scrub_interval > 0.0 then Some scrub_interval else None);
         scrub_budget;
         quarantine;
+        rate;
+        burst;
+        idle_timeout_s = idle_timeout;
+        max_conns;
       }
     in
     match Tsj_server.Server.create config with
@@ -703,7 +742,8 @@ let serve_cmd =
              --router, the scatter-gather router of a sharded cluster")
     Term.(const run $ addr $ tau $ dir $ jobs $ max_inflight $ deadline
           $ drain_budget $ preload $ replica_of $ quorum $ max_batch $ dedup
-          $ scrub_interval $ scrub_budget $ quarantine
+          $ scrub_interval $ scrub_budget $ quarantine $ rate $ burst
+          $ idle_timeout $ max_conns $ hedge
           $ router $ shard_group $ shards $ band $ ledger $ format_arg)
 
 (* --- promote --- *)
@@ -779,7 +819,16 @@ let query_cmd =
   let seed =
     Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Seed of the backoff jitter PRNG.")
   in
-  let run remote tree tau top add stats health drain timeout retries seed =
+  let deadline_ms =
+    Arg.(value & opt (some int) None
+         & info [ "deadline-ms" ] ~docv:"MS"
+             ~doc:"Announce a remaining budget of MS milliseconds on the \
+                   request (the @<ms> wire token).  The budget shrinks \
+                   across retries; a server or router it reaches expired \
+                   answers ERR deadline expired.")
+  in
+  let run remote tree tau top add stats health drain timeout retries seed
+      deadline_ms =
     let request =
       if stats then Tsj_server.Protocol.Stats
       else if health then Tsj_server.Protocol.Health
@@ -799,8 +848,8 @@ let query_cmd =
     in
     let rng = Tsj_util.Prng.create seed in
     match
-      Tsj_server.Client.request_with_retries ~attempts:retries ~timeout_s:timeout ~rng
-        remote request
+      Tsj_server.Client.request_with_retries ~attempts:retries ~timeout_s:timeout
+        ?deadline_ms ~rng remote request
     with
     | Error msg ->
       Printf.eprintf "tsj: %s\n" msg;
@@ -808,7 +857,7 @@ let query_cmd =
     | Ok (Tsj_server.Protocol.Err reason) ->
       Printf.eprintf "tsj: server error: %s\n" reason;
       exit 1
-    | Ok Tsj_server.Protocol.Busy ->
+    | Ok (Tsj_server.Protocol.Busy _) ->
       Printf.eprintf "tsj: server busy (request shed after %d attempts)\n" retries;
       exit 3
     | Ok (Tsj_server.Protocol.Hits { degraded; hits; unverified }) ->
@@ -839,7 +888,7 @@ let query_cmd =
   Cmd.v
     (Cmd.info "query" ~doc:"Query (or administer) a running tsj serve instance")
     Term.(const run $ remote $ tree $ tau $ top $ add $ stats $ health $ drain
-          $ timeout $ retries $ seed)
+          $ timeout $ retries $ seed $ deadline_ms)
 
 (* --- fsck --- *)
 
@@ -1064,9 +1113,9 @@ let bench_cmd =
   let what =
     Arg.(value & pos_all string [ "all" ] & info [] ~docv:"EXPERIMENT"
            ~doc:"fig10, fig12, fig14, ablation, parallel, perf, dag, \
-                 streaming, resilience, serving, serving-soak, replication, \
-                 sharding, integrity or all (serving-soak is a minute-long \
-                 sustained-load bench and is not part of all).")
+                 streaming, resilience, serving, serving-soak, overload, \
+                 replication, sharding, integrity or all (serving-soak is a \
+                 minute-long sustained-load bench and is not part of all).")
   in
   let run scale seed jobs what =
     if jobs < 1 then begin
@@ -1091,6 +1140,7 @@ let bench_cmd =
         | "resilience" -> Tsj_harness.Experiments.resilience config
         | "serving" -> Tsj_harness.Experiments.serving config
         | "serving-soak" -> Tsj_harness.Experiments.serving_soak config
+        | "overload" -> Tsj_harness.Experiments.overload config
         | "replication" -> Tsj_harness.Experiments.replication config
         | "sharding" -> Tsj_harness.Experiments.sharding config
         | "integrity" -> Tsj_harness.Experiments.integrity config

@@ -812,7 +812,7 @@ let serving config =
         | Ok resp ->
           incr a;
           (match resp with
-          | Protocol.Busy -> incr b
+          | Protocol.Busy _ -> incr b
           | Protocol.Err _ -> incr e
           | _ -> ())
         | Error msg ->
@@ -1265,6 +1265,105 @@ let serving_soak config =
   in
   rm tmp
 
+(* --- overload: fair admission and deadline propagation under a
+   widening greedy burst --- *)
+
+let overload config =
+  Table.heading ~out:config.out
+    "Extension — overload robustness (fair admission, deadline propagation, \
+     hedged reads)";
+  let fail msg = failwith ("Experiments.overload: " ^ msg) in
+  let profile = Profiles.swissprot in
+  let n = max 16 (int_of_float (64.0 *. config.scale)) in
+  let trees = Profiles.instantiate profile ~seed:config.seed ~n in
+  let queries = Profiles.instantiate profile ~seed:(config.seed + 1) ~n:4 in
+  let tau = 2 in
+  let duration_s = Float.max 0.5 (Float.min 2.0 config.scale) in
+  let rungs = if config.scale < 0.1 then [ 2 ] else [ 1; 2; 5; 10 ] in
+  let results =
+    List.map
+      (fun greedy ->
+        let r =
+          Faults.run_overload_storm ~seed:(config.seed + greedy) ~duration_s
+            ~greedy ~trees ~queries ~tau ()
+        in
+        if not r.Faults.ov_goodput_ok then
+          fail
+            (Printf.sprintf
+               "goodput collapsed at %d greedy clients (%.0f -> %.0f rps)"
+               greedy r.Faults.ov_baseline_rps r.Faults.ov_storm_rps);
+        if not r.Faults.ov_no_starvation then
+          fail (Printf.sprintf "conforming client starved at %d greedy clients" greedy);
+        if r.Faults.ov_late_answers > 0 then
+          fail
+            (Printf.sprintf "%d answers delivered past their deadline"
+               r.Faults.ov_late_answers);
+        if r.Faults.ov_wrong_answers > 0 then fail "overload changed an answer";
+        if r.Faults.ov_hedge_mismatches > 0 then fail "hedge-raced replies diverged";
+        if not (r.Faults.ov_expired_add_rejected && r.Faults.ov_trees_stable) then
+          fail "an expired ADD was not refused cleanly";
+        (greedy, r))
+      rungs
+  in
+  printf config
+    "\n  (%s profile, %d trees, tau = %d, %.1fs per rung; bucket 80 req/s,\n\
+    \   burst 16, watermark 32, 50 ms greedy deadlines, 300 ms idle reaper)\n"
+    profile.Profiles.name n tau duration_s;
+  Table.print ~out:config.out
+    ~header:
+      [ "greedy conns"; "baseline rps"; "storm rps"; "goodput"; "greedy sent";
+        "greedy shed"; "expired"; "reaped" ]
+    ~align:
+      [ Table.Right; Table.Right; Table.Right; Table.Right; Table.Right;
+        Table.Right; Table.Right; Table.Right ]
+    (List.map
+       (fun (greedy, r) ->
+         [
+           string_of_int greedy;
+           Printf.sprintf "%.0f" r.Faults.ov_baseline_rps;
+           Printf.sprintf "%.0f" r.Faults.ov_storm_rps;
+           Printf.sprintf "%.0f%%"
+             (100. *. r.Faults.ov_storm_rps
+             /. Float.max 1e-9 r.Faults.ov_baseline_rps);
+           string_of_int r.Faults.ov_greedy_sent;
+           string_of_int r.Faults.ov_greedy_shed;
+           string_of_int r.Faults.ov_expired;
+           string_of_int r.Faults.ov_reaped;
+         ])
+       results);
+  let oc = open_out "BENCH_overload.json" in
+  Printf.fprintf oc
+    "{\n\
+    \  \"benchmark\": \"tsj_overload\",\n\
+    \  \"dataset\": \"%s\",\n\
+    \  \"n_trees\": %d,\n\
+    \  \"tau\": %d,\n\
+    \  \"seed\": %d,\n\
+    \  \"duration_s\": %.2f,\n\
+    \  \"rungs\": [\n\
+     %s\n\
+    \  ]\n\
+     }\n"
+    profile.Profiles.name n tau config.seed duration_s
+    (String.concat ",\n"
+       (List.map
+          (fun (greedy, r) ->
+            Printf.sprintf
+              "    { \"greedy\": %d, \"baseline_rps\": %.1f, \"storm_rps\": \
+               %.1f, \"conforming_sent\": %d, \"conforming_answered\": %d, \
+               \"greedy_sent\": %d, \"greedy_answered\": %d, \"greedy_shed\": \
+               %d, \"late_answers\": %d, \"wrong_answers\": %d, \
+               \"hedge_mismatches\": %d, \"expired\": %d, \"reaped\": %d }"
+              greedy r.Faults.ov_baseline_rps r.Faults.ov_storm_rps
+              r.Faults.ov_conforming_sent r.Faults.ov_conforming_answered
+              r.Faults.ov_greedy_sent r.Faults.ov_greedy_answered
+              r.Faults.ov_greedy_shed r.Faults.ov_late_answers
+              r.Faults.ov_wrong_answers r.Faults.ov_hedge_mismatches
+              r.Faults.ov_expired r.Faults.ov_reaped)
+          results));
+  close_out oc;
+  printf config "  wrote BENCH_overload.json\n"
+
 (* --- replication: journal streaming, quorum ACKs, epoch-fenced
    failover --- *)
 
@@ -1486,7 +1585,7 @@ let replication config =
                       | Ok (Protocol.Stats_reply s) -> Ok (`Acked s.Protocol.epoch)
                       | Ok _ | Error _ -> Ok (`Acked (-1)))
                     | Ok (Protocol.Fenced _) -> Ok `Rotate
-                    | Ok (Protocol.Busy | Protocol.Err _) -> Ok `Retry
+                    | Ok (Protocol.Busy _ | Protocol.Err _) -> Ok `Retry
                     | Ok r -> Error (Protocol.render_response r)
                     | Error _ as e -> e)
               with
@@ -1714,6 +1813,8 @@ let sharding config =
            attempts = 3;
            ledger = Some (Filename.concat tmp "router.ledger");
            seed = config.seed;
+           hedge_s = None;
+           margin_ms = 0;
          })
   in
   (* phase 1: load through the router — every ADD is a single-shard
@@ -2145,6 +2246,7 @@ let run_all config =
   streaming config;
   resilience config;
   serving config;
+  overload config;
   replication config;
   sharding config;
   integrity config

@@ -102,6 +102,19 @@ val serving_soak : config -> unit
     minute-long bench by design); run it via [tsj bench serving-soak].
     @raise Failure on any violation. *)
 
+val overload : config -> unit
+(** Extension bench: overload robustness.  Runs {!Tsj_harness.Faults}'
+    overload storm at widening greedy-client counts (1, 2, 5, 10 —
+    a single rung below [scale = 0.1]): one token-bucket-limited server,
+    a conforming paced client measured before and inside each storm,
+    greedy pipelined clients firing 50 ms-deadline queries flat out, an
+    idle connection awaiting the reaper and a hedge-race pair.  Prints
+    baseline-vs-storm goodput, shed/expired/reaped counts per rung and
+    writes [BENCH_overload.json].
+    @raise Failure if goodput drops below half of baseline, the
+    conforming client starves or is shed, any answer is late, wrong or
+    hedge-divergent, or an expired ADD reaches the store. *)
+
 val replication : config -> unit
 (** Extension bench: the replicated service.  Starts a
     primary-plus-two-replica cluster over temp Unix sockets (quorum 2,

@@ -1270,3 +1270,281 @@ let run_scrub_storm ?(domains = 1) ?(seed = 0x5C12B) ?(rounds = 30) ~trees
         sb_wrong_answers = !wrong;
         sb_converged = converged;
       })
+
+(* --- overload storm --- *)
+
+module Sserver = Tsj_server.Server
+module Sclient = Tsj_server.Client
+
+type overload_report = {
+  ov_baseline_rps : float;
+  ov_storm_rps : float;
+  ov_goodput_ok : bool;
+  ov_conforming_sent : int;
+  ov_conforming_answered : int;
+  ov_conforming_shed : int;
+  ov_no_starvation : bool;
+  ov_greedy_sent : int;
+  ov_greedy_answered : int;
+  ov_greedy_shed : int;
+  ov_late_answers : int;
+  ov_wrong_answers : int;
+  ov_hedge_mismatches : int;
+  ov_expired : int;
+  ov_reaped : int;
+  ov_expired_add_rejected : bool;
+  ov_trees_stable : bool;
+}
+
+(* The overload storm: one server with fair admission (per-connection
+   token buckets), a tight watermark and an idle reaper, under roughly
+   10x its conforming load.  The cast: one {e conforming} client paced
+   well below the bucket rate (its goodput is the asset being
+   protected), [greedy] pipelined binary clients firing windows of
+   short-deadline queries flat out (their excess is the overload), an
+   {e idle} connection that must get reaped, and a {e hedge-race} pair
+   issuing the same query on two connections at once (the replies must
+   be bit-identical whenever both are exact).  Phase 1 measures the
+   conforming client's goodput on the idle server; phase 2 re-runs it
+   inside the storm.  A correct implementation keeps the storm goodput
+   at >= 50%% of baseline, never starves the conforming client, never
+   delivers an answer meaningfully past its announced deadline, never
+   delivers a wrong answer, and rejects an already-expired ADD without
+   growing the store. *)
+let run_overload_storm ?(domains = 1) ?(seed = 0x10AD) ?(duration_s = 1.0)
+    ?(greedy = 3) ?(rate = 80.0) ~trees ~queries ~tau () =
+  if Array.length trees = 0 then invalid_arg "run_overload_storm: no trees";
+  if Array.length queries = 0 then
+    invalid_arg "run_overload_storm: no probe queries";
+  let sock = Filename.temp_file "tsj_overload" ".sock" in
+  Sys.remove sock;
+  let addr = Sproto.Unix_path sock in
+  let config =
+    {
+      (Sserver.default_config addr ~tau) with
+      Sserver.domains;
+      max_inflight = 32;
+      deadline_s = Some 0.5;
+      rate = Some rate;
+      burst = 16;
+      idle_timeout_s = Some 0.3;
+      max_conns = Some 64;
+    }
+  in
+  let server =
+    match Sserver.create config with Ok s -> s | Error m -> failwith m
+  in
+  let finally () =
+    (try Sserver.drain server with _ -> ());
+    (try Sserver.wait server with _ -> ());
+    if Sys.file_exists sock then Sys.remove sock
+  in
+  Fun.protect ~finally (fun () ->
+      Array.iter (fun t -> ignore (Sstore.add (Sserver.store server) t)) trees;
+      Sserver.start server;
+      let nq = Array.length queries in
+      let reference =
+        Array.map
+          (fun q -> (Sstore.query (Sserver.store server) q).Tsj_core.Incremental.hits)
+          queries
+      in
+      let deadline_ms = 500 in
+      let slack_s = 0.35 in
+      let now () = Tsj_util.Timer.now () in
+      (* The conforming client: lock-step text requests paced at a
+         quarter of the bucket rate — always within its own budget. *)
+      let run_conforming ~rng ~until =
+        let period = 4.0 /. rate in
+        let sent = ref 0 and answered = ref 0 and shed = ref 0 in
+        let late = ref 0 and wrong = ref 0 in
+        let conn = ref None in
+        let start = now () in
+        let i = ref 0 in
+        while now () < until do
+          let tick = start +. (float_of_int !i *. period) in
+          incr i;
+          let t = now () in
+          if tick > t then Thread.delay (Float.min (tick -. t) (until -. t));
+          if now () < until then begin
+            let c =
+              match !conn with
+              | Some c -> Some c
+              | None -> (
+                match Sclient.connect ~timeout_s:1.0 addr with
+                | Ok c ->
+                  conn := Some c;
+                  Some c
+                | Error _ -> None)
+            in
+            match c with
+            | None -> Thread.delay period
+            | Some c -> (
+              let qi = Prng.int rng nq in
+              incr sent;
+              let t0 = now () in
+              match
+                Sclient.request c ~deadline_ms
+                  (Sproto.Query { tau; tree = queries.(qi) })
+              with
+              | Ok (Sproto.Hits { degraded; hits; _ }) ->
+                incr answered;
+                if now () -. t0 > (float_of_int deadline_ms /. 1000.) +. slack_s
+                then incr late;
+                if (not degraded) && hits <> reference.(qi) then incr wrong
+              | Ok (Sproto.Busy _) -> incr shed
+              | Ok _ -> ()
+              | Error _ ->
+                Sclient.close c;
+                conn := None)
+          end
+        done;
+        (match !conn with Some c -> Sclient.close c | None -> ());
+        (!sent, !answered, !shed, !late, !wrong)
+      in
+      (* A greedy client: pipelined binary windows of short-deadline
+         queries, fired flat out; its excess is shed from its own
+         bucket.  Every request gets exactly one reply (HITS, BUSY or
+         ERR), so a window of sends is matched by a window of recvs. *)
+      let g_mutex = Mutex.create () in
+      let greedy_sent = ref 0
+      and greedy_answered = ref 0
+      and greedy_shed = ref 0
+      and greedy_late = ref 0 in
+      let greedy_deadline_ms = 50 in
+      let greedy_thread k until () =
+        let rng = Prng.create (seed + (17 * (k + 1))) in
+        let sent = ref 0 and answered = ref 0 and shed = ref 0 and late = ref 0 in
+        let rec sessions () =
+          if now () < until then begin
+            (match Sclient.Bin.connect ~timeout_s:1.0 addr with
+            | Error _ -> Thread.delay 0.02
+            | Ok b ->
+              let sent_at = Hashtbl.create 64 in
+              (try
+                 while now () < until do
+                   let window = 16 in
+                   for _ = 1 to window do
+                     let qi = Prng.int rng nq in
+                     let id =
+                       Sclient.Bin.send b ~deadline_ms:greedy_deadline_ms
+                         (Sproto.Query { tau; tree = queries.(qi) })
+                     in
+                     Hashtbl.replace sent_at id (now ());
+                     incr sent
+                   done;
+                   Sclient.Bin.flush b;
+                   for _ = 1 to window do
+                     match Sclient.Bin.recv b with
+                     | Ok (id, Sproto.Hits _) ->
+                       incr answered;
+                       (match Hashtbl.find_opt sent_at id with
+                       | Some t0 ->
+                         if
+                           now () -. t0
+                           > (float_of_int greedy_deadline_ms /. 1000.)
+                             +. slack_s
+                         then incr late
+                       | None -> ())
+                     | Ok (_, Sproto.Busy _) -> incr shed
+                     | Ok _ -> ()
+                     | Error _ -> raise Exit
+                   done
+                 done
+               with Exit -> ());
+              Sclient.Bin.close b);
+            sessions ()
+          end
+        in
+        sessions ();
+        Mutex.protect g_mutex (fun () ->
+            greedy_sent := !greedy_sent + !sent;
+            greedy_answered := !greedy_answered + !answered;
+            greedy_shed := !greedy_shed + !shed;
+            greedy_late := !greedy_late + !late)
+      in
+      (* The hedge-race pair: the same query on two connections at
+         once; whenever both replies are exact, they must render
+         bit-identically — racing changes latency, never the answer. *)
+      let hedge_mismatch = ref 0 in
+      let hedge_thread until () =
+        let rng = Prng.create (seed + 999) in
+        while now () < until do
+          let qi = Prng.int rng nq in
+          let req = Sproto.Query { tau; tree = queries.(qi) } in
+          let res = Array.make 2 None in
+          let legs =
+            Array.init 2 (fun j ->
+                Thread.create
+                  (fun () ->
+                    match Sclient.connect ~timeout_s:1.0 addr with
+                    | Error _ -> ()
+                    | Ok c ->
+                      (match Sclient.request c ~deadline_ms req with
+                      | Ok r -> res.(j) <- Some r
+                      | Error _ -> ());
+                      Sclient.close c)
+                  ())
+          in
+          Array.iter Thread.join legs;
+          (match (res.(0), res.(1)) with
+          | ( Some (Sproto.Hits { degraded = false; _ } as a),
+              Some (Sproto.Hits { degraded = false; _ } as b) ) ->
+            if Sproto.render_response a <> Sproto.render_response b then
+              incr hedge_mismatch
+          | _ -> ());
+          Thread.delay 0.02
+        done
+      in
+      (* phase 1: baseline goodput on the idle server *)
+      let rng = Prng.create seed in
+      let t_base = now () in
+      let bsent, bans, bshed, blate, bwrong =
+        run_conforming ~rng ~until:(t_base +. (duration_s /. 2.))
+      in
+      let baseline_wall = Float.max 1e-6 (now () -. t_base) in
+      let baseline_rps = float_of_int bans /. baseline_wall in
+      ignore bsent;
+      (* phase 2: the same client inside the storm *)
+      let until = now () +. duration_s in
+      let idle = Result.to_option (Sclient.connect addr) in
+      let threads =
+        List.init greedy (fun k -> Thread.create (greedy_thread k until) ())
+        @ [ Thread.create (hedge_thread until) () ]
+      in
+      let ssent, sans, sshed, slate, swrong = run_conforming ~rng ~until in
+      List.iter Thread.join threads;
+      let storm_rps = float_of_int sans /. duration_s in
+      (* an ADD arriving with a spent budget must be refused before the
+         journal, leaving the store exactly as preloaded *)
+      let expired_add_rejected =
+        match Sclient.connect ~timeout_s:1.0 addr with
+        | Error _ -> false
+        | Ok c ->
+          let r =
+            Sclient.request c ~deadline_ms:0
+              (Sproto.Add { seq = None; tree = trees.(0) })
+          in
+          Sclient.close c;
+          (match r with Ok (Sproto.Err "deadline expired") -> true | _ -> false)
+      in
+      (match idle with Some c -> Sclient.close c | None -> ());
+      let st = Sserver.stats server in
+      {
+        ov_baseline_rps = baseline_rps;
+        ov_storm_rps = storm_rps;
+        ov_goodput_ok = storm_rps >= 0.5 *. baseline_rps;
+        ov_conforming_sent = ssent;
+        ov_conforming_answered = sans;
+        ov_conforming_shed = bshed + sshed;
+        ov_no_starvation = 2 * sans >= ssent;
+        ov_greedy_sent = !greedy_sent;
+        ov_greedy_answered = !greedy_answered;
+        ov_greedy_shed = !greedy_shed;
+        ov_late_answers = blate + slate + !greedy_late;
+        ov_wrong_answers = bwrong + swrong;
+        ov_hedge_mismatches = !hedge_mismatch;
+        ov_expired = st.Sproto.expired;
+        ov_reaped = st.Sproto.reaped;
+        ov_expired_add_rejected = expired_add_rejected;
+        ov_trees_stable = st.Sproto.trees = Array.length trees;
+      })

@@ -255,3 +255,62 @@ val run_scrub_storm :
     differing suffix; or an injected EIO on the scrubber's own read.
     A correct implementation yields [sb_all_detected &&
     sb_transfer_frugal && sb_wrong_answers = 0 && sb_converged]. *)
+
+type overload_report = {
+  ov_baseline_rps : float;
+      (** conforming-client goodput on the idle server (answers/s) *)
+  ov_storm_rps : float;  (** the same client's goodput inside the storm *)
+  ov_goodput_ok : bool;  (** [ov_storm_rps >= 0.5 *. ov_baseline_rps] *)
+  ov_conforming_sent : int;  (** conforming requests sent during the storm *)
+  ov_conforming_answered : int;  (** of those, answered with HITS *)
+  ov_conforming_shed : int;  (** conforming requests answered BUSY — should
+                                 stay 0: the client never exceeds its bucket *)
+  ov_no_starvation : bool;
+      (** at least half the conforming requests were answered *)
+  ov_greedy_sent : int;  (** requests fired by the greedy clients *)
+  ov_greedy_answered : int;
+  ov_greedy_shed : int;  (** greedy requests refused BUSY by their buckets *)
+  ov_late_answers : int;
+      (** HITS delivered well past the request's announced deadline
+          (beyond a scheduling-slack allowance) — must be 0 *)
+  ov_wrong_answers : int;
+      (** exact (non-degraded) answers differing from the single-client
+          reference — must be 0 *)
+  ov_hedge_mismatches : int;
+      (** hedge-race rounds where two exact replies to the same query
+          did not render bit-identically — must be 0 *)
+  ov_expired : int;  (** server counter: work dropped with a spent budget *)
+  ov_reaped : int;
+      (** server counter: connections reaped by hygiene — at least 1,
+          the storm's deliberately idle connection *)
+  ov_expired_add_rejected : bool;
+      (** an ADD sent with [@0] budget came back [ERR deadline expired] *)
+  ov_trees_stable : bool;
+      (** the store still holds exactly the preloaded trees: the expired
+          ADD never reached the journal *)
+}
+
+val run_overload_storm :
+  ?domains:int ->
+  ?seed:int ->
+  ?duration_s:float ->
+  ?greedy:int ->
+  ?rate:float ->
+  trees:Tsj_tree.Tree.t array ->
+  queries:Tsj_tree.Tree.t array ->
+  tau:int ->
+  unit ->
+  overload_report
+(** The overload storm: one server with fair admission (per-connection
+    token buckets at [rate] answers/s, burst 16), a 32-job watermark
+    with least-remaining-deadline shedding, a 300 ms idle reaper and a
+    0.5 s compute budget, under roughly 10x its conforming load.  One
+    conforming client paced at a quarter of the bucket rate measures
+    goodput before ([duration_s]/2) and during ([duration_s]) the
+    storm; [greedy] pipelined binary clients (default 3) fire windows
+    of 50 ms-deadline queries flat out; one idle connection waits to be
+    reaped; a hedge-race pair issues the same query on two connections
+    at once and compares renders.  A correct implementation yields
+    [ov_goodput_ok && ov_no_starvation && ov_late_answers = 0 &&
+    ov_wrong_answers = 0 && ov_hedge_mismatches = 0 &&
+    ov_expired_add_rejected && ov_trees_stable && ov_reaped >= 1]. *)

@@ -47,9 +47,9 @@ let channels t = (t.ic, t.oc)
 
 let fd t = t.fd
 
-let request t req =
+let request t ?deadline_ms req =
   match
-    output_string t.oc (Protocol.render_request req);
+    output_string t.oc (Protocol.render_request_d ?deadline_ms req);
     output_char t.oc '\n';
     flush t.oc;
     input_line t.ic
@@ -71,9 +71,13 @@ let backoff_delay ~base_delay_s ~max_delay_s ~rng attempt =
 (* A [deadline_s] caps the total wall-clock time spent waiting between
    attempts: each sleep is clamped to the time remaining, and once the
    deadline has passed the last result is returned instead of retrying
-   further.  [now] is injectable so tests drive the clock. *)
+   further.  [now] is injectable so tests drive the clock.  A [budget]
+   gates every retry (successes fund it, see {!Admission.Retry_budget});
+   [delay_floor] is re-read before each sleep so a BUSY retry-after
+   hint can raise the next delay without touching the backoff state. *)
 let with_retries ?(attempts = 4) ?(base_delay_s = 0.05) ?(max_delay_s = 2.0)
-    ?(sleep = Unix.sleepf) ?deadline_s ?(now = Tsj_util.Timer.now) ~rng f =
+    ?(sleep = Unix.sleepf) ?deadline_s ?(now = Tsj_util.Timer.now) ?budget
+    ?(delay_floor = fun () -> 0.0) ~rng f =
   if attempts < 1 then invalid_arg "Client.with_retries: attempts must be >= 1";
   let t0 = now () in
   let remaining () =
@@ -81,11 +85,23 @@ let with_retries ?(attempts = 4) ?(base_delay_s = 0.05) ?(max_delay_s = 2.0)
   in
   let rec go attempt =
     match f () with
-    | Ok _ as r -> r
+    | Ok _ as r ->
+      (match budget with
+      | Some b -> Admission.Retry_budget.on_success b
+      | None -> ());
+      r
     | Error _ as e ->
       if attempt + 1 >= attempts then e
+      else if
+        match budget with
+        | Some b -> not (Admission.Retry_budget.try_retry b)
+        | None -> false
+      then e
       else begin
-        let delay = backoff_delay ~base_delay_s ~max_delay_s ~rng attempt in
+        let delay =
+          Float.max (delay_floor ())
+            (backoff_delay ~base_delay_s ~max_delay_s ~rng attempt)
+        in
         let left = remaining () in
         if left <= 0.0 then e
         else begin
@@ -99,27 +115,47 @@ let with_retries ?(attempts = 4) ?(base_delay_s = 0.05) ?(max_delay_s = 2.0)
 (* One-shot request with reconnect-and-retry.  [BUSY] counts as a
    retryable failure (the shedding server asked us to back off), but is
    returned as-is once attempts are exhausted rather than masked as an
-   error. *)
+   error.  A BUSY retry-after hint floors the next backoff sleep; a
+   [deadline_ms] is re-derived before every attempt (entry budget minus
+   wall clock spent so far), so the server sees a monotonically
+   shrinking remaining budget across retries. *)
 let request_with_retries ?attempts ?base_delay_s ?max_delay_s ?sleep ?deadline_s ?now
-    ?timeout_s ~rng addr req =
+    ?timeout_s ?budget ?deadline_ms ~rng addr req =
+  let now_fn = match now with Some f -> f | None -> Tsj_util.Timer.now in
+  let t0 = now_fn () in
+  let send_deadline () =
+    match deadline_ms with
+    | None -> None
+    | Some ms ->
+      let elapsed_ms = Admission.Deadline.of_span_s (now_fn () -. t0) in
+      Some (Admission.Deadline.after_hop ~elapsed_ms ms)
+  in
   let last_busy = ref false in
+  let last_hint = ref None in
   let result =
-    with_retries ?attempts ?base_delay_s ?max_delay_s ?sleep ?deadline_s ?now ~rng
+    with_retries ?attempts ?base_delay_s ?max_delay_s ?sleep ?deadline_s ?now ?budget
+      ~delay_floor:(fun () ->
+        match !last_hint with
+        | Some ms -> Admission.Deadline.to_span_s ms
+        | None -> 0.0)
+      ~rng
       (fun () ->
         last_busy := false;
+        last_hint := None;
         match connect ?timeout_s addr with
         | Error _ as e -> e
         | Ok conn ->
-          let r = request conn req in
+          let r = request conn ?deadline_ms:(send_deadline ()) req in
           close conn;
           (match r with
-          | Ok Protocol.Busy ->
+          | Ok (Protocol.Busy { retry_after_ms }) ->
             last_busy := true;
+            last_hint := retry_after_ms;
             Error "busy"
           | _ -> r))
   in
   match result with
-  | Error _ when !last_busy -> Ok Protocol.Busy
+  | Error _ when !last_busy -> Ok (Protocol.Busy { retry_after_ms = !last_hint })
   | r -> r
 
 (* --- failover across a server list --- *)
@@ -181,14 +217,24 @@ module Failover = struct
      one might": a fenced (demoted or never-primary) node, admission
      shedding, and a drain in progress. *)
   let retryable = function
-    | Protocol.Fenced _ | Protocol.Busy -> true
+    | Protocol.Fenced _ | Protocol.Busy _ -> true
     | Protocol.Err reason -> contains ~sub:"draining" reason
     | _ -> false
 
-  let request t req =
+  let request t ?deadline_ms req =
     let t0 = t.now () in
     let remaining () =
       match t.deadline_s with None -> infinity | Some d -> d -. (t.now () -. t0)
+    in
+    (* Re-derived before every attempt: the budget announced to each
+       server shrinks by the wall clock already burned on earlier
+       attempts and backoff sleeps. *)
+    let send_deadline () =
+      match deadline_ms with
+      | None -> None
+      | Some ms ->
+        let elapsed_ms = Admission.Deadline.of_span_s (t.now () -. t0) in
+        Some (Admission.Deadline.after_hop ~elapsed_ms ms)
     in
     (* [attempt] bounds the total tries; [backoff] is the exponent of
        the next delay and is tracked separately so it can RESET once a
@@ -202,7 +248,7 @@ module Failover = struct
         match connect ?timeout_s:t.timeout_s (current t) with
         | Error _ as e -> e
         | Ok conn ->
-          let r = request conn req in
+          let r = request conn ?deadline_ms:(send_deadline ()) req in
           close conn;
           r
       in
@@ -210,9 +256,16 @@ module Failover = struct
         if attempt + 1 >= t.attempts then last
         else begin
           rotate t;
+          let floor_s =
+            match result with
+            | Ok (Protocol.Busy { retry_after_ms = Some ms }) ->
+              Admission.Deadline.to_span_s ms
+            | _ -> 0.0
+          in
           let delay =
-            backoff_delay ~base_delay_s:t.base_delay_s ~max_delay_s:t.max_delay_s
-              ~rng:t.rng backoff
+            Float.max floor_s
+              (backoff_delay ~base_delay_s:t.base_delay_s
+                 ~max_delay_s:t.max_delay_s ~rng:t.rng backoff)
           in
           let left = remaining () in
           if left <= 0.0 then last
@@ -266,7 +319,7 @@ end
 module Bin = struct
   type conn = t
 
-  type nonrec t = { conn : conn; mutable next_id : int }
+  type nonrec t = { conn : conn; mutable next_id : int; version : int }
 
   (* Negotiate the binary protocol on a fresh text connection: one
      [HELLO BIN <v>] line each way, then frames. *)
@@ -295,17 +348,22 @@ module Bin = struct
       | Error e ->
         close conn;
         Error e
-      | Ok _v -> Ok { conn; next_id = 0 })
+      | Ok v -> Ok { conn; next_id = 0; version = v })
 
   let close t = close t.conn
 
+  let version t = t.version
+
   (* Queue one request frame (buffered; {!flush} pushes the batch).
-     Returns the request id its reply will carry. *)
-  let send t ?max_lag req =
+     Returns the request id its reply will carry.  Frames are encoded
+     at the negotiated version, so a deadline sent to a v1 server is
+     silently dropped rather than corrupting the frame layout. *)
+  let send t ?max_lag ?deadline_ms req =
     let id = t.next_id in
     t.next_id <- id + 1;
     let b = Buffer.create 64 in
-    Protocol.Binary.encode_request b ~id ?max_lag req;
+    Protocol.Binary.encode_request b ~id ?max_lag ?deadline_ms ~version:t.version
+      req;
     output_string t.conn.oc (Buffer.contents b);
     id
 
@@ -335,8 +393,8 @@ module Bin = struct
 
   (* Lock-step round trip; replies to other outstanding pipelined
      requests are discarded while waiting. *)
-  let request t ?max_lag req =
-    let id = send t ?max_lag req in
+  let request t ?max_lag ?deadline_ms req =
+    let id = send t ?max_lag ?deadline_ms req in
     flush t;
     let rec await () =
       match recv t with

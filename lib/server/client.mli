@@ -22,10 +22,13 @@ val channels : t -> in_channel * out_channel
 
 val fd : t -> Unix.file_descr
 
-val request : t -> Protocol.request -> (Protocol.response, string) result
+val request :
+  t -> ?deadline_ms:int -> Protocol.request -> (Protocol.response, string) result
 (** One request/reply round trip.  [Error] means a transport or framing
     failure; protocol-level failures arrive as [Ok (Err _)] or
-    [Ok Busy]. *)
+    [Ok (Busy _)].  [deadline_ms] announces the remaining budget for a
+    work request ([@<ms>] on the wire, see {!Protocol}); ignored for
+    control verbs. *)
 
 val backoff_delay :
   base_delay_s:float -> max_delay_s:float -> rng:Tsj_util.Prng.t -> int -> float
@@ -40,6 +43,8 @@ val with_retries :
   ?sleep:(float -> unit) ->
   ?deadline_s:float ->
   ?now:(unit -> float) ->
+  ?budget:Admission.Retry_budget.t ->
+  ?delay_floor:(unit -> float) ->
   rng:Tsj_util.Prng.t ->
   (unit -> ('a, string) result) ->
   ('a, string) result
@@ -50,7 +55,14 @@ val with_retries :
     last result is returned instead of retrying further — a caller with
     a 1 s budget never sleeps through a 2 s backoff schedule.  [now]
     (default {!Tsj_util.Timer.now}) is the clock, injectable for
-    deterministic tests.  @raise Invalid_argument if [attempts < 1]. *)
+    deterministic tests.  A [budget] makes retries success-funded: each
+    retry spends a {!Admission.Retry_budget} token (an exhausted budget
+    returns the last failure immediately — retry traffic can never
+    multiply offered load during a brownout) and each [Ok] credits one
+    back.  [delay_floor] (default [fun () -> 0.]) is read before every
+    sleep and floors that one delay — the hook by which a server's
+    BUSY retry-after hint stretches the next backoff.
+    @raise Invalid_argument if [attempts < 1]. *)
 
 val request_with_retries :
   ?attempts:int ->
@@ -60,15 +72,22 @@ val request_with_retries :
   ?deadline_s:float ->
   ?now:(unit -> float) ->
   ?timeout_s:float ->
+  ?budget:Admission.Retry_budget.t ->
+  ?deadline_ms:int ->
   rng:Tsj_util.Prng.t ->
   Protocol.addr ->
   Protocol.request ->
   (Protocol.response, string) result
 (** Connect, send, receive, close — retrying (with a fresh connection)
     on transport failures and on [BUSY].  A final [BUSY] after all
-    attempts is returned as [Ok Busy], not mapped to an error: shedding
-    is an explicit, well-formed answer.  [deadline_s]/[now] as in
-    {!with_retries}. *)
+    attempts is returned as [Ok (Busy _)] (with the last hint), not
+    mapped to an error: shedding is an explicit, well-formed answer.  A
+    BUSY retry-after hint floors the very next backoff sleep.
+    [deadline_s]/[now]/[budget] as in {!with_retries}.  [deadline_ms]
+    is the {e total} remaining budget at entry: the value announced to
+    the server is re-derived before each attempt (entry budget minus
+    wall clock burned on earlier attempts and sleeps), so it shrinks
+    monotonically across retries. *)
 
 (** Failover across a replicated server list.  Each request starts at
     the last server that answered; a transport failure, a [FENCED]
@@ -104,7 +123,14 @@ module Failover : sig
   val current : t -> Protocol.addr
   (** The server the next request will try first. *)
 
-  val request : t -> Protocol.request -> (Protocol.response, string) result
+  val request :
+    t ->
+    ?deadline_ms:int ->
+    Protocol.request ->
+    (Protocol.response, string) result
+  (** [deadline_ms] is the remaining budget at entry, re-derived before
+      every attempt as in {!request_with_retries}; a BUSY retry-after
+      hint floors the next rotation's backoff sleep. *)
 
   val add :
     ?seq_retries:int -> t -> Tsj_tree.Tree.t -> (Protocol.response, string) result
@@ -130,10 +156,18 @@ module Bin : sig
 
   val close : t -> unit
 
-  val send : t -> ?max_lag:int -> Protocol.request -> int
+  val version : t -> int
+  (** The protocol version negotiated by the [HELLO] handshake
+      ([min] of both sides). *)
+
+  val send : t -> ?max_lag:int -> ?deadline_ms:int -> Protocol.request -> int
   (** Queue one request frame (buffered until {!flush}) and return the
       id its reply will carry.  [max_lag] turns a [Query]/[Knn] into a
-      bounded-staleness read (see {!Protocol}). *)
+      bounded-staleness read (see {!Protocol}); [deadline_ms] announces
+      the remaining budget for a work request.  Frames are encoded at
+      the negotiated {!version}: against a v1 server the deadline is
+      silently dropped (legacy semantics) rather than corrupting the
+      frame layout. *)
 
   val flush : t -> unit
   (** Push every queued frame to the socket. *)
@@ -143,6 +177,10 @@ module Bin : sig
       order — not necessarily send order. *)
 
   val request :
-    t -> ?max_lag:int -> Protocol.request -> (Protocol.response, string) result
+    t ->
+    ?max_lag:int ->
+    ?deadline_ms:int ->
+    Protocol.request ->
+    (Protocol.response, string) result
   (** [send] + [flush] + [recv] until this request's id answers. *)
 end

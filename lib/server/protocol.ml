@@ -45,78 +45,114 @@ let split_first_word s =
   | Some i ->
     (String.sub s 0 i, String.trim (String.sub s (i + 1) (String.length s - i - 1)))
 
+(* Largest remaining-budget value the wire can carry: one below the
+   binary frames' "absent" sentinel, so every clamped deadline encodes
+   as a non-sentinel u32. *)
+let max_deadline_ms = 0xFFFF_FFFE
+
+(* An optional remaining-budget token "@<ms>" may precede the tree on
+   QUERY/KNN/ADD (a bracket tree cannot start with '@', so the forms
+   stay unambiguous).  A malformed token is a hard parse error — never
+   silently treated as part of the tree — so garbage deadlines get a
+   precise ERR instead of a confusing bracket diagnostic. *)
+let take_deadline what raw =
+  if String.length raw > 0 && raw.[0] = '@' then begin
+    let arg, rest = split_first_word raw in
+    let num = String.sub arg 1 (String.length arg - 1) in
+    match int_of_string_opt num with
+    | Some ms when ms >= 0 -> Ok (Some (min ms max_deadline_ms), rest)
+    | _ ->
+      Error
+        (Printf.sprintf "%s: bad deadline token %S (expected @<milliseconds>)"
+           what arg)
+  end
+  else Ok (None, raw)
+
 (* A request whose integer argument fails to parse, whose tree is
    malformed (diagnosed by the located bracket parser) or whose verb is
    unknown yields [Error reason] — never an exception.  The server turns
-   the reason into an [ERR] reply. *)
-let parse_request line =
+   the reason into an [ERR] reply.  The second component of the result
+   is the remaining-budget deadline in milliseconds, when present. *)
+let parse_request_d line =
   let int_and_tree what raw k =
     let arg, rest = split_first_word raw in
     match int_of_string_opt arg with
     | None -> Error (Printf.sprintf "%s: expected an integer, found %S" what arg)
     | Some n -> (
-      if rest = "" then Error (Printf.sprintf "%s: missing tree" what)
-      else
-        match Bracket.of_string rest with
-        | Error msg -> Error (Printf.sprintf "%s: %s" what msg)
-        | Ok tree -> k n tree)
+      match take_deadline what rest with
+      | Error e -> Error e
+      | Ok (deadline, rest) -> (
+        if rest = "" then Error (Printf.sprintf "%s: missing tree" what)
+        else
+          match Bracket.of_string rest with
+          | Error msg -> Error (Printf.sprintf "%s: %s" what msg)
+          | Ok tree -> k n deadline tree))
   in
   let verb, rest = split_first_word line in
   match String.uppercase_ascii verb with
   | "QUERY" ->
-    int_and_tree "QUERY" rest (fun tau tree ->
+    int_and_tree "QUERY" rest (fun tau deadline tree ->
         if tau < 0 then Error "QUERY: negative threshold"
-        else Ok (Query { tau; tree }))
+        else Ok (Query { tau; tree }, deadline))
   | "KNN" ->
-    int_and_tree "KNN" rest (fun k tree ->
-        if k < 0 then Error "KNN: negative k" else Ok (Knn { k; tree }))
+    int_and_tree "KNN" rest (fun k deadline tree ->
+        if k < 0 then Error "KNN: negative k" else Ok (Knn { k; tree }, deadline))
   | "ADD" -> (
     if rest = "" then Error "ADD: missing tree"
     else
-      (* An optional client-chosen sequence number precedes the tree; a
-         bracket tree cannot start with a digit, so the forms are
-         unambiguous.  See the idempotency contract in the interface. *)
+      (* An optional client-chosen sequence number precedes the
+         (optional) deadline token and the tree; a bracket tree cannot
+         start with a digit, so the forms are unambiguous.  See the
+         idempotency contract in the interface. *)
       let arg, after = split_first_word rest in
       match int_of_string_opt arg with
       | Some seq when seq < 0 -> Error "ADD: negative sequence number"
       | Some seq -> (
-        if after = "" then Error "ADD: missing tree"
-        else
-          match Bracket.of_string after with
-          | Error msg -> Error (Printf.sprintf "ADD: %s" msg)
-          | Ok tree -> Ok (Add { seq = Some seq; tree }))
+        match take_deadline "ADD" after with
+        | Error e -> Error e
+        | Ok (deadline, after) -> (
+          if after = "" then Error "ADD: missing tree"
+          else
+            match Bracket.of_string after with
+            | Error msg -> Error (Printf.sprintf "ADD: %s" msg)
+            | Ok tree -> Ok (Add { seq = Some seq; tree }, deadline)))
       | None -> (
-        match Bracket.of_string rest with
-        | Error msg -> Error (Printf.sprintf "ADD: %s" msg)
-        | Ok tree -> Ok (Add { seq = None; tree })))
+        match take_deadline "ADD" rest with
+        | Error e -> Error e
+        | Ok (deadline, rest) -> (
+          if rest = "" then Error "ADD: missing tree"
+          else
+            match Bracket.of_string rest with
+            | Error msg -> Error (Printf.sprintf "ADD: %s" msg)
+            | Ok tree -> Ok (Add { seq = None; tree }, deadline))))
   | "SYNC" -> (
     match String.split_on_char ' ' rest with
     | [ e; s ] -> (
       match (int_of_string_opt e, int_of_string_opt s) with
       | Some epoch, Some from_seq when epoch >= 0 && from_seq >= 0 ->
-        Ok (Sync { epoch; from_seq })
+        Ok (Sync { epoch; from_seq }, None)
       | _ -> Error "SYNC: expected two non-negative integers")
     | _ -> Error "SYNC: expected <epoch> <from_seq>")
   | "ACKED" -> (
     match int_of_string_opt rest with
-    | Some seq when seq >= 0 -> Ok (Ack seq)
+    | Some seq when seq >= 0 -> Ok (Ack seq, None)
     | _ -> Error "ACKED: expected a non-negative integer")
   | "GET" -> (
     match int_of_string_opt rest with
-    | Some seq when seq >= 0 -> Ok (Get seq)
+    | Some seq when seq >= 0 -> Ok (Get seq, None)
     | _ -> Error "GET: expected a non-negative sequence number")
   | "DIGEST" -> (
     match String.split_on_char ' ' rest with
     | [ e; lo; hi ] -> (
       match (int_of_string_opt e, int_of_string_opt lo, int_of_string_opt hi) with
       | Some epoch, Some lo, Some hi when epoch >= 0 && 0 <= lo && lo <= hi ->
-        Ok (Digest { epoch; lo; hi })
+        Ok (Digest { epoch; lo; hi }, None)
       | _ -> Error "DIGEST: expected <epoch> <lo> <hi> with 0 <= lo <= hi")
     | _ -> Error "DIGEST: expected <epoch> <lo> <hi>")
-  | "STATS" when rest = "" -> Ok Stats
-  | "HEALTH" when rest = "" -> Ok Health
-  | "DRAIN" when rest = "" -> Ok Drain
-  | "PROMOTE" when rest = "" -> Ok Promote
+  | "STATS" when rest = "" -> Ok (Stats, None)
+  | "HEALTH" when rest = "" -> Ok (Health, None)
+  | "DRAIN" when rest = "" -> Ok (Drain, None)
+  | "PROMOTE" when rest = "" -> Ok (Promote, None)
   | ("STATS" | "HEALTH" | "DRAIN" | "PROMOTE") as v ->
     Error (Printf.sprintf "%s takes no arguments" v)
   | "" -> Error "empty request"
@@ -127,12 +163,22 @@ let parse_request line =
           DRAIN, SYNC, ACKED or PROMOTE)"
          other)
 
-let render_request = function
-  | Query { tau; tree } -> Printf.sprintf "QUERY %d %s" tau (Bracket.to_string tree)
-  | Knn { k; tree } -> Printf.sprintf "KNN %d %s" k (Bracket.to_string tree)
-  | Add { seq = None; tree } -> "ADD " ^ Bracket.to_string tree
+let parse_request line =
+  match parse_request_d line with Ok (req, _) -> Ok req | Error _ as e -> e
+
+let render_request_d ?deadline_ms req =
+  let d =
+    match deadline_ms with
+    | None -> ""
+    | Some ms -> Printf.sprintf "@%d " (max 0 (min ms max_deadline_ms))
+  in
+  match req with
+  | Query { tau; tree } ->
+    Printf.sprintf "QUERY %d %s%s" tau d (Bracket.to_string tree)
+  | Knn { k; tree } -> Printf.sprintf "KNN %d %s%s" k d (Bracket.to_string tree)
+  | Add { seq = None; tree } -> Printf.sprintf "ADD %s%s" d (Bracket.to_string tree)
   | Add { seq = Some seq; tree } ->
-    Printf.sprintf "ADD %d %s" seq (Bracket.to_string tree)
+    Printf.sprintf "ADD %d %s%s" seq d (Bracket.to_string tree)
   | Stats -> "STATS"
   | Health -> "HEALTH"
   | Drain -> "DRAIN"
@@ -141,6 +187,8 @@ let render_request = function
   | Get seq -> Printf.sprintf "GET %d" seq
   | Digest { epoch; lo; hi } -> Printf.sprintf "DIGEST %d %d %d" epoch lo hi
   | Promote -> "PROMOTE"
+
+let render_request req = render_request_d req
 
 (* --- responses --- *)
 
@@ -162,6 +210,18 @@ type stats_reply = {
   scrubbed : int;  (** records re-verified by the background scrubber *)
   crc_failures : int;  (** checksum/seal findings (open + scrub) *)
   repaired : int;  (** healed records, scrub repairs, anti-entropy ranges *)
+  expired : int;  (** requests dropped because their deadline had passed *)
+  accept_pauses : int;  (** accept stalls after EMFILE/ENFILE *)
+  reaped : int;  (** connections closed by hygiene (idle, overflow, max-conns) *)
+  q_p50 : int;  (** QUERY service latency quantiles, µs (log-bucket) *)
+  q_p95 : int;
+  q_p99 : int;
+  k_p50 : int;  (** KNN latency quantiles, µs *)
+  k_p95 : int;
+  k_p99 : int;
+  a_p50 : int;  (** ADD latency quantiles, µs *)
+  a_p95 : int;
+  a_p99 : int;
 }
 
 type response =
@@ -175,7 +235,9 @@ type response =
   | Stats_reply of stats_reply
   | Health_reply of { draining : bool }
   | Drained
-  | Busy
+  | Busy of { retry_after_ms : int option }
+      (** shed under overload; the hint, when present, is the earliest
+          time a retry can be admitted *)
   | Err of string
   | Sync_stream of { epoch : int; base : int; high : int }
   | Record of string
@@ -211,14 +273,20 @@ let render_response r =
       (Printf.sprintf
          "STATS trees=%d tau=%d queries=%d adds=%d shed=%d degraded=%d errors=%d \
           quarantined=%d inflight=%d draining=%d journal=%d epoch=%d primary=%d \
-          dedup=%d scrubbed=%d crc_failures=%d repaired=%d"
+          dedup=%d scrubbed=%d crc_failures=%d repaired=%d expired=%d \
+          accept_pauses=%d reaped=%d q_p50=%d q_p95=%d q_p99=%d k_p50=%d \
+          k_p95=%d k_p99=%d a_p50=%d a_p95=%d a_p99=%d"
          s.trees s.tau s.queries s.adds s.shed s.degraded s.errors s.quarantined
          s.inflight (Bool.to_int s.draining) s.journal_records s.epoch
-         (Bool.to_int s.primary) s.dedup s.scrubbed s.crc_failures s.repaired)
+         (Bool.to_int s.primary) s.dedup s.scrubbed s.crc_failures s.repaired
+         s.expired s.accept_pauses s.reaped s.q_p50 s.q_p95 s.q_p99 s.k_p50
+         s.k_p95 s.k_p99 s.a_p50 s.a_p95 s.a_p99)
   | Health_reply { draining } ->
     Buffer.add_string b (if draining then "OK draining" else "OK serving")
   | Drained -> Buffer.add_string b "OK drained"
-  | Busy -> Buffer.add_string b "BUSY"
+  | Busy { retry_after_ms = None } -> Buffer.add_string b "BUSY"
+  | Busy { retry_after_ms = Some ms } ->
+    Buffer.add_string b (Printf.sprintf "BUSY %d" (max 0 ms))
   | Err reason -> Buffer.add_string b ("ERR " ^ one_line reason)
   | Sync_stream { epoch; base; high } ->
     Buffer.add_string b (Printf.sprintf "SYNC %d %d %d" epoch base high)
@@ -364,17 +432,34 @@ let parse_response line =
              journal_records;
              epoch;
              primary = primary = 1;
-             (* absent in replies from pre-dedup / pre-scrub servers *)
+             (* absent in replies from pre-dedup / pre-scrub /
+                pre-overload servers *)
              dedup = Option.value (get "dedup") ~default:0;
              scrubbed = Option.value (get "scrubbed") ~default:0;
              crc_failures = Option.value (get "crc_failures") ~default:0;
              repaired = Option.value (get "repaired") ~default:0;
+             expired = Option.value (get "expired") ~default:0;
+             accept_pauses = Option.value (get "accept_pauses") ~default:0;
+             reaped = Option.value (get "reaped") ~default:0;
+             q_p50 = Option.value (get "q_p50") ~default:0;
+             q_p95 = Option.value (get "q_p95") ~default:0;
+             q_p99 = Option.value (get "q_p99") ~default:0;
+             k_p50 = Option.value (get "k_p50") ~default:0;
+             k_p95 = Option.value (get "k_p95") ~default:0;
+             k_p99 = Option.value (get "k_p99") ~default:0;
+             a_p50 = Option.value (get "a_p50") ~default:0;
+             a_p95 = Option.value (get "a_p95") ~default:0;
+             a_p99 = Option.value (get "a_p99") ~default:0;
            })
     | _ -> fail ())
   | [ "OK"; "serving" ] -> Ok (Health_reply { draining = false })
   | [ "OK"; "draining" ] -> Ok (Health_reply { draining = true })
   | [ "OK"; "drained" ] -> Ok Drained
-  | [ "BUSY" ] -> Ok Busy
+  | [ "BUSY" ] -> Ok (Busy { retry_after_ms = None })
+  | [ "BUSY"; ms ] -> (
+    match int_of_string_opt ms with
+    | Some ms when ms >= 0 -> Ok (Busy { retry_after_ms = Some ms })
+    | _ -> fail ())
   | [ "SYNC"; e; b ] -> (
     (* Pre-binary stream header without the high-water mark: treat the
        base as the only known bound so staleness stays conservative. *)
@@ -412,7 +497,10 @@ let parse_response line =
 (* --- binary framing --- *)
 
 module Binary = struct
-  let version = 1
+  (* v2 adds a remaining-budget deadline u32 to QUERY/KNN/ADD bodies.
+     Both sides speak the min of their versions (negotiated via HELLO),
+     so a v1 peer keeps the exact v1 layouts. *)
+  let version = 2
 
   let hello v = Printf.sprintf "HELLO BIN %d" v
 
@@ -458,23 +546,34 @@ module Binary = struct
     Buffer.add_char b (Char.chr op);
     Buffer.add_string b body
 
-  let encode_request b ~id ?max_lag req =
+  let encode_request b ~id ?max_lag ?deadline_ms ?(version = version) req =
     let body = Buffer.create 64 in
     let lag = match max_lag with None -> no_value | Some l -> l land no_value in
+    (* A v1 peer has no deadline field: the budget is silently dropped
+       (the legacy server applies its own default), never mis-framed. *)
+    let deadline =
+      match deadline_ms with
+      | None -> no_value
+      | Some ms -> max 0 (min ms max_deadline_ms)
+    in
+    let put_deadline () = if version >= 2 then u32 body deadline in
     let op =
       match req with
       | Query { tau; tree } ->
         u32 body tau;
         u32 body lag;
+        put_deadline ();
         Buffer.add_string body (Bracket.to_string tree);
         op_query
       | Knn { k; tree } ->
         u32 body k;
         u32 body lag;
+        put_deadline ();
         Buffer.add_string body (Bracket.to_string tree);
         op_knn
       | Add { seq; tree } ->
         u32 body (match seq with None -> no_value | Some s -> s);
+        put_deadline ();
         Buffer.add_string body (Bracket.to_string tree);
         op_add
       | Stats -> op_stats
@@ -487,10 +586,14 @@ module Binary = struct
     frame b ~id ~op (Buffer.contents body)
 
   (* [decode_request ~op ~body] returns the request plus the bounded-
-     staleness bound carried by read frames; a malformed body yields
-     [Error reason] (answered as an ERR frame), never an exception. *)
-  let decode_request ~op ~body =
+     staleness bound and remaining-budget deadline carried by v2 frames;
+     a malformed body yields [Error reason] (answered as an ERR frame),
+     never an exception.  [version] is the connection's negotiated
+     version: a v1 frame has no deadline field and decodes exactly as
+     before. *)
+  let decode_request ~version ~op ~body =
     let len = String.length body in
+    let v2 = version >= 2 in
     let tree_at what pos =
       if len <= pos then Error (Printf.sprintf "%s frame: missing tree" what)
       else
@@ -498,30 +601,40 @@ module Binary = struct
         | Ok tree -> Ok tree
         | Error msg -> Error (Printf.sprintf "%s: %s" what msg)
     in
+    let opt_u32 pos =
+      let v = get_u32 body pos in
+      if v = no_value then None else Some v
+    in
     let read what k =
-      if len < 8 then Error (Printf.sprintf "%s frame: truncated header" what)
+      let header = if v2 then 12 else 8 in
+      if len < header then Error (Printf.sprintf "%s frame: truncated header" what)
       else
         let n = get_u32 body 0 in
-        let lag = get_u32 body 4 in
-        let lag = if lag = no_value then None else Some lag in
-        match tree_at what 8 with Error e -> Error e | Ok tree -> k n lag tree
+        let lag = opt_u32 4 in
+        let deadline = if v2 then opt_u32 8 else None in
+        match tree_at what header with
+        | Error e -> Error e
+        | Ok tree -> k n lag deadline tree
     in
     if op = op_query then
-      read "QUERY" (fun tau lag tree -> Ok (Query { tau; tree }, lag))
-    else if op = op_knn then read "KNN" (fun k lag tree -> Ok (Knn { k; tree }, lag))
+      read "QUERY" (fun tau lag deadline tree ->
+          Ok (Query { tau; tree }, lag, deadline))
+    else if op = op_knn then
+      read "KNN" (fun k lag deadline tree -> Ok (Knn { k; tree }, lag, deadline))
     else if op = op_add then begin
-      if len < 4 then Error "ADD frame: truncated header"
+      let header = if v2 then 8 else 4 in
+      if len < header then Error "ADD frame: truncated header"
       else
-        let seq = get_u32 body 0 in
-        let seq = if seq = no_value then None else Some seq in
-        match tree_at "ADD" 4 with
+        let seq = opt_u32 0 in
+        let deadline = if v2 then opt_u32 4 else None in
+        match tree_at "ADD" header with
         | Error e -> Error e
-        | Ok tree -> Ok (Add { seq; tree }, None)
+        | Ok tree -> Ok (Add { seq; tree }, None, deadline)
     end
-    else if op = op_stats then Ok (Stats, None)
-    else if op = op_health then Ok (Health, None)
-    else if op = op_drain then Ok (Drain, None)
-    else if op = op_promote then Ok (Promote, None)
+    else if op = op_stats then Ok (Stats, None, None)
+    else if op = op_health then Ok (Health, None, None)
+    else if op = op_drain then Ok (Drain, None, None)
+    else if op = op_promote then Ok (Promote, None, None)
     else Error (Printf.sprintf "unknown opcode 0x%02x" op)
 
   let encode_response b ~id resp =
@@ -546,13 +659,16 @@ module Binary = struct
           [ s.trees; s.tau; s.queries; s.adds; s.shed; s.degraded; s.errors;
             s.quarantined; s.inflight; Bool.to_int s.draining; s.journal_records;
             s.epoch; Bool.to_int s.primary; s.dedup; s.scrubbed; s.crc_failures;
-            s.repaired ];
+            s.repaired; s.expired; s.accept_pauses; s.reaped; s.q_p50; s.q_p95;
+            s.q_p99; s.k_p50; s.k_p95; s.k_p99; s.a_p50; s.a_p95; s.a_p99 ];
         op_stats_reply
       | Health_reply { draining } ->
         Buffer.add_char body (if draining then '\001' else '\000');
         op_health_reply
       | Drained -> op_drained
-      | Busy -> op_busy
+      | Busy { retry_after_ms } ->
+        (match retry_after_ms with None -> () | Some ms -> u32 body (max 0 ms));
+        op_busy
       | Err reason ->
         Buffer.add_string body reason;
         op_err
@@ -605,8 +721,8 @@ module Binary = struct
     end
     else if op = op_stats_reply then begin
       (* 52 bytes: pre-dedup frame (13 u32s); 56: pre-scrub (14);
-         68: current (17). *)
-      if len <> 52 && len <> 56 && len <> 68 then fail "STATS"
+         68: pre-overload (17); 116: current (29). *)
+      if len <> 52 && len <> 56 && len <> 68 && len <> 116 then fail "STATS"
       else
         let f i = get_u32 body (4 * i) in
         let opt i = if len >= 4 * (i + 1) then f i else 0 in
@@ -630,13 +746,30 @@ module Binary = struct
                scrubbed = opt 14;
                crc_failures = opt 15;
                repaired = opt 16;
+               expired = opt 17;
+               accept_pauses = opt 18;
+               reaped = opt 19;
+               q_p50 = opt 20;
+               q_p95 = opt 21;
+               q_p99 = opt 22;
+               k_p50 = opt 23;
+               k_p95 = opt 24;
+               k_p99 = opt 25;
+               a_p50 = opt 26;
+               a_p95 = opt 27;
+               a_p99 = opt 28;
              })
     end
     else if op = op_health_reply then begin
       if len <> 1 then fail "HEALTH" else Ok (Health_reply { draining = body.[0] = '\001' })
     end
     else if op = op_drained then Ok Drained
-    else if op = op_busy then Ok Busy
+    else if op = op_busy then begin
+      (* Empty body: legacy BUSY.  4 bytes: the retry-after hint. *)
+      if len = 0 then Ok (Busy { retry_after_ms = None })
+      else if len = 4 then Ok (Busy { retry_after_ms = Some (get_u32 body 0) })
+      else fail "BUSY"
+    end
     else if op = op_err then Ok (Err body)
     else if op = op_fenced then begin
       if len <> 4 then fail "FENCED" else Ok (Fenced (get_u32 body 0))

@@ -4,9 +4,10 @@
     Grammar (one request per line; a tree is bracket notation, which
     cannot contain a newline when it arrived on a line):
     {v
-    request  := "QUERY" SP tau SP tree        similarity search at τ' <= index τ
-              | "KNN" SP k SP tree            top-k within the index τ
-              | "ADD" SP [seq SP] tree        journal + index a tree (seq: see below)
+    request  := "QUERY" SP tau SP [deadline SP] tree    similarity search at τ' <= index τ
+              | "KNN" SP k SP [deadline SP] tree        top-k within the index τ
+              | "ADD" SP [seq SP] [deadline SP] tree    journal + index a tree (seq: see below)
+    deadline := "@" ms                        remaining budget, milliseconds (see below)
               | "GET" SP seq                  fetch the tree bound to a sequence number
               | "DIGEST" SP epoch SP lo SP hi Merkle digest of records [lo, hi)
               | "STATS" | "HEALTH" | "DRAIN" | "PROMOTE"
@@ -17,7 +18,7 @@
               | "TREE" SP seq SP tree         reply to GET
               | "STATS" SP key"="int ...
               | "OK" SP ("serving"|"draining"|"drained")
-              | "BUSY"                        shed by admission control
+              | "BUSY" [SP retry_after_ms]    shed by admission control
               | "ERR" SP reason               never a silent drop
               | "SYNC" SP epoch SP base       stream header (primary -> replica)
               | "RECORD" SP journal-line      one checksummed journal record pushed
@@ -61,9 +62,26 @@
     (server assigns the next sequence) and is {e not} safe to retry
     blind; {!Client} always attaches a seq.
 
+    {b Deadline propagation.}  The optional [@<ms>] token on
+    [QUERY]/[KNN]/[ADD] (and the deadline u32 of v2 binary frames) is
+    the client's {e remaining budget} for the whole call, in
+    milliseconds — a relative span, so no clock synchronisation is
+    needed.  Every hop subtracts its own elapsed time before forwarding
+    (the router additionally reserves a response margin), making the
+    propagated value monotonically non-increasing.  A server drops
+    queued work whose budget has already run out instead of computing an
+    answer nobody is waiting for: the reply is [ERR deadline expired]
+    and the drop is counted in STATS as [expired].  Requests without the
+    token keep the server's own default budget (legacy clients work
+    unchanged).  A BUSY shed may carry a retry-after hint in
+    milliseconds: the earliest time a retry can be admitted, which
+    {!Client} uses as its backoff floor.
+
     Parsers on both sides are lenient: any malformed input yields
     [Error reason], never an exception, and tree diagnostics carry the
-    bracket parser's ["line L, column C"] location.
+    bracket parser's ["line L, column C"] location.  A malformed
+    deadline token (garbage, negative, overflow) is a parse error
+    answered [ERR], never silently treated as part of the tree.
 
     {b Version negotiation.}  Every connection starts in the newline
     protocol above, so pre-binary clients keep working unchanged.  A
@@ -85,11 +103,13 @@
     order, matched only by id.  The sentinel [0xFFFF_FFFF] encodes an
     absent optional integer field.
 
-    Request opcodes and bodies:
+    Request opcodes and bodies (v2 adds the [deadline:u32]
+    remaining-budget field; a connection negotiated at v1 keeps the v1
+    layouts exactly):
     {v
-    0x01 QUERY    tau:u32 max_lag:u32 tree-bytes
-    0x02 KNN      k:u32   max_lag:u32 tree-bytes
-    0x03 ADD      seq:u32 tree-bytes            (seq sentinel = server picks)
+    0x01 QUERY    tau:u32 max_lag:u32 [deadline:u32] tree-bytes
+    0x02 KNN      k:u32   max_lag:u32 [deadline:u32] tree-bytes
+    0x03 ADD      seq:u32 [deadline:u32] tree-bytes   (seq sentinel = server picks)
     0x04 STATS    0x05 HEALTH   0x06 DRAIN   0x07 PROMOTE   (empty body)
     v}
     Response opcodes and bodies:
@@ -97,10 +117,11 @@
     0x81 HITS     degraded:u8 nh:u32 nu:u32 (id:u32 dist:u32)*nh
                   (id:u32 lo:u32 hi:u32)*nu
     0x82 ADDED    id:u32 np:u32 (id:u32 dist:u32)*np
-    0x83 STATS    17 x u32, in the text STATS field order (decoders
-                  accept the 13- and 14-word frames of older builds)
+    0x83 STATS    29 x u32, in the text STATS field order (decoders
+                  accept the 13-, 14- and 17-word frames of older builds)
     0x84 HEALTH   draining:u8
-    0x85 DRAINED  0x86 BUSY                     (empty body)
+    0x85 DRAINED                                (empty body)
+    0x86 BUSY     [retry_after_ms:u32]          (empty body = no hint)
     0x87 ERR      reason-bytes
     0x88 FENCED   epoch:u32
     0x89 PROMOTED epoch:u32
@@ -154,9 +175,22 @@ type request =
       (** Make this node primary: bump the epoch (persisted in the
           journal header) and start accepting writes. *)
 
+val max_deadline_ms : int
+(** Largest remaining-budget value the wire can carry (one below the
+    binary "absent" sentinel); parsers clamp larger values to it. *)
+
 val parse_request : string -> (request, string) result
+(** [parse_request_d] with the deadline dropped. *)
+
+val parse_request_d : string -> (request * int option, string) result
+(** The request plus its remaining-budget deadline in milliseconds,
+    when the line carried the [@<ms>] token. *)
 
 val render_request : request -> string
+
+val render_request_d : ?deadline_ms:int -> request -> string
+(** [render_request] with the deadline token attached ([Query]/[Knn]/
+    [Add] only; control verbs ignore it). *)
 
 (** The counters of a [STATS] reply (all monotonic since server start,
     except [trees], [inflight], [draining] and [journal_records]). *)
@@ -184,6 +218,29 @@ type stats_reply = {
   repaired : int;
       (** healed journal records + scrub repairs + anti-entropy range
           repairs *)
+  expired : int;
+      (** requests dropped (pre- or post-compute) because their
+          propagated deadline had already passed — the client was no
+          longer waiting (parses as 0 from pre-overload servers, like
+          every field below) *)
+  accept_pauses : int;
+      (** times the acceptor backed off after EMFILE/ENFILE instead of
+          spinning on a hot listener *)
+  reaped : int;
+      (** connections closed by hygiene: idle timeout, output-buffer
+          overflow, or the max-conns cap *)
+  q_p50 : int;
+      (** QUERY service latency quantiles in microseconds, from a
+          log-bucket histogram (lower bound of the bucket holding the
+          quantile — exact to within 2x); 0 until the first QUERY *)
+  q_p95 : int;
+  q_p99 : int;
+  k_p50 : int;  (** KNN latency quantiles, µs *)
+  k_p95 : int;
+  k_p99 : int;
+  a_p50 : int;  (** ADD latency quantiles (admission to ack), µs *)
+  a_p95 : int;
+  a_p99 : int;
 }
 
 type response =
@@ -200,7 +257,10 @@ type response =
   | Stats_reply of stats_reply
   | Health_reply of { draining : bool }
   | Drained
-  | Busy
+  | Busy of { retry_after_ms : int option }
+      (** Shed by admission control.  The hint, when present, is the
+          earliest time (relative, milliseconds) a retry can be
+          admitted; bare [BUSY] parses with no hint. *)
   | Err of string
   | Sync_stream of { epoch : int; base : int; high : int }
       (** Stream header: the primary's epoch, that epoch's first
@@ -236,7 +296,9 @@ val parse_response : string -> (response, string) result
     raise on wire data — any malformed body is [Error reason]. *)
 module Binary : sig
   val version : int
-  (** Highest protocol version this build speaks (currently 1). *)
+  (** Highest protocol version this build speaks (currently 2: v2 adds
+      the remaining-budget deadline field to QUERY/KNN/ADD bodies).
+      Both sides speak [min] of their versions, negotiated via HELLO. *)
 
   val hello : int -> string
   (** The handshake line [HELLO BIN <v>] (no trailing newline). *)
@@ -258,13 +320,30 @@ module Binary : sig
       and body — the escape hatch the wire fuzzer uses to craft
       malformed frames. *)
 
-  val encode_request : Buffer.t -> id:int -> ?max_lag:int -> request -> unit
+  val encode_request :
+    Buffer.t ->
+    id:int ->
+    ?max_lag:int ->
+    ?deadline_ms:int ->
+    ?version:int ->
+    request ->
+    unit
   (** Append one request frame.  [max_lag] is carried by [Query]/[Knn]
-      only.  @raise Invalid_argument on [Sync]/[Ack] (text-only). *)
+      only; [deadline_ms] by [Query]/[Knn]/[Add] on [version >= 2]
+      connections (on a v1 connection it is silently dropped — the
+      legacy server applies its own default budget).  [version] defaults
+      to this build's {!version}.
+      @raise Invalid_argument on [Sync]/[Ack] (text-only). *)
 
   val decode_request :
-    op:int -> body:string -> (request * int option, string) result
-  (** The decoded request and its bounded-staleness bound (reads only). *)
+    version:int ->
+    op:int ->
+    body:string ->
+    (request * int option * int option, string) result
+  (** The decoded request, its bounded-staleness bound (reads only) and
+      its remaining-budget deadline in ms (v2 work verbs only).
+      [version] is the connection's negotiated version: a v1 frame is
+      decoded with the legacy body layout (no deadline word). *)
 
   val encode_response : Buffer.t -> id:int -> response -> unit
   (** @raise Invalid_argument on the text-only responses

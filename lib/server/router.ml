@@ -113,6 +113,8 @@ type config = {
   attempts : int;
   ledger : string option;
   seed : int;
+  hedge_s : float option;
+  margin_ms : int;
 }
 
 type group = {
@@ -127,6 +129,8 @@ type t = {
   r_timeout_s : float;
   r_attempts : int;
   r_seed : int;
+  r_hedge_s : float option;
+  r_margin_ms : int;
   r_groups : group array;
   (* the ledger: gid -> (shard, lseq, size) *)
   r_shard : Vec_int.t;
@@ -146,6 +150,10 @@ type t = {
   r_crc_failures : int Atomic.t;
   r_repaired : int Atomic.t;
   r_quarantined : int Atomic.t;
+  (* hedged-read telemetry: legs fired past the latency threshold, and
+     how many of those supplied the winning answer *)
+  r_hedges : int Atomic.t;
+  r_hedge_wins : int Atomic.t;
 }
 
 let failover t addrs =
@@ -456,6 +464,9 @@ let create (config : config) =
   else if config.timeout_s <= 0.0 then Error "router: per-shard deadline must be positive"
   else if config.attempts < 1 then Error "router: attempts must be >= 1"
   else if config.tau < 0 then Error "router: negative threshold"
+  else if (match config.hedge_s with Some h -> h <= 0.0 | None -> false) then
+    Error "router: hedge threshold must be positive"
+  else if config.margin_ms < 0 then Error "router: negative response margin"
   else begin
     let t =
       {
@@ -464,6 +475,8 @@ let create (config : config) =
         r_timeout_s = config.timeout_s;
         r_attempts = config.attempts;
         r_seed = config.seed;
+        r_hedge_s = config.hedge_s;
+        r_margin_ms = config.margin_ms;
         r_groups =
           Array.map
             (fun addrs ->
@@ -485,6 +498,8 @@ let create (config : config) =
         r_crc_failures = Atomic.make 0;
         r_repaired = Atomic.make 0;
         r_quarantined = Atomic.make 0;
+        r_hedges = Atomic.make 0;
+        r_hedge_wins = Atomic.make 0;
       }
     in
     match config.ledger with
@@ -633,55 +648,140 @@ let add ?expect t tree =
                     | _ -> Ok (gid, translate partners))
               end
             | Ok (Protocol.Fenced e) -> fail (Printf.sprintf "shard %d fenced at epoch %d" s e)
-            | Ok Protocol.Busy -> fail (Printf.sprintf "shard %d busy" s)
+            | Ok (Protocol.Busy _) -> fail (Printf.sprintf "shard %d busy" s)
             | Ok (Protocol.Err r) -> fail r
             | Ok _ -> fail "unexpected reply to ADD")))
 
 (* --- scatter-gather reads --- *)
 
-let scatter t shards request =
+(* One shard's read, optionally hedged: leg 0 fails over across the
+   group's addresses as before; if no leg has answered after [hedge_s],
+   a second leg races it on the {e rotated} address list (a slow
+   primary races a replica).  The first {e well-formed} [HITS] wins —
+   replies are deterministic (same lseq-ordered store on every
+   replica), so the race can change latency but never the answer.  The
+   losing leg is abandoned, bounded by its own socket timeout. *)
+let scatter_one t ?deadline_ms s request =
+  let addrs = group_addrs t s in
+  let to_answer = function
+    | Ok (Protocol.Hits { degraded; hits; unverified }) ->
+      Some (Merge.Answer { degraded; hits; unverified })
+    | _ -> None
+  in
+  match t.r_hedge_s with
+  | None ->
+    let fo = failover t addrs in
+    to_answer (Client.Failover.request fo ?deadline_ms request)
+  | Some hedge_s ->
+    let lock = Mutex.create () in
+    let first = ref None in
+    let finished = ref 0 in
+    let legs = ref 0 in
+    let spawn leg addr_list =
+      incr legs;
+      ignore
+        (Thread.create
+           (fun () ->
+             let fo = failover t addr_list in
+             let r = Client.Failover.request fo ?deadline_ms request in
+             Mutex.protect lock (fun () ->
+                 incr finished;
+                 match to_answer r with
+                 | Some a when !first = None -> first := Some (leg, a)
+                 | _ -> ()))
+           ())
+    in
+    spawn 0 addrs;
+    let hedge_at = Timer.now () +. hedge_s in
+    let hedged = ref false in
+    (* OCaml's [Condition] has no timed wait, so the race is settled by
+       a short polling loop; both legs are bounded by the per-shard
+       failover deadline, so this terminates. *)
+    let rec await () =
+      let state =
+        Mutex.protect lock (fun () ->
+            match !first with
+            | Some (leg, a) -> `Won (leg, a)
+            | None -> if !finished >= !legs then `Lost else `Racing)
+      in
+      match state with
+      | `Won (leg, a) ->
+        if leg > 0 then Atomic.incr t.r_hedge_wins;
+        Some a
+      | `Lost -> None
+      | `Racing ->
+        if (not !hedged) && Timer.now () >= hedge_at then begin
+          hedged := true;
+          Atomic.incr t.r_hedges;
+          let rotated = match addrs with [] | [ _ ] -> addrs | a :: tl -> tl @ [ a ] in
+          spawn 1 rotated
+        end;
+        Thread.delay 0.002;
+        await ()
+    in
+    await ()
+
+let scatter t ?deadline_ms shards request =
   let results = Array.of_list (List.map (fun s -> (s, Merge.Unreachable)) shards) in
   let threads =
     List.mapi
       (fun i s ->
         Thread.create
           (fun () ->
-            let addrs = group_addrs t s in
-            let fo = failover t addrs in
-            match Client.Failover.request fo request with
-            | Ok (Protocol.Hits { degraded; hits; unverified }) ->
-              results.(i) <- (s, Merge.Answer { degraded; hits; unverified })
-            | _ -> ())
+            match scatter_one t ?deadline_ms s request with
+            | Some a -> results.(i) <- (s, a)
+            | None -> ())
           ())
       shards
   in
   List.iter Thread.join threads;
   Array.to_list results
 
-let query t ~tau:tau' tree =
+(* The budget announced to the shards: the caller's remainder minus the
+   router's response margin, so the router can still merge and answer
+   within what the caller is willing to wait for. *)
+let shard_deadline t deadline_ms =
+  match deadline_ms with
+  | None -> None
+  | Some ms ->
+    Some (Admission.Deadline.after_hop ~margin_ms:t.r_margin_ms ~elapsed_ms:0 ms)
+
+let query t ?deadline_ms ~tau:tau' tree =
   if tau' < 0 then invalid_arg "Router.query: negative threshold";
   if tau' > t.r_tau then invalid_arg "Router.query: threshold above the index threshold";
   Atomic.incr t.r_queries;
   let query_size = Tree.size tree in
   let shards = Shard.shards_for t.r_map ~tau:tau' query_size in
-  let answers = scatter t shards (Protocol.Query { tau = tau'; tree }) in
+  let answers =
+    scatter t
+      ?deadline_ms:(shard_deadline t deadline_ms)
+      shards
+      (Protocol.Query { tau = tau'; tree })
+  in
   let a =
     Merge.query ~query_size ~tau:tau' ~to_gid:(to_gid t) ~resident:(resident t) answers
   in
   if a.a_degraded then Atomic.incr t.r_degraded;
   a
 
-let knn t ~k tree =
+let knn t ?deadline_ms ~k tree =
   if k < 0 then invalid_arg "Router.knn: negative k";
   Atomic.incr t.r_queries;
   let query_size = Tree.size tree in
   let shards = Shard.shards_for t.r_map ~tau:t.r_tau query_size in
-  let answers = scatter t shards (Protocol.Knn { k; tree }) in
+  let answers =
+    scatter t
+      ?deadline_ms:(shard_deadline t deadline_ms)
+      shards
+      (Protocol.Knn { k; tree })
+  in
   let a =
     Merge.knn ~k ~query_size ~tau:t.r_tau ~to_gid:(to_gid t) ~resident:(resident t) answers
   in
   if a.a_degraded then Atomic.incr t.r_degraded;
   a
+
+let hedges t = (Atomic.get t.r_hedges, Atomic.get t.r_hedge_wins)
 
 (* --- migration --- *)
 
@@ -751,6 +851,20 @@ let stats t =
     scrubbed = Atomic.get t.r_scrubbed;
     crc_failures = Atomic.get t.r_crc_failures;
     repaired = Atomic.get t.r_repaired;
+    (* overload telemetry is per-node; the router front does not queue
+       or shed work itself, so these stay zero in the aggregate view *)
+    expired = 0;
+    accept_pauses = 0;
+    reaped = 0;
+    q_p50 = 0;
+    q_p95 = 0;
+    q_p99 = 0;
+    k_p50 = 0;
+    k_p95 = 0;
+    k_p99 = 0;
+    a_p50 = 0;
+    a_p95 = 0;
+    a_p99 = 0;
   }
 
 (* --- line-protocol front-end --- *)
@@ -819,15 +933,28 @@ let handle_add t seq tree =
           | Ok _ -> Protocol.Err "unexpected reply from shard"
           | Error e -> Protocol.Err e))
 
-let handle t req =
-  match req with
-  | Protocol.Query { tau = tau'; tree } ->
-    if tau' < 0 || tau' > t.r_tau then
-      Protocol.Err (Printf.sprintf "tau %d out of range (index tau %d)" tau' t.r_tau)
-    else answer_to_hits (query t ~tau:tau' tree)
-  | Protocol.Knn { k; tree } ->
-    if k < 0 then Protocol.Err "negative k" else answer_to_hits (knn t ~k tree)
-  | Protocol.Add { seq; tree } -> handle_add t seq tree
+let handle t ?deadline_ms req =
+  (* A work request whose remaining budget is already zero is answered
+     with the expiry error instead of burning shard work on an answer
+     the caller has stopped waiting for.  Control verbs ignore
+     deadlines. *)
+  let expired =
+    match (req, deadline_ms) with
+    | (Protocol.Query _ | Protocol.Knn _ | Protocol.Add _), Some ms when ms <= 0 ->
+      true
+    | _ -> false
+  in
+  if expired then Protocol.Err "deadline expired"
+  else
+    match req with
+    | Protocol.Query { tau = tau'; tree } ->
+      if tau' < 0 || tau' > t.r_tau then
+        Protocol.Err (Printf.sprintf "tau %d out of range (index tau %d)" tau' t.r_tau)
+      else answer_to_hits (query t ?deadline_ms ~tau:tau' tree)
+    | Protocol.Knn { k; tree } ->
+      if k < 0 then Protocol.Err "negative k"
+      else answer_to_hits (knn t ?deadline_ms ~k tree)
+    | Protocol.Add { seq; tree } -> handle_add t seq tree
   | Protocol.Get gid -> (
     match locate t gid with
     | None -> Protocol.Err (Printf.sprintf "GET %d: unbound sequence" gid)
@@ -857,11 +984,11 @@ let serve_conn t cfd =
        | exception End_of_file -> closing := true
        | line ->
          let resp =
-           match Protocol.parse_request line with
+           match Protocol.parse_request_d line with
            | Error reason -> Protocol.Err reason
-           | Ok req ->
+           | Ok (req, deadline_ms) ->
              if req = Protocol.Drain then closing := true;
-             handle t req
+             handle t ?deadline_ms req
          in
          output_string oc (Protocol.render_response resp);
          output_char oc '\n';

@@ -30,6 +30,17 @@
     answer is marked degraded.  The pure merge lives in {!Merge} so the
     property tests and the wire fuzzer can drive it directly.
 
+    With [hedge_s] set, each shard read is {e hedged}: if no reply has
+    arrived after that threshold, a second leg races the first on the
+    rotated address list (a slow primary races a replica) and the first
+    well-formed [HITS] wins.  Replicas serve the same lseq-ordered
+    store, so hedging changes tail latency, never the answer.  A
+    caller's remaining deadline (the [@<ms>] token, see {!Protocol}) is
+    propagated to the shards minus [margin_ms], so the router can still
+    merge and answer inside what the caller waits for; an
+    already-expired work request is answered [ERR deadline expired]
+    without touching any shard.
+
     {b Migration.}  A shard moves by journal streaming, verbatim: the
     operator starts the target node with [sync_from] pointing at the
     source primary (a [SYNC] from sequence 0 — the full snapshot), and
@@ -115,6 +126,13 @@ type config = {
   attempts : int;  (** failover attempts across one shard's group *)
   ledger : string option;  (** checksummed ledger journal path *)
   seed : int;  (** PRNG seed for the failover jitter *)
+  hedge_s : float option;
+      (** hedged-read latency threshold: a shard read still unanswered
+          after this long fires a second leg on the rotated address
+          list; [None] disables hedging *)
+  margin_ms : int;
+      (** response margin subtracted from a caller's remaining deadline
+          before it is handed to the shards *)
 }
 
 type t
@@ -155,16 +173,25 @@ val add : ?expect:int -> t -> Tsj_tree.Tree.t -> (int * (int * int) list, string
     idempotency hook: the add fails with ["seq gap: ..."] {e before}
     touching any shard unless the next gid equals [expect]. *)
 
-val query : t -> tau:int -> Tsj_tree.Tree.t -> answer
+val query : t -> ?deadline_ms:int -> tau:int -> Tsj_tree.Tree.t -> answer
 (** Scatter to {!Shard.shards_for}, gather with per-shard deadlines,
     {!Merge.query}.  Total: a cluster with every shard dead answers
-    [{a_degraded = true; ...}], never an error.
+    [{a_degraded = true; ...}], never an error.  [deadline_ms] is the
+    caller's remaining budget; the shards are handed the remainder
+    minus [margin_ms] (monotonically non-increasing, see
+    {!Admission.Deadline.after_hop}).
     @raise Invalid_argument if [tau] is negative or above the index
     threshold. *)
 
-val knn : t -> k:int -> Tsj_tree.Tree.t -> answer
+val knn : t -> ?deadline_ms:int -> k:int -> Tsj_tree.Tree.t -> answer
 (** Scatter a top-k to the index-τ window's shards, {!Merge.knn}.
+    [deadline_ms] as in {!query}.
     @raise Invalid_argument if [k < 0]. *)
+
+val hedges : t -> int * int
+(** [(fired, wins)]: hedge legs fired past the latency threshold, and
+    how many of those supplied the winning answer.  [(0, 0)] unless
+    [hedge_s] is set. *)
 
 val scrub_ledger : t -> int * Integrity.corrupt list
 (** One ledger scrub pass: re-read the file and verify every line (and
@@ -210,7 +237,10 @@ val start_front : t -> Protocol.addr -> (front, string) result
     refused with [ERR].  [ADD <seq>] honors the idempotency contract:
     [seq] names a gid — the next gid commits normally, an already-bound
     gid is replayed to its owning shard (which verifies the tree and
-    answers the original reply), a gap is [ERR "seq gap: ..."]. *)
+    answers the original reply), a gap is [ERR "seq gap: ..."].  A
+    work request carrying [@<ms>] propagates its remaining budget to
+    the shards (minus [margin_ms]); one arriving already expired is
+    answered [ERR deadline expired]. *)
 
 val stop_front : front -> unit
 (** Stop accepting, close the listener (existing connections finish

@@ -22,6 +22,11 @@ type config = {
   scrub_interval_s : float option;  (** background scrub period; [None] = off *)
   scrub_budget : int;  (** records re-verified per scrub step *)
   quarantine : bool;  (** open degraded on unrepairable corruption *)
+  rate : float option;  (** per-connection admitted work requests/s; [None] = no bucket *)
+  burst : int;  (** per-connection token-bucket capacity *)
+  idle_timeout_s : float option;  (** reap connections idle this long; [None] = never *)
+  max_out_bytes : int;  (** disconnect a peer whose output backlog exceeds this *)
+  max_conns : int option;  (** hard cap on live connections; [None] = unbounded *)
 }
 
 let default_config addr ~tau =
@@ -44,6 +49,11 @@ let default_config addr ~tau =
     scrub_interval_s = None;
     scrub_budget = 128;
     quarantine = false;
+    rate = None;
+    burst = 32;
+    idle_timeout_s = None;
+    max_out_bytes = 1 lsl 23;
+    max_conns = None;
   }
 
 type counters = {
@@ -53,6 +63,9 @@ type counters = {
   degraded : int Atomic.t;
   errors : int Atomic.t;
   inflight : int Atomic.t;
+  expired : int Atomic.t;  (* deadline-expired work dropped, pre/post compute *)
+  accept_pauses : int Atomic.t;  (* EMFILE/ENFILE accept back-offs *)
+  reaped : int Atomic.t;  (* hygiene closes: idle, overflow, max-conns *)
 }
 
 (* --- connections --- *)
@@ -72,6 +85,7 @@ type conn = {
   c_id : int;
   c_fd : Unix.file_descr;
   mutable c_mode : mode;
+  mutable c_version : int;  (* negotiated binary protocol version *)
   c_in : Netbuf.t;
   c_out : Netbuf.t;
   mutable c_reqno : int;  (* per-connection request ordinal (fault point) *)
@@ -81,6 +95,8 @@ type conn = {
   mutable c_closing : bool;  (* close once replies are flushed *)
   mutable c_eof : bool;  (* peer closed its write side *)
   mutable c_state : conn_state;
+  mutable c_last_active : float;  (* last byte read from the peer *)
+  c_bucket : Admission.Token_bucket.t option;  (* per-client fair admission *)
 }
 
 type add_job = {
@@ -88,6 +104,8 @@ type add_job = {
   a_rid : int option;
   a_seq : int option;
   a_tree : Tsj_tree.Tree.t;
+  a_expire : float;  (* absolute client deadline; infinity when none *)
+  a_t0 : float;  (* admission time, for the latency histogram *)
 }
 
 type query_job = {
@@ -96,6 +114,8 @@ type query_job = {
   q_req : Protocol.request;
   q_budget : Budget.t;
   q_token : int;
+  q_expire : float;  (* absolute client deadline; infinity when none *)
+  q_t0 : float;
 }
 
 type t = {
@@ -152,6 +172,12 @@ type t = {
   sync_mutex : Mutex.t;
   mutable scrubber : Scrub.t option;
   mutable next_conn : int;
+  (* event-loop thread only: while in the future, the listener is left
+     out of the select read set (EMFILE back-off) *)
+  mutable accept_pause_until : float;
+  h_query : Admission.Histogram.t;  (* per-verb service latency, µs *)
+  h_knn : Admission.Histogram.t;
+  h_add : Admission.Histogram.t;
 }
 
 let quarantine t ~conn_id reason =
@@ -192,6 +218,18 @@ let stats t =
     scrubbed;
     crc_failures;
     repaired;
+    expired = Atomic.get t.counters.expired;
+    accept_pauses = Atomic.get t.counters.accept_pauses;
+    reaped = Atomic.get t.counters.reaped;
+    q_p50 = Admission.Histogram.quantile_us t.h_query 0.5;
+    q_p95 = Admission.Histogram.quantile_us t.h_query 0.95;
+    q_p99 = Admission.Histogram.quantile_us t.h_query 0.99;
+    k_p50 = Admission.Histogram.quantile_us t.h_knn 0.5;
+    k_p95 = Admission.Histogram.quantile_us t.h_knn 0.95;
+    k_p99 = Admission.Histogram.quantile_us t.h_knn 0.99;
+    a_p50 = Admission.Histogram.quantile_us t.h_add 0.5;
+    a_p95 = Admission.Histogram.quantile_us t.h_add 0.95;
+    a_p99 = Admission.Histogram.quantile_us t.h_add 0.99;
   }
 
 (* --- event-loop plumbing --- *)
@@ -280,20 +318,69 @@ let trim_cr s =
 
 (* --- admission and staleness --- *)
 
-(* Bump the inflight counter optimistically; over the watermark the
-   request is shed with an explicit [BUSY] — deterministic, never a
-   silent drop. *)
-let admit t =
-  let inflight = Atomic.fetch_and_add t.counters.inflight 1 in
-  if inflight >= t.config.max_inflight || Atomic.get t.draining then begin
+(* Absolute expiry of a request: the client's remaining budget anchored
+   at arrival; [infinity] when the request carried no deadline. *)
+let expire_at ~now deadline_ms =
+  match deadline_ms with
+  | None -> infinity
+  | Some ms -> now +. (float_of_int (max 0 ms) /. 1000.0)
+
+(* BUSY retry-after hint for a watermark shed: proportional to the
+   backlog, floored so a retrying client never spins on a zero hint. *)
+let backlog_hint t = Some (max 5 (min 1000 (Atomic.get t.counters.inflight)))
+
+(* Over the watermark, shed the request with the LEAST remaining
+   deadline: work closest to expiring is the least worth finishing (it
+   is the most likely to be dropped as expired anyway).  If that is a
+   queued read rather than the newcomer, the queued read is answered
+   BUSY and its inflight slot transfers to the newcomer. *)
+let displace t ~expire =
+  let victim =
+    Mutex.protect t.runq_mutex (fun () ->
+        let least =
+          Queue.fold
+            (fun acc j ->
+              match acc with
+              | Some m when m.q_expire <= j.q_expire -> acc
+              | _ -> Some j)
+            None t.runq
+        in
+        match least with
+        | Some v when v.q_expire < expire ->
+          let keep = Queue.create () in
+          Queue.iter (fun j -> if j != v then Queue.push j keep) t.runq;
+          Queue.clear t.runq;
+          Queue.transfer keep t.runq;
+          Some v
+        | _ -> None)
+  in
+  match victim with
+  | None -> false
+  | Some v ->
+    unregister_budget t v.q_token;
     ignore (Atomic.fetch_and_add t.counters.inflight (-1));
-    if inflight >= t.config.max_inflight then begin
+    ignore (Atomic.fetch_and_add t.counters.shed 1);
+    deliver t v.q_conn ~rid:v.q_rid
+      (Protocol.Busy { retry_after_ms = backlog_hint t });
+    true
+
+(* Bump the inflight counter optimistically; over the watermark the
+   least-deadline request (the newcomer or a queued read) is shed with
+   an explicit [BUSY] carrying a retry-after hint — deterministic,
+   never a silent drop. *)
+let admit t ~expire =
+  if Atomic.get t.draining then
+    `Shed (Protocol.Err "draining: not accepting new work")
+  else begin
+    let inflight = Atomic.fetch_and_add t.counters.inflight 1 in
+    if inflight < t.config.max_inflight then `Admitted
+    else if displace t ~expire then `Admitted
+    else begin
+      ignore (Atomic.fetch_and_add t.counters.inflight (-1));
       ignore (Atomic.fetch_and_add t.counters.shed 1);
-      `Shed Protocol.Busy
+      `Shed (Protocol.Busy { retry_after_ms = backlog_hint t })
     end
-    else `Shed (Protocol.Err "draining: not accepting new work")
   end
-  else `Admitted
 
 (* Bounded-staleness admission for reads carrying a [max_lag] bound: the
    primary always qualifies; a replica answers only when its known lag
@@ -317,43 +404,65 @@ let staleness_denied t lag_bound =
 (* --- read path (query worker) --- *)
 
 let run_query t (job : query_job) =
-  let response =
-    try
-      match job.q_req with
-      | Protocol.Query { tau; tree } ->
-        if tau > Store.tau t.store then
-          Error
-            (Printf.sprintf "QUERY: tau %d exceeds the index threshold %d" tau
-               (Store.tau t.store))
-        else begin
-          let r =
-            Mutex.protect t.store_mutex (fun () ->
-                Store.query ~budget:job.q_budget ~tau t.store tree)
-          in
+  (* A read dequeued past its client deadline is dropped without
+     computing: nobody is waiting for the answer. *)
+  if Tsj_util.Timer.now () > job.q_expire then begin
+    unregister_budget t job.q_token;
+    ignore (Atomic.fetch_and_add t.counters.inflight (-1));
+    ignore (Atomic.fetch_and_add t.counters.expired 1);
+    deliver t job.q_conn ~rid:job.q_rid (Protocol.Err "deadline expired")
+  end
+  else begin
+    let response =
+      try
+        match job.q_req with
+        | Protocol.Query { tau; tree } ->
+          if tau > Store.tau t.store then
+            Error
+              (Printf.sprintf "QUERY: tau %d exceeds the index threshold %d" tau
+                 (Store.tau t.store))
+          else begin
+            let r =
+              Mutex.protect t.store_mutex (fun () ->
+                  Store.query ~budget:job.q_budget ~tau t.store tree)
+            in
+            ignore (Atomic.fetch_and_add t.counters.queries 1);
+            if r.Tsj_core.Incremental.degraded then
+              ignore (Atomic.fetch_and_add t.counters.degraded 1);
+            Ok
+              (Protocol.Hits
+                 { degraded = r.degraded; hits = r.hits; unverified = r.unverified })
+          end
+        | Protocol.Knn { k; tree } ->
+          let hits = Mutex.protect t.store_mutex (fun () -> Store.nearest ~k t.store tree) in
           ignore (Atomic.fetch_and_add t.counters.queries 1);
-          if r.Tsj_core.Incremental.degraded then
-            ignore (Atomic.fetch_and_add t.counters.degraded 1);
-          Ok
-            (Protocol.Hits
-               { degraded = r.degraded; hits = r.hits; unverified = r.unverified })
-        end
-      | Protocol.Knn { k; tree } ->
-        let hits = Mutex.protect t.store_mutex (fun () -> Store.nearest ~k t.store tree) in
-        ignore (Atomic.fetch_and_add t.counters.queries 1);
-        Ok (Protocol.Hits { degraded = false; hits; unverified = [] })
-      | _ -> Error "internal: non-read request on the query path"
-    with e -> Error (Printexc.to_string e)
-  in
-  unregister_budget t job.q_token;
-  ignore (Atomic.fetch_and_add t.counters.inflight (-1));
-  let resp =
-    match response with
-    | Ok r -> r
-    | Error reason ->
-      ignore (Atomic.fetch_and_add t.counters.errors 1);
-      Protocol.Err reason
-  in
-  deliver t job.q_conn ~rid:job.q_rid resp
+          Ok (Protocol.Hits { degraded = false; hits; unverified = [] })
+        | _ -> Error "internal: non-read request on the query path"
+      with e -> Error (Printexc.to_string e)
+    in
+    unregister_budget t job.q_token;
+    ignore (Atomic.fetch_and_add t.counters.inflight (-1));
+    let finished = Tsj_util.Timer.now () in
+    let resp =
+      match response with
+      | Ok _ when finished > job.q_expire ->
+        (* The compute outran the client's budget: delivering the answer
+           now would hand an expired result to a caller that has moved
+           on (and may already have retried elsewhere). *)
+        ignore (Atomic.fetch_and_add t.counters.expired 1);
+        Protocol.Err "deadline expired"
+      | Ok r ->
+        let h =
+          match job.q_req with Protocol.Knn _ -> t.h_knn | _ -> t.h_query
+        in
+        Admission.Histogram.record h ~seconds:(finished -. job.q_t0);
+        r
+      | Error reason ->
+        ignore (Atomic.fetch_and_add t.counters.errors 1);
+        Protocol.Err reason
+    in
+    deliver t job.q_conn ~rid:job.q_rid resp
+  end
 
 let query_loop t =
   let rec loop () =
@@ -464,8 +573,13 @@ let commit_batch t (jobs : add_job array) =
         ignore (Atomic.fetch_and_add t.counters.errors n);
         Array.make n (Protocol.Err (Printexc.to_string e))
   in
+  let done_at = Tsj_util.Timer.now () in
   Array.iteri
     (fun i job ->
+      (match responses.(i) with
+      | Protocol.Added _ ->
+        Admission.Histogram.record t.h_add ~seconds:(done_at -. job.a_t0)
+      | _ -> ());
       Mutex.protect t.io_mutex (fun () ->
           if job.a_conn.c_state = Live then
             append_response job.a_conn ~rid:job.a_rid responses.(i);
@@ -500,6 +614,26 @@ let committer_loop t =
         Mutex.protect t.addq_mutex (fun () ->
             let n = min t.config.max_batch (Queue.length t.addq) in
             Array.init n (fun _ -> Queue.pop t.addq))
+      in
+      (* Drop writes whose client deadline passed while they queued —
+         BEFORE the journal touch, so an expired ADD is never made
+         durable behind the client's back. *)
+      let now = Tsj_util.Timer.now () in
+      let batch =
+        if Array.for_all (fun j -> j.a_expire >= now) batch then batch
+        else
+          Array.of_list
+            (List.filter
+               (fun j ->
+                 if j.a_expire < now then begin
+                   ignore (Atomic.fetch_and_add t.counters.expired 1);
+                   deliver t j.a_conn ~rid:j.a_rid
+                     (Protocol.Err "deadline expired");
+                   ignore (Atomic.fetch_and_add t.counters.inflight (-1));
+                   false
+                 end
+                 else true)
+               (Array.to_list batch))
       in
       if Array.length batch > 0 then begin
         if Atomic.get t.aborted then begin
@@ -658,7 +792,7 @@ let rec next_frame t c =
 
 (* --- request dispatch (event-loop thread) --- *)
 
-let rec dispatch t c ~rid ~lag (request : Protocol.request) =
+let rec dispatch t c ~rid ~lag ~deadline_ms (request : Protocol.request) =
   match request with
   | Protocol.Stats -> respond t c ~rid (Protocol.Stats_reply (stats t))
   | Protocol.Health ->
@@ -720,52 +854,88 @@ let rec dispatch t c ~rid ~lag (request : Protocol.request) =
     match denied with
     | Some resp -> respond t c ~rid resp
     | None -> (
-      match admit t with
-      | `Shed resp -> respond t c ~rid resp
-      | `Admitted -> (
-        Mutex.protect t.io_mutex (fun () -> c.c_async <- c.c_async + 1);
-        match request with
-        | Protocol.Add { seq; tree } ->
-          (* The draining re-check under the queue mutex pairs with the
-             committer's exit check: a job is either seen by the
-             committer or shed here, never stranded. *)
-          let pushed =
-            Mutex.protect t.addq_mutex (fun () ->
-                if Atomic.get t.draining then false
-                else begin
-                  Queue.push { a_conn = c; a_rid = rid; a_seq = seq; a_tree = tree }
-                    t.addq;
-                  Condition.signal t.addq_cond;
-                  true
-                end)
-          in
-          if not pushed then begin
-            Mutex.protect t.io_mutex (fun () -> c.c_async <- c.c_async - 1);
-            ignore (Atomic.fetch_and_add t.counters.inflight (-1));
-            respond t c ~rid (Protocol.Err "draining: not accepting new work")
-          end
-        | _ ->
-          let budget = Budget.create ?time_budget_s:t.config.deadline_s () in
-          let token = Atomic.fetch_and_add t.next_token 1 in
-          register_budget t token budget;
-          let pushed =
-            Mutex.protect t.runq_mutex (fun () ->
-                if Atomic.get t.draining then false
-                else begin
-                  Queue.push
-                    { q_conn = c; q_rid = rid; q_req = request; q_budget = budget;
-                      q_token = token }
-                    t.runq;
-                  Condition.signal t.runq_cond;
-                  true
-                end)
-          in
-          if not pushed then begin
-            unregister_budget t token;
-            Mutex.protect t.io_mutex (fun () -> c.c_async <- c.c_async - 1);
-            ignore (Atomic.fetch_and_add t.counters.inflight (-1));
-            respond t c ~rid (Protocol.Err "draining: not accepting new work")
-          end)))
+      let now = Tsj_util.Timer.now () in
+      (* An exhausted client budget means nobody is waiting: drop before
+         any admission or queueing work. *)
+      if (match deadline_ms with Some ms -> ms <= 0 | None -> false) then begin
+        ignore (Atomic.fetch_and_add t.counters.expired 1);
+        respond t c ~rid (Protocol.Err "deadline expired")
+      end
+      else
+        (* Per-connection token bucket: a greedy connection exhausts only
+           its own tokens, never another client's admission. *)
+        match c.c_bucket with
+        | Some b when not (Admission.Token_bucket.take b ~now) ->
+          ignore (Atomic.fetch_and_add t.counters.shed 1);
+          let after = Admission.Token_bucket.retry_after_s b ~now in
+          respond t c ~rid
+            (Protocol.Busy
+               { retry_after_ms = Some (max 1 (Admission.Deadline.of_span_s after)) })
+        | _ -> (
+          let expire = expire_at ~now deadline_ms in
+          match admit t ~expire with
+          | `Shed resp -> respond t c ~rid resp
+          | `Admitted -> (
+            Mutex.protect t.io_mutex (fun () -> c.c_async <- c.c_async + 1);
+            match request with
+            | Protocol.Add { seq; tree } ->
+              (* The draining re-check under the queue mutex pairs with the
+                 committer's exit check: a job is either seen by the
+                 committer or shed here, never stranded. *)
+              let pushed =
+                Mutex.protect t.addq_mutex (fun () ->
+                    if Atomic.get t.draining then false
+                    else begin
+                      Queue.push
+                        { a_conn = c; a_rid = rid; a_seq = seq; a_tree = tree;
+                          a_expire = expire; a_t0 = now }
+                        t.addq;
+                      Condition.signal t.addq_cond;
+                      true
+                    end)
+              in
+              if not pushed then begin
+                Mutex.protect t.io_mutex (fun () -> c.c_async <- c.c_async - 1);
+                ignore (Atomic.fetch_and_add t.counters.inflight (-1));
+                respond t c ~rid (Protocol.Err "draining: not accepting new work")
+              end
+            | _ ->
+              (* The compute budget is the tighter of the server default
+                 and the client's remaining budget, so a long query
+                 degrades within what the caller will actually wait for. *)
+              let time_budget_s =
+                let client =
+                  match deadline_ms with
+                  | Some ms -> Some (float_of_int ms /. 1000.0)
+                  | None -> None
+                in
+                match (t.config.deadline_s, client) with
+                | Some a, Some b -> Some (Float.min a b)
+                | (Some _ as s), None | None, (Some _ as s) -> s
+                | None, None -> None
+              in
+              let budget = Budget.create ?time_budget_s () in
+              let token = Atomic.fetch_and_add t.next_token 1 in
+              register_budget t token budget;
+              let pushed =
+                Mutex.protect t.runq_mutex (fun () ->
+                    if Atomic.get t.draining then false
+                    else begin
+                      Queue.push
+                        { q_conn = c; q_rid = rid; q_req = request;
+                          q_budget = budget; q_token = token; q_expire = expire;
+                          q_t0 = now }
+                        t.runq;
+                      Condition.signal t.runq_cond;
+                      true
+                    end)
+              in
+              if not pushed then begin
+                unregister_budget t token;
+                Mutex.protect t.io_mutex (fun () -> c.c_async <- c.c_async - 1);
+                ignore (Atomic.fetch_and_add t.counters.inflight (-1));
+                respond t c ~rid (Protocol.Err "draining: not accepting new work")
+              end))))
 
 (* One text line: blank lines are ignored, a HELLO negotiates the binary
    protocol, a SYNC upgrades the connection into a replication stream,
@@ -780,17 +950,20 @@ and handle_text_line t c line =
           if c.c_state = Live then begin
             (* The reply renders as text (the mode flips after it). *)
             append_response c ~rid:None (Protocol.Hello_reply v);
-            c.c_mode <- Binary
+            c.c_mode <- Binary;
+            c.c_version <- v
           end)
     | None -> (
-      match Protocol.parse_request line with
+      match Protocol.parse_request_d line with
       | Error reason ->
         (* Malformed input is this client's problem only: answer [ERR]
            and keep the connection. *)
         ignore (Atomic.fetch_and_add t.counters.errors 1);
         respond t c ~rid:None (Protocol.Err reason)
-      | Ok (Protocol.Sync { epoch = f_epoch; from_seq = _ }) -> start_sync t c ~f_epoch
-      | Ok request -> dispatch t c ~rid:None ~lag:None request)
+      | Ok (Protocol.Sync { epoch = f_epoch; from_seq = _ }, _) ->
+        start_sync t c ~f_epoch
+      | Ok (request, deadline_ms) ->
+        dispatch t c ~rid:None ~lag:None ~deadline_ms request)
 
 (* Consume as much buffered input as the connection's mode and ordering
    rules allow.  The per-request fault point fires once per unit —
@@ -841,11 +1014,12 @@ and pump t c ~eof =
       | `Frame (rid, op, body) ->
         Fault.hit "server.request" c.c_reqno;
         c.c_reqno <- c.c_reqno + 1;
-        (match Protocol.Binary.decode_request ~op ~body with
+        (match Protocol.Binary.decode_request ~version:c.c_version ~op ~body with
         | Error reason ->
           ignore (Atomic.fetch_and_add t.counters.errors 1);
           respond t c ~rid:(Some rid) (Protocol.Err reason)
-        | Ok (request, lag) -> dispatch t c ~rid:(Some rid) ~lag request);
+        | Ok (request, lag, deadline_ms) ->
+          dispatch t c ~rid:(Some rid) ~lag ~deadline_ms request);
         pump t c ~eof)
 
 (* Upgrade a connection into a replication stream: hand the fd to a
@@ -971,7 +1145,9 @@ let service_conn t c scratch ~readable =
   if c.c_state = Live then begin
     (if readable then
        match read_chunk c scratch with
-       | `Data | `Again -> ()
+       | `Data ->
+         c.c_last_active <- Tsj_util.Timer.now ()
+       | `Again -> ()
        | `Eof -> c.c_eof <- true
        | `Lost -> kill_conn t c (Types.Preprocess_failed "connection lost"));
     if c.c_state = Live then begin
@@ -1006,40 +1182,77 @@ let should_close t c ~now =
 
 let accept_new t =
   let rec loop () =
-    match Unix.accept t.listener with
+    (* The "server.emfile" fault point sits inside the try scope so an
+       armed action can raise the real [EMFILE] and exercise the
+       back-off path end to end. *)
+    match
+      Fault.hit "server.emfile" t.next_conn;
+      Unix.accept t.listener
+    with
     | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) ->
       ()
+    | exception Unix.Unix_error ((Unix.EMFILE | Unix.ENFILE), _, _) ->
+      (* fd exhaustion: the listener would stay hot-readable forever, so
+         dropping the error on the floor turns the event loop into a
+         busy spin.  Back off briefly (the listener leaves the select
+         read set until the pause passes) and make the stall visible. *)
+      ignore (Atomic.fetch_and_add t.counters.accept_pauses 1);
+      t.accept_pause_until <- Tsj_util.Timer.now () +. 0.05
     | exception Unix.Unix_error _ -> ()
     | fd, _ ->
-      let conn_id = t.next_conn in
-      t.next_conn <- conn_id + 1;
-      (match Fault.hit "server.accept" conn_id with
-      | exception Fault.Injected msg ->
-        (* An injected accept-path fault drops this connection only. *)
-        quarantine t ~conn_id (Types.Preprocess_failed ("server.accept: " ^ msg));
-        (try Unix.close fd with Unix.Unix_error _ -> ())
-      | () ->
-        Unix.set_nonblock fd;
-        (try Unix.setsockopt fd Unix.TCP_NODELAY true
-         with Unix.Unix_error _ | Invalid_argument _ -> ());
-        let c =
-          {
-            c_id = conn_id;
-            c_fd = fd;
-            c_mode = Text;
-            c_in = Netbuf.create ();
-            c_out = Netbuf.create ();
-            c_reqno = 0;
-            c_async = 0;
-            c_discard = false;
-            c_skip = 0;
-            c_closing = false;
-            c_eof = false;
-            c_state = Live;
-          }
-        in
-        Mutex.protect t.conns_mutex (fun () -> Hashtbl.replace t.conns conn_id c));
-      loop ()
+      let over_cap =
+        match t.config.max_conns with
+        | Some cap -> Mutex.protect t.conns_mutex (fun () -> Hashtbl.length t.conns) >= cap
+        | None -> false
+      in
+      if over_cap then begin
+        (* Accept-then-close: leaving the connection in the backlog
+           would keep the listener readable and spin the loop. *)
+        ignore (Atomic.fetch_and_add t.counters.reaped 1);
+        (try Unix.close fd with Unix.Unix_error _ -> ());
+        loop ()
+      end
+      else begin
+        let conn_id = t.next_conn in
+        t.next_conn <- conn_id + 1;
+        (match Fault.hit "server.accept" conn_id with
+        | exception Fault.Injected msg ->
+          (* An injected accept-path fault drops this connection only. *)
+          quarantine t ~conn_id (Types.Preprocess_failed ("server.accept: " ^ msg));
+          (try Unix.close fd with Unix.Unix_error _ -> ())
+        | () ->
+          Unix.set_nonblock fd;
+          (try Unix.setsockopt fd Unix.TCP_NODELAY true
+           with Unix.Unix_error _ | Invalid_argument _ -> ());
+          let now = Tsj_util.Timer.now () in
+          let c =
+            {
+              c_id = conn_id;
+              c_fd = fd;
+              c_mode = Text;
+              c_version = 1;
+              c_in = Netbuf.create ();
+              c_out = Netbuf.create ();
+              c_reqno = 0;
+              c_async = 0;
+              c_discard = false;
+              c_skip = 0;
+              c_closing = false;
+              c_eof = false;
+              c_state = Live;
+              c_last_active = now;
+              c_bucket =
+                (match t.config.rate with
+                | Some rate ->
+                  Some
+                    (Admission.Token_bucket.create ~rate ~burst:t.config.burst
+                       ~now)
+                | None -> None);
+            }
+          in
+          Mutex.protect t.conns_mutex (fun () -> Hashtbl.replace t.conns conn_id c));
+        loop ()
+      end
   in
   loop ()
 
@@ -1063,8 +1276,14 @@ let event_loop t =
           Hashtbl.fold (fun _ c acc -> c :: acc) t.conns [])
     in
     if not (draining && conns = []) then begin
+      (* While an EMFILE back-off is pending the listener stays out of
+         the read set — select would otherwise report it readable every
+         tick and spin the loop hot with nothing to accept into. *)
+      let accepting =
+        (not draining) && Tsj_util.Timer.now () >= t.accept_pause_until
+      in
       let reads =
-        (t.wake_r :: (if draining then [] else [ t.listener ]))
+        (t.wake_r :: (if accepting then [ t.listener ] else []))
         @ List.filter_map
             (fun c ->
               if c.c_state = Live && not (c.c_closing || c.c_eof) then Some c.c_fd
@@ -1107,12 +1326,35 @@ let event_loop t =
            already buffered, which this tick's service pass flushes. *)
         Atomic.set t.wake_flag false
       end;
-      if (not draining) && List.mem t.listener rset then accept_new t;
+      if accepting && List.mem t.listener rset then accept_new t;
       let now = Tsj_util.Timer.now () in
       List.iter
         (fun c ->
           if c.c_state = Live then begin
             service_conn t c scratch ~readable:(List.mem c.c_fd rset);
+            (* Connection hygiene.  A peer that will not drain its
+               socket must not hold an unbounded output buffer; an idle
+               peer must not hold an fd forever.  Both closes are normal
+               operation (counted as [reaped]), not quarantine-worthy
+               faults. *)
+            if c.c_state = Live then begin
+              let out_len, busy =
+                Mutex.protect t.io_mutex (fun () ->
+                    (Netbuf.length c.c_out, c.c_async > 0))
+              in
+              if out_len > t.config.max_out_bytes then begin
+                ignore (Atomic.fetch_and_add t.counters.reaped 1);
+                close_conn t c
+              end
+              else
+                match t.config.idle_timeout_s with
+                | Some idle
+                  when (not busy) && out_len = 0
+                       && now -. c.c_last_active > idle ->
+                  ignore (Atomic.fetch_and_add t.counters.reaped 1);
+                  close_conn t c
+                | _ -> ()
+            end;
             if c.c_state = Live && should_close t c ~now then close_conn t c
           end)
         conns;
@@ -1219,6 +1461,14 @@ let create config =
   else if config.drain_budget_s < 0.0 then Error "negative drain budget"
   else if config.quorum < 1 then Error "quorum must be >= 1"
   else if config.max_batch < 1 then Error "max_batch must be >= 1"
+  else if (match config.rate with Some r -> r <= 0.0 | None -> false) then
+    Error "rate must be > 0"
+  else if config.burst < 1 then Error "burst must be >= 1"
+  else if (match config.idle_timeout_s with Some s -> s <= 0.0 | None -> false)
+  then Error "idle timeout must be > 0"
+  else if config.max_out_bytes < 1 then Error "max_out_bytes must be >= 1"
+  else if (match config.max_conns with Some m -> m < 1 | None -> false) then
+    Error "max_conns must be >= 1"
   else
     (* Self-healing open: a journal record that rotted on disk is
        refetched from a quorum peer (the [--replica-of] list) as a
@@ -1280,6 +1530,9 @@ let create config =
                 degraded = Atomic.make 0;
                 errors = Atomic.make 0;
                 inflight = Atomic.make 0;
+                expired = Atomic.make 0;
+                accept_pauses = Atomic.make 0;
+                reaped = Atomic.make 0;
               };
             draining = Atomic.make false;
             drained = Atomic.make false;
@@ -1310,6 +1563,10 @@ let create config =
             sync_mutex = Mutex.create ();
             scrubber = None;
             next_conn = 0;
+            accept_pause_until = 0.0;
+            h_query = Admission.Histogram.create ();
+            h_knn = Admission.Histogram.create ();
+            h_add = Admission.Histogram.create ();
           })
 
 let start t =

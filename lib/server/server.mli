@@ -27,7 +27,29 @@
       blocking the server;
     - {b admission control}: at most [max_inflight] work-bearing
       requests run at once; beyond the watermark, requests are shed with
-      an explicit [BUSY] — deterministic, never a silent drop;
+      an explicit [BUSY] — deterministic, never a silent drop.  At the
+      watermark, read work displaces the queued read with the {e least}
+      remaining deadline (which is shed with [BUSY]) so near-expired
+      work — which would expire anyway — is sacrificed first;
+    - {b fair admission}: with [rate] set, each connection gets its own
+      token bucket ([rate] tokens/s, capacity [burst]) in front of the
+      shared watermark; a greedy connection exhausts only its own bucket
+      and its excess is shed with [BUSY <retry-after-ms>] while
+      conforming connections are untouched.  [STATS]/[HEALTH] bypass the
+      bucket so monitoring keeps working under overload;
+    - {b deadline propagation}: work requests may carry a relative
+      remaining budget (see {!Protocol}); expired work is answered
+      [ERR deadline expired] (counted as [expired=] in [STATS]) instead
+      of being computed, queued [ADD]s past deadline are dropped {e
+      before} the journal write, and a completed answer past its
+      deadline is replaced by the same error — an expired answer is
+      never delivered;
+    - {b connection hygiene}: connections idle longer than
+      [idle_timeout_s], or whose unread output exceeds [max_out_bytes],
+      are closed and counted as [reaped=]; with [max_conns] set, excess
+      accepts are closed immediately.  [EMFILE]/[ENFILE] on accept
+      pauses accepting briefly (counted as [accept_pauses=]) instead of
+      spinning the event loop hot;
     - {b isolation}: a malformed request, an injected handler fault or a
       client disconnect quarantines that one connection (recorded with a
       {!Tsj_join.Types.quarantined} reason) and leaves every other
@@ -61,7 +83,11 @@
     forces), [server.batch] (payload = group-commit ordinal, fired by
     the committer just before it collects a batch; an armed action can
     stall the committer so pipelined [ADD]s pile into one commit, and
-    an [Injected] raise is swallowed), plus the replication points
+    an [Injected] raise is swallowed), [server.emfile] (payload =
+    connection id; fired just before [accept] — arm it with
+    {!Tsj_util.Fault_inject.arm_action} raising
+    [Unix.Unix_error (Unix.EMFILE, _, _)] to exercise the
+    accept-pause path), plus the replication points
     [replica.stream]/[replica.ack] (in {!Replica.feed}) and
     [cluster.partition] (in {!Cluster.replicate}). *)
 
@@ -106,12 +132,33 @@ type config = {
           healed: unrepairable journal records / a bad snapshot are
           moved aside ([.quarantine]), counted in [STATS], and the
           surviving prefix is served (see {!Store.open_}) *)
+  rate : float option;
+      (** per-connection admission rate (work requests per second);
+          [None] (the default) disables the token buckets *)
+  burst : int;
+      (** per-connection token-bucket capacity (only meaningful with
+          [rate]); a fresh connection may burst this many work requests
+          before pacing kicks in *)
+  idle_timeout_s : float option;
+      (** close (and count as [reaped=]) connections with no traffic,
+          no inflight work and an empty output buffer for this long;
+          [None] (the default) never reaps idle connections *)
+  max_out_bytes : int;
+      (** hygiene cap on a connection's unread output buffer: a client
+          that stops reading while replies accumulate past this is
+          closed (and counted as [reaped=]) instead of growing the
+          buffer without bound *)
+  max_conns : int option;
+      (** hard cap on concurrent connections: excess accepts are closed
+          immediately (counted as [reaped=]); [None] = unlimited *)
 }
 
 val default_config : Protocol.addr -> tau:int -> config
 (** Ephemeral store, 1 domain, watermark 64, no deadline, 5 s drain
     budget, 1 MiB line cap, no signal handler; quorum 1, no sync peers,
-    primary, 5 s peer timeout, group commits of up to 64, dedup off. *)
+    primary, 5 s peer timeout, group commits of up to 64, dedup off;
+    no admission rate limit (burst 32 when one is set), no idle
+    timeout, 8 MiB output cap, unlimited connections. *)
 
 type t
 

@@ -14,6 +14,7 @@
      dune exec test/fuzz/fuzz_main.exe -- dag 20000 42
      dune exec test/fuzz/fuzz_main.exe -- router 20000 42
      dune exec test/fuzz/fuzz_main.exe -- scrub 5000 42
+     dune exec test/fuzz/fuzz_main.exe -- overload 20000 42
 
    Modes:
    - lemma2: after <= tau random edits, some subgraph of the balanced
@@ -49,7 +50,13 @@
      journaled store — the live scrubber, the self-healing reopen and
      the quarantine reopen must detect every corruption, converge to a
      clean state and never answer wrong; plus incremental-vs-rebuilt
-     Merkle digests on random op sequences (expected: 0). *)
+     Merkle digests on random op sequences (expected: 0);
+   - overload: adversarial deadline tokens and frames (zero, huge,
+     overflowing, negative, non-numeric budgets; random negotiated
+     protocol versions) against a token-bucket-limited server — every
+     request answered exactly once, malformed tokens answered ERR, a
+     zero budget never answered with results, BUSY retry-after hints
+     within bounds, server healthy at exit (expected: 0). *)
 
 module Tree = Tsj_tree.Tree
 module BT = Tsj_tree.Binary_tree
@@ -484,7 +491,7 @@ let fuzz_server iterations rng =
           | Ok resp ->
             let plausible =
               match (resp, kind) with
-              | (Protocol.Err _ | Protocol.Busy), _ -> true
+              | (Protocol.Err _ | Protocol.Busy _), _ -> true
               | (Protocol.Hits _ | Protocol.Redirect _), `Read -> true
               | (Protocol.Added _ | Protocol.Fenced _), `Add -> true
               | Protocol.Stats_reply _, `Stats -> true
@@ -974,7 +981,9 @@ let fuzz_router iterations rng =
         shed = 0; degraded = 0; errors = 0; quarantined = 0; inflight = 0;
         draining = false; journal_records = Prng.int rng 4;
         epoch = Prng.int rng 50; primary = Prng.int rng 4 <> 0; dedup = 0;
-        scrubbed = 0; crc_failures = 0; repaired = 0;
+        scrubbed = 0; crc_failures = 0; repaired = 0; expired = 0;
+        accept_pauses = 0; reaped = 0; q_p50 = 0; q_p95 = 0; q_p99 = 0;
+        k_p50 = 0; k_p95 = 0; k_p99 = 0; a_p50 = 0; a_p95 = 0; a_p99 = 0;
       }
   in
   let handle_conn fd =
@@ -1008,7 +1017,8 @@ let fuzz_router iterations rng =
              (render (Protocol.Added { id = id + 1; partners = [] }) ^ "\n");
            flush oc
          | 6 ->
-           output_string oc (render Protocol.Busy ^ "\n");
+           output_string oc
+             (render (Protocol.Busy { retry_after_ms = None }) ^ "\n");
            flush oc
          | 7 | 8 ->
            (* parseable reply, wrong verb or random ids *)
@@ -1076,7 +1086,8 @@ let fuzz_router iterations rng =
     let config =
       { Router.map; tau = 2;
         groups = Array.map (fun s -> [ Protocol.Unix_path s ]) socks;
-        timeout_s = 0.05; attempts = 2; ledger = None; seed = 7 }
+        timeout_s = 0.05; attempts = 2; ledger = None; seed = 7;
+        hedge_s = None; margin_ms = 0 }
     in
     match Router.create config with
     | Ok r -> r
@@ -1372,6 +1383,202 @@ let fuzz_scrub iterations rng =
   done;
   !failures
 
+(* Overload-mode fuzz: adversarial deadline and retry-after traffic
+   against a live server with a tiny per-connection token bucket.  Text
+   lines carry random [@] budget tokens (zero, tiny, huge, overflowing,
+   negative, non-numeric, empty); binary episodes negotiate a random
+   protocol version and send work frames with random deadline words.
+   Invariants: every request gets exactly one well-formed reply; a
+   malformed token is answered ERR, never silently glued to the tree; a
+   zero budget never yields HITS/ADDED; every BUSY retry-after hint is
+   within sane bounds; the run ends with a healthy, idle server. *)
+let fuzz_overload iterations rng =
+  let module Protocol = Tsj_server.Protocol in
+  let module Server = Tsj_server.Server in
+  let module Store = Tsj_server.Store in
+  let failures = ref 0 in
+  let sock = Filename.temp_file "tsj_fuzz_ov" ".sock" in
+  Sys.remove sock;
+  let addr = Protocol.Unix_path sock in
+  let config =
+    { (Server.default_config addr ~tau:2) with
+      Server.deadline_s = Some 0.05;
+      rate = Some 50.0;
+      burst = 2;
+      max_inflight = 8 }
+  in
+  let server =
+    match Server.create config with
+    | Ok s -> s
+    | Error msg ->
+      Printf.eprintf "overload: cannot start: %s\n" msg;
+      exit 2
+  in
+  for _ = 1 to 8 do
+    ignore (Store.add (Server.store server) (random_tree rng (1 + Prng.int rng 8)))
+  done;
+  Server.start server;
+  let connect () =
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    Unix.connect fd (Unix.ADDR_UNIX sock);
+    Unix.setsockopt_float fd Unix.SO_RCVTIMEO 10.0;
+    (fd, Unix.in_channel_of_descr fd, Unix.out_channel_of_descr fd)
+  in
+  let close_conn (fd, _, _) = try Unix.close fd with Unix.Unix_error _ -> () in
+  (* Bucket hints are bounded by the refill period (20 ms at 50/s),
+     backlog hints by the hard-coded [5, 1000] clamp. *)
+  let check_busy_hint what = function
+    | Protocol.Busy { retry_after_ms = Some ms } when ms < 1 || ms > 2000 ->
+      failwith (Printf.sprintf "%s: BUSY hint %dms out of bounds" what ms)
+    | _ -> ()
+  in
+  let conn = ref (connect ()) in
+  let text_case i =
+    (* kind: the semantics the reply must respect *)
+    let tok, kind =
+      match Prng.int rng 10 with
+      | 0 | 1 -> ("@0 ", `Zero)
+      | 2 -> ("@1 ", `Valid)
+      | 3 -> (Printf.sprintf "@%d " (1 + Prng.int rng 100_000), `Valid)
+      | 4 -> (Printf.sprintf "@%d " Protocol.max_deadline_ms, `Valid)
+      | 5 -> ("@99999999999999999999 ", `Garbage)
+      | 6 -> ("@-7 ", `Garbage)
+      | 7 -> ("@x7 ", `Garbage)
+      | 8 -> ("@ ", `Garbage)
+      | _ -> ("", `Valid)
+    in
+    let ts = Tsj_tree.Bracket.to_string (random_tree rng (1 + Prng.int rng 8)) in
+    let line =
+      match Prng.int rng 3 with
+      | 0 -> Printf.sprintf "QUERY %d %s%s" (Prng.int rng 3) tok ts
+      | 1 -> Printf.sprintf "KNN %d %s%s" (1 + Prng.int rng 3) tok ts
+      | _ -> Printf.sprintf "ADD %s%s" tok ts
+    in
+    try
+      let _, ic, oc = !conn in
+      output_string oc line;
+      output_char oc '\n';
+      flush oc;
+      let reply = input_line ic in
+      match Protocol.parse_response reply with
+      | Error msg -> failwith (Printf.sprintf "unparseable reply %S (%s)" reply msg)
+      | Ok resp -> (
+        check_busy_hint "text" resp;
+        match (kind, resp) with
+        | `Zero, (Protocol.Hits _ | Protocol.Added _) ->
+          failwith (Printf.sprintf "zero budget answered: %s" reply)
+        | `Zero, Protocol.Busy _ ->
+          failwith "zero budget shed instead of expired"
+        | `Garbage, (Protocol.Hits _ | Protocol.Added _ | Protocol.Busy _) ->
+          failwith
+            (Printf.sprintf "garbage token %S accepted: %s -> %s" tok line reply)
+        | _ -> ())
+    with
+    | Failure detail ->
+      incr failures;
+      if !failures <= 5 then report "overload" i detail
+    | End_of_file | Sys_error _ | Unix.Unix_error _ ->
+      incr failures;
+      if !failures <= 5 then report "overload" i "server hung up a text connection";
+      close_conn !conn;
+      conn := connect ()
+  in
+  let binary_episode i =
+    let ((_, ic, oc) as c) = connect () in
+    (try
+       let offered = 1 + Prng.int rng 7 in
+       output_string oc (Printf.sprintf "HELLO BIN %d\n" offered);
+       flush oc;
+       let v =
+         match Protocol.parse_response (input_line ic) with
+         | Ok (Protocol.Hello_reply v) -> v
+         | Ok r -> failwith ("bad HELLO reply " ^ Protocol.render_response r)
+         | Error msg -> failwith ("unparseable HELLO reply: " ^ msg)
+       in
+       if v <> min offered Protocol.Binary.version then
+         failwith (Printf.sprintf "negotiated v%d from an offer of v%d" v offered);
+       let read_frame () =
+         let flen = Protocol.Binary.get_u32 (really_input_string ic 4) 0 in
+         let rest = really_input_string ic flen in
+         ( Protocol.Binary.get_u32 rest 0,
+           Char.code rest.[4],
+           String.sub rest 5 (flen - 5) )
+       in
+       for j = 1 to 4 do
+         let id = (i * 7) + j in
+         let deadline_ms =
+           match Prng.int rng 5 with
+           | 0 -> Some 0
+           | 1 -> Some (1 + Prng.int rng 200)
+           | 2 -> Some Protocol.max_deadline_ms
+           | 3 -> Some max_int (* encoder must clamp, not overflow the u32 *)
+           | _ -> None
+         in
+         let tree = random_tree rng (1 + Prng.int rng 8) in
+         let req =
+           match Prng.int rng 3 with
+           | 0 -> Protocol.Query { tau = Prng.int rng 3; tree }
+           | 1 -> Protocol.Knn { k = 1 + Prng.int rng 3; tree }
+           | _ -> Protocol.Add { seq = None; tree }
+         in
+         let buf = Buffer.create 64 in
+         Protocol.Binary.encode_request buf ~id ?deadline_ms ~version:v req;
+         output_string oc (Buffer.contents buf);
+         flush oc;
+         let rid, op, body = read_frame () in
+         if rid <> id then failwith (Printf.sprintf "id %d answered as %d" id rid);
+         match Protocol.Binary.decode_response ~op ~body with
+         | Error msg -> failwith ("undecodable binary reply: " ^ msg)
+         | Ok resp -> (
+           check_busy_hint "binary" resp;
+           match (deadline_ms, resp) with
+           | Some 0, (Protocol.Hits _ | Protocol.Added _) when v >= 2 ->
+             failwith "a zero binary budget yielded an answer"
+           | _ -> ())
+       done
+     with
+    | Failure detail ->
+      incr failures;
+      if !failures <= 5 then report "overload" i detail
+    | End_of_file | Sys_error _ | Unix.Unix_error _ ->
+      incr failures;
+      if !failures <= 5 then report "overload" i "server hung up a binary episode");
+    close_conn c
+  in
+  for i = 1 to iterations do
+    if Prng.int rng 16 = 0 then binary_episode i;
+    text_case i
+  done;
+  (* the run must end with a healthy, idle server *)
+  let ((_, ic, oc) as admin) = connect () in
+  output_string oc "STATS\n";
+  flush oc;
+  (match Protocol.parse_response (input_line ic) with
+  | Ok (Protocol.Stats_reply s) ->
+    if s.Protocol.inflight <> 0 then begin
+      incr failures;
+      report "overload" iterations
+        (Printf.sprintf "leaked %d inflight requests" s.Protocol.inflight)
+    end;
+    Printf.printf "overload: queries=%d adds=%d shed=%d expired=%d errors=%d\n"
+      s.Protocol.queries s.Protocol.adds s.Protocol.shed s.Protocol.expired
+      s.Protocol.errors
+  | Ok r ->
+    incr failures;
+    report "overload" iterations ("bad STATS reply " ^ Protocol.render_response r)
+  | Error msg | (exception Failure msg) ->
+    incr failures;
+    report "overload" iterations ("unparseable STATS reply: " ^ msg)
+  | exception End_of_file ->
+    incr failures;
+    report "overload" iterations "server dead at end of run");
+  close_conn admin;
+  close_conn !conn;
+  Server.drain server;
+  Server.wait server;
+  if Sys.file_exists sock then Sys.remove sock;
+  !failures
+
 let () =
   let mode, iterations, seed =
     match Array.to_list Sys.argv with
@@ -1380,7 +1587,7 @@ let () =
     | [ _; mode; iters; seed ] -> (mode, int_of_string iters, int_of_string seed)
     | _ ->
       prerr_endline
-        "usage: fuzz_main (lemma2|windows|join|ted|xml|server|dag|router|scrub) [iterations] [seed]";
+        "usage: fuzz_main (lemma2|windows|join|ted|xml|server|dag|router|scrub|overload) [iterations] [seed]";
       exit 2
   in
   let rng = Prng.create seed in
@@ -1395,6 +1602,7 @@ let () =
     | "dag" -> fuzz_dag iterations rng
     | "router" -> fuzz_router iterations rng
     | "scrub" -> fuzz_scrub iterations rng
+    | "overload" -> fuzz_overload iterations rng
     | other ->
       Printf.eprintf "unknown mode %S\n" other;
       exit 2

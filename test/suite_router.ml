@@ -193,6 +193,8 @@ let test_router_end_to_end () =
           attempts = 2;
           ledger = None;
           seed = 9000;
+          hedge_s = None;
+          margin_ms = 0;
         }
       in
       let router = ok_or_fail (Router.create cfg) in
@@ -293,6 +295,8 @@ let test_router_front_wire () =
           attempts = 2;
           ledger = None;
           seed = 777;
+          hedge_s = None;
+          margin_ms = 0;
         }
       in
       let router = ok_or_fail (Router.create cfg) in
@@ -369,6 +373,8 @@ let test_router_ledger_recovery () =
           attempts = 2;
           ledger = Some ledger;
           seed = map_seed;
+          hedge_s = None;
+          margin_ms = 0;
         }
       in
       Fun.protect
@@ -446,6 +452,8 @@ let test_router_ledger_integrity () =
           attempts = 2;
           ledger = Some ledger;
           seed = map_seed;
+          hedge_s = None;
+          margin_ms = 0;
         }
       in
       Fun.protect
@@ -577,6 +585,86 @@ let prop_sharded_storm =
       r.Faults.sh_acked_preserved && r.Faults.sh_single_writer && r.Faults.sh_converged
       && r.Faults.sh_degraded_sound && r.Faults.sh_answers_match)
 
+let test_hedged_reads () =
+  let tau = 2 in
+  with_shard_servers ~tau 1 (fun addrs _servers ->
+      let cfg =
+        {
+          Router.map = Shard.create ~shards:1 ~tau ();
+          tau;
+          groups = [| [ addrs.(0) ] |];
+          timeout_s = 5.0;
+          attempts = 2;
+          ledger = None;
+          seed = 4711;
+          hedge_s = Some 0.05;
+          margin_ms = 10;
+        }
+      in
+      let router = ok_or_fail (Router.create cfg) in
+      (* a decoy replica that accepts connections and then never
+         replies: with it listed first, every first leg stalls until
+         the socket timeout *)
+      let decoy_path = Filename.temp_file "tsj_decoy" ".sock" in
+      Sys.remove decoy_path;
+      let decoy = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      Unix.bind decoy (Unix.ADDR_UNIX decoy_path);
+      Unix.listen decoy 16;
+      let stop = Atomic.make false in
+      let sink =
+        Thread.create
+          (fun () ->
+            let held = ref [] in
+            while not (Atomic.get stop) do
+              match Unix.select [ decoy ] [] [] 0.05 with
+              | [ _ ], _, _ -> (
+                try held := fst (Unix.accept decoy) :: !held
+                with Unix.Unix_error _ -> ())
+              | _ -> ()
+            done;
+            List.iter
+              (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ())
+              !held)
+          ()
+      in
+      Fun.protect
+        ~finally:(fun () ->
+          Router.close router;
+          Atomic.set stop true;
+          Thread.join sink;
+          (try Unix.close decoy with Unix.Unix_error _ -> ());
+          if Sys.file_exists decoy_path then Sys.remove decoy_path)
+        (fun () ->
+          let trees = trees_of 4321 10 in
+          Array.iter (fun tree -> ignore (ok_or_fail (Router.add router tree))) trees;
+          let queries = trees_of 4322 3 in
+          let reference = Array.map (fun q -> Router.query router ~tau q) queries in
+          Array.iter
+            (fun r ->
+              Alcotest.(check bool) "reference not degraded" false
+                r.Router.a_degraded)
+            reference;
+          (* swap the hanging decoy in as the preferred replica: only
+             the hedge can answer within the deadline now *)
+          Router.set_group_addrs router 0
+            [ Protocol.Unix_path decoy_path; addrs.(0) ];
+          Array.iteri
+            (fun i q ->
+              let t0 = Unix.gettimeofday () in
+              let m = Router.query router ~deadline_ms:4_000 ~tau q in
+              let wall = Unix.gettimeofday () -. t0 in
+              Alcotest.(check bool) "hedge answered well before the timeout" true
+                (wall < 2.0);
+              Alcotest.(check bool) "hedged answer not degraded" false
+                m.Router.a_degraded;
+              (* the hedged answer is bit-identical to the unhedged one *)
+              Alcotest.(check (list (pair int int))) "hedged hits identical"
+                reference.(i).Router.a_hits m.Router.a_hits)
+            queries;
+          let fired, wins = Router.hedges router in
+          Alcotest.(check bool) "hedges fired" true (fired >= Array.length queries);
+          Alcotest.(check bool) "hedges won" true (wins >= Array.length queries)))
+
 let suite =
   [
     Alcotest.test_case "band-key placement and windows" `Quick test_band_routing;
@@ -589,6 +677,8 @@ let suite =
       test_router_ledger_recovery;
     Alcotest.test_case "ledger integrity: scrub, heal, quarantine" `Quick
       test_router_ledger_integrity;
+    Alcotest.test_case "hedged reads race a hung replica" `Quick
+      test_hedged_reads;
     Alcotest.test_case "sharded storm" `Slow test_sharded_storm;
     Alcotest.test_case "sharded storm with migrations" `Slow
       test_sharded_storm_migrations;

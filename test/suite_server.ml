@@ -97,12 +97,16 @@ let test_response_roundtrip () =
           trees = 10; tau = 2; queries = 5; adds = 10; shed = 1; degraded = 2;
           errors = 3; quarantined = 1; inflight = 0; draining = false;
           journal_records = 4; epoch = 2; primary = true; dedup = 6;
-          scrubbed = 12; crc_failures = 1; repaired = 1;
+          scrubbed = 12; crc_failures = 1; repaired = 1; expired = 2;
+          accept_pauses = 1; reaped = 3; q_p50 = 128; q_p95 = 1024;
+          q_p99 = 2048; k_p50 = 64; k_p95 = 256; k_p99 = 512; a_p50 = 32;
+          a_p95 = 64; a_p99 = 128;
         };
       Protocol.Health_reply { draining = false };
       Protocol.Health_reply { draining = true };
       Protocol.Drained;
-      Protocol.Busy;
+      Protocol.Busy { retry_after_ms = None };
+      Protocol.Busy { retry_after_ms = Some 250 };
       Protocol.Err "something went wrong";
     ]
   in
@@ -292,13 +296,18 @@ let prop_restart_deterministic =
 (* --- socket server end-to-end --- *)
 
 let with_server ?(tau = 2) ?dir ?(max_inflight = 64) ?deadline_s ?(domains = 1)
-    ?(max_batch = 64) f =
+    ?(max_batch = 64) ?rate ?(burst = 32) ?idle_timeout_s ?max_out_bytes
+    ?max_conns f =
   let sock = Filename.temp_file "tsj_sock" "" in
   Sys.remove sock;
   let addr = Protocol.Unix_path sock in
+  let base = Server.default_config addr ~tau in
   let config =
-    { (Server.default_config addr ~tau) with
-      Server.dir; domains; max_inflight; deadline_s; max_batch; drain_budget_s = 5.0 }
+    { base with
+      Server.dir; domains; max_inflight; deadline_s; max_batch;
+      drain_budget_s = 5.0; rate; burst; idle_timeout_s; max_conns;
+      max_out_bytes =
+        (match max_out_bytes with Some b -> b | None -> base.Server.max_out_bytes) }
   in
   let server = ok_or_fail (Server.create config) in
   Server.start server;
@@ -454,10 +463,10 @@ let test_server_admission_busy () =
   with_server ~max_inflight:0 (fun addr server ->
       let conn = ok_or_fail (Client.connect addr) in
       (match request conn (Protocol.Add { seq = None; tree = t "{a}" }) with
-      | Protocol.Busy -> ()
+      | Protocol.Busy _ -> ()
       | r -> Alcotest.failf "expected BUSY, got %s" (Protocol.render_response r));
       (match request conn (Protocol.Query { tau = 1; tree = t "{a}" }) with
-      | Protocol.Busy -> ()
+      | Protocol.Busy _ -> ()
       | r -> Alcotest.failf "expected BUSY, got %s" (Protocol.render_response r));
       (match request conn Protocol.Health with
       | Protocol.Health_reply _ -> ()
@@ -842,7 +851,7 @@ let test_binary_hello_and_pipelining () =
       | Ok (Protocol.Added { id = 0; _ }) -> ()
       | _ -> Alcotest.fail "text ADD before HELLO failed");
       (match Protocol.parse_response (raw_request raw "HELLO BIN 7") with
-      | Ok (Protocol.Hello_reply 1) -> ()
+      | Ok (Protocol.Hello_reply v) when v = Protocol.Binary.version -> ()
       | Ok r -> Alcotest.failf "HELLO answered %s" (Protocol.render_response r)
       | Error msg -> Alcotest.failf "HELLO reply unparseable: %s" msg);
       (* from here the connection speaks frames; the id is echoed *)
@@ -1405,7 +1414,7 @@ let test_failover_backoff_resets_after_rotation () =
           ]
       in
       (match Client.Failover.request fo (Protocol.Add { seq = None; tree = t "{a}" }) with
-      | Ok Protocol.Busy | Error _ -> ()
+      | Ok (Protocol.Busy _) | Error _ -> ()
       | Ok r -> Alcotest.failf "unexpected reply %s" (Protocol.render_response r));
       (match List.rev !slept with
       | [ s0; s1; s2 ] ->
@@ -1432,7 +1441,7 @@ let test_client_retries_busy_preserved () =
          Client.request_with_retries ~attempts:3 ~sleep:(fun _ -> ()) ~rng addr
            (Protocol.Add { seq = None; tree = t "{a}" })
        with
-      | Ok Protocol.Busy -> ()
+      | Ok (Protocol.Busy _) -> ()
       | Ok r -> Alcotest.failf "expected BUSY, got %s" (Protocol.render_response r)
       | Error e -> Alcotest.failf "BUSY masked as error: %s" e);
       ignore server)
@@ -1824,6 +1833,242 @@ let prop_scrub_storm =
       && r.Faults.sb_wrong_answers = 0
       && r.Faults.sb_transfer_frugal && r.Faults.sb_converged)
 
+(* --- overload robustness: deadlines, fair admission, hygiene --- *)
+
+module Admission = Tsj_server.Admission
+
+let test_deadline_expired_on_wire () =
+  with_server (fun addr server ->
+      ignore server;
+      let conn = ok_or_fail (Client.connect addr) in
+      ignore (request conn (Protocol.Add { seq = None; tree = t "{a{b}}" }));
+      let ((fd, _, _) as raw) = raw_connect addr in
+      (* a budget that is already spent: answered ERR, never a hang or a
+         silent drop *)
+      (match Protocol.parse_response (raw_request raw "QUERY 1 @0 {a{b}}") with
+      | Ok (Protocol.Err reason) ->
+        Alcotest.(check string) "expired reason" "deadline expired" reason
+      | Ok r -> Alcotest.failf "expected ERR, got %s" (Protocol.render_response r)
+      | Error e -> Alcotest.fail e);
+      (* an expired ADD is refused before it reaches the journal *)
+      (match Protocol.parse_response (raw_request raw "ADD @0 {z}") with
+      | Ok (Protocol.Err _) -> ()
+      | Ok r -> Alcotest.failf "expected ERR, got %s" (Protocol.render_response r)
+      | Error e -> Alcotest.fail e);
+      (* a generous budget answers normally *)
+      (match Protocol.parse_response (raw_request raw "QUERY 1 @60000 {a{b}}") with
+      | Ok (Protocol.Hits { hits; _ }) ->
+        Alcotest.(check bool) "budgeted query answers" true (List.mem_assoc 0 hits)
+      | Ok r -> Alcotest.failf "expected HITS, got %s" (Protocol.render_response r)
+      | Error e -> Alcotest.fail e);
+      (match request conn Protocol.Stats with
+      | Protocol.Stats_reply s ->
+        Alcotest.(check int) "expired counted" 2 s.Protocol.expired;
+        Alcotest.(check int) "expired ADD never indexed" 1 s.Protocol.trees
+      | r -> Alcotest.failf "bad stats: %s" (Protocol.render_response r));
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      Client.close conn)
+
+let test_stats_latency_quantiles () =
+  with_server (fun addr server ->
+      ignore server;
+      let conn = ok_or_fail (Client.connect addr) in
+      List.iter
+        (fun s -> ignore (request conn (Protocol.Add { seq = None; tree = t s })))
+        [ "{a{b}}"; "{a{c}}"; "{d}" ];
+      for _ = 1 to 5 do
+        ignore (request conn (Protocol.Query { tau = 1; tree = t "{a{b}}" }))
+      done;
+      ignore (request conn (Protocol.Knn { k = 2; tree = t "{a{b}}" }));
+      (match request conn Protocol.Stats with
+      | Protocol.Stats_reply s ->
+        Alcotest.(check bool) "query p50 measured" true (s.Protocol.q_p50 >= 1);
+        Alcotest.(check bool) "query quantiles monotone" true
+          (s.Protocol.q_p50 <= s.Protocol.q_p95
+          && s.Protocol.q_p95 <= s.Protocol.q_p99);
+        Alcotest.(check bool) "knn p99 measured" true (s.Protocol.k_p99 >= 1);
+        Alcotest.(check bool) "add p50 measured" true (s.Protocol.a_p50 >= 1);
+        Alcotest.(check bool) "add quantiles monotone" true
+          (s.Protocol.a_p50 <= s.Protocol.a_p95
+          && s.Protocol.a_p95 <= s.Protocol.a_p99)
+      | r -> Alcotest.failf "bad stats: %s" (Protocol.render_response r));
+      (* the binary STATS frame carries the same counters *)
+      let bin = bin_connect addr in
+      let sid = Client.Bin.send bin Protocol.Stats in
+      Client.Bin.flush bin;
+      (match Client.Bin.recv bin with
+      | Ok (id, Protocol.Stats_reply s) ->
+        Alcotest.(check int) "stats id echoed" sid id;
+        Alcotest.(check bool) "binary stats carries quantiles" true
+          (s.Protocol.q_p50 >= 1 && s.Protocol.q_p50 <= s.Protocol.q_p99)
+      | Ok (_, r) ->
+        Alcotest.failf "bad binary stats: %s" (Protocol.render_response r)
+      | Error e -> Alcotest.fail e);
+      Client.Bin.close bin;
+      Client.close conn)
+
+let test_busy_retry_after_hint () =
+  (* one token, refilled five times a second: the first query is
+     admitted, the immediate follow-up is shed with a concrete hint *)
+  with_server ~rate:5.0 ~burst:1 (fun addr server ->
+      ignore server;
+      let conn = ok_or_fail (Client.connect addr) in
+      (match request conn (Protocol.Query { tau = 1; tree = t "{a}" }) with
+      | Protocol.Hits _ -> ()
+      | r -> Alcotest.failf "first query shed: %s" (Protocol.render_response r));
+      (match request conn (Protocol.Query { tau = 1; tree = t "{a}" }) with
+      | Protocol.Busy { retry_after_ms = Some ms } ->
+        Alcotest.(check bool) "hint positive" true (ms >= 1);
+        Alcotest.(check bool) "hint bounded by the refill period" true (ms <= 200)
+      | Protocol.Busy { retry_after_ms = None } ->
+        Alcotest.fail "BUSY without a retry-after hint"
+      | r -> Alcotest.failf "expected BUSY, got %s" (Protocol.render_response r));
+      (* waiting out the hint earns a token back *)
+      Thread.delay 0.25;
+      (match request conn (Protocol.Query { tau = 1; tree = t "{a}" }) with
+      | Protocol.Hits _ -> ()
+      | r -> Alcotest.failf "token did not refill: %s" (Protocol.render_response r));
+      Client.close conn)
+
+let test_idle_connection_reaped () =
+  with_server ~idle_timeout_s:0.1 (fun addr server ->
+      let idle = ok_or_fail (Client.connect addr) in
+      let deadline = Unix.gettimeofday () +. 5.0 in
+      let reaped () = (Server.stats server).Protocol.reaped >= 1 in
+      while (not (reaped ())) && Unix.gettimeofday () < deadline do
+        Thread.delay 0.02
+      done;
+      Alcotest.(check bool) "idle connection reaped" true (reaped ());
+      (* the reaped connection is really gone *)
+      (match Client.request idle Protocol.Health with
+      | Error _ -> ()
+      | Ok _ -> (
+        (* the first request may race the close; a second must fail *)
+        match Client.request idle Protocol.Health with
+        | Error _ -> ()
+        | Ok r ->
+          Alcotest.failf "reaped conn served: %s" (Protocol.render_response r)));
+      Client.close idle;
+      (* a fresh connection is untouched *)
+      let live = ok_or_fail (Client.connect addr) in
+      (match request live Protocol.Health with
+      | Protocol.Health_reply _ -> ()
+      | r -> Alcotest.failf "server dead after reap: %s" (Protocol.render_response r));
+      Client.close live)
+
+let test_max_conns_cap () =
+  with_server ~max_conns:1 (fun addr server ->
+      let first = ok_or_fail (Client.connect addr) in
+      (match request first Protocol.Health with
+      | Protocol.Health_reply _ -> ()
+      | r -> Alcotest.failf "first conn refused: %s" (Protocol.render_response r));
+      (* the connection over the cap is accepted and immediately closed *)
+      (match Client.connect ~timeout_s:1.0 addr with
+      | Error _ -> ()
+      | Ok extra -> (
+        (match Client.request extra Protocol.Health with
+        | Error _ -> ()
+        | Ok r ->
+          Alcotest.failf "over-cap conn served: %s" (Protocol.render_response r));
+        Client.close extra));
+      (* the admitted connection is still served *)
+      (match request first Protocol.Health with
+      | Protocol.Health_reply _ -> ()
+      | r -> Alcotest.failf "first conn dead: %s" (Protocol.render_response r));
+      Alcotest.(check bool) "over-cap close counted" true
+        ((Server.stats server).Protocol.reaped >= 1);
+      Client.close first)
+
+let test_emfile_accept_pause () =
+  with_server (fun addr server ->
+      Fault.arm_action "server.emfile" (fun _ ->
+          raise (Unix.Unix_error (Unix.EMFILE, "accept", "")));
+      (* the OS backlog takes the connection; the paused server cannot *)
+      let pending = Client.connect ~timeout_s:5.0 addr in
+      let deadline = Unix.gettimeofday () +. 5.0 in
+      while
+        (Server.stats server).Protocol.accept_pauses = 0
+        && Unix.gettimeofday () < deadline
+      do
+        Thread.delay 0.02
+      done;
+      Fault.disarm "server.emfile";
+      Alcotest.(check bool) "accept pause counted" true
+        ((Server.stats server).Protocol.accept_pauses >= 1);
+      (* once fds are back, the backlogged connection is served *)
+      match pending with
+      | Error e -> Alcotest.failf "backlogged connect failed: %s" e
+      | Ok c -> (
+        (match Client.request c Protocol.Health with
+        | Ok (Protocol.Health_reply _) -> ()
+        | Ok r -> Alcotest.failf "bad health: %s" (Protocol.render_response r)
+        | Error e ->
+          Alcotest.failf "backlogged conn dead after recovery: %s" e);
+        Client.close c))
+
+let test_overload_storm () =
+  let trees = trees_of 91 16 in
+  let queries = trees_of 92 4 in
+  let r =
+    Faults.run_overload_storm ~seed:1055 ~duration_s:0.8 ~greedy:2 ~trees
+      ~queries ~tau:2 ()
+  in
+  Alcotest.(check bool) "greedy load dwarfs the conforming load" true
+    (r.Faults.ov_greedy_sent > r.Faults.ov_conforming_sent);
+  Alcotest.(check bool) "goodput held" true r.Faults.ov_goodput_ok;
+  Alcotest.(check bool) "conforming client not starved" true
+    r.Faults.ov_no_starvation;
+  Alcotest.(check int) "conforming client never shed" 0
+    r.Faults.ov_conforming_shed;
+  Alcotest.(check bool) "greedy excess shed" true (r.Faults.ov_greedy_shed > 0);
+  Alcotest.(check int) "no late answers" 0 r.Faults.ov_late_answers;
+  Alcotest.(check int) "no wrong answers" 0 r.Faults.ov_wrong_answers;
+  Alcotest.(check int) "hedge-raced answers identical" 0
+    r.Faults.ov_hedge_mismatches;
+  Alcotest.(check bool) "idle connection reaped" true (r.Faults.ov_reaped >= 1);
+  Alcotest.(check bool) "expired ADD refused" true r.Faults.ov_expired_add_rejected;
+  Alcotest.(check bool) "store unchanged by the expired ADD" true
+    r.Faults.ov_trees_stable
+
+(* Property (qcheck): a client that spaces its requests at (or above)
+   its bucket's refill period is NEVER shed, whatever the rate, burst
+   and jitter — fair admission cannot starve a conforming client. *)
+let prop_token_bucket_no_starvation =
+  Gen.qtest ~count:300 "token bucket never starves a conforming client"
+    QCheck.(triple (int_range 1 1000) (int_range 1 64) (int_bound 10_000))
+    (fun (rate_x10, burst, seed) ->
+      let rate = float_of_int rate_x10 /. 10. in
+      let rng = Prng.create (31 + seed) in
+      let clock = ref 1.0 in
+      let b = Admission.Token_bucket.create ~rate ~burst ~now:!clock in
+      let ok = ref true in
+      for _ = 1 to 100 do
+        (* spacing strictly above the refill period is conforming *)
+        let jitter = float_of_int (1 + Prng.int rng 1000) /. 1000. in
+        clock := !clock +. ((1. +. jitter) /. rate);
+        if not (Admission.Token_bucket.take b ~now:!clock) then ok := false
+      done;
+      !ok)
+
+(* Property (qcheck): folding [Deadline.after_hop] over ANY chain of
+   hops (random elapsed times and response margins) yields a budget
+   that is monotonically non-increasing and never negative. *)
+let prop_deadline_monotone =
+  Gen.qtest ~count:300 "propagated deadlines never grow"
+    QCheck.(
+      pair (int_bound 5_000_000)
+        (small_list (pair (int_bound 10_000) (int_bound 1_000))))
+    (fun (d0, hops) ->
+      let d = ref (Admission.Deadline.clamp d0) in
+      !d >= 0
+      && List.for_all
+           (fun (elapsed_ms, margin_ms) ->
+             let d' = Admission.Deadline.after_hop ~margin_ms ~elapsed_ms !d in
+             let ok = d' <= !d && d' >= 0 in
+             d := d';
+             ok)
+           hops)
+
 let suite =
   [
     Alcotest.test_case "addr parse" `Quick test_addr_parse;
@@ -1895,4 +2140,19 @@ let suite =
       test_server_background_scrubber;
     Alcotest.test_case "scrub storm" `Quick test_scrub_storm;
     prop_scrub_storm;
+    Alcotest.test_case "expired deadlines answered ERR on the wire" `Quick
+      test_deadline_expired_on_wire;
+    Alcotest.test_case "STATS latency quantiles (text and binary)" `Quick
+      test_stats_latency_quantiles;
+    Alcotest.test_case "BUSY carries a retry-after hint" `Quick
+      test_busy_retry_after_hint;
+    Alcotest.test_case "idle connections reaped" `Quick
+      test_idle_connection_reaped;
+    Alcotest.test_case "connection cap closes the overflow" `Quick
+      test_max_conns_cap;
+    Alcotest.test_case "EMFILE pauses accepts, then recovers" `Quick
+      test_emfile_accept_pause;
+    Alcotest.test_case "overload storm" `Slow test_overload_storm;
+    prop_token_bucket_no_starvation;
+    prop_deadline_monotone;
   ]
